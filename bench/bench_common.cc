@@ -1,0 +1,97 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "render/svg_canvas.h"
+#include "util/rng.h"
+
+namespace flexvis::bench {
+
+timeutil::TimePoint BenchDay() {
+  return timeutil::TimePoint::FromCalendarOrDie(2013, 2, 1, 0, 0);
+}
+
+std::unique_ptr<World> BuildWorld(const WorldOptions& options) {
+  auto world = std::make_unique<World>();
+  world->atlas = geo::Atlas::MakeDenmark();
+  world->topology = grid::GridTopology::MakeRadial(options.transmission, options.plants,
+                                                   options.distribution_per_transmission,
+                                                   options.feeders_per_distribution);
+  if (!world->atlas.RegisterWithDatabase(world->db).ok() ||
+      !world->topology.RegisterWithDatabase(world->db).ok()) {
+    std::fprintf(stderr, "bench world: dimension registration failed\n");
+    std::abort();
+  }
+  world->horizon = options.horizon;
+  if (world->horizon.empty()) {
+    world->horizon =
+        timeutil::TimeInterval(BenchDay(), BenchDay() + timeutil::kMinutesPerDay);
+  }
+  sim::WorkloadGenerator generator(&world->atlas, &world->topology);
+  sim::WorkloadParams params;
+  params.seed = options.seed;
+  params.num_prosumers = options.num_prosumers;
+  params.offers_per_prosumer = options.offers_per_prosumer;
+  params.horizon = world->horizon;
+  world->workload = generator.Generate(params);
+  if (!sim::WorkloadGenerator::LoadIntoDatabase(world->workload, world->db).ok()) {
+    std::fprintf(stderr, "bench world: workload load failed\n");
+    std::abort();
+  }
+  world->cube = std::make_unique<olap::Cube>(&world->db);
+  if (!world->cube->AddStandardDimensions().ok()) {
+    std::fprintf(stderr, "bench world: cube construction failed\n");
+    std::abort();
+  }
+  return world;
+}
+
+bool ExportScene(const render::DisplayList& scene, const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  render::SvgCanvas svg(scene.width(), scene.height());
+  scene.ReplayAll(svg);
+  std::string path = "bench_out/" + name + ".svg";
+  Status status = svg.WriteToFile(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", status.ToString().c_str());
+    return false;
+  }
+  std::printf("artifact: %s\n", path.c_str());
+  return true;
+}
+
+std::vector<core::FlexOffer> MakeRandomOffers(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<core::FlexOffer> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    core::FlexOffer o;
+    o.id = static_cast<core::FlexOfferId>(i + 1);
+    o.prosumer = static_cast<core::ProsumerId>(i % 500 + 1);
+    o.earliest_start = BenchDay() + rng.UniformInt(0, 191) * timeutil::kMinutesPerSlice;
+    o.latest_start =
+        o.earliest_start + rng.UniformInt(0, 24) * timeutil::kMinutesPerSlice;
+    o.creation_time = o.earliest_start - rng.UniformInt(4, 24) * 60;
+    o.acceptance_deadline = o.creation_time + 60;
+    o.assignment_deadline = o.creation_time + 120;
+    int slices = static_cast<int>(rng.UniformInt(1, 12));
+    for (int s = 0; s < slices; ++s) {
+      double min = rng.Uniform(0.1, 1.5);
+      o.profile.push_back(core::ProfileSlice{1, min, min + rng.Uniform(0.0, 1.5)});
+    }
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+void PrintHeader(const char* figure, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("paper artifact: %s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace flexvis::bench

@@ -1,0 +1,63 @@
+#ifndef FLEXVIS_BENCH_BENCH_COMMON_H_
+#define FLEXVIS_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+
+#include "dw/database.h"
+#include "geo/atlas.h"
+#include "grid/topology.h"
+#include "olap/cube.h"
+#include "render/display_list.h"
+#include "sim/workload.h"
+#include "time/time_point.h"
+
+namespace flexvis::bench {
+
+/// Shape of a benchmark world.
+struct WorldOptions {
+  uint64_t seed = 20130318;
+  int num_prosumers = 200;
+  double offers_per_prosumer = 5.0;
+  /// Planning horizon; defaults to one day starting 2013-02-01 (the date of
+  /// Fig. 6).
+  timeutil::TimeInterval horizon;
+  int transmission = 2;
+  int plants = 2;
+  int distribution_per_transmission = 2;
+  int feeders_per_distribution = 4;
+};
+
+/// Everything the figure benches need: atlas, grid, DW with a loaded
+/// workload, and the OLAP cube.
+struct World {
+  geo::Atlas atlas;
+  grid::GridTopology topology = grid::GridTopology::MakeRadial(1, 1, 1, 1);
+  dw::Database db;
+  sim::Workload workload;
+  std::unique_ptr<olap::Cube> cube;
+  timeutil::TimeInterval horizon;
+};
+
+/// The default benchmark day (2013-02-01, matching Fig. 6's timestamps).
+timeutil::TimePoint BenchDay();
+
+/// Builds a deterministic world; aborts on internal errors (benches have no
+/// error channel worth plumbing).
+std::unique_ptr<World> BuildWorld(const WorldOptions& options);
+
+/// Writes `scene` under bench_out/<name>.svg (creating the directory) and
+/// prints the path. Returns false on I/O failure.
+bool ExportScene(const render::DisplayList& scene, const std::string& name);
+
+/// Prints the standard header every figure bench starts with.
+void PrintHeader(const char* figure, const char* claim);
+
+/// Cheap random flex-offers for micro benches (no atlas/grid/DW involved):
+/// valid offers with varied extents, profiles, and flexibilities over a
+/// two-day window starting at BenchDay().
+std::vector<core::FlexOffer> MakeRandomOffers(uint64_t seed, size_t count);
+
+}  // namespace flexvis::bench
+
+#endif  // FLEXVIS_BENCH_BENCH_COMMON_H_

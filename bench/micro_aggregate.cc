@@ -1,0 +1,93 @@
+// Q3 — "This allows, for example, reducing the count of flex-offers shown on
+// a screen by aggregation, as well as allows interactive tuning values of
+// the aggregation parameters."
+//
+// Quantifies the claim: aggregation throughput across workload sizes and
+// tolerance settings (the operation must be fast enough for an interactive
+// tuning loop), with the reduction ratio reported per setting, plus the
+// disaggregation cost of one scheduled aggregate.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/aggregation.h"
+
+using namespace flexvis;
+
+namespace {
+
+void BM_Aggregate(benchmark::State& state) {
+  std::vector<core::FlexOffer> offers =
+      bench::MakeRandomOffers(11, static_cast<size_t>(state.range(0)));
+  core::AggregationParams params;
+  params.est_tolerance_minutes = state.range(1);
+  params.tft_tolerance_minutes = state.range(1);
+  core::Aggregator aggregator(params);
+  size_t aggregates = 0;
+  for (auto _ : state) {
+    core::FlexOfferId next_id = 1'000'000;
+    core::AggregationResult result = aggregator.Aggregate(offers, &next_id);
+    aggregates = result.aggregates.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["reduction"] =
+      static_cast<double>(offers.size()) / static_cast<double>(std::max<size_t>(1, aggregates));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Aggregate)
+    ->Args({1000, 15})
+    ->Args({1000, 60})
+    ->Args({1000, 240})
+    ->Args({10000, 60})
+    ->Args({10000, 240})
+    ->Args({100000, 240});
+
+void BM_Disaggregate(benchmark::State& state) {
+  // One aggregate of `range(0)` members with a schedule.
+  std::vector<core::FlexOffer> offers =
+      bench::MakeRandomOffers(13, static_cast<size_t>(state.range(0)));
+  // Force everything into one cell (and keep the deadline chain valid for
+  // the shifted start window).
+  for (core::FlexOffer& o : offers) {
+    o.earliest_start = bench::BenchDay();
+    o.latest_start = o.earliest_start + 4 * timeutil::kMinutesPerSlice;
+    o.creation_time = o.earliest_start - 12 * 60;
+    o.acceptance_deadline = o.creation_time + 60;
+    o.assignment_deadline = o.creation_time + 120;
+  }
+  core::AggregationParams params;
+  params.est_tolerance_minutes = 0;
+  params.tft_tolerance_minutes = 0;
+  core::FlexOfferId next_id = 1'000'000;
+  core::AggregationResult result = core::Aggregator(params).Aggregate(offers, &next_id);
+  core::FlexOffer aggregate = result.aggregates[0];
+  core::Schedule sched;
+  sched.start = aggregate.earliest_start;
+  for (const core::ProfileSlice& u : aggregate.UnitProfile()) {
+    sched.energy_kwh.push_back((u.min_energy_kwh + u.max_energy_kwh) / 2.0);
+  }
+  aggregate.schedule = sched;
+
+  for (auto _ : state) {
+    Result<std::vector<core::FlexOffer>> members = core::Disaggregate(aggregate, offers);
+    benchmark::DoNotOptimize(members);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Disaggregate)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_CompressProfile(benchmark::State& state) {
+  std::vector<core::ProfileSlice> units;
+  for (int i = 0; i < state.range(0); ++i) {
+    units.push_back(core::ProfileSlice{1, static_cast<double>(i % 4), 4.0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::CompressProfile(units));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CompressProfile)->Arg(96)->Arg(960);
+
+}  // namespace
+
+BENCHMARK_MAIN();

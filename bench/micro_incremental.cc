@@ -1,0 +1,75 @@
+// Q2 — "the incremental rendering of flex-offers ... allows executing
+// actions when a flex-offer rendering is in progress (rendering does not
+// freeze the tool)".
+//
+// Quantifies the claim: full raster replay of a large basic-view scene vs.
+// one budgeted incremental step, plus a measurement of how many display
+// items fit inside a 16 ms frame budget (a 60 Hz GUI tick) — the number the
+// tool would use to size its per-frame work.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "render/incremental.h"
+#include "render/raster_canvas.h"
+#include "viz/basic_view.h"
+
+using namespace flexvis;
+
+namespace {
+
+std::unique_ptr<render::DisplayList> BuildScene(size_t offers) {
+  viz::BasicViewResult result =
+      viz::RenderBasicView(bench::MakeRandomOffers(7, offers), viz::BasicViewOptions{});
+  return std::move(result.scene);
+}
+
+void BM_FullRasterReplay(benchmark::State& state) {
+  std::unique_ptr<render::DisplayList> scene = BuildScene(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    render::RasterCanvas canvas(1000, 600);
+    scene->ReplayAll(canvas);
+    benchmark::DoNotOptimize(canvas);
+  }
+  state.counters["display_items"] = static_cast<double>(scene->size());
+}
+BENCHMARK(BM_FullRasterReplay)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_IncrementalStep512(benchmark::State& state) {
+  std::unique_ptr<render::DisplayList> scene = BuildScene(static_cast<size_t>(state.range(0)));
+  render::RasterCanvas canvas(1000, 600);
+  render::IncrementalRenderer renderer(scene.get(), &canvas);
+  for (auto _ : state) {
+    if (renderer.done()) renderer.Reset();
+    benchmark::DoNotOptimize(renderer.Step(512));
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_IncrementalStep512)->Arg(10000)->Arg(50000);
+
+// Not a throughput benchmark: measures how many items fit in a 16 ms frame.
+void BM_ItemsPerFrameBudget(benchmark::State& state) {
+  std::unique_ptr<render::DisplayList> scene = BuildScene(50000);
+  double items_per_frame = 0.0;
+  for (auto _ : state) {
+    render::RasterCanvas canvas(1000, 600);
+    render::IncrementalRenderer renderer(scene.get(), &canvas);
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(16);
+    size_t replayed = 0;
+    while (!renderer.done() && std::chrono::steady_clock::now() < deadline) {
+      replayed += renderer.Step(256);
+    }
+    items_per_frame = static_cast<double>(replayed);
+    benchmark::DoNotOptimize(replayed);
+  }
+  state.counters["items_per_16ms_frame"] = items_per_frame;
+  state.counters["scene_items"] = static_cast<double>(scene->size());
+}
+BENCHMARK(BM_ItemsPerFrameBudget)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Q5 — interactivity plumbing: "automatic selection of 'pretty scales' of
+// the axes", hover hit-testing (Fig. 10), and rubber-band selection
+// (Fig. 8) must all be cheap enough to run on every mouse move.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "render/scale.h"
+#include "viz/basic_view.h"
+#include "viz/interaction.h"
+
+using namespace flexvis;
+
+namespace {
+
+void BM_PrettyScale(benchmark::State& state) {
+  double hi = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(render::MakePrettyScale(0.37, hi, 6));
+    hi = hi * 1.1 + 0.01;
+    if (hi > 1e9) hi = 1.0;
+  }
+}
+BENCHMARK(BM_PrettyScale);
+
+void BM_TimeTicks(benchmark::State& state) {
+  timeutil::TimeInterval window(bench::BenchDay(),
+                                bench::BenchDay() + state.range(0) * 60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(render::MakeTimeTicks(window));
+  }
+}
+BENCHMARK(BM_TimeTicks)->Arg(24 * 60)->Arg(24 * 60 * 30)->Arg(24 * 60 * 365);
+
+struct SceneFixture {
+  explicit SceneFixture(size_t offers)
+      : offer_list(bench::MakeRandomOffers(17, offers)),
+        view(viz::RenderBasicView(offer_list, viz::BasicViewOptions{})) {}
+  std::vector<core::FlexOffer> offer_list;
+  viz::BasicViewResult view;
+};
+
+void BM_HitTestPoint(benchmark::State& state) {
+  SceneFixture fixture(static_cast<size_t>(state.range(0)));
+  double x = fixture.view.plot.x;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.view.scene->HitTest(
+        render::Point{x, fixture.view.plot.y + fixture.view.plot.height / 2}));
+    x += 7.0;
+    if (x > fixture.view.plot.right()) x = fixture.view.plot.x;
+  }
+}
+BENCHMARK(BM_HitTestPoint)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_HoverResolve(benchmark::State& state) {
+  SceneFixture fixture(static_cast<size_t>(state.range(0)));
+  render::Point center{fixture.view.plot.x + fixture.view.plot.width / 2,
+                       fixture.view.plot.y + fixture.view.plot.height / 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(viz::HoverAt(*fixture.view.scene, fixture.offer_list, center));
+  }
+}
+BENCHMARK(BM_HoverResolve)->Arg(1000)->Arg(10000);
+
+void BM_RubberBandSelect(benchmark::State& state) {
+  SceneFixture fixture(static_cast<size_t>(state.range(0)));
+  render::Rect band{fixture.view.plot.x + 100, fixture.view.plot.y + 50,
+                    fixture.view.plot.width * 0.3, fixture.view.plot.height * 0.4};
+  size_t selected = 0;
+  for (auto _ : state) {
+    std::vector<core::FlexOfferId> ids = viz::SelectByRectangle(*fixture.view.scene, band);
+    selected = ids.size();
+    benchmark::DoNotOptimize(ids);
+  }
+  state.counters["selected"] = static_cast<double>(selected);
+}
+BENCHMARK(BM_RubberBandSelect)->Arg(1000)->Arg(10000)->Arg(50000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

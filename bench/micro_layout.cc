@@ -1,0 +1,77 @@
+// Q1 — "The tool is capable of visualizing a large number of flex-offers on
+// a computer screen."
+//
+// Quantifies the claim: lane-stacking layout and full basic-view scene
+// construction across 10^2..10^5 offers, plus the ablation against the
+// naive one-offer-per-lane layout DESIGN.md calls out (same asymptotic cost
+// but hundreds of times more lanes, i.e. sub-pixel lanes on any screen).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "viz/basic_view.h"
+#include "viz/lane_layout.h"
+#include "viz/profile_view.h"
+
+using namespace flexvis;
+
+namespace {
+
+void BM_AssignLanes(benchmark::State& state) {
+  std::vector<core::FlexOffer> offers =
+      bench::MakeRandomOffers(1, static_cast<size_t>(state.range(0)));
+  int lanes = 0;
+  for (auto _ : state) {
+    viz::LaneLayout layout = viz::AssignLanes(offers);
+    lanes = layout.lane_count;
+    benchmark::DoNotOptimize(layout);
+  }
+  state.counters["offers"] = static_cast<double>(offers.size());
+  state.counters["lanes"] = lanes;
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AssignLanes)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_AssignLanesNaive(benchmark::State& state) {
+  std::vector<core::FlexOffer> offers =
+      bench::MakeRandomOffers(1, static_cast<size_t>(state.range(0)));
+  int lanes = 0;
+  for (auto _ : state) {
+    viz::LaneLayout layout = viz::AssignLanesNaive(offers);
+    lanes = layout.lane_count;
+    benchmark::DoNotOptimize(layout);
+  }
+  state.counters["lanes"] = lanes;
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AssignLanesNaive)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RenderBasicViewScene(benchmark::State& state) {
+  std::vector<core::FlexOffer> offers =
+      bench::MakeRandomOffers(2, static_cast<size_t>(state.range(0)));
+  size_t items = 0;
+  for (auto _ : state) {
+    viz::BasicViewResult result = viz::RenderBasicView(offers, viz::BasicViewOptions{});
+    items = result.scene->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["display_items"] = static_cast<double>(items);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RenderBasicViewScene)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RenderProfileViewScene(benchmark::State& state) {
+  std::vector<core::FlexOffer> offers =
+      bench::MakeRandomOffers(3, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    viz::ProfileViewResult result =
+        viz::RenderProfileView(offers, viz::ProfileViewOptions{});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RenderProfileViewScene)->Arg(100)->Arg(1000)->Arg(4000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

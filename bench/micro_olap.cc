@@ -1,0 +1,97 @@
+// Q4 — the Section 3 query surface: "the framework must be able to retrieve
+// counts of accepted flex-offers in the west Denmark in the period from
+// Jan-2013 to Feb-2013 grouped by cities and energy type", with nested
+// filtering and grouping.
+//
+// Quantifies the cost of that query class: pivot evaluation latency across
+// fact-table sizes, single- vs two-axis queries, time bucketing, slicers,
+// and the raw DW filter underneath.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "olap/mdx.h"
+
+using namespace flexvis;
+
+namespace {
+
+std::unique_ptr<bench::World> MakeWorld(int64_t offers_target) {
+  bench::WorldOptions options;
+  options.num_prosumers = static_cast<int>(offers_target / 5);
+  options.offers_per_prosumer = 5.0;
+  return bench::BuildWorld(options);
+}
+
+void BM_PivotCountByState(benchmark::State& state) {
+  std::unique_ptr<bench::World> world = MakeWorld(state.range(0));
+  olap::CubeQuery q;
+  q.axes = {olap::AxisSpec{"State", "", {}}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world->cube->Evaluate(q));
+  }
+  state.counters["facts"] = static_cast<double>(world->db.NumFlexOffers());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(world->db.NumFlexOffers()));
+}
+BENCHMARK(BM_PivotCountByState)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_PivotTwoAxesWithSlicers(benchmark::State& state) {
+  std::unique_ptr<bench::World> world = MakeWorld(state.range(0));
+  // The Section 3 example query.
+  olap::CubeQuery q;
+  q.axes = {olap::AxisSpec{"Geography", "City", {}},
+            olap::AxisSpec{"EnergyType", "Type", {}}};
+  q.slicers = {{"State", "Accepted"}, {"Geography", "West Denmark"}};
+  q.window = world->horizon;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world->cube->Evaluate(q));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(world->db.NumFlexOffers()));
+}
+BENCHMARK(BM_PivotTwoAxesWithSlicers)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_PivotTimeAxis(benchmark::State& state) {
+  std::unique_ptr<bench::World> world = MakeWorld(state.range(0));
+  olap::CubeQuery q;
+  q.axes = {olap::AxisSpec{"Time", "", {}}, olap::AxisSpec{"State", "", {}}};
+  q.window = world->horizon;
+  q.time_granularity = timeutil::Granularity::kHour;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world->cube->Evaluate(q));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(world->db.NumFlexOffers()));
+}
+BENCHMARK(BM_PivotTimeAxis)->Arg(10000);
+
+void BM_MdxParse(benchmark::State& state) {
+  std::unique_ptr<bench::World> world = MakeWorld(1000);
+  const char* mdx =
+      "SELECT { EnergyType.Type.Members } ON COLUMNS, { Geography.City.Members } ON ROWS "
+      "FROM [FlexOffers] WHERE ( State.[Accepted], Geography.[West Denmark], "
+      "Time.[2013-01-01 : 2013-03-01] )";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(olap::ParseMdx(mdx, *world->cube));
+  }
+}
+BENCHMARK(BM_MdxParse);
+
+void BM_WarehouseSelect(benchmark::State& state) {
+  std::unique_ptr<bench::World> world = MakeWorld(state.range(0));
+  dw::FlexOfferFilter filter;
+  filter.states = {core::FlexOfferState::kAccepted};
+  filter.window = timeutil::TimeInterval(world->horizon.start,
+                                         world->horizon.start + 6 * 60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world->db.SelectFlexOffers(filter));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(world->db.NumFlexOffers()));
+}
+BENCHMARK(BM_WarehouseSelect)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Ablation of the *online* planning mode (Section 2: the enterprise plans
+// "in an online fashion"): how much plan quality does irrevocable
+// incremental commitment cost versus the offline scheduler that sees the
+// whole horizon, and how does the planning-tick cadence trade deadline
+// safety against work per tick.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/scheduler.h"
+#include "sim/online.h"
+
+using namespace flexvis;
+
+namespace {
+
+std::vector<core::FlexOffer> BenchOffers(size_t count) {
+  return bench::MakeRandomOffers(21, count);
+}
+
+timeutil::TimeInterval BenchWindow() {
+  return timeutil::TimeInterval(bench::BenchDay() - 2 * timeutil::kMinutesPerDay,
+                                bench::BenchDay() + 3 * timeutil::kMinutesPerDay);
+}
+
+void BM_OnlineRun(benchmark::State& state) {
+  std::vector<core::FlexOffer> offers = BenchOffers(static_cast<size_t>(state.range(0)));
+  sim::OnlineParams params;
+  params.tick_minutes = state.range(1);
+  sim::OnlineEnterprise enterprise(params);
+  double imbalance = 0.0, missed = 0.0, ticks = 0.0;
+  for (auto _ : state) {
+    Result<sim::OnlineReport> report = enterprise.Run(offers, BenchWindow());
+    if (report.ok()) {
+      imbalance = report->imbalance_kwh;
+      missed = report->missed_acceptance + report->missed_assignment;
+      ticks = report->ticks;
+    }
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["imbalance"] = imbalance;
+  state.counters["missed_deadlines"] = missed;
+  state.counters["ticks"] = ticks;
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OnlineRun)
+    ->Args({2000, 15})
+    ->Args({2000, 60})
+    ->Args({2000, 240})
+    ->Args({8000, 60})
+    ->Unit(benchmark::kMillisecond);
+
+// The offline baseline on the same offers/target for the quality comparison.
+void BM_OfflineBaseline(benchmark::State& state) {
+  std::vector<core::FlexOffer> offers = BenchOffers(static_cast<size_t>(state.range(0)));
+  sim::OnlineParams params;  // reuse the energy defaults for a fair target
+  core::TimeSeries target = sim::MakeFlexibilityTarget(
+      sim::MakeResProduction(BenchWindow(), params.energy),
+      sim::MakeInflexibleDemand(BenchWindow(), params.energy));
+  core::Scheduler scheduler;
+  double imbalance = 0.0;
+  for (auto _ : state) {
+    core::ScheduleResult plan = scheduler.Plan(offers, target);
+    imbalance = plan.imbalance_after_kwh;
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["imbalance"] = imbalance;
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OfflineBaseline)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+// Message codec throughput (the protocol must keep up with "millions of
+// individual energy consumers").
+void BM_EncodeDecodeMessage(benchmark::State& state) {
+  std::vector<core::FlexOffer> offers = BenchOffers(256);
+  size_t i = 0;
+  for (auto _ : state) {
+    std::string wire = core::EncodeMessage(core::Message(offers[i % offers.size()]));
+    benchmark::DoNotOptimize(core::DecodeMessage(wire));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncodeDecodeMessage);
+
+}  // namespace
+
+BENCHMARK_MAIN();

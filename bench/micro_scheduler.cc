@@ -1,0 +1,169 @@
+// Ablations of the planning design choices DESIGN.md calls out:
+//  - scheduling raw offers vs. scheduling aggregates (the MIRABEL pitch:
+//    aggregation makes planning tractable at a bounded flexibility cost);
+//  - the greedy order (least-flexible-first vs. largest-energy-first vs.
+//    arrival order);
+//  - the rejection threshold.
+// Counters report plan quality (residual imbalance) next to runtime.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/aggregation.h"
+#include "core/local_search.h"
+#include "core/scheduler.h"
+#include "sim/energy_models.h"
+
+using namespace flexvis;
+
+namespace {
+
+core::TimeSeries MakeTarget() {
+  timeutil::TimeInterval window(bench::BenchDay(),
+                                bench::BenchDay() + 2 * timeutil::kMinutesPerDay);
+  sim::EnergyModelParams params;
+  params.wind_mean_kwh = 400.0;
+  params.solar_peak_kwh = 200.0;
+  params.demand_base_kwh = 150.0;
+  return sim::MakeFlexibilityTarget(sim::MakeResProduction(window, params),
+                                    sim::MakeInflexibleDemand(window, params));
+}
+
+// A contended target sized to the 2000-offer portfolio (surplus comparable
+// to the offers' total energy): here placement genuinely matters, which is
+// what the order and local-search ablations probe.
+core::TimeSeries MakeTightTarget() {
+  timeutil::TimeInterval window(bench::BenchDay(),
+                                bench::BenchDay() + 2 * timeutil::kMinutesPerDay);
+  sim::EnergyModelParams params;
+  params.wind_mean_kwh = 60.0;
+  params.solar_peak_kwh = 40.0;
+  params.demand_base_kwh = 45.0;
+  params.noise = 0.25;  // spiky surplus: good and bad slots differ
+  return sim::MakeFlexibilityTarget(sim::MakeResProduction(window, params),
+                                    sim::MakeInflexibleDemand(window, params));
+}
+
+// Ablation: plan raw offers directly.
+void BM_ScheduleRaw(benchmark::State& state) {
+  std::vector<core::FlexOffer> offers =
+      bench::MakeRandomOffers(3, static_cast<size_t>(state.range(0)));
+  core::TimeSeries target = MakeTarget();
+  core::Scheduler scheduler;
+  double after = 0.0, before = 0.0;
+  for (auto _ : state) {
+    core::ScheduleResult plan = scheduler.Plan(offers, target);
+    after = plan.imbalance_after_kwh;
+    before = plan.imbalance_before_kwh;
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["imbalance_before"] = before;
+  state.counters["imbalance_after"] = after;
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScheduleRaw)->Arg(500)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+// The MIRABEL pipeline: aggregate first, schedule the aggregates.
+void BM_ScheduleAggregated(benchmark::State& state) {
+  std::vector<core::FlexOffer> offers =
+      bench::MakeRandomOffers(3, static_cast<size_t>(state.range(0)));
+  core::TimeSeries target = MakeTarget();
+  core::AggregationParams agg_params;
+  agg_params.est_tolerance_minutes = state.range(1);
+  agg_params.tft_tolerance_minutes = state.range(1);
+  core::Scheduler scheduler;
+  double after = 0.0;
+  double aggregates = 0.0;
+  for (auto _ : state) {
+    core::FlexOfferId next_id = 1'000'000;
+    core::AggregationResult agg = core::Aggregator(agg_params).Aggregate(offers, &next_id);
+    core::ScheduleResult plan = scheduler.Plan(agg.aggregates, target);
+    after = plan.imbalance_after_kwh;
+    aggregates = static_cast<double>(agg.aggregates.size());
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["aggregates"] = aggregates;
+  state.counters["imbalance_after"] = after;
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScheduleAggregated)
+    ->Args({2000, 60})
+    ->Args({2000, 240})
+    ->Args({8000, 60})
+    ->Args({8000, 240})
+    ->Unit(benchmark::kMillisecond);
+
+// Greedy order ablation at fixed size.
+void BM_ScheduleOrder(benchmark::State& state) {
+  std::vector<core::FlexOffer> offers = bench::MakeRandomOffers(3, 2000);
+  core::TimeSeries target = MakeTightTarget();
+  core::SchedulerParams params;
+  params.order = static_cast<core::SchedulerParams::Order>(state.range(0));
+  core::Scheduler scheduler(params);
+  double after = 0.0;
+  for (auto _ : state) {
+    core::ScheduleResult plan = scheduler.Plan(offers, target);
+    after = plan.imbalance_after_kwh;
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["imbalance_after"] = after;
+}
+BENCHMARK(BM_ScheduleOrder)
+    ->Arg(0)   // kLeastFlexibleFirst
+    ->Arg(1)   // kLargestEnergyFirst
+    ->Arg(2)   // kArrival
+    ->Unit(benchmark::kMillisecond);
+
+// Rejection-threshold sweep: stricter thresholds reject more mandatory load.
+void BM_ScheduleRejection(benchmark::State& state) {
+  std::vector<core::FlexOffer> offers = bench::MakeRandomOffers(5, 2000);
+  core::TimeSeries target = MakeTarget();
+  core::SchedulerParams params;
+  params.rejection_threshold = static_cast<double>(state.range(0)) / 100.0;
+  core::Scheduler scheduler(params);
+  double rejected = 0.0, after = 0.0;
+  for (auto _ : state) {
+    core::ScheduleResult plan = scheduler.Plan(offers, target);
+    rejected = plan.rejected;
+    after = plan.imbalance_after_kwh;
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["rejected"] = rejected;
+  state.counters["imbalance_after"] = after;
+}
+BENCHMARK(BM_ScheduleRejection)->Arg(5)->Arg(50)->Arg(500)->Unit(benchmark::kMillisecond);
+
+// Greedy + local-search refinement: how much residual does the stochastic
+// improver (standing in for the cited evolutionary scheduler) claw back per
+// unit of extra runtime.
+void BM_ScheduleWithLocalSearch(benchmark::State& state) {
+  std::vector<core::FlexOffer> offers = bench::MakeRandomOffers(3, 2000);
+  core::TimeSeries target = MakeTightTarget();
+  core::Scheduler scheduler;
+  core::LocalSearchParams ls;
+  ls.iterations = static_cast<int>(state.range(0));
+  ls.patience = ls.iterations;  // run the full budget for a clean sweep
+  core::LocalSearchImprover improver(ls);
+  double greedy_imbalance = 0.0, refined_imbalance = 0.0, accepted = 0.0;
+  for (auto _ : state) {
+    core::ScheduleResult plan = scheduler.Plan(offers, target);
+    core::LocalSearchResult refined = improver.Improve(plan.offers, target);
+    greedy_imbalance = plan.imbalance_after_kwh;
+    refined_imbalance = refined.imbalance_after_kwh;
+    accepted = refined.moves_accepted;
+    benchmark::DoNotOptimize(refined);
+  }
+  state.counters["greedy_imbalance"] = greedy_imbalance;
+  state.counters["refined_imbalance"] = refined_imbalance;
+  state.counters["moves_accepted"] = accepted;
+}
+BENCHMARK(BM_ScheduleWithLocalSearch)
+    ->Arg(0)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// The paper's future-work "integrated energy planning and control platform
+// offering high level qualitative information such as alerts about expected
+// shortages or over-capacities and an option to drill down data to find out
+// a reason behind this" — demonstrated end to end: plan a day, scan the plan
+// for alerts, drill each alert down to the contributing flex-offers, and
+// render the worst alert's offers in a basic view for inspection.
+//
+// Build & run:  ./build/examples/alerts_platform
+
+#include <cstdio>
+
+#include "render/svg_canvas.h"
+#include "sim/alerts.h"
+#include "sim/workload.h"
+#include "viz/basic_view.h"
+
+using namespace flexvis;
+using timeutil::TimeInterval;
+using timeutil::TimePoint;
+
+int main() {
+  // World and day-ahead plan.
+  geo::Atlas atlas = geo::Atlas::MakeDenmark();
+  grid::GridTopology topology = grid::GridTopology::MakeRadial(2, 2, 3, 4);
+  dw::Database db;
+  if (!atlas.RegisterWithDatabase(db).ok() || !topology.RegisterWithDatabase(db).ok()) return 1;
+
+  TimePoint day = TimePoint::FromCalendarOrDie(2013, 3, 18, 0, 0);
+  TimeInterval window(day, day + timeutil::kMinutesPerDay);
+  sim::WorkloadGenerator generator(&atlas, &topology);
+  sim::WorkloadParams wparams;
+  wparams.seed = 404;
+  wparams.num_prosumers = 200;
+  wparams.offers_per_prosumer = 4.0;
+  wparams.horizon = window;
+  sim::Workload workload = generator.Generate(wparams);
+  if (!sim::WorkloadGenerator::LoadIntoDatabase(workload, db).ok()) return 1;
+
+  sim::EnterpriseParams eparams;
+  eparams.execution_noise = 0.08;
+  eparams.non_compliance = 0.05;
+  sim::Enterprise enterprise(eparams);
+  Result<sim::PlanningReport> report = enterprise.RunDayAhead(db, window);
+  if (!report.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("planned %d offers for %s\n", report->offers_in, day.ToString().c_str());
+
+  // Scan the plan for operational alerts.
+  sim::AlertParams aparams;
+  aparams.shortage_threshold_kwh = 40.0;
+  aparams.overcapacity_threshold_kwh = 40.0;
+  aparams.deviation_threshold_kwh = 10.0;
+  aparams.min_consecutive_slices = 2;
+  sim::AlertEngine engine(aparams);
+  std::vector<sim::Alert> alerts = engine.Scan(*report);
+  std::printf("\n%zu alert(s) raised:\n", alerts.size());
+  for (const sim::Alert& alert : alerts) {
+    std::printf("  [%-14s] severity %.2f  %s\n",
+                std::string(sim::AlertKindName(alert.kind)).c_str(), alert.severity,
+                alert.message.c_str());
+  }
+  if (alerts.empty()) {
+    std::printf("grid is balanced within thresholds - nothing to drill into\n");
+    return 0;
+  }
+
+  // Pick the most severe alert and drill down.
+  const sim::Alert* worst = &alerts[0];
+  for (const sim::Alert& a : alerts) {
+    if (a.severity > worst->severity) worst = &a;
+  }
+  Result<sim::AlertDrillDown> drill = sim::DrillDownAlert(*worst, db, 8);
+  if (!drill.ok()) {
+    std::fprintf(stderr, "drill-down failed: %s\n", drill.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\ndrilling into the most severe alert (%s):\n", worst->message.c_str());
+  std::printf("  flex-offers active in the interval: %zu\n", drill->offers.size());
+  std::printf("  state mix: accepted %lld, assigned %lld, rejected %lld\n",
+              static_cast<long long>(drill->states[core::FlexOfferState::kAccepted]),
+              static_cast<long long>(drill->states[core::FlexOfferState::kAssigned]),
+              static_cast<long long>(drill->states[core::FlexOfferState::kRejected]));
+  std::printf("  remaining balancing potential: %.3f\n", drill->potential.potential);
+  std::printf("  top contributors:\n");
+  for (core::FlexOfferId id : drill->top_contributors) {
+    for (const core::FlexOffer& o : drill->offers) {
+      if (o.id == id) {
+        std::printf("    %s\n", core::Describe(o).c_str());
+        break;
+      }
+    }
+  }
+
+  // "drill down to the level of individual flex-offers": render them.
+  std::vector<core::FlexOffer> to_show;
+  for (core::FlexOfferId id : drill->top_contributors) {
+    for (const core::FlexOffer& o : drill->offers) {
+      if (o.id == id) to_show.push_back(o);
+    }
+  }
+  viz::BasicViewOptions view_options;
+  view_options.frame.title = "Alert drill-down: top contributing flex-offers";
+  viz::BasicViewResult view = viz::RenderBasicView(to_show, view_options);
+  render::SvgCanvas svg(view.scene->width(), view.scene->height());
+  view.scene->ReplayAll(svg);
+  if (svg.WriteToFile("alert_drilldown.svg").ok()) {
+    std::printf("\nwrote alert_drilldown.svg\n");
+  }
+  return 0;
+}

@@ -1,0 +1,162 @@
+// A tour of the visual flex-offer analysis framework: the loading tab flow
+// of Fig. 7, the basic/profile views with interactive selection and hover
+// (Figs. 8-10), the aggregation tool of Fig. 11, and the map / schematic /
+// dashboard views of Figs. 3, 4 and 6 — all headless, exporting SVGs into
+// ./visual_analysis_out/.
+//
+// Build & run:  ./build/examples/visual_analysis
+
+#include <cstdio>
+#include <filesystem>
+
+#include "render/svg_canvas.h"
+#include "sim/workload.h"
+#include "viz/dashboard_view.h"
+#include "viz/interaction.h"
+#include "viz/map_view.h"
+#include "viz/pivot_offers_view.h"
+#include "viz/schematic_view.h"
+#include "viz/session.h"
+
+using namespace flexvis;
+using timeutil::TimeInterval;
+using timeutil::TimePoint;
+
+namespace {
+
+bool ExportSvg(const render::DisplayList& scene, const std::filesystem::path& path) {
+  render::SvgCanvas svg(scene.width(), scene.height());
+  scene.ReplayAll(svg);
+  Status status = svg.WriteToFile(path.string());
+  if (status.ok()) std::printf("wrote %s\n", path.string().c_str());
+  return status.ok();
+}
+
+}  // namespace
+
+int main() {
+  std::filesystem::path out = "visual_analysis_out";
+  std::filesystem::create_directories(out);
+
+  // ---- World -----------------------------------------------------------------
+  geo::Atlas atlas = geo::Atlas::MakeDenmark();
+  grid::GridTopology topology = grid::GridTopology::MakeRadial(2, 2, 2, 4);
+  dw::Database db;
+  if (!atlas.RegisterWithDatabase(db).ok() || !topology.RegisterWithDatabase(db).ok()) return 1;
+
+  TimePoint t0 = TimePoint::FromCalendarOrDie(2013, 2, 1, 0, 0);
+  sim::WorkloadGenerator generator(&atlas, &topology);
+  sim::WorkloadParams params;
+  params.seed = 31;
+  params.num_prosumers = 150;
+  params.offers_per_prosumer = 5.0;
+  params.horizon = TimeInterval(t0, t0 + timeutil::kMinutesPerDay);
+  sim::Workload workload = generator.Generate(params);
+  if (!sim::WorkloadGenerator::LoadIntoDatabase(workload, db).ok()) return 1;
+
+  // ---- Fig. 7: the loading tab — pick a legal entity and a time interval ------
+  viz::Session session(&db);
+  std::printf("loading tab offers %zu legal entities; loading the first one...\n",
+              session.LegalEntities().size());
+  dw::FlexOfferFilter one_entity;
+  one_entity.prosumer = session.LegalEntities().front().id;
+  one_entity.window = params.horizon;
+  Result<size_t> entity_tab = session.LoadTab(one_entity);
+  if (!entity_tab.ok()) return 1;
+  std::printf("tab '%s': %zu offers\n", session.tab(*entity_tab)->title().c_str(),
+              session.tab(*entity_tab)->offers().size());
+
+  // A second tab with everything (the tab strip of Fig. 8).
+  Result<size_t> all_tab = session.LoadTab(dw::FlexOfferFilter{}, "All offers");
+  if (!all_tab.ok()) return 1;
+  viz::ViewTab* tab = session.tab(*all_tab);
+
+  // ---- Fig. 8: basic view with a rubber-band selection --------------------------
+  viz::BasicViewOptions basic_options;
+  viz::BasicViewResult basic = tab->RenderBasic(basic_options);
+  render::Rect band{basic.plot.x + basic.plot.width * 0.35, basic.plot.y + 40,
+                    basic.plot.width * 0.25, basic.plot.height * 0.5};
+  std::vector<core::FlexOfferId> selected = viz::SelectByRectangle(*basic.scene, band);
+  std::printf("rubber-band selected %zu offers\n", selected.size());
+  tab->set_selection(selected);
+  basic_options.selection = band;  // draw the dashed rectangle
+  basic = tab->RenderBasic(basic_options);
+  if (!ExportSvg(*basic.scene, out / "fig8_basic_view.svg")) return 1;
+
+  // "The selected flex-offers can be shown on different tab".
+  Result<size_t> selection_tab = session.OpenSelectionAsTab(*all_tab);
+  if (selection_tab.ok()) {
+    viz::ProfileViewResult profile =
+        session.tab(*selection_tab)->RenderProfile(viz::ProfileViewOptions{});
+    if (!ExportSvg(*profile.scene, out / "fig9_profile_view.svg")) return 1;
+  }
+
+  // ---- Fig. 11: the aggregation tool with parameter tuning ------------------------
+  for (int64_t tolerance : {60, 240, 480}) {
+    core::AggregationParams agg_params;
+    agg_params.est_tolerance_minutes = tolerance;
+    agg_params.tft_tolerance_minutes = tolerance;
+    Result<size_t> agg_tab = session.AggregateTab(*all_tab, agg_params);
+    if (!agg_tab.ok()) return 1;
+    std::printf("aggregation tolerance %4lld min: %zu -> %zu offers on screen\n",
+                static_cast<long long>(tolerance), tab->offers().size(),
+                session.tab(*agg_tab)->offers().size());
+  }
+  // Render the last aggregated tab; aggregates show in light red.
+  viz::BasicViewResult aggregated_view =
+      session.tab(session.tabs().size() - 1)->RenderBasic(viz::BasicViewOptions{});
+  if (!ExportSvg(*aggregated_view.scene, out / "fig11_aggregated_view.svg")) return 1;
+
+  // ---- Fig. 10: hover an aggregate to see details and provenance -------------------
+  const std::vector<core::FlexOffer>& agg_offers =
+      session.tab(session.tabs().size() - 1)->offers();
+  for (const core::FlexOffer& offer : agg_offers) {
+    if (!offer.is_aggregate() || offer.aggregated_from.size() < 2) continue;
+    // Point at its box via the scene tags.
+    for (const render::DisplayItem& item : aggregated_view.scene->items()) {
+      if (item.tag != offer.id) continue;
+      render::Rect b = item.Bounds();
+      viz::HoverInfo info =
+          viz::HoverAt(*aggregated_view.scene, agg_offers,
+                       render::Point{b.x + b.width / 2, b.y + b.height / 2});
+      if (info.hit) {
+        std::printf("hover: %s\n", info.description.c_str());
+        render::DisplayList overlay(aggregated_view.scene->width(),
+                                    aggregated_view.scene->height());
+        aggregated_view.scene->ReplayAll(overlay);
+        viz::DrawHoverOverlay(overlay, info, agg_offers, *aggregated_view.scene,
+                              aggregated_view.time_scale, aggregated_view.plot);
+        if (!ExportSvg(overlay, out / "fig10_hover.svg")) return 1;
+      }
+      break;
+    }
+    break;
+  }
+
+  // ---- Figs. 3, 4, 6: map, schematic, dashboard --------------------------------------
+  viz::MapViewResult map = viz::RenderMapView(workload.offers, atlas, viz::MapViewOptions{});
+  if (!ExportSvg(*map.scene, out / "fig3_map_view.svg")) return 1;
+  viz::SchematicViewResult schematic =
+      viz::RenderSchematicView(workload.offers, topology, viz::SchematicViewOptions{});
+  if (!ExportSvg(*schematic.scene, out / "fig4_schematic_view.svg")) return 1;
+  viz::DashboardResult dashboard =
+      viz::RenderDashboardView(workload.offers, viz::DashboardOptions{});
+  if (!ExportSvg(*dashboard.scene, out / "fig6_dashboard_view.svg")) return 1;
+
+  // ---- The paper's announced pivot integration: basic views on swimlanes -------
+  olap::Dimension prosumer_dim = olap::MakeProsumerTypeDimension();
+  viz::PivotOffersViewOptions pivot_offers_options;
+  pivot_offers_options.level = 2;  // prosumer types
+  pivot_offers_options.aggregation.est_tolerance_minutes = 120;
+  pivot_offers_options.aggregation.tft_tolerance_minutes = 120;
+  viz::PivotOffersViewResult pivot_offers =
+      viz::RenderPivotOffersView(workload.offers, prosumer_dim, pivot_offers_options);
+  if (!ExportSvg(*pivot_offers.scene, out / "fig5ext_pivot_offers.svg")) return 1;
+  for (const viz::PivotOffersLane& lane : pivot_offers.lanes) {
+    std::printf("pivot-offers lane %-16s %4zu offers -> %3zu shown in %d sub-lanes\n",
+                lane.label.c_str(), lane.raw_count, lane.shown_count, lane.sub_lanes);
+  }
+
+  std::printf("done; %zu tabs open at exit\n", session.tabs().size());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// A week of MIRABEL enterprise operation: for each of seven consecutive
+// days, generate the day's flex-offers, run the day-ahead loop (once planning
+// on the actual demand curve, once on a Holt-Winters forecast), settle, and
+// scan for alerts — then print the week ledger an operator would review.
+//
+// Build & run:  ./build/examples/week_simulation
+
+#include <cstdio>
+
+#include "sim/alerts.h"
+#include "sim/enterprise.h"
+#include "sim/workload.h"
+
+using namespace flexvis;
+using timeutil::kMinutesPerDay;
+using timeutil::TimeInterval;
+using timeutil::TimePoint;
+
+int main() {
+  geo::Atlas atlas = geo::Atlas::MakeDenmark();
+  grid::GridTopology topology = grid::GridTopology::MakeRadial(3, 2, 2, 4);
+  sim::WorkloadGenerator generator(&atlas, &topology);
+
+  TimePoint monday = TimePoint::FromCalendarOrDie(2013, 3, 18, 0, 0);
+  const char* day_names[] = {"Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"};
+
+  struct ModeTotals {
+    double imbalance_kwh = 0.0;
+    double deviation_kwh = 0.0;
+    double cost_eur = 0.0;
+    int alerts = 0;
+  };
+  ModeTotals actual_mode, forecast_mode;
+
+  std::printf("day   mode      offers  aggr  imbalance[kWh]  deviation[kWh]  cost[EUR]  alerts\n");
+  for (int day = 0; day < 7; ++day) {
+    TimeInterval window(monday + day * kMinutesPerDay, monday + (day + 1) * kMinutesPerDay);
+
+    // The day's flex-offer intake (weekends are quieter).
+    sim::WorkloadParams wparams;
+    wparams.seed = 9000 + static_cast<uint64_t>(day);
+    wparams.num_prosumers = day >= 5 ? 120 : 200;
+    wparams.offers_per_prosumer = day >= 5 ? 3.0 : 4.5;
+    wparams.horizon = window;
+    sim::Workload workload = generator.Generate(wparams);
+
+    for (bool use_forecast : {false, true}) {
+      sim::EnterpriseParams params;
+      params.plan_on_forecast = use_forecast;
+      params.local_search_iterations = 1000;
+      params.seed = 5000 + static_cast<uint64_t>(day);
+      sim::Enterprise enterprise(params);
+      Result<sim::PlanningReport> report = enterprise.PlanHorizon(workload.offers, window);
+      if (!report.ok()) {
+        std::fprintf(stderr, "day %d failed: %s\n", day,
+                     report.status().ToString().c_str());
+        return 1;
+      }
+      sim::AlertParams aparams;
+      aparams.shortage_threshold_kwh = 60.0;
+      aparams.overcapacity_threshold_kwh = 60.0;
+      aparams.deviation_threshold_kwh = 20.0;
+      std::vector<sim::Alert> alerts = sim::AlertEngine(aparams).Scan(*report);
+
+      std::printf("%s   %-9s %6d  %4d  %14.0f  %14.0f  %9.2f  %6zu\n", day_names[day],
+                  use_forecast ? "forecast" : "actual", report->offers_in,
+                  report->aggregates_built, report->imbalance_after_kwh,
+                  report->deviation.AbsTotal(), report->settlement.total_cost_eur,
+                  alerts.size());
+
+      ModeTotals& totals = use_forecast ? forecast_mode : actual_mode;
+      totals.imbalance_kwh += report->imbalance_after_kwh;
+      totals.deviation_kwh += report->deviation.AbsTotal();
+      totals.cost_eur += report->settlement.total_cost_eur;
+      totals.alerts += static_cast<int>(alerts.size());
+    }
+  }
+
+  std::printf("\nweek totals:\n");
+  std::printf("  planning on actual demand:   imbalance %.0f kWh, cost %.2f EUR, %d alerts\n",
+              actual_mode.imbalance_kwh, actual_mode.cost_eur, actual_mode.alerts);
+  std::printf("  planning on forecast demand: imbalance %.0f kWh, cost %.2f EUR, %d alerts\n",
+              forecast_mode.imbalance_kwh, forecast_mode.cost_eur, forecast_mode.alerts);
+  std::printf("  forecast premium:            %.2f EUR (%.1f%% of the week's cost)\n",
+              forecast_mode.cost_eur - actual_mode.cost_eur,
+              actual_mode.cost_eur != 0.0
+                  ? 100.0 * (forecast_mode.cost_eur - actual_mode.cost_eur) /
+                        std::abs(actual_mode.cost_eur)
+                  : 0.0);
+  return 0;
+}

@@ -1,0 +1,234 @@
+#include "core/aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "util/strings.h"
+
+namespace flexvis::core {
+
+using timeutil::kMinutesPerSlice;
+using timeutil::TimePoint;
+
+namespace {
+
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+// Grid-cell key; offers sharing a key may be aggregated together.
+struct CellKey {
+  int direction;
+  int64_t est_bucket;
+  int64_t tft_bucket;
+  int64_t region;
+  int energy;
+  int prosumer;
+  int appliance;
+  int64_t grid_node;
+
+  auto Tie() const {
+    return std::tie(direction, est_bucket, tft_bucket, region, energy, prosumer, appliance,
+                    grid_node);
+  }
+  friend bool operator<(const CellKey& a, const CellKey& b) { return a.Tie() < b.Tie(); }
+};
+
+CellKey MakeKey(const FlexOffer& offer, const AggregationParams& p) {
+  CellKey key{};
+  key.direction = static_cast<int>(offer.direction);
+  key.est_bucket = p.est_tolerance_minutes > 0
+                       ? FloorDiv(offer.earliest_start.minutes(), p.est_tolerance_minutes)
+                       : offer.earliest_start.minutes();
+  key.tft_bucket = p.tft_tolerance_minutes > 0
+                       ? FloorDiv(offer.time_flexibility_minutes(), p.tft_tolerance_minutes)
+                       : offer.time_flexibility_minutes();
+  key.region = p.partition_by_region ? offer.region : 0;
+  key.energy = p.partition_by_energy_type ? static_cast<int>(offer.energy_type) : 0;
+  key.prosumer = p.partition_by_prosumer_type ? static_cast<int>(offer.prosumer_type) : 0;
+  key.appliance = p.partition_by_appliance_type ? static_cast<int>(offer.appliance_type) : 0;
+  key.grid_node = p.partition_by_grid_node ? offer.grid_node : 0;
+  return key;
+}
+
+// Builds the aggregate for one cell of member offers (non-empty).
+FlexOffer BuildAggregate(const std::vector<const FlexOffer*>& members, FlexOfferId id) {
+  TimePoint min_est = members[0]->earliest_start;
+  int64_t min_tft = members[0]->time_flexibility_minutes();
+  TimePoint min_acceptance = members[0]->acceptance_deadline;
+  TimePoint min_assignment = members[0]->assignment_deadline;
+  TimePoint min_creation = members[0]->creation_time;
+  for (const FlexOffer* m : members) {
+    min_est = std::min(min_est, m->earliest_start);
+    min_tft = std::min(min_tft, m->time_flexibility_minutes());
+    min_acceptance = std::min(min_acceptance, m->acceptance_deadline);
+    min_assignment = std::min(min_assignment, m->assignment_deadline);
+    min_creation = std::min(min_creation, m->creation_time);
+  }
+
+  // Sum min/max bounds per unit slice, aligning each member at its own
+  // earliest start relative to the aggregate's earliest start.
+  int total_units = 0;
+  for (const FlexOffer* m : members) {
+    int64_t offset = (m->earliest_start - min_est) / kMinutesPerSlice;
+    total_units = std::max(total_units,
+                           static_cast<int>(offset) + m->profile_duration_slices());
+  }
+  std::vector<ProfileSlice> units(static_cast<size_t>(total_units), ProfileSlice{1, 0.0, 0.0});
+  for (const FlexOffer* m : members) {
+    size_t offset = static_cast<size_t>((m->earliest_start - min_est) / kMinutesPerSlice);
+    std::vector<ProfileSlice> member_units = m->UnitProfile();
+    for (size_t i = 0; i < member_units.size(); ++i) {
+      units[offset + i].min_energy_kwh += member_units[i].min_energy_kwh;
+      units[offset + i].max_energy_kwh += member_units[i].max_energy_kwh;
+    }
+  }
+
+  FlexOffer agg;
+  agg.id = id;
+  agg.prosumer = kInvalidProsumerId;  // an aggregate spans prosumers
+  // Attribute values are taken from the first member; when the corresponding
+  // partition flag is on they are uniform across the cell by construction.
+  agg.region = members[0]->region;
+  agg.grid_node = members[0]->grid_node;
+  agg.energy_type = members[0]->energy_type;
+  agg.prosumer_type = members[0]->prosumer_type;
+  agg.appliance_type = members[0]->appliance_type;
+  agg.direction = members[0]->direction;
+  agg.state = FlexOfferState::kOffered;
+  agg.earliest_start = min_est;
+  agg.latest_start = min_est + min_tft;
+  // The most restrictive member deadlines, clamped into validity.
+  agg.assignment_deadline = std::min(min_assignment, agg.latest_start);
+  agg.acceptance_deadline = std::min(min_acceptance, agg.assignment_deadline);
+  agg.creation_time = std::min(min_creation, agg.acceptance_deadline);
+  agg.profile = CompressProfile(units);
+  agg.aggregated_from.reserve(members.size());
+  for (const FlexOffer* m : members) agg.aggregated_from.push_back(m->id);
+  return agg;
+}
+
+}  // namespace
+
+std::vector<ProfileSlice> CompressProfile(const std::vector<ProfileSlice>& units) {
+  std::vector<ProfileSlice> out;
+  for (const ProfileSlice& u : units) {
+    for (int i = 0; i < u.duration_slices; ++i) {
+      if (!out.empty() && out.back().min_energy_kwh == u.min_energy_kwh &&
+          out.back().max_energy_kwh == u.max_energy_kwh) {
+        ++out.back().duration_slices;
+      } else {
+        out.push_back(ProfileSlice{1, u.min_energy_kwh, u.max_energy_kwh});
+      }
+    }
+  }
+  return out;
+}
+
+AggregationResult Aggregator::Aggregate(const std::vector<FlexOffer>& offers,
+                                        FlexOfferId* next_id) const {
+  AggregationResult result;
+  std::map<CellKey, std::vector<const FlexOffer*>> cells;
+  for (const FlexOffer& offer : offers) {
+    if (!Validate(offer).ok()) {
+      result.passthrough.push_back(offer);
+      continue;
+    }
+    cells[MakeKey(offer, params_)].push_back(&offer);
+  }
+  for (auto& [key, members] : cells) {
+    (void)key;
+    size_t cap = params_.max_group_size > 0 ? static_cast<size_t>(params_.max_group_size)
+                                            : members.size();
+    if (cap == 0) cap = 1;
+    for (size_t begin = 0; begin < members.size(); begin += cap) {
+      size_t end = std::min(begin + cap, members.size());
+      std::vector<const FlexOffer*> group(members.begin() + begin, members.begin() + end);
+      result.aggregates.push_back(BuildAggregate(group, (*next_id)++));
+    }
+  }
+  return result;
+}
+
+Result<std::vector<FlexOffer>> Disaggregate(const FlexOffer& aggregate,
+                                            const std::vector<FlexOffer>& members) {
+  if (!aggregate.is_aggregate()) {
+    return InvalidArgumentError(StrFormat("flex-offer %lld is not an aggregate",
+                                          static_cast<long long>(aggregate.id)));
+  }
+  if (!aggregate.schedule.has_value()) {
+    return FailedPreconditionError(StrFormat("aggregate %lld has no schedule to disaggregate",
+                                             static_cast<long long>(aggregate.id)));
+  }
+  if (members.size() != aggregate.aggregated_from.size()) {
+    return InvalidArgumentError(
+        StrFormat("aggregate %lld lists %zu members but %zu were supplied",
+                  static_cast<long long>(aggregate.id), aggregate.aggregated_from.size(),
+                  members.size()));
+  }
+  for (const FlexOffer& m : members) {
+    if (std::find(aggregate.aggregated_from.begin(), aggregate.aggregated_from.end(), m.id) ==
+        aggregate.aggregated_from.end()) {
+      return InvalidArgumentError(StrFormat("offer %lld is not a member of aggregate %lld",
+                                            static_cast<long long>(m.id),
+                                            static_cast<long long>(aggregate.id)));
+    }
+  }
+
+  const int64_t shift = aggregate.schedule->start - aggregate.earliest_start;
+  if (shift < 0 || shift > aggregate.time_flexibility_minutes()) {
+    return InvalidArgumentError(StrFormat("aggregate %lld schedule start outside flexibility",
+                                          static_cast<long long>(aggregate.id)));
+  }
+
+  const std::vector<ProfileSlice> agg_units = aggregate.UnitProfile();
+  const std::vector<double>& agg_energy = aggregate.schedule->energy_kwh;
+  if (agg_energy.size() != agg_units.size()) {
+    return InvalidArgumentError(StrFormat("aggregate %lld schedule/profile size mismatch",
+                                          static_cast<long long>(aggregate.id)));
+  }
+
+  std::vector<FlexOffer> out;
+  out.reserve(members.size());
+  for (const FlexOffer& member : members) {
+    FlexOffer scheduled = member;
+    const int64_t offset_minutes = member.earliest_start - aggregate.earliest_start;
+    if (offset_minutes < 0 || offset_minutes % kMinutesPerSlice != 0) {
+      return InternalError(StrFormat("member %lld misaligned with aggregate %lld",
+                                     static_cast<long long>(member.id),
+                                     static_cast<long long>(aggregate.id)));
+    }
+    const size_t offset = static_cast<size_t>(offset_minutes / kMinutesPerSlice);
+    std::vector<ProfileSlice> member_units = member.UnitProfile();
+    Schedule sched;
+    sched.start = member.earliest_start + shift;
+    sched.energy_kwh.resize(member_units.size(), 0.0);
+    for (size_t i = 0; i < member_units.size(); ++i) {
+      const size_t s = offset + i;
+      if (s >= agg_units.size()) {
+        return InternalError(StrFormat("member %lld extends past aggregate %lld profile",
+                                       static_cast<long long>(member.id),
+                                       static_cast<long long>(aggregate.id)));
+      }
+      const double slack = agg_units[s].max_energy_kwh - agg_units[s].min_energy_kwh;
+      double fraction = 0.0;
+      if (slack > 0.0) {
+        fraction = (agg_energy[s] - agg_units[s].min_energy_kwh) / slack;
+        fraction = std::clamp(fraction, 0.0, 1.0);
+      }
+      sched.energy_kwh[i] =
+          member_units[i].min_energy_kwh +
+          fraction * (member_units[i].max_energy_kwh - member_units[i].min_energy_kwh);
+    }
+    scheduled.schedule = std::move(sched);
+    scheduled.state = FlexOfferState::kAssigned;
+    out.push_back(std::move(scheduled));
+  }
+  return out;
+}
+
+}  // namespace flexvis::core

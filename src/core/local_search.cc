@@ -1,0 +1,115 @@
+#include "core/local_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexvis::core {
+
+using timeutil::kMinutesPerSlice;
+using timeutil::TimeInterval;
+using timeutil::TimePoint;
+
+namespace {
+
+// Signed plan contribution of `schedule` at time t (0 outside its slices).
+double ContributionAt(const Schedule& schedule, double sign, TimePoint t) {
+  int64_t index = (t - schedule.start) / kMinutesPerSlice;
+  if (t < schedule.start || index < 0 ||
+      index >= static_cast<int64_t>(schedule.energy_kwh.size())) {
+    return 0.0;
+  }
+  return sign * schedule.energy_kwh[static_cast<size_t>(index)];
+}
+
+// Adds (direction * factor) of `schedule` into `residual`. factor = -1
+// commits (consumes residual), +1 un-commits.
+void Apply(const Schedule& schedule, double sign, double factor, TimeSeries* residual) {
+  for (size_t i = 0; i < schedule.energy_kwh.size(); ++i) {
+    residual->AddAt(schedule.start + static_cast<int64_t>(i) * kMinutesPerSlice,
+                    factor * sign * schedule.energy_kwh[i]);
+  }
+}
+
+// Σ |base(t) - contribution(schedule, t)| over `window`. `base` must not
+// include the offer's own commitment.
+double ScoreOver(const TimeSeries& base, const Schedule& schedule, double sign,
+                 const TimeInterval& window) {
+  double total = 0.0;
+  for (TimePoint t = window.start; t < window.end; t = t + kMinutesPerSlice) {
+    total += std::abs(base.At(t) - ContributionAt(schedule, sign, t));
+  }
+  return total;
+}
+
+TimeInterval ScheduleWindow(const Schedule& schedule) {
+  return TimeInterval(schedule.start,
+                      schedule.start + static_cast<int64_t>(schedule.energy_kwh.size()) *
+                                           kMinutesPerSlice);
+}
+
+}  // namespace
+
+LocalSearchResult LocalSearchImprover::Improve(const std::vector<FlexOffer>& plan,
+                                               const TimeSeries& target) const {
+  LocalSearchResult result;
+  result.offers = plan;
+
+  // Build the residual (target minus all committed schedules).
+  TimeSeries residual = target;
+  std::vector<size_t> movable;
+  for (size_t i = 0; i < result.offers.size(); ++i) {
+    const FlexOffer& o = result.offers[i];
+    if (!o.schedule.has_value()) continue;
+    const double sign = o.direction == Direction::kConsumption ? 1.0 : -1.0;
+    Apply(*o.schedule, sign, -1.0, &residual);
+    if (o.time_flexibility_minutes() > 0) movable.push_back(i);
+  }
+  result.imbalance_before_kwh = residual.AbsTotal();
+  result.imbalance_after_kwh = result.imbalance_before_kwh;
+  if (movable.empty()) return result;
+
+  Rng rng(params_.seed);
+  int since_improvement = 0;
+  for (int iter = 0; iter < params_.iterations && since_improvement < params_.patience;
+       ++iter) {
+    ++result.moves_tried;
+    ++since_improvement;
+
+    FlexOffer& offer =
+        result.offers[movable[rng.UniformInt(0, static_cast<int64_t>(movable.size()) - 1)]];
+    const double sign = offer.direction == Direction::kConsumption ? 1.0 : -1.0;
+    const std::vector<ProfileSlice> units = offer.UnitProfile();
+
+    // Work against the residual *without* this offer's commitment.
+    Apply(*offer.schedule, sign, +1.0, &residual);
+
+    // Candidate: a random feasible start, residual-chasing energies.
+    int64_t steps = offer.time_flexibility_minutes() / kMinutesPerSlice;
+    Schedule candidate;
+    candidate.start = offer.earliest_start + rng.UniformInt(0, steps) * kMinutesPerSlice;
+    candidate.energy_kwh.resize(units.size());
+    for (size_t i = 0; i < units.size(); ++i) {
+      double r = residual.At(candidate.start + static_cast<int64_t>(i) * kMinutesPerSlice);
+      candidate.energy_kwh[i] =
+          std::clamp(sign * r, units[i].min_energy_kwh, units[i].max_energy_kwh);
+    }
+
+    // Exact comparison over the union of both footprints: outside it the
+    // residual is identical under either placement.
+    TimeInterval window = ScheduleWindow(*offer.schedule).Span(ScheduleWindow(candidate));
+    double score_old = ScoreOver(residual, *offer.schedule, sign, window);
+    double score_new = ScoreOver(residual, candidate, sign, window);
+
+    if (score_new + 1e-9 < score_old) {
+      offer.schedule = candidate;
+      ++result.moves_accepted;
+      since_improvement = 0;
+    }
+    // Re-commit whichever schedule the offer now holds.
+    Apply(*offer.schedule, sign, -1.0, &residual);
+  }
+  result.imbalance_after_kwh = residual.AbsTotal();
+  return result;
+}
+
+}  // namespace flexvis::core

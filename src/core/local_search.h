@@ -1,0 +1,56 @@
+#ifndef FLEXVIS_CORE_LOCAL_SEARCH_H_
+#define FLEXVIS_CORE_LOCAL_SEARCH_H_
+
+#include <vector>
+
+#include "core/scheduler.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace flexvis::core {
+
+/// Parameters of the local-search improvement pass.
+struct LocalSearchParams {
+  /// Candidate moves to try. Each move re-places one scheduled offer at a
+  /// different feasible start (re-chasing the residual) and keeps the move
+  /// iff total |residual| does not increase.
+  int iterations = 2000;
+  uint64_t seed = 1;
+  /// Stop early when this many consecutive moves brought no improvement.
+  int patience = 500;
+};
+
+/// Result of an improvement run.
+struct LocalSearchResult {
+  std::vector<FlexOffer> offers;
+  double imbalance_before_kwh = 0.0;  // of the incoming plan
+  double imbalance_after_kwh = 0.0;   // after improvement
+  int moves_tried = 0;
+  int moves_accepted = 0;
+};
+
+/// Stochastic local search over start times, standing in for the
+/// evolutionary scheduler of Tušar et al. (BIOMA 2012) the paper cites: it
+/// takes a feasible plan (typically the greedy Scheduler's output) and
+/// iteratively relocates single offers within their flexibility windows,
+/// accepting only non-worsening moves — so the result is never worse than
+/// the input and every schedule stays feasible.
+class LocalSearchImprover {
+ public:
+  explicit LocalSearchImprover(LocalSearchParams params) : params_(params) {}
+  LocalSearchImprover() : LocalSearchImprover(LocalSearchParams{}) {}
+
+  const LocalSearchParams& params() const { return params_; }
+
+  /// Improves `plan` against `target`. Offers without schedules pass through
+  /// untouched.
+  LocalSearchResult Improve(const std::vector<FlexOffer>& plan,
+                            const TimeSeries& target) const;
+
+ private:
+  LocalSearchParams params_;
+};
+
+}  // namespace flexvis::core
+
+#endif  // FLEXVIS_CORE_LOCAL_SEARCH_H_

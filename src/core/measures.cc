@@ -1,0 +1,147 @@
+#include "core/measures.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexvis::core {
+
+using timeutil::kMinutesPerSlice;
+
+int64_t StateCounts::total() const {
+  int64_t t = 0;
+  for (int64_t c : by_state) t += c;
+  return t;
+}
+
+double StateCounts::Fraction(FlexOfferState s) const {
+  int64_t t = total();
+  if (t == 0) return 0.0;
+  return static_cast<double>((*this)[s]) / static_cast<double>(t);
+}
+
+StateCounts CountByState(const std::vector<FlexOffer>& offers) {
+  StateCounts counts;
+  for (const FlexOffer& o : offers) ++counts.by_state[static_cast<size_t>(o.state)];
+  return counts;
+}
+
+std::string_view NumericAttributeName(NumericAttribute attribute) {
+  switch (attribute) {
+    case NumericAttribute::kTotalMinEnergyKwh: return "TotalMinEnergyKwh";
+    case NumericAttribute::kTotalMaxEnergyKwh: return "TotalMaxEnergyKwh";
+    case NumericAttribute::kEnergyFlexibilityKwh: return "EnergyFlexibilityKwh";
+    case NumericAttribute::kTimeFlexibilityMinutes: return "TimeFlexibilityMinutes";
+    case NumericAttribute::kProfileDurationSlices: return "ProfileDurationSlices";
+    case NumericAttribute::kScheduledEnergyKwh: return "ScheduledEnergyKwh";
+  }
+  return "Unknown";
+}
+
+double AttributeValue(const FlexOffer& offer, NumericAttribute attribute) {
+  switch (attribute) {
+    case NumericAttribute::kTotalMinEnergyKwh:
+      return offer.total_min_energy_kwh();
+    case NumericAttribute::kTotalMaxEnergyKwh:
+      return offer.total_max_energy_kwh();
+    case NumericAttribute::kEnergyFlexibilityKwh:
+      return offer.energy_flexibility_kwh();
+    case NumericAttribute::kTimeFlexibilityMinutes:
+      return static_cast<double>(offer.time_flexibility_minutes());
+    case NumericAttribute::kProfileDurationSlices:
+      return static_cast<double>(offer.profile_duration_slices());
+    case NumericAttribute::kScheduledEnergyKwh:
+      return offer.total_scheduled_energy_kwh();
+  }
+  return 0.0;
+}
+
+AttributeStats Summarize(const std::vector<FlexOffer>& offers, NumericAttribute attribute) {
+  AttributeStats stats;
+  for (const FlexOffer& o : offers) {
+    double v = AttributeValue(o, attribute);
+    if (stats.count == 0) {
+      stats.min = v;
+      stats.max = v;
+    } else {
+      stats.min = std::min(stats.min, v);
+      stats.max = std::max(stats.max, v);
+    }
+    stats.sum += v;
+    ++stats.count;
+  }
+  return stats;
+}
+
+double TotalScheduledEnergyKwh(const std::vector<FlexOffer>& offers) {
+  double total = 0.0;
+  for (const FlexOffer& o : offers) total += o.total_scheduled_energy_kwh();
+  return total;
+}
+
+TimeSeries PlannedLoad(const std::vector<FlexOffer>& offers) {
+  timeutil::TimeInterval extent;
+  bool any = false;
+  for (const FlexOffer& o : offers) {
+    if (!o.schedule.has_value()) continue;
+    timeutil::TimeInterval occupied(
+        o.schedule->start,
+        o.schedule->start + static_cast<int64_t>(o.schedule->energy_kwh.size()) *
+                                kMinutesPerSlice);
+    extent = any ? extent.Span(occupied) : occupied;
+    any = true;
+  }
+  if (!any) return TimeSeries();
+  TimeSeries load(extent.start,
+                  static_cast<size_t>(extent.duration_minutes() / kMinutesPerSlice));
+  for (const FlexOffer& o : offers) {
+    if (!o.schedule.has_value()) continue;
+    const double sign = o.direction == Direction::kConsumption ? 1.0 : -1.0;
+    for (size_t i = 0; i < o.schedule->energy_kwh.size(); ++i) {
+      load.AddAt(o.schedule->start + static_cast<int64_t>(i) * kMinutesPerSlice,
+                 sign * o.schedule->energy_kwh[i]);
+    }
+  }
+  return load;
+}
+
+PlanDeviation ComputePlanDeviation(const std::vector<FlexOffer>& offers,
+                                   const TimeSeries& realized) {
+  PlanDeviation dev;
+  TimeSeries planned = PlannedLoad(offers);
+  // deviation = realized - planned, over the union of both extents.
+  timeutil::TimeInterval extent = planned.interval().Span(realized.interval());
+  if (extent.empty()) return dev;
+  dev.deviation = TimeSeries(extent.start,
+                             static_cast<size_t>(extent.duration_minutes() / kMinutesPerSlice));
+  dev.deviation.Add(realized);
+  dev.deviation.Subtract(planned);
+  dev.total_abs_kwh = dev.deviation.AbsTotal();
+  for (double v : dev.deviation.values()) {
+    dev.max_abs_kwh = std::max(dev.max_abs_kwh, std::abs(v));
+  }
+  return dev;
+}
+
+BalancingPotential ComputeBalancingPotential(const std::vector<FlexOffer>& offers) {
+  BalancingPotential bp;
+  double sum_shift_ratio = 0.0;
+  int64_t n = 0;
+  for (const FlexOffer& o : offers) {
+    bp.total_max_energy_kwh += o.total_max_energy_kwh();
+    bp.total_flexible_energy_kwh += o.energy_flexibility_kwh();
+    const double tf = static_cast<double>(o.time_flexibility_minutes());
+    const double dur = static_cast<double>(o.profile_duration_minutes());
+    if (tf + dur > 0.0) {
+      sum_shift_ratio += tf / (tf + dur);
+      ++n;
+    }
+  }
+  if (bp.total_max_energy_kwh > 0.0) {
+    bp.energy_slack_ratio = bp.total_flexible_energy_kwh / bp.total_max_energy_kwh;
+  }
+  if (n > 0) bp.time_shift_ratio = sum_shift_ratio / static_cast<double>(n);
+  bp.potential = bp.energy_slack_ratio * bp.time_shift_ratio;
+  return bp;
+}
+
+}  // namespace flexvis::core

@@ -1,0 +1,102 @@
+#ifndef FLEXVIS_CORE_MEASURES_H_
+#define FLEXVIS_CORE_MEASURES_H_
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "core/flex_offer.h"
+#include "core/time_series.h"
+#include "util/status.h"
+
+namespace flexvis::core {
+
+/// The aggregate measures the framework must support over sets of flex-offers
+/// (Req. 2, Section 3 of the paper): flex-offer count, attribute value
+/// statistics, scheduled energy, plan deviations, and energy balancing
+/// potential.
+
+/// Per-state counts ("total number of accepted, assigned, or rejected
+/// flex-offers in the plan").
+struct StateCounts {
+  std::array<int64_t, kNumFlexOfferStates> by_state{};
+
+  int64_t total() const;
+  int64_t operator[](FlexOfferState s) const { return by_state[static_cast<size_t>(s)]; }
+  /// Fraction of `total()` in state `s`; 0 when empty.
+  double Fraction(FlexOfferState s) const;
+};
+
+StateCounts CountByState(const std::vector<FlexOffer>& offers);
+
+/// Min/max/mean/sum summary of one numeric flex-offer attribute ("the
+/// minimum/maximum/average price, energy, or flexibility defined by
+/// flex-offers").
+struct AttributeStats {
+  int64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+};
+
+/// Numeric attributes a summary can be requested for.
+enum class NumericAttribute {
+  kTotalMinEnergyKwh,
+  kTotalMaxEnergyKwh,
+  kEnergyFlexibilityKwh,
+  kTimeFlexibilityMinutes,
+  kProfileDurationSlices,
+  kScheduledEnergyKwh,
+};
+
+std::string_view NumericAttributeName(NumericAttribute attribute);
+
+/// Extracts `attribute` from one offer.
+double AttributeValue(const FlexOffer& offer, NumericAttribute attribute);
+
+/// Summarizes `attribute` over `offers`.
+AttributeStats Summarize(const std::vector<FlexOffer>& offers, NumericAttribute attribute);
+
+/// Total scheduled energy over `offers` in kWh, and the signed planned load
+/// series (consumption positive). Offers without schedules contribute 0.
+double TotalScheduledEnergyKwh(const std::vector<FlexOffer>& offers);
+TimeSeries PlannedLoad(const std::vector<FlexOffer>& offers);
+
+/// Plan deviation: per-slice difference between the planned load of `offers`
+/// and the physically realized load ("a difference between the amounts of
+/// energy in the plan and in the physical realization of the plan").
+struct PlanDeviation {
+  TimeSeries deviation;         // realized - planned, per slice
+  double total_abs_kwh = 0.0;   // Σ |deviation|
+  double max_abs_kwh = 0.0;     // worst slice
+};
+
+PlanDeviation ComputePlanDeviation(const std::vector<FlexOffer>& offers,
+                                   const TimeSeries& realized);
+
+/// Energy balancing potential ("a measure on how well energy can be balanced
+/// utilizing flex-offers. The measure is computed from the total amount of
+/// energy and the flexibility prosumers offer with their flex-offers").
+///
+/// We define it as the product of two normalized factors, each in [0, 1]:
+///  - energy slack ratio: Σ(max-min) / Σmax — how much of the offered energy
+///    is adjustable in amount;
+///  - time shift ratio: mean over offers of TF/(TF + profile duration) — how
+///    far offers can be moved relative to their length.
+/// The result is in [0, 1]; 0 means a completely rigid portfolio, values
+/// toward 1 mean nearly all offered energy can be reshaped and shifted.
+struct BalancingPotential {
+  double energy_slack_ratio = 0.0;
+  double time_shift_ratio = 0.0;
+  double potential = 0.0;  // energy_slack_ratio * time_shift_ratio
+  double total_max_energy_kwh = 0.0;
+  double total_flexible_energy_kwh = 0.0;
+};
+
+BalancingPotential ComputeBalancingPotential(const std::vector<FlexOffer>& offers);
+
+}  // namespace flexvis::core
+
+#endif  // FLEXVIS_CORE_MEASURES_H_

@@ -1,0 +1,133 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace flexvis::core {
+
+using timeutil::kMinutesPerSlice;
+using timeutil::TimePoint;
+
+namespace {
+
+// Residual-chasing assignment: for a fixed start, pick per-unit energies
+// within bounds that best absorb the remaining residual (target - planned).
+// Returns the *change* in total squared residual caused by the hypothetical
+// placement, Σ((r - s·e)² - r²) over the affected slices, and fills
+// `energies`. Using the delta (not the absolute local cost) is what makes
+// the greedy prefer eating a large surplus elsewhere over hiding in a
+// zero-residual slot.
+double EvaluatePlacement(const FlexOffer& offer, const std::vector<ProfileSlice>& units,
+                         TimePoint start, const TimeSeries& residual,
+                         std::vector<double>* energies) {
+  const double sign = offer.direction == Direction::kConsumption ? 1.0 : -1.0;
+  energies->resize(units.size());
+  double delta = 0.0;
+  for (size_t i = 0; i < units.size(); ++i) {
+    TimePoint t = start + static_cast<int64_t>(i) * kMinutesPerSlice;
+    const double r = residual.At(t);
+    // Ideal signed load equals the residual; translate into the offer's
+    // (non-negative) energy domain and clamp into the slice bounds.
+    const double ideal = sign * r;
+    const double e = std::clamp(ideal, units[i].min_energy_kwh, units[i].max_energy_kwh);
+    (*energies)[i] = e;
+    const double after = r - sign * e;
+    delta += after * after - r * r;
+  }
+  return delta;
+}
+
+}  // namespace
+
+ScheduleResult Scheduler::Plan(const std::vector<FlexOffer>& offers,
+                               const TimeSeries& target) const {
+  ScheduleResult result;
+  result.offers = offers;
+
+  // Residual starts as the full target; each placed offer eats its share.
+  TimeSeries residual = target;
+  result.imbalance_before_kwh = residual.AbsTotal();
+
+  // Union of extents for the planned-load series.
+  timeutil::TimeInterval extent = target.interval();
+  for (const FlexOffer& o : result.offers) extent = extent.Span(o.extent());
+  result.planned_load =
+      TimeSeries(extent.start, static_cast<size_t>(extent.duration_minutes() / kMinutesPerSlice));
+
+  // Greedy order.
+  std::vector<size_t> order(result.offers.size());
+  std::iota(order.begin(), order.end(), 0);
+  switch (params_.order) {
+    case SchedulerParams::Order::kLeastFlexibleFirst:
+      std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return result.offers[a].time_flexibility_minutes() <
+               result.offers[b].time_flexibility_minutes();
+      });
+      break;
+    case SchedulerParams::Order::kLargestEnergyFirst:
+      std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return result.offers[a].total_max_energy_kwh() > result.offers[b].total_max_energy_kwh();
+      });
+      break;
+    case SchedulerParams::Order::kArrival:
+      break;
+  }
+
+  for (size_t idx : order) {
+    FlexOffer& offer = result.offers[idx];
+    if (!Validate(offer).ok()) continue;
+    const std::vector<ProfileSlice> units = offer.UnitProfile();
+    const double sign = offer.direction == Direction::kConsumption ? 1.0 : -1.0;
+
+    // Try every slice-aligned start within the flexibility window.
+    TimePoint best_start = offer.earliest_start;
+    std::vector<double> best_energy;
+    double best_cost = 0.0;
+    bool first = true;
+    std::vector<double> scratch;
+    for (TimePoint s = offer.earliest_start; s <= offer.latest_start;
+         s = s + kMinutesPerSlice) {
+      double cost = EvaluatePlacement(offer, units, s, residual, &scratch);
+      if (first || cost < best_cost) {
+        best_cost = cost;
+        best_start = s;
+        best_energy = scratch;
+        first = false;
+      }
+    }
+
+    // Rejection: best_cost is the squared-residual delta of the best
+    // placement; a positive delta means even the best slot makes the plan
+    // worse. Reject when that damage exceeds the tolerated fraction of the
+    // offer's mandatory energy.
+    if (params_.rejection_threshold >= 0.0) {
+      double min_energy = offer.total_min_energy_kwh();
+      if (min_energy > 0.0 &&
+          best_cost > params_.rejection_threshold * min_energy * min_energy) {
+        offer.state = FlexOfferState::kRejected;
+        offer.schedule.reset();
+        ++result.rejected;
+        continue;
+      }
+    }
+
+    // Commit the placement.
+    Schedule sched;
+    sched.start = best_start;
+    sched.energy_kwh = best_energy;
+    for (size_t i = 0; i < best_energy.size(); ++i) {
+      TimePoint t = best_start + static_cast<int64_t>(i) * kMinutesPerSlice;
+      residual.AddAt(t, -sign * best_energy[i]);
+      result.planned_load.AddAt(t, sign * best_energy[i]);
+    }
+    offer.schedule = std::move(sched);
+    offer.state = FlexOfferState::kAssigned;
+    ++result.accepted;
+  }
+
+  result.imbalance_after_kwh = residual.AbsTotal();
+  return result;
+}
+
+}  // namespace flexvis::core

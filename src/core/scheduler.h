@@ -1,0 +1,73 @@
+#ifndef FLEXVIS_CORE_SCHEDULER_H_
+#define FLEXVIS_CORE_SCHEDULER_H_
+
+#include <vector>
+
+#include "core/flex_offer.h"
+#include "core/time_series.h"
+#include "util/status.h"
+
+namespace flexvis::core {
+
+/// Configuration of the planning heuristic.
+struct SchedulerParams {
+  /// Offers whose placement would increase total imbalance by more than this
+  /// fraction of their minimum energy are rejected instead of accepted.
+  /// Negative disables rejection (everything is accepted).
+  double rejection_threshold = -1.0;
+
+  /// Orders the greedy pass. Offers with less flexibility are placed first by
+  /// default, since they have the fewest alternatives.
+  enum class Order { kLeastFlexibleFirst, kLargestEnergyFirst, kArrival } order =
+      Order::kLeastFlexibleFirst;
+};
+
+/// Outcome of a scheduling run.
+struct ScheduleResult {
+  /// Input offers with states updated (kAssigned offers carry schedules,
+  /// kRejected offers none).
+  std::vector<FlexOffer> offers;
+
+  /// The planned flexible load per slice (signed: consumption positive,
+  /// production negative), covering the union of offer extents.
+  TimeSeries planned_load;
+
+  /// Sum over slices of |target - planned| before and after placing the
+  /// flexible offers, in kWh. The improvement ratio is the headline number
+  /// of Fig. 1 ("loads before and after the MIRABEL system balances demand
+  /// and supply").
+  double imbalance_before_kwh = 0.0;
+  double imbalance_after_kwh = 0.0;
+
+  int accepted = 0;
+  int rejected = 0;
+};
+
+/// Greedy imbalance-minimizing scheduler, standing in for the evolutionary
+/// scheduler of Tušar et al. (BIOMA 2012) cited by the paper. For each offer
+/// it tries every slice-aligned start in [earliest_start, latest_start],
+/// assigns per-unit energies that chase the remaining target, and keeps the
+/// start with the lowest residual imbalance.
+///
+/// `target` is the load curve the flexible offers should reproduce (e.g. RES
+/// surplus after subtracting inflexible demand), signed with consumption
+/// positive. The scheduler treats a production offer's energy as negative
+/// load.
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerParams params) : params_(params) {}
+  Scheduler() : Scheduler(SchedulerParams{}) {}
+
+  const SchedulerParams& params() const { return params_; }
+
+  /// Plans all (valid) offers against `target`. Invalid offers are passed
+  /// through with their state unchanged.
+  ScheduleResult Plan(const std::vector<FlexOffer>& offers, const TimeSeries& target) const;
+
+ private:
+  SchedulerParams params_;
+};
+
+}  // namespace flexvis::core
+
+#endif  // FLEXVIS_CORE_SCHEDULER_H_

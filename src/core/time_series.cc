@@ -1,0 +1,126 @@
+#include "core/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "time/granularity.h"
+
+namespace flexvis::core {
+
+using timeutil::Granularity;
+using timeutil::kMinutesPerSlice;
+using timeutil::TimeInterval;
+using timeutil::TimePoint;
+
+TimeSeries::TimeSeries(TimePoint start, size_t count)
+    : start_(timeutil::TruncateTo(start, Granularity::kSlice)), values_(count, 0.0) {}
+
+TimeSeries::TimeSeries(TimePoint start, std::vector<double> values)
+    : start_(timeutil::TruncateTo(start, Granularity::kSlice)), values_(std::move(values)) {}
+
+double TimeSeries::At(TimePoint t) const { return AtIndex(IndexOf(t)); }
+
+double TimeSeries::AtIndex(int64_t index) const {
+  if (index < 0 || index >= static_cast<int64_t>(values_.size())) return 0.0;
+  return values_[static_cast<size_t>(index)];
+}
+
+void TimeSeries::Set(int64_t index, double value) {
+  if (index < 0) std::abort();
+  if (index >= static_cast<int64_t>(values_.size())) {
+    values_.resize(static_cast<size_t>(index) + 1, 0.0);
+  }
+  values_[static_cast<size_t>(index)] = value;
+}
+
+bool TimeSeries::AddAt(TimePoint t, double value) {
+  int64_t index = IndexOf(t);
+  if (index < 0) return false;
+  if (index >= static_cast<int64_t>(values_.size())) {
+    values_.resize(static_cast<size_t>(index) + 1, 0.0);
+  }
+  values_[static_cast<size_t>(index)] += value;
+  return true;
+}
+
+int64_t TimeSeries::IndexOf(TimePoint t) const {
+  int64_t delta = t - start_;
+  // Floor division for pre-start times.
+  int64_t idx = delta / kMinutesPerSlice;
+  if (delta % kMinutesPerSlice != 0 && delta < 0) --idx;
+  return idx;
+}
+
+void TimeSeries::Add(const TimeSeries& other) {
+  for (size_t i = 0; i < other.values_.size(); ++i) {
+    TimePoint t = other.start_ + static_cast<int64_t>(i) * kMinutesPerSlice;
+    AddAt(t, other.values_[i]);
+  }
+}
+
+void TimeSeries::Subtract(const TimeSeries& other) {
+  for (size_t i = 0; i < other.values_.size(); ++i) {
+    TimePoint t = other.start_ + static_cast<int64_t>(i) * kMinutesPerSlice;
+    AddAt(t, -other.values_[i]);
+  }
+}
+
+void TimeSeries::Scale(double factor) {
+  for (double& v : values_) v *= factor;
+}
+
+void TimeSeries::Clamp(double lo, double hi) {
+  for (double& v : values_) v = std::clamp(v, lo, hi);
+}
+
+double TimeSeries::Total() const {
+  double total = 0.0;
+  for (double v : values_) total += v;
+  return total;
+}
+
+double TimeSeries::Min() const {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::Max() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::Mean() const {
+  if (values_.empty()) return 0.0;
+  return Total() / static_cast<double>(values_.size());
+}
+
+double TimeSeries::AbsTotal() const {
+  double total = 0.0;
+  for (double v : values_) total += std::abs(v);
+  return total;
+}
+
+TimeSeries TimeSeries::Slice(const TimeInterval& window) const {
+  TimeInterval clipped = interval().Intersect(window);
+  if (clipped.empty()) return TimeSeries();
+  int64_t first = IndexOf(clipped.start);
+  int64_t last = IndexOf(clipped.end - 1);
+  std::vector<double> out(values_.begin() + first, values_.begin() + last + 1);
+  return TimeSeries(start_ + first * kMinutesPerSlice, std::move(out));
+}
+
+TimeSeries TimeSeries::Downsample(int slices_per_bucket) const {
+  if (slices_per_bucket <= 1) return *this;
+  size_t buckets = (values_.size() + slices_per_bucket - 1) / slices_per_bucket;
+  std::vector<double> out(buckets, 0.0);
+  for (size_t i = 0; i < values_.size(); ++i) {
+    out[i / static_cast<size_t>(slices_per_bucket)] += values_[i];
+  }
+  // NOTE: the bucketing is relative to start_, which is slice-aligned but not
+  // necessarily aligned to the coarser bucket; callers that need calendar
+  // alignment should Slice() to an aligned window first.
+  return TimeSeries(start_, std::move(out));
+}
+
+}  // namespace flexvis::core

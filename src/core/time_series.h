@@ -1,0 +1,103 @@
+#ifndef FLEXVIS_CORE_TIME_SERIES_H_
+#define FLEXVIS_CORE_TIME_SERIES_H_
+
+#include <vector>
+
+#include "time/time_point.h"
+#include "util/status.h"
+
+namespace flexvis::core {
+
+/// A fixed-resolution time series on the 15-minute market grid: `values[i]`
+/// covers [start + i*15min, start + (i+1)*15min). Used for demand/production
+/// curves, forecasts, plans, and prices. Out-of-range reads return 0, which
+/// matches "no load outside the horizon" semantics everywhere the library
+/// uses series.
+class TimeSeries {
+ public:
+  /// Empty series anchored at the epoch.
+  TimeSeries() = default;
+
+  /// `count` zero slices starting at `start` (must be slice-aligned; a
+  /// non-aligned start is truncated down to the grid).
+  TimeSeries(timeutil::TimePoint start, size_t count);
+
+  /// Series with explicit values.
+  TimeSeries(timeutil::TimePoint start, std::vector<double> values);
+
+  timeutil::TimePoint start() const { return start_; }
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const std::vector<double>& values() const { return values_; }
+
+  /// End of the covered interval (exclusive).
+  timeutil::TimePoint end() const {
+    return start_ + static_cast<int64_t>(values_.size()) * timeutil::kMinutesPerSlice;
+  }
+
+  /// The covered half-open interval.
+  timeutil::TimeInterval interval() const { return {start_, end()}; }
+
+  /// Value of the slice containing `t`; 0 outside the series.
+  double At(timeutil::TimePoint t) const;
+
+  /// Value by slice index; 0 outside the series.
+  double AtIndex(int64_t index) const;
+
+  /// Mutable access by index; the series is extended with zeros as needed
+  /// (indices before `start` are not supported and abort).
+  void Set(int64_t index, double value);
+
+  /// Adds `value` to the slice containing `t`, extending the series forward
+  /// if necessary. Times before start() are ignored (and reported false).
+  bool AddAt(timeutil::TimePoint t, double value);
+
+  /// Index of the slice containing `t` (may be negative or past the end).
+  int64_t IndexOf(timeutil::TimePoint t) const;
+
+  /// Element-wise addition of `other` (aligned by absolute time). The
+  /// receiver is extended to cover `other` if needed; slices of `other`
+  /// before this->start() are ignored.
+  void Add(const TimeSeries& other);
+
+  /// Element-wise subtraction, same alignment rules as Add.
+  void Subtract(const TimeSeries& other);
+
+  /// Multiplies every value by `factor`.
+  void Scale(double factor);
+
+  /// Clamps every value into [lo, hi].
+  void Clamp(double lo, double hi);
+
+  /// Sum of all values (kWh if values are per-slice kWh).
+  double Total() const;
+
+  /// Smallest / largest value; 0 for an empty series.
+  double Min() const;
+  double Max() const;
+
+  /// Mean value; 0 for an empty series.
+  double Mean() const;
+
+  /// Sum of |values|.
+  double AbsTotal() const;
+
+  /// Returns the sub-series covering `window` (clipped to the series extent).
+  TimeSeries Slice(const timeutil::TimeInterval& window) const;
+
+  /// Re-buckets into coarser slices of `slices_per_bucket` unit slices,
+  /// summing values. Requires slices_per_bucket >= 1.
+  TimeSeries Downsample(int slices_per_bucket) const;
+
+  friend bool operator==(const TimeSeries& a, const TimeSeries& b) {
+    return a.start_ == b.start_ && a.values_ == b.values_;
+  }
+
+ private:
+  timeutil::TimePoint start_;
+  std::vector<double> values_;
+};
+
+}  // namespace flexvis::core
+
+#endif  // FLEXVIS_CORE_TIME_SERIES_H_

@@ -1,0 +1,111 @@
+#include "core/types.h"
+
+#include "util/strings.h"
+
+namespace flexvis::core {
+
+bool IsRenewable(EnergyType type) {
+  switch (type) {
+    case EnergyType::kWind:
+    case EnergyType::kSolar:
+    case EnergyType::kHydro:
+    case EnergyType::kBiomass:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsProducerType(ProsumerType type) {
+  return type == ProsumerType::kSmallPowerPlant || type == ProsumerType::kLargePowerPlant;
+}
+
+std::string_view FlexOfferStateName(FlexOfferState s) {
+  switch (s) {
+    case FlexOfferState::kOffered: return "Offered";
+    case FlexOfferState::kAccepted: return "Accepted";
+    case FlexOfferState::kAssigned: return "Assigned";
+    case FlexOfferState::kRejected: return "Rejected";
+  }
+  return "Unknown";
+}
+
+std::string_view DirectionName(Direction d) {
+  switch (d) {
+    case Direction::kConsumption: return "Consumption";
+    case Direction::kProduction: return "Production";
+  }
+  return "Unknown";
+}
+
+std::string_view EnergyTypeName(EnergyType t) {
+  switch (t) {
+    case EnergyType::kWind: return "Wind";
+    case EnergyType::kSolar: return "Solar";
+    case EnergyType::kHydro: return "Hydro";
+    case EnergyType::kBiomass: return "Biomass";
+    case EnergyType::kNuclear: return "Nuclear";
+    case EnergyType::kCoal: return "Coal";
+    case EnergyType::kGas: return "Gas";
+    case EnergyType::kMixedGrid: return "MixedGrid";
+  }
+  return "Unknown";
+}
+
+std::string_view ProsumerTypeName(ProsumerType t) {
+  switch (t) {
+    case ProsumerType::kHousehold: return "Household";
+    case ProsumerType::kCommercial: return "Commercial";
+    case ProsumerType::kSmallIndustry: return "SmallIndustry";
+    case ProsumerType::kLargeIndustry: return "LargeIndustry";
+    case ProsumerType::kSmallPowerPlant: return "SmallPowerPlant";
+    case ProsumerType::kLargePowerPlant: return "LargePowerPlant";
+  }
+  return "Unknown";
+}
+
+std::string_view ApplianceTypeName(ApplianceType t) {
+  switch (t) {
+    case ApplianceType::kElectricVehicle: return "ElectricVehicle";
+    case ApplianceType::kHeatPump: return "HeatPump";
+    case ApplianceType::kWashingMachine: return "WashingMachine";
+    case ApplianceType::kDishwasher: return "Dishwasher";
+    case ApplianceType::kWaterHeater: return "WaterHeater";
+    case ApplianceType::kBatteryStorage: return "BatteryStorage";
+    case ApplianceType::kIndustrialProcess: return "IndustrialProcess";
+    case ApplianceType::kGenerator: return "Generator";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+template <typename E, int N, std::string_view (*NameFn)(E)>
+Result<E> ParseEnum(std::string_view name, const char* what) {
+  for (int i = 0; i < N; ++i) {
+    E e = static_cast<E>(i);
+    if (EqualsIgnoreCase(name, NameFn(e))) return e;
+  }
+  return InvalidArgumentError(StrFormat("unknown %s: %.*s", what,
+                                        static_cast<int>(name.size()), name.data()));
+}
+
+}  // namespace
+
+Result<FlexOfferState> ParseFlexOfferState(std::string_view name) {
+  return ParseEnum<FlexOfferState, kNumFlexOfferStates, FlexOfferStateName>(name, "state");
+}
+
+Result<EnergyType> ParseEnergyType(std::string_view name) {
+  return ParseEnum<EnergyType, kNumEnergyTypes, EnergyTypeName>(name, "energy type");
+}
+
+Result<ProsumerType> ParseProsumerType(std::string_view name) {
+  return ParseEnum<ProsumerType, kNumProsumerTypes, ProsumerTypeName>(name, "prosumer type");
+}
+
+Result<ApplianceType> ParseApplianceType(std::string_view name) {
+  return ParseEnum<ApplianceType, kNumApplianceTypes, ApplianceTypeName>(name, "appliance type");
+}
+
+}  // namespace flexvis::core

@@ -1,0 +1,105 @@
+#ifndef FLEXVIS_CORE_TYPES_H_
+#define FLEXVIS_CORE_TYPES_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace flexvis::core {
+
+/// Entity identifiers. 64-bit so synthetic workloads can use dense ids
+/// without coordination.
+using FlexOfferId = int64_t;
+using ProsumerId = int64_t;
+using GridNodeId = int64_t;
+using RegionId = int64_t;
+
+inline constexpr FlexOfferId kInvalidFlexOfferId = -1;
+inline constexpr ProsumerId kInvalidProsumerId = -1;
+inline constexpr GridNodeId kInvalidGridNodeId = -1;
+inline constexpr RegionId kInvalidRegionId = -1;
+
+/// Lifecycle of a flex-offer within the MIRABEL enterprise (Section 2 of the
+/// paper): a prosumer issues the offer (kOffered); the enterprise either
+/// rejects it or accepts it before the acceptance deadline; accepted offers
+/// get a concrete schedule (start time + energy) before the assignment
+/// deadline, becoming kAssigned.
+enum class FlexOfferState {
+  kOffered = 0,
+  kAccepted,
+  kAssigned,
+  kRejected,
+};
+
+/// Whether the offer consumes energy from the grid or produces into it.
+/// Energy amounts are stored non-negative; the direction supplies the sign
+/// when offers enter a balance computation.
+enum class Direction {
+  kConsumption = 0,
+  kProduction,
+};
+
+/// Energy-type dimension members ("to select data associated with a
+/// particular energy type, e.g., renewable energy from hydro power plants").
+enum class EnergyType {
+  kWind = 0,
+  kSolar,
+  kHydro,
+  kBiomass,
+  kNuclear,
+  kCoal,
+  kGas,
+  kMixedGrid,  // unspecified consumption mix
+};
+
+/// Prosumer-type dimension members ("e.g., small industrial power plants").
+enum class ProsumerType {
+  kHousehold = 0,
+  kCommercial,
+  kSmallIndustry,
+  kLargeIndustry,
+  kSmallPowerPlant,
+  kLargePowerPlant,
+};
+
+/// Appliance-type dimension members ("e.g., electric vehicles").
+enum class ApplianceType {
+  kElectricVehicle = 0,
+  kHeatPump,
+  kWashingMachine,
+  kDishwasher,
+  kWaterHeater,
+  kBatteryStorage,
+  kIndustrialProcess,
+  kGenerator,
+};
+
+/// True for energy types counted as renewable when computing RES utilization.
+bool IsRenewable(EnergyType type);
+
+/// True for prosumer types that primarily produce.
+bool IsProducerType(ProsumerType type);
+
+/// Stable display names, used for dimension member labels and legends.
+std::string_view FlexOfferStateName(FlexOfferState s);
+std::string_view DirectionName(Direction d);
+std::string_view EnergyTypeName(EnergyType t);
+std::string_view ProsumerTypeName(ProsumerType t);
+std::string_view ApplianceTypeName(ApplianceType t);
+
+/// Enum domain sizes, for iterating dimension members.
+inline constexpr int kNumFlexOfferStates = 4;
+inline constexpr int kNumEnergyTypes = 8;
+inline constexpr int kNumProsumerTypes = 6;
+inline constexpr int kNumApplianceTypes = 8;
+
+/// Case-insensitive parsers for the display names.
+Result<FlexOfferState> ParseFlexOfferState(std::string_view name);
+Result<EnergyType> ParseEnergyType(std::string_view name);
+Result<ProsumerType> ParseProsumerType(std::string_view name);
+Result<ApplianceType> ParseApplianceType(std::string_view name);
+
+}  // namespace flexvis::core
+
+#endif  // FLEXVIS_CORE_TYPES_H_

@@ -1,0 +1,225 @@
+#include "dw/csv.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace flexvis::dw {
+
+namespace {
+
+bool NeedsQuoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+std::string QuoteField(std::string_view field) {
+  if (!NeedsQuoting(field)) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+// Formats one cell; nulls and doubles get a round-trippable representation.
+std::string CellToField(const Column& column, size_t row) {
+  if (column.IsNull(row)) return "";
+  switch (column.type()) {
+    case ColumnType::kInt64:
+      return StrFormat("%lld", static_cast<long long>(column.GetInt64(row)));
+    case ColumnType::kDouble:
+      return StrFormat("%.17g", column.GetDouble(row));
+    case ColumnType::kString:
+      return QuoteField(column.GetString(row));
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string TableToCsv(const Table& table) {
+  std::string out;
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    if (c > 0) out += ',';
+    out += QuoteField(table.column(c).name());
+  }
+  out += '\n';
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    for (size_t c = 0; c < table.NumColumns(); ++c) {
+      if (c > 0) out += ',';
+      out += CellToField(table.column(c), r);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view csv) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  size_t i = 0;
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+  };
+  while (i < csv.size()) {
+    char c = csv[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < csv.size() && csv[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (field.empty() && !field_started) {
+          in_quotes = true;
+          field_started = true;
+        } else {
+          return InvalidArgumentError(StrFormat("CSV: stray quote at offset %zu", i));
+        }
+        ++i;
+        break;
+      case ',':
+        end_field();
+        ++i;
+        break;
+      case '\r':
+        ++i;  // tolerate CRLF
+        break;
+      case '\n':
+        end_record();
+        ++i;
+        break;
+      default:
+        field += c;
+        field_started = true;
+        ++i;
+    }
+  }
+  if (in_quotes) return InvalidArgumentError("CSV: unterminated quoted field");
+  // Final record without trailing newline.
+  if (field_started || !field.empty() || !record.empty()) end_record();
+  return records;
+}
+
+Result<Table> TableFromCsv(std::string table_name, const std::vector<ColumnSpec>& schema,
+                           std::string_view csv, bool has_header) {
+  Result<std::vector<std::vector<std::string>>> parsed = ParseCsv(csv);
+  if (!parsed.ok()) return parsed.status();
+  const std::vector<std::vector<std::string>>& records = *parsed;
+
+  size_t first_row = 0;
+  if (has_header) {
+    if (records.empty()) return InvalidArgumentError("CSV: missing header");
+    const std::vector<std::string>& header = records[0];
+    if (header.size() != schema.size()) {
+      return InvalidArgumentError(StrFormat("CSV: header has %zu fields, schema has %zu",
+                                            header.size(), schema.size()));
+    }
+    for (size_t c = 0; c < schema.size(); ++c) {
+      if (header[c] != schema[c].name) {
+        return InvalidArgumentError(StrFormat("CSV: header field '%s' != column '%s'",
+                                              header[c].c_str(), schema[c].name.c_str()));
+      }
+    }
+    first_row = 1;
+  }
+
+  Table table(std::move(table_name), schema);
+  for (size_t r = first_row; r < records.size(); ++r) {
+    const std::vector<std::string>& record = records[r];
+    if (record.size() != schema.size()) {
+      return InvalidArgumentError(StrFormat("CSV: record %zu has %zu fields, expected %zu", r,
+                                            record.size(), schema.size()));
+    }
+    std::vector<Value> cells;
+    cells.reserve(schema.size());
+    for (size_t c = 0; c < schema.size(); ++c) {
+      const std::string& field = record[c];
+      if (field.empty() && schema[c].type != ColumnType::kString) {
+        cells.push_back(Value::Null());
+        continue;
+      }
+      switch (schema[c].type) {
+        case ColumnType::kInt64: {
+          long long v = 0;
+          int consumed = 0;
+          if (std::sscanf(field.c_str(), "%lld%n", &v, &consumed) != 1 ||
+              static_cast<size_t>(consumed) != field.size()) {
+            return InvalidArgumentError(StrFormat("CSV: record %zu: '%s' is not an int64", r,
+                                                  field.c_str()));
+          }
+          cells.push_back(Value(static_cast<int64_t>(v)));
+          break;
+        }
+        case ColumnType::kDouble: {
+          double v = 0.0;
+          int consumed = 0;
+          if (std::sscanf(field.c_str(), "%lf%n", &v, &consumed) != 1 ||
+              static_cast<size_t>(consumed) != field.size()) {
+            return InvalidArgumentError(StrFormat("CSV: record %zu: '%s' is not a double", r,
+                                                  field.c_str()));
+          }
+          cells.push_back(Value(v));
+          break;
+        }
+        case ColumnType::kString:
+          cells.push_back(Value(field));
+          break;
+      }
+    }
+    FLEXVIS_RETURN_IF_ERROR(table.AppendRow(cells));
+  }
+  return table;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return InternalError(StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  std::string data = TableToCsv(table);
+  size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (written != data.size()) {
+    return InternalError(StrFormat("short write to '%s'", path.c_str()));
+  }
+  return OkStatus();
+}
+
+Result<Table> ReadCsvFile(std::string table_name, const std::vector<ColumnSpec>& schema,
+                          const std::string& path, bool has_header) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return InternalError(StrFormat("cannot open '%s' for reading", path.c_str()));
+  }
+  std::string data;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) data.append(buffer, n);
+  std::fclose(f);
+  return TableFromCsv(std::move(table_name), schema, data, has_header);
+}
+
+}  // namespace flexvis::dw

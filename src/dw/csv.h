@@ -1,0 +1,39 @@
+#ifndef FLEXVIS_DW_CSV_H_
+#define FLEXVIS_DW_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dw/table.h"
+#include "util/status.h"
+
+namespace flexvis::dw {
+
+/// CSV interchange for warehouse tables (RFC 4180 quoting), standing in for
+/// PostgreSQL's COPY: the paper's tool loads its data from the MIRABEL DW,
+/// and these functions are how a deployment would bulk-move that data.
+
+/// Serializes `table` with a header row. Null cells become empty fields;
+/// fields containing commas, quotes, or newlines are quoted with doubled
+/// inner quotes.
+std::string TableToCsv(const Table& table);
+
+/// Parses CSV into a table with the given schema. When `has_header` is true
+/// the first record must name exactly the schema's columns (in order).
+/// Empty fields become nulls; numeric fields must parse fully.
+Result<Table> TableFromCsv(std::string table_name, const std::vector<ColumnSpec>& schema,
+                           std::string_view csv, bool has_header = true);
+
+/// File convenience wrappers.
+Status WriteCsvFile(const Table& table, const std::string& path);
+Result<Table> ReadCsvFile(std::string table_name, const std::vector<ColumnSpec>& schema,
+                          const std::string& path, bool has_header = true);
+
+/// Splits one CSV document into records of fields, honoring quotes (exposed
+/// for tests; embedded newlines inside quoted fields are supported).
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view csv);
+
+}  // namespace flexvis::dw
+
+#endif  // FLEXVIS_DW_CSV_H_

@@ -1,0 +1,137 @@
+#include "dw/persistence.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/messages.h"
+#include "dw/csv.h"
+#include "util/strings.h"
+
+namespace flexvis::dw {
+
+namespace {
+
+constexpr const char* kProsumerFile = "dim_prosumer.csv";
+constexpr const char* kRegionFile = "dim_region.csv";
+constexpr const char* kGridFile = "dim_grid_node.csv";
+constexpr const char* kOffersFile = "flexoffers.jsonl";
+
+Status WriteTextFile(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return InternalError(StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (written != data.size()) {
+    return InternalError(StrFormat("short write to '%s'", path.c_str()));
+  }
+  return OkStatus();
+}
+
+Result<std::string> ReadTextFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return NotFoundError(StrFormat("cannot open '%s' for reading", path.c_str()));
+  }
+  std::string data;
+  char buffer[8192];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) data.append(buffer, n);
+  std::fclose(f);
+  return data;
+}
+
+}  // namespace
+
+Status SaveDatabase(const Database& db, const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return InternalError(StrFormat("cannot create directory '%s': %s", directory.c_str(),
+                                   ec.message().c_str()));
+  }
+  const std::filesystem::path dir(directory);
+  FLEXVIS_RETURN_IF_ERROR(WriteCsvFile(db.dim_prosumer(), (dir / kProsumerFile).string()));
+  FLEXVIS_RETURN_IF_ERROR(WriteCsvFile(db.dim_region(), (dir / kRegionFile).string()));
+  FLEXVIS_RETURN_IF_ERROR(WriteCsvFile(db.dim_grid_node(), (dir / kGridFile).string()));
+
+  // Offers as JSON Lines in id order. Aggregates must come after their
+  // members? Loading re-validates but membership is stored on the aggregate,
+  // so order does not matter for correctness; id order keeps diffs stable.
+  Result<std::vector<core::FlexOffer>> offers = db.SelectFlexOffers(FlexOfferFilter{});
+  if (!offers.ok()) return offers.status();
+  std::string lines;
+  for (const core::FlexOffer& offer : *offers) {
+    lines += core::EncodeFlexOffer(offer);
+    lines += '\n';
+  }
+  return WriteTextFile((dir / kOffersFile).string(), lines);
+}
+
+Result<Database> LoadDatabase(const std::string& directory) {
+  const std::filesystem::path dir(directory);
+  Database db;
+
+  // Dimensions.
+  Result<Table> prosumers =
+      ReadCsvFile("dim_prosumer", db.dim_prosumer().schema(), (dir / kProsumerFile).string());
+  if (!prosumers.ok()) return prosumers.status();
+  for (size_t r = 0; r < prosumers->NumRows(); ++r) {
+    ProsumerInfo p;
+    p.id = prosumers->FindColumn("prosumer_id")->GetInt64(r);
+    p.name = prosumers->FindColumn("name")->GetString(r);
+    p.type = static_cast<core::ProsumerType>(
+        prosumers->FindColumn("prosumer_type")->GetInt64(r));
+    p.region = prosumers->FindColumn("region_id")->GetInt64(r);
+    p.grid_node = prosumers->FindColumn("grid_node_id")->GetInt64(r);
+    FLEXVIS_RETURN_IF_ERROR(db.RegisterProsumer(p));
+  }
+  Result<Table> regions =
+      ReadCsvFile("dim_region", db.dim_region().schema(), (dir / kRegionFile).string());
+  if (!regions.ok()) return regions.status();
+  for (size_t r = 0; r < regions->NumRows(); ++r) {
+    RegionInfo info;
+    info.id = regions->FindColumn("region_id")->GetInt64(r);
+    info.name = regions->FindColumn("name")->GetString(r);
+    info.parent = regions->FindColumn("parent_id")->GetInt64(r);
+    info.level = regions->FindColumn("level")->GetString(r);
+    FLEXVIS_RETURN_IF_ERROR(db.RegisterRegion(info));
+  }
+  Result<Table> grid_nodes =
+      ReadCsvFile("dim_grid_node", db.dim_grid_node().schema(), (dir / kGridFile).string());
+  if (!grid_nodes.ok()) return grid_nodes.status();
+  for (size_t r = 0; r < grid_nodes->NumRows(); ++r) {
+    GridNodeInfo info;
+    info.id = grid_nodes->FindColumn("grid_node_id")->GetInt64(r);
+    info.name = grid_nodes->FindColumn("name")->GetString(r);
+    info.kind = grid_nodes->FindColumn("kind")->GetString(r);
+    info.parent = grid_nodes->FindColumn("parent_id")->GetInt64(r);
+    FLEXVIS_RETURN_IF_ERROR(db.RegisterGridNode(info));
+  }
+
+  // Offers.
+  Result<std::string> lines = ReadTextFile((dir / kOffersFile).string());
+  if (!lines.ok()) return lines.status();
+  std::vector<core::FlexOffer> offers;
+  size_t start = 0;
+  while (start < lines->size()) {
+    size_t end = lines->find('\n', start);
+    if (end == std::string::npos) end = lines->size();
+    std::string_view line(lines->data() + start, end - start);
+    if (!StripWhitespace(line).empty()) {
+      Result<core::FlexOffer> offer = core::DecodeFlexOffer(line);
+      if (!offer.ok()) {
+        return InvalidArgumentError(
+            StrFormat("%s: bad offer record near byte %zu: %s", kOffersFile, start,
+                      offer.status().message().c_str()));
+      }
+      offers.push_back(*std::move(offer));
+    }
+    start = end + 1;
+  }
+  FLEXVIS_RETURN_IF_ERROR(db.LoadFlexOffers(offers));
+  return db;
+}
+
+}  // namespace flexvis::dw

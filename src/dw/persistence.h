@@ -1,0 +1,29 @@
+#ifndef FLEXVIS_DW_PERSISTENCE_H_
+#define FLEXVIS_DW_PERSISTENCE_H_
+
+#include <string>
+
+#include "dw/database.h"
+#include "util/status.h"
+
+namespace flexvis::dw {
+
+/// On-disk persistence for the in-memory warehouse: a directory holding the
+/// three dimension tables as CSV (`dim_prosumer.csv`, `dim_region.csv`,
+/// `dim_grid_node.csv`) plus the complete flex-offer set as JSON Lines
+/// (`flexoffers.jsonl`, one core message-format offer per line — profiles,
+/// schedules, and aggregation provenance included). This is the substitute
+/// for dumping/restoring the paper's PostgreSQL instance.
+
+/// Writes `db` under `directory` (created if absent). Existing files are
+/// overwritten.
+Status SaveDatabase(const Database& db, const std::string& directory);
+
+/// Rebuilds a Database from a directory written by SaveDatabase. The restored
+/// instance answers every query identically (dimension rows, fact rows, and
+/// offer reconstruction round-trip; see the persistence tests).
+Result<Database> LoadDatabase(const std::string& directory);
+
+}  // namespace flexvis::dw
+
+#endif  // FLEXVIS_DW_PERSISTENCE_H_

@@ -1,0 +1,109 @@
+#include "geo/atlas.h"
+
+#include "util/strings.h"
+
+namespace flexvis::geo {
+
+namespace {
+
+/// Stable region ids for the built-in atlas.
+enum BuiltinRegionId : core::RegionId {
+  kDenmark = 1,
+  kWestDenmark = 10,
+  kEastDenmark = 11,
+  kAalborg = 100,
+  kAarhus = 101,
+  kEsbjerg = 102,
+  kOdense = 103,
+  kCopenhagen = 104,
+};
+
+Polygon Box(double x0, double y0, double x1, double y1) {
+  return Polygon({{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}});
+}
+
+}  // namespace
+
+Atlas Atlas::MakeDenmark() {
+  Atlas atlas;
+  // Jutland-ish peninsula (west) and the Zealand-ish islands (east) in a
+  // 100x100 map frame; y grows north.
+  Polygon jutland({{10, 5},  {32, 2},  {36, 20}, {40, 42}, {36, 68},
+                   {30, 90}, {16, 95}, {8, 70},  {6, 40},  {8, 18}});
+  Polygon zealand({{58, 12}, {82, 10}, {92, 26}, {90, 48}, {78, 56}, {62, 50}, {56, 30}});
+  Polygon country({{6, 2},   {40, 2},  {46, 30}, {56, 8},  {94, 8},
+                   {96, 50}, {76, 60}, {56, 54}, {42, 72}, {32, 96},
+                   {14, 98}, {6, 70}});
+
+  atlas.regions_.push_back(GeoRegion{kDenmark, "Denmark", "country",
+                                     core::kInvalidRegionId, country});
+  atlas.regions_.push_back(GeoRegion{kWestDenmark, "West Denmark", "region", kDenmark, jutland});
+  atlas.regions_.push_back(GeoRegion{kEastDenmark, "East Denmark", "region", kDenmark, zealand});
+
+  // Cities: small boxes centered near their real relative positions.
+  atlas.regions_.push_back(
+      GeoRegion{kAalborg, "Aalborg", "city", kWestDenmark, Box(18, 74, 30, 86)});
+  atlas.regions_.push_back(
+      GeoRegion{kAarhus, "Aarhus", "city", kWestDenmark, Box(26, 44, 38, 56)});
+  atlas.regions_.push_back(
+      GeoRegion{kEsbjerg, "Esbjerg", "city", kWestDenmark, Box(8, 22, 20, 34)});
+  atlas.regions_.push_back(
+      GeoRegion{kOdense, "Odense", "city", kWestDenmark, Box(30, 10, 42, 22)});
+  atlas.regions_.push_back(
+      GeoRegion{kCopenhagen, "Copenhagen", "city", kEastDenmark, Box(74, 26, 88, 40)});
+  return atlas;
+}
+
+Result<GeoRegion> Atlas::Find(core::RegionId id) const {
+  for (const GeoRegion& r : regions_) {
+    if (r.id == id) return r;
+  }
+  return NotFoundError(StrFormat("no region %lld in atlas", static_cast<long long>(id)));
+}
+
+Result<GeoRegion> Atlas::FindByName(std::string_view name) const {
+  for (const GeoRegion& r : regions_) {
+    if (EqualsIgnoreCase(r.name, name)) return r;
+  }
+  return NotFoundError(StrFormat("no region '%.*s' in atlas", static_cast<int>(name.size()),
+                                 name.data()));
+}
+
+std::vector<GeoRegion> Atlas::Leaves() const {
+  std::vector<GeoRegion> out;
+  for (const GeoRegion& r : regions_) {
+    bool has_child = false;
+    for (const GeoRegion& c : regions_) {
+      if (c.parent == r.id) {
+        has_child = true;
+        break;
+      }
+    }
+    if (!has_child) out.push_back(r);
+  }
+  return out;
+}
+
+Result<core::RegionId> Atlas::LocateLeaf(const GeoPoint& p) const {
+  for (const GeoRegion& r : Leaves()) {
+    if (r.outline.Contains(p)) return r.id;
+  }
+  return NotFoundError(StrFormat("point (%g, %g) is not inside any leaf region", p.x, p.y));
+}
+
+GeoBounds Atlas::Bounds() const {
+  if (regions_.empty()) return GeoBounds{};
+  GeoBounds b = regions_[0].outline.Bounds();
+  for (const GeoRegion& r : regions_) b = b.Union(r.outline.Bounds());
+  return b;
+}
+
+Status Atlas::RegisterWithDatabase(dw::Database& db) const {
+  for (const GeoRegion& r : regions_) {
+    FLEXVIS_RETURN_IF_ERROR(
+        db.RegisterRegion(dw::RegionInfo{r.id, r.name, r.parent, r.level}));
+  }
+  return OkStatus();
+}
+
+}  // namespace flexvis::geo

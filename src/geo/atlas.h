@@ -1,0 +1,63 @@
+#ifndef FLEXVIS_GEO_ATLAS_H_
+#define FLEXVIS_GEO_ATLAS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "dw/database.h"
+#include "geo/geometry.h"
+#include "util/status.h"
+
+namespace flexvis::geo {
+
+/// One mapped area of the atlas.
+struct GeoRegion {
+  core::RegionId id = core::kInvalidRegionId;
+  std::string name;
+  std::string level;  // "country", "region", "city"
+  core::RegionId parent = core::kInvalidRegionId;
+  /// Leaf and mid-level regions carry outlines; the country outline is the
+  /// union silhouette. Cities are drawn as their polygon too (districts as
+  /// dots would need a deeper atlas).
+  Polygon outline;
+};
+
+/// The synthetic Denmark-like atlas used by the map view (Fig. 3 shows five
+/// shaded areas with one histogram each). Three levels:
+///   country "Denmark" -> regions {West Denmark, East Denmark} ->
+///   five cities {Aalborg, Aarhus, Esbjerg, Odense | Copenhagen}.
+/// Coordinates are planar map units in [0, 100]^2; the shapes are stylized
+/// but the adjacency (west/east split, city placement) follows the real
+/// geography so "west Denmark" filters behave sensibly.
+class Atlas {
+ public:
+  /// Builds the built-in atlas.
+  static Atlas MakeDenmark();
+
+  const std::vector<GeoRegion>& regions() const { return regions_; }
+
+  /// Region by id / name.
+  Result<GeoRegion> Find(core::RegionId id) const;
+  Result<GeoRegion> FindByName(std::string_view name) const;
+
+  /// Leaf (city) regions only.
+  std::vector<GeoRegion> Leaves() const;
+
+  /// The leaf region containing `p`, if any (used to geotag generated
+  /// prosumers).
+  Result<core::RegionId> LocateLeaf(const GeoPoint& p) const;
+
+  /// Bounding box over every outline.
+  GeoBounds Bounds() const;
+
+  /// Registers all regions as DW dimension rows.
+  Status RegisterWithDatabase(dw::Database& db) const;
+
+ private:
+  std::vector<GeoRegion> regions_;
+};
+
+}  // namespace flexvis::geo
+
+#endif  // FLEXVIS_GEO_ATLAS_H_

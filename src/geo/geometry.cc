@@ -1,0 +1,76 @@
+#include "geo/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexvis::geo {
+
+GeoBounds GeoBounds::Union(const GeoBounds& other) const {
+  return GeoBounds{std::min(min_x, other.min_x), std::min(min_y, other.min_y),
+                   std::max(max_x, other.max_x), std::max(max_y, other.max_y)};
+}
+
+bool Polygon::Contains(const GeoPoint& p) const {
+  if (empty()) return false;
+  bool inside = false;
+  size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const GeoPoint& a = vertices_[i];
+    const GeoPoint& b = vertices_[j];
+    if ((a.y > p.y) != (b.y > p.y)) {
+      double x_cross = (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x;
+      if (p.x < x_cross) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polygon::SignedArea() const {
+  if (empty()) return 0.0;
+  double area2 = 0.0;
+  size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    area2 += vertices_[j].x * vertices_[i].y - vertices_[i].x * vertices_[j].y;
+  }
+  return area2 / 2.0;
+}
+
+GeoPoint Polygon::Centroid() const {
+  double area2 = SignedArea() * 2.0;
+  if (std::abs(area2) < 1e-12) {
+    GeoPoint mean;
+    for (const GeoPoint& v : vertices_) {
+      mean.x += v.x;
+      mean.y += v.y;
+    }
+    if (!vertices_.empty()) {
+      mean.x /= static_cast<double>(vertices_.size());
+      mean.y /= static_cast<double>(vertices_.size());
+    }
+    return mean;
+  }
+  GeoPoint c;
+  size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    double cross = vertices_[j].x * vertices_[i].y - vertices_[i].x * vertices_[j].y;
+    c.x += (vertices_[j].x + vertices_[i].x) * cross;
+    c.y += (vertices_[j].y + vertices_[i].y) * cross;
+  }
+  c.x /= 3.0 * area2;
+  c.y /= 3.0 * area2;
+  return c;
+}
+
+GeoBounds Polygon::Bounds() const {
+  if (vertices_.empty()) return GeoBounds{};
+  GeoBounds b{vertices_[0].x, vertices_[0].y, vertices_[0].x, vertices_[0].y};
+  for (const GeoPoint& v : vertices_) {
+    b.min_x = std::min(b.min_x, v.x);
+    b.min_y = std::min(b.min_y, v.y);
+    b.max_x = std::max(b.max_x, v.x);
+    b.max_y = std::max(b.max_y, v.y);
+  }
+  return b;
+}
+
+}  // namespace flexvis::geo

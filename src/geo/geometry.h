@@ -1,0 +1,60 @@
+#ifndef FLEXVIS_GEO_GEOMETRY_H_
+#define FLEXVIS_GEO_GEOMETRY_H_
+
+#include <vector>
+
+namespace flexvis::geo {
+
+/// A point in geographic coordinates (abstract map units; the synthetic
+/// atlas uses a local planar system, so no projection math is needed).
+struct GeoPoint {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const GeoPoint& a, const GeoPoint& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Axis-aligned bounding box in map units.
+struct GeoBounds {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  double width() const { return max_x - min_x; }
+  double height() const { return max_y - min_y; }
+
+  /// Smallest box covering both.
+  GeoBounds Union(const GeoBounds& other) const;
+};
+
+/// A simple (non-self-intersecting) polygon with implicit closing edge.
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<GeoPoint> vertices) : vertices_(std::move(vertices)) {}
+
+  const std::vector<GeoPoint>& vertices() const { return vertices_; }
+  bool empty() const { return vertices_.size() < 3; }
+
+  /// Even-odd point-in-polygon test; points exactly on an edge may land on
+  /// either side (adequate for region assignment of synthetic coordinates).
+  bool Contains(const GeoPoint& p) const;
+
+  /// Signed area (positive for counter-clockwise winding).
+  double SignedArea() const;
+
+  /// Area centroid; the vertex mean for degenerate polygons.
+  GeoPoint Centroid() const;
+
+  GeoBounds Bounds() const;
+
+ private:
+  std::vector<GeoPoint> vertices_;
+};
+
+}  // namespace flexvis::geo
+
+#endif  // FLEXVIS_GEO_GEOMETRY_H_

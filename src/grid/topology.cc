@@ -1,0 +1,130 @@
+#include "grid/topology.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace flexvis::grid {
+
+std::string_view NodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kPlant: return "plant";
+    case NodeKind::kTransmission: return "transmission";
+    case NodeKind::kDistribution: return "distribution";
+    case NodeKind::kFeeder: return "feeder";
+  }
+  return "unknown";
+}
+
+GridTopology GridTopology::MakeRadial(int transmission_count, int plants,
+                                      int distribution_per_transmission,
+                                      int feeders_per_distribution) {
+  GridTopology topo;
+  core::GridNodeId next_id = 1;
+  std::vector<core::GridNodeId> transmission_ids;
+
+  // Layer 0: transmission substations, chained by 150 kV lines.
+  for (int t = 0; t < transmission_count; ++t) {
+    GridNode node;
+    node.id = next_id++;
+    node.name = StrFormat("TS-%02d", t + 1);
+    node.kind = NodeKind::kTransmission;
+    node.parent = core::kInvalidGridNodeId;
+    node.layer = 1;
+    node.slot = t;
+    transmission_ids.push_back(node.id);
+    topo.nodes_.push_back(std::move(node));
+    if (t > 0) {
+      topo.edges_.push_back(GridEdge{transmission_ids[t - 1], transmission_ids[t], 150.0});
+    }
+  }
+
+  // Plants attach round-robin to transmission substations (drawn above them).
+  for (int p = 0; p < plants; ++p) {
+    GridNode node;
+    node.id = next_id++;
+    node.name = StrFormat("Plant-%02d", p + 1);
+    node.kind = NodeKind::kPlant;
+    node.parent = transmission_ids.empty()
+                      ? core::kInvalidGridNodeId
+                      : transmission_ids[p % transmission_ids.size()];
+    node.layer = 0;
+    node.slot = p;
+    if (node.parent != core::kInvalidGridNodeId) {
+      topo.edges_.push_back(GridEdge{node.id, node.parent, 110.0});
+    }
+    topo.nodes_.push_back(std::move(node));
+  }
+
+  // Layer 2: distribution substations under each transmission node.
+  int dist_slot = 0;
+  std::vector<core::GridNodeId> distribution_ids;
+  for (core::GridNodeId ts : transmission_ids) {
+    for (int d = 0; d < distribution_per_transmission; ++d) {
+      GridNode node;
+      node.id = next_id++;
+      node.name = StrFormat("DS-%02d", dist_slot + 1);
+      node.kind = NodeKind::kDistribution;
+      node.parent = ts;
+      node.layer = 2;
+      node.slot = dist_slot++;
+      distribution_ids.push_back(node.id);
+      topo.edges_.push_back(GridEdge{ts, node.id, 60.0});
+      topo.nodes_.push_back(std::move(node));
+    }
+  }
+
+  // Layer 3: feeders under each distribution substation.
+  int feeder_slot = 0;
+  for (core::GridNodeId ds : distribution_ids) {
+    for (int f = 0; f < feeders_per_distribution; ++f) {
+      GridNode node;
+      node.id = next_id++;
+      node.name = StrFormat("F-%03d", feeder_slot + 1);
+      node.kind = NodeKind::kFeeder;
+      node.parent = ds;
+      node.layer = 3;
+      node.slot = feeder_slot++;
+      topo.edges_.push_back(GridEdge{ds, node.id, 10.0});
+      topo.nodes_.push_back(std::move(node));
+    }
+  }
+  return topo;
+}
+
+Result<GridNode> GridTopology::Find(core::GridNodeId id) const {
+  for (const GridNode& n : nodes_) {
+    if (n.id == id) return n;
+  }
+  return NotFoundError(StrFormat("no grid node %lld", static_cast<long long>(id)));
+}
+
+std::vector<GridNode> GridTopology::Feeders() const {
+  std::vector<GridNode> out;
+  for (const GridNode& n : nodes_) {
+    if (n.kind == NodeKind::kFeeder) out.push_back(n);
+  }
+  return out;
+}
+
+int GridTopology::MaxSlotsPerLayer() const {
+  int max_slots = 0;
+  for (int layer = 0; layer <= 3; ++layer) {
+    int count = 0;
+    for (const GridNode& n : nodes_) {
+      if (n.layer == layer) ++count;
+    }
+    max_slots = std::max(max_slots, count);
+  }
+  return max_slots;
+}
+
+Status GridTopology::RegisterWithDatabase(dw::Database& db) const {
+  for (const GridNode& n : nodes_) {
+    FLEXVIS_RETURN_IF_ERROR(db.RegisterGridNode(
+        dw::GridNodeInfo{n.id, n.name, std::string(NodeKindName(n.kind)), n.parent}));
+  }
+  return OkStatus();
+}
+
+}  // namespace flexvis::grid

@@ -1,0 +1,78 @@
+#ifndef FLEXVIS_GRID_TOPOLOGY_H_
+#define FLEXVIS_GRID_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "dw/database.h"
+#include "util/status.h"
+
+namespace flexvis::grid {
+
+/// Role of a node in the electricity network.
+enum class NodeKind {
+  kPlant = 0,         // generation connected at transmission level
+  kTransmission,      // 110 kV+ substation
+  kDistribution,      // MV substation
+  kFeeder,            // LV feeder serving prosumers
+};
+
+std::string_view NodeKindName(NodeKind kind);
+
+/// A grid node. `layer` and `slot` are deterministic layout coordinates
+/// assigned by the builder (layer = electrical depth, slot = position within
+/// the layer), which the schematic view (Fig. 4) maps to canvas x/y.
+struct GridNode {
+  core::GridNodeId id = core::kInvalidGridNodeId;
+  std::string name;
+  NodeKind kind = NodeKind::kFeeder;
+  core::GridNodeId parent = core::kInvalidGridNodeId;
+  int layer = 0;
+  int slot = 0;
+};
+
+/// An electrical connection (the schematic view draws one line per edge;
+/// `voltage_kv` selects the line weight, e.g. the 110 kV transmission lines
+/// the paper's topological filter mentions).
+struct GridEdge {
+  core::GridNodeId from = core::kInvalidGridNodeId;
+  core::GridNodeId to = core::kInvalidGridNodeId;
+  double voltage_kv = 10.0;
+};
+
+/// The electricity-grid topology: a tree of substations with generation
+/// attached at the transmission layer, standing in for the real Danish grid
+/// model. Deterministic given its shape parameters.
+class GridTopology {
+ public:
+  /// Builds a three-layer radial topology: `transmission_count` 110 kV
+  /// substations in a chain, `plants` generation plants attached round-robin,
+  /// `distribution_per_transmission` MV substations per transmission node,
+  /// and `feeders_per_distribution` feeders per MV substation.
+  static GridTopology MakeRadial(int transmission_count, int plants,
+                                 int distribution_per_transmission,
+                                 int feeders_per_distribution);
+
+  const std::vector<GridNode>& nodes() const { return nodes_; }
+  const std::vector<GridEdge>& edges() const { return edges_; }
+
+  Result<GridNode> Find(core::GridNodeId id) const;
+
+  /// All feeder nodes (prosumer attachment points).
+  std::vector<GridNode> Feeders() const;
+
+  /// Number of slots in the widest layer (layout aid).
+  int MaxSlotsPerLayer() const;
+
+  /// Registers all nodes as DW dimension rows.
+  Status RegisterWithDatabase(dw::Database& db) const;
+
+ private:
+  std::vector<GridNode> nodes_;
+  std::vector<GridEdge> edges_;
+};
+
+}  // namespace flexvis::grid
+
+#endif  // FLEXVIS_GRID_TOPOLOGY_H_

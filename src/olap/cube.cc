@@ -1,0 +1,330 @@
+#include "olap/cube.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace flexvis::olap {
+
+using dw::Column;
+using dw::Table;
+using timeutil::Granularity;
+using timeutil::TimeInterval;
+using timeutil::TimePoint;
+
+std::string_view MeasureName(Measure m) {
+  switch (m) {
+    case Measure::kCount: return "Count";
+    case Measure::kSumMinEnergy: return "SumMinEnergy";
+    case Measure::kSumMaxEnergy: return "SumMaxEnergy";
+    case Measure::kSumScheduledEnergy: return "ScheduledEnergy";
+    case Measure::kSumEnergyFlex: return "EnergyFlexibility";
+    case Measure::kAvgTimeFlexMinutes: return "AvgTimeFlexibility";
+    case Measure::kAvgProfileSlices: return "AvgProfileSlices";
+    case Measure::kBalancingPotential: return "BalancingPotential";
+  }
+  return "Unknown";
+}
+
+Result<Measure> ParseMeasure(std::string_view name) {
+  for (int i = 0; i <= static_cast<int>(Measure::kBalancingPotential); ++i) {
+    Measure m = static_cast<Measure>(i);
+    if (EqualsIgnoreCase(name, MeasureName(m))) return m;
+  }
+  return InvalidArgumentError(StrFormat("unknown measure: %.*s",
+                                        static_cast<int>(name.size()), name.data()));
+}
+
+double PivotResult::RowTotal(size_t r) const {
+  double t = 0.0;
+  for (double v : cells[r]) t += v;
+  return t;
+}
+
+double PivotResult::ColTotal(size_t c) const {
+  double t = 0.0;
+  for (const auto& row : cells) t += row[c];
+  return t;
+}
+
+double PivotResult::GrandTotal() const {
+  double t = 0.0;
+  for (size_t r = 0; r < cells.size(); ++r) t += RowTotal(r);
+  return t;
+}
+
+double PivotResult::MaxCell() const {
+  double m = 0.0;
+  for (const auto& row : cells) {
+    for (double v : row) m = std::max(m, v);
+  }
+  return m;
+}
+
+std::string PivotResult::ToText() const {
+  size_t row_width = std::string("rows\\cols").size();
+  for (const PivotHeader& h : rows) row_width = std::max(row_width, h.label.size());
+  std::vector<size_t> col_widths(cols.size());
+  std::vector<std::vector<std::string>> text(rows.size(), std::vector<std::string>(cols.size()));
+  for (size_t c = 0; c < cols.size(); ++c) {
+    col_widths[c] = cols[c].label.size();
+    for (size_t r = 0; r < rows.size(); ++r) {
+      text[r][c] = FormatDouble(cells[r][c], 2);
+      col_widths[c] = std::max(col_widths[c], text[r][c].size());
+    }
+  }
+  std::string out = StrFormat("measure: %s\n", std::string(MeasureName(measure)).c_str());
+  out += StrFormat("%-*s", static_cast<int>(row_width) + 2, "rows\\cols");
+  for (size_t c = 0; c < cols.size(); ++c) {
+    out += StrFormat("%*s", static_cast<int>(col_widths[c]) + 2, cols[c].label.c_str());
+  }
+  out += "\n";
+  for (size_t r = 0; r < rows.size(); ++r) {
+    out += StrFormat("%-*s", static_cast<int>(row_width) + 2, rows[r].label.c_str());
+    for (size_t c = 0; c < cols.size(); ++c) {
+      out += StrFormat("%*s", static_cast<int>(col_widths[c]) + 2, text[r][c].c_str());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Cube::Cube(const dw::Database* db) : db_(db) {}
+
+Status Cube::AddDimension(Dimension dim) {
+  if (FindDimension(dim.name()) != nullptr) {
+    return AlreadyExistsError(StrFormat("dimension '%s' already registered",
+                                        dim.name().c_str()));
+  }
+  dimensions_.push_back(std::move(dim));
+  return OkStatus();
+}
+
+Status Cube::AddStandardDimensions() {
+  FLEXVIS_RETURN_IF_ERROR(AddDimension(MakeStateDimension()));
+  FLEXVIS_RETURN_IF_ERROR(AddDimension(MakeDirectionDimension()));
+  FLEXVIS_RETURN_IF_ERROR(AddDimension(MakeEnergyTypeDimension()));
+  FLEXVIS_RETURN_IF_ERROR(AddDimension(MakeProsumerTypeDimension()));
+  FLEXVIS_RETURN_IF_ERROR(AddDimension(MakeApplianceTypeDimension()));
+  if (!db_->regions().empty()) {
+    Result<Dimension> geo = MakeGeoDimension(*db_);
+    if (!geo.ok()) return geo.status();
+    FLEXVIS_RETURN_IF_ERROR(AddDimension(*std::move(geo)));
+  }
+  if (!db_->grid_nodes().empty()) {
+    Result<Dimension> grid = MakeGridDimension(*db_);
+    if (!grid.ok()) return grid.status();
+    FLEXVIS_RETURN_IF_ERROR(AddDimension(*std::move(grid)));
+  }
+  return OkStatus();
+}
+
+const Dimension* Cube::FindDimension(std::string_view name) const {
+  for (const Dimension& d : dimensions_) {
+    if (EqualsIgnoreCase(d.name(), name)) return &d;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Per-cell accumulator covering all measures in one pass.
+struct CellAcc {
+  double count = 0.0;
+  double sum_min = 0.0;
+  double sum_max = 0.0;
+  double sum_sched = 0.0;
+  double sum_tf = 0.0;
+  double sum_slices = 0.0;
+  double sum_shift_ratio = 0.0;
+
+  double Finish(Measure m) const {
+    switch (m) {
+      case Measure::kCount: return count;
+      case Measure::kSumMinEnergy: return sum_min;
+      case Measure::kSumMaxEnergy: return sum_max;
+      case Measure::kSumScheduledEnergy: return sum_sched;
+      case Measure::kSumEnergyFlex: return sum_max - sum_min;
+      case Measure::kAvgTimeFlexMinutes: return count > 0 ? sum_tf / count : 0.0;
+      case Measure::kAvgProfileSlices: return count > 0 ? sum_slices / count : 0.0;
+      case Measure::kBalancingPotential: {
+        double slack = sum_max > 0.0 ? (sum_max - sum_min) / sum_max : 0.0;
+        double shift = count > 0 ? sum_shift_ratio / count : 0.0;
+        return slack * shift;
+      }
+    }
+    return 0.0;
+  }
+};
+
+// Resolved axis: headers plus a classifier from a fact row to a header index
+// (-1 = row not on this axis).
+struct ResolvedAxis {
+  std::vector<PivotHeader> headers;
+  // For dimension axes: fact column + value->index lookup.
+  const Column* column = nullptr;
+  std::unordered_map<int64_t, int> value_to_index;
+  // For the Time axis.
+  bool is_time = false;
+  const Column* time_column = nullptr;
+  TimePoint window_start;
+  Granularity granularity = Granularity::kDay;
+  std::unordered_map<int64_t, int> bucket_to_index;  // period-start minutes -> index
+
+  int Classify(size_t row) const {
+    if (is_time) {
+      TimePoint t = TimePoint::FromMinutes(time_column->GetInt64(row));
+      int64_t bucket = timeutil::TruncateTo(t, granularity).minutes();
+      auto it = bucket_to_index.find(bucket);
+      return it == bucket_to_index.end() ? -1 : it->second;
+    }
+    if (column == nullptr) return 0;  // implicit single "All" axis
+    auto it = value_to_index.find(column->GetInt64(row));
+    return it == value_to_index.end() ? -1 : it->second;
+  }
+};
+
+}  // namespace
+
+Result<PivotResult> Cube::Evaluate(const CubeQuery& query) const {
+  if (query.axes.size() > 2) {
+    return InvalidArgumentError("a pivot query supports at most two axes");
+  }
+  const Table& facts = db_->fact_flexoffer();
+
+  // ---- Resolve slicers into an allow-set per fact column. -----------------
+  std::vector<std::pair<const Column*, std::unordered_map<int64_t, bool>>> slicer_sets;
+  for (const SlicerSpec& s : query.slicers) {
+    const Dimension* dim = FindDimension(s.dimension);
+    if (dim == nullptr) {
+      return NotFoundError(StrFormat("unknown dimension '%s'", s.dimension.c_str()));
+    }
+    Result<int> member = dim->FindMember(s.member);
+    if (!member.ok()) return member.status();
+    const Column* col = facts.FindColumn(dim->fact_column());
+    if (col == nullptr) {
+      return InternalError(StrFormat("fact column '%s' missing", dim->fact_column().c_str()));
+    }
+    std::unordered_map<int64_t, bool> allowed;
+    for (int64_t v : dim->members()[*member].leaf_values) allowed[v] = true;
+    slicer_sets.emplace_back(col, std::move(allowed));
+  }
+
+  // ---- Resolve axes. --------------------------------------------------------
+  std::vector<ResolvedAxis> axes(2);
+  for (size_t a = 0; a < 2; ++a) {
+    ResolvedAxis& axis = axes[a];
+    if (a >= query.axes.size()) {
+      axis.headers.push_back(PivotHeader{"All", -1});
+      continue;
+    }
+    const AxisSpec& spec = query.axes[a];
+    if (EqualsIgnoreCase(spec.dimension, "Time")) {
+      if (query.window.empty()) {
+        return InvalidArgumentError("a Time axis requires a non-empty query window");
+      }
+      axis.is_time = true;
+      axis.granularity = query.time_granularity;
+      axis.time_column = facts.FindColumn("earliest_start_min");
+      TimePoint cursor = timeutil::TruncateTo(query.window.start, axis.granularity);
+      int index = 0;
+      while (cursor < query.window.end) {
+        axis.bucket_to_index[cursor.minutes()] = index++;
+        axis.headers.push_back(
+            PivotHeader{timeutil::PeriodLabel(cursor, axis.granularity), -1});
+        TimePoint next = timeutil::NextBoundary(cursor, axis.granularity);
+        if (!(cursor < next)) break;
+        cursor = next;
+      }
+      continue;
+    }
+    const Dimension* dim = FindDimension(spec.dimension);
+    if (dim == nullptr) {
+      return NotFoundError(StrFormat("unknown dimension '%s'", spec.dimension.c_str()));
+    }
+    axis.column = facts.FindColumn(dim->fact_column());
+    if (axis.column == nullptr) {
+      return InternalError(StrFormat("fact column '%s' missing", dim->fact_column().c_str()));
+    }
+    std::vector<int> member_ids;
+    if (!spec.members.empty()) {
+      for (const std::string& m : spec.members) {
+        Result<int> id = dim->FindMember(m);
+        if (!id.ok()) return id.status();
+        member_ids.push_back(*id);
+      }
+    } else {
+      int level = dim->num_levels() - 1;
+      if (!spec.level.empty()) {
+        Result<int> l = dim->FindLevel(spec.level);
+        if (!l.ok()) return l.status();
+        level = *l;
+      }
+      member_ids = dim->MembersAtLevel(level);
+    }
+    for (int id : member_ids) {
+      int index = static_cast<int>(axis.headers.size());
+      axis.headers.push_back(PivotHeader{dim->members()[id].name, id});
+      for (int64_t v : dim->members()[id].leaf_values) {
+        // First selection wins on overlap (overlapping members on one axis
+        // would double-count otherwise).
+        axis.value_to_index.emplace(v, index);
+      }
+    }
+  }
+
+  // ---- Single scan over the facts. ------------------------------------------
+  const Column* est_col = facts.FindColumn("earliest_start_min");
+  const Column* min_col = facts.FindColumn("total_min_kwh");
+  const Column* max_col = facts.FindColumn("total_max_kwh");
+  const Column* sched_col = facts.FindColumn("scheduled_kwh");
+  const Column* tf_col = facts.FindColumn("time_flex_min");
+  const Column* slices_col = facts.FindColumn("profile_slices");
+
+  PivotResult result;
+  result.measure = query.measure;
+  result.rows = axes[0].headers;
+  result.cols = axes[1].headers;
+  std::vector<std::vector<CellAcc>> acc(result.rows.size(),
+                                        std::vector<CellAcc>(result.cols.size()));
+
+  for (size_t r = 0; r < facts.NumRows(); ++r) {
+    if (!query.window.empty()) {
+      TimePoint est = TimePoint::FromMinutes(est_col->GetInt64(r));
+      if (!query.window.Contains(est)) continue;
+    }
+    bool pass = true;
+    for (const auto& [col, allowed] : slicer_sets) {
+      if (allowed.find(col->GetInt64(r)) == allowed.end()) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    int row_idx = axes[0].Classify(r);
+    int col_idx = axes[1].Classify(r);
+    if (row_idx < 0 || col_idx < 0) continue;
+    CellAcc& cell = acc[row_idx][col_idx];
+    cell.count += 1.0;
+    cell.sum_min += min_col->GetDouble(r);
+    cell.sum_max += max_col->GetDouble(r);
+    cell.sum_sched += sched_col->GetDouble(r);
+    double tf = static_cast<double>(tf_col->GetInt64(r));
+    double dur = static_cast<double>(slices_col->GetInt64(r)) * timeutil::kMinutesPerSlice;
+    cell.sum_tf += tf;
+    cell.sum_slices += static_cast<double>(slices_col->GetInt64(r));
+    if (tf + dur > 0.0) cell.sum_shift_ratio += tf / (tf + dur);
+  }
+
+  result.cells.resize(result.rows.size());
+  for (size_t i = 0; i < result.rows.size(); ++i) {
+    result.cells[i].resize(result.cols.size());
+    for (size_t j = 0; j < result.cols.size(); ++j) {
+      result.cells[i][j] = acc[i][j].Finish(query.measure);
+    }
+  }
+  return result;
+}
+
+}  // namespace flexvis::olap

@@ -1,0 +1,111 @@
+#ifndef FLEXVIS_OLAP_CUBE_H_
+#define FLEXVIS_OLAP_CUBE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "olap/dimension.h"
+#include "time/granularity.h"
+#include "util/status.h"
+
+namespace flexvis::olap {
+
+/// Measures evaluable per pivot cell (the Req. 2 catalogue, restated over
+/// the fact schema).
+enum class Measure {
+  kCount = 0,              // flex-offer count
+  kSumMinEnergy,           // Σ total_min_kwh
+  kSumMaxEnergy,           // Σ total_max_kwh
+  kSumScheduledEnergy,     // Σ scheduled_kwh
+  kSumEnergyFlex,          // Σ (max - min)
+  kAvgTimeFlexMinutes,     // mean time_flex_min
+  kAvgProfileSlices,       // mean profile_slices
+  kBalancingPotential,     // see core::ComputeBalancingPotential
+};
+
+std::string_view MeasureName(Measure m);
+Result<Measure> ParseMeasure(std::string_view name);
+
+/// One pivot axis: a dimension sliced at a level (all members of that level)
+/// or at an explicit member list. The pseudo-dimension "Time" buckets the
+/// offers' earliest start by the query's time granularity.
+struct AxisSpec {
+  std::string dimension;
+  std::string level;                  // empty = the dimension's deepest level
+  std::vector<std::string> members;   // non-empty overrides `level`
+};
+
+/// A point filter: restricts facts to the leaf extension of one member.
+struct SlicerSpec {
+  std::string dimension;
+  std::string member;
+};
+
+/// A pivot query ("retrieve counts of accepted flex-offers in the west
+/// Denmark in the period from Jan-2013 to Feb-2013 grouped by cities and
+/// energy type" = axes {Geography@City, EnergyType@Type}, slicers
+/// {State.Accepted, Geography.[West Denmark]}, window Jan..Mar).
+struct CubeQuery {
+  std::vector<AxisSpec> axes;  // 0 = rows, 1 = columns; at most two
+  std::vector<SlicerSpec> slicers;
+  /// Restricts facts to offers whose earliest start lies in the window;
+  /// empty = unconstrained. Also the bucketing range of a Time axis.
+  timeutil::TimeInterval window;
+  timeutil::Granularity time_granularity = timeutil::Granularity::kDay;
+  Measure measure = Measure::kCount;
+};
+
+/// One pivot header entry.
+struct PivotHeader {
+  std::string label;
+  int member_id = -1;  // -1 for Time buckets and the implicit "All" axis
+};
+
+/// Materialized pivot table.
+struct PivotResult {
+  std::vector<PivotHeader> rows;
+  std::vector<PivotHeader> cols;
+  /// cells[r][c]; rows.size() x cols.size().
+  std::vector<std::vector<double>> cells;
+  Measure measure = Measure::kCount;
+
+  double RowTotal(size_t r) const;
+  double ColTotal(size_t c) const;
+  double GrandTotal() const;
+  double MaxCell() const;
+
+  /// Fixed-width text rendering for terminals and tests.
+  std::string ToText() const;
+};
+
+/// The OLAP cube over the flex-offer fact table. Holds the registered
+/// dimensions and answers pivot queries in one scan over the facts.
+class Cube {
+ public:
+  /// `db` must outlive the cube.
+  explicit Cube(const dw::Database* db);
+
+  /// Registers `dim`; names must be unique.
+  Status AddDimension(Dimension dim);
+
+  /// Registers the standard dimensions (State, Direction, EnergyType,
+  /// Prosumer, Appliance) plus Geography/Grid when the DW has those
+  /// dimension rows.
+  Status AddStandardDimensions();
+
+  const std::vector<Dimension>& dimensions() const { return dimensions_; }
+  const Dimension* FindDimension(std::string_view name) const;
+
+  /// Evaluates `query`. With zero axes the result is 1x1; with one axis the
+  /// column side collapses to a single "All" column.
+  Result<PivotResult> Evaluate(const CubeQuery& query) const;
+
+ private:
+  const dw::Database* db_;
+  std::vector<Dimension> dimensions_;
+};
+
+}  // namespace flexvis::olap
+
+#endif  // FLEXVIS_OLAP_CUBE_H_

@@ -1,0 +1,247 @@
+#include "olap/dimension.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/types.h"
+#include "util/strings.h"
+
+namespace flexvis::olap {
+
+using core::ApplianceType;
+using core::Direction;
+using core::EnergyType;
+using core::FlexOfferState;
+using core::ProsumerType;
+
+Dimension::Dimension(std::string name, std::string fact_column,
+                     std::vector<std::string> level_names)
+    : name_(std::move(name)),
+      fact_column_(std::move(fact_column)),
+      level_names_(std::move(level_names)) {}
+
+Result<int> Dimension::AddMember(std::string member_name, int parent,
+                                 std::vector<int64_t> leaf_values) {
+  int level = 0;
+  if (parent < 0) {
+    if (!members_.empty()) {
+      return InvalidArgumentError(StrFormat("dimension '%s' already has a root", name_.c_str()));
+    }
+  } else {
+    if (parent >= static_cast<int>(members_.size())) {
+      return OutOfRangeError(StrFormat("parent %d out of range in dimension '%s'", parent,
+                                       name_.c_str()));
+    }
+    level = members_[parent].level + 1;
+    if (level >= num_levels()) {
+      return OutOfRangeError(StrFormat("member '%s' exceeds the %d levels of dimension '%s'",
+                                       member_name.c_str(), num_levels(), name_.c_str()));
+    }
+  }
+  DimensionMember m;
+  m.id = static_cast<int>(members_.size());
+  m.name = std::move(member_name);
+  m.parent = parent;
+  m.level = level;
+  m.leaf_values = std::move(leaf_values);
+  members_.push_back(std::move(m));
+  return members_.back().id;
+}
+
+std::vector<int> Dimension::Children(int member) const {
+  std::vector<int> out;
+  for (const DimensionMember& m : members_) {
+    if (m.parent == member) out.push_back(m.id);
+  }
+  return out;
+}
+
+std::vector<int> Dimension::MembersAtLevel(int level) const {
+  std::vector<int> out;
+  for (const DimensionMember& m : members_) {
+    if (m.level == level) out.push_back(m.id);
+  }
+  return out;
+}
+
+Result<int> Dimension::FindMember(std::string_view member_name) const {
+  for (const DimensionMember& m : members_) {
+    if (EqualsIgnoreCase(m.name, member_name)) return m.id;
+  }
+  return NotFoundError(StrFormat("no member '%.*s' in dimension '%s'",
+                                 static_cast<int>(member_name.size()), member_name.data(),
+                                 name_.c_str()));
+}
+
+Result<int> Dimension::FindLevel(std::string_view level_name) const {
+  for (size_t i = 0; i < level_names_.size(); ++i) {
+    if (EqualsIgnoreCase(level_names_[i], level_name)) return static_cast<int>(i);
+  }
+  return NotFoundError(StrFormat("no level '%.*s' in dimension '%s'",
+                                 static_cast<int>(level_name.size()), level_name.data(),
+                                 name_.c_str()));
+}
+
+std::string Dimension::PathOf(int member) const {
+  if (member < 0 || member >= static_cast<int>(members_.size())) return "";
+  std::vector<std::string> parts;
+  for (int m = member; m >= 0; m = members_[m].parent) parts.push_back(members_[m].name);
+  std::reverse(parts.begin(), parts.end());
+  return StrJoin(parts, " / ");
+}
+
+void Dimension::PropagateLeafValues() {
+  // Process deepest levels first so unions bubble up one level at a time. A
+  // member keeps its own explicit values (facts may be tagged at inner
+  // levels, e.g. directly at a region rather than a city) and adds the union
+  // of its children's.
+  for (int level = num_levels() - 2; level >= 0; --level) {
+    for (DimensionMember& m : members_) {
+      if (m.level != level) continue;
+      std::vector<int64_t> merged = m.leaf_values;
+      for (const DimensionMember& child : members_) {
+        if (child.parent != m.id) continue;
+        merged.insert(merged.end(), child.leaf_values.begin(), child.leaf_values.end());
+      }
+      std::sort(merged.begin(), merged.end());
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      m.leaf_values = std::move(merged);
+    }
+  }
+}
+
+namespace {
+
+// Builds All -> members over one enum-typed column.
+template <typename E, int N, std::string_view (*NameFn)(E)>
+Dimension MakeFlatEnumDimension(const char* dim_name, const char* column, const char* all_label,
+                                const char* leaf_level) {
+  Dimension dim(dim_name, column, {"All", leaf_level});
+  int root = *dim.AddMember(all_label, -1, {});
+  for (int i = 0; i < N; ++i) {
+    (void)dim.AddMember(std::string(NameFn(static_cast<E>(i))), root, {i});
+  }
+  dim.PropagateLeafValues();
+  return dim;
+}
+
+}  // namespace
+
+Dimension MakeStateDimension() {
+  return MakeFlatEnumDimension<FlexOfferState, core::kNumFlexOfferStates,
+                               core::FlexOfferStateName>("State", "state", "All states", "State");
+}
+
+Dimension MakeDirectionDimension() {
+  Dimension dim("Direction", "direction", {"All", "Direction"});
+  int root = *dim.AddMember("All directions", -1, {});
+  (void)dim.AddMember(std::string(core::DirectionName(Direction::kConsumption)), root, {0});
+  (void)dim.AddMember(std::string(core::DirectionName(Direction::kProduction)), root, {1});
+  dim.PropagateLeafValues();
+  return dim;
+}
+
+Dimension MakeEnergyTypeDimension() {
+  Dimension dim("EnergyType", "energy_type", {"All", "Class", "Type"});
+  int root = *dim.AddMember("All energy", -1, {});
+  int renewable = *dim.AddMember("Renewable", root, {});
+  int conventional = *dim.AddMember("Conventional", root, {});
+  for (int i = 0; i < core::kNumEnergyTypes; ++i) {
+    EnergyType t = static_cast<EnergyType>(i);
+    (void)dim.AddMember(std::string(core::EnergyTypeName(t)),
+                        core::IsRenewable(t) ? renewable : conventional, {i});
+  }
+  dim.PropagateLeafValues();
+  return dim;
+}
+
+Dimension MakeProsumerTypeDimension() {
+  // The hierarchy of Fig. 5: All prosumers -> Consumer / Producer -> types.
+  Dimension dim("Prosumer", "prosumer_type", {"All", "Role", "Type"});
+  int root = *dim.AddMember("All prosumers", -1, {});
+  int consumer = *dim.AddMember("Consumer", root, {});
+  int producer = *dim.AddMember("Producer", root, {});
+  for (int i = 0; i < core::kNumProsumerTypes; ++i) {
+    ProsumerType t = static_cast<ProsumerType>(i);
+    (void)dim.AddMember(std::string(core::ProsumerTypeName(t)),
+                        core::IsProducerType(t) ? producer : consumer, {i});
+  }
+  dim.PropagateLeafValues();
+  return dim;
+}
+
+Dimension MakeApplianceTypeDimension() {
+  return MakeFlatEnumDimension<ApplianceType, core::kNumApplianceTypes, core::ApplianceTypeName>(
+      "Appliance", "appliance_type", "All appliances", "Appliance");
+}
+
+namespace {
+
+// Builds a dimension from parent-linked dim rows. `levels` are logical level
+// names beyond the synthetic root.
+Result<Dimension> MakeTreeDimension(const char* dim_name, const char* column,
+                                    const char* root_label, std::vector<std::string> levels,
+                                    const std::vector<std::pair<int64_t, std::string>>& nodes,
+                                    const std::vector<int64_t>& parents) {
+  std::vector<std::string> level_names = {"All"};
+  for (std::string& l : levels) level_names.push_back(std::move(l));
+  Dimension dim(dim_name, column, level_names);
+  int root = *dim.AddMember(root_label, -1, {});
+
+  // Map from entity id -> member id, built in passes so parents exist first.
+  std::map<int64_t, int> member_of;
+  std::vector<bool> placed(nodes.size(), false);
+  size_t remaining = nodes.size();
+  while (remaining > 0) {
+    size_t progress = 0;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (placed[i]) continue;
+      int parent_member;
+      if (parents[i] < 0) {
+        parent_member = root;
+      } else {
+        auto it = member_of.find(parents[i]);
+        if (it == member_of.end()) continue;  // parent not yet placed
+        parent_member = it->second;
+      }
+      Result<int> added = dim.AddMember(nodes[i].second, parent_member, {nodes[i].first});
+      if (!added.ok()) return added.status();
+      member_of[nodes[i].first] = *added;
+      placed[i] = true;
+      ++progress;
+      --remaining;
+    }
+    if (progress == 0) {
+      return InvalidArgumentError(
+          StrFormat("dimension '%s': cyclic or dangling parent references", dim_name));
+    }
+  }
+  dim.PropagateLeafValues();
+  return dim;
+}
+
+}  // namespace
+
+Result<Dimension> MakeGeoDimension(const dw::Database& db) {
+  std::vector<std::pair<int64_t, std::string>> nodes;
+  std::vector<int64_t> parents;
+  for (const dw::RegionInfo& r : db.regions()) {
+    nodes.emplace_back(r.id, r.name);
+    parents.push_back(r.parent);
+  }
+  return MakeTreeDimension("Geography", "region_id", "All regions",
+                           {"Country", "Region", "City"}, nodes, parents);
+}
+
+Result<Dimension> MakeGridDimension(const dw::Database& db) {
+  std::vector<std::pair<int64_t, std::string>> nodes;
+  std::vector<int64_t> parents;
+  for (const dw::GridNodeInfo& n : db.grid_nodes()) {
+    nodes.emplace_back(n.id, n.name);
+    parents.push_back(n.parent);
+  }
+  return MakeTreeDimension("Grid", "grid_node_id", "Whole grid",
+                           {"Transmission", "Distribution", "Feeder"}, nodes, parents);
+}
+
+}  // namespace flexvis::olap

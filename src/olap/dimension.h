@@ -1,0 +1,97 @@
+#ifndef FLEXVIS_OLAP_DIMENSION_H_
+#define FLEXVIS_OLAP_DIMENSION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dw/database.h"
+#include "util/status.h"
+
+namespace flexvis::olap {
+
+/// One member of a dimension hierarchy (e.g. "Household" in the prosumer
+/// dimension, "West Denmark" in the geography dimension).
+struct DimensionMember {
+  int id = 0;          // index into Dimension::members()
+  std::string name;
+  int parent = -1;     // -1 for the root
+  int level = 0;       // 0 = root ("All ...")
+  /// The fact-column values this member covers (its leaf extension). For a
+  /// leaf member this is typically one value; for inner members the union of
+  /// the children's values. Used to translate member selection into fact
+  /// scans.
+  std::vector<int64_t> leaf_values;
+};
+
+/// An OLAP dimension: a named hierarchy whose leaves map onto values of one
+/// fact-table column ("intuitive dimension hierarchies as those in OLAP has
+/// to be created for all these types of attributes", Section 3).
+class Dimension {
+ public:
+  Dimension() = default;
+
+  /// `fact_column` names the fact_flexoffer column the leaves map to.
+  Dimension(std::string name, std::string fact_column, std::vector<std::string> level_names);
+
+  const std::string& name() const { return name_; }
+  const std::string& fact_column() const { return fact_column_; }
+  const std::vector<std::string>& level_names() const { return level_names_; }
+  const std::vector<DimensionMember>& members() const { return members_; }
+  int num_levels() const { return static_cast<int>(level_names_.size()); }
+
+  /// Adds a member under `parent` (-1 for the root; exactly one root is
+  /// allowed). Returns the new member's id.
+  Result<int> AddMember(std::string member_name, int parent, std::vector<int64_t> leaf_values);
+
+  /// Root member id; -1 if the dimension is empty.
+  int root() const { return members_.empty() ? -1 : 0; }
+
+  /// Children of `member` in hierarchy order.
+  std::vector<int> Children(int member) const;
+
+  /// Member ids at `level` (0 = root level).
+  std::vector<int> MembersAtLevel(int level) const;
+
+  /// Finds a member by (case-insensitive) name.
+  Result<int> FindMember(std::string_view member_name) const;
+
+  /// Index of a level by name.
+  Result<int> FindLevel(std::string_view level_name) const;
+
+  /// Path from the root to `member` ("All prosumers / Consumer / Household").
+  std::string PathOf(int member) const;
+
+  /// Recomputes every inner member's leaf_values as the union of its
+  /// children's. Call once after all members are added; leaves keep their
+  /// explicit values.
+  void PropagateLeafValues();
+
+ private:
+  std::string name_;
+  std::string fact_column_;
+  std::vector<std::string> level_names_;
+  std::vector<DimensionMember> members_;
+};
+
+/// Standard dimensions over the enum-typed fact columns. Each is a two-level
+/// hierarchy: All -> enum members (the prosumer dimension inserts a
+/// Consumer/Producer layer as in Fig. 5).
+Dimension MakeStateDimension();
+Dimension MakeDirectionDimension();
+Dimension MakeEnergyTypeDimension();   // All -> Renewable/Conventional -> types
+Dimension MakeProsumerTypeDimension(); // All prosumers -> Consumer/Producer -> types
+Dimension MakeApplianceTypeDimension();
+
+/// Geography dimension from the DW's dim_region rows (country -> region ->
+/// city levels, following the registered parent pointers). Leaf values are
+/// region ids.
+Result<Dimension> MakeGeoDimension(const dw::Database& db);
+
+/// Grid-topology dimension from dim_grid_node rows; leaf values are grid
+/// node ids.
+Result<Dimension> MakeGridDimension(const dw::Database& db);
+
+}  // namespace flexvis::olap
+
+#endif  // FLEXVIS_OLAP_DIMENSION_H_

@@ -1,0 +1,332 @@
+#include "olap/mdx.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace flexvis::olap {
+
+namespace {
+
+using timeutil::TimePoint;
+
+// ---- Tokenizer --------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdent, kBracketed, kLBrace, kRBrace, kLParen, kRParen, kDot, kComma, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      switch (c) {
+        case '{': out.push_back({Token::Kind::kLBrace, "{"}); ++pos_; continue;
+        case '}': out.push_back({Token::Kind::kRBrace, "}"}); ++pos_; continue;
+        case '(': out.push_back({Token::Kind::kLParen, "("}); ++pos_; continue;
+        case ')': out.push_back({Token::Kind::kRParen, ")"}); ++pos_; continue;
+        case '.': out.push_back({Token::Kind::kDot, "."}); ++pos_; continue;
+        case ',': out.push_back({Token::Kind::kComma, ","}); ++pos_; continue;
+        case '[': {
+          size_t close = text_.find(']', pos_);
+          if (close == std::string_view::npos) {
+            return InvalidArgumentError("MDX: unterminated '['");
+          }
+          out.push_back({Token::Kind::kBracketed,
+                         std::string(StripWhitespace(text_.substr(pos_ + 1, close - pos_ - 1)))});
+          pos_ = close + 1;
+          continue;
+        }
+        default:
+          break;
+      }
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+          ++pos_;
+        }
+        out.push_back({Token::Kind::kIdent, std::string(text_.substr(start, pos_ - start))});
+        continue;
+      }
+      return InvalidArgumentError(StrFormat("MDX: unexpected character '%c'", c));
+    }
+    out.push_back({Token::Kind::kEnd, ""});
+    return out;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// Parses "YYYY-MM-DD[ HH:MM]".
+Result<TimePoint> ParseDateTime(std::string_view s) {
+  int y = 0, mo = 0, d = 0, h = 0, mi = 0;
+  int consumed = 0;
+  std::string str(s);
+  int fields = std::sscanf(str.c_str(), "%d-%d-%d %d:%d%n", &y, &mo, &d, &h, &mi, &consumed);
+  if (fields >= 3) {
+    if (fields == 3) h = mi = 0;
+    return TimePoint::FromCalendar(y, mo, d, h, mi);
+  }
+  return InvalidArgumentError(StrFormat("MDX: cannot parse time '%s'", str.c_str()));
+}
+
+// ---- Parser -----------------------------------------------------------------
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const Cube& cube)
+      : tokens_(std::move(tokens)), cube_(cube) {}
+
+  Result<CubeQuery> Parse() {
+    CubeQuery query;
+    FLEXVIS_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+
+    // First axis set (MDX convention: COLUMNS first).
+    std::vector<ParsedSet> sets;
+    sets.emplace_back();
+    FLEXVIS_RETURN_IF_ERROR(ParseSet(&sets.back(), &query));
+    FLEXVIS_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    Result<std::string> axis_name = ExpectAxisName();
+    if (!axis_name.ok()) return axis_name.status();
+    sets.back().axis = *axis_name;
+
+    if (Peek().kind == Token::Kind::kComma) {
+      ++pos_;
+      sets.emplace_back();
+      FLEXVIS_RETURN_IF_ERROR(ParseSet(&sets.back(), &query));
+      FLEXVIS_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      Result<std::string> second = ExpectAxisName();
+      if (!second.ok()) return second.status();
+      sets.back().axis = *second;
+      if (EqualsIgnoreCase(sets[0].axis, sets[1].axis)) {
+        return InvalidArgumentError("MDX: both sets placed on the same axis");
+      }
+    }
+
+    FLEXVIS_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    Token from = Next();
+    if ((from.kind != Token::Kind::kBracketed && from.kind != Token::Kind::kIdent) ||
+        !EqualsIgnoreCase(from.text, "FlexOffers")) {
+      return InvalidArgumentError("MDX: expected FROM [FlexOffers]");
+    }
+
+    if (Peek().kind == Token::Kind::kIdent && EqualsIgnoreCase(Peek().text, "WHERE")) {
+      ++pos_;
+      FLEXVIS_RETURN_IF_ERROR(Expect(Token::Kind::kLParen, "("));
+      while (true) {
+        FLEXVIS_RETURN_IF_ERROR(ParseSlicer(&query));
+        if (Peek().kind == Token::Kind::kComma) {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      FLEXVIS_RETURN_IF_ERROR(Expect(Token::Kind::kRParen, ")"));
+    }
+    if (Peek().kind != Token::Kind::kEnd) {
+      return InvalidArgumentError(StrFormat("MDX: trailing input near '%s'",
+                                            Peek().text.c_str()));
+    }
+
+    // Assemble axes: rows then columns (CubeQuery order).
+    for (const ParsedSet& set : sets) {
+      if (set.is_measure) continue;  // measure sets collapse their axis
+      if (EqualsIgnoreCase(set.axis, "ROWS")) {
+        query.axes.insert(query.axes.begin(), set.spec);
+      } else {
+        // COLUMNS: rows (if any) must come first.
+        if (query.axes.empty()) {
+          query.axes.push_back(set.spec);
+        } else {
+          query.axes.push_back(set.spec);
+        }
+      }
+    }
+    // CubeQuery wants [rows, columns]; if only a COLUMNS set exists it is the
+    // single axis and becomes rows of the result, which matches how a
+    // one-axis pivot collapses. Nothing further to do.
+    return query;
+  }
+
+ private:
+  struct ParsedSet {
+    bool is_measure = false;
+    AxisSpec spec;
+    std::string axis;  // "COLUMNS" or "ROWS"
+  };
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Next() { return tokens_[pos_++]; }
+
+  Status Expect(Token::Kind kind, const char* what) {
+    if (Peek().kind != kind) {
+      return InvalidArgumentError(StrFormat("MDX: expected '%s' near '%s'", what,
+                                            Peek().text.c_str()));
+    }
+    ++pos_;
+    return OkStatus();
+  }
+
+  Status ExpectKeyword(const char* keyword) {
+    if (Peek().kind != Token::Kind::kIdent || !EqualsIgnoreCase(Peek().text, keyword)) {
+      return InvalidArgumentError(StrFormat("MDX: expected %s near '%s'", keyword,
+                                            Peek().text.c_str()));
+    }
+    ++pos_;
+    return OkStatus();
+  }
+
+  Result<std::string> ExpectAxisName() {
+    if (Peek().kind != Token::Kind::kIdent ||
+        (!EqualsIgnoreCase(Peek().text, "COLUMNS") && !EqualsIgnoreCase(Peek().text, "ROWS"))) {
+      return InvalidArgumentError(StrFormat("MDX: expected COLUMNS or ROWS near '%s'",
+                                            Peek().text.c_str()));
+    }
+    return Next().text;
+  }
+
+  // Parses "{ ... }".
+  Status ParseSet(ParsedSet* set, CubeQuery* query) {
+    FLEXVIS_RETURN_IF_ERROR(Expect(Token::Kind::kLBrace, "{"));
+    Token head = Next();
+    if (head.kind != Token::Kind::kIdent) {
+      return InvalidArgumentError("MDX: expected a dimension or Measures in set");
+    }
+    if (EqualsIgnoreCase(head.text, "Measures")) {
+      FLEXVIS_RETURN_IF_ERROR(Expect(Token::Kind::kDot, "."));
+      Token name = Next();
+      if (name.kind != Token::Kind::kIdent && name.kind != Token::Kind::kBracketed) {
+        return InvalidArgumentError("MDX: expected a measure name");
+      }
+      Result<Measure> m = ParseMeasure(name.text);
+      if (!m.ok()) return m.status();
+      query->measure = *m;
+      set->is_measure = true;
+      return Expect(Token::Kind::kRBrace, "}");
+    }
+
+    set->spec.dimension = head.text;
+    const bool is_time = EqualsIgnoreCase(head.text, "Time");
+    if (!is_time && cube_.FindDimension(head.text) == nullptr) {
+      return NotFoundError(StrFormat("MDX: unknown dimension '%s'", head.text.c_str()));
+    }
+    FLEXVIS_RETURN_IF_ERROR(Expect(Token::Kind::kDot, "."));
+    Token second = Next();
+    if (second.kind == Token::Kind::kIdent && EqualsIgnoreCase(second.text, "Members")) {
+      // Dim.Members -> deepest level (spec.level stays empty).
+      return Expect(Token::Kind::kRBrace, "}");
+    }
+    if (second.kind == Token::Kind::kIdent && Peek().kind == Token::Kind::kDot) {
+      // Dim.Level.Members
+      ++pos_;  // consume '.'
+      FLEXVIS_RETURN_IF_ERROR(ExpectKeyword("Members"));
+      if (is_time) {
+        Result<timeutil::Granularity> g = timeutil::ParseGranularity(second.text);
+        if (!g.ok()) return g.status();
+        query->time_granularity = *g;
+      } else {
+        set->spec.level = second.text;
+      }
+      return Expect(Token::Kind::kRBrace, "}");
+    }
+    // Explicit member list: Dim.[M1] , Dim.[M2] ...
+    if (second.kind != Token::Kind::kBracketed) {
+      return InvalidArgumentError(StrFormat("MDX: expected Members or [member] near '%s'",
+                                            second.text.c_str()));
+    }
+    set->spec.members.push_back(second.text);
+    while (Peek().kind == Token::Kind::kComma) {
+      ++pos_;
+      Token dim = Next();
+      if (dim.kind != Token::Kind::kIdent || !EqualsIgnoreCase(dim.text, set->spec.dimension)) {
+        return InvalidArgumentError("MDX: all members of a set must share one dimension");
+      }
+      FLEXVIS_RETURN_IF_ERROR(Expect(Token::Kind::kDot, "."));
+      Token member = Next();
+      if (member.kind != Token::Kind::kBracketed) {
+        return InvalidArgumentError("MDX: expected [member]");
+      }
+      set->spec.members.push_back(member.text);
+    }
+    return Expect(Token::Kind::kRBrace, "}");
+  }
+
+  // Parses one WHERE slicer.
+  Status ParseSlicer(CubeQuery* query) {
+    Token dim = Next();
+    if (dim.kind != Token::Kind::kIdent) {
+      return InvalidArgumentError("MDX: expected a dimension in WHERE");
+    }
+    FLEXVIS_RETURN_IF_ERROR(Expect(Token::Kind::kDot, "."));
+    Token member = Next();
+    if (member.kind != Token::Kind::kBracketed && member.kind != Token::Kind::kIdent) {
+      return InvalidArgumentError("MDX: expected [member] in WHERE");
+    }
+    if (EqualsIgnoreCase(dim.text, "Time")) {
+      // Time.[start : end]
+      std::vector<std::string> parts = StrSplit(member.text, ':');
+      // The time-of-day colon also splits, so re-join: the range separator is
+      // the colon surrounded by the date patterns. Simpler: find " : " or the
+      // colon that is not preceded by a digit pair within a time. Robust
+      // approach: split on the *last* " : " like separator by scanning for
+      // ':' with surrounding spaces.
+      size_t sep = member.text.find(" : ");
+      std::string lhs, rhs;
+      if (sep != std::string::npos) {
+        lhs = std::string(StripWhitespace(member.text.substr(0, sep)));
+        rhs = std::string(StripWhitespace(member.text.substr(sep + 3)));
+      } else if (parts.size() == 2) {
+        lhs = std::string(StripWhitespace(parts[0]));
+        rhs = std::string(StripWhitespace(parts[1]));
+      } else {
+        return InvalidArgumentError(
+            StrFormat("MDX: expected Time.[start : end], got '%s'", member.text.c_str()));
+      }
+      Result<TimePoint> start = ParseDateTime(lhs);
+      if (!start.ok()) return start.status();
+      Result<TimePoint> end = ParseDateTime(rhs);
+      if (!end.ok()) return end.status();
+      query->window = timeutil::TimeInterval(*start, *end);
+      return OkStatus();
+    }
+    const Dimension* d = cube_.FindDimension(dim.text);
+    if (d == nullptr) {
+      return NotFoundError(StrFormat("MDX: unknown dimension '%s'", dim.text.c_str()));
+    }
+    Result<int> m = d->FindMember(member.text);
+    if (!m.ok()) return m.status();
+    query->slicers.push_back(SlicerSpec{dim.text, member.text});
+    return OkStatus();
+  }
+
+  std::vector<Token> tokens_;
+  const Cube& cube_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<CubeQuery> ParseMdx(std::string_view text, const Cube& cube) {
+  Lexer lexer(text);
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(*std::move(tokens), cube);
+  return parser.Parse();
+}
+
+}  // namespace flexvis::olap

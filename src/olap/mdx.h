@@ -1,0 +1,39 @@
+#ifndef FLEXVIS_OLAP_MDX_H_
+#define FLEXVIS_OLAP_MDX_H_
+
+#include <string_view>
+
+#include "olap/cube.h"
+#include "util/status.h"
+
+namespace flexvis::olap {
+
+/// Parses an MDX-style pivot query ("A possibility to manually formulate a
+/// query (e.g., in MDX) for the view must be provided", Section 3) into a
+/// CubeQuery. Supported grammar (keywords case-insensitive):
+///
+///   SELECT <set> ON COLUMNS [, <set> ON ROWS]
+///   FROM [FlexOffers]
+///   [WHERE ( <slicer> {, <slicer>} )]
+///
+///   <set>    := { Measures.<name> }                   -- picks the measure
+///             | { <Dim>.<Level>.Members }             -- all members at level
+///             | { <Dim>.Members }                     -- deepest level
+///             | { <Dim>.[<Member>] {, <Dim>.[<Member>]} }  -- explicit set
+///             | { Time.<Granularity>.Members }        -- time buckets
+///   <slicer> := <Dim>.[<Member>]
+///             | Time.[<start> : <end>]                -- "YYYY-MM-DD[ HH:MM]"
+///
+/// A Measures set may appear on either axis; that axis then collapses to a
+/// single "All" header. Member names with spaces must be bracketed.
+///
+/// Example (the pivot view of Fig. 5):
+///   SELECT { Measures.ScheduledEnergy } ON COLUMNS,
+///          { Prosumer.Type.Members } ON ROWS
+///   FROM [FlexOffers]
+///   WHERE ( State.[Accepted], Time.[2013-01-01 : 2013-02-01] )
+Result<CubeQuery> ParseMdx(std::string_view text, const Cube& cube);
+
+}  // namespace flexvis::olap
+
+#endif  // FLEXVIS_OLAP_MDX_H_

@@ -1,0 +1,110 @@
+#include "render/axis.h"
+
+#include <algorithm>
+
+namespace flexvis::render {
+
+void DrawBottomAxis(Canvas& canvas, const Rect& plot, const LinearScale& scale,
+                    const std::vector<Tick>& ticks, const AxisOptions& options) {
+  const double y = plot.bottom();
+  canvas.DrawLine(Point{plot.x, y}, Point{plot.right(), y}, Style::Stroke(options.line_color));
+  double last_label_end = -1e18;
+  for (const Tick& tick : ticks) {
+    double x = scale.Apply(tick.value);
+    if (x < plot.x - 0.5 || x > plot.right() + 0.5) continue;
+    if (options.draw_grid) {
+      canvas.DrawLine(Point{x, plot.y}, Point{x, y}, Style::Stroke(options.grid_color));
+    }
+    canvas.DrawLine(Point{x, y}, Point{x, y + options.tick_length},
+                    Style::Stroke(options.line_color));
+    double w = Canvas::MeasureTextWidth(tick.label, options.label_size);
+    // Thin labels that would overlap the previous one.
+    if (x - w / 2 > last_label_end + 4.0) {
+      TextStyle ts;
+      ts.color = options.text_color;
+      ts.size = options.label_size;
+      ts.anchor = TextAnchor::kMiddle;
+      canvas.DrawText(Point{x, y + options.tick_length + options.label_size + 2}, tick.label,
+                      ts);
+      last_label_end = x + w / 2;
+    }
+  }
+}
+
+void DrawLeftAxis(Canvas& canvas, const Rect& plot, const LinearScale& scale,
+                  const std::vector<Tick>& ticks, const AxisOptions& options) {
+  const double x = plot.x;
+  canvas.DrawLine(Point{x, plot.y}, Point{x, plot.bottom()}, Style::Stroke(options.line_color));
+  double last_label_top = 1e18;
+  for (const Tick& tick : ticks) {
+    double y = scale.Apply(tick.value);
+    if (y < plot.y - 0.5 || y > plot.bottom() + 0.5) continue;
+    if (options.draw_grid) {
+      canvas.DrawLine(Point{x, y}, Point{plot.right(), y}, Style::Stroke(options.grid_color));
+    }
+    canvas.DrawLine(Point{x - options.tick_length, y}, Point{x, y},
+                    Style::Stroke(options.line_color));
+    if (y + options.label_size < last_label_top + options.label_size * 2) {
+      TextStyle ts;
+      ts.color = options.text_color;
+      ts.size = options.label_size;
+      ts.anchor = TextAnchor::kEnd;
+      canvas.DrawText(Point{x - options.tick_length - 2, y + options.label_size * 0.35},
+                      tick.label, ts);
+      last_label_top = y;
+    }
+  }
+}
+
+void DrawBottomAxisTitle(Canvas& canvas, const Rect& plot, const std::string& title,
+                         const AxisOptions& options) {
+  TextStyle ts;
+  ts.color = options.text_color;
+  ts.size = options.label_size + 1;
+  ts.anchor = TextAnchor::kMiddle;
+  canvas.DrawText(Point{plot.x + plot.width / 2,
+                        plot.bottom() + options.tick_length + options.label_size * 2 + 8},
+                  title, ts);
+}
+
+void DrawLeftAxisTitle(Canvas& canvas, const Rect& plot, const std::string& title,
+                       const AxisOptions& options) {
+  TextStyle ts;
+  ts.color = options.text_color;
+  ts.size = options.label_size + 1;
+  ts.anchor = TextAnchor::kMiddle;
+  ts.rotate_degrees = -90.0;
+  canvas.DrawText(Point{plot.x - 38, plot.y + plot.height / 2}, title, ts);
+}
+
+Rect DrawLegend(Canvas& canvas, const Point& position, const std::vector<LegendEntry>& entries,
+                double label_size) {
+  const double swatch = label_size;
+  const double pad = 6.0;
+  const double row_height = swatch + 6.0;
+  double width = 0.0;
+  for (const LegendEntry& e : entries) {
+    width = std::max(width, Canvas::MeasureTextWidth(e.label, label_size));
+  }
+  Rect box{position.x, position.y, pad * 3 + swatch + width,
+           pad * 2 + row_height * entries.size() - 6.0};
+  canvas.DrawRect(box, Style::FillStroke(palette::kBackground.WithAlpha(230), palette::kAxis));
+  double y = position.y + pad;
+  for (const LegendEntry& e : entries) {
+    if (e.is_line) {
+      canvas.DrawLine(Point{position.x + pad, y + swatch / 2},
+                      Point{position.x + pad + swatch, y + swatch / 2},
+                      Style::Stroke(e.color, 2.0));
+    } else {
+      canvas.DrawRect(Rect{position.x + pad, y, swatch, swatch},
+                      Style::FillStroke(e.color, palette::kAxis));
+    }
+    TextStyle ts;
+    ts.size = label_size;
+    canvas.DrawText(Point{position.x + pad * 2 + swatch, y + swatch - 1}, e.label, ts);
+    y += row_height;
+  }
+  return box;
+}
+
+}  // namespace flexvis::render

@@ -1,0 +1,53 @@
+#ifndef FLEXVIS_RENDER_AXIS_H_
+#define FLEXVIS_RENDER_AXIS_H_
+
+#include <string>
+#include <vector>
+
+#include "render/canvas.h"
+#include "render/scale.h"
+
+namespace flexvis::render {
+
+/// Draws chart axes and grid lines into a plot rectangle. Used by every view
+/// that has a time abscissa and/or energy ordinate (Figs. 1, 6, 8, 9).
+struct AxisOptions {
+  Color line_color = palette::kAxis;
+  Color text_color = palette::kText;
+  Color grid_color = palette::kGridLine;
+  double tick_length = 4.0;
+  double label_size = 10.0;
+  bool draw_grid = true;
+};
+
+/// Bottom (abscissa) axis along plot.bottom(); `scale` maps domain values to
+/// x pixels. Labels are thinned when they would collide.
+void DrawBottomAxis(Canvas& canvas, const Rect& plot, const LinearScale& scale,
+                    const std::vector<Tick>& ticks, const AxisOptions& options = {});
+
+/// Left (ordinate) axis along plot.x; `scale` maps domain values to y pixels.
+void DrawLeftAxis(Canvas& canvas, const Rect& plot, const LinearScale& scale,
+                  const std::vector<Tick>& ticks, const AxisOptions& options = {});
+
+/// Axis title placed under the bottom axis / rotated left of the left axis.
+void DrawBottomAxisTitle(Canvas& canvas, const Rect& plot, const std::string& title,
+                         const AxisOptions& options = {});
+void DrawLeftAxisTitle(Canvas& canvas, const Rect& plot, const std::string& title,
+                       const AxisOptions& options = {});
+
+/// One legend entry: a colored swatch plus label.
+struct LegendEntry {
+  std::string label;
+  Color color;
+  /// Swatch form: filled box (area series) or line sample.
+  bool is_line = false;
+};
+
+/// Draws a vertical legend whose top-left corner is `position`. Returns the
+/// bounding rect actually used.
+Rect DrawLegend(Canvas& canvas, const Point& position, const std::vector<LegendEntry>& entries,
+                double label_size = 10.0);
+
+}  // namespace flexvis::render
+
+#endif  // FLEXVIS_RENDER_AXIS_H_

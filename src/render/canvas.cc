@@ -1,0 +1,29 @@
+#include "render/canvas.h"
+
+#include <algorithm>
+
+namespace flexvis::render {
+
+Rect Rect::Intersect(const Rect& o) const {
+  double nx = std::max(x, o.x);
+  double ny = std::max(y, o.y);
+  double nr = std::min(right(), o.right());
+  double nb = std::min(bottom(), o.bottom());
+  if (nr <= nx || nb <= ny) return Rect{nx, ny, 0.0, 0.0};
+  return Rect{nx, ny, nr - nx, nb - ny};
+}
+
+Rect Rect::FromCorners(const Point& a, const Point& b) {
+  double x0 = std::min(a.x, b.x);
+  double y0 = std::min(a.y, b.y);
+  return Rect{x0, y0, std::max(a.x, b.x) - x0, std::max(a.y, b.y) - y0};
+}
+
+double Canvas::MeasureTextWidth(const std::string& text, double size) {
+  // The 5x7 bitmap font occupies 6 columns (5 + 1 spacing) for 7 rows; at
+  // text size `size` one row is size/7 px, so one character advances by
+  // 6 * size / 7.
+  return static_cast<double>(text.size()) * size * 6.0 / 7.0;
+}
+
+}  // namespace flexvis::render

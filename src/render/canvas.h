@@ -1,0 +1,128 @@
+#ifndef FLEXVIS_RENDER_CANVAS_H_
+#define FLEXVIS_RENDER_CANVAS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "render/color.h"
+
+namespace flexvis::render {
+
+/// A point in canvas coordinates (pixels; y grows downward as in every GUI
+/// toolkit, so view code never flips axes itself — scales do).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) { return a.x == b.x && a.y == b.y; }
+};
+
+/// Axis-aligned rectangle (x, y = top-left corner).
+struct Rect {
+  double x = 0.0;
+  double y = 0.0;
+  double width = 0.0;
+  double height = 0.0;
+
+  double right() const { return x + width; }
+  double bottom() const { return y + height; }
+  bool empty() const { return width <= 0.0 || height <= 0.0; }
+
+  bool Contains(const Point& p) const {
+    return p.x >= x && p.x < right() && p.y >= y && p.y < bottom();
+  }
+  bool Intersects(const Rect& o) const {
+    return x < o.right() && o.x < right() && y < o.bottom() && o.y < bottom();
+  }
+  Rect Intersect(const Rect& o) const;
+  /// Rect expanded by `margin` on every side.
+  Rect Expanded(double margin) const { return {x - margin, y - margin,
+                                               width + 2 * margin, height + 2 * margin}; }
+  /// Normalized rect spanning two corner points (any orientation).
+  static Rect FromCorners(const Point& a, const Point& b);
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.x == b.x && a.y == b.y && a.width == b.width && a.height == b.height;
+  }
+};
+
+/// Stroke/fill style for a primitive. A std::nullopt fill or stroke disables
+/// that part.
+struct Style {
+  std::optional<Color> fill;
+  std::optional<Color> stroke;
+  double stroke_width = 1.0;
+  /// Dash pattern lengths in pixels; empty = solid.
+  std::vector<double> dash;
+
+  static Style Fill(Color c) { return Style{c, std::nullopt, 1.0, {}}; }
+  static Style Stroke(Color c, double width = 1.0) { return Style{std::nullopt, c, width, {}}; }
+  static Style FillStroke(Color f, Color s, double width = 1.0) {
+    return Style{f, s, width, {}};
+  }
+  Style WithDash(std::vector<double> pattern) const {
+    Style copy = *this;
+    copy.dash = std::move(pattern);
+    return copy;
+  }
+};
+
+/// Horizontal anchoring of text relative to its position.
+enum class TextAnchor { kStart, kMiddle, kEnd };
+
+/// Text attributes. `size` is the glyph height in pixels.
+struct TextStyle {
+  Color color = palette::kText;
+  double size = 11.0;
+  TextAnchor anchor = TextAnchor::kStart;
+  bool bold = false;
+  /// Rotation around the anchor point, degrees clockwise (used by vertical
+  /// axis titles and the pivot view's rotated headers as in Fig. 5).
+  double rotate_degrees = 0.0;
+};
+
+/// Abstract 2-D drawing surface. Concrete backends: SvgCanvas (vector
+/// output), RasterCanvas (software rasterizer), DisplayList (records
+/// commands for hit-testing and incremental replay). This is the seam that
+/// substitutes the paper's Qt widget canvas; everything above it is
+/// toolkit-independent.
+class Canvas {
+ public:
+  virtual ~Canvas() = default;
+
+  virtual double width() const = 0;
+  virtual double height() const = 0;
+
+  /// Fills the whole surface.
+  virtual void Clear(const Color& color) = 0;
+
+  virtual void DrawLine(const Point& from, const Point& to, const Style& style) = 0;
+  virtual void DrawRect(const Rect& rect, const Style& style) = 0;
+  virtual void DrawPolygon(const std::vector<Point>& points, const Style& style) = 0;
+  virtual void DrawPolyline(const std::vector<Point>& points, const Style& style) = 0;
+  virtual void DrawCircle(const Point& center, double radius, const Style& style) = 0;
+  /// A filled pie wedge from `start_degrees` spanning `sweep_degrees`
+  /// clockwise (0 degrees = 12 o'clock), as used by the state pies of
+  /// Figs. 4 and 6.
+  virtual void DrawPieSlice(const Point& center, double radius, double start_degrees,
+                            double sweep_degrees, const Style& style) = 0;
+  virtual void DrawText(const Point& position, const std::string& text,
+                        const TextStyle& style) = 0;
+
+  /// Restricts subsequent drawing to `rect` until PopClip. Backends support
+  /// nesting.
+  virtual void PushClip(const Rect& rect) = 0;
+  virtual void PopClip() = 0;
+
+  /// Approximate width of `text` at `size` px with the library's monospaced
+  /// metrics (6/7 of the size per character + 1px spacing). Both backends
+  /// honor these metrics so layout decisions hold for SVG and raster alike.
+  static double MeasureTextWidth(const std::string& text, double size);
+  /// Glyph height in pixels at `size`.
+  static double TextHeight(double size) { return size; }
+};
+
+}  // namespace flexvis::render
+
+#endif  // FLEXVIS_RENDER_CANVAS_H_

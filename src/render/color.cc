@@ -1,0 +1,36 @@
+#include "render/color.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/strings.h"
+
+namespace flexvis::render {
+
+std::string Color::ToHex() const { return StrFormat("#%02x%02x%02x", r, g, b); }
+
+Color Lerp(const Color& from, const Color& to, double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  auto mix = [t](uint8_t x, uint8_t y) {
+    return static_cast<uint8_t>(x + (y - x) * t + 0.5);
+  };
+  return Color(mix(from.r, to.r), mix(from.g, to.g), mix(from.b, to.b), mix(from.a, to.a));
+}
+
+Color BlendOver(const Color& dst, const Color& src) {
+  const double a = src.Opacity();
+  auto mix = [a](uint8_t below, uint8_t above) {
+    return static_cast<uint8_t>(below * (1.0 - a) + above * a + 0.5);
+  };
+  return Color(mix(dst.r, src.r), mix(dst.g, src.g), mix(dst.b, src.b), 255);
+}
+
+Color CategoricalColor(size_t index) {
+  static constexpr std::array<Color, 10> kColors = {{
+      {86, 160, 211},  {98, 177, 101}, {214, 96, 77},  {230, 171, 2},  {117, 112, 179},
+      {102, 166, 30},  {231, 41, 138}, {166, 118, 29}, {27, 158, 119}, {140, 140, 140},
+  }};
+  return kColors[index % kColors.size()];
+}
+
+}  // namespace flexvis::render

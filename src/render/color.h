@@ -1,0 +1,71 @@
+#ifndef FLEXVIS_RENDER_COLOR_H_
+#define FLEXVIS_RENDER_COLOR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace flexvis::render {
+
+/// 8-bit RGBA color. Alpha participates in SVG output and in raster blending.
+struct Color {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+  uint8_t a = 255;
+
+  constexpr Color() = default;
+  constexpr Color(uint8_t red, uint8_t green, uint8_t blue, uint8_t alpha = 255)
+      : r(red), g(green), b(blue), a(alpha) {}
+
+  /// "#rrggbb" (alpha is carried separately as SVG opacity).
+  std::string ToHex() const;
+
+  /// Opacity in [0, 1].
+  double Opacity() const { return a / 255.0; }
+
+  /// Same color with alpha replaced.
+  constexpr Color WithAlpha(uint8_t alpha) const { return Color(r, g, b, alpha); }
+
+  friend constexpr bool operator==(const Color& x, const Color& y) {
+    return x.r == y.r && x.g == y.g && x.b == y.b && x.a == y.a;
+  }
+};
+
+/// Linear interpolation between two colors, t in [0, 1] (clamped).
+Color Lerp(const Color& from, const Color& to, double t);
+
+/// Blends `src` over `dst` using src's alpha (straight alpha).
+Color BlendOver(const Color& dst, const Color& src);
+
+/// The tool's palette, named after the roles in Figs. 8-10:
+/// raw flex-offer boxes are light blue, aggregated ones light red, time
+/// flexibility intervals grey, scheduled start/energy lines solid red,
+/// creation/acceptance/assignment markers yellow, provenance links dashed
+/// red.
+namespace palette {
+inline constexpr Color kRawOffer{173, 216, 230};        // light blue
+inline constexpr Color kAggregatedOffer{255, 182, 173}; // light red
+inline constexpr Color kTimeFlexibility{190, 190, 190}; // grey
+inline constexpr Color kScheduled{200, 30, 30};         // solid red
+inline constexpr Color kMarker{240, 200, 30};           // yellow
+inline constexpr Color kProvenance{220, 60, 60};        // dashed red
+inline constexpr Color kAxis{60, 60, 60};
+inline constexpr Color kGridLine{225, 225, 225};
+inline constexpr Color kText{20, 20, 20};
+inline constexpr Color kBackground{255, 255, 255};
+inline constexpr Color kSelection{220, 60, 60};         // dashed rubber band
+inline constexpr Color kAccepted{86, 160, 211};         // dashboard pie: blue
+inline constexpr Color kAssigned{98, 177, 101};         // green
+inline constexpr Color kRejected{214, 96, 77};          // red
+inline constexpr Color kDemand{70, 90, 180};
+inline constexpr Color kFlexibleDemand{140, 180, 240};
+inline constexpr Color kResProduction{90, 170, 90};
+}  // namespace palette
+
+/// Categorical palette entry i (cycles after 10 entries); used where a view
+/// needs one color per series and no role color applies.
+Color CategoricalColor(size_t index);
+
+}  // namespace flexvis::render
+
+#endif  // FLEXVIS_RENDER_COLOR_H_

@@ -1,0 +1,218 @@
+#include "render/display_list.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace flexvis::render {
+
+Rect DisplayItem::Bounds() const {
+  switch (kind) {
+    case Kind::kClear:
+      return Rect{0, 0, 1e9, 1e9};
+    case Kind::kRect:
+    case Kind::kPushClip:
+      return rect;
+    case Kind::kCircle:
+    case Kind::kPieSlice: {
+      const Point& c = points.empty() ? Point{} : points[0];
+      return Rect{c.x - radius, c.y - radius, 2 * radius, 2 * radius};
+    }
+    case Kind::kText: {
+      double w = Canvas::MeasureTextWidth(text, text_style.size);
+      double h = Canvas::TextHeight(text_style.size);
+      const Point& p = points.empty() ? Point{} : points[0];
+      double x = p.x;
+      if (text_style.anchor == TextAnchor::kMiddle) x -= w / 2;
+      if (text_style.anchor == TextAnchor::kEnd) x -= w;
+      return Rect{x, p.y - h, w, h};
+    }
+    case Kind::kPopClip:
+      return Rect{};
+    default: {
+      if (points.empty()) return Rect{};
+      double x0 = points[0].x, x1 = points[0].x, y0 = points[0].y, y1 = points[0].y;
+      for (const Point& p : points) {
+        x0 = std::min(x0, p.x);
+        x1 = std::max(x1, p.x);
+        y0 = std::min(y0, p.y);
+        y1 = std::max(y1, p.y);
+      }
+      // Hairline bounds still participate in hit tests.
+      double pad = std::max(style.stroke_width, 1.0);
+      return Rect{x0 - pad / 2, y0 - pad / 2, (x1 - x0) + pad, (y1 - y0) + pad};
+    }
+  }
+}
+
+void DisplayList::Push(DisplayItem item) {
+  item.tag = current_tag_;
+  items_.push_back(std::move(item));
+}
+
+void DisplayList::Clear(const Color& color) {
+  DisplayItem item;
+  item.kind = DisplayItem::Kind::kClear;
+  item.clear_color = color;
+  Push(std::move(item));
+}
+
+void DisplayList::DrawLine(const Point& from, const Point& to, const Style& style) {
+  DisplayItem item;
+  item.kind = DisplayItem::Kind::kLine;
+  item.points = {from, to};
+  item.style = style;
+  Push(std::move(item));
+}
+
+void DisplayList::DrawRect(const Rect& rect, const Style& style) {
+  DisplayItem item;
+  item.kind = DisplayItem::Kind::kRect;
+  item.rect = rect;
+  item.style = style;
+  Push(std::move(item));
+}
+
+void DisplayList::DrawPolygon(const std::vector<Point>& points, const Style& style) {
+  DisplayItem item;
+  item.kind = DisplayItem::Kind::kPolygon;
+  item.points = points;
+  item.style = style;
+  Push(std::move(item));
+}
+
+void DisplayList::DrawPolyline(const std::vector<Point>& points, const Style& style) {
+  DisplayItem item;
+  item.kind = DisplayItem::Kind::kPolyline;
+  item.points = points;
+  item.style = style;
+  Push(std::move(item));
+}
+
+void DisplayList::DrawCircle(const Point& center, double radius, const Style& style) {
+  DisplayItem item;
+  item.kind = DisplayItem::Kind::kCircle;
+  item.points = {center};
+  item.radius = radius;
+  item.style = style;
+  Push(std::move(item));
+}
+
+void DisplayList::DrawPieSlice(const Point& center, double radius, double start_degrees,
+                               double sweep_degrees, const Style& style) {
+  DisplayItem item;
+  item.kind = DisplayItem::Kind::kPieSlice;
+  item.points = {center};
+  item.radius = radius;
+  item.angle0 = start_degrees;
+  item.angle1 = sweep_degrees;
+  item.style = style;
+  Push(std::move(item));
+}
+
+void DisplayList::DrawText(const Point& position, const std::string& text,
+                           const TextStyle& style) {
+  DisplayItem item;
+  item.kind = DisplayItem::Kind::kText;
+  item.points = {position};
+  item.text = text;
+  item.text_style = style;
+  Push(std::move(item));
+}
+
+void DisplayList::PushClip(const Rect& rect) {
+  DisplayItem item;
+  item.kind = DisplayItem::Kind::kPushClip;
+  item.rect = rect;
+  Push(std::move(item));
+}
+
+void DisplayList::PopClip() {
+  DisplayItem item;
+  item.kind = DisplayItem::Kind::kPopClip;
+  Push(std::move(item));
+}
+
+void DisplayList::Replay(Canvas& target, size_t begin, size_t end) const {
+  end = std::min(end, items_.size());
+  if (begin >= end) return;
+
+  // Reconstruct clip state at `begin`.
+  std::vector<Rect> open_clips;
+  for (size_t i = 0; i < begin; ++i) {
+    if (items_[i].kind == DisplayItem::Kind::kPushClip) {
+      open_clips.push_back(items_[i].rect);
+    } else if (items_[i].kind == DisplayItem::Kind::kPopClip && !open_clips.empty()) {
+      open_clips.pop_back();
+    }
+  }
+  for (const Rect& clip : open_clips) target.PushClip(clip);
+  size_t depth = open_clips.size();
+
+  for (size_t i = begin; i < end; ++i) {
+    const DisplayItem& it = items_[i];
+    switch (it.kind) {
+      case DisplayItem::Kind::kClear:
+        target.Clear(it.clear_color);
+        break;
+      case DisplayItem::Kind::kLine:
+        target.DrawLine(it.points[0], it.points[1], it.style);
+        break;
+      case DisplayItem::Kind::kRect:
+        target.DrawRect(it.rect, it.style);
+        break;
+      case DisplayItem::Kind::kPolygon:
+        target.DrawPolygon(it.points, it.style);
+        break;
+      case DisplayItem::Kind::kPolyline:
+        target.DrawPolyline(it.points, it.style);
+        break;
+      case DisplayItem::Kind::kCircle:
+        target.DrawCircle(it.points[0], it.radius, it.style);
+        break;
+      case DisplayItem::Kind::kPieSlice:
+        target.DrawPieSlice(it.points[0], it.radius, it.angle0, it.angle1, it.style);
+        break;
+      case DisplayItem::Kind::kText:
+        target.DrawText(it.points[0], it.text, it.text_style);
+        break;
+      case DisplayItem::Kind::kPushClip:
+        target.PushClip(it.rect);
+        ++depth;
+        break;
+      case DisplayItem::Kind::kPopClip:
+        if (depth > 0) {
+          target.PopClip();
+          --depth;
+        }
+        break;
+    }
+  }
+  // Balance any clips still open so chunked replays leave the target clean.
+  while (depth > 0) {
+    target.PopClip();
+    --depth;
+  }
+}
+
+std::vector<int64_t> DisplayList::HitTest(const Point& p) const {
+  std::vector<int64_t> hits;
+  std::unordered_set<int64_t> seen;
+  for (size_t i = items_.size(); i > 0; --i) {
+    const DisplayItem& it = items_[i - 1];
+    if (it.tag < 0) continue;
+    if (it.Bounds().Contains(p) && seen.insert(it.tag).second) hits.push_back(it.tag);
+  }
+  return hits;
+}
+
+std::vector<int64_t> DisplayList::HitTestRegion(const Rect& region) const {
+  std::vector<int64_t> hits;
+  std::unordered_set<int64_t> seen;
+  for (const DisplayItem& it : items_) {
+    if (it.tag < 0) continue;
+    if (it.Bounds().Intersects(region) && seen.insert(it.tag).second) hits.push_back(it.tag);
+  }
+  return hits;
+}
+
+}  // namespace flexvis::render

@@ -1,0 +1,104 @@
+#ifndef FLEXVIS_RENDER_DISPLAY_LIST_H_
+#define FLEXVIS_RENDER_DISPLAY_LIST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "render/canvas.h"
+
+namespace flexvis::render {
+
+/// One recorded drawing command.
+struct DisplayItem {
+  enum class Kind {
+    kClear,
+    kLine,
+    kRect,
+    kPolygon,
+    kPolyline,
+    kCircle,
+    kPieSlice,
+    kText,
+    kPushClip,
+    kPopClip,
+  };
+
+  Kind kind = Kind::kRect;
+  std::vector<Point> points;  // geometry (line endpoints, polygon vertices, ...)
+  Rect rect;                  // for kRect / kPushClip
+  double radius = 0.0;        // kCircle / kPieSlice
+  double angle0 = 0.0;        // kPieSlice start (degrees)
+  double angle1 = 0.0;        // kPieSlice sweep (degrees)
+  Style style;
+  std::string text;           // kText
+  TextStyle text_style;       // kText
+  Color clear_color;          // kClear
+  /// Opaque tag the producing view attaches (e.g. a flex-offer id) so hit
+  /// tests can resolve pixels back to domain objects. -1 = untagged.
+  int64_t tag = -1;
+
+  /// Conservative bounding box of the item (text measured with the
+  /// library metrics; untransformed for rotated text).
+  Rect Bounds() const;
+};
+
+/// A Canvas that records commands instead of drawing. The recording is the
+/// retained scene of a view: it can be replayed to any backend (fully or in
+/// budgeted chunks for incremental rendering), hit-tested, and re-replayed
+/// after pan/zoom without re-running view layout.
+class DisplayList : public Canvas {
+ public:
+  DisplayList(double width, double height) : width_(width), height_(height) {}
+
+  double width() const override { return width_; }
+  double height() const override { return height_; }
+
+  void Clear(const Color& color) override;
+  void DrawLine(const Point& from, const Point& to, const Style& style) override;
+  void DrawRect(const Rect& rect, const Style& style) override;
+  void DrawPolygon(const std::vector<Point>& points, const Style& style) override;
+  void DrawPolyline(const std::vector<Point>& points, const Style& style) override;
+  void DrawCircle(const Point& center, double radius, const Style& style) override;
+  void DrawPieSlice(const Point& center, double radius, double start_degrees,
+                    double sweep_degrees, const Style& style) override;
+  void DrawText(const Point& position, const std::string& text,
+                const TextStyle& style) override;
+  void PushClip(const Rect& rect) override;
+  void PopClip() override;
+
+  /// Tags every item recorded until the matching EndTag with `tag`.
+  void BeginTag(int64_t tag) { current_tag_ = tag; }
+  void EndTag() { current_tag_ = -1; }
+
+  const std::vector<DisplayItem>& items() const { return items_; }
+  size_t size() const { return items_.size(); }
+
+  /// Replays items [begin, end) onto `target`. Clip state is reconstructed:
+  /// clips opened before `begin` are re-applied first so a chunked replay
+  /// draws exactly what a full replay would.
+  void Replay(Canvas& target, size_t begin, size_t end) const;
+
+  /// Replays everything.
+  void ReplayAll(Canvas& target) const { Replay(target, 0, items_.size()); }
+
+  /// Tags of all items whose bounds contain `p`, topmost (last drawn) first;
+  /// duplicates removed. Untagged items are skipped.
+  std::vector<int64_t> HitTest(const Point& p) const;
+
+  /// Tags of all items whose bounds intersect `region` (rubber-band
+  /// selection; Fig. 8's dashed rectangle), in draw order, deduplicated.
+  std::vector<int64_t> HitTestRegion(const Rect& region) const;
+
+ private:
+  void Push(DisplayItem item);
+
+  double width_;
+  double height_;
+  std::vector<DisplayItem> items_;
+  int64_t current_tag_ = -1;
+};
+
+}  // namespace flexvis::render
+
+#endif  // FLEXVIS_RENDER_DISPLAY_LIST_H_

@@ -1,0 +1,21 @@
+#ifndef FLEXVIS_RENDER_FONT5X7_H_
+#define FLEXVIS_RENDER_FONT5X7_H_
+
+#include <cstdint>
+
+namespace flexvis::render {
+
+/// Classic 5x7 bitmap font covering printable ASCII (0x20..0x7E). Glyphs are
+/// stored column-major: 5 bytes per glyph, bit 0 of each byte is the top
+/// pixel row. Characters outside the range render as the replacement box.
+/// Returns a pointer to the glyph's 5 column bytes.
+const uint8_t* Glyph5x7(char c);
+
+inline constexpr int kGlyphWidth = 5;
+inline constexpr int kGlyphHeight = 7;
+/// Horizontal advance between characters (glyph + 1 column spacing).
+inline constexpr int kGlyphAdvance = 6;
+
+}  // namespace flexvis::render
+
+#endif  // FLEXVIS_RENDER_FONT5X7_H_

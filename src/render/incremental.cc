@@ -1,0 +1,22 @@
+#include "render/incremental.h"
+
+#include <algorithm>
+
+namespace flexvis::render {
+
+size_t IncrementalRenderer::Step(size_t max_items) {
+  if (done() || max_items == 0) return 0;
+  size_t end = std::min(list_->size(), cursor_ + max_items);
+  list_->Replay(*target_, cursor_, end);
+  size_t replayed = end - cursor_;
+  cursor_ = end;
+  return replayed;
+}
+
+double IncrementalRenderer::Progress() const {
+  if (list_->size() == 0) return 1.0;
+  return static_cast<double>(std::min(cursor_, list_->size())) /
+         static_cast<double>(list_->size());
+}
+
+}  // namespace flexvis::render

@@ -1,0 +1,48 @@
+#ifndef FLEXVIS_RENDER_INCREMENTAL_H_
+#define FLEXVIS_RENDER_INCREMENTAL_H_
+
+#include <cstddef>
+
+#include "render/display_list.h"
+
+namespace flexvis::render {
+
+/// Budgeted, resumable replay of a DisplayList ("the incremental rendering
+/// of flex-offers, which allows executing actions when a flex-offer
+/// rendering is in progress — rendering does not freeze the tool").
+///
+/// A GUI event loop calls Step() once per frame with an item budget sized to
+/// the frame deadline; between steps the application remains responsive. The
+/// source list may keep growing while rendering is in progress (the tool
+/// appends newly loaded flex-offers); the cursor simply continues.
+class IncrementalRenderer {
+ public:
+  /// Both `list` and `target` must outlive the renderer.
+  IncrementalRenderer(const DisplayList* list, Canvas* target)
+      : list_(list), target_(target) {}
+
+  /// Replays up to `max_items` further items. Returns the number actually
+  /// replayed (0 when already done).
+  size_t Step(size_t max_items);
+
+  /// True once every currently recorded item has been replayed.
+  bool done() const { return cursor_ >= list_->size(); }
+
+  /// Items replayed so far.
+  size_t cursor() const { return cursor_; }
+
+  /// Fraction of the list replayed, in [0, 1] (1 for an empty list).
+  double Progress() const;
+
+  /// Restarts from the beginning (after the target was cleared).
+  void Reset() { cursor_ = 0; }
+
+ private:
+  const DisplayList* list_;
+  Canvas* target_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace flexvis::render
+
+#endif  // FLEXVIS_RENDER_INCREMENTAL_H_

@@ -1,0 +1,138 @@
+#include "render/png.h"
+
+#include <cstdio>
+
+#include "render/raster_canvas.h"
+#include "util/strings.h"
+
+namespace flexvis::render {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>(v & 0xFF));
+}
+
+// One PNG chunk: length, type, data, CRC over type+data.
+void AppendChunk(std::string* out, const char type[4], const std::string& data) {
+  AppendU32(out, static_cast<uint32_t>(data.size()));
+  std::string body(type, 4);
+  body += data;
+  out->append(body);
+  AppendU32(out, Crc32(reinterpret_cast<const uint8_t*>(body.data()), body.size()));
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size, uint32_t seed) {
+  // Table computed on first use (function-local static of trivially
+  // destructible type would need an array; build lazily into a static
+  // buffer via an immediately-invoked lambda).
+  static const uint32_t* kTable = [] {
+    static uint32_t table[256];
+    for (uint32_t n = 0; n < 256; ++n) {
+      uint32_t c = n;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      table[n] = c;
+    }
+    return table;
+  }();
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint32_t Adler32(const uint8_t* data, size_t size) {
+  const uint32_t kMod = 65521;
+  uint32_t a = 1, b = 0;
+  for (size_t i = 0; i < size; ++i) {
+    a = (a + data[i]) % kMod;
+    b = (b + a) % kMod;
+  }
+  return (b << 16) | a;
+}
+
+std::string EncodePng(const uint8_t* rgb, int width, int height) {
+  std::string out("\x89PNG\r\n\x1a\n", 8);
+
+  // IHDR: 8-bit RGB, no interlace.
+  std::string ihdr;
+  AppendU32(&ihdr, static_cast<uint32_t>(width));
+  AppendU32(&ihdr, static_cast<uint32_t>(height));
+  ihdr += '\x08';  // bit depth
+  ihdr += '\x02';  // color type: truecolor
+  ihdr += '\x00';  // compression
+  ihdr += '\x00';  // filter
+  ihdr += '\x00';  // interlace
+  AppendChunk(&out, "IHDR", ihdr);
+
+  // Raw scanlines: filter byte 0 (None) + RGB row.
+  std::string raw;
+  raw.reserve(static_cast<size_t>(height) * (1 + static_cast<size_t>(width) * 3));
+  for (int y = 0; y < height; ++y) {
+    raw += '\x00';
+    raw.append(reinterpret_cast<const char*>(rgb + static_cast<size_t>(y) * width * 3),
+               static_cast<size_t>(width) * 3);
+  }
+
+  // zlib stream with stored deflate blocks (max 65535 bytes each).
+  std::string idat;
+  idat += '\x78';  // CMF: deflate, 32K window
+  idat += '\x01';  // FLG: no dict, fastest (checksum-valid pair)
+  size_t pos = 0;
+  while (pos < raw.size() || raw.empty()) {
+    size_t block = std::min<size_t>(65535, raw.size() - pos);
+    bool final = pos + block >= raw.size();
+    idat += final ? '\x01' : '\x00';
+    idat += static_cast<char>(block & 0xFF);
+    idat += static_cast<char>((block >> 8) & 0xFF);
+    idat += static_cast<char>(~block & 0xFF);
+    idat += static_cast<char>((~block >> 8) & 0xFF);
+    idat.append(raw, pos, block);
+    pos += block;
+    if (final) break;
+  }
+  AppendU32(&idat, Adler32(reinterpret_cast<const uint8_t*>(raw.data()), raw.size()));
+  AppendChunk(&out, "IDAT", idat);
+  AppendChunk(&out, "IEND", "");
+  return out;
+}
+
+std::string CanvasToPng(const RasterCanvas& canvas) {
+  // RasterCanvas stores RGB8 row-major already; rebuild the buffer via
+  // GetPixel to keep the pixel layout an implementation detail.
+  const int w = canvas.pixel_width();
+  const int h = canvas.pixel_height();
+  std::vector<uint8_t> rgb(static_cast<size_t>(w) * h * 3);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      Color c = canvas.GetPixel(x, y);
+      size_t i = (static_cast<size_t>(y) * w + x) * 3;
+      rgb[i] = c.r;
+      rgb[i + 1] = c.g;
+      rgb[i + 2] = c.b;
+    }
+  }
+  return EncodePng(rgb.data(), w, h);
+}
+
+Status WritePngFile(const RasterCanvas& canvas, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return InternalError(StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  std::string data = CanvasToPng(canvas);
+  size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (written != data.size()) {
+    return InternalError(StrFormat("short write to '%s'", path.c_str()));
+  }
+  return OkStatus();
+}
+
+}  // namespace flexvis::render

@@ -1,0 +1,34 @@
+#ifndef FLEXVIS_RENDER_PNG_H_
+#define FLEXVIS_RENDER_PNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace flexvis::render {
+
+class RasterCanvas;
+
+/// Encodes RGB8 pixels (row-major, 3 bytes per pixel) as a PNG document.
+/// The zlib stream uses stored (uncompressed) deflate blocks, so no
+/// compression library is needed; every PNG reader accepts it. Larger than
+/// a compressed PNG but exact and dependency-free.
+std::string EncodePng(const uint8_t* rgb, int width, int height);
+
+/// Serializes `canvas` as PNG.
+std::string CanvasToPng(const RasterCanvas& canvas);
+
+/// Writes CanvasToPng(canvas) to `path`.
+Status WritePngFile(const RasterCanvas& canvas, const std::string& path);
+
+/// CRC-32 (ISO 3309, as used by PNG chunks). Exposed for tests.
+uint32_t Crc32(const uint8_t* data, size_t size, uint32_t seed = 0);
+
+/// Adler-32 (RFC 1950, the zlib checksum). Exposed for tests.
+uint32_t Adler32(const uint8_t* data, size_t size);
+
+}  // namespace flexvis::render
+
+#endif  // FLEXVIS_RENDER_PNG_H_

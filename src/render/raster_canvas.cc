@@ -1,0 +1,321 @@
+#include "render/raster_canvas.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "render/font5x7.h"
+#include "util/strings.h"
+
+namespace flexvis::render {
+
+namespace {
+
+int RoundToInt(double v) { return static_cast<int>(std::lround(v)); }
+
+Point Direction(double degrees) {
+  double rad = (degrees - 90.0) * M_PI / 180.0;
+  return Point{std::cos(rad), std::sin(rad)};
+}
+
+}  // namespace
+
+RasterCanvas::RasterCanvas(int width, int height)
+    : width_(std::max(1, width)),
+      height_(std::max(1, height)),
+      pixels_(static_cast<size_t>(width_) * height_ * 3, 255) {}
+
+RasterCanvas::ClipRect RasterCanvas::ActiveClip() const {
+  ClipRect clip{0, 0, width_, height_};
+  for (const ClipRect& c : clips_) {
+    clip.x0 = std::max(clip.x0, c.x0);
+    clip.y0 = std::max(clip.y0, c.y0);
+    clip.x1 = std::min(clip.x1, c.x1);
+    clip.y1 = std::min(clip.y1, c.y1);
+  }
+  return clip;
+}
+
+void RasterCanvas::SetPixel(int x, int y, const Color& color) {
+  ClipRect clip = ActiveClip();
+  if (x < clip.x0 || x >= clip.x1 || y < clip.y0 || y >= clip.y1) return;
+  size_t i = (static_cast<size_t>(y) * width_ + x) * 3;
+  if (color.a == 255) {
+    pixels_[i] = color.r;
+    pixels_[i + 1] = color.g;
+    pixels_[i + 2] = color.b;
+  } else if (color.a > 0) {
+    Color blended = BlendOver(Color(pixels_[i], pixels_[i + 1], pixels_[i + 2]), color);
+    pixels_[i] = blended.r;
+    pixels_[i + 1] = blended.g;
+    pixels_[i + 2] = blended.b;
+  }
+}
+
+void RasterCanvas::FillRectPx(int x0, int y0, int x1, int y1, const Color& color) {
+  ClipRect clip = ActiveClip();
+  x0 = std::max(x0, clip.x0);
+  y0 = std::max(y0, clip.y0);
+  x1 = std::min(x1, clip.x1);
+  y1 = std::min(y1, clip.y1);
+  for (int y = y0; y < y1; ++y) {
+    if (color.a == 255) {
+      size_t i = (static_cast<size_t>(y) * width_ + x0) * 3;
+      for (int x = x0; x < x1; ++x) {
+        pixels_[i] = color.r;
+        pixels_[i + 1] = color.g;
+        pixels_[i + 2] = color.b;
+        i += 3;
+      }
+    } else {
+      for (int x = x0; x < x1; ++x) SetPixel(x, y, color);
+    }
+  }
+}
+
+void RasterCanvas::Clear(const Color& color) {
+  // Clear ignores clipping by convention (it re-initializes the surface).
+  for (size_t i = 0; i < pixels_.size(); i += 3) {
+    pixels_[i] = color.r;
+    pixels_[i + 1] = color.g;
+    pixels_[i + 2] = color.b;
+  }
+}
+
+void RasterCanvas::StrokeLine(const Point& from, const Point& to, const Color& color,
+                              double width, const std::vector<double>& dash) {
+  // Bresenham over the major axis; thickness is applied by stamping a small
+  // square per step; dashing by accumulated distance.
+  int x0 = RoundToInt(from.x), y0 = RoundToInt(from.y);
+  int x1 = RoundToInt(to.x), y1 = RoundToInt(to.y);
+  int dx = std::abs(x1 - x0), dy = -std::abs(y1 - y0);
+  int sx = x0 < x1 ? 1 : -1, sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  int half = std::max(0, RoundToInt(width / 2.0 - 0.5));
+
+  double dash_total = 0.0;
+  for (double d : dash) dash_total += d;
+  double travelled = 0.0;
+
+  while (true) {
+    bool on = true;
+    if (dash_total > 0.0) {
+      double pos = std::fmod(travelled, dash_total);
+      double acc = 0.0;
+      for (size_t i = 0; i < dash.size(); ++i) {
+        acc += dash[i];
+        if (pos < acc) {
+          on = (i % 2 == 0);
+          break;
+        }
+      }
+    }
+    if (on) {
+      if (half == 0) {
+        SetPixel(x0, y0, color);
+      } else {
+        FillRectPx(x0 - half, y0 - half, x0 + half + 1, y0 + half + 1, color);
+      }
+    }
+    if (x0 == x1 && y0 == y1) break;
+    int e2 = 2 * err;
+    double step = 0.0;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+      step += 1.0;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+      step += 1.0;
+    }
+    travelled += step > 1.5 ? 1.41421356 : 1.0;
+  }
+}
+
+void RasterCanvas::DrawLine(const Point& from, const Point& to, const Style& style) {
+  Color color = style.stroke.has_value() ? *style.stroke
+                                         : style.fill.value_or(palette::kText);
+  StrokeLine(from, to, color, style.stroke_width, style.dash);
+}
+
+void RasterCanvas::DrawRect(const Rect& rect, const Style& style) {
+  int x0 = RoundToInt(rect.x), y0 = RoundToInt(rect.y);
+  int x1 = RoundToInt(rect.right()), y1 = RoundToInt(rect.bottom());
+  if (style.fill.has_value()) FillRectPx(x0, y0, x1, y1, *style.fill);
+  if (style.stroke.has_value()) {
+    Point tl{rect.x, rect.y}, tr{rect.right(), rect.y};
+    Point br{rect.right(), rect.bottom()}, bl{rect.x, rect.bottom()};
+    StrokeLine(tl, tr, *style.stroke, style.stroke_width, style.dash);
+    StrokeLine(tr, br, *style.stroke, style.stroke_width, style.dash);
+    StrokeLine(br, bl, *style.stroke, style.stroke_width, style.dash);
+    StrokeLine(bl, tl, *style.stroke, style.stroke_width, style.dash);
+  }
+}
+
+void RasterCanvas::FillPolygonImpl(const std::vector<Point>& points, const Color& color) {
+  if (points.size() < 3) return;
+  double miny = points[0].y, maxy = points[0].y;
+  for (const Point& p : points) {
+    miny = std::min(miny, p.y);
+    maxy = std::max(maxy, p.y);
+  }
+  int y0 = std::max(0, RoundToInt(std::floor(miny)));
+  int y1 = std::min(height_ - 1, RoundToInt(std::ceil(maxy)));
+  std::vector<double> xs;
+  for (int y = y0; y <= y1; ++y) {
+    double scan = y + 0.5;
+    xs.clear();
+    for (size_t i = 0; i < points.size(); ++i) {
+      const Point& a = points[i];
+      const Point& b = points[(i + 1) % points.size()];
+      if ((a.y <= scan && b.y > scan) || (b.y <= scan && a.y > scan)) {
+        double t = (scan - a.y) / (b.y - a.y);
+        xs.push_back(a.x + t * (b.x - a.x));
+      }
+    }
+    std::sort(xs.begin(), xs.end());
+    for (size_t i = 0; i + 1 < xs.size(); i += 2) {
+      int sx = RoundToInt(std::ceil(xs[i] - 0.5));
+      int ex = RoundToInt(std::floor(xs[i + 1] - 0.5));
+      if (ex >= sx) FillRectPx(sx, y, ex + 1, y + 1, color);
+    }
+  }
+}
+
+void RasterCanvas::DrawPolygon(const std::vector<Point>& points, const Style& style) {
+  if (style.fill.has_value()) FillPolygonImpl(points, *style.fill);
+  if (style.stroke.has_value() && points.size() >= 2) {
+    for (size_t i = 0; i < points.size(); ++i) {
+      StrokeLine(points[i], points[(i + 1) % points.size()], *style.stroke, style.stroke_width,
+                 style.dash);
+    }
+  }
+}
+
+void RasterCanvas::DrawPolyline(const std::vector<Point>& points, const Style& style) {
+  if (points.size() < 2) return;
+  Color color = style.stroke.has_value() ? *style.stroke
+                                         : style.fill.value_or(palette::kText);
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    StrokeLine(points[i], points[i + 1], color, style.stroke_width, style.dash);
+  }
+}
+
+void RasterCanvas::DrawCircle(const Point& center, double radius, const Style& style) {
+  // Tessellate; 48 segments is visually circular at the sizes the views use.
+  std::vector<Point> pts;
+  const int kSegments = 48;
+  pts.reserve(kSegments);
+  for (int i = 0; i < kSegments; ++i) {
+    double a = 2.0 * M_PI * i / kSegments;
+    pts.push_back(Point{center.x + radius * std::cos(a), center.y + radius * std::sin(a)});
+  }
+  DrawPolygon(pts, style);
+}
+
+void RasterCanvas::DrawPieSlice(const Point& center, double radius, double start_degrees,
+                                double sweep_degrees, const Style& style) {
+  if (sweep_degrees <= 0.0 || radius <= 0.0) return;
+  if (sweep_degrees >= 360.0) {
+    DrawCircle(center, radius, style);
+    return;
+  }
+  std::vector<Point> pts{center};
+  int segments = std::max(2, static_cast<int>(sweep_degrees / 6.0));
+  for (int i = 0; i <= segments; ++i) {
+    double deg = start_degrees + sweep_degrees * i / segments;
+    Point d = Direction(deg);
+    pts.push_back(Point{center.x + d.x * radius, center.y + d.y * radius});
+  }
+  DrawPolygon(pts, style);
+}
+
+void RasterCanvas::DrawText(const Point& position, const std::string& text,
+                            const TextStyle& style) {
+  // Glyphs scale by the largest integer factor that keeps 6*scale columns
+  // within the shared metric advance (size * 6/7), so raster ink never
+  // exceeds MeasureTextWidth and anchoring agrees with the SVG backend. The
+  // baseline is the given y; glyphs extend upward.
+  const int scale = std::max(1, static_cast<int>(style.size / kGlyphHeight));
+  const double advance = style.size * 6.0 / 7.0;
+  const double total_width = MeasureTextWidth(text, style.size);
+  double x = position.x;
+  if (style.anchor == TextAnchor::kMiddle) x -= total_width / 2.0;
+  if (style.anchor == TextAnchor::kEnd) x -= total_width;
+  // Rotation support is limited to the 90-degree steps the views use.
+  const bool rotated = std::abs(style.rotate_degrees + 90.0) < 1e-9 ||
+                       std::abs(style.rotate_degrees - 270.0) < 1e-9;
+  const int top = RoundToInt(position.y) - kGlyphHeight * scale;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const int cx = RoundToInt(x + static_cast<double>(i) * advance);
+    const uint8_t* glyph = Glyph5x7(text[i]);
+    for (int col = 0; col < kGlyphWidth; ++col) {
+      for (int row = 0; row < kGlyphHeight; ++row) {
+        if ((glyph[col] >> row) & 1) {
+          for (int sx = 0; sx < scale; ++sx) {
+            for (int sy = 0; sy < scale; ++sy) {
+              if (rotated) {
+                // Rotate -90 degrees around the anchor: (dx, dy) -> (dy, -dx).
+                int dx = cx - RoundToInt(position.x) + col * scale + sx;
+                int dy = top + row * scale + sy - RoundToInt(position.y);
+                SetPixel(RoundToInt(position.x) + dy, RoundToInt(position.y) - dx,
+                         style.color);
+              } else {
+                SetPixel(cx + col * scale + sx, top + row * scale + sy, style.color);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void RasterCanvas::PushClip(const Rect& rect) {
+  clips_.push_back(ClipRect{RoundToInt(rect.x), RoundToInt(rect.y), RoundToInt(rect.right()),
+                            RoundToInt(rect.bottom())});
+}
+
+void RasterCanvas::PopClip() {
+  if (!clips_.empty()) clips_.pop_back();
+}
+
+Color RasterCanvas::GetPixel(int x, int y) const {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) return Color(0, 0, 0);
+  size_t i = (static_cast<size_t>(y) * width_ + x) * 3;
+  return Color(pixels_[i], pixels_[i + 1], pixels_[i + 2]);
+}
+
+size_t RasterCanvas::CountPixels(const Color& color) const {
+  size_t count = 0;
+  for (size_t i = 0; i < pixels_.size(); i += 3) {
+    if (pixels_[i] == color.r && pixels_[i + 1] == color.g && pixels_[i + 2] == color.b) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string RasterCanvas::ToPpm() const {
+  std::string out = StrFormat("P6\n%d %d\n255\n", width_, height_);
+  out.append(reinterpret_cast<const char*>(pixels_.data()), pixels_.size());
+  return out;
+}
+
+Status RasterCanvas::WriteToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return InternalError(StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  std::string data = ToPpm();
+  size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (written != data.size()) {
+    return InternalError(StrFormat("short write to '%s'", path.c_str()));
+  }
+  return OkStatus();
+}
+
+}  // namespace flexvis::render

@@ -1,0 +1,72 @@
+#ifndef FLEXVIS_RENDER_RASTER_CANVAS_H_
+#define FLEXVIS_RENDER_RASTER_CANVAS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "render/canvas.h"
+#include "util/status.h"
+
+namespace flexvis::render {
+
+/// Software-rasterizing canvas backend: an RGB8 framebuffer with scanline
+/// polygon fill, Bresenham lines (widened for thick strokes), midpoint
+/// circles, pie wedges via polygon tessellation, and 5x7 bitmap-font text.
+/// Output is binary PPM (P6), viewable everywhere and easy to diff in tests.
+class RasterCanvas : public Canvas {
+ public:
+  /// Creates a `width` x `height` canvas cleared to white.
+  RasterCanvas(int width, int height);
+
+  double width() const override { return width_; }
+  double height() const override { return height_; }
+  int pixel_width() const { return width_; }
+  int pixel_height() const { return height_; }
+
+  void Clear(const Color& color) override;
+  void DrawLine(const Point& from, const Point& to, const Style& style) override;
+  void DrawRect(const Rect& rect, const Style& style) override;
+  void DrawPolygon(const std::vector<Point>& points, const Style& style) override;
+  void DrawPolyline(const std::vector<Point>& points, const Style& style) override;
+  void DrawCircle(const Point& center, double radius, const Style& style) override;
+  void DrawPieSlice(const Point& center, double radius, double start_degrees,
+                    double sweep_degrees, const Style& style) override;
+  void DrawText(const Point& position, const std::string& text,
+                const TextStyle& style) override;
+  void PushClip(const Rect& rect) override;
+  void PopClip() override;
+
+  /// Color of pixel (x, y); out-of-range reads return opaque black. Used by
+  /// pixel-level tests.
+  Color GetPixel(int x, int y) const;
+
+  /// Number of pixels exactly equal to `color` (testing aid).
+  size_t CountPixels(const Color& color) const;
+
+  /// Serializes as binary PPM (P6).
+  std::string ToPpm() const;
+
+  /// Writes ToPpm() to `path`.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  /// Blends `color` into pixel (x, y), honoring the active clip.
+  void SetPixel(int x, int y, const Color& color);
+  void FillRectPx(int x0, int y0, int x1, int y1, const Color& color);
+  void StrokeLine(const Point& from, const Point& to, const Color& color, double width,
+                  const std::vector<double>& dash);
+  void FillPolygonImpl(const std::vector<Point>& points, const Color& color);
+  /// Active clip rectangle in integer pixel coordinates.
+  struct ClipRect { int x0, y0, x1, y1; };
+  ClipRect ActiveClip() const;
+
+  int width_;
+  int height_;
+  std::vector<uint8_t> pixels_;  // RGB8, row-major
+  std::vector<ClipRect> clips_;
+};
+
+}  // namespace flexvis::render
+
+#endif  // FLEXVIS_RENDER_RASTER_CANVAS_H_

@@ -1,0 +1,131 @@
+#include "render/scale.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace flexvis::render {
+
+using timeutil::Granularity;
+using timeutil::TimeInterval;
+using timeutil::TimePoint;
+
+LinearScale::LinearScale(double domain_min, double domain_max, double range_min,
+                         double range_max)
+    : d0_(domain_min), d1_(domain_max), r0_(range_min), r1_(range_max) {
+  if (d1_ == d0_) d1_ = d0_ + 1.0;  // degenerate domains map to range_min
+}
+
+double LinearScale::Apply(double v) const {
+  return r0_ + (v - d0_) / (d1_ - d0_) * (r1_ - r0_);
+}
+
+double LinearScale::Invert(double pixel) const {
+  if (r1_ == r0_) return d0_;
+  return d0_ + (pixel - r0_) / (r1_ - r0_) * (d1_ - d0_);
+}
+
+namespace {
+
+// Heckbert's "nice number": the closest (or ceiling) of 1, 2, 5 * 10^k.
+double NiceNumber(double x, bool round) {
+  double exp = std::floor(std::log10(x));
+  double f = x / std::pow(10.0, exp);
+  double nf;
+  if (round) {
+    if (f < 1.5) nf = 1.0;
+    else if (f < 3.0) nf = 2.0;
+    else if (f < 7.0) nf = 5.0;
+    else nf = 10.0;
+  } else {
+    if (f <= 1.0) nf = 1.0;
+    else if (f <= 2.0) nf = 2.0;
+    else if (f <= 5.0) nf = 5.0;
+    else nf = 10.0;
+  }
+  return nf * std::pow(10.0, exp);
+}
+
+int LabelDigits(double step) {
+  if (step >= 1.0) return 0;
+  return std::min(6, static_cast<int>(std::ceil(-std::log10(step))));
+}
+
+}  // namespace
+
+PrettyScale MakePrettyScale(double lo, double hi, int target_count) {
+  PrettyScale out;
+  if (hi < lo) std::swap(lo, hi);
+  if (hi == lo) {
+    // Expand a degenerate domain symmetrically (or to [0, 1] at zero).
+    double pad = lo == 0.0 ? 0.5 : std::abs(lo) * 0.1;
+    lo -= pad;
+    hi += pad;
+  }
+  target_count = std::max(2, target_count);
+  double range = NiceNumber(hi - lo, /*round=*/false);
+  out.step = NiceNumber(range / (target_count - 1), /*round=*/true);
+  out.nice_min = std::floor(lo / out.step) * out.step;
+  out.nice_max = std::ceil(hi / out.step) * out.step;
+  int digits = LabelDigits(out.step);
+  // The 0.5-step epsilon keeps the last tick despite accumulation error.
+  for (double v = out.nice_min; v <= out.nice_max + out.step * 0.5; v += out.step) {
+    double snapped = std::abs(v) < out.step * 1e-9 ? 0.0 : v;  // avoid "-0"
+    out.ticks.push_back(Tick{snapped, FormatDouble(snapped, digits)});
+  }
+  return out;
+}
+
+Granularity PickTickGranularity(const TimeInterval& interval, int min_count, int max_count) {
+  static constexpr Granularity kOrder[] = {
+      Granularity::kYear, Granularity::kQuarter, Granularity::kMonth, Granularity::kWeek,
+      Granularity::kDay,  Granularity::kHour,    Granularity::kSlice};
+  // Coarsest first: pick the first granularity with enough boundaries, but
+  // fall through to finer ones when the count is below min_count.
+  Granularity chosen = Granularity::kSlice;
+  for (Granularity g : kOrder) {
+    int64_t count = timeutil::CountPeriods(interval, g);
+    if (count >= min_count) {
+      chosen = g;
+      if (count <= max_count) return g;
+      // Too many at this level already; the previous (coarser) level had too
+      // few. Prefer the coarser-but-few over hundreds of labels? No: accept
+      // this level, the axis renderer thins labels.
+      return g;
+    }
+  }
+  return chosen;
+}
+
+std::vector<Tick> MakeTimeTicks(const TimeInterval& interval, int min_count, int max_count) {
+  std::vector<Tick> out;
+  if (interval.empty()) return out;
+  Granularity g = PickTickGranularity(interval, min_count, max_count);
+
+  // Labels: time-of-day for sub-day ticks when the span stays within a few
+  // days; otherwise period labels.
+  const bool time_of_day =
+      (g == Granularity::kSlice || g == Granularity::kHour) &&
+      interval.duration_minutes() <= 3 * timeutil::kMinutesPerDay;
+
+  TimePoint cursor = timeutil::TruncateTo(interval.start, g);
+  if (cursor < interval.start) cursor = timeutil::NextBoundary(cursor, g);
+  int64_t count = timeutil::CountPeriods(interval, g);
+  int64_t stride = std::max<int64_t>(1, (count + max_count - 1) / max_count);
+  int64_t index = 0;
+  while (cursor <= interval.end) {
+    if (index % stride == 0) {
+      std::string label = time_of_day ? cursor.TimeOfDayString()
+                                      : timeutil::PeriodLabel(cursor, g);
+      out.push_back(Tick{static_cast<double>(cursor.minutes()), std::move(label)});
+    }
+    ++index;
+    TimePoint next = timeutil::NextBoundary(cursor, g);
+    if (!(cursor < next)) break;
+    cursor = next;
+  }
+  return out;
+}
+
+}  // namespace flexvis::render

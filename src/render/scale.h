@@ -1,0 +1,64 @@
+#ifndef FLEXVIS_RENDER_SCALE_H_
+#define FLEXVIS_RENDER_SCALE_H_
+
+#include <string>
+#include <vector>
+
+#include "time/granularity.h"
+#include "time/time_point.h"
+
+namespace flexvis::render {
+
+/// Linear mapping from a data domain [d0, d1] onto a pixel range [r0, r1]
+/// (r0 may exceed r1 — ordinate scales are typically inverted because canvas
+/// y grows downward).
+class LinearScale {
+ public:
+  LinearScale() : d0_(0), d1_(1), r0_(0), r1_(1) {}
+  LinearScale(double domain_min, double domain_max, double range_min, double range_max);
+
+  double Apply(double v) const;
+  double Invert(double pixel) const;
+
+  double domain_min() const { return d0_; }
+  double domain_max() const { return d1_; }
+  double range_min() const { return r0_; }
+  double range_max() const { return r1_; }
+
+ private:
+  double d0_, d1_, r0_, r1_;
+};
+
+/// One axis tick: a domain value and its label.
+struct Tick {
+  double value = 0.0;
+  std::string label;
+};
+
+/// "Pretty scales" (the paper's "automatic selection of 'pretty scales' of
+/// the axes"): expands [lo, hi] to round bounds and returns 1/2/5*10^k-
+/// spaced ticks, targeting about `target_count` ticks (Heckbert's
+/// nice-numbers algorithm).
+struct PrettyScale {
+  double nice_min = 0.0;
+  double nice_max = 1.0;
+  double step = 0.1;
+  std::vector<Tick> ticks;
+};
+
+PrettyScale MakePrettyScale(double lo, double hi, int target_count = 6);
+
+/// Time-axis ticks for `interval`: picks the coarsest granularity that
+/// yields at least `min_count` boundaries (slices -> hours -> days -> ...),
+/// labeling each boundary appropriately ("12:15" within a day, dates across
+/// days).
+std::vector<Tick> MakeTimeTicks(const timeutil::TimeInterval& interval, int min_count = 4,
+                                int max_count = 14);
+
+/// The granularity MakeTimeTicks would pick for `interval`.
+timeutil::Granularity PickTickGranularity(const timeutil::TimeInterval& interval,
+                                          int min_count = 4, int max_count = 14);
+
+}  // namespace flexvis::render
+
+#endif  // FLEXVIS_RENDER_SCALE_H_

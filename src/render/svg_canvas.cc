@@ -1,0 +1,179 @@
+#include "render/svg_canvas.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace flexvis::render {
+
+namespace {
+
+std::string Num(double v) { return FormatDouble(v, 2); }
+
+std::string DashAttr(const std::vector<double>& dash) {
+  if (dash.empty()) return "";
+  std::vector<std::string> parts;
+  parts.reserve(dash.size());
+  for (double d : dash) parts.push_back(Num(d));
+  return StrFormat(" stroke-dasharray=\"%s\"", StrJoin(parts, ",").c_str());
+}
+
+// Unit vector at `degrees` clockwise from 12 o'clock.
+Point Direction(double degrees) {
+  double rad = (degrees - 90.0) * M_PI / 180.0;
+  return Point{std::cos(rad), std::sin(rad)};
+}
+
+}  // namespace
+
+SvgCanvas::SvgCanvas(double width, double height) : width_(width), height_(height) {}
+
+std::string SvgCanvas::StyleAttrs(const Style& style) const {
+  std::string out;
+  if (style.fill.has_value()) {
+    out += StrFormat(" fill=\"%s\"", style.fill->ToHex().c_str());
+    if (style.fill->a != 255) out += StrFormat(" fill-opacity=\"%s\"",
+                                               Num(style.fill->Opacity()).c_str());
+  } else {
+    out += " fill=\"none\"";
+  }
+  if (style.stroke.has_value()) {
+    out += StrFormat(" stroke=\"%s\" stroke-width=\"%s\"", style.stroke->ToHex().c_str(),
+                     Num(style.stroke_width).c_str());
+    if (style.stroke->a != 255) out += StrFormat(" stroke-opacity=\"%s\"",
+                                                 Num(style.stroke->Opacity()).c_str());
+    out += DashAttr(style.dash);
+  }
+  return out;
+}
+
+void SvgCanvas::Clear(const Color& color) {
+  body_ += StrFormat("<rect x=\"0\" y=\"0\" width=\"%s\" height=\"%s\" fill=\"%s\"/>\n",
+                     Num(width_).c_str(), Num(height_).c_str(), color.ToHex().c_str());
+}
+
+void SvgCanvas::DrawLine(const Point& from, const Point& to, const Style& style) {
+  Style s = style;
+  if (!s.stroke.has_value() && s.fill.has_value()) s.stroke = s.fill;  // lines need a stroke
+  s.fill.reset();
+  body_ += StrFormat("<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\"%s/>\n", Num(from.x).c_str(),
+                     Num(from.y).c_str(), Num(to.x).c_str(), Num(to.y).c_str(),
+                     StyleAttrs(s).c_str());
+}
+
+void SvgCanvas::DrawRect(const Rect& rect, const Style& style) {
+  body_ += StrFormat("<rect x=\"%s\" y=\"%s\" width=\"%s\" height=\"%s\"%s/>\n",
+                     Num(rect.x).c_str(), Num(rect.y).c_str(), Num(rect.width).c_str(),
+                     Num(rect.height).c_str(), StyleAttrs(style).c_str());
+}
+
+void SvgCanvas::DrawPolygon(const std::vector<Point>& points, const Style& style) {
+  if (points.size() < 3) return;
+  std::vector<std::string> coords;
+  coords.reserve(points.size());
+  for (const Point& p : points) coords.push_back(StrFormat("%s,%s", Num(p.x).c_str(),
+                                                           Num(p.y).c_str()));
+  body_ += StrFormat("<polygon points=\"%s\"%s/>\n", StrJoin(coords, " ").c_str(),
+                     StyleAttrs(style).c_str());
+}
+
+void SvgCanvas::DrawPolyline(const std::vector<Point>& points, const Style& style) {
+  if (points.size() < 2) return;
+  Style s = style;
+  if (!s.stroke.has_value() && s.fill.has_value()) s.stroke = s.fill;
+  s.fill.reset();
+  std::vector<std::string> coords;
+  coords.reserve(points.size());
+  for (const Point& p : points) coords.push_back(StrFormat("%s,%s", Num(p.x).c_str(),
+                                                           Num(p.y).c_str()));
+  body_ += StrFormat("<polyline points=\"%s\"%s/>\n", StrJoin(coords, " ").c_str(),
+                     StyleAttrs(s).c_str());
+}
+
+void SvgCanvas::DrawCircle(const Point& center, double radius, const Style& style) {
+  body_ += StrFormat("<circle cx=\"%s\" cy=\"%s\" r=\"%s\"%s/>\n", Num(center.x).c_str(),
+                     Num(center.y).c_str(), Num(radius).c_str(), StyleAttrs(style).c_str());
+}
+
+void SvgCanvas::DrawPieSlice(const Point& center, double radius, double start_degrees,
+                             double sweep_degrees, const Style& style) {
+  if (sweep_degrees <= 0.0 || radius <= 0.0) return;
+  if (sweep_degrees >= 360.0) {
+    DrawCircle(center, radius, style);
+    return;
+  }
+  Point d0 = Direction(start_degrees);
+  Point d1 = Direction(start_degrees + sweep_degrees);
+  Point p0{center.x + d0.x * radius, center.y + d0.y * radius};
+  Point p1{center.x + d1.x * radius, center.y + d1.y * radius};
+  int large_arc = sweep_degrees > 180.0 ? 1 : 0;
+  body_ += StrFormat(
+      "<path d=\"M %s %s L %s %s A %s %s 0 %d 1 %s %s Z\"%s/>\n", Num(center.x).c_str(),
+      Num(center.y).c_str(), Num(p0.x).c_str(), Num(p0.y).c_str(), Num(radius).c_str(),
+      Num(radius).c_str(), large_arc, Num(p1.x).c_str(), Num(p1.y).c_str(),
+      StyleAttrs(style).c_str());
+}
+
+void SvgCanvas::DrawText(const Point& position, const std::string& text,
+                         const TextStyle& style) {
+  const char* anchor = "start";
+  if (style.anchor == TextAnchor::kMiddle) anchor = "middle";
+  if (style.anchor == TextAnchor::kEnd) anchor = "end";
+  std::string transform;
+  if (style.rotate_degrees != 0.0) {
+    transform = StrFormat(" transform=\"rotate(%s %s %s)\"", Num(style.rotate_degrees).c_str(),
+                          Num(position.x).c_str(), Num(position.y).c_str());
+  }
+  body_ += StrFormat(
+      "<text x=\"%s\" y=\"%s\" font-family=\"monospace\" font-size=\"%s\" fill=\"%s\" "
+      "text-anchor=\"%s\"%s%s>%s</text>\n",
+      Num(position.x).c_str(), Num(position.y).c_str(), Num(style.size).c_str(),
+      style.color.ToHex().c_str(), anchor, style.bold ? " font-weight=\"bold\"" : "",
+      transform.c_str(), XmlEscape(text).c_str());
+}
+
+void SvgCanvas::PushClip(const Rect& rect) {
+  int id = next_clip_id_++;
+  defs_ += StrFormat(
+      "<clipPath id=\"clip%d\"><rect x=\"%s\" y=\"%s\" width=\"%s\" height=\"%s\"/></clipPath>\n",
+      id, Num(rect.x).c_str(), Num(rect.y).c_str(), Num(rect.width).c_str(),
+      Num(rect.height).c_str());
+  body_ += StrFormat("<g clip-path=\"url(#clip%d)\">\n", id);
+  ++clip_depth_;
+}
+
+void SvgCanvas::PopClip() {
+  if (clip_depth_ <= 0) return;
+  body_ += "</g>\n";
+  --clip_depth_;
+}
+
+std::string SvgCanvas::ToString() const {
+  std::string out = StrFormat(
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%s\" height=\"%s\" "
+      "viewBox=\"0 0 %s %s\">\n",
+      Num(width_).c_str(), Num(height_).c_str(), Num(width_).c_str(), Num(height_).c_str());
+  if (!defs_.empty()) out += "<defs>\n" + defs_ + "</defs>\n";
+  out += body_;
+  for (int i = 0; i < clip_depth_; ++i) out += "</g>\n";
+  out += "</svg>\n";
+  return out;
+}
+
+Status SvgCanvas::WriteToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return InternalError(StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  std::string data = ToString();
+  size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (written != data.size()) {
+    return InternalError(StrFormat("short write to '%s'", path.c_str()));
+  }
+  return OkStatus();
+}
+
+}  // namespace flexvis::render

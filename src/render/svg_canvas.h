@@ -1,0 +1,57 @@
+#ifndef FLEXVIS_RENDER_SVG_CANVAS_H_
+#define FLEXVIS_RENDER_SVG_CANVAS_H_
+
+#include <string>
+#include <vector>
+
+#include "render/canvas.h"
+#include "util/status.h"
+
+namespace flexvis::render {
+
+/// Canvas backend producing standalone SVG 1.1 documents. Clipping uses
+/// nested <g clip-path> groups; text is emitted as monospace <text> elements
+/// sized to match the library's text metrics, so SVG and raster output lay
+/// out identically.
+class SvgCanvas : public Canvas {
+ public:
+  SvgCanvas(double width, double height);
+
+  double width() const override { return width_; }
+  double height() const override { return height_; }
+
+  void Clear(const Color& color) override;
+  void DrawLine(const Point& from, const Point& to, const Style& style) override;
+  void DrawRect(const Rect& rect, const Style& style) override;
+  void DrawPolygon(const std::vector<Point>& points, const Style& style) override;
+  void DrawPolyline(const std::vector<Point>& points, const Style& style) override;
+  void DrawCircle(const Point& center, double radius, const Style& style) override;
+  void DrawPieSlice(const Point& center, double radius, double start_degrees,
+                    double sweep_degrees, const Style& style) override;
+  void DrawText(const Point& position, const std::string& text,
+                const TextStyle& style) override;
+  void PushClip(const Rect& rect) override;
+  void PopClip() override;
+
+  /// Serializes the document (closing any open clip groups in the output,
+  /// without mutating the canvas state).
+  std::string ToString() const;
+
+  /// Writes ToString() to `path`.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  /// 'fill=".." stroke=".." ...' attribute fragment for `style`.
+  std::string StyleAttrs(const Style& style) const;
+
+  double width_;
+  double height_;
+  std::string body_;
+  std::string defs_;
+  int clip_depth_ = 0;
+  int next_clip_id_ = 0;
+};
+
+}  // namespace flexvis::render
+
+#endif  // FLEXVIS_RENDER_SVG_CANVAS_H_

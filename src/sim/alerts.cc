@@ -1,0 +1,140 @@
+#include "sim/alerts.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "util/strings.h"
+
+namespace flexvis::sim {
+
+using core::TimeSeries;
+using timeutil::kMinutesPerSlice;
+using timeutil::TimeInterval;
+using timeutil::TimePoint;
+
+std::string_view AlertKindName(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::kShortage: return "shortage";
+    case AlertKind::kOverCapacity: return "over-capacity";
+    case AlertKind::kPlanDeviation: return "plan-deviation";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Finds maximal runs where `value(t) > threshold` and emits one alert each.
+void ScanRuns(const TimeInterval& window, double threshold, int min_slices, AlertKind kind,
+              const std::function<double(TimePoint)>& value, std::vector<Alert>* out) {
+  TimePoint run_start = window.start;
+  double magnitude = 0.0;
+  double peak = 0.0;
+  int length = 0;
+  auto flush = [&](TimePoint end) {
+    if (length >= min_slices) {
+      Alert alert;
+      alert.kind = kind;
+      alert.interval = TimeInterval(run_start, end);
+      alert.magnitude_kwh = magnitude;
+      alert.peak_kwh = peak;
+      alert.severity = std::clamp(peak / (4.0 * threshold), 0.0, 1.0);
+      alert.message = StrFormat(
+          "%s of %s kWh (peak %s kWh/slice) expected %s..%s",
+          std::string(AlertKindName(kind)).c_str(), FormatDouble(magnitude, 0).c_str(),
+          FormatDouble(peak, 1).c_str(), alert.interval.start.ToString().c_str(),
+          alert.interval.end.ToString().c_str());
+      out->push_back(std::move(alert));
+    }
+    magnitude = 0.0;
+    peak = 0.0;
+    length = 0;
+  };
+  for (TimePoint t = window.start; t < window.end; t = t + kMinutesPerSlice) {
+    double excess = value(t) - threshold;
+    if (excess > 0.0) {
+      if (length == 0) run_start = t;
+      magnitude += excess + threshold;  // report the full energy in the run
+      peak = std::max(peak, excess + threshold);
+      ++length;
+    } else {
+      flush(t);
+    }
+  }
+  flush(window.end);
+}
+
+}  // namespace
+
+std::vector<Alert> AlertEngine::Scan(const PlanningReport& report) const {
+  std::vector<Alert> alerts;
+  // Residual demand: inflexible + planned flexible - RES production.
+  auto residual = [&](TimePoint t) {
+    return report.inflexible_demand.At(t) + report.planned_flexible_load.At(t) -
+           report.res_production.At(t);
+  };
+  ScanRuns(report.window, params_.shortage_threshold_kwh, params_.min_consecutive_slices,
+           AlertKind::kShortage, residual, &alerts);
+  ScanRuns(report.window, params_.overcapacity_threshold_kwh,
+           params_.min_consecutive_slices, AlertKind::kOverCapacity,
+           [&](TimePoint t) { return -residual(t); }, &alerts);
+  ScanRuns(report.window, params_.deviation_threshold_kwh, params_.min_consecutive_slices,
+           AlertKind::kPlanDeviation,
+           [&](TimePoint t) { return std::abs(report.deviation.At(t)); }, &alerts);
+  std::stable_sort(alerts.begin(), alerts.end(), [](const Alert& a, const Alert& b) {
+    if (a.interval.start == b.interval.start) return a.severity > b.severity;
+    return a.interval.start < b.interval.start;
+  });
+  return alerts;
+}
+
+Result<AlertDrillDown> DrillDownAlert(const Alert& alert, const dw::Database& db,
+                                      size_t top_k) {
+  if (alert.interval.empty()) {
+    return InvalidArgumentError("alert has an empty interval");
+  }
+  AlertDrillDown drill;
+  drill.alert = alert;
+
+  dw::FlexOfferFilter filter;
+  filter.window = alert.interval;
+  filter.aggregates = dw::FlexOfferFilter::AggregateFilter::kOnlyRaw;
+  Result<std::vector<core::FlexOffer>> offers = db.SelectFlexOffers(filter);
+  if (!offers.ok()) return offers.status();
+  drill.offers = *std::move(offers);
+  drill.states = core::CountByState(drill.offers);
+  drill.potential = core::ComputeBalancingPotential(drill.offers);
+
+  // Rank by scheduled energy falling inside the alert interval.
+  std::vector<std::pair<double, core::FlexOfferId>> ranked;
+  for (const core::FlexOffer& o : drill.offers) {
+    double contribution = 0.0;
+    if (o.schedule.has_value()) {
+      for (size_t i = 0; i < o.schedule->energy_kwh.size(); ++i) {
+        TimePoint t = o.schedule->start + static_cast<int64_t>(i) * kMinutesPerSlice;
+        if (alert.interval.Contains(t)) contribution += o.schedule->energy_kwh[i];
+      }
+    } else {
+      // Unscheduled offers contribute their minimum energy prorated by how
+      // much of their possible extent falls inside the alert interval.
+      TimeInterval overlap = o.extent().Intersect(alert.interval);
+      int64_t extent_minutes = o.extent().duration_minutes();
+      if (!overlap.empty() && extent_minutes > 0) {
+        contribution = o.total_min_energy_kwh() *
+                       static_cast<double>(overlap.duration_minutes()) /
+                       static_cast<double>(extent_minutes);
+      }
+    }
+    ranked.emplace_back(contribution, o.id);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  for (size_t i = 0; i < std::min(top_k, ranked.size()); ++i) {
+    drill.top_contributors.push_back(ranked[i].second);
+  }
+  return drill;
+}
+
+}  // namespace flexvis::sim

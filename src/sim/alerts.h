@@ -1,0 +1,92 @@
+#ifndef FLEXVIS_SIM_ALERTS_H_
+#define FLEXVIS_SIM_ALERTS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/measures.h"
+#include "dw/database.h"
+#include "sim/enterprise.h"
+#include "util/status.h"
+
+namespace flexvis::sim {
+
+/// What an alert warns about. The paper's future-work platform wants "alerts
+/// about expected shortages or over-capacities and an option to drill down
+/// data to find out a reason behind this" — this module implements both.
+enum class AlertKind {
+  /// Planned load exceeds available production over a sustained run of
+  /// slices (the enterprise would have to buy at spot or risk imbalance).
+  kShortage = 0,
+  /// Production exceeds planned load (RES would be curtailed or dumped).
+  kOverCapacity,
+  /// Realized load deviates from the plan beyond tolerance (imbalance fees).
+  kPlanDeviation,
+};
+
+std::string_view AlertKindName(AlertKind kind);
+
+/// One detected alert: a maximal run of consecutive slices beyond threshold.
+struct Alert {
+  AlertKind kind = AlertKind::kShortage;
+  timeutil::TimeInterval interval;
+  /// Total energy beyond the threshold across the run (kWh).
+  double magnitude_kwh = 0.0;
+  /// Worst single slice (kWh).
+  double peak_kwh = 0.0;
+  /// [0, 1]; 1 when the peak reaches 4x the threshold.
+  double severity = 0.0;
+  std::string message;
+};
+
+struct AlertParams {
+  /// Per-slice residual (demand - production) above which a slice counts as
+  /// shortage, in kWh.
+  double shortage_threshold_kwh = 50.0;
+  /// Per-slice surplus (production - demand) above which a slice counts as
+  /// over-capacity.
+  double overcapacity_threshold_kwh = 50.0;
+  /// Per-slice |realized - planned| above which a slice counts as deviation.
+  double deviation_threshold_kwh = 25.0;
+  /// Runs shorter than this many consecutive slices are ignored (one noisy
+  /// slice is not an operational event).
+  int min_consecutive_slices = 2;
+};
+
+/// Scans a planning report for shortage / over-capacity / deviation runs.
+class AlertEngine {
+ public:
+  explicit AlertEngine(AlertParams params) : params_(params) {}
+  AlertEngine() : AlertEngine(AlertParams{}) {}
+
+  const AlertParams& params() const { return params_; }
+
+  /// All alerts in `report`, ordered by start time; severity-descending ties
+  /// on equal starts.
+  std::vector<Alert> Scan(const PlanningReport& report) const;
+
+ private:
+  AlertParams params_;
+};
+
+/// Drill-down of one alert ("to find out a reason behind the shortage ... it
+/// is important to be able to ... drill down to the level of individual
+/// flex-offers"): the flex-offers whose extent overlaps the alert interval,
+/// with their state mix and remaining balancing potential.
+struct AlertDrillDown {
+  Alert alert;
+  std::vector<core::FlexOffer> offers;
+  core::StateCounts states;
+  core::BalancingPotential potential;
+  /// Offers sorted by scheduled energy within the interval, largest first —
+  /// the "reason behind" list an operator reads top-down. Ids only; the
+  /// offers themselves are in `offers`.
+  std::vector<core::FlexOfferId> top_contributors;
+};
+
+Result<AlertDrillDown> DrillDownAlert(const Alert& alert, const dw::Database& db,
+                                      size_t top_k = 10);
+
+}  // namespace flexvis::sim
+
+#endif  // FLEXVIS_SIM_ALERTS_H_

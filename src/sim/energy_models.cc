@@ -1,0 +1,75 @@
+#include "sim/energy_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexvis::sim {
+
+using core::TimeSeries;
+using timeutil::kMinutesPerSlice;
+using timeutil::TimeInterval;
+using timeutil::TimePoint;
+
+namespace {
+
+size_t SliceCount(const TimeInterval& window) {
+  return static_cast<size_t>(std::max<int64_t>(0, window.duration_minutes() / kMinutesPerSlice));
+}
+
+double HourOfDay(TimePoint t) {
+  timeutil::CalendarTime c = t.ToCalendar();
+  return c.hour + c.minute / 60.0;
+}
+
+}  // namespace
+
+TimeSeries MakeResProduction(const TimeInterval& window, const EnergyModelParams& params) {
+  Rng rng(params.seed);
+  size_t n = SliceCount(window);
+  TimeSeries series(window.start, n);
+  // Wind: AR(1) around the mean with slow mean reversion.
+  double wind = params.wind_mean_kwh;
+  for (size_t i = 0; i < n; ++i) {
+    TimePoint t = window.start + static_cast<int64_t>(i) * kMinutesPerSlice;
+    wind += 0.06 * (params.wind_mean_kwh - wind) +
+            rng.Normal(0.0, params.wind_mean_kwh * params.noise);
+    wind = std::max(0.0, wind);
+    // Solar: cosine bell between 06:00 and 20:00, peaking at 13:00.
+    double h = HourOfDay(t);
+    double solar = 0.0;
+    if (h > 6.0 && h < 20.0) {
+      double phase = (h - 13.0) / 7.0;  // -1..1 across the daylight window
+      solar = params.solar_peak_kwh * std::max(0.0, std::cos(phase * M_PI / 2.0));
+      solar *= 1.0 + rng.Normal(0.0, params.noise);
+      solar = std::max(0.0, solar);
+    }
+    series.Set(static_cast<int64_t>(i), wind + solar);
+  }
+  return series;
+}
+
+TimeSeries MakeInflexibleDemand(const TimeInterval& window, const EnergyModelParams& params) {
+  Rng rng(params.seed ^ 0x9E3779B97F4A7C15ULL);
+  size_t n = SliceCount(window);
+  TimeSeries series(window.start, n);
+  for (size_t i = 0; i < n; ++i) {
+    TimePoint t = window.start + static_cast<int64_t>(i) * kMinutesPerSlice;
+    double h = HourOfDay(t);
+    // Two-peak diurnal shape: morning (08:00) and evening (19:00) bumps over
+    // a night valley.
+    double shape = 0.65;
+    shape += 0.35 * std::exp(-0.5 * std::pow((h - 8.0) / 2.0, 2));
+    shape += 0.55 * std::exp(-0.5 * std::pow((h - 19.0) / 2.5, 2));
+    double v = params.demand_base_kwh * shape * (1.0 + rng.Normal(0.0, params.noise));
+    series.Set(static_cast<int64_t>(i), std::max(0.0, v));
+  }
+  return series;
+}
+
+TimeSeries MakeFlexibilityTarget(const TimeSeries& res, const TimeSeries& inflexible_demand) {
+  TimeSeries target = res;
+  target.Subtract(inflexible_demand);
+  return target;
+}
+
+}  // namespace flexvis::sim

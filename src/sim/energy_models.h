@@ -1,0 +1,44 @@
+#ifndef FLEXVIS_SIM_ENERGY_MODELS_H_
+#define FLEXVIS_SIM_ENERGY_MODELS_H_
+
+#include "core/time_series.h"
+#include "util/rng.h"
+
+namespace flexvis::sim {
+
+/// Synthetic renewable production and inflexible demand curves at 15-minute
+/// resolution, standing in for the paper's real market-zone measurements
+/// (DESIGN.md §2). Shapes follow the textbook patterns the MIRABEL scenario
+/// assumes: solar is a daylight bell, wind is slowly varying (AR(1)),
+/// inflexible demand has morning and evening peaks.
+struct EnergyModelParams {
+  uint64_t seed = 7;
+  /// Average wind capacity factor contribution per slice (kWh per slice at
+  /// portfolio scale).
+  double wind_mean_kwh = 120.0;
+  /// Peak solar contribution at noon (kWh per slice).
+  double solar_peak_kwh = 90.0;
+  /// Base inflexible demand (kWh per slice) before the diurnal shape.
+  double demand_base_kwh = 160.0;
+  /// Relative noise applied to each series.
+  double noise = 0.08;
+};
+
+/// RES production over `window` (wind + solar), per-slice kWh.
+core::TimeSeries MakeResProduction(const timeutil::TimeInterval& window,
+                                   const EnergyModelParams& params);
+
+/// Inflexible (non-shiftable) demand over `window`, per-slice kWh.
+core::TimeSeries MakeInflexibleDemand(const timeutil::TimeInterval& window,
+                                      const EnergyModelParams& params);
+
+/// The balancing target for the flexible portfolio: RES production minus
+/// inflexible demand, signed. Positive slices are surplus the scheduler
+/// should fill with flexible consumption; negative slices are deficit that
+/// flexible production should cover (Fig. 1's "after" picture).
+core::TimeSeries MakeFlexibilityTarget(const core::TimeSeries& res,
+                                       const core::TimeSeries& inflexible_demand);
+
+}  // namespace flexvis::sim
+
+#endif  // FLEXVIS_SIM_ENERGY_MODELS_H_

@@ -1,0 +1,170 @@
+#include "sim/enterprise.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/local_search.h"
+#include "core/measures.h"
+#include "sim/forecaster.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace flexvis::sim {
+
+using core::FlexOffer;
+using core::TimeSeries;
+using timeutil::kMinutesPerSlice;
+using timeutil::TimeInterval;
+using timeutil::TimePoint;
+
+Result<PlanningReport> Enterprise::PlanHorizon(const std::vector<FlexOffer>& offers,
+                                               const TimeInterval& window) const {
+  if (window.empty()) {
+    return InvalidArgumentError("planning window is empty");
+  }
+  PlanningReport report;
+  report.window = window;
+  report.offers_in = static_cast<int>(offers.size());
+
+  // 1. Forecast the uncontrollable sides. In forecast mode the plan targets
+  //    a Holt-Winters prediction of the inflexible demand built from
+  //    synthetic history; otherwise it targets the actual curves directly.
+  report.res_production = MakeResProduction(window, params_.energy);
+  report.inflexible_demand = MakeInflexibleDemand(window, params_.energy);
+  report.planned_against_demand = report.inflexible_demand;
+  if (params_.plan_on_forecast) {
+    TimeInterval history_window(
+        window.start - params_.forecast_history_days * timeutil::kMinutesPerDay,
+        window.start);
+    TimeSeries history = MakeInflexibleDemand(history_window, params_.energy);
+    HoltWintersForecaster forecaster;
+    report.planned_against_demand = forecaster.Forecast(
+        history, static_cast<size_t>(window.duration_minutes() / kMinutesPerSlice));
+  }
+  report.target = MakeFlexibilityTarget(report.res_production, report.planned_against_demand);
+
+  // 2. Reset lifecycle state; planning decides it anew.
+  std::vector<FlexOffer> fresh = offers;
+  for (FlexOffer& o : fresh) {
+    o.state = core::FlexOfferState::kOffered;
+    o.schedule.reset();
+  }
+
+  // 3. Aggregate.
+  core::FlexOfferId next_id = 0;
+  for (const FlexOffer& o : fresh) next_id = std::max(next_id, o.id);
+  ++next_id;
+  core::Aggregator aggregator(params_.aggregation);
+  core::AggregationResult agg = aggregator.Aggregate(fresh, &next_id);
+  report.aggregates_built = static_cast<int>(agg.aggregates.size());
+
+  // 4. Schedule the aggregates against the RES surplus.
+  core::Scheduler scheduler(params_.scheduler);
+  core::ScheduleResult plan = scheduler.Plan(agg.aggregates, report.target);
+  report.imbalance_before_kwh = plan.imbalance_before_kwh;
+  report.imbalance_after_kwh = plan.imbalance_after_kwh;
+  report.aggregate_offers = plan.offers;
+
+  // 4b. Optional local-search refinement of the aggregate plan.
+  if (params_.local_search_iterations > 0) {
+    core::LocalSearchParams ls;
+    ls.iterations = params_.local_search_iterations;
+    ls.seed = params_.seed ^ 0xA5A5A5A5ULL;
+    core::LocalSearchResult refined =
+        core::LocalSearchImprover(ls).Improve(report.aggregate_offers, report.target);
+    report.aggregate_offers = std::move(refined.offers);
+    report.imbalance_after_kwh = refined.imbalance_after_kwh;
+  }
+
+  // 5. Disaggregate each assigned aggregate back onto its members.
+  std::unordered_map<core::FlexOfferId, const FlexOffer*> by_id;
+  for (const FlexOffer& o : fresh) by_id[o.id] = &o;
+
+  for (const FlexOffer& aggregate : report.aggregate_offers) {
+    std::vector<FlexOffer> members;
+    members.reserve(aggregate.aggregated_from.size());
+    for (core::FlexOfferId id : aggregate.aggregated_from) {
+      auto it = by_id.find(id);
+      if (it == by_id.end()) {
+        return InternalError(StrFormat("aggregate member %lld not found",
+                                       static_cast<long long>(id)));
+      }
+      members.push_back(*it->second);
+    }
+    if (aggregate.state == core::FlexOfferState::kAssigned &&
+        aggregate.schedule.has_value()) {
+      ++report.aggregates_assigned;
+      Result<std::vector<FlexOffer>> scheduled = core::Disaggregate(aggregate, members);
+      if (!scheduled.ok()) return scheduled.status();
+      for (FlexOffer& m : *scheduled) report.member_offers.push_back(std::move(m));
+    } else {
+      ++report.aggregates_rejected;
+      for (FlexOffer& m : members) {
+        m.state = core::FlexOfferState::kRejected;
+        m.schedule.reset();
+        report.member_offers.push_back(std::move(m));
+      }
+    }
+  }
+
+  // 6. Planned flexible load from member schedules (must equal the
+  //    aggregate-level plan by the disaggregation invariant).
+  report.planned_flexible_load = core::PlannedLoad(report.member_offers);
+
+  // 7. Simulate the physical realization.
+  Rng rng(params_.seed);
+  TimeSeries realized(report.planned_flexible_load.start(),
+                      report.planned_flexible_load.size());
+  for (const FlexOffer& m : report.member_offers) {
+    if (!m.schedule.has_value()) continue;
+    const double sign = m.direction == core::Direction::kConsumption ? 1.0 : -1.0;
+    // A non-compliant prosumer ignores the assigned start and runs at its
+    // earliest start (with the assigned energies); everyone else executes
+    // the schedule with multiplicative metering/behaviour noise.
+    const bool compliant = !rng.Bernoulli(params_.non_compliance);
+    TimePoint start = compliant ? m.schedule->start : m.earliest_start;
+    for (size_t i = 0; i < m.schedule->energy_kwh.size(); ++i) {
+      double e = m.schedule->energy_kwh[i] *
+                 std::max(0.0, 1.0 + rng.Normal(0.0, params_.execution_noise));
+      realized.AddAt(start + static_cast<int64_t>(i) * kMinutesPerSlice, sign * e);
+    }
+  }
+  report.realized_flexible_load = realized;
+
+  // 8. Deviation and settlement. The enterprise trades the slice-wise
+  //    residual (inflexible + planned flexible - RES) on the spot market and
+  //    pays the imbalance fee on deviations.
+  report.deviation = realized;
+  report.deviation.Subtract(report.planned_flexible_load);
+
+  TimeSeries residual = report.inflexible_demand;
+  residual.Add(report.planned_flexible_load.Slice(window));
+  residual.Subtract(report.res_production);
+
+  Market market(params_.market);
+  TimeSeries scarcity = residual;
+  scarcity.Clamp(0.0, 1e18);
+  TimeSeries prices = market.MakePrices(window, scarcity);
+  report.settlement = market.Settle(residual, report.deviation, prices);
+  return report;
+}
+
+Result<PlanningReport> Enterprise::RunDayAhead(dw::Database& db,
+                                               const TimeInterval& window) const {
+  dw::FlexOfferFilter filter;
+  filter.window = window;
+  filter.aggregates = dw::FlexOfferFilter::AggregateFilter::kOnlyRaw;
+  Result<std::vector<FlexOffer>> offers = db.SelectFlexOffers(filter);
+  if (!offers.ok()) return offers.status();
+
+  Result<PlanningReport> report = PlanHorizon(*offers, window);
+  if (!report.ok()) return report.status();
+
+  for (const FlexOffer& m : report->member_offers) {
+    FLEXVIS_RETURN_IF_ERROR(db.UpdateFlexOffer(m));
+  }
+  FLEXVIS_RETURN_IF_ERROR(db.LoadFlexOffers(report->aggregate_offers));
+  return report;
+}
+
+}  // namespace flexvis::sim

@@ -1,0 +1,96 @@
+#include "sim/forecaster.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexvis::sim {
+
+using core::TimeSeries;
+using timeutil::kMinutesPerSlice;
+
+ForecastError EvaluateForecast(const TimeSeries& forecast, const TimeSeries& actual) {
+  ForecastError err;
+  timeutil::TimeInterval overlap = forecast.interval().Intersect(actual.interval());
+  if (overlap.empty()) return err;
+  int64_t slices = overlap.duration_minutes() / kMinutesPerSlice;
+  double sum_abs = 0.0, sum_sq = 0.0, sum_pct = 0.0;
+  int64_t pct_count = 0;
+  for (int64_t i = 0; i < slices; ++i) {
+    timeutil::TimePoint t = overlap.start + i * kMinutesPerSlice;
+    double f = forecast.At(t);
+    double a = actual.At(t);
+    double e = f - a;
+    sum_abs += std::abs(e);
+    sum_sq += e * e;
+    if (std::abs(a) > 1e-9) {
+      sum_pct += std::abs(e / a);
+      ++pct_count;
+    }
+  }
+  double n = static_cast<double>(slices);
+  err.mae = sum_abs / n;
+  err.rmse = std::sqrt(sum_sq / n);
+  err.mape = pct_count > 0 ? sum_pct / static_cast<double>(pct_count) : 0.0;
+  return err;
+}
+
+TimeSeries SeasonalNaiveForecaster::Forecast(const TimeSeries& history,
+                                             size_t horizon_slices) const {
+  TimeSeries out(history.end(), horizon_slices);
+  const size_t n = history.size();
+  for (size_t i = 0; i < horizon_slices; ++i) {
+    double v = 0.0;
+    if (n >= season_) {
+      v = history.AtIndex(static_cast<int64_t>(n - season_ + (i % season_)));
+    } else if (n > 0) {
+      v = history.AtIndex(static_cast<int64_t>(i % n));
+    }
+    out.Set(static_cast<int64_t>(i), v);
+  }
+  return out;
+}
+
+TimeSeries HoltWintersForecaster::Forecast(const TimeSeries& history,
+                                           size_t horizon_slices) const {
+  const size_t n = history.size();
+  if (n < 2 * season_) {
+    // Not enough history to initialize the season; fall back to the naive
+    // baseline rather than extrapolating garbage.
+    return SeasonalNaiveForecaster(season_).Forecast(history, horizon_slices);
+  }
+
+  // Initialization: level = mean of season 1, trend = average per-slice
+  // change between season 1 and season 2, seasonals = season-1 deviations.
+  double mean1 = 0.0, mean2 = 0.0;
+  for (size_t i = 0; i < season_; ++i) {
+    mean1 += history.AtIndex(static_cast<int64_t>(i));
+    mean2 += history.AtIndex(static_cast<int64_t>(season_ + i));
+  }
+  mean1 /= static_cast<double>(season_);
+  mean2 /= static_cast<double>(season_);
+  double level = mean1;
+  double trend = (mean2 - mean1) / static_cast<double>(season_);
+  std::vector<double> season(season_);
+  for (size_t i = 0; i < season_; ++i) {
+    season[i] = history.AtIndex(static_cast<int64_t>(i)) - mean1;
+  }
+
+  for (size_t t = 0; t < n; ++t) {
+    double value = history.AtIndex(static_cast<int64_t>(t));
+    size_t s = t % season_;
+    double last_level = level;
+    level = alpha_ * (value - season[s]) + (1.0 - alpha_) * (level + trend);
+    trend = beta_ * (level - last_level) + (1.0 - beta_) * trend;
+    season[s] = gamma_ * (value - level) + (1.0 - gamma_) * season[s];
+  }
+
+  TimeSeries out(history.end(), horizon_slices);
+  for (size_t h = 0; h < horizon_slices; ++h) {
+    size_t s = (n + h) % season_;
+    double v = level + trend * static_cast<double>(h + 1) + season[s];
+    out.Set(static_cast<int64_t>(h), std::max(0.0, v));
+  }
+  return out;
+}
+
+}  // namespace flexvis::sim

@@ -1,0 +1,72 @@
+#ifndef FLEXVIS_SIM_FORECASTER_H_
+#define FLEXVIS_SIM_FORECASTER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/time_series.h"
+#include "util/status.h"
+
+namespace flexvis::sim {
+
+/// Forecast accuracy summary.
+struct ForecastError {
+  double mae = 0.0;    // mean absolute error per slice
+  double mape = 0.0;   // mean absolute percentage error (ignoring ~0 actuals)
+  double rmse = 0.0;
+};
+
+/// Compares `forecast` against `actual` over the overlap.
+ForecastError EvaluateForecast(const core::TimeSeries& forecast,
+                               const core::TimeSeries& actual);
+
+/// Interface of the demand/production forecasters the EDMS plugs into the
+/// planning loop (standing in for Fischer et al.'s subscription-based
+/// forecasting cited by the paper).
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+  virtual std::string name() const = 0;
+
+  /// Predicts `horizon_slices` values following `history`. The result starts
+  /// at history.end().
+  virtual core::TimeSeries Forecast(const core::TimeSeries& history,
+                                    size_t horizon_slices) const = 0;
+};
+
+/// Seasonal-naive baseline: tomorrow repeats the most recent full season
+/// (default: one day = 96 slices).
+class SeasonalNaiveForecaster : public Forecaster {
+ public:
+  explicit SeasonalNaiveForecaster(size_t season_slices = 96) : season_(season_slices) {}
+
+  std::string name() const override { return "seasonal-naive"; }
+  core::TimeSeries Forecast(const core::TimeSeries& history,
+                            size_t horizon_slices) const override;
+
+ private:
+  size_t season_;
+};
+
+/// Additive Holt-Winters (triple exponential smoothing) with a daily season.
+class HoltWintersForecaster : public Forecaster {
+ public:
+  /// `alpha`/`beta`/`gamma` are the level/trend/season smoothing factors.
+  HoltWintersForecaster(size_t season_slices = 96, double alpha = 0.25, double beta = 0.02,
+                        double gamma = 0.25)
+      : season_(season_slices), alpha_(alpha), beta_(beta), gamma_(gamma) {}
+
+  std::string name() const override { return "holt-winters"; }
+  core::TimeSeries Forecast(const core::TimeSeries& history,
+                            size_t horizon_slices) const override;
+
+ private:
+  size_t season_;
+  double alpha_;
+  double beta_;
+  double gamma_;
+};
+
+}  // namespace flexvis::sim
+
+#endif  // FLEXVIS_SIM_FORECASTER_H_

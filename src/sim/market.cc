@@ -1,0 +1,48 @@
+#include "sim/market.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexvis::sim {
+
+using core::TimeSeries;
+using timeutil::kMinutesPerSlice;
+
+TimeSeries Market::MakePrices(const timeutil::TimeInterval& window,
+                              const TimeSeries& residual_demand) const {
+  Rng rng(params_.seed);
+  size_t n = static_cast<size_t>(std::max<int64_t>(0, window.duration_minutes() /
+                                                          kMinutesPerSlice));
+  TimeSeries prices(window.start, n);
+  for (size_t i = 0; i < n; ++i) {
+    timeutil::TimePoint t = window.start + static_cast<int64_t>(i) * kMinutesPerSlice;
+    double scarcity = residual_demand.At(t);
+    double p = params_.base_price_eur_mwh + params_.scarcity_slope * scarcity;
+    p *= 1.0 + rng.Normal(0.0, params_.noise);
+    prices.Set(static_cast<int64_t>(i), std::max(0.0, p));
+  }
+  return prices;
+}
+
+Settlement Market::Settle(const TimeSeries& plan_residual, const TimeSeries& deviation,
+                          const TimeSeries& prices) const {
+  Settlement s;
+  s.traded_kwh = plan_residual;
+  s.prices = prices;
+  for (size_t i = 0; i < plan_residual.size(); ++i) {
+    timeutil::TimePoint t = plan_residual.start() + static_cast<int64_t>(i) * kMinutesPerSlice;
+    double price_eur_per_kwh = prices.At(t) / 1000.0;
+    s.spot_cost_eur += plan_residual.AtIndex(static_cast<int64_t>(i)) * price_eur_per_kwh;
+  }
+  for (size_t i = 0; i < deviation.size(); ++i) {
+    timeutil::TimePoint t = deviation.start() + static_cast<int64_t>(i) * kMinutesPerSlice;
+    double dev = std::abs(deviation.AtIndex(static_cast<int64_t>(i)));
+    double price_eur_per_kwh = prices.At(t) / 1000.0;
+    s.imbalance_kwh += dev;
+    s.imbalance_cost_eur += dev * price_eur_per_kwh * params_.imbalance_fee_multiplier;
+  }
+  s.total_cost_eur = s.spot_cost_eur + s.imbalance_cost_eur;
+  return s;
+}
+
+}  // namespace flexvis::sim

@@ -1,0 +1,60 @@
+#ifndef FLEXVIS_SIM_MARKET_H_
+#define FLEXVIS_SIM_MARKET_H_
+
+#include "core/time_series.h"
+#include "util/rng.h"
+
+namespace flexvis::sim {
+
+/// Day-ahead spot market model (the paper's Nordpool Spot stand-in): spot
+/// prices per slice, trades against the plan residual, and the imbalance
+/// settlement ("the fee is substantially higher than a spot price").
+struct MarketParams {
+  uint64_t seed = 99;
+  double base_price_eur_mwh = 45.0;
+  /// Price sensitivity to scarcity (residual demand) per kWh.
+  double scarcity_slope = 0.05;
+  double noise = 0.05;
+  /// Imbalance energy is settled at spot * this multiplier.
+  double imbalance_fee_multiplier = 3.0;
+};
+
+/// Settlement of one planning horizon.
+struct Settlement {
+  /// Energy bought (positive) or sold (negative) per slice on the spot
+  /// market to close the plan's residual gap, in kWh.
+  core::TimeSeries traded_kwh;
+  /// Spot prices used (EUR/MWh).
+  core::TimeSeries prices;
+  double spot_cost_eur = 0.0;       // cost of the traded energy (sales negative)
+  double imbalance_kwh = 0.0;       // Σ |realized - plan| settled as imbalance
+  double imbalance_cost_eur = 0.0;  // imbalance energy at the penalty price
+  double total_cost_eur = 0.0;
+};
+
+class Market {
+ public:
+  explicit Market(MarketParams params) : params_(params) {}
+  Market() : Market(MarketParams{}) {}
+
+  const MarketParams& params() const { return params_; }
+
+  /// Spot price curve over `window`: base price pushed up by residual demand
+  /// (demand minus RES) plus noise.
+  core::TimeSeries MakePrices(const timeutil::TimeInterval& window,
+                              const core::TimeSeries& residual_demand) const;
+
+  /// Settles a horizon: the enterprise trades `plan_residual` (demand the
+  /// plan could not cover internally; negative = surplus sold) at spot, and
+  /// pays the imbalance fee on |realized - planned| deviations.
+  Settlement Settle(const core::TimeSeries& plan_residual,
+                    const core::TimeSeries& deviation,
+                    const core::TimeSeries& prices) const;
+
+ private:
+  MarketParams params_;
+};
+
+}  // namespace flexvis::sim
+
+#endif  // FLEXVIS_SIM_MARKET_H_

@@ -1,0 +1,165 @@
+#include "sim/online.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/measures.h"
+#include "util/strings.h"
+
+namespace flexvis::sim {
+
+using core::AcceptanceMessage;
+using core::AssignmentMessage;
+using core::FlexOffer;
+using core::TimeSeries;
+using timeutil::kMinutesPerSlice;
+using timeutil::TimeInterval;
+using timeutil::TimePoint;
+
+Result<OnlineReport> OnlineEnterprise::Run(const std::vector<FlexOffer>& offers,
+                                           const TimeInterval& window) const {
+  if (window.empty()) return InvalidArgumentError("online window is empty");
+  if (params_.tick_minutes <= 0) {
+    return InvalidArgumentError("tick_minutes must be positive");
+  }
+
+  OnlineReport report;
+  report.offers = offers;
+  for (FlexOffer& o : report.offers) {
+    o.state = core::FlexOfferState::kOffered;
+    o.schedule.reset();
+  }
+
+  // Arrival order.
+  std::vector<size_t> arrival(report.offers.size());
+  std::iota(arrival.begin(), arrival.end(), 0);
+  std::stable_sort(arrival.begin(), arrival.end(), [&](size_t a, size_t b) {
+    return report.offers[a].creation_time < report.offers[b].creation_time;
+  });
+
+  // The balancing target and the running committed load. Committed capacity
+  // is never revised: once an assignment message is out, its energy stays.
+  TimeSeries target = MakeFlexibilityTarget(MakeResProduction(window, params_.energy),
+                                            MakeInflexibleDemand(window, params_.energy));
+  TimeSeries residual = target;  // shrinks as assignments commit
+
+  core::Scheduler scheduler(params_.scheduler);
+
+  std::vector<size_t> pending_acceptance;  // ingested, not yet answered
+  std::vector<size_t> pending_assignment;  // accepted, not yet scheduled
+  size_t next_arrival = 0;
+
+  auto send_acceptance = [&](size_t idx, TimePoint now, bool accepted) {
+    FlexOffer& offer = report.offers[idx];
+    AcceptanceMessage msg;
+    msg.offer = offer.id;
+    msg.accepted = accepted;
+    msg.sent_at = std::min(now, offer.acceptance_deadline);
+    report.outbox.push_back(core::EncodeMessage(core::Message(msg)));
+    if (accepted) {
+      offer.state = core::FlexOfferState::kAccepted;
+      ++report.accepted;
+      pending_assignment.push_back(idx);
+    } else {
+      offer.state = core::FlexOfferState::kRejected;
+      ++report.rejected;
+    }
+  };
+
+  for (TimePoint now = window.start; now < window.end; now = now + params_.tick_minutes) {
+    ++report.ticks;
+    const TimePoint next_tick = now + params_.tick_minutes;
+
+    // 1. Ingest offers created up to now.
+    while (next_arrival < arrival.size() &&
+           report.offers[arrival[next_arrival]].creation_time <= now) {
+      size_t idx = arrival[next_arrival++];
+      ++report.offers_received;
+      if (report.offers[idx].acceptance_deadline < now) {
+        // Arrived already expired (coarse tick): count as missed, reject.
+        ++report.missed_acceptance;
+        send_acceptance(idx, now, /*accepted=*/false);
+      } else {
+        pending_acceptance.push_back(idx);
+      }
+    }
+
+    // 2. Answer every acceptance deadline falling before the next tick. The
+    //    accept/reject call is a cheap screen: offers whose mandatory energy
+    //    can never help (no surplus anywhere in their window) are rejected
+    //    up front; everything else is accepted and scheduled later.
+    std::vector<size_t> keep;
+    for (size_t idx : pending_acceptance) {
+      FlexOffer& offer = report.offers[idx];
+      if (offer.acceptance_deadline >= next_tick) {
+        keep.push_back(idx);
+        continue;
+      }
+      bool useful = false;
+      const double sign = offer.direction == core::Direction::kConsumption ? 1.0 : -1.0;
+      for (TimePoint t = offer.earliest_start; t < offer.latest_end();
+           t = t + kMinutesPerSlice) {
+        if (sign * residual.At(t) > 0.0) {
+          useful = true;
+          break;
+        }
+      }
+      // With no rejection threshold configured, accept everything (the
+      // offline scheduler's behaviour); otherwise screen by usefulness.
+      bool accept = params_.scheduler.rejection_threshold < 0.0 || useful;
+      send_acceptance(idx, now, accept);
+    }
+    pending_acceptance = std::move(keep);
+
+    // 3. Commit schedules for every assignment deadline before the next
+    //    tick. Scheduling the urgent batch against the *remaining* residual
+    //    implements the incremental commitment.
+    std::vector<FlexOffer> urgent;
+    std::vector<size_t> urgent_idx;
+    keep.clear();
+    for (size_t idx : pending_assignment) {
+      FlexOffer& offer = report.offers[idx];
+      if (offer.assignment_deadline >= next_tick) {
+        keep.push_back(idx);
+        continue;
+      }
+      if (offer.assignment_deadline < now) ++report.missed_assignment;
+      urgent.push_back(offer);
+      urgent_idx.push_back(idx);
+    }
+    pending_assignment = std::move(keep);
+    if (!urgent.empty()) {
+      core::ScheduleResult plan = scheduler.Plan(urgent, residual);
+      for (size_t k = 0; k < plan.offers.size(); ++k) {
+        FlexOffer& offer = report.offers[urgent_idx[k]];
+        if (!plan.offers[k].schedule.has_value()) {
+          // The scheduler rejected it post-acceptance; demote.
+          offer.state = core::FlexOfferState::kRejected;
+          continue;
+        }
+        offer.schedule = plan.offers[k].schedule;
+        offer.state = core::FlexOfferState::kAssigned;
+        ++report.assigned;
+        const double sign =
+            offer.direction == core::Direction::kConsumption ? 1.0 : -1.0;
+        for (size_t i = 0; i < offer.schedule->energy_kwh.size(); ++i) {
+          residual.AddAt(offer.schedule->start + static_cast<int64_t>(i) * kMinutesPerSlice,
+                         -sign * offer.schedule->energy_kwh[i]);
+        }
+        AssignmentMessage msg;
+        msg.offer = offer.id;
+        msg.schedule = *offer.schedule;
+        msg.sent_at = std::min(now, offer.assignment_deadline);
+        report.outbox.push_back(core::EncodeMessage(core::Message(msg)));
+      }
+    }
+  }
+
+  // Anything still pending at the end of the window never got answered in
+  // time (its deadlines lie beyond the simulated horizon) — leave it
+  // kOffered/kAccepted; that is honest bookkeeping, not a miss.
+  report.imbalance_kwh = residual.Slice(window).AbsTotal();
+  return report;
+}
+
+}  // namespace flexvis::sim

@@ -1,0 +1,73 @@
+#ifndef FLEXVIS_SIM_ONLINE_H_
+#define FLEXVIS_SIM_ONLINE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/messages.h"
+#include "core/scheduler.h"
+#include "sim/energy_models.h"
+#include "util/status.h"
+
+namespace flexvis::sim {
+
+/// Parameters of the online planning loop.
+struct OnlineParams {
+  /// Cadence of the planning tick. Each tick ingests newly created offers,
+  /// answers every acceptance deadline falling before the next tick, and
+  /// commits schedules for every assignment deadline falling before the
+  /// next tick.
+  int64_t tick_minutes = 60;
+  core::SchedulerParams scheduler;
+  EnergyModelParams energy;
+};
+
+/// Outcome of one online run.
+struct OnlineReport {
+  int offers_received = 0;
+  int accepted = 0;
+  int rejected = 0;
+  int assigned = 0;
+  /// Deadlines that passed before the loop could answer (late arrivals or a
+  /// tick coarser than the deadline spacing). A healthy configuration keeps
+  /// both at zero.
+  int missed_acceptance = 0;
+  int missed_assignment = 0;
+  /// Σ|target - committed load| over the horizon after the run.
+  double imbalance_kwh = 0.0;
+  /// Offers with their final states and committed schedules.
+  std::vector<core::FlexOffer> offers;
+  /// Every acceptance/assignment message sent, in send order (the protocol
+  /// stream a prosumer gateway would receive).
+  std::vector<std::string> outbox;
+  /// Number of planning ticks executed.
+  int ticks = 0;
+};
+
+/// The enterprise's *online* mode (Section 2: "performs a complex planning
+/// activity in an online fashion"): offers arrive at their creation times;
+/// the loop must send the acceptance message before each offer's acceptance
+/// deadline and the assignment message (with the schedule) before its
+/// assignment deadline, committing plan capacity incrementally — it can
+/// never revisit a sent assignment, unlike the offline Enterprise which
+/// plans a closed horizon at once.
+class OnlineEnterprise {
+ public:
+  explicit OnlineEnterprise(OnlineParams params) : params_(params) {}
+  OnlineEnterprise() : OnlineEnterprise(OnlineParams{}) {}
+
+  const OnlineParams& params() const { return params_; }
+
+  /// Simulates the loop over `window` (clock from window.start to
+  /// window.end) with `offers` arriving at their creation times. Offers
+  /// whose creation time precedes the window are ingested at the first tick.
+  Result<OnlineReport> Run(const std::vector<core::FlexOffer>& offers,
+                           const timeutil::TimeInterval& window) const;
+
+ private:
+  OnlineParams params_;
+};
+
+}  // namespace flexvis::sim
+
+#endif  // FLEXVIS_SIM_ONLINE_H_

@@ -1,0 +1,296 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "time/granularity.h"
+#include "util/strings.h"
+
+namespace flexvis::sim {
+
+using core::ApplianceType;
+using core::Direction;
+using core::EnergyType;
+using core::FlexOffer;
+using core::ProfileSlice;
+using core::ProsumerType;
+using timeutil::kMinutesPerSlice;
+using timeutil::TimePoint;
+
+namespace {
+
+// Built-in prosumer mix: indexed by ProsumerType.
+const std::vector<double>& DefaultProsumerWeights() {
+  static const std::vector<double> kWeights = {0.62, 0.14, 0.10, 0.05, 0.06, 0.03};
+  return kWeights;
+}
+
+// Appliance candidates (with weights) per prosumer type.
+struct ApplianceChoice {
+  ApplianceType appliance;
+  double weight;
+};
+
+std::vector<ApplianceChoice> AppliancesFor(ProsumerType type) {
+  switch (type) {
+    case ProsumerType::kHousehold:
+      return {{ApplianceType::kElectricVehicle, 0.30},
+              {ApplianceType::kHeatPump, 0.25},
+              {ApplianceType::kWashingMachine, 0.18},
+              {ApplianceType::kDishwasher, 0.15},
+              {ApplianceType::kWaterHeater, 0.12}};
+    case ProsumerType::kCommercial:
+      return {{ApplianceType::kHeatPump, 0.40},
+              {ApplianceType::kBatteryStorage, 0.25},
+              {ApplianceType::kElectricVehicle, 0.35}};
+    case ProsumerType::kSmallIndustry:
+    case ProsumerType::kLargeIndustry:
+      return {{ApplianceType::kIndustrialProcess, 0.7},
+              {ApplianceType::kBatteryStorage, 0.3}};
+    case ProsumerType::kSmallPowerPlant:
+    case ProsumerType::kLargePowerPlant:
+      return {{ApplianceType::kGenerator, 0.85}, {ApplianceType::kBatteryStorage, 0.15}};
+  }
+  return {{ApplianceType::kWashingMachine, 1.0}};
+}
+
+EnergyType EnergyTypeFor(Rng& rng, ProsumerType prosumer, ApplianceType appliance) {
+  if (appliance == ApplianceType::kGenerator) {
+    // Plant portfolio: mostly renewables, some conventional.
+    const std::vector<double> w = {0.35, 0.15, 0.15, 0.10, 0.05, 0.08, 0.12, 0.0};
+    Rng& r = rng;
+    return static_cast<EnergyType>(r.WeightedIndex(w));
+  }
+  (void)prosumer;
+  return EnergyType::kMixedGrid;
+}
+
+// Scale factor of per-slice energies by prosumer type.
+double EnergyScale(ProsumerType type) {
+  switch (type) {
+    case ProsumerType::kHousehold: return 1.0;
+    case ProsumerType::kCommercial: return 4.0;
+    case ProsumerType::kSmallIndustry: return 12.0;
+    case ProsumerType::kLargeIndustry: return 40.0;
+    case ProsumerType::kSmallPowerPlant: return 60.0;
+    case ProsumerType::kLargePowerPlant: return 250.0;
+  }
+  return 1.0;
+}
+
+// Appliance-specific profile and flexibility synthesis. Durations in unit
+// slices, energies in kWh per slice before prosumer scaling.
+struct OfferShape {
+  std::vector<ProfileSlice> profile;
+  int64_t time_flex_minutes = 0;
+  Direction direction = Direction::kConsumption;
+};
+
+OfferShape MakeShape(Rng& rng, ApplianceType appliance) {
+  OfferShape shape;
+  auto slice = [](double lo, double hi) { return ProfileSlice{1, lo, hi}; };
+  switch (appliance) {
+    case ApplianceType::kElectricVehicle: {
+      // Constant-rate charging, 1-4 hours, amount fixed, start very flexible
+      // (the "charge a battery at any time over a night" example).
+      int slices = static_cast<int>(rng.UniformInt(4, 16));
+      double rate = rng.Uniform(1.5, 2.8);
+      for (int i = 0; i < slices; ++i) shape.profile.push_back(slice(rate * 0.8, rate));
+      shape.time_flex_minutes = rng.UniformInt(8, 40) * kMinutesPerSlice;
+      break;
+    }
+    case ApplianceType::kHeatPump: {
+      // Ramp up/down; energy per slice adjustable within a comfort band.
+      int slices = static_cast<int>(rng.UniformInt(2, 8));
+      for (int i = 0; i < slices; ++i) {
+        double mid = rng.Uniform(0.4, 1.2);
+        shape.profile.push_back(slice(mid * 0.5, mid * 1.5));
+      }
+      shape.time_flex_minutes = rng.UniformInt(2, 12) * kMinutesPerSlice;
+      break;
+    }
+    case ApplianceType::kWashingMachine:
+    case ApplianceType::kDishwasher: {
+      // Rigid program: min == max per slice; only the start shifts.
+      int slices = static_cast<int>(rng.UniformInt(3, 8));
+      for (int i = 0; i < slices; ++i) {
+        double e = i == 0 ? rng.Uniform(0.4, 0.7) : rng.Uniform(0.15, 0.5);
+        shape.profile.push_back(slice(e, e));
+      }
+      shape.time_flex_minutes = rng.UniformInt(4, 24) * kMinutesPerSlice;
+      break;
+    }
+    case ApplianceType::kWaterHeater: {
+      int slices = static_cast<int>(rng.UniformInt(2, 6));
+      for (int i = 0; i < slices; ++i) shape.profile.push_back(slice(0.3, 1.0));
+      shape.time_flex_minutes = rng.UniformInt(8, 32) * kMinutesPerSlice;
+      break;
+    }
+    case ApplianceType::kBatteryStorage: {
+      // Either absorbs or injects; fully modulating.
+      int slices = static_cast<int>(rng.UniformInt(2, 10));
+      for (int i = 0; i < slices; ++i) shape.profile.push_back(slice(0.0, rng.Uniform(1.0, 3.0)));
+      shape.time_flex_minutes = rng.UniformInt(4, 48) * kMinutesPerSlice;
+      shape.direction = rng.Bernoulli(0.5) ? Direction::kConsumption : Direction::kProduction;
+      break;
+    }
+    case ApplianceType::kIndustrialProcess: {
+      // Long, heavy, barely flexible (the abnormally long profiles the basic
+      // view makes visible).
+      int slices = static_cast<int>(rng.UniformInt(8, 40));
+      double base = rng.Uniform(0.8, 1.4);
+      for (int i = 0; i < slices; ++i) shape.profile.push_back(slice(base * 0.9, base * 1.1));
+      shape.time_flex_minutes = rng.UniformInt(0, 6) * kMinutesPerSlice;
+      break;
+    }
+    case ApplianceType::kGenerator: {
+      int slices = static_cast<int>(rng.UniformInt(4, 24));
+      for (int i = 0; i < slices; ++i) {
+        double mid = rng.Uniform(0.6, 1.4);
+        shape.profile.push_back(slice(mid * 0.4, mid * 1.3));
+      }
+      shape.time_flex_minutes = rng.UniformInt(0, 16) * kMinutesPerSlice;
+      shape.direction = Direction::kProduction;
+      break;
+    }
+  }
+  if (shape.profile.empty()) shape.profile.push_back(slice(0.5, 0.5));
+  return shape;
+}
+
+TimePoint AlignToSlice(TimePoint t) {
+  return timeutil::TruncateTo(t, timeutil::Granularity::kSlice);
+}
+
+}  // namespace
+
+FlexOffer WorkloadGenerator::MakeOffer(Rng& rng, const dw::ProsumerInfo& prosumer,
+                                       TimePoint around, core::FlexOfferId id) const {
+  std::vector<ApplianceChoice> choices = AppliancesFor(prosumer.type);
+  std::vector<double> weights;
+  weights.reserve(choices.size());
+  for (const ApplianceChoice& c : choices) weights.push_back(c.weight);
+  ApplianceType appliance = choices[rng.WeightedIndex(weights)].appliance;
+
+  OfferShape shape = MakeShape(rng, appliance);
+  double scale = EnergyScale(prosumer.type) * rng.Uniform(0.7, 1.3);
+  for (ProfileSlice& s : shape.profile) {
+    s.min_energy_kwh *= scale;
+    s.max_energy_kwh *= scale;
+  }
+
+  FlexOffer offer;
+  offer.id = id;
+  offer.prosumer = prosumer.id;
+  offer.region = prosumer.region;
+  offer.grid_node = prosumer.grid_node;
+  offer.prosumer_type = prosumer.type;
+  offer.appliance_type = appliance;
+  offer.energy_type = EnergyTypeFor(rng, prosumer.type, appliance);
+  offer.direction = shape.direction;
+  offer.profile = std::move(shape.profile);
+
+  offer.earliest_start = AlignToSlice(around);
+  offer.latest_start = offer.earliest_start + shape.time_flex_minutes;
+  // Creation well before execution; deadlines in between, respecting
+  // creation <= acceptance <= assignment <= latest_start.
+  offer.creation_time = offer.earliest_start - rng.UniformInt(6, 36) * 60;
+  TimePoint acceptance = offer.creation_time + rng.UniformInt(1, 6) * 60;
+  if (offer.latest_start < acceptance) acceptance = offer.latest_start;
+  offer.acceptance_deadline = acceptance;
+  TimePoint assignment = acceptance + rng.UniformInt(1, 8) * 60;
+  if (offer.latest_start < assignment) assignment = offer.latest_start;
+  offer.assignment_deadline = assignment;
+  return offer;
+}
+
+Workload WorkloadGenerator::Generate(const WorkloadParams& params) const {
+  Rng rng(params.seed);
+  Workload out;
+
+  const std::vector<double>& type_weights = params.prosumer_type_weights.empty()
+                                                ? DefaultProsumerWeights()
+                                                : params.prosumer_type_weights;
+  const std::vector<geo::GeoRegion> leaves = atlas_->Leaves();
+  const std::vector<grid::GridNode> feeders = topology_->Feeders();
+
+  // Prosumer population.
+  out.prosumers.reserve(static_cast<size_t>(params.num_prosumers));
+  for (int i = 0; i < params.num_prosumers; ++i) {
+    dw::ProsumerInfo p;
+    p.id = i + 1;
+    p.type = static_cast<ProsumerType>(rng.WeightedIndex(type_weights));
+    p.name = StrFormat("%s %d", std::string(core::ProsumerTypeName(p.type)).c_str(), i + 1);
+    p.region = leaves.empty() ? core::kInvalidRegionId
+                              : leaves[static_cast<size_t>(
+                                           rng.UniformInt(0, static_cast<int64_t>(
+                                                                 leaves.size()) - 1))].id;
+    p.grid_node = feeders.empty() ? core::kInvalidGridNodeId
+                                  : feeders[static_cast<size_t>(rng.UniformInt(
+                                                0, static_cast<int64_t>(feeders.size()) - 1))]
+                                        .id;
+    out.prosumers.push_back(std::move(p));
+  }
+
+  // Offers.
+  timeutil::TimeInterval horizon = params.horizon;
+  if (horizon.empty()) {
+    horizon = timeutil::TimeInterval(TimePoint::FromCalendarOrDie(2013, 1, 15, 0, 0),
+                                     TimePoint::FromCalendarOrDie(2013, 1, 17, 0, 0));
+  }
+  core::FlexOfferId next_id = 1;
+  for (const dw::ProsumerInfo& prosumer : out.prosumers) {
+    int64_t count = rng.Poisson(params.offers_per_prosumer);
+    for (int64_t k = 0; k < count; ++k) {
+      int64_t span = horizon.duration_minutes();
+      TimePoint around = horizon.start + rng.UniformInt(0, std::max<int64_t>(0, span - 1));
+      FlexOffer offer = MakeOffer(rng, prosumer, around, next_id++);
+
+      // Keep the whole flexible window inside the horizon where possible.
+      if (horizon.end < offer.latest_end()) {
+        int64_t overshoot = offer.latest_end() - horizon.end;
+        int64_t shift = ((overshoot + kMinutesPerSlice - 1) / kMinutesPerSlice) *
+                        kMinutesPerSlice;
+        offer.earliest_start = offer.earliest_start - shift;
+        offer.latest_start = offer.latest_start - shift;
+        offer.creation_time = offer.creation_time - shift;
+        offer.acceptance_deadline = offer.acceptance_deadline - shift;
+        offer.assignment_deadline = offer.assignment_deadline - shift;
+      }
+
+      // Lifecycle state mix.
+      double u = rng.NextDouble();
+      if (u < params.fraction_assigned) {
+        offer.state = core::FlexOfferState::kAssigned;
+        // Synthetic schedule: a random feasible start, mid-band energies.
+        int64_t steps = offer.time_flexibility_minutes() / kMinutesPerSlice;
+        int64_t pick = steps > 0 ? rng.UniformInt(0, steps) : 0;
+        core::Schedule sched;
+        sched.start = offer.earliest_start + pick * kMinutesPerSlice;
+        for (const ProfileSlice& s : offer.UnitProfile()) {
+          sched.energy_kwh.push_back(
+              rng.Uniform(s.min_energy_kwh, s.max_energy_kwh));
+        }
+        offer.schedule = std::move(sched);
+      } else if (u < params.fraction_assigned + params.fraction_accepted) {
+        offer.state = core::FlexOfferState::kAccepted;
+      } else if (u < params.fraction_assigned + params.fraction_accepted +
+                         params.fraction_rejected) {
+        offer.state = core::FlexOfferState::kRejected;
+      } else {
+        offer.state = core::FlexOfferState::kOffered;
+      }
+      out.offers.push_back(std::move(offer));
+    }
+  }
+  return out;
+}
+
+Status WorkloadGenerator::LoadIntoDatabase(const Workload& workload, dw::Database& db) {
+  for (const dw::ProsumerInfo& p : workload.prosumers) {
+    FLEXVIS_RETURN_IF_ERROR(db.RegisterProsumer(p));
+  }
+  return db.LoadFlexOffers(workload.offers);
+}
+
+}  // namespace flexvis::sim

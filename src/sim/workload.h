@@ -1,0 +1,70 @@
+#ifndef FLEXVIS_SIM_WORKLOAD_H_
+#define FLEXVIS_SIM_WORKLOAD_H_
+
+#include <vector>
+
+#include "core/flex_offer.h"
+#include "dw/database.h"
+#include "geo/atlas.h"
+#include "grid/topology.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace flexvis::sim {
+
+/// Shape of the synthetic flex-offer population. Defaults approximate the
+/// MIRABEL demo mix: mostly households with EVs/heat pumps/wet appliances,
+/// a sprinkle of industry and small plants.
+struct WorkloadParams {
+  uint64_t seed = 42;
+  int num_prosumers = 100;
+  /// Poisson mean of offers per prosumer within the horizon.
+  double offers_per_prosumer = 5.0;
+  /// Offers start (earliest start) uniformly within [horizon.start,
+  /// horizon.end - profile duration].
+  timeutil::TimeInterval horizon;
+  /// Weights over core::ProsumerType (indexed by enum value); empty = the
+  /// built-in mix.
+  std::vector<double> prosumer_type_weights;
+  /// Fractions of offers stamped Accepted / Assigned / Rejected; the
+  /// remainder stays Offered. Assigned offers receive a synthetic schedule.
+  double fraction_accepted = 0.31;
+  double fraction_assigned = 0.43;
+  double fraction_rejected = 0.26;
+};
+
+/// A generated workload: the prosumer population and their flex-offers,
+/// geotagged by atlas leaf region and attached to grid feeders.
+struct Workload {
+  std::vector<dw::ProsumerInfo> prosumers;
+  std::vector<core::FlexOffer> offers;
+};
+
+/// Deterministic synthetic workload generator (DESIGN.md §2: substitutes the
+/// paper's real Danish prosumer data while reproducing the statistical shape
+/// the views depend on).
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const geo::Atlas* atlas, const grid::GridTopology* topology)
+      : atlas_(atlas), topology_(topology) {}
+
+  /// Generates prosumers and offers. Every produced offer validates.
+  Workload Generate(const WorkloadParams& params) const;
+
+  /// Generates one flex-offer for `prosumer` with earliest start near
+  /// `around` (public so tests and examples can mint single offers).
+  core::FlexOffer MakeOffer(Rng& rng, const dw::ProsumerInfo& prosumer,
+                            timeutil::TimePoint around, core::FlexOfferId id) const;
+
+  /// Loads `workload` into `db` (dimensions are expected to be registered
+  /// already via Atlas/GridTopology RegisterWithDatabase).
+  static Status LoadIntoDatabase(const Workload& workload, dw::Database& db);
+
+ private:
+  const geo::Atlas* atlas_;
+  const grid::GridTopology* topology_;
+};
+
+}  // namespace flexvis::sim
+
+#endif  // FLEXVIS_SIM_WORKLOAD_H_

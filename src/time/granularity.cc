@@ -1,0 +1,186 @@
+#include "time/granularity.h"
+
+#include "util/strings.h"
+
+namespace flexvis::timeutil {
+
+namespace {
+
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+// ISO-8601 week number and week-year for the day containing `t`.
+void IsoWeek(TimePoint t, int& week_year, int& week) {
+  CalendarTime c = t.ToCalendar();
+  // Day-of-year computation.
+  int doy = c.day;
+  for (int m = 1; m < c.month; ++m) doy += DaysInMonth(c.year, m);
+  // ISO week algorithm: week = floor((doy - dow + 9) / 7) with dow in 0..6
+  // Monday-based converted to 1..7.
+  int dow = c.day_of_week + 1;  // 1 = Monday .. 7 = Sunday
+  week = (doy - dow + 10) / 7;
+  week_year = c.year;
+  if (week < 1) {
+    // Belongs to the last week of the previous year.
+    week_year = c.year - 1;
+    int prev_days = IsLeapYear(week_year) ? 366 : 365;
+    int prev_doy = doy + prev_days;
+    week = (prev_doy - dow + 10) / 7;
+  } else if (week > 52) {
+    // Week 53 exists only if the year has enough days; otherwise it is week 1
+    // of the next year.
+    int year_days = IsLeapYear(c.year) ? 366 : 365;
+    if (doy - dow + 10 > year_days + 3) {
+      week = 1;
+      week_year = c.year + 1;
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view GranularityName(Granularity g) {
+  switch (g) {
+    case Granularity::kSlice: return "slice";
+    case Granularity::kHour: return "hour";
+    case Granularity::kDay: return "day";
+    case Granularity::kWeek: return "week";
+    case Granularity::kMonth: return "month";
+    case Granularity::kQuarter: return "quarter";
+    case Granularity::kYear: return "year";
+    case Granularity::kAll: return "all";
+  }
+  return "unknown";
+}
+
+Result<Granularity> ParseGranularity(std::string_view name) {
+  const Granularity all[] = {Granularity::kSlice, Granularity::kHour,  Granularity::kDay,
+                             Granularity::kWeek,  Granularity::kMonth, Granularity::kQuarter,
+                             Granularity::kYear,  Granularity::kAll};
+  for (Granularity g : all) {
+    if (EqualsIgnoreCase(name, GranularityName(g))) return g;
+  }
+  return InvalidArgumentError(StrFormat("unknown granularity: %.*s",
+                                        static_cast<int>(name.size()), name.data()));
+}
+
+Granularity ParentGranularity(Granularity g) {
+  switch (g) {
+    case Granularity::kSlice: return Granularity::kHour;
+    case Granularity::kHour: return Granularity::kDay;
+    case Granularity::kDay: return Granularity::kMonth;
+    case Granularity::kWeek: return Granularity::kYear;
+    case Granularity::kMonth: return Granularity::kQuarter;
+    case Granularity::kQuarter: return Granularity::kYear;
+    case Granularity::kYear: return Granularity::kAll;
+    case Granularity::kAll: return Granularity::kAll;
+  }
+  return Granularity::kAll;
+}
+
+TimePoint TruncateTo(TimePoint t, Granularity g) {
+  int64_t m = t.minutes();
+  switch (g) {
+    case Granularity::kSlice:
+      return TimePoint::FromMinutes(FloorDiv(m, kMinutesPerSlice) * kMinutesPerSlice);
+    case Granularity::kHour:
+      return TimePoint::FromMinutes(FloorDiv(m, kMinutesPerHour) * kMinutesPerHour);
+    case Granularity::kDay:
+      return TimePoint::FromMinutes(FloorDiv(m, kMinutesPerDay) * kMinutesPerDay);
+    case Granularity::kWeek: {
+      // 2000-01-01 (epoch) was a Saturday; Monday of that week is -5 days.
+      int64_t days = FloorDiv(m, kMinutesPerDay);
+      int64_t monday = days - ((days + 5) % 7 + 7) % 7;
+      return TimePoint::FromMinutes(monday * kMinutesPerDay);
+    }
+    case Granularity::kMonth: {
+      CalendarTime c = t.ToCalendar();
+      return TimePoint::FromCalendarOrDie(c.year, c.month, 1, 0, 0);
+    }
+    case Granularity::kQuarter: {
+      CalendarTime c = t.ToCalendar();
+      int qm = ((c.month - 1) / 3) * 3 + 1;
+      return TimePoint::FromCalendarOrDie(c.year, qm, 1, 0, 0);
+    }
+    case Granularity::kYear: {
+      CalendarTime c = t.ToCalendar();
+      return TimePoint::FromCalendarOrDie(c.year, 1, 1, 0, 0);
+    }
+    case Granularity::kAll:
+      return TimePoint();
+  }
+  return t;
+}
+
+TimePoint NextBoundary(TimePoint t, Granularity g) {
+  TimePoint start = TruncateTo(t, g);
+  switch (g) {
+    case Granularity::kSlice: return start + kMinutesPerSlice;
+    case Granularity::kHour: return start + kMinutesPerHour;
+    case Granularity::kDay: return start + kMinutesPerDay;
+    case Granularity::kWeek: return start + kMinutesPerWeek;
+    case Granularity::kMonth: {
+      CalendarTime c = start.ToCalendar();
+      int y = c.year, mo = c.month + 1;
+      if (mo > 12) { mo = 1; ++y; }
+      return TimePoint::FromCalendarOrDie(y, mo, 1, 0, 0);
+    }
+    case Granularity::kQuarter: {
+      CalendarTime c = start.ToCalendar();
+      int y = c.year, mo = c.month + 3;
+      if (mo > 12) { mo -= 12; ++y; }
+      return TimePoint::FromCalendarOrDie(y, mo, 1, 0, 0);
+    }
+    case Granularity::kYear: {
+      CalendarTime c = start.ToCalendar();
+      return TimePoint::FromCalendarOrDie(c.year + 1, 1, 1, 0, 0);
+    }
+    case Granularity::kAll:
+      // One unbounded period; return a far-future sentinel.
+      return TimePoint::FromMinutes(INT64_MAX / 2);
+  }
+  return start;
+}
+
+std::string PeriodLabel(TimePoint period_start, Granularity g) {
+  CalendarTime c = period_start.ToCalendar();
+  switch (g) {
+    case Granularity::kSlice:
+    case Granularity::kHour:
+      return period_start.ToString();
+    case Granularity::kDay:
+      return StrFormat("%04d-%02d-%02d", c.year, c.month, c.day);
+    case Granularity::kWeek: {
+      int wy = 0, w = 0;
+      IsoWeek(period_start, wy, w);
+      return StrFormat("%04d-W%02d", wy, w);
+    }
+    case Granularity::kMonth:
+      return StrFormat("%04d-%02d", c.year, c.month);
+    case Granularity::kQuarter:
+      return StrFormat("Q%d %04d", (c.month - 1) / 3 + 1, c.year);
+    case Granularity::kYear:
+      return StrFormat("%04d", c.year);
+    case Granularity::kAll:
+      return "All time";
+  }
+  return period_start.ToString();
+}
+
+int64_t CountPeriods(const TimeInterval& interval, Granularity g) {
+  if (interval.empty()) return 0;
+  int64_t count = 0;
+  TimePoint cursor = TruncateTo(interval.start, g);
+  while (cursor < interval.end) {
+    ++count;
+    TimePoint next = NextBoundary(cursor, g);
+    if (!(cursor < next)) break;  // kAll sentinel safety
+    cursor = next;
+  }
+  return count;
+}
+
+}  // namespace flexvis::timeutil

@@ -1,0 +1,54 @@
+#ifndef FLEXVIS_TIME_GRANULARITY_H_
+#define FLEXVIS_TIME_GRANULARITY_H_
+
+#include <string>
+#include <string_view>
+
+#include "time/time_point.h"
+#include "util/status.h"
+
+namespace flexvis::timeutil {
+
+/// Levels of the time dimension hierarchy (Req. "Temporal: ... analyse data
+/// at different time granularities"). kSlice is the 15-minute market slice,
+/// the finest level stored in the DW; kAll is the hierarchy root.
+enum class Granularity {
+  kSlice = 0,   // 15 minutes
+  kHour,
+  kDay,
+  kWeek,        // ISO weeks, Monday-based
+  kMonth,
+  kQuarter,
+  kYear,
+  kAll,
+};
+
+/// Stable display name ("slice", "hour", ...).
+std::string_view GranularityName(Granularity g);
+
+/// Parses a case-insensitive granularity name.
+Result<Granularity> ParseGranularity(std::string_view name);
+
+/// The coarser level directly above `g` in the hierarchy (hour -> day;
+/// week and month both roll up from day; week's parent is year, month's is
+/// quarter). kAll is its own parent.
+Granularity ParentGranularity(Granularity g);
+
+/// Truncates `t` down to the start of its enclosing `g`-period. For kAll the
+/// epoch is returned (a single global bucket).
+TimePoint TruncateTo(TimePoint t, Granularity g);
+
+/// Start of the `g`-period immediately after the one containing `t`.
+TimePoint NextBoundary(TimePoint t, Granularity g);
+
+/// Human-readable label for the `g`-period that starts at `period_start`
+/// (e.g. "2013-01" for a month, "2013-W05" for a week, "Q1 2013").
+std::string PeriodLabel(TimePoint period_start, Granularity g);
+
+/// Number of whole `g`-periods covered by `interval` (boundary-aligned count:
+/// the number of distinct period starts intersecting the interval).
+int64_t CountPeriods(const TimeInterval& interval, Granularity g);
+
+}  // namespace flexvis::timeutil
+
+#endif  // FLEXVIS_TIME_GRANULARITY_H_

@@ -1,0 +1,119 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace flexvis {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+  // xoshiro256++ requires a non-zero state; SplitMix64 of any seed yields one
+  // with overwhelming probability, but guard against the pathological case.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits scaled to [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  if (lo >= hi) return lo;
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t v = NextUint64();
+  while (v >= limit) v = NextUint64();
+  return lo + static_cast<int64_t>(v % range);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::Exponential(double lambda) {
+  double u = NextDouble();
+  while (u <= 1e-300) u = NextDouble();
+  return -std::log(u) / lambda;
+}
+
+int64_t Rng::Poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction keeps this O(1) for
+    // large means; exactness is irrelevant for synthetic workloads.
+    double v = Normal(mean, std::sqrt(mean));
+    return v < 0.0 ? 0 : static_cast<int64_t>(v + 0.5);
+  }
+  const double l = std::exp(-mean);
+  int64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= NextDouble();
+  } while (p > l);
+  return k - 1;
+}
+
+double Rng::Pareto(double x_m, double alpha) {
+  double u = NextDouble();
+  while (u <= 1e-300) u = NextDouble();
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights)
+    if (w > 0.0) total += w;
+  if (total <= 0.0) return 0;
+  double target = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] > 0.0) acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace flexvis

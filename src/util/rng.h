@@ -1,0 +1,72 @@
+#ifndef FLEXVIS_UTIL_RNG_H_
+#define FLEXVIS_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace flexvis {
+
+/// Deterministic pseudo-random number generator used by the synthetic
+/// workload generators. Implements xoshiro256++ seeded via SplitMix64, so a
+/// single 64-bit seed reproduces an entire workload bit-for-bit across
+/// platforms (the standard library distributions are not guaranteed to be
+/// reproducible, so all distribution sampling is implemented here).
+class Rng {
+ public:
+  /// Seeds the generator. Two Rng instances constructed with the same seed
+  /// produce identical streams.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi; returns lo when lo == hi.
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller; cached second variate for speed.
+  double Normal(double mean, double stddev);
+
+  /// Exponential with rate lambda > 0.
+  double Exponential(double lambda);
+
+  /// Poisson-distributed count with the given mean (Knuth's method for small
+  /// means, normal approximation above 64).
+  int64_t Poisson(double mean);
+
+  /// Pareto (heavy-tailed) sample with scale x_m > 0 and shape alpha > 0.
+  double Pareto(double x_m, double alpha);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Non-positive weights are treated as zero; if all weights are zero the
+  /// first index is returned.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles `values` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (size_t i = values.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace flexvis
+
+#endif  // FLEXVIS_UTIL_RNG_H_

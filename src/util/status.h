@@ -1,0 +1,131 @@
+#ifndef FLEXVIS_UTIL_STATUS_H_
+#define FLEXVIS_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace flexvis {
+
+/// Error categories used across the library. Modeled after absl::StatusCode,
+/// restricted to the categories the library actually produces.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed a value that violates a precondition
+  kNotFound,          // a looked-up entity (member, column, region) is absent
+  kOutOfRange,        // an index or time interval lies outside valid bounds
+  kFailedPrecondition,// object state does not permit the operation
+  kAlreadyExists,     // insertion of a duplicate key
+  kUnimplemented,     // feature declared by the API but not available
+  kInternal,          // invariant violation inside the library
+};
+
+/// Returns a stable, human-readable name for `code` ("OK", "INVALID_ARGUMENT",
+/// ...). Never returns an empty view.
+std::string_view StatusCodeName(StatusCode code);
+
+/// Lightweight error carrier. The library does not use exceptions (per the
+/// project style guide); every fallible operation returns a Status or a
+/// Result<T>. A default-constructed Status is OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and a diagnostic `message`. The message
+  /// is ignored for kOk.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(code == StatusCode::kOk ? std::string() : std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// True iff the status carries no error.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// The diagnostic message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE_NAME>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Factory helpers mirroring absl's ergonomics.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+/// Value-or-error union. Holds either an OK status plus a T, or a non-OK
+/// status. Accessing value() on an error aborts, so callers must check ok()
+/// (or use value_or) first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value produces an OK result. Implicit by
+  /// design so `return value;` works in functions returning Result<T>.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status produces an error result.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      // An OK status without a value is a programming error; normalize it to
+      // an internal error rather than leaving value() undefined.
+      status_ = Status(StatusCode::kInternal, "Result constructed from OK status without value");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// The contained value. Precondition: ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  /// The contained value, or `fallback` when in error state.
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  T&& operator*() && { return *std::move(value_); }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace flexvis
+
+/// Propagates a non-OK status from an expression to the caller.
+#define FLEXVIS_RETURN_IF_ERROR(expr)                  \
+  do {                                                 \
+    ::flexvis::Status flexvis_status_tmp_ = (expr);    \
+    if (!flexvis_status_tmp_.ok()) return flexvis_status_tmp_; \
+  } while (false)
+
+#endif  // FLEXVIS_UTIL_STATUS_H_

@@ -1,0 +1,180 @@
+#include "viz/anatomy_view.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace flexvis::viz {
+
+using core::FlexOffer;
+using core::ProfileSlice;
+using render::Point;
+using render::Rect;
+using render::Style;
+using timeutil::kMinutesPerSlice;
+using timeutil::TimePoint;
+
+FlexOffer MakePaperExampleOffer() {
+  FlexOffer offer;
+  offer.id = 1;
+  offer.prosumer = 1;
+  offer.appliance_type = core::ApplianceType::kElectricVehicle;
+  // The evening of the prior day: acceptance 23:00, assignment 00:00,
+  // earliest start 01:00, latest start 03:00, 2 h profile -> latest end 05:00.
+  offer.creation_time = TimePoint::FromCalendarOrDie(2013, 1, 14, 21, 0);
+  offer.acceptance_deadline = TimePoint::FromCalendarOrDie(2013, 1, 14, 23, 0);
+  offer.assignment_deadline = TimePoint::FromCalendarOrDie(2013, 1, 15, 0, 0);
+  offer.earliest_start = TimePoint::FromCalendarOrDie(2013, 1, 15, 1, 0);
+  offer.latest_start = TimePoint::FromCalendarOrDie(2013, 1, 15, 3, 0);
+  offer.profile = {ProfileSlice{2, 0.8, 1.6}, ProfileSlice{2, 1.2, 2.4},
+                   ProfileSlice{2, 1.4, 2.0}, ProfileSlice{2, 0.6, 1.2}};
+  core::Schedule sched;
+  sched.start = TimePoint::FromCalendarOrDie(2013, 1, 15, 2, 0);
+  for (const ProfileSlice& u : offer.UnitProfile()) {
+    sched.energy_kwh.push_back((u.min_energy_kwh + u.max_energy_kwh) / 2.0);
+  }
+  offer.schedule = std::move(sched);
+  offer.state = core::FlexOfferState::kAssigned;
+  return offer;
+}
+
+namespace {
+
+void VerticalMarker(render::DisplayList& canvas, const Rect& plot, double x,
+                    const std::string& label, const render::Color& color, double label_y) {
+  canvas.DrawLine(Point{x, plot.y}, Point{x, plot.bottom()},
+                  Style::Stroke(color, 1.4).WithDash({5.0, 4.0}));
+  render::TextStyle ts;
+  ts.size = 9.0;
+  ts.anchor = render::TextAnchor::kMiddle;
+  canvas.DrawText(Point{x, label_y}, label, ts);
+}
+
+}  // namespace
+
+AnatomyViewResult RenderAnatomyView(const FlexOffer& offer, const AnatomyViewOptions& options) {
+  AnatomyViewResult result;
+  Frame frame = options.frame;
+  if (frame.title.empty()) frame.title = "Structural elements of a flex-offer";
+  result.scene = std::make_unique<render::DisplayList>(frame.width, frame.height);
+  render::DisplayList& canvas = *result.scene;
+  Rect plot = DrawFrame(canvas, frame);
+
+  // Window: creation to latest end, padded half an hour each side.
+  timeutil::TimeInterval window(offer.creation_time - 30, offer.latest_end() + 30);
+  render::LinearScale x = MakeTimeScale(window, plot);
+  render::DrawBottomAxis(canvas, plot, x, render::MakeTimeTicks(window, 4, 12));
+  render::DrawBottomAxisTitle(canvas, plot, "t");
+  render::DrawLeftAxisTitle(canvas, plot, "kW");
+
+  const double peak = std::max(offer.peak_energy_kwh(), 1e-9);
+  render::PrettyScale pretty = render::MakePrettyScale(0.0, peak, 5);
+  render::LinearScale y(0.0, pretty.nice_max, plot.bottom(), plot.y);
+  render::DrawLeftAxis(canvas, plot, y, pretty.ticks);
+
+  TimePoint start = offer.schedule.has_value() ? offer.schedule->start : offer.earliest_start;
+
+  // Start-time flexibility band with arrows.
+  const double fx0 = x.Apply(static_cast<double>(offer.earliest_start.minutes()));
+  const double fx1 = x.Apply(static_cast<double>(offer.latest_start.minutes()));
+  const double band_y = plot.y + 18.0;
+  canvas.DrawRect(Rect{fx0, band_y - 7, fx1 - fx0, 14},
+                  Style::Fill(render::palette::kTimeFlexibility.WithAlpha(120)));
+  canvas.DrawLine(Point{fx0, band_y}, Point{fx1, band_y},
+                  Style::Stroke(render::palette::kAxis, 1.4));
+  for (double ax : {fx0, fx1}) {
+    double dir = ax == fx0 ? 1.0 : -1.0;
+    canvas.DrawLine(Point{ax, band_y}, Point{ax + dir * 6, band_y - 4},
+                    Style::Stroke(render::palette::kAxis, 1.4));
+    canvas.DrawLine(Point{ax, band_y}, Point{ax + dir * 6, band_y + 4},
+                    Style::Stroke(render::palette::kAxis, 1.4));
+  }
+  render::TextStyle flex_label;
+  flex_label.size = 10.0;
+  flex_label.anchor = render::TextAnchor::kMiddle;
+  canvas.DrawText(Point{(fx0 + fx1) / 2, band_y - 12}, "start time flexibility", flex_label);
+
+  // Profile at the scheduled start: min fill + flexibility band per slice.
+  const std::vector<ProfileSlice> units = offer.UnitProfile();
+  for (size_t u = 0; u < units.size(); ++u) {
+    TimePoint t0 = start + static_cast<int64_t>(u) * kMinutesPerSlice;
+    double sx0 = x.Apply(static_cast<double>(t0.minutes()));
+    double sx1 = x.Apply(static_cast<double>((t0 + kMinutesPerSlice).minutes()));
+    double ymin = y.Apply(units[u].min_energy_kwh);
+    double ymax = y.Apply(units[u].max_energy_kwh);
+    canvas.DrawRect(Rect{sx0, ymax, sx1 - sx0, ymin - ymax},
+                    Style::FillStroke(
+                        render::Lerp(render::palette::kRawOffer,
+                                     render::palette::kBackground, 0.45),
+                        render::palette::kAxis.WithAlpha(120)));
+    canvas.DrawRect(Rect{sx0, ymin, sx1 - sx0, plot.bottom() - ymin},
+                    Style::FillStroke(render::palette::kRawOffer,
+                                      render::palette::kAxis.WithAlpha(120)));
+  }
+
+  // Annotations for the min-energy fill and the flexibility band.
+  if (!units.empty()) {
+    TimePoint mid = start + static_cast<int64_t>(units.size() / 2) * kMinutesPerSlice;
+    double mx = x.Apply(static_cast<double>(mid.minutes()));
+    render::TextStyle note;
+    note.size = 9.0;
+    note.anchor = render::TextAnchor::kMiddle;
+    size_t mid_u = units.size() / 2;
+    canvas.DrawText(
+        Point{mx, (y.Apply(units[mid_u].min_energy_kwh) + plot.bottom()) / 2},
+        "minimum required energy", note);
+    canvas.DrawText(Point{mx, (y.Apply(units[mid_u].max_energy_kwh) +
+                               y.Apply(units[mid_u].min_energy_kwh)) /
+                                  2},
+                    "energy flexibility", note);
+  }
+
+  // Scheduled energy step line.
+  if (offer.schedule.has_value()) {
+    std::vector<Point> steps;
+    for (size_t u = 0; u < offer.schedule->energy_kwh.size(); ++u) {
+      TimePoint t0 = offer.schedule->start + static_cast<int64_t>(u) * kMinutesPerSlice;
+      double sy = y.Apply(offer.schedule->energy_kwh[u]);
+      steps.push_back(Point{x.Apply(static_cast<double>(t0.minutes())), sy});
+      steps.push_back(Point{x.Apply(static_cast<double>((t0 + kMinutesPerSlice).minutes())), sy});
+    }
+    canvas.DrawPolyline(steps, Style::Stroke(render::palette::kScheduled, 2.2));
+    render::TextStyle sched_note;
+    sched_note.size = 9.0;
+    sched_note.color = render::palette::kScheduled;
+    canvas.DrawText(Point{steps.back().x + 4, steps.back().y}, "scheduled energy", sched_note);
+  }
+
+  // Lifecycle markers along the abscissa (Fig. 2's labeled time points).
+  struct MarkerSpec {
+    TimePoint t;
+    std::string label;
+    render::Color color;
+  };
+  const MarkerSpec markers[] = {
+      {offer.acceptance_deadline,
+       StrFormat("%s acceptance", offer.acceptance_deadline.TimeOfDayString().c_str()),
+       render::palette::kMarker},
+      {offer.assignment_deadline,
+       StrFormat("%s assignment", offer.assignment_deadline.TimeOfDayString().c_str()),
+       render::palette::kMarker},
+      {offer.earliest_start,
+       StrFormat("%s earliest start", offer.earliest_start.TimeOfDayString().c_str()),
+       render::palette::kAxis},
+      {offer.latest_start,
+       StrFormat("%s latest start", offer.latest_start.TimeOfDayString().c_str()),
+       render::palette::kAxis},
+      {offer.latest_end(),
+       StrFormat("%s latest end", offer.latest_end().TimeOfDayString().c_str()),
+       render::palette::kAxis},
+  };
+  double label_y = plot.y + 44.0;
+  for (const MarkerSpec& m : markers) {
+    VerticalMarker(canvas, plot, x.Apply(static_cast<double>(m.t.minutes())), m.label, m.color,
+                   label_y);
+    label_y += 13.0;
+  }
+  return result;
+}
+
+}  // namespace flexvis::viz

@@ -1,0 +1,37 @@
+#ifndef FLEXVIS_VIZ_ANATOMY_VIEW_H_
+#define FLEXVIS_VIZ_ANATOMY_VIEW_H_
+
+#include <memory>
+
+#include "render/display_list.h"
+#include "viz/view_common.h"
+
+namespace flexvis::viz {
+
+/// Options of the single-offer anatomy diagram (Fig. 2: "structural elements
+/// of a flex-offer").
+struct AnatomyViewOptions {
+  Frame frame;
+};
+
+struct AnatomyViewResult {
+  std::unique_ptr<render::DisplayList> scene;
+};
+
+/// Renders one flex-offer with every Req. 1 element called out: the profile
+/// with minimum-energy fill and energy-flexibility band, the start-time
+/// flexibility interval with arrows, the earliest/latest start and latest
+/// end markers, the acceptance and assignment deadlines, and the scheduled
+/// energy line. Returns the paper's own example when given
+/// MakePaperExampleOffer().
+AnatomyViewResult RenderAnatomyView(const core::FlexOffer& offer,
+                                    const AnatomyViewOptions& options);
+
+/// The flex-offer of Fig. 2: created before 11 pm (acceptance time), 0 am
+/// assignment time, earliest start 1 am, latest start 3 am, a 2 h profile
+/// (latest end 5 am), with per-slice energy flexibility and a schedule.
+core::FlexOffer MakePaperExampleOffer();
+
+}  // namespace flexvis::viz
+
+#endif  // FLEXVIS_VIZ_ANATOMY_VIEW_H_

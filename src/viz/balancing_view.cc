@@ -1,0 +1,141 @@
+#include "viz/balancing_view.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace flexvis::viz {
+
+using core::TimeSeries;
+using render::Point;
+using render::Rect;
+using render::Style;
+using timeutil::kMinutesPerSlice;
+
+namespace {
+
+// The flexible load as it would fall without balancing: every scheduled
+// member executes at its earliest start with the same energies.
+TimeSeries UnshiftedLoad(const sim::PlanningReport& report) {
+  TimeSeries load(report.window.start,
+                  static_cast<size_t>(report.window.duration_minutes() / kMinutesPerSlice));
+  for (const core::FlexOffer& m : report.member_offers) {
+    if (!m.schedule.has_value()) continue;
+    const double sign = m.direction == core::Direction::kConsumption ? 1.0 : -1.0;
+    for (size_t i = 0; i < m.schedule->energy_kwh.size(); ++i) {
+      load.AddAt(m.earliest_start + static_cast<int64_t>(i) * kMinutesPerSlice,
+                 sign * m.schedule->energy_kwh[i]);
+    }
+  }
+  return load;
+}
+
+double Imbalance(const TimeSeries& res, const TimeSeries& inflexible,
+                 const TimeSeries& flexible, const timeutil::TimeInterval& window) {
+  double total = 0.0;
+  for (timeutil::TimePoint t = window.start; t < window.end; t = t + kMinutesPerSlice) {
+    total += std::abs(res.At(t) - inflexible.At(t) - flexible.At(t));
+  }
+  return total;
+}
+
+// One panel: RES line over stacked demand areas.
+void DrawPanel(render::DisplayList& canvas, const Rect& panel, const char* title,
+               const TimeSeries& res, const TimeSeries& inflexible,
+               const TimeSeries& flexible, const timeutil::TimeInterval& window,
+               double y_max) {
+  render::TextStyle title_style;
+  title_style.size = 11.0;
+  title_style.bold = true;
+  title_style.anchor = render::TextAnchor::kMiddle;
+  canvas.DrawText(Point{panel.x + panel.width / 2, panel.y - 6}, title, title_style);
+
+  render::LinearScale x = MakeTimeScale(window, panel);
+  render::PrettyScale pretty = render::MakePrettyScale(0.0, y_max, 5);
+  render::LinearScale y(0.0, pretty.nice_max, panel.bottom(), panel.y);
+  render::DrawLeftAxis(canvas, panel, y, pretty.ticks);
+  render::DrawBottomAxis(canvas, panel, x, render::MakeTimeTicks(window, 3, 7));
+
+  canvas.PushClip(panel);
+  // Stacked areas: inflexible demand, then flexible on top.
+  std::vector<Point> base_area, flex_area;
+  std::vector<Point> res_line;
+  for (timeutil::TimePoint t = window.start; t < window.end; t = t + kMinutesPerSlice) {
+    double px = x.Apply(static_cast<double>(t.minutes()));
+    double inflex = std::max(0.0, inflexible.At(t));
+    double flex_top = inflex + std::max(0.0, flexible.At(t));
+    base_area.push_back(Point{px, y.Apply(inflex)});
+    flex_area.push_back(Point{px, y.Apply(flex_top)});
+    res_line.push_back(Point{px, y.Apply(std::max(0.0, res.At(t)))});
+  }
+  auto close_area = [&](std::vector<Point> upper, const std::vector<Point>& lower_or_axis,
+                        bool to_axis) {
+    std::vector<Point> poly = std::move(upper);
+    if (to_axis) {
+      poly.push_back(Point{poly.back().x, panel.bottom()});
+      poly.push_back(Point{poly.front().x, panel.bottom()});
+    } else {
+      for (size_t i = lower_or_axis.size(); i > 0; --i) poly.push_back(lower_or_axis[i - 1]);
+    }
+    return poly;
+  };
+  if (base_area.size() >= 2) {
+    canvas.DrawPolygon(close_area(base_area, {}, true),
+                       Style::Fill(render::palette::kDemand.WithAlpha(170)));
+    canvas.DrawPolygon(close_area(flex_area, base_area, false),
+                       Style::Fill(render::palette::kFlexibleDemand.WithAlpha(190)));
+    canvas.DrawPolyline(res_line, Style::Stroke(render::palette::kResProduction, 2.4));
+  }
+  canvas.PopClip();
+}
+
+}  // namespace
+
+BalancingViewResult RenderBalancingView(const sim::PlanningReport& report,
+                                        const BalancingViewOptions& options) {
+  BalancingViewResult result;
+  Frame frame = options.frame;
+  if (frame.title.empty()) {
+    frame.title = "Loads before and after MIRABEL balances demand and supply";
+  }
+  result.scene = std::make_unique<render::DisplayList>(frame.width, frame.height);
+  render::DisplayList& canvas = *result.scene;
+  Rect outer = DrawFrame(canvas, frame);
+
+  TimeSeries before = UnshiftedLoad(report);
+  const TimeSeries& after = report.planned_flexible_load;
+  result.imbalance_before_kwh =
+      Imbalance(report.res_production, report.inflexible_demand, before, report.window);
+  result.imbalance_after_kwh =
+      Imbalance(report.res_production, report.inflexible_demand, after, report.window);
+
+  // Shared ordinate across both panels for honest comparison.
+  double y_max = 1.0;
+  for (timeutil::TimePoint t = report.window.start; t < report.window.end;
+       t = t + kMinutesPerSlice) {
+    y_max = std::max(y_max, report.res_production.At(t));
+    y_max = std::max(y_max, report.inflexible_demand.At(t) +
+                                std::max(std::max(0.0, before.At(t)), after.At(t)));
+  }
+
+  const double gap = 46.0;
+  Rect left{outer.x, outer.y + 12, (outer.width - gap) / 2, outer.height - 40};
+  Rect right{outer.x + (outer.width + gap) / 2, outer.y + 12, (outer.width - gap) / 2,
+             outer.height - 40};
+  DrawPanel(canvas, left,
+            StrFormat("before (imbalance %.0f kWh)", result.imbalance_before_kwh).c_str(),
+            report.res_production, report.inflexible_demand, before, report.window, y_max);
+  DrawPanel(canvas, right,
+            StrFormat("after (imbalance %.0f kWh)", result.imbalance_after_kwh).c_str(),
+            report.res_production, report.inflexible_demand, after, report.window, y_max);
+
+  std::vector<render::LegendEntry> entries = {
+      {"production from RES", render::palette::kResProduction, true},
+      {"non-flexible demand", render::palette::kDemand, false},
+      {"flexible demand", render::palette::kFlexibleDemand, false},
+  };
+  render::DrawLegend(canvas, Point{outer.x + 4, outer.bottom() - 14}, entries);
+  return result;
+}
+
+}  // namespace flexvis::viz

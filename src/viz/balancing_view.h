@@ -1,0 +1,34 @@
+#ifndef FLEXVIS_VIZ_BALANCING_VIEW_H_
+#define FLEXVIS_VIZ_BALANCING_VIEW_H_
+
+#include <memory>
+
+#include "render/display_list.h"
+#include "sim/enterprise.h"
+#include "viz/view_common.h"
+
+namespace flexvis::viz {
+
+/// Options of the before/after balancing chart (Fig. 1).
+struct BalancingViewOptions {
+  Frame frame;
+};
+
+struct BalancingViewResult {
+  std::unique_ptr<render::DisplayList> scene;
+  /// Imbalance (Σ|RES - total load| in kWh) in the before/after panels; the
+  /// "after" number should be markedly lower — that is Fig. 1's message.
+  double imbalance_before_kwh = 0.0;
+  double imbalance_after_kwh = 0.0;
+};
+
+/// Renders Fig. 1's two panels side by side: production from RES as a line,
+/// non-flexible demand as a filled area, flexible demand stacked on top — at
+/// its *requested* times before balancing (left), at its *scheduled* times
+/// after the MIRABEL system balanced demand and supply (right).
+BalancingViewResult RenderBalancingView(const sim::PlanningReport& report,
+                                        const BalancingViewOptions& options);
+
+}  // namespace flexvis::viz
+
+#endif  // FLEXVIS_VIZ_BALANCING_VIEW_H_

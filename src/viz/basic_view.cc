@@ -1,0 +1,98 @@
+#include "viz/basic_view.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace flexvis::viz {
+
+using render::Point;
+using render::Rect;
+using render::Style;
+using timeutil::TimePoint;
+
+BasicViewResult RenderBasicView(const std::vector<core::FlexOffer>& offers,
+                                const BasicViewOptions& options) {
+  BasicViewResult result;
+  Frame frame = options.frame;
+  if (frame.title.empty()) {
+    frame.title = StrFormat("Basic view - %zu flex-offers", offers.size());
+  }
+  result.scene = std::make_unique<render::DisplayList>(frame.width, frame.height);
+  render::DisplayList& canvas = *result.scene;
+
+  result.plot = DrawFrame(canvas, frame);
+  result.window = options.window.empty() ? OffersExtent(offers) : options.window;
+  if (result.window.empty()) {
+    // Nothing to draw; leave an empty frame.
+    result.time_scale = render::LinearScale(0, 1, result.plot.x, result.plot.right());
+    return result;
+  }
+  result.time_scale = MakeTimeScale(result.window, result.plot);
+  result.layout = AssignLanes(offers, options.lane_gap_minutes);
+
+  const render::LinearScale& x = result.time_scale;
+  const Rect& plot = result.plot;
+  const int lanes = std::max(1, result.layout.lane_count);
+  const double lane_height =
+      std::max(2.0, (plot.height - options.lane_padding * (lanes - 1)) / lanes);
+
+  // Time axis first (grid lines under the boxes).
+  render::DrawBottomAxis(canvas, plot, x, render::MakeTimeTicks(result.window));
+  render::DrawBottomAxisTitle(canvas, plot, "time");
+
+  canvas.PushClip(plot);
+  for (size_t i = 0; i < offers.size(); ++i) {
+    const core::FlexOffer& offer = offers[i];
+    const int lane = result.layout.lane_of[i];
+    // Lane 0 at the bottom, as in the paper's screenshots.
+    const double y =
+        plot.bottom() - (lane + 1) * lane_height - lane * options.lane_padding;
+
+    canvas.BeginTag(offer.id);
+    // 2) time flexibility interval: grey rectangle over the whole extent.
+    const double x0 = x.Apply(static_cast<double>(offer.earliest_start.minutes()));
+    const double x1 = x.Apply(static_cast<double>(offer.latest_end().minutes()));
+    if (offer.time_flexibility_minutes() > 0) {
+      canvas.DrawRect(Rect{x0, y + lane_height * 0.25, x1 - x0, lane_height * 0.5},
+                      Style::Fill(render::palette::kTimeFlexibility.WithAlpha(140)));
+    }
+    // 1) duration of the energy profile: colored box at the earliest start
+    //    (or the scheduled start when assigned).
+    TimePoint profile_start =
+        offer.schedule.has_value() ? offer.schedule->start : offer.earliest_start;
+    const double px0 = x.Apply(static_cast<double>(profile_start.minutes()));
+    const double px1 = x.Apply(
+        static_cast<double>((profile_start + offer.profile_duration_minutes()).minutes()));
+    canvas.DrawRect(Rect{px0, y, std::max(1.0, px1 - px0), lane_height},
+                    Style::FillStroke(OfferFillColor(offer),
+                                      render::palette::kAxis.WithAlpha(160)));
+    // 3) scheduled starting time: red solid line.
+    if (offer.schedule.has_value()) {
+      const double sx = x.Apply(static_cast<double>(offer.schedule->start.minutes()));
+      canvas.DrawLine(Point{sx, y - 1}, Point{sx, y + lane_height + 1},
+                      Style::Stroke(render::palette::kScheduled, 2.0));
+    }
+    canvas.EndTag();
+  }
+  canvas.PopClip();
+
+  // Interactive rubber-band selection rectangle (dashed red, Fig. 8).
+  if (!options.selection.empty()) {
+    canvas.DrawRect(options.selection,
+                    Style::Stroke(render::palette::kSelection, 1.5).WithDash({6.0, 4.0}));
+  }
+
+  if (options.draw_legend) {
+    std::vector<render::LegendEntry> entries = {
+        {"raw flex-offer", render::palette::kRawOffer, false},
+        {"aggregated flex-offer", render::palette::kAggregatedOffer, false},
+        {"time flexibility", render::palette::kTimeFlexibility, false},
+        {"scheduled start", render::palette::kScheduled, true},
+    };
+    render::DrawLegend(canvas, Point{plot.right() - 190, plot.y + 6}, entries);
+  }
+  return result;
+}
+
+}  // namespace flexvis::viz

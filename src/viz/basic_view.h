@@ -1,0 +1,49 @@
+#ifndef FLEXVIS_VIZ_BASIC_VIEW_H_
+#define FLEXVIS_VIZ_BASIC_VIEW_H_
+
+#include <memory>
+#include <vector>
+
+#include "render/display_list.h"
+#include "viz/lane_layout.h"
+#include "viz/view_common.h"
+
+namespace flexvis::viz {
+
+/// Options of the basic view (Fig. 8).
+struct BasicViewOptions {
+  Frame frame;
+  /// Explicit abscissa window; empty = the offers' extent.
+  timeutil::TimeInterval window;
+  /// Horizontal breathing room between boxes sharing a lane.
+  int64_t lane_gap_minutes = 0;
+  /// Vertical gap between lanes, pixels.
+  double lane_padding = 2.0;
+  /// Draw the dashed selection rectangle (canvas coordinates); empty = none.
+  render::Rect selection;
+  bool draw_legend = true;
+};
+
+/// The rendered basic view: the retained display list (tagged with offer ids
+/// for hit testing), the layout, and the scales used, so interaction code
+/// can translate pixels back to time.
+struct BasicViewResult {
+  std::unique_ptr<render::DisplayList> scene;
+  LaneLayout layout;
+  render::LinearScale time_scale;
+  render::Rect plot;
+  timeutil::TimeInterval window;
+};
+
+/// The basic view "is used to show a large numbers of flex-offers by
+/// visualizing only the most essential properties of a flex-offer: 1)
+/// duration of energy profile (light blue or red rectangles), 2) time
+/// flexibility interval (grey rectangles); 3) scheduled starting time of a
+/// respective appliance (red solid lines)" (Section 4). One stacked lane per
+/// concurrent group of offers.
+BasicViewResult RenderBasicView(const std::vector<core::FlexOffer>& offers,
+                                const BasicViewOptions& options);
+
+}  // namespace flexvis::viz
+
+#endif  // FLEXVIS_VIZ_BASIC_VIEW_H_

@@ -1,0 +1,154 @@
+#include "viz/dashboard_view.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace flexvis::viz {
+
+using render::Point;
+using render::Rect;
+using render::Style;
+using timeutil::kMinutesPerSlice;
+
+DashboardResult RenderDashboardView(const std::vector<core::FlexOffer>& offers,
+                                    const DashboardOptions& options) {
+  DashboardResult result;
+  Frame frame = options.frame;
+  timeutil::TimeInterval window =
+      options.window.empty() ? OffersExtent(offers) : options.window;
+  if (frame.title.empty()) {
+    frame.title = StrFormat("From: %s   To: %s", window.start.ToString().c_str(),
+                            window.end.ToString().c_str());
+  }
+  result.scene = std::make_unique<render::DisplayList>(frame.width, frame.height);
+  render::DisplayList& canvas = *result.scene;
+  Rect outer = DrawFrame(canvas, frame);
+
+  result.counts = CountByState(offers);
+
+  // Per-slice active counts by state.
+  size_t slices = window.empty()
+                      ? 0
+                      : static_cast<size_t>(window.duration_minutes() / kMinutesPerSlice);
+  result.accepted_per_slice = core::TimeSeries(window.start, slices);
+  result.assigned_per_slice = core::TimeSeries(window.start, slices);
+  result.rejected_per_slice = core::TimeSeries(window.start, slices);
+  for (const core::FlexOffer& o : offers) {
+    core::TimeSeries* series = nullptr;
+    switch (o.state) {
+      case core::FlexOfferState::kAccepted: series = &result.accepted_per_slice; break;
+      case core::FlexOfferState::kAssigned: series = &result.assigned_per_slice; break;
+      case core::FlexOfferState::kRejected: series = &result.rejected_per_slice; break;
+      case core::FlexOfferState::kOffered: break;
+    }
+    if (series == nullptr) continue;
+    timeutil::TimeInterval active = o.extent().Intersect(window);
+    for (timeutil::TimePoint t = active.start; t < active.end; t = t + kMinutesPerSlice) {
+      series->AddAt(t, 1.0);
+    }
+  }
+
+  // Left third: state pie; right two thirds: stacked bars.
+  const double pie_cx = outer.x + outer.width * 0.17;
+  const double pie_cy = outer.y + outer.height * 0.45;
+  const double pie_r = std::min(outer.width * 0.14, outer.height * 0.32);
+  const core::FlexOfferState kStates[] = {core::FlexOfferState::kAccepted,
+                                          core::FlexOfferState::kAssigned,
+                                          core::FlexOfferState::kRejected};
+  int64_t pie_total = 0;
+  for (core::FlexOfferState s : kStates) pie_total += result.counts[s];
+  double angle = 0.0;
+  for (core::FlexOfferState s : kStates) {
+    if (pie_total == 0) break;
+    double share = static_cast<double>(result.counts[s]) / static_cast<double>(pie_total);
+    double sweep = share * 360.0;
+    if (sweep <= 0.0) continue;
+    canvas.DrawPieSlice(Point{pie_cx, pie_cy}, pie_r, angle, sweep,
+                        Style::FillStroke(StateColor(s), render::palette::kBackground, 1.5));
+    if (share >= 0.05) {
+      double mid = (angle + sweep / 2.0 - 90.0) * M_PI / 180.0;
+      render::TextStyle pct;
+      pct.size = 10.0;
+      pct.anchor = render::TextAnchor::kMiddle;
+      canvas.DrawText(Point{pie_cx + std::cos(mid) * pie_r * 0.62,
+                            pie_cy + std::sin(mid) * pie_r * 0.62 + 3},
+                      StrFormat("%.0f%%", share * 100.0), pct);
+    }
+    angle += sweep;
+  }
+  std::vector<render::LegendEntry> entries = {
+      {StrFormat("Accepted (%lld)",
+                 static_cast<long long>(result.counts[core::FlexOfferState::kAccepted])),
+       StateColor(core::FlexOfferState::kAccepted), false},
+      {StrFormat("Assigned (%lld)",
+                 static_cast<long long>(result.counts[core::FlexOfferState::kAssigned])),
+       StateColor(core::FlexOfferState::kAssigned), false},
+      {StrFormat("Rejected (%lld)",
+                 static_cast<long long>(result.counts[core::FlexOfferState::kRejected])),
+       StateColor(core::FlexOfferState::kRejected), false},
+  };
+  render::DrawLegend(canvas, Point{outer.x + 8, pie_cy + pie_r + 14}, entries);
+
+  // Stacked bars.
+  Rect chart{outer.x + outer.width * 0.36, outer.y + 10, outer.width * 0.62,
+             outer.height - 55};
+  double max_stack = 1.0;
+  for (size_t i = 0; i < slices; ++i) {
+    double stack = result.accepted_per_slice.AtIndex(static_cast<int64_t>(i)) +
+                   result.assigned_per_slice.AtIndex(static_cast<int64_t>(i)) +
+                   result.rejected_per_slice.AtIndex(static_cast<int64_t>(i));
+    max_stack = std::max(max_stack, stack);
+  }
+  render::PrettyScale pretty = render::MakePrettyScale(0.0, max_stack, 5);
+  render::LinearScale y(0.0, pretty.nice_max, chart.bottom(), chart.y);
+  render::LinearScale x = MakeTimeScale(window, chart);
+  render::DrawLeftAxis(canvas, chart, y, pretty.ticks);
+  render::DrawBottomAxis(canvas, chart, x, render::MakeTimeTicks(window));
+  render::DrawLeftAxisTitle(canvas, chart, "active flex-offers");
+
+  const double bar_w = slices > 0 ? chart.width / static_cast<double>(slices) : chart.width;
+  for (size_t i = 0; i < slices; ++i) {
+    double x0 = chart.x + i * bar_w;
+    double base = chart.bottom();
+    const core::TimeSeries* stack_order[] = {&result.rejected_per_slice,
+                                             &result.assigned_per_slice,
+                                             &result.accepted_per_slice};
+    const core::FlexOfferState stack_states[] = {core::FlexOfferState::kRejected,
+                                                 core::FlexOfferState::kAssigned,
+                                                 core::FlexOfferState::kAccepted};
+    for (int k = 0; k < 3; ++k) {
+      double v = stack_order[k]->AtIndex(static_cast<int64_t>(i));
+      if (v <= 0.0) continue;
+      double h = v / pretty.nice_max * chart.height;
+      canvas.DrawRect(Rect{x0 + 0.5, base - h, std::max(1.0, bar_w - 1.0), h},
+                      Style::Fill(StateColor(stack_states[k])));
+      base -= h;
+    }
+  }
+
+  // Req.-2 measures footer.
+  result.scheduled_energy_kwh = core::TotalScheduledEnergyKwh(offers);
+  result.balancing_potential = core::ComputeBalancingPotential(offers);
+  if (options.measures_footer) {
+    core::AttributeStats tf =
+        core::Summarize(offers, core::NumericAttribute::kTimeFlexibilityMinutes);
+    core::AttributeStats flex =
+        core::Summarize(offers, core::NumericAttribute::kEnergyFlexibilityKwh);
+    std::string footer = StrFormat(
+        "scheduled %s kWh   energy flexibility %s kWh   mean time flexibility %s min   "
+        "balancing potential %s",
+        FormatDouble(result.scheduled_energy_kwh, 0).c_str(),
+        FormatDouble(flex.sum, 0).c_str(), FormatDouble(tf.mean(), 0).c_str(),
+        FormatDouble(result.balancing_potential.potential, 3).c_str());
+    render::TextStyle footer_style;
+    footer_style.size = 10.0;
+    footer_style.anchor = render::TextAnchor::kMiddle;
+    canvas.DrawText(Point{outer.x + outer.width / 2, outer.bottom() + 30}, footer,
+                    footer_style);
+  }
+  return result;
+}
+
+}  // namespace flexvis::viz

@@ -1,0 +1,47 @@
+#ifndef FLEXVIS_VIZ_DASHBOARD_VIEW_H_
+#define FLEXVIS_VIZ_DASHBOARD_VIEW_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/measures.h"
+#include "render/display_list.h"
+#include "viz/view_common.h"
+
+namespace flexvis::viz {
+
+/// Options of the summary dashboard (Fig. 6: "a view to summarize the
+/// complete flex-offer data for the selected time interval": the From/To
+/// header, a state pie, and a per-slice stacked bar chart by state).
+struct DashboardOptions {
+  Frame frame;
+  /// The summarized interval; empty = the offers' extent.
+  timeutil::TimeInterval window;
+  /// Draw the Req.-2 measures footer (scheduled energy, energy flexibility,
+  /// mean time flexibility, balancing potential).
+  bool measures_footer = true;
+};
+
+struct DashboardResult {
+  std::unique_ptr<render::DisplayList> scene;
+  core::StateCounts counts;
+  /// The Req.-2 summary measures over the shown offers.
+  double scheduled_energy_kwh = 0.0;
+  core::BalancingPotential balancing_potential;
+  /// Per-slice offer counts by state (Accepted/Assigned/Rejected), each
+  /// covering the window.
+  core::TimeSeries accepted_per_slice;
+  core::TimeSeries assigned_per_slice;
+  core::TimeSeries rejected_per_slice;
+};
+
+/// Renders the dashboard view: the pie shows the overall accepted/assigned/
+/// rejected shares; the stacked bars show, per 15-minute slice, how many
+/// offers of each state are active (their execution window covers the
+/// slice).
+DashboardResult RenderDashboardView(const std::vector<core::FlexOffer>& offers,
+                                    const DashboardOptions& options);
+
+}  // namespace flexvis::viz
+
+#endif  // FLEXVIS_VIZ_DASHBOARD_VIEW_H_

@@ -1,0 +1,129 @@
+#include "viz/interaction.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace flexvis::viz {
+
+using render::Point;
+using render::Rect;
+using render::Style;
+
+namespace {
+
+const core::FlexOffer* FindOffer(const std::vector<core::FlexOffer>& offers,
+                                 core::FlexOfferId id) {
+  for (const core::FlexOffer& o : offers) {
+    if (o.id == id) return &o;
+  }
+  return nullptr;
+}
+
+// Center of the topmost tagged item of `id` in the scene.
+bool FindTagCenter(const render::DisplayList& scene, int64_t id, Point* center) {
+  for (size_t i = scene.items().size(); i > 0; --i) {
+    const render::DisplayItem& item = scene.items()[i - 1];
+    if (item.tag != id) continue;
+    Rect b = item.Bounds();
+    *center = Point{b.x + b.width / 2, b.y + b.height / 2};
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+HoverInfo HoverAt(const render::DisplayList& scene,
+                  const std::vector<core::FlexOffer>& offers, const Point& pointer) {
+  HoverInfo info;
+  std::vector<int64_t> hits = scene.HitTest(pointer);
+  if (hits.empty()) return info;
+  const core::FlexOffer* offer = FindOffer(offers, hits[0]);
+  if (offer == nullptr) return info;
+  info.hit = true;
+  info.offer = offer->id;
+  info.description = core::Describe(*offer);
+  info.provenance = offer->aggregated_from;
+  return info;
+}
+
+void DrawHoverOverlay(render::Canvas& overlay, const HoverInfo& info,
+                      const std::vector<core::FlexOffer>& offers,
+                      const render::DisplayList& scene,
+                      const render::LinearScale& time_scale, const Rect& plot) {
+  if (!info.hit) return;
+  const core::FlexOffer* offer = FindOffer(offers, info.offer);
+  if (offer == nullptr) return;
+
+  // Yellow markers for the user-specified lifecycle times (Fig. 10).
+  struct Marker {
+    timeutil::TimePoint time;
+    const char* label;
+  };
+  const Marker markers[] = {
+      {offer->creation_time, "created"},
+      {offer->acceptance_deadline, "acceptance"},
+      {offer->assignment_deadline, "assignment"},
+  };
+  render::TextStyle label_style;
+  label_style.size = 9.0;
+  label_style.anchor = render::TextAnchor::kMiddle;
+  for (const Marker& m : markers) {
+    double x = time_scale.Apply(static_cast<double>(m.time.minutes()));
+    if (x < plot.x || x > plot.right()) continue;
+    overlay.DrawLine(Point{x, plot.y}, Point{x, plot.bottom()},
+                     Style::Stroke(render::palette::kMarker, 2.0));
+    overlay.DrawText(Point{x, plot.y + 10}, m.label, label_style);
+  }
+
+  // Dashed red provenance links from the aggregate to each constituent box.
+  Point from;
+  if (FindTagCenter(scene, offer->id, &from)) {
+    for (core::FlexOfferId member : info.provenance) {
+      Point to;
+      if (FindTagCenter(scene, member, &to)) {
+        overlay.DrawLine(from, to,
+                         Style::Stroke(render::palette::kProvenance, 1.2).WithDash({4.0, 3.0}));
+      }
+    }
+  }
+
+  // Tooltip box near the pointed offer.
+  const double pad = 6.0;
+  double text_width = render::Canvas::MeasureTextWidth(info.description, 10.0);
+  double box_width = std::min(text_width + 2 * pad, plot.width * 0.8);
+  Rect tip{plot.x + 8, plot.y + 18, box_width, 22.0};
+  overlay.DrawRect(tip, Style::FillStroke(render::Color(255, 252, 220, 240),
+                                          render::palette::kAxis));
+  render::TextStyle tip_style;
+  tip_style.size = 10.0;
+  overlay.DrawText(Point{tip.x + pad, tip.y + 15}, info.description, tip_style);
+}
+
+std::vector<core::FlexOfferId> SelectByRectangle(const render::DisplayList& scene,
+                                                 const Rect& region) {
+  return scene.HitTestRegion(region);
+}
+
+std::vector<core::FlexOfferId> SelectByClick(const render::DisplayList& scene,
+                                             const Point& pointer) {
+  std::vector<int64_t> hits = scene.HitTest(pointer);
+  if (hits.empty()) return {};
+  return {hits[0]};
+}
+
+std::vector<core::FlexOffer> ExtractSelection(const std::vector<core::FlexOffer>& offers,
+                                              const std::vector<core::FlexOfferId>& selection,
+                                              bool keep_selected) {
+  std::unordered_set<core::FlexOfferId> selected(selection.begin(), selection.end());
+  std::vector<core::FlexOffer> out;
+  for (const core::FlexOffer& o : offers) {
+    const bool in_selection = selected.count(o.id) != 0;
+    if (in_selection == keep_selected) out.push_back(o);
+  }
+  return out;
+}
+
+}  // namespace flexvis::viz

@@ -1,0 +1,64 @@
+#ifndef FLEXVIS_VIZ_INTERACTION_H_
+#define FLEXVIS_VIZ_INTERACTION_H_
+
+#include <string>
+#include <vector>
+
+#include "render/display_list.h"
+#include "render/scale.h"
+#include "viz/view_common.h"
+
+namespace flexvis::viz {
+
+/// What the tool shows "when pointing their representations with a mouse
+/// pointer" (Fig. 10): the offer's description, the yellow markers for its
+/// creation/acceptance/assignment times, and dashed red links to the offers
+/// it aggregates.
+struct HoverInfo {
+  bool hit = false;
+  core::FlexOfferId offer = core::kInvalidFlexOfferId;
+  std::string description;
+  /// Constituent offers when the pointed offer is an aggregate.
+  std::vector<core::FlexOfferId> provenance;
+};
+
+/// Mouse modes of the tool ("the mouse action can be changed to allow
+/// interactive selection of flex-offers").
+enum class MouseMode {
+  kInspect,       // hover shows details (Fig. 10)
+  kSelect,        // click/drag selects offers (Fig. 8)
+};
+
+/// Resolves the topmost offer under `pointer` in a rendered scene, using the
+/// display list's offer tags.
+HoverInfo HoverAt(const render::DisplayList& scene,
+                  const std::vector<core::FlexOffer>& offers, const render::Point& pointer);
+
+/// Draws the hover overlay for `info` onto `overlay`: yellow vertical lines
+/// at the offer's creation/acceptance/assignment times (labeled), dashed red
+/// provenance lines to each constituent offer's box, and the tooltip text.
+/// `time_scale` and `plot` come from the view result the scene belongs to.
+void DrawHoverOverlay(render::Canvas& overlay, const HoverInfo& info,
+                      const std::vector<core::FlexOffer>& offers,
+                      const render::DisplayList& scene,
+                      const render::LinearScale& time_scale, const render::Rect& plot);
+
+/// Offers intersecting the rubber-band `region` ("flex-offers can be
+/// selected one-by-one or by drawing a rectangle").
+std::vector<core::FlexOfferId> SelectByRectangle(const render::DisplayList& scene,
+                                                 const render::Rect& region);
+
+/// Single-click selection: the topmost offer at `pointer`, if any.
+std::vector<core::FlexOfferId> SelectByClick(const render::DisplayList& scene,
+                                             const render::Point& pointer);
+
+/// Applies a selection to an offer list: returns the selected offers ("the
+/// selected flex-offers can be shown on different tab") or the remainder
+/// ("removed from the current view").
+std::vector<core::FlexOffer> ExtractSelection(const std::vector<core::FlexOffer>& offers,
+                                              const std::vector<core::FlexOfferId>& selection,
+                                              bool keep_selected);
+
+}  // namespace flexvis::viz
+
+#endif  // FLEXVIS_VIZ_INTERACTION_H_

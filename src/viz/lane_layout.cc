@@ -1,0 +1,89 @@
+#include "viz/lane_layout.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <queue>
+
+namespace flexvis::viz {
+
+using timeutil::TimePoint;
+
+LaneLayout AssignLanes(const std::vector<core::FlexOffer>& offers, int64_t gap_minutes) {
+  LaneLayout layout;
+  layout.lane_of.assign(offers.size(), 0);
+  if (offers.empty()) return layout;
+
+  // Cache extents: extent() walks the RLE profile, and the sort comparator
+  // would otherwise recompute it O(n log n) times.
+  std::vector<timeutil::TimeInterval> extents;
+  extents.reserve(offers.size());
+  for (const core::FlexOffer& o : offers) extents.push_back(o.extent());
+
+  std::vector<size_t> order(offers.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return extents[a].start < extents[b].start;
+  });
+
+  // Sweep in start order, reusing the lowest-index lane that has come free
+  // (first-fit; optimal lane count on interval graphs, and the lowest-index
+  // rule keeps the drawing visually stable). Two heaps make this
+  // O(n log n): `busy` orders occupied lanes by when they free up, `free`
+  // orders released lanes by index.
+  using BusyLane = std::pair<int64_t, int>;  // (end minutes, lane index)
+  std::priority_queue<BusyLane, std::vector<BusyLane>, std::greater<BusyLane>> busy;
+  std::priority_queue<int, std::vector<int>, std::greater<int>> free_lanes;
+  int lane_count = 0;
+  for (size_t idx : order) {
+    const timeutil::TimeInterval& extent = extents[idx];
+    while (!busy.empty() && busy.top().first + gap_minutes <= extent.start.minutes()) {
+      free_lanes.push(busy.top().second);
+      busy.pop();
+    }
+    int lane;
+    if (free_lanes.empty()) {
+      lane = lane_count++;
+    } else {
+      lane = free_lanes.top();
+      free_lanes.pop();
+    }
+    busy.emplace(extent.end.minutes(), lane);
+    layout.lane_of[idx] = lane;
+  }
+  layout.lane_count = lane_count;
+  return layout;
+}
+
+LaneLayout AssignLanesNaive(const std::vector<core::FlexOffer>& offers) {
+  LaneLayout layout;
+  layout.lane_of.resize(offers.size());
+  std::iota(layout.lane_of.begin(), layout.lane_of.end(), 0);
+  layout.lane_count = static_cast<int>(offers.size());
+  return layout;
+}
+
+bool ValidateLayout(const std::vector<core::FlexOffer>& offers, const LaneLayout& layout,
+                    int64_t gap_minutes) {
+  if (layout.lane_of.size() != offers.size()) return false;
+  std::map<int, std::vector<size_t>> lanes;
+  for (size_t i = 0; i < offers.size(); ++i) {
+    int lane = layout.lane_of[i];
+    if (lane < 0 || lane >= layout.lane_count) return false;
+    lanes[lane].push_back(i);
+  }
+  for (auto& [lane, members] : lanes) {
+    (void)lane;
+    std::sort(members.begin(), members.end(), [&](size_t a, size_t b) {
+      return offers[a].extent().start < offers[b].extent().start;
+    });
+    for (size_t k = 0; k + 1 < members.size(); ++k) {
+      const auto cur = offers[members[k]].extent();
+      const auto next = offers[members[k + 1]].extent();
+      if (next.start < cur.end + gap_minutes) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace flexvis::viz

@@ -1,0 +1,40 @@
+#ifndef FLEXVIS_VIZ_LANE_LAYOUT_H_
+#define FLEXVIS_VIZ_LANE_LAYOUT_H_
+
+#include <vector>
+
+#include "core/flex_offer.h"
+#include "time/time_point.h"
+
+namespace flexvis::viz {
+
+/// Assignment of flex-offers to stacked ordinate lanes. Flex-offers "are
+/// temporal objects which may potentially overlap in time, [so] boxes
+/// representing flex-offers are stacked on each other thus occupying one of
+/// several ordinate axes in the graph" (Section 4). This is the dimensional-
+/// stacking variation the paper's histogram plot is built on.
+struct LaneLayout {
+  /// lane_of[i] is the lane index of offers[i] (0 = bottom lane).
+  std::vector<int> lane_of;
+  int lane_count = 0;
+};
+
+/// Greedy first-fit lane assignment: offers sorted by extent start, each
+/// placed in the lowest lane whose last occupant ends at or before the
+/// offer's start (plus `gap_minutes` of horizontal breathing room). For
+/// interval graphs this greedy uses the minimum possible number of lanes.
+LaneLayout AssignLanes(const std::vector<core::FlexOffer>& offers, int64_t gap_minutes = 0);
+
+/// Ablation baseline: every offer gets its own lane (what the view would do
+/// without the stacking idea). Compared against AssignLanes in
+/// bench/micro_layout.
+LaneLayout AssignLanesNaive(const std::vector<core::FlexOffer>& offers);
+
+/// True iff no two offers sharing a lane overlap in time (the layout
+/// soundness invariant; exercised by property tests).
+bool ValidateLayout(const std::vector<core::FlexOffer>& offers, const LaneLayout& layout,
+                    int64_t gap_minutes = 0);
+
+}  // namespace flexvis::viz
+
+#endif  // FLEXVIS_VIZ_LANE_LAYOUT_H_

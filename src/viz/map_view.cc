@@ -1,0 +1,194 @@
+#include "viz/map_view.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/strings.h"
+
+namespace flexvis::viz {
+
+using render::Point;
+using render::Rect;
+using render::Style;
+
+namespace {
+
+// Maps atlas coordinates (y grows north) into the plot rect (y grows down),
+// preserving aspect ratio.
+struct MapProjection {
+  geo::GeoBounds bounds;
+  Rect plot;
+  double scale = 1.0;
+  double offset_x = 0.0;
+  double offset_y = 0.0;
+
+  MapProjection(const geo::GeoBounds& b, const Rect& p) : bounds(b), plot(p) {
+    double sx = b.width() > 0 ? p.width / b.width() : 1.0;
+    double sy = b.height() > 0 ? p.height / b.height() : 1.0;
+    scale = std::min(sx, sy);
+    offset_x = p.x + (p.width - b.width() * scale) / 2.0;
+    offset_y = p.y + (p.height - b.height() * scale) / 2.0;
+  }
+
+  Point Apply(const geo::GeoPoint& g) const {
+    return Point{offset_x + (g.x - bounds.min_x) * scale,
+                 offset_y + (bounds.max_y - g.y) * scale};
+  }
+};
+
+}  // namespace
+
+MapViewResult RenderMapView(const std::vector<core::FlexOffer>& offers,
+                            const geo::Atlas& atlas, const MapViewOptions& options) {
+  MapViewResult result;
+  Frame frame = options.frame;
+  if (frame.title.empty()) {
+    frame.title = StrFormat("Map view - %zu flex-offers", offers.size());
+  }
+  result.scene = std::make_unique<render::DisplayList>(frame.width, frame.height);
+  render::DisplayList& canvas = *result.scene;
+  Rect plot = DrawFrame(canvas, frame);
+
+  timeutil::TimeInterval window =
+      options.window.empty() ? OffersExtent(offers) : options.window;
+
+  // The displayed regions: the atlas level the caller drills to ("city" =
+  // the leaves, "region" = West/East Denmark, ...). Offers are tagged at
+  // leaf regions; rolls-up follow the parent chain.
+  std::map<core::RegionId, geo::GeoRegion> by_id;
+  for (const geo::GeoRegion& r : atlas.regions()) by_id.emplace(r.id, r);
+  std::vector<geo::GeoRegion> display;
+  for (const geo::GeoRegion& r : atlas.regions()) {
+    if (EqualsIgnoreCase(r.level, options.level)) display.push_back(r);
+  }
+  if (display.empty()) display = atlas.Leaves();
+  std::map<core::RegionId, core::RegionId> rollup;  // any region -> displayed ancestor
+  for (const geo::GeoRegion& r : atlas.regions()) {
+    core::RegionId cursor = r.id;
+    int hops = 0;
+    while (cursor != core::kInvalidRegionId && hops < 8) {
+      bool is_display = false;
+      for (const geo::GeoRegion& d : display) {
+        if (d.id == cursor) is_display = true;
+      }
+      if (is_display) {
+        rollup[r.id] = cursor;
+        break;
+      }
+      auto it = by_id.find(cursor);
+      if (it == by_id.end()) break;
+      cursor = it->second.parent;
+      ++hops;
+    }
+  }
+
+  // Count offers per displayed region and bucket their earliest starts.
+  std::map<core::RegionId, std::vector<int64_t>> histograms;
+  std::map<core::RegionId, int64_t> counts;
+  const int buckets = std::max(1, options.histogram_buckets);
+  for (const geo::GeoRegion& r : display) {
+    histograms[r.id] = std::vector<int64_t>(static_cast<size_t>(buckets), 0);
+    counts[r.id] = 0;
+  }
+  const int64_t span = std::max<int64_t>(1, window.duration_minutes());
+  for (const core::FlexOffer& o : offers) {
+    auto roll = rollup.find(o.region);
+    if (roll == rollup.end()) continue;
+    auto it = histograms.find(roll->second);
+    if (it == histograms.end()) continue;
+    ++counts[roll->second];
+    int64_t offset = o.earliest_start - window.start;
+    int64_t b = offset * buckets / span;
+    if (b >= 0 && b < buckets) ++it->second[static_cast<size_t>(b)];
+  }
+  int64_t max_count = 1;
+  int64_t max_bucket = 1;
+  for (const auto& [id, c] : counts) {
+    (void)id;
+    max_count = std::max(max_count, c);
+  }
+  for (const auto& [id, h] : histograms) {
+    (void)id;
+    for (int64_t v : h) max_bucket = std::max(max_bucket, v);
+  }
+
+  MapProjection proj(atlas.Bounds(), plot);
+
+  // Strict ancestors of the displayed regions as context outlines.
+  for (const geo::GeoRegion& r : atlas.regions()) {
+    bool is_displayed = false;
+    for (const geo::GeoRegion& d : display) {
+      if (d.id == r.id) is_displayed = true;
+    }
+    bool is_ancestor = false;
+    for (const geo::GeoRegion& d : display) {
+      core::RegionId cursor = d.parent;
+      int hops = 0;
+      while (cursor != core::kInvalidRegionId && hops < 8) {
+        if (cursor == r.id) is_ancestor = true;
+        auto it = by_id.find(cursor);
+        if (it == by_id.end()) break;
+        cursor = it->second.parent;
+        ++hops;
+      }
+    }
+    if (is_displayed || !is_ancestor) continue;
+    std::vector<Point> outline;
+    outline.reserve(r.outline.vertices().size());
+    for (const geo::GeoPoint& v : r.outline.vertices()) outline.push_back(proj.Apply(v));
+    canvas.DrawPolygon(outline, Style::FillStroke(render::Color(246, 246, 246),
+                                                  render::palette::kAxis.WithAlpha(90)));
+  }
+
+  // Displayed regions: choropleth fill + name + mini histogram.
+  for (const geo::GeoRegion& r : display) {
+    std::vector<Point> outline;
+    outline.reserve(r.outline.vertices().size());
+    for (const geo::GeoPoint& v : r.outline.vertices()) outline.push_back(proj.Apply(v));
+
+    render::Color fill(235, 235, 235);
+    if (options.choropleth) {
+      double t = static_cast<double>(counts[r.id]) / static_cast<double>(max_count);
+      fill = render::Lerp(render::Color(225, 237, 245), render::Color(70, 130, 180), t);
+    }
+    canvas.BeginTag(r.id);
+    canvas.DrawPolygon(outline, Style::FillStroke(fill, render::palette::kAxis));
+    canvas.EndTag();
+
+    // Histogram anchored at the region centroid.
+    Point c = proj.Apply(r.outline.Centroid());
+    const double hist_w = 64.0;
+    const double hist_h = 34.0;
+    Rect hist{c.x - hist_w / 2, c.y - hist_h / 2, hist_w, hist_h};
+    canvas.DrawRect(hist, Style::FillStroke(render::Color(255, 255, 255, 220),
+                                            render::palette::kAxis));
+    const std::vector<int64_t>& h = histograms[r.id];
+    double bar_w = (hist_w - 8.0) / buckets;
+    for (int b = 0; b < buckets; ++b) {
+      double bh = max_bucket > 0 ? (hist_h - 12.0) * static_cast<double>(h[b]) /
+                                       static_cast<double>(max_bucket)
+                                 : 0.0;
+      canvas.DrawRect(Rect{hist.x + 4.0 + b * bar_w, hist.bottom() - 4.0 - bh,
+                           std::max(1.0, bar_w - 1.0), bh},
+                      Style::Fill(render::palette::kAccepted));
+    }
+    // The "0 .. max" scale labels of Fig. 3.
+    render::TextStyle axis_label;
+    axis_label.size = 7.0;
+    axis_label.anchor = render::TextAnchor::kEnd;
+    canvas.DrawText(Point{hist.x - 1, hist.bottom() - 3}, "0", axis_label);
+    canvas.DrawText(Point{hist.x - 1, hist.y + 8},
+                    StrFormat("%lld", static_cast<long long>(max_bucket)), axis_label);
+
+    render::TextStyle name_style;
+    name_style.size = 10.0;
+    name_style.anchor = render::TextAnchor::kMiddle;
+    name_style.bold = true;
+    canvas.DrawText(Point{c.x, hist.y - 4}, r.name, name_style);
+    result.region_ids.push_back(r.id);
+    result.region_counts.push_back(counts[r.id]);
+  }
+  return result;
+}
+
+}  // namespace flexvis::viz

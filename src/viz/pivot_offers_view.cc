@@ -1,0 +1,174 @@
+#include "viz/pivot_offers_view.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace flexvis::viz {
+
+using core::FlexOffer;
+using render::Point;
+using render::Rect;
+using render::Style;
+using timeutil::TimePoint;
+
+Result<int64_t> DimensionValueOf(const FlexOffer& offer, const olap::Dimension& dimension) {
+  const std::string& column = dimension.fact_column();
+  if (column == "state") return static_cast<int64_t>(offer.state);
+  if (column == "direction") return static_cast<int64_t>(offer.direction);
+  if (column == "energy_type") return static_cast<int64_t>(offer.energy_type);
+  if (column == "prosumer_type") return static_cast<int64_t>(offer.prosumer_type);
+  if (column == "appliance_type") return static_cast<int64_t>(offer.appliance_type);
+  if (column == "region_id") return offer.region;
+  if (column == "grid_node_id") return offer.grid_node;
+  if (column == "prosumer_id") return offer.prosumer;
+  return NotFoundError(StrFormat("dimension '%s' maps to unknown fact column '%s'",
+                                 dimension.name().c_str(), column.c_str()));
+}
+
+PivotOffersViewResult RenderPivotOffersView(const std::vector<FlexOffer>& offers,
+                                            const olap::Dimension& dimension,
+                                            const PivotOffersViewOptions& options) {
+  PivotOffersViewResult result;
+  Frame frame = options.frame;
+  if (frame.title.empty()) {
+    frame.title = StrFormat("Pivot offers view - %s, %zu flex-offers",
+                            dimension.name().c_str(), offers.size());
+  }
+  result.scene = std::make_unique<render::DisplayList>(frame.width, frame.height);
+  render::DisplayList& canvas = *result.scene;
+  Rect outer = DrawFrame(canvas, frame);
+
+  result.window = options.window.empty() ? OffersExtent(offers) : options.window;
+  const double header_width = std::min(190.0, outer.width * 0.25);
+  Rect lanes_area{outer.x + header_width, outer.y, outer.width - header_width, outer.height};
+  if (result.window.empty()) {
+    result.time_scale = render::LinearScale(0, 1, lanes_area.x, lanes_area.right());
+    result.plot = lanes_area;
+    return result;
+  }
+
+  // Classify offers onto members of the chosen level.
+  int level = options.level >= 0 ? options.level : dimension.num_levels() - 1;
+  std::vector<int> member_ids = dimension.MembersAtLevel(level);
+  std::unordered_map<int64_t, int> value_to_member;
+  for (int id : member_ids) {
+    for (int64_t v : dimension.members()[static_cast<size_t>(id)].leaf_values) {
+      value_to_member.emplace(v, id);
+    }
+  }
+  std::unordered_map<int, std::vector<FlexOffer>> by_member;
+  for (const FlexOffer& o : offers) {
+    Result<int64_t> value = DimensionValueOf(o, dimension);
+    if (!value.ok()) continue;
+    auto it = value_to_member.find(*value);
+    if (it == value_to_member.end()) continue;
+    by_member[it->second].push_back(o);
+  }
+
+  // Aggregate per swimlane ("the flex-offer aggregation will be applied to
+  // produce inputs for the flex-offer visualization on swimlanes").
+  struct LaneContent {
+    PivotOffersLane info;
+    std::vector<FlexOffer> shown;
+    LaneLayout layout;
+  };
+  std::vector<LaneContent> lanes;
+  core::FlexOfferId next_id = 2'000'000'000;
+  core::Aggregator aggregator(options.aggregation);
+  for (int id : member_ids) {
+    auto it = by_member.find(id);
+    size_t raw = it == by_member.end() ? 0 : it->second.size();
+    if (raw == 0 && options.drop_empty_lanes) continue;
+    LaneContent lane;
+    lane.info.member_id = id;
+    lane.info.label = dimension.members()[static_cast<size_t>(id)].name;
+    lane.info.raw_count = raw;
+    if (raw > 0) {
+      core::AggregationResult agg = aggregator.Aggregate(it->second, &next_id);
+      lane.shown = std::move(agg.aggregates);
+      for (FlexOffer& o : agg.passthrough) lane.shown.push_back(std::move(o));
+      lane.layout = AssignLanes(lane.shown);
+    }
+    lane.info.shown_count = lane.shown.size();
+    lane.info.sub_lanes = std::max(1, lane.layout.lane_count);
+    lanes.push_back(std::move(lane));
+  }
+
+  // Vertical space per swimlane proportional to its stacking depth.
+  int total_sub_lanes = 0;
+  for (const LaneContent& lane : lanes) total_sub_lanes += lane.info.sub_lanes;
+  total_sub_lanes = std::max(1, total_sub_lanes);
+  const double axis_height = 30.0;
+  const double usable = lanes_area.height - axis_height;
+  result.time_scale = MakeTimeScale(
+      result.window, Rect{lanes_area.x, lanes_area.y, lanes_area.width, usable});
+  result.plot = Rect{lanes_area.x, lanes_area.y, lanes_area.width, usable};
+
+  render::DrawBottomAxis(canvas, result.plot, result.time_scale,
+                         render::MakeTimeTicks(result.window));
+  render::DrawBottomAxisTitle(canvas, result.plot, "time");
+
+  const render::LinearScale& x = result.time_scale;
+  double y = lanes_area.y;
+  for (size_t li = 0; li < lanes.size(); ++li) {
+    LaneContent& lane = lanes[li];
+    const double lane_height =
+        usable * static_cast<double>(lane.info.sub_lanes) / total_sub_lanes;
+    // Swimlane background and separator.
+    if (li % 2 == 1) {
+      canvas.DrawRect(Rect{outer.x, y, outer.width, lane_height},
+                      Style::Fill(render::Color(246, 248, 250)));
+    }
+    canvas.DrawLine(Point{outer.x, y}, Point{outer.right(), y},
+                    Style::Stroke(render::palette::kGridLine));
+    render::TextStyle hdr;
+    hdr.size = 10.0;
+    hdr.bold = true;
+    canvas.DrawText(Point{outer.x + 4, y + 14}, lane.info.label, hdr);
+    render::TextStyle sub;
+    sub.size = 8.0;
+    sub.color = render::palette::kAxis;
+    canvas.DrawText(Point{outer.x + 4, y + 26},
+                    StrFormat("%zu offers -> %zu shown", lane.info.raw_count,
+                              lane.info.shown_count),
+                    sub);
+
+    // Mini basic view inside the swimlane.
+    const double pad = 3.0;
+    const double sub_height =
+        std::max(2.0, (lane_height - 2 * pad) / lane.info.sub_lanes);
+    canvas.PushClip(Rect{lanes_area.x, y, lanes_area.width, lane_height});
+    for (size_t i = 0; i < lane.shown.size(); ++i) {
+      const FlexOffer& offer = lane.shown[i];
+      const int sub_lane = lane.layout.lane_of[i];
+      const double box_y = y + lane_height - pad - (sub_lane + 1) * sub_height;
+      canvas.BeginTag(offer.id);
+      const double fx0 = x.Apply(static_cast<double>(offer.earliest_start.minutes()));
+      const double fx1 = x.Apply(static_cast<double>(offer.latest_end().minutes()));
+      if (offer.time_flexibility_minutes() > 0) {
+        canvas.DrawRect(Rect{fx0, box_y + sub_height * 0.3, fx1 - fx0, sub_height * 0.4},
+                        Style::Fill(render::palette::kTimeFlexibility.WithAlpha(130)));
+      }
+      TimePoint start =
+          offer.schedule.has_value() ? offer.schedule->start : offer.earliest_start;
+      const double px0 = x.Apply(static_cast<double>(start.minutes()));
+      const double px1 = x.Apply(
+          static_cast<double>((start + offer.profile_duration_minutes()).minutes()));
+      canvas.DrawRect(Rect{px0, box_y, std::max(1.0, px1 - px0), sub_height - 1.0},
+                      Style::FillStroke(OfferFillColor(offer),
+                                        render::palette::kAxis.WithAlpha(140)));
+      canvas.EndTag();
+    }
+    canvas.PopClip();
+    result.lanes.push_back(lane.info);
+    y += lane_height;
+  }
+  // Header/lane separator.
+  canvas.DrawLine(Point{lanes_area.x, lanes_area.y}, Point{lanes_area.x, lanes_area.y + usable},
+                  Style::Stroke(render::palette::kAxis));
+  return result;
+}
+
+}  // namespace flexvis::viz

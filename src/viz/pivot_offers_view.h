@@ -1,0 +1,67 @@
+#ifndef FLEXVIS_VIZ_PIVOT_OFFERS_VIEW_H_
+#define FLEXVIS_VIZ_PIVOT_OFFERS_VIEW_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/aggregation.h"
+#include "olap/dimension.h"
+#include "render/display_list.h"
+#include "viz/lane_layout.h"
+#include "viz/view_common.h"
+
+namespace flexvis::viz {
+
+/// Options of the integrated pivot-offers view — the paper's announced "next
+/// immediate enhancement": "the basic and the detailed views will be
+/// integrated into the pivot view, where the flex-offer aggregation will be
+/// applied to produce inputs for the flex-offer visualization on swimlanes".
+struct PivotOffersViewOptions {
+  Frame frame;
+  /// Hierarchy level whose members become the swimlanes; -1 = deepest.
+  int level = -1;
+  /// Aggregation applied per swimlane before drawing (Fig. 5's "flex-offer
+  /// aggregation will be applied to produce inputs"); zero tolerances would
+  /// barely aggregate, the default collapses each hour bucket.
+  core::AggregationParams aggregation;
+  /// Abscissa window; empty = the offers' union extent.
+  timeutil::TimeInterval window;
+  /// Skip members with no offers instead of drawing empty lanes.
+  bool drop_empty_lanes = true;
+};
+
+/// One rendered swimlane.
+struct PivotOffersLane {
+  int member_id = -1;
+  std::string label;
+  size_t raw_count = 0;        // offers classified into this member
+  size_t shown_count = 0;      // aggregates actually drawn
+  int sub_lanes = 0;           // stacking depth inside the swimlane
+};
+
+struct PivotOffersViewResult {
+  std::unique_ptr<render::DisplayList> scene;
+  std::vector<PivotOffersLane> lanes;
+  render::LinearScale time_scale;
+  render::Rect plot;
+  timeutil::TimeInterval window;
+};
+
+/// Renders the integrated view: offers are classified onto the members of
+/// `dimension` at the chosen level (via each member's leaf extension over
+/// the offer's fact attribute), aggregated per member, and drawn as mini
+/// basic views on one swimlane per member, all sharing the time abscissa.
+/// Boxes carry the (aggregate) offer ids as display tags, so hover and
+/// selection work exactly as in the basic view.
+PivotOffersViewResult RenderPivotOffersView(const std::vector<core::FlexOffer>& offers,
+                                            const olap::Dimension& dimension,
+                                            const PivotOffersViewOptions& options);
+
+/// The fact-attribute value of `offer` for `dimension` (the value its
+/// members' leaf extensions are matched against). Exposed for tests.
+Result<int64_t> DimensionValueOf(const core::FlexOffer& offer,
+                                 const olap::Dimension& dimension);
+
+}  // namespace flexvis::viz
+
+#endif  // FLEXVIS_VIZ_PIVOT_OFFERS_VIEW_H_

@@ -1,0 +1,112 @@
+#include "viz/pivot_view.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace flexvis::viz {
+
+using render::Point;
+using render::Rect;
+using render::Style;
+
+PivotViewResult RenderPivotView(const olap::PivotResult& pivot,
+                                const PivotViewOptions& options) {
+  PivotViewResult result;
+  Frame frame = options.frame;
+  if (frame.title.empty()) {
+    frame.title = StrFormat("Pivot view - measure: %s",
+                            std::string(olap::MeasureName(pivot.measure)).c_str());
+  }
+  result.scene = std::make_unique<render::DisplayList>(frame.width, frame.height);
+  render::DisplayList& canvas = *result.scene;
+  Rect outer = DrawFrame(canvas, frame);
+
+  // MDX query window at the top (Fig. 5's "MDX query window").
+  double mdx_height = 0.0;
+  if (!options.mdx_text.empty()) {
+    mdx_height = 30.0;
+    Rect mdx_box{outer.x, outer.y, outer.width, mdx_height - 6.0};
+    canvas.DrawRect(mdx_box, Style::FillStroke(render::Color(248, 248, 248),
+                                               render::palette::kAxis));
+    render::TextStyle mono;
+    mono.size = 9.0;
+    canvas.DrawText(Point{mdx_box.x + 6, mdx_box.y + 15},
+                    StrFormat("MDX> %s", options.mdx_text.c_str()), mono);
+  }
+
+  // Layout: header column on the left, swimlanes to the right.
+  const double header_width = std::min(220.0, outer.width * 0.3);
+  Rect lanes_area{outer.x + header_width, outer.y + mdx_height, outer.width - header_width,
+                  outer.height - mdx_height};
+  const size_t rows = pivot.rows.size();
+  if (rows == 0) return result;
+  const double lane_h = lanes_area.height / static_cast<double>(rows);
+  const double max_cell = std::max(pivot.MaxCell(), 1e-9);
+
+  // Hierarchy indentation per row member (when the dimension is supplied).
+  auto indent_of = [&](const olap::PivotHeader& h) -> double {
+    if (options.hierarchy == nullptr || h.member_id < 0) return 0.0;
+    const auto& members = options.hierarchy->members();
+    if (h.member_id >= static_cast<int>(members.size())) return 0.0;
+    return members[static_cast<size_t>(h.member_id)].level * 14.0;
+  };
+
+  for (size_t r = 0; r < rows; ++r) {
+    const double lane_y = lanes_area.y + r * lane_h;
+    // Alternating lane backgrounds, as swimlanes.
+    if (r % 2 == 1) {
+      canvas.DrawRect(Rect{outer.x, lane_y, outer.width, lane_h},
+                      Style::Fill(render::Color(246, 248, 250)));
+    }
+    canvas.DrawLine(Point{outer.x, lane_y}, Point{outer.right(), lane_y},
+                    Style::Stroke(render::palette::kGridLine));
+
+    // Header with hierarchy indentation.
+    render::TextStyle hdr;
+    hdr.size = 10.0;
+    hdr.bold = indent_of(pivot.rows[r]) == 0.0;
+    canvas.DrawText(Point{outer.x + 4 + indent_of(pivot.rows[r]), lane_y + lane_h / 2 + 4},
+                    pivot.rows[r].label, hdr);
+
+    // Bars: one per column member, shared value scale.
+    const size_t cols = pivot.cols.size();
+    if (cols == 0) continue;
+    const double slot_w = lanes_area.width / static_cast<double>(cols);
+    for (size_t c = 0; c < cols; ++c) {
+      const double v = pivot.cells[r][c];
+      const double bar_h = (lane_h - 10.0) * v / max_cell;
+      Rect bar{lanes_area.x + c * slot_w + slot_w * 0.15, lane_y + lane_h - 5.0 - bar_h,
+               slot_w * 0.7, bar_h};
+      canvas.DrawRect(bar, Style::FillStroke(render::CategoricalColor(c),
+                                             render::palette::kAxis.WithAlpha(120)));
+      if (options.draw_values && v > 0.0) {
+        render::TextStyle val;
+        val.size = 8.0;
+        val.anchor = render::TextAnchor::kMiddle;
+        canvas.DrawText(Point{bar.x + bar.width / 2, bar.y - 2}, FormatDouble(v, 1), val);
+      }
+    }
+  }
+
+  // Column headers along the bottom.
+  const size_t cols = pivot.cols.size();
+  if (cols > 0) {
+    const double slot_w = lanes_area.width / static_cast<double>(cols);
+    for (size_t c = 0; c < cols; ++c) {
+      render::TextStyle col_hdr;
+      col_hdr.size = 9.0;
+      col_hdr.anchor = render::TextAnchor::kMiddle;
+      canvas.DrawText(Point{lanes_area.x + c * slot_w + slot_w / 2,
+                            lanes_area.y + lanes_area.height + 14},
+                      pivot.cols[c].label, col_hdr);
+    }
+  }
+  // Separator between headers and lanes.
+  canvas.DrawLine(Point{lanes_area.x, lanes_area.y},
+                  Point{lanes_area.x, lanes_area.y + lanes_area.height},
+                  Style::Stroke(render::palette::kAxis));
+  return result;
+}
+
+}  // namespace flexvis::viz

@@ -1,0 +1,42 @@
+#ifndef FLEXVIS_VIZ_PIVOT_VIEW_H_
+#define FLEXVIS_VIZ_PIVOT_VIEW_H_
+
+#include <memory>
+#include <string>
+
+#include "olap/cube.h"
+#include "olap/dimension.h"
+#include "render/display_list.h"
+#include "viz/view_common.h"
+
+namespace flexvis::viz {
+
+/// Options of the OLAP pivot view (Fig. 5: an MDX query window at the top,
+/// the chosen dimension hierarchy as a column of nested headers on the left,
+/// and one swimlane of bars per hierarchy member).
+struct PivotViewOptions {
+  Frame frame;
+  /// The MDX text echoed in the query window (informational; the caller
+  /// evaluates it separately through olap::ParseMdx).
+  std::string mdx_text;
+  /// Draw the hierarchy breadcrumb column using this dimension (the query's
+  /// row dimension). Optional.
+  const olap::Dimension* hierarchy = nullptr;
+  bool draw_values = true;
+};
+
+struct PivotViewResult {
+  std::unique_ptr<render::DisplayList> scene;
+};
+
+/// Renders a pivot result as swimlanes: each row member gets a horizontal
+/// lane with one bar per column member, all lanes sharing one value scale
+/// ("analyse the preferred elements or the measures on multiple swimlanes in
+/// the view"). Rows with deeper hierarchy levels are indented in the header
+/// column, giving the drill-down reading of Fig. 5.
+PivotViewResult RenderPivotView(const olap::PivotResult& pivot,
+                                const PivotViewOptions& options);
+
+}  // namespace flexvis::viz
+
+#endif  // FLEXVIS_VIZ_PIVOT_VIEW_H_

@@ -1,0 +1,146 @@
+#include "viz/profile_view.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace flexvis::viz {
+
+using render::Point;
+using render::Rect;
+using render::Style;
+using timeutil::kMinutesPerSlice;
+using timeutil::TimePoint;
+
+ProfileViewResult RenderProfileView(const std::vector<core::FlexOffer>& offers,
+                                    const ProfileViewOptions& options) {
+  ProfileViewResult result;
+  Frame frame = options.frame;
+  if (frame.title.empty()) {
+    frame.title = StrFormat("Profile view - %zu flex-offers", offers.size());
+  }
+  result.scene = std::make_unique<render::DisplayList>(frame.width, frame.height);
+  render::DisplayList& canvas = *result.scene;
+
+  result.plot = DrawFrame(canvas, frame);
+  result.window = options.window.empty() ? OffersExtent(offers) : options.window;
+  if (result.window.empty()) {
+    result.time_scale = render::LinearScale(0, 1, result.plot.x, result.plot.right());
+    return result;
+  }
+  result.time_scale = MakeTimeScale(result.window, result.plot);
+  result.layout = AssignLanes(offers);
+
+  // Synchronized ordinate: one pretty scale over the global per-slice peak.
+  double peak = 0.0;
+  for (const core::FlexOffer& o : offers) peak = std::max(peak, o.peak_energy_kwh());
+  render::PrettyScale pretty = render::MakePrettyScale(0.0, std::max(peak, 1e-9), 4);
+  result.max_energy_kwh = pretty.nice_max;
+
+  const Rect& plot = result.plot;
+  const int lanes = std::max(1, result.layout.lane_count);
+  const double lane_height =
+      std::max(4.0, (plot.height - options.lane_padding * (lanes - 1)) / lanes);
+  result.kwh_per_pixel = result.max_energy_kwh / lane_height;
+
+  render::DrawBottomAxis(canvas, plot, result.time_scale,
+                         render::MakeTimeTicks(result.window));
+  render::DrawBottomAxisTitle(canvas, plot, "time");
+  render::DrawLeftAxisTitle(canvas, plot, "energy per 15 min [kWh]");
+
+  const render::LinearScale& x = result.time_scale;
+  canvas.PushClip(plot.Expanded(1.0));
+  for (size_t i = 0; i < offers.size(); ++i) {
+    const core::FlexOffer& offer = offers[i];
+    const int lane = result.layout.lane_of[i];
+    const double base =
+        plot.bottom() - lane * (lane_height + options.lane_padding);  // lane baseline (y of 0 kWh)
+    const double lane_top = base - lane_height;
+
+    canvas.BeginTag(offer.id);
+
+    // Lane baseline and synchronized mini-axis labels (0 and max).
+    canvas.DrawLine(Point{plot.x, base}, Point{plot.right(), base},
+                    Style::Stroke(render::palette::kGridLine));
+    render::TextStyle small;
+    small.size = 8.0;
+    small.anchor = render::TextAnchor::kEnd;
+    small.color = render::palette::kAxis;
+    canvas.DrawText(Point{plot.x - 4, base}, "0", small);
+    canvas.DrawText(Point{plot.x - 4, lane_top + 8},
+                    FormatDouble(result.max_energy_kwh, 1), small);
+
+    const bool degraded = options.detail_cap > 0 && i >= options.detail_cap;
+    TimePoint start =
+        offer.schedule.has_value() ? offer.schedule->start : offer.earliest_start;
+
+    // Grey time-flexibility band behind the profile.
+    if (offer.time_flexibility_minutes() > 0) {
+      const double fx0 = x.Apply(static_cast<double>(offer.earliest_start.minutes()));
+      const double fx1 = x.Apply(static_cast<double>(offer.latest_end().minutes()));
+      canvas.DrawRect(Rect{fx0, lane_top, fx1 - fx0, lane_height},
+                      Style::Fill(render::palette::kTimeFlexibility.WithAlpha(60)));
+    }
+
+    if (degraded) {
+      // Fallback box (see options.detail_cap).
+      const double px0 = x.Apply(static_cast<double>(start.minutes()));
+      const double px1 = x.Apply(
+          static_cast<double>((start + offer.profile_duration_minutes()).minutes()));
+      canvas.DrawRect(Rect{px0, lane_top, std::max(1.0, px1 - px0), lane_height},
+                      Style::Fill(OfferFillColor(offer)));
+      canvas.EndTag();
+      continue;
+    }
+
+    // Per-unit-slice min fill and min..max flexibility band.
+    const std::vector<core::ProfileSlice> units = offer.UnitProfile();
+    const render::Color fill = OfferFillColor(offer);
+    const render::Color band = render::Lerp(fill, render::palette::kBackground, 0.45);
+    for (size_t u = 0; u < units.size(); ++u) {
+      TimePoint t0 = start + static_cast<int64_t>(u) * kMinutesPerSlice;
+      const double sx0 = x.Apply(static_cast<double>(t0.minutes()));
+      const double sx1 = x.Apply(static_cast<double>((t0 + kMinutesPerSlice).minutes()));
+      const double min_h = units[u].min_energy_kwh / result.kwh_per_pixel;
+      const double max_h = units[u].max_energy_kwh / result.kwh_per_pixel;
+      if (max_h > min_h) {
+        canvas.DrawRect(Rect{sx0, base - max_h, sx1 - sx0, max_h - min_h},
+                        Style::FillStroke(band, render::palette::kAxis.WithAlpha(70)));
+      }
+      if (min_h > 0.0) {
+        canvas.DrawRect(Rect{sx0, base - min_h, sx1 - sx0, min_h},
+                        Style::FillStroke(fill, render::palette::kAxis.WithAlpha(110)));
+      }
+    }
+
+    // Scheduled energy: red step line across the unit slices (Fig. 9).
+    if (offer.schedule.has_value()) {
+      std::vector<Point> steps;
+      steps.reserve(offer.schedule->energy_kwh.size() * 2);
+      for (size_t u = 0; u < offer.schedule->energy_kwh.size(); ++u) {
+        TimePoint t0 = offer.schedule->start + static_cast<int64_t>(u) * kMinutesPerSlice;
+        const double sy = base - offer.schedule->energy_kwh[u] / result.kwh_per_pixel;
+        steps.push_back(Point{x.Apply(static_cast<double>(t0.minutes())), sy});
+        steps.push_back(
+            Point{x.Apply(static_cast<double>((t0 + kMinutesPerSlice).minutes())), sy});
+      }
+      canvas.DrawPolyline(steps, Style::Stroke(render::palette::kScheduled, 2.0));
+    }
+    canvas.EndTag();
+  }
+  canvas.PopClip();
+
+  if (options.draw_legend) {
+    std::vector<render::LegendEntry> entries = {
+        {"minimum required energy", render::palette::kRawOffer, false},
+        {"energy flexibility (min..max)",
+         render::Lerp(render::palette::kRawOffer, render::palette::kBackground, 0.45), false},
+        {"scheduled energy", render::palette::kScheduled, true},
+        {"time flexibility", render::palette::kTimeFlexibility, false},
+    };
+    render::DrawLegend(canvas, Point{plot.right() - 230, plot.y + 6}, entries);
+  }
+  return result;
+}
+
+}  // namespace flexvis::viz

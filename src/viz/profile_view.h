@@ -1,0 +1,49 @@
+#ifndef FLEXVIS_VIZ_PROFILE_VIEW_H_
+#define FLEXVIS_VIZ_PROFILE_VIEW_H_
+
+#include <memory>
+#include <vector>
+
+#include "render/display_list.h"
+#include "viz/lane_layout.h"
+#include "viz/view_common.h"
+
+namespace flexvis::viz {
+
+/// Options of the profile view (Fig. 9).
+struct ProfileViewOptions {
+  Frame frame;
+  timeutil::TimeInterval window;
+  double lane_padding = 8.0;
+  bool draw_legend = true;
+  /// Soft cap: the view "is effective for a smaller flex-offer set with less
+  /// than few thousands of flex-offers"; above the cap rendering degrades to
+  /// the basic-view boxes for the excess offers. 0 disables the cap.
+  size_t detail_cap = 2000;
+};
+
+struct ProfileViewResult {
+  std::unique_ptr<render::DisplayList> scene;
+  LaneLayout layout;
+  render::LinearScale time_scale;
+  /// Shared (synchronized) per-slice energy scale: kWh -> pixels of lane
+  /// height. The same scale applies to every lane, which is what makes
+  /// cross-offer comparison possible ("thanks to the synchronized scales of
+  /// all ordinate axes, compare them across multiple flex-offers").
+  double kwh_per_pixel = 0.0;
+  double max_energy_kwh = 0.0;
+  render::Rect plot;
+  timeutil::TimeInterval window;
+};
+
+/// The profile view: the detailed flex-offer representation of Req. 1. Each
+/// offer occupies a lane; within its lane it shows per-slice minimum energy
+/// (solid fill), the min..max energy-flexibility band (lighter fill), and
+/// the scheduled per-slice energy (red step line). All lanes use one
+/// synchronized energy scale with pretty bounds.
+ProfileViewResult RenderProfileView(const std::vector<core::FlexOffer>& offers,
+                                    const ProfileViewOptions& options);
+
+}  // namespace flexvis::viz
+
+#endif  // FLEXVIS_VIZ_PROFILE_VIEW_H_

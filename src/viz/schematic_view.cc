@@ -1,0 +1,165 @@
+#include "viz/schematic_view.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/strings.h"
+
+namespace flexvis::viz {
+
+using render::Point;
+using render::Rect;
+using render::Style;
+
+namespace {
+
+// Canvas position of a grid node from its (layer, slot) coordinates.
+Point NodePosition(const grid::GridNode& node, const Rect& plot,
+                   const std::map<int, int>& layer_sizes) {
+  const int layers = 4;
+  double y = plot.y + plot.height * (node.layer + 0.5) / layers;
+  auto it = layer_sizes.find(node.layer);
+  int count = it != layer_sizes.end() ? it->second : 1;
+  double x = plot.x + plot.width * (node.slot + 0.5) / std::max(1, count);
+  return Point{x, y};
+}
+
+}  // namespace
+
+SchematicViewResult RenderSchematicView(const std::vector<core::FlexOffer>& offers,
+                                        const grid::GridTopology& topology,
+                                        const SchematicViewOptions& options) {
+  SchematicViewResult result;
+  Frame frame = options.frame;
+  if (frame.title.empty()) {
+    frame.title = StrFormat("Schematic grid view - %zu flex-offers", offers.size());
+  }
+  result.scene = std::make_unique<render::DisplayList>(frame.width, frame.height);
+  render::DisplayList& canvas = *result.scene;
+  Rect plot = DrawFrame(canvas, frame);
+
+  // Layer occupancies for horizontal spacing.
+  std::map<int, int> layer_sizes;
+  for (const grid::GridNode& n : topology.nodes()) {
+    layer_sizes[n.layer] = std::max(layer_sizes[n.layer], n.slot + 1);
+  }
+  std::map<core::GridNodeId, Point> positions;
+  std::map<core::GridNodeId, const grid::GridNode*> nodes_by_id;
+  for (const grid::GridNode& n : topology.nodes()) {
+    positions[n.id] = NodePosition(n, plot, layer_sizes);
+    nodes_by_id[n.id] = &n;
+  }
+
+  // Aggregate offer states up the topology: each offer counts at its feeder
+  // and every ancestor, so pies at any layer reflect their whole subtree.
+  std::map<core::GridNodeId, std::array<int64_t, core::kNumFlexOfferStates>> state_counts;
+  for (const core::FlexOffer& o : offers) {
+    core::GridNodeId node = o.grid_node;
+    int hops = 0;
+    while (node != core::kInvalidGridNodeId && hops < 8) {
+      auto it = nodes_by_id.find(node);
+      if (it == nodes_by_id.end()) break;
+      state_counts[node][static_cast<size_t>(o.state)] += 1;
+      node = it->second->parent;
+      ++hops;
+    }
+  }
+
+  // Edges first (under the node glyphs); line weight tracks voltage.
+  for (const grid::GridEdge& e : topology.edges()) {
+    auto a = positions.find(e.from);
+    auto b = positions.find(e.to);
+    if (a == positions.end() || b == positions.end()) continue;
+    double width = e.voltage_kv >= 100.0 ? 2.6 : (e.voltage_kv >= 50.0 ? 1.8 : 1.0);
+    canvas.DrawLine(a->second, b->second, Style::Stroke(render::palette::kAxis, width));
+  }
+
+  // Node glyphs.
+  for (const grid::GridNode& n : topology.nodes()) {
+    const Point p = positions[n.id];
+    canvas.BeginTag(n.id);
+    switch (n.kind) {
+      case grid::NodeKind::kPlant: {
+        // Generator symbol: circle with a "G" (Fig. 4).
+        canvas.DrawCircle(p, 11.0, Style::FillStroke(render::Color(255, 255, 255),
+                                                     render::palette::kAxis, 1.6));
+        render::TextStyle g;
+        g.size = 11.0;
+        g.anchor = render::TextAnchor::kMiddle;
+        g.bold = true;
+        canvas.DrawText(Point{p.x, p.y + 4}, "G", g);
+        break;
+      }
+      case grid::NodeKind::kTransmission:
+        canvas.DrawRect(Rect{p.x - 8, p.y - 8, 16, 16},
+                        Style::FillStroke(render::Color(60, 60, 60),
+                                          render::palette::kAxis));
+        break;
+      case grid::NodeKind::kDistribution:
+        canvas.DrawRect(Rect{p.x - 6, p.y - 6, 12, 12},
+                        Style::FillStroke(render::Color(255, 255, 255),
+                                          render::palette::kAxis, 1.4));
+        break;
+      case grid::NodeKind::kFeeder:
+        canvas.DrawCircle(p, 3.0, Style::Fill(render::palette::kAxis));
+        break;
+    }
+    canvas.EndTag();
+    if (n.kind != grid::NodeKind::kFeeder) {
+      render::TextStyle name;
+      name.size = 8.0;
+      name.anchor = render::TextAnchor::kMiddle;
+      canvas.DrawText(Point{p.x, p.y - 14}, n.name, name);
+    }
+  }
+
+  // State pies at the chosen layer (Fig. 4's 31/43/26 load-area pies).
+  const core::FlexOfferState kPieStates[] = {core::FlexOfferState::kAccepted,
+                                             core::FlexOfferState::kAssigned,
+                                             core::FlexOfferState::kRejected};
+  for (const grid::GridNode& n : topology.nodes()) {
+    if (n.layer != options.pie_layer) continue;
+    const auto& counts = state_counts[n.id];
+    int64_t total = 0;
+    for (core::FlexOfferState s : kPieStates) total += counts[static_cast<size_t>(s)];
+    if (total == 0) continue;
+    Point center{positions[n.id].x, positions[n.id].y + options.pie_radius + 18.0};
+    double angle = 0.0;
+    for (core::FlexOfferState s : kPieStates) {
+      double share = static_cast<double>(counts[static_cast<size_t>(s)]) /
+                     static_cast<double>(total);
+      double sweep = share * 360.0;
+      if (sweep <= 0.0) continue;
+      canvas.BeginTag(n.id);
+      canvas.DrawPieSlice(center, options.pie_radius, angle, sweep,
+                          Style::FillStroke(StateColor(s), render::palette::kBackground, 1.0));
+      canvas.EndTag();
+      // Percentage labels as in Fig. 4.
+      if (share >= 0.08) {
+        double mid = (angle + sweep / 2.0 - 90.0) * M_PI / 180.0;
+        render::TextStyle pct;
+        pct.size = 8.0;
+        pct.anchor = render::TextAnchor::kMiddle;
+        canvas.DrawText(Point{center.x + std::cos(mid) * options.pie_radius * 0.6,
+                              center.y + std::sin(mid) * options.pie_radius * 0.6 + 3},
+                        StrFormat("%.0f%%", share * 100.0), pct);
+      }
+      angle += sweep;
+    }
+    result.pie_nodes.push_back(n.id);
+    result.pie_counts.push_back(counts);
+  }
+
+  if (options.draw_legend) {
+    std::vector<render::LegendEntry> entries = {
+        {"Accepted", StateColor(core::FlexOfferState::kAccepted), false},
+        {"Assigned", StateColor(core::FlexOfferState::kAssigned), false},
+        {"Rejected", StateColor(core::FlexOfferState::kRejected), false},
+    };
+    render::DrawLegend(canvas, Point{plot.right() - 120, plot.y + 4}, entries);
+  }
+  return result;
+}
+
+}  // namespace flexvis::viz

@@ -1,0 +1,44 @@
+#ifndef FLEXVIS_VIZ_SCHEMATIC_VIEW_H_
+#define FLEXVIS_VIZ_SCHEMATIC_VIEW_H_
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "grid/topology.h"
+#include "render/display_list.h"
+#include "viz/view_common.h"
+
+namespace flexvis::viz {
+
+/// Options of the grid-topology schematic view (Fig. 4: generator glyphs,
+/// substations connected by lines, and a state pie per load area).
+struct SchematicViewOptions {
+  Frame frame;
+  /// Draw the accepted/assigned/rejected pie at nodes of this layer
+  /// (2 = distribution substations, matching Fig. 4's load areas).
+  int pie_layer = 2;
+  double pie_radius = 26.0;
+  bool draw_legend = true;
+};
+
+struct SchematicViewResult {
+  std::unique_ptr<render::DisplayList> scene;
+  /// Node ids that received a pie, with their per-state counts (aligned).
+  std::vector<core::GridNodeId> pie_nodes;
+  std::vector<std::array<int64_t, core::kNumFlexOfferStates>> pie_counts;
+};
+
+/// Renders the schematic (topological) view: the grid tree laid out by
+/// (layer, slot), 110 kV+ lines weighted by voltage, "G" glyphs for plants,
+/// and per-area pies of accepted/assigned/rejected flex-offer shares ("to
+/// select data for (or group on) the topological or electrical structure
+/// [of] the electricity grid, e.g., for a particular 110kV transmission
+/// line"). Node glyphs carry the grid-node id as display tag.
+SchematicViewResult RenderSchematicView(const std::vector<core::FlexOffer>& offers,
+                                        const grid::GridTopology& topology,
+                                        const SchematicViewOptions& options);
+
+}  // namespace flexvis::viz
+
+#endif  // FLEXVIS_VIZ_SCHEMATIC_VIEW_H_

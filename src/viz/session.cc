@@ -1,0 +1,134 @@
+#include "viz/session.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/strings.h"
+#include "viz/interaction.h"
+
+namespace flexvis::viz {
+
+Viewport& ViewTab::viewport() {
+  if (!viewport_.has_value()) viewport_.emplace(OffersExtent(offers_));
+  return *viewport_;
+}
+
+BasicViewResult ViewTab::RenderBasic(BasicViewOptions options) {
+  if (options.window.empty() && viewport_.has_value()) {
+    options.window = viewport_->window();
+  }
+  return RenderBasicView(offers_, options);
+}
+
+ProfileViewResult ViewTab::RenderProfile(ProfileViewOptions options) {
+  if (options.window.empty() && viewport_.has_value()) {
+    options.window = viewport_->window();
+  }
+  return RenderProfileView(offers_, options);
+}
+
+size_t ViewTab::RemoveSelected() {
+  if (selection_.empty()) return 0;
+  size_t before = offers_.size();
+  offers_ = ExtractSelection(offers_, selection_, /*keep_selected=*/false);
+  selection_.clear();
+  return before - offers_.size();
+}
+
+Result<size_t> Session::LoadTab(const dw::FlexOfferFilter& filter, std::string title) {
+  Result<std::vector<core::FlexOffer>> offers = db_->SelectFlexOffers(filter);
+  if (!offers.ok()) return offers.status();
+  if (title.empty()) {
+    if (filter.prosumer.has_value()) {
+      Result<dw::ProsumerInfo> p = db_->FindProsumer(*filter.prosumer);
+      title = p.ok() ? p->name : StrFormat("Prosumer %lld",
+                                           static_cast<long long>(*filter.prosumer));
+    } else {
+      title = "All prosumers";
+    }
+    if (!filter.window.empty()) {
+      title += StrFormat(" %s..%s", filter.window.start.ToString().c_str(),
+                         filter.window.end.ToString().c_str());
+    }
+  }
+  tabs_.push_back(std::make_unique<ViewTab>(std::move(title), *std::move(offers)));
+  return tabs_.size() - 1;
+}
+
+Result<size_t> Session::OpenSelectionAsTab(size_t source_tab) {
+  if (source_tab >= tabs_.size()) {
+    return OutOfRangeError(StrFormat("no tab %zu", source_tab));
+  }
+  ViewTab& src = *tabs_[source_tab];
+  if (src.selection().empty()) {
+    return FailedPreconditionError("the source tab has no selection");
+  }
+  std::vector<core::FlexOffer> selected =
+      ExtractSelection(src.offers(), src.selection(), /*keep_selected=*/true);
+  tabs_.push_back(std::make_unique<ViewTab>(
+      StrFormat("%s (selection of %zu)", src.title().c_str(), selected.size()),
+      std::move(selected)));
+  return tabs_.size() - 1;
+}
+
+Result<size_t> Session::AggregateTab(size_t source_tab,
+                                     const core::AggregationParams& params) {
+  if (source_tab >= tabs_.size()) {
+    return OutOfRangeError(StrFormat("no tab %zu", source_tab));
+  }
+  const ViewTab& src = *tabs_[source_tab];
+  core::Aggregator aggregator(params);
+  core::AggregationResult agg = aggregator.Aggregate(src.offers(), &next_aggregate_id_);
+  std::vector<core::FlexOffer> contents = std::move(agg.aggregates);
+  for (core::FlexOffer& o : agg.passthrough) contents.push_back(std::move(o));
+  tabs_.push_back(std::make_unique<ViewTab>(
+      StrFormat("%s (aggregated: %zu -> %zu)", src.title().c_str(), src.offers().size(),
+                contents.size()),
+      std::move(contents)));
+  return tabs_.size() - 1;
+}
+
+Result<size_t> Session::DisaggregateTab(size_t source_tab) {
+  if (source_tab >= tabs_.size()) {
+    return OutOfRangeError(StrFormat("no tab %zu", source_tab));
+  }
+  const ViewTab& src = *tabs_[source_tab];
+  std::vector<core::FlexOffer> contents;
+  for (const core::FlexOffer& offer : src.offers()) {
+    if (!offer.is_aggregate() || !offer.schedule.has_value()) {
+      contents.push_back(offer);
+      continue;
+    }
+    std::vector<core::FlexOffer> members;
+    members.reserve(offer.aggregated_from.size());
+    bool all_found = true;
+    for (core::FlexOfferId id : offer.aggregated_from) {
+      Result<core::FlexOffer> member = db_->GetFlexOffer(id);
+      if (!member.ok()) {
+        all_found = false;
+        break;
+      }
+      members.push_back(*std::move(member));
+    }
+    if (!all_found) {
+      contents.push_back(offer);  // keep the aggregate if members are gone
+      continue;
+    }
+    Result<std::vector<core::FlexOffer>> scheduled = core::Disaggregate(offer, members);
+    if (!scheduled.ok()) return scheduled.status();
+    for (core::FlexOffer& m : *scheduled) contents.push_back(std::move(m));
+  }
+  tabs_.push_back(std::make_unique<ViewTab>(
+      StrFormat("%s (disaggregated)", src.title().c_str()), std::move(contents)));
+  return tabs_.size() - 1;
+}
+
+Status Session::CloseTab(size_t index) {
+  if (index >= tabs_.size()) {
+    return OutOfRangeError(StrFormat("no tab %zu", index));
+  }
+  tabs_.erase(tabs_.begin() + static_cast<std::ptrdiff_t>(index));
+  return OkStatus();
+}
+
+}  // namespace flexvis::viz

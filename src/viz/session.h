@@ -1,0 +1,109 @@
+#ifndef FLEXVIS_VIZ_SESSION_H_
+#define FLEXVIS_VIZ_SESSION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/aggregation.h"
+#include "dw/database.h"
+#include "viz/basic_view.h"
+#include "viz/profile_view.h"
+#include "viz/viewport.h"
+
+namespace flexvis::viz {
+
+/// Which of the two flex-offer views a tab shows.
+enum class ViewKind {
+  kBasic,
+  kProfile,
+};
+
+/// One flex-offer view tab in the main application window ("when flex-offers
+/// are read, a new flex-offer view tab is created in the main application
+/// window"). A tab owns its offer set, its current selection, and renders
+/// itself on demand.
+class ViewTab {
+ public:
+  ViewTab(std::string title, std::vector<core::FlexOffer> offers)
+      : title_(std::move(title)), offers_(std::move(offers)) {}
+
+  const std::string& title() const { return title_; }
+  const std::vector<core::FlexOffer>& offers() const { return offers_; }
+  ViewKind view_kind() const { return view_kind_; }
+  void set_view_kind(ViewKind kind) { view_kind_ = kind; }
+
+  const std::vector<core::FlexOfferId>& selection() const { return selection_; }
+  void set_selection(std::vector<core::FlexOfferId> ids) { selection_ = std::move(ids); }
+  void clear_selection() { selection_.clear(); }
+
+  /// The tab's pan/zoom state over its offers' extent. Mutations here show
+  /// up in the next Render* call (a GUI binds wheel/drag to this object).
+  Viewport& viewport();
+
+  /// Renders the tab with its current view kind, using the tab's viewport
+  /// window unless `options.window` overrides it. The result's scene is
+  /// retained by the caller (the session does not cache scenes).
+  BasicViewResult RenderBasic(BasicViewOptions options);
+  ProfileViewResult RenderProfile(ProfileViewOptions options);
+
+  /// Removes the selected offers from this tab ("removed from the current
+  /// view"). Returns how many were removed; clears the selection.
+  size_t RemoveSelected();
+
+ private:
+  std::string title_;
+  std::vector<core::FlexOffer> offers_;
+  ViewKind view_kind_ = ViewKind::kBasic;
+  std::vector<core::FlexOfferId> selection_;
+  std::optional<Viewport> viewport_;
+};
+
+/// The main-window model of the visualization tool: the loading tab
+/// (Fig. 7), the open view tabs (Fig. 8's tab strip), and the aggregation
+/// tools menu (Fig. 11). GUI-toolkit-free: a front end binds buttons to
+/// these calls; tests and benches drive them directly.
+class Session {
+ public:
+  /// `db` must outlive the session.
+  explicit Session(const dw::Database* db) : db_(db) {}
+
+  const dw::Database& db() const { return *db_; }
+  const std::vector<std::unique_ptr<ViewTab>>& tabs() const { return tabs_; }
+  ViewTab* tab(size_t index) { return tabs_[index].get(); }
+
+  /// The loading tab's "legal entity" dropdown contents.
+  std::vector<dw::ProsumerInfo> LegalEntities() const { return db_->prosumers(); }
+
+  /// Loads flex-offers per `filter` into a new view tab (the Fig. 7 flow:
+  /// pick a legal entity and an absolute time interval, press load). Returns
+  /// the tab index.
+  Result<size_t> LoadTab(const dw::FlexOfferFilter& filter, std::string title = "");
+
+  /// Opens a new tab holding the current selection of `source_tab` ("the
+  /// selected flex-offers can be shown on different tab").
+  Result<size_t> OpenSelectionAsTab(size_t source_tab);
+
+  /// The aggregation tool (Fig. 11): aggregates the offers of `source_tab`
+  /// with `params` into a new tab, so parameter tuning is an interactive
+  /// load-aggregate-inspect loop. Returns the new tab index.
+  Result<size_t> AggregateTab(size_t source_tab, const core::AggregationParams& params);
+
+  /// The disaggregation tool: expands every scheduled aggregate of
+  /// `source_tab` back into its scheduled members (fetched from the DW) in a
+  /// new tab.
+  Result<size_t> DisaggregateTab(size_t source_tab);
+
+  /// Closes a tab.
+  Status CloseTab(size_t index);
+
+ private:
+  const dw::Database* db_;
+  std::vector<std::unique_ptr<ViewTab>> tabs_;
+  core::FlexOfferId next_aggregate_id_ = 1'000'000'000;
+};
+
+}  // namespace flexvis::viz
+
+#endif  // FLEXVIS_VIZ_SESSION_H_

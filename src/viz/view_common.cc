@@ -1,0 +1,67 @@
+#include "viz/view_common.h"
+
+#include "time/granularity.h"
+
+namespace flexvis::viz {
+
+using render::Color;
+using render::palette::kAggregatedOffer;
+using render::palette::kRawOffer;
+
+render::Rect DrawFrame(render::Canvas& canvas, const Frame& frame) {
+  canvas.Clear(render::palette::kBackground);
+  if (!frame.title.empty()) {
+    render::TextStyle ts;
+    ts.size = 14.0;
+    ts.bold = true;
+    ts.anchor = render::TextAnchor::kStart;
+    canvas.DrawText(render::Point{frame.margin_left, frame.margin_top - 14}, frame.title, ts);
+  }
+  return frame.PlotRect();
+}
+
+render::LinearScale MakeTimeScale(const timeutil::TimeInterval& window,
+                                  const render::Rect& plot) {
+  return render::LinearScale(static_cast<double>(window.start.minutes()),
+                             static_cast<double>(window.end.minutes()), plot.x, plot.right());
+}
+
+timeutil::TimeInterval OffersExtent(const std::vector<core::FlexOffer>& offers) {
+  timeutil::TimeInterval extent;
+  bool first = true;
+  for (const core::FlexOffer& o : offers) {
+    extent = first ? o.extent() : extent.Span(o.extent());
+    first = false;
+  }
+  if (extent.empty()) return extent;
+  // Expand to whole hours so axis ticks have room.
+  timeutil::TimePoint start = timeutil::TruncateTo(extent.start, timeutil::Granularity::kHour);
+  timeutil::TimePoint end = timeutil::NextBoundary(extent.end - 1, timeutil::Granularity::kHour);
+  return timeutil::TimeInterval(start, end);
+}
+
+Color OfferFillColor(const core::FlexOffer& offer) {
+  Color base = offer.is_aggregate() ? kAggregatedOffer : kRawOffer;
+  if (offer.state == core::FlexOfferState::kRejected) {
+    // Rejected offers fade toward the background so anomalies (e.g. missing
+    // assignments in an interval) stand out.
+    return render::Lerp(base, render::palette::kBackground, 0.55);
+  }
+  return base;
+}
+
+Color StateColor(core::FlexOfferState state) {
+  switch (state) {
+    case core::FlexOfferState::kAccepted:
+      return render::palette::kAccepted;
+    case core::FlexOfferState::kAssigned:
+      return render::palette::kAssigned;
+    case core::FlexOfferState::kRejected:
+      return render::palette::kRejected;
+    case core::FlexOfferState::kOffered:
+      return render::CategoricalColor(9);
+  }
+  return render::CategoricalColor(9);
+}
+
+}  // namespace flexvis::viz

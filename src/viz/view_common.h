@@ -1,0 +1,52 @@
+#ifndef FLEXVIS_VIZ_VIEW_COMMON_H_
+#define FLEXVIS_VIZ_VIEW_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/flex_offer.h"
+#include "render/axis.h"
+#include "render/canvas.h"
+#include "render/scale.h"
+#include "time/time_point.h"
+
+namespace flexvis::viz {
+
+/// Chart frame shared by every view: outer size, margins, title, computed
+/// plot rectangle.
+struct Frame {
+  double width = 1000.0;
+  double height = 600.0;
+  double margin_left = 70.0;
+  double margin_right = 20.0;
+  double margin_top = 40.0;
+  double margin_bottom = 55.0;
+  std::string title;
+
+  render::Rect PlotRect() const {
+    return render::Rect{margin_left, margin_top, width - margin_left - margin_right,
+                        height - margin_top - margin_bottom};
+  }
+};
+
+/// Draws the frame background and title; returns the plot rect.
+render::Rect DrawFrame(render::Canvas& canvas, const Frame& frame);
+
+/// Linear scale mapping TimePoint minutes onto the plot's x span.
+render::LinearScale MakeTimeScale(const timeutil::TimeInterval& window,
+                                  const render::Rect& plot);
+
+/// The union extent of `offers`, expanded to whole hours (a sensible default
+/// window when the caller does not supply one).
+timeutil::TimeInterval OffersExtent(const std::vector<core::FlexOffer>& offers);
+
+/// Fill color of an offer box: light red for aggregates, light blue for raw
+/// offers (Fig. 8's color coding), dimmed variants for rejected offers.
+render::Color OfferFillColor(const core::FlexOffer& offer);
+
+/// State color used by pies and dashboards (Figs. 4 and 6).
+render::Color StateColor(core::FlexOfferState state);
+
+}  // namespace flexvis::viz
+
+#endif  // FLEXVIS_VIZ_VIEW_COMMON_H_

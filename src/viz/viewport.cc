@@ -1,0 +1,62 @@
+#include "viz/viewport.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "time/granularity.h"
+
+namespace flexvis::viz {
+
+using timeutil::kMinutesPerSlice;
+using timeutil::TimeInterval;
+using timeutil::TimePoint;
+
+double Viewport::ZoomLevel() const {
+  if (full_.duration_minutes() <= 0) return 1.0;
+  return static_cast<double>(window_.duration_minutes()) /
+         static_cast<double>(full_.duration_minutes());
+}
+
+void Viewport::Zoom(double factor, TimePoint anchor) {
+  if (factor <= 0.0 || window_.empty()) return;
+  // Keep the anchor's relative position within the window.
+  const double span = static_cast<double>(window_.duration_minutes());
+  const double rel =
+      std::clamp(static_cast<double>(anchor - window_.start) / span, 0.0, 1.0);
+  double new_span = span / factor;
+  new_span = std::clamp(new_span, static_cast<double>(kMinutesPerSlice),
+                        static_cast<double>(full_.duration_minutes()));
+  int64_t start = anchor.minutes() - static_cast<int64_t>(std::llround(rel * new_span));
+  window_ = TimeInterval(TimePoint::FromMinutes(start),
+                         TimePoint::FromMinutes(start + static_cast<int64_t>(
+                                                            std::llround(new_span))));
+  Clamp();
+}
+
+void Viewport::Pan(int64_t minutes) {
+  window_ = TimeInterval(window_.start + minutes, window_.end + minutes);
+  Clamp();
+}
+
+void Viewport::ZoomTo(const TimeInterval& window) {
+  if (window.empty()) return;
+  window_ = window;
+  Clamp();
+}
+
+void Viewport::Clamp() {
+  int64_t span = window_.duration_minutes();
+  span = std::clamp(span, kMinutesPerSlice, std::max(kMinutesPerSlice,
+                                                     full_.duration_minutes()));
+  TimePoint start = window_.start;
+  if (start < full_.start) start = full_.start;
+  if (full_.end < start + span) start = full_.end - span;
+  if (start < full_.start) start = full_.start;  // full extent shorter than span
+  window_ = TimeInterval(start, start + span);
+}
+
+TimePoint Viewport::TimeAt(const render::LinearScale& scale, double x) {
+  return TimePoint::FromMinutes(static_cast<int64_t>(std::llround(scale.Invert(x))));
+}
+
+}  // namespace flexvis::viz

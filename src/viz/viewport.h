@@ -1,0 +1,53 @@
+#ifndef FLEXVIS_VIZ_VIEWPORT_H_
+#define FLEXVIS_VIZ_VIEWPORT_H_
+
+#include "render/scale.h"
+#include "time/time_point.h"
+
+namespace flexvis::viz {
+
+/// The pan/zoom state of a time-axis view. The GUI tool binds mouse wheel
+/// and drag to these operations and re-renders the view with `window()` as
+/// the abscissa window — the views themselves stay stateless.
+class Viewport {
+ public:
+  /// `full` is the data extent; the viewport starts showing all of it.
+  explicit Viewport(timeutil::TimeInterval full) : full_(full), window_(full) {}
+
+  /// The currently visible window.
+  const timeutil::TimeInterval& window() const { return window_; }
+  /// The full data extent the viewport clamps to.
+  const timeutil::TimeInterval& full_extent() const { return full_; }
+
+  /// Visible fraction of the full extent, in (0, 1].
+  double ZoomLevel() const;
+
+  /// Zooms by `factor` around `anchor` (factor > 1 zooms in). The anchor
+  /// keeps its on-screen position, as wheel-zoom users expect. The window
+  /// clamps to the full extent and never shrinks below one slice.
+  void Zoom(double factor, timeutil::TimePoint anchor);
+
+  /// Shifts the window by `minutes` (positive = later), clamped so the
+  /// window never leaves the full extent.
+  void Pan(int64_t minutes);
+
+  /// Zooms to exactly `window` (clamped to the full extent).
+  void ZoomTo(const timeutil::TimeInterval& window);
+
+  /// Back to the full extent.
+  void Reset() { window_ = full_; }
+
+  /// Maps a canvas x coordinate back to a time point under `scale` (used to
+  /// turn a click into a Zoom anchor).
+  static timeutil::TimePoint TimeAt(const render::LinearScale& scale, double x);
+
+ private:
+  void Clamp();
+
+  timeutil::TimeInterval full_;
+  timeutil::TimeInterval window_;
+};
+
+}  // namespace flexvis::viz
+
+#endif  // FLEXVIS_VIZ_VIEWPORT_H_

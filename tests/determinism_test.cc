@@ -1,0 +1,186 @@
+// Cross-cutting determinism and filter-helper tests: every view renders
+// bit-identically given the same inputs (a requirement for reproducible
+// figure regeneration), and the geographic/topological filter helpers drive
+// the Section-3 "select data for a spatial/topological object" requirement.
+
+#include <gtest/gtest.h>
+
+#include "olap/dimension.h"
+#include "render/raster_canvas.h"
+#include "sim/enterprise.h"
+#include "sim/workload.h"
+#include "viz/balancing_view.h"
+#include "viz/basic_view.h"
+#include "viz/dashboard_view.h"
+#include "viz/map_view.h"
+#include "viz/pivot_offers_view.h"
+#include "viz/profile_view.h"
+#include "viz/schematic_view.h"
+
+namespace flexvis {
+namespace {
+
+using timeutil::TimeInterval;
+using timeutil::TimePoint;
+
+TimePoint T0() { return TimePoint::FromCalendarOrDie(2013, 2, 1, 0, 0); }
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new World();
+    world_->atlas = geo::Atlas::MakeDenmark();
+    world_->topology = grid::GridTopology::MakeRadial(2, 2, 2, 3);
+    ASSERT_TRUE(world_->atlas.RegisterWithDatabase(world_->db).ok());
+    ASSERT_TRUE(world_->topology.RegisterWithDatabase(world_->db).ok());
+    sim::WorkloadGenerator generator(&world_->atlas, &world_->topology);
+    sim::WorkloadParams params;
+    params.seed = 515;
+    params.num_prosumers = 80;
+    params.horizon = TimeInterval(T0(), T0() + timeutil::kMinutesPerDay);
+    world_->workload = generator.Generate(params);
+    ASSERT_TRUE(
+        sim::WorkloadGenerator::LoadIntoDatabase(world_->workload, world_->db).ok());
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+
+  struct World {
+    geo::Atlas atlas;
+    grid::GridTopology topology = grid::GridTopology::MakeRadial(1, 1, 1, 1);
+    dw::Database db;
+    sim::Workload workload;
+  };
+  static World* world_;
+
+  static std::string Rasterize(const render::DisplayList& scene) {
+    render::RasterCanvas canvas(static_cast<int>(scene.width()),
+                                static_cast<int>(scene.height()));
+    scene.ReplayAll(canvas);
+    return canvas.ToPpm();
+  }
+};
+
+DeterminismTest::World* DeterminismTest::world_ = nullptr;
+
+TEST_F(DeterminismTest, BasicViewIsBitStable) {
+  std::string a = Rasterize(
+      *viz::RenderBasicView(world_->workload.offers, viz::BasicViewOptions{}).scene);
+  std::string b = Rasterize(
+      *viz::RenderBasicView(world_->workload.offers, viz::BasicViewOptions{}).scene);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(DeterminismTest, ProfileViewIsBitStable) {
+  std::string a = Rasterize(
+      *viz::RenderProfileView(world_->workload.offers, viz::ProfileViewOptions{}).scene);
+  std::string b = Rasterize(
+      *viz::RenderProfileView(world_->workload.offers, viz::ProfileViewOptions{}).scene);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(DeterminismTest, MapAndSchematicAreBitStable) {
+  std::string m1 = Rasterize(
+      *viz::RenderMapView(world_->workload.offers, world_->atlas, viz::MapViewOptions{})
+           .scene);
+  std::string m2 = Rasterize(
+      *viz::RenderMapView(world_->workload.offers, world_->atlas, viz::MapViewOptions{})
+           .scene);
+  EXPECT_EQ(m1, m2);
+  std::string s1 = Rasterize(*viz::RenderSchematicView(world_->workload.offers,
+                                                       world_->topology,
+                                                       viz::SchematicViewOptions{})
+                                  .scene);
+  std::string s2 = Rasterize(*viz::RenderSchematicView(world_->workload.offers,
+                                                       world_->topology,
+                                                       viz::SchematicViewOptions{})
+                                  .scene);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST_F(DeterminismTest, DashboardAndPivotOffersAreBitStable) {
+  std::string d1 = Rasterize(
+      *viz::RenderDashboardView(world_->workload.offers, viz::DashboardOptions{}).scene);
+  std::string d2 = Rasterize(
+      *viz::RenderDashboardView(world_->workload.offers, viz::DashboardOptions{}).scene);
+  EXPECT_EQ(d1, d2);
+  olap::Dimension dim = olap::MakeProsumerTypeDimension();
+  std::string p1 = Rasterize(*viz::RenderPivotOffersView(world_->workload.offers, dim,
+                                                         viz::PivotOffersViewOptions{})
+                                  .scene);
+  std::string p2 = Rasterize(*viz::RenderPivotOffersView(world_->workload.offers, dim,
+                                                         viz::PivotOffersViewOptions{})
+                                  .scene);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST_F(DeterminismTest, PlanningPipelineIsDeterministic) {
+  sim::Enterprise enterprise;
+  TimeInterval window(T0(), T0() + timeutil::kMinutesPerDay);
+  Result<sim::PlanningReport> a = enterprise.PlanHorizon(world_->workload.offers, window);
+  Result<sim::PlanningReport> b = enterprise.PlanHorizon(world_->workload.offers, window);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->imbalance_after_kwh, b->imbalance_after_kwh);
+  EXPECT_EQ(a->settlement.total_cost_eur, b->settlement.total_cost_eur);
+  EXPECT_TRUE(a->planned_flexible_load == b->planned_flexible_load);
+  std::string fig1_a =
+      Rasterize(*viz::RenderBalancingView(*a, viz::BalancingViewOptions{}).scene);
+  std::string fig1_b =
+      Rasterize(*viz::RenderBalancingView(*b, viz::BalancingViewOptions{}).scene);
+  EXPECT_EQ(fig1_a, fig1_b);
+}
+
+// ---- Filter helpers -----------------------------------------------------------
+
+TEST_F(DeterminismTest, RegionFilterSelectsSubtree) {
+  core::RegionId west = world_->atlas.FindByName("West Denmark")->id;
+  Result<dw::FlexOfferFilter> filter = dw::MakeRegionFilter(world_->db, west);
+  ASSERT_TRUE(filter.ok());
+  Result<std::vector<core::FlexOffer>> selected = world_->db.SelectFlexOffers(*filter);
+  ASSERT_TRUE(selected.ok());
+  // Every selected offer is in a west city; the count matches a hand count.
+  std::vector<core::RegionId> west_ids = world_->db.RegionSubtree(west);
+  size_t expected = 0;
+  for (const core::FlexOffer& o : world_->workload.offers) {
+    for (core::RegionId id : west_ids) {
+      if (o.region == id) {
+        ++expected;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(selected->size(), expected);
+  EXPECT_GT(expected, 0u);
+  EXPECT_FALSE(dw::MakeRegionFilter(world_->db, 987654).ok());
+}
+
+TEST_F(DeterminismTest, GridFilterSelectsTransmissionSubtree) {
+  // "for a particular 110kV transmission line": filter under TS-01.
+  core::GridNodeId ts01 = core::kInvalidGridNodeId;
+  for (const grid::GridNode& n : world_->topology.nodes()) {
+    if (n.name == "TS-01") ts01 = n.id;
+  }
+  ASSERT_NE(ts01, core::kInvalidGridNodeId);
+  Result<dw::FlexOfferFilter> filter = dw::MakeGridFilter(world_->db, ts01);
+  ASSERT_TRUE(filter.ok());
+  Result<std::vector<core::FlexOffer>> selected = world_->db.SelectFlexOffers(*filter);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_GT(selected->size(), 0u);
+  EXPECT_LT(selected->size(), world_->workload.offers.size());
+  // Every selected offer hangs under TS-01.
+  std::vector<core::GridNodeId> subtree = world_->db.GridSubtree(ts01);
+  for (const core::FlexOffer& o : *selected) {
+    bool under = false;
+    for (core::GridNodeId id : subtree) {
+      if (o.grid_node == id) under = true;
+    }
+    EXPECT_TRUE(under);
+  }
+  EXPECT_FALSE(dw::MakeGridFilter(world_->db, 987654).ok());
+}
+
+}  // namespace
+}  // namespace flexvis

@@ -1,0 +1,413 @@
+// Tests for the paper's announced extensions implemented beyond the tool's
+// Section-4 subset: the pivot-offers swimlane integration ("the basic and
+// the detailed views will be integrated into the pivot view") and the
+// alerting platform ("alerts about expected shortages or over-capacities and
+// an option to drill down").
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "olap/mdx.h"
+#include "sim/alerts.h"
+#include "sim/workload.h"
+#include "util/rng.h"
+#include "viz/map_view.h"
+#include "viz/pivot_offers_view.h"
+
+namespace flexvis {
+namespace {
+
+using core::FlexOffer;
+using core::ProfileSlice;
+using timeutil::kMinutesPerSlice;
+using timeutil::TimeInterval;
+using timeutil::TimePoint;
+
+TimePoint T0() { return TimePoint::FromCalendarOrDie(2013, 1, 15, 0, 0); }
+
+FlexOffer MakeOffer(core::FlexOfferId id, core::ApplianceType appliance, int64_t est_slices) {
+  FlexOffer o;
+  o.id = id;
+  o.prosumer = id;
+  o.appliance_type = appliance;
+  o.earliest_start = T0() + est_slices * kMinutesPerSlice;
+  o.latest_start = o.earliest_start + 4 * kMinutesPerSlice;
+  o.creation_time = o.earliest_start - 600;
+  o.acceptance_deadline = o.creation_time + 60;
+  o.assignment_deadline = o.creation_time + 120;
+  o.profile = {ProfileSlice{2, 1.0, 2.0}};
+  return o;
+}
+
+// ---- Pivot-offers view -----------------------------------------------------------
+
+TEST(PivotOffersViewTest, ClassifiesOffersOntoMembers) {
+  std::vector<FlexOffer> offers;
+  for (int i = 0; i < 6; ++i) {
+    offers.push_back(MakeOffer(i + 1, core::ApplianceType::kElectricVehicle, i));
+  }
+  for (int i = 0; i < 3; ++i) {
+    offers.push_back(MakeOffer(i + 10, core::ApplianceType::kHeatPump, i));
+  }
+  olap::Dimension dim = olap::MakeApplianceTypeDimension();
+  viz::PivotOffersViewOptions options;
+  options.aggregation.est_tolerance_minutes = 0;
+  options.aggregation.tft_tolerance_minutes = 0;
+  viz::PivotOffersViewResult result = viz::RenderPivotOffersView(offers, dim, options);
+  ASSERT_NE(result.scene, nullptr);
+  ASSERT_EQ(result.lanes.size(), 2u);  // empty appliance lanes dropped
+  EXPECT_EQ(result.lanes[0].label, "ElectricVehicle");
+  EXPECT_EQ(result.lanes[0].raw_count, 6u);
+  EXPECT_EQ(result.lanes[1].label, "HeatPump");
+  EXPECT_EQ(result.lanes[1].raw_count, 3u);
+  // Zero tolerances with distinct ESTs: no reduction.
+  EXPECT_EQ(result.lanes[0].shown_count, 6u);
+}
+
+TEST(PivotOffersViewTest, PerLaneAggregationReducesShownCount) {
+  std::vector<FlexOffer> offers;
+  for (int i = 0; i < 20; ++i) {
+    offers.push_back(MakeOffer(i + 1, core::ApplianceType::kElectricVehicle, i % 4));
+  }
+  olap::Dimension dim = olap::MakeApplianceTypeDimension();
+  viz::PivotOffersViewOptions options;
+  options.aggregation.est_tolerance_minutes = 240;
+  options.aggregation.tft_tolerance_minutes = 240;
+  viz::PivotOffersViewResult result = viz::RenderPivotOffersView(offers, dim, options);
+  ASSERT_EQ(result.lanes.size(), 1u);
+  EXPECT_EQ(result.lanes[0].raw_count, 20u);
+  EXPECT_LT(result.lanes[0].shown_count, 20u);
+  // The drawn aggregates carry tags for hover/selection.
+  bool tagged = false;
+  for (const render::DisplayItem& item : result.scene->items()) {
+    if (item.tag >= 2'000'000'000) tagged = true;
+  }
+  EXPECT_TRUE(tagged);
+}
+
+TEST(PivotOffersViewTest, KeepsEmptyLanesWhenAsked) {
+  std::vector<FlexOffer> offers = {MakeOffer(1, core::ApplianceType::kHeatPump, 0)};
+  olap::Dimension dim = olap::MakeApplianceTypeDimension();
+  viz::PivotOffersViewOptions options;
+  options.drop_empty_lanes = false;
+  viz::PivotOffersViewResult result = viz::RenderPivotOffersView(offers, dim, options);
+  EXPECT_EQ(result.lanes.size(), static_cast<size_t>(core::kNumApplianceTypes));
+}
+
+TEST(PivotOffersViewTest, RoleLevelGroupsViaLeafExtension) {
+  std::vector<FlexOffer> offers;
+  FlexOffer household = MakeOffer(1, core::ApplianceType::kHeatPump, 0);
+  household.prosumer_type = core::ProsumerType::kHousehold;
+  FlexOffer plant = MakeOffer(2, core::ApplianceType::kGenerator, 2);
+  plant.prosumer_type = core::ProsumerType::kLargePowerPlant;
+  offers = {household, plant};
+  olap::Dimension dim = olap::MakeProsumerTypeDimension();
+  viz::PivotOffersViewOptions options;
+  options.level = 1;  // Consumer / Producer
+  viz::PivotOffersViewResult result = viz::RenderPivotOffersView(offers, dim, options);
+  ASSERT_EQ(result.lanes.size(), 2u);
+  EXPECT_EQ(result.lanes[0].label, "Consumer");
+  EXPECT_EQ(result.lanes[0].raw_count, 1u);
+  EXPECT_EQ(result.lanes[1].label, "Producer");
+}
+
+TEST(PivotOffersViewTest, DimensionValueOfCoversStandardColumns) {
+  FlexOffer o = MakeOffer(1, core::ApplianceType::kDishwasher, 0);
+  o.state = core::FlexOfferState::kAccepted;
+  o.region = 42;
+  o.grid_node = 9;
+  EXPECT_EQ(*viz::DimensionValueOf(o, olap::MakeStateDimension()),
+            static_cast<int64_t>(core::FlexOfferState::kAccepted));
+  EXPECT_EQ(*viz::DimensionValueOf(o, olap::MakeApplianceTypeDimension()),
+            static_cast<int64_t>(core::ApplianceType::kDishwasher));
+  EXPECT_EQ(*viz::DimensionValueOf(o, olap::MakeProsumerTypeDimension()),
+            static_cast<int64_t>(o.prosumer_type));
+  EXPECT_EQ(*viz::DimensionValueOf(o, olap::MakeEnergyTypeDimension()),
+            static_cast<int64_t>(o.energy_type));
+  EXPECT_EQ(*viz::DimensionValueOf(o, olap::MakeDirectionDimension()), 0);
+  olap::Dimension bogus("X", "no_such_column", {"All"});
+  EXPECT_FALSE(viz::DimensionValueOf(o, bogus).ok());
+}
+
+TEST(PivotOffersViewTest, EmptyOffersRenderEmptyFrame) {
+  olap::Dimension dim = olap::MakeStateDimension();
+  viz::PivotOffersViewResult result =
+      viz::RenderPivotOffersView({}, dim, viz::PivotOffersViewOptions{});
+  ASSERT_NE(result.scene, nullptr);
+  EXPECT_TRUE(result.lanes.empty());
+}
+
+TEST(MapViewDrillTest, RegionLevelRollsUpLeafCounts) {
+  geo::Atlas atlas = geo::Atlas::MakeDenmark();
+  std::vector<FlexOffer> offers;
+  // 3 offers in Aalborg (west), 2 in Copenhagen (east).
+  core::RegionId aalborg = atlas.FindByName("Aalborg")->id;
+  core::RegionId copenhagen = atlas.FindByName("Copenhagen")->id;
+  for (int i = 0; i < 3; ++i) {
+    FlexOffer o = MakeOffer(i + 1, core::ApplianceType::kHeatPump, i);
+    o.region = aalborg;
+    offers.push_back(o);
+  }
+  for (int i = 0; i < 2; ++i) {
+    FlexOffer o = MakeOffer(i + 10, core::ApplianceType::kHeatPump, i);
+    o.region = copenhagen;
+    offers.push_back(o);
+  }
+  viz::MapViewOptions options;
+  options.level = "region";
+  viz::MapViewResult result = viz::RenderMapView(offers, atlas, options);
+  ASSERT_EQ(result.region_ids.size(), 2u);  // West Denmark, East Denmark
+  std::map<core::RegionId, int64_t> counts;
+  for (size_t i = 0; i < result.region_ids.size(); ++i) {
+    counts[result.region_ids[i]] = result.region_counts[i];
+  }
+  EXPECT_EQ(counts[atlas.FindByName("West Denmark")->id], 3);
+  EXPECT_EQ(counts[atlas.FindByName("East Denmark")->id], 2);
+
+  // Unknown level falls back to the leaves.
+  viz::MapViewOptions bogus;
+  bogus.level = "galaxy";
+  EXPECT_EQ(viz::RenderMapView(offers, atlas, bogus).region_ids.size(), 5u);
+}
+
+// ---- Alerts -----------------------------------------------------------------------
+
+sim::PlanningReport MakeReportWithResidual(const std::vector<double>& residual,
+                                           const std::vector<double>& deviation = {}) {
+  sim::PlanningReport report;
+  report.window = TimeInterval(
+      T0(), T0() + static_cast<int64_t>(residual.size()) * kMinutesPerSlice);
+  // Encode the residual as inflexible demand against zero production/flex.
+  report.inflexible_demand = core::TimeSeries(T0(), residual);
+  report.res_production = core::TimeSeries(T0(), residual.size());
+  report.planned_flexible_load = core::TimeSeries(T0(), residual.size());
+  report.deviation =
+      deviation.empty() ? core::TimeSeries(T0(), residual.size())
+                        : core::TimeSeries(T0(), deviation);
+  return report;
+}
+
+TEST(AlertEngineTest, DetectsShortageRun) {
+  // Residual: quiet, then 3 slices of 100 kWh shortage, then quiet.
+  std::vector<double> residual = {0, 0, 100, 100, 100, 0, 0, 0};
+  sim::AlertParams params;
+  params.shortage_threshold_kwh = 50.0;
+  params.min_consecutive_slices = 2;
+  std::vector<sim::Alert> alerts = sim::AlertEngine(params).Scan(MakeReportWithResidual(residual));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, sim::AlertKind::kShortage);
+  EXPECT_EQ(alerts[0].interval.start, T0() + 2 * kMinutesPerSlice);
+  EXPECT_EQ(alerts[0].interval.end, T0() + 5 * kMinutesPerSlice);
+  EXPECT_DOUBLE_EQ(alerts[0].magnitude_kwh, 300.0);
+  EXPECT_DOUBLE_EQ(alerts[0].peak_kwh, 100.0);
+  EXPECT_NEAR(alerts[0].severity, 0.5, 1e-9);  // 100 / (4 * 50)
+  EXPECT_NE(alerts[0].message.find("shortage"), std::string::npos);
+}
+
+TEST(AlertEngineTest, DetectsOverCapacity) {
+  std::vector<double> residual = {-120, -120, -120, 0};
+  sim::AlertParams params;
+  params.overcapacity_threshold_kwh = 60.0;
+  std::vector<sim::Alert> alerts =
+      sim::AlertEngine(params).Scan(MakeReportWithResidual(residual));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, sim::AlertKind::kOverCapacity);
+  EXPECT_DOUBLE_EQ(alerts[0].peak_kwh, 120.0);
+}
+
+TEST(AlertEngineTest, ShortRunsAreFiltered) {
+  std::vector<double> residual = {0, 100, 0, 100, 0};  // isolated single slices
+  sim::AlertParams params;
+  params.shortage_threshold_kwh = 50.0;
+  params.min_consecutive_slices = 2;
+  EXPECT_TRUE(sim::AlertEngine(params).Scan(MakeReportWithResidual(residual)).empty());
+  params.min_consecutive_slices = 1;
+  EXPECT_EQ(sim::AlertEngine(params).Scan(MakeReportWithResidual(residual)).size(), 2u);
+}
+
+TEST(AlertEngineTest, DeviationAlertsUseAbsoluteValue) {
+  std::vector<double> residual(6, 0.0);
+  std::vector<double> deviation = {0, -40, -40, 40, 40, 0};
+  sim::AlertParams params;
+  params.deviation_threshold_kwh = 25.0;
+  std::vector<sim::Alert> alerts =
+      sim::AlertEngine(params).Scan(MakeReportWithResidual(residual, deviation));
+  ASSERT_EQ(alerts.size(), 1u);  // |dev| > 25 for 4 consecutive slices
+  EXPECT_EQ(alerts[0].kind, sim::AlertKind::kPlanDeviation);
+  EXPECT_EQ(alerts[0].interval.duration_minutes(), 4 * kMinutesPerSlice);
+}
+
+TEST(AlertEngineTest, SeverityClampsAtOne) {
+  std::vector<double> residual = {1000, 1000};
+  sim::AlertParams params;
+  params.shortage_threshold_kwh = 10.0;
+  std::vector<sim::Alert> alerts =
+      sim::AlertEngine(params).Scan(MakeReportWithResidual(residual));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_DOUBLE_EQ(alerts[0].severity, 1.0);
+}
+
+TEST(AlertEngineTest, AlertsOrderedByStart) {
+  std::vector<double> residual = {100, 100, 0, 0, -100, -100, 0, 100, 100};
+  sim::AlertParams params;
+  params.shortage_threshold_kwh = 50.0;
+  params.overcapacity_threshold_kwh = 50.0;
+  std::vector<sim::Alert> alerts =
+      sim::AlertEngine(params).Scan(MakeReportWithResidual(residual));
+  ASSERT_EQ(alerts.size(), 3u);
+  EXPECT_LE(alerts[0].interval.start, alerts[1].interval.start);
+  EXPECT_LE(alerts[1].interval.start, alerts[2].interval.start);
+}
+
+TEST(AlertDrillDownTest, FindsContributingOffers) {
+  dw::Database db;
+  // Two offers inside the alert window, one far away.
+  FlexOffer inside1 = MakeOffer(1, core::ApplianceType::kElectricVehicle, 0);
+  inside1.schedule = core::Schedule{inside1.earliest_start, {2.0, 2.0}};
+  inside1.state = core::FlexOfferState::kAssigned;
+  FlexOffer inside2 = MakeOffer(2, core::ApplianceType::kHeatPump, 1);
+  FlexOffer outside = MakeOffer(3, core::ApplianceType::kDishwasher, 500);
+  ASSERT_TRUE(db.LoadFlexOffers({inside1, inside2, outside}).ok());
+
+  sim::Alert alert;
+  alert.kind = sim::AlertKind::kShortage;
+  alert.interval = TimeInterval(T0(), T0() + 8 * kMinutesPerSlice);
+  Result<sim::AlertDrillDown> drill = sim::DrillDownAlert(alert, db);
+  ASSERT_TRUE(drill.ok()) << drill.status().ToString();
+  EXPECT_EQ(drill->offers.size(), 2u);
+  EXPECT_EQ(drill->states.total(), 2);
+  // The scheduled offer contributes more energy, so it ranks first.
+  ASSERT_FALSE(drill->top_contributors.empty());
+  EXPECT_EQ(drill->top_contributors[0], 1);
+  EXPECT_LE(drill->top_contributors.size(), 2u);
+
+  sim::Alert empty;
+  EXPECT_FALSE(sim::DrillDownAlert(empty, db).ok());
+}
+
+TEST(AlertDrillDownTest, EndToEndOverPlanningRun) {
+  geo::Atlas atlas = geo::Atlas::MakeDenmark();
+  grid::GridTopology topology = grid::GridTopology::MakeRadial(2, 2, 2, 3);
+  dw::Database db;
+  ASSERT_TRUE(atlas.RegisterWithDatabase(db).ok());
+  ASSERT_TRUE(topology.RegisterWithDatabase(db).ok());
+  sim::WorkloadGenerator generator(&atlas, &topology);
+  sim::WorkloadParams wparams;
+  wparams.seed = 5;
+  wparams.num_prosumers = 80;
+  wparams.horizon = TimeInterval(T0(), T0() + timeutil::kMinutesPerDay);
+  sim::Workload workload = generator.Generate(wparams);
+  ASSERT_TRUE(sim::WorkloadGenerator::LoadIntoDatabase(workload, db).ok());
+
+  sim::Enterprise enterprise;
+  Result<sim::PlanningReport> report = enterprise.RunDayAhead(db, wparams.horizon);
+  ASSERT_TRUE(report.ok());
+
+  sim::AlertParams params;
+  params.shortage_threshold_kwh = 20.0;
+  params.overcapacity_threshold_kwh = 20.0;
+  params.deviation_threshold_kwh = 5.0;
+  std::vector<sim::Alert> alerts = sim::AlertEngine(params).Scan(*report);
+  // The default world has evening deficits, so at least one alert exists.
+  ASSERT_FALSE(alerts.empty());
+  for (const sim::Alert& alert : alerts) {
+    Result<sim::AlertDrillDown> drill = sim::DrillDownAlert(alert, db, 5);
+    ASSERT_TRUE(drill.ok());
+    EXPECT_LE(drill->top_contributors.size(), 5u);
+    // Every listed contributor is one of the drill-down offers.
+    for (core::FlexOfferId id : drill->top_contributors) {
+      bool found = false;
+      for (const FlexOffer& o : drill->offers) {
+        if (o.id == id) found = true;
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+// ---- Robustness: the MDX parser never crashes on garbage ---------------------------
+
+class MdxFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MdxFuzzTest, GarbageNeverCrashes) {
+  dw::Database db;
+  olap::Cube cube(&db);
+  ASSERT_TRUE(cube.AddStandardDimensions().ok());
+  Rng rng(GetParam());
+  const char* fragments[] = {"SELECT", "{", "}", "ON", "COLUMNS", "ROWS", "FROM",
+                             "[FlexOffers]", "WHERE", "(", ")", ",", ".", "Measures",
+                             "Count", "State", "[Accepted]", "Time", "[2013-01-01 :",
+                             "Members", "xyz", "[", "]", "Prosumer"};
+  for (int round = 0; round < 60; ++round) {
+    std::string query;
+    int parts = static_cast<int>(rng.UniformInt(1, 18));
+    for (int i = 0; i < parts; ++i) {
+      query += fragments[rng.UniformInt(0, std::size(fragments) - 1)];
+      query += ' ';
+    }
+    // Must not crash; almost always returns an error, occasionally parses.
+    Result<olap::CubeQuery> result = olap::ParseMdx(query, cube);
+    if (result.ok()) {
+      // Whatever parsed must also evaluate or fail cleanly.
+      (void)cube.Evaluate(*result);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MdxFuzzTest, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---- Robustness: DW round-trip over random workloads --------------------------------
+
+class WarehouseRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WarehouseRoundTripTest, SelectAllReconstructsExactOffers) {
+  geo::Atlas atlas = geo::Atlas::MakeDenmark();
+  grid::GridTopology topology = grid::GridTopology::MakeRadial(2, 1, 2, 2);
+  dw::Database db;
+  ASSERT_TRUE(atlas.RegisterWithDatabase(db).ok());
+  ASSERT_TRUE(topology.RegisterWithDatabase(db).ok());
+  sim::WorkloadGenerator generator(&atlas, &topology);
+  sim::WorkloadParams params;
+  params.seed = GetParam();
+  params.num_prosumers = 30;
+  params.horizon = TimeInterval(T0(), T0() + timeutil::kMinutesPerDay);
+  sim::Workload workload = generator.Generate(params);
+  ASSERT_TRUE(sim::WorkloadGenerator::LoadIntoDatabase(workload, db).ok());
+
+  Result<std::vector<FlexOffer>> restored = db.SelectFlexOffers(dw::FlexOfferFilter{});
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), workload.offers.size());
+  std::vector<FlexOffer> sorted = workload.offers;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const FlexOffer& a, const FlexOffer& b) { return a.id < b.id; });
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const FlexOffer& a = sorted[i];
+    const FlexOffer& b = (*restored)[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.prosumer, b.prosumer);
+    EXPECT_EQ(a.region, b.region);
+    EXPECT_EQ(a.grid_node, b.grid_node);
+    EXPECT_EQ(a.state, b.state);
+    EXPECT_EQ(a.direction, b.direction);
+    EXPECT_EQ(a.earliest_start, b.earliest_start);
+    EXPECT_EQ(a.latest_start, b.latest_start);
+    EXPECT_EQ(a.creation_time, b.creation_time);
+    // The DW stores unit slices and reconstructs a canonical RLE form, so
+    // compare the expanded profiles (semantically equal, maybe re-chunked).
+    EXPECT_EQ(a.UnitProfile(), b.UnitProfile());
+    ASSERT_EQ(a.schedule.has_value(), b.schedule.has_value());
+    if (a.schedule.has_value()) {
+      EXPECT_EQ(a.schedule->start, b.schedule->start);
+      ASSERT_EQ(a.schedule->energy_kwh.size(), b.schedule->energy_kwh.size());
+      for (size_t k = 0; k < a.schedule->energy_kwh.size(); ++k) {
+        EXPECT_NEAR(a.schedule->energy_kwh[k], b.schedule->energy_kwh[k], 1e-12);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WarehouseRoundTripTest, ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace flexvis

@@ -1,0 +1,176 @@
+// Failure-injection and edge-condition coverage: I/O failures, degenerate
+// geometry, pathological inputs, and the error paths of the fallible APIs.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/aggregation.h"
+#include "core/scheduler.h"
+#include "render/raster_canvas.h"
+#include "render/svg_canvas.h"
+#include "sim/forecaster.h"
+#include "viz/basic_view.h"
+#include "viz/dashboard_view.h"
+#include "viz/profile_view.h"
+
+namespace flexvis {
+namespace {
+
+using core::FlexOffer;
+using core::ProfileSlice;
+using timeutil::kMinutesPerSlice;
+using timeutil::TimePoint;
+
+TimePoint T0() { return TimePoint::FromCalendarOrDie(2013, 1, 15, 0, 0); }
+
+// ---- File I/O failures --------------------------------------------------------
+
+TEST(FileIoFailureTest, SvgWriteToUnwritablePathFails) {
+  render::SvgCanvas svg(10, 10);
+  Status status = svg.WriteToFile("/nonexistent_dir_xyz/out.svg");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(FileIoFailureTest, RasterWriteToUnwritablePathFails) {
+  render::RasterCanvas canvas(4, 4);
+  EXPECT_FALSE(canvas.WriteToFile("/nonexistent_dir_xyz/out.ppm").ok());
+}
+
+TEST(FileIoFailureTest, SuccessfulWritesRoundTrip) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "flexvis_failure_test";
+  fs::create_directories(dir);
+  render::RasterCanvas canvas(4, 4);
+  canvas.Clear(render::Color(1, 2, 3));
+  std::string path = (dir / "tiny.ppm").string();
+  ASSERT_TRUE(canvas.WriteToFile(path).ok());
+  EXPECT_EQ(fs::file_size(path), canvas.ToPpm().size());
+}
+
+// ---- Degenerate rendering inputs ------------------------------------------------
+
+TEST(DegenerateRenderTest, ZeroAndNegativeSizedCanvases) {
+  render::RasterCanvas canvas(0, -5);  // clamped to 1x1
+  EXPECT_EQ(canvas.pixel_width(), 1);
+  EXPECT_EQ(canvas.pixel_height(), 1);
+  canvas.DrawRect(render::Rect{-10, -10, 100, 100}, render::Style::Fill(render::Color(9, 9, 9)));
+  EXPECT_EQ(canvas.GetPixel(0, 0), render::Color(9, 9, 9));
+}
+
+TEST(DegenerateRenderTest, PrimitivesWithTooFewPoints) {
+  render::RasterCanvas canvas(10, 10);
+  canvas.DrawPolygon({}, render::Style::Fill(render::Color(1, 1, 1)));
+  canvas.DrawPolygon({{1, 1}, {2, 2}}, render::Style::Fill(render::Color(1, 1, 1)));
+  canvas.DrawPolyline({{1, 1}}, render::Style::Stroke(render::Color(1, 1, 1)));
+  canvas.DrawPieSlice({5, 5}, 3.0, 0.0, 0.0, render::Style::Fill(render::Color(1, 1, 1)));
+  canvas.DrawPieSlice({5, 5}, -1.0, 0.0, 90.0, render::Style::Fill(render::Color(1, 1, 1)));
+  // Nothing crashed and nothing was drawn.
+  EXPECT_EQ(canvas.CountPixels(render::Color(1, 1, 1)), 0u);
+}
+
+TEST(DegenerateRenderTest, OffCanvasDrawingIsClipped) {
+  render::RasterCanvas canvas(10, 10);
+  canvas.DrawLine({-100, -100}, {-50, -50}, render::Style::Stroke(render::Color(1, 1, 1)));
+  canvas.DrawRect(render::Rect{50, 50, 10, 10}, render::Style::Fill(render::Color(1, 1, 1)));
+  canvas.DrawText({-500, 5}, "off", render::TextStyle{});
+  EXPECT_EQ(canvas.CountPixels(render::Color(1, 1, 1)), 0u);
+}
+
+TEST(DegenerateRenderTest, PopClipWithoutPushIsNoOp) {
+  render::RasterCanvas canvas(10, 10);
+  canvas.PopClip();
+  canvas.DrawRect(render::Rect{0, 0, 10, 10}, render::Style::Fill(render::Color(1, 1, 1)));
+  EXPECT_EQ(canvas.CountPixels(render::Color(1, 1, 1)), 100u);
+}
+
+// ---- Views under pathological offer sets ---------------------------------------
+
+FlexOffer MakeOffer(core::FlexOfferId id, int64_t est_slices, int profile_slices) {
+  FlexOffer o;
+  o.id = id;
+  o.earliest_start = T0() + est_slices * kMinutesPerSlice;
+  o.latest_start = o.earliest_start;
+  o.creation_time = o.earliest_start - 600;
+  o.acceptance_deadline = o.creation_time + 60;
+  o.assignment_deadline = o.creation_time + 120;
+  o.profile = {ProfileSlice{profile_slices, 1.0, 1.0}};
+  return o;
+}
+
+TEST(PathologicalViewTest, IdenticalOffersStackWithoutCrashing) {
+  std::vector<FlexOffer> offers;
+  for (int i = 0; i < 200; ++i) offers.push_back(MakeOffer(i + 1, 0, 4));
+  viz::BasicViewResult view = viz::RenderBasicView(offers, viz::BasicViewOptions{});
+  EXPECT_EQ(view.layout.lane_count, 200);
+  viz::ProfileViewResult profile = viz::RenderProfileView(offers, viz::ProfileViewOptions{});
+  ASSERT_NE(profile.scene, nullptr);
+}
+
+TEST(PathologicalViewTest, ZeroEnergyOffersRender) {
+  FlexOffer zero = MakeOffer(1, 0, 2);
+  zero.profile = {ProfileSlice{2, 0.0, 0.0}};
+  viz::ProfileViewResult view = viz::RenderProfileView({zero}, viz::ProfileViewOptions{});
+  EXPECT_GT(view.max_energy_kwh, 0.0);  // pretty scale still has a span
+}
+
+TEST(PathologicalViewTest, HugeTimeSpanStillTicks) {
+  std::vector<FlexOffer> offers = {MakeOffer(1, 0, 2), MakeOffer(2, 365 * 96, 2)};
+  viz::BasicViewResult view = viz::RenderBasicView(offers, viz::BasicViewOptions{});
+  ASSERT_NE(view.scene, nullptr);
+  EXPECT_GE(view.window.duration_minutes(), 365 * timeutil::kMinutesPerDay);
+}
+
+TEST(PathologicalViewTest, DashboardWithoutRelevantStates) {
+  std::vector<FlexOffer> offers = {MakeOffer(1, 0, 2)};  // kOffered only
+  viz::DashboardResult result = viz::RenderDashboardView(offers, viz::DashboardOptions{});
+  EXPECT_EQ(result.counts[core::FlexOfferState::kOffered], 1);
+  EXPECT_DOUBLE_EQ(result.scheduled_energy_kwh, 0.0);
+}
+
+// ---- Algorithm edge conditions ---------------------------------------------------
+
+TEST(AlgorithmEdgeTest, SchedulerWithEmptyInputsAndTargets) {
+  core::ScheduleResult empty = core::Scheduler().Plan({}, core::TimeSeries());
+  EXPECT_EQ(empty.accepted, 0);
+  EXPECT_DOUBLE_EQ(empty.imbalance_before_kwh, 0.0);
+
+  // Offers but an empty target: everything clamps to minimum energy.
+  std::vector<FlexOffer> offers = {MakeOffer(1, 0, 2)};
+  core::ScheduleResult plan = core::Scheduler().Plan(offers, core::TimeSeries());
+  EXPECT_EQ(plan.accepted, 1);
+  EXPECT_TRUE(core::Validate(plan.offers[0]).ok());
+}
+
+TEST(AlgorithmEdgeTest, AggregatorWithEmptyInput) {
+  core::FlexOfferId next_id = 1;
+  core::AggregationResult result =
+      core::Aggregator(core::AggregationParams{}).Aggregate({}, &next_id);
+  EXPECT_TRUE(result.aggregates.empty());
+  EXPECT_EQ(next_id, 1);
+}
+
+TEST(AlgorithmEdgeTest, ForecasterWithEmptyHistory) {
+  sim::SeasonalNaiveForecaster naive(96);
+  core::TimeSeries forecast = naive.Forecast(core::TimeSeries(), 8);
+  EXPECT_EQ(forecast.size(), 8u);
+  EXPECT_DOUBLE_EQ(forecast.Total(), 0.0);
+  sim::HoltWintersForecaster hw(96);
+  EXPECT_EQ(hw.Forecast(core::TimeSeries(), 8).size(), 8u);
+}
+
+TEST(AlgorithmEdgeTest, ScheduleRespectsBoundsUnderExtremeTargets) {
+  FlexOffer offer = MakeOffer(1, 0, 4);
+  offer.profile = {ProfileSlice{4, 0.5, 1.5}};
+  core::TimeSeries huge(T0(), std::vector<double>(8, 1e9));
+  core::ScheduleResult plan = core::Scheduler().Plan({offer}, huge);
+  ASSERT_TRUE(plan.offers[0].schedule.has_value());
+  for (double e : plan.offers[0].schedule->energy_kwh) EXPECT_DOUBLE_EQ(e, 1.5);
+  core::TimeSeries negative(T0(), std::vector<double>(8, -1e9));
+  plan = core::Scheduler().Plan({offer}, negative);
+  for (double e : plan.offers[0].schedule->energy_kwh) EXPECT_DOUBLE_EQ(e, 0.5);
+}
+
+}  // namespace
+}  // namespace flexvis

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "geo/atlas.h"
+#include "geo/geometry.h"
+#include "grid/topology.h"
+#include "olap/dimension.h"
+
+namespace flexvis {
+namespace {
+
+using geo::Atlas;
+using geo::GeoPoint;
+using geo::Polygon;
+
+// ---- Geometry -------------------------------------------------------------------
+
+TEST(PolygonTest, ContainsSquare) {
+  Polygon square({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  EXPECT_TRUE(square.Contains(GeoPoint{5, 5}));
+  EXPECT_FALSE(square.Contains(GeoPoint{15, 5}));
+  EXPECT_FALSE(square.Contains(GeoPoint{-1, 5}));
+  EXPECT_FALSE(square.Contains(GeoPoint{5, 11}));
+}
+
+TEST(PolygonTest, ContainsConcave) {
+  // A "U" shape: the notch is outside.
+  Polygon u({{0, 0}, {9, 0}, {9, 9}, {6, 9}, {6, 3}, {3, 3}, {3, 9}, {0, 9}});
+  EXPECT_TRUE(u.Contains(GeoPoint{1.5, 5}));
+  EXPECT_TRUE(u.Contains(GeoPoint{7.5, 5}));
+  EXPECT_FALSE(u.Contains(GeoPoint{4.5, 6}));  // inside the notch
+  EXPECT_TRUE(u.Contains(GeoPoint{4.5, 1.5}));  // the bottom bar
+}
+
+TEST(PolygonTest, SignedAreaAndCentroid) {
+  Polygon ccw({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  EXPECT_DOUBLE_EQ(ccw.SignedArea(), 100.0);
+  GeoPoint c = ccw.Centroid();
+  EXPECT_NEAR(c.x, 5.0, 1e-9);
+  EXPECT_NEAR(c.y, 5.0, 1e-9);
+  Polygon cw({{0, 0}, {0, 10}, {10, 10}, {10, 0}});
+  EXPECT_DOUBLE_EQ(cw.SignedArea(), -100.0);
+}
+
+TEST(PolygonTest, DegenerateCases) {
+  Polygon empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(empty.Contains(GeoPoint{0, 0}));
+  EXPECT_DOUBLE_EQ(empty.SignedArea(), 0.0);
+  Polygon line({{0, 0}, {10, 0}});
+  EXPECT_TRUE(line.empty());
+  // Collinear polygon: centroid falls back to the vertex mean.
+  Polygon sliver({{0, 0}, {5, 0}, {10, 0}});
+  GeoPoint c = sliver.Centroid();
+  EXPECT_NEAR(c.x, 5.0, 1e-9);
+}
+
+TEST(PolygonTest, Bounds) {
+  Polygon p({{2, 3}, {8, 1}, {5, 9}});
+  geo::GeoBounds b = p.Bounds();
+  EXPECT_EQ(b.min_x, 2);
+  EXPECT_EQ(b.min_y, 1);
+  EXPECT_EQ(b.max_x, 8);
+  EXPECT_EQ(b.max_y, 9);
+  geo::GeoBounds u = b.Union(geo::GeoBounds{0, 0, 1, 20});
+  EXPECT_EQ(u.min_x, 0);
+  EXPECT_EQ(u.max_y, 20);
+}
+
+// ---- Atlas ----------------------------------------------------------------------
+
+TEST(AtlasTest, DenmarkStructure) {
+  Atlas atlas = Atlas::MakeDenmark();
+  EXPECT_EQ(atlas.regions().size(), 8u);  // country + 2 regions + 5 cities
+  EXPECT_EQ(atlas.Leaves().size(), 5u);   // the five histogram areas of Fig. 3
+  EXPECT_EQ(atlas.FindByName("Denmark")->level, "country");
+  EXPECT_EQ(atlas.FindByName("west denmark")->level, "region");  // case-insensitive
+  EXPECT_EQ(atlas.FindByName("Aalborg")->parent, atlas.FindByName("West Denmark")->id);
+  EXPECT_EQ(atlas.FindByName("Copenhagen")->parent, atlas.FindByName("East Denmark")->id);
+  EXPECT_FALSE(atlas.FindByName("Berlin").ok());
+  EXPECT_FALSE(atlas.Find(424242).ok());
+}
+
+TEST(AtlasTest, LocateLeafFindsCities) {
+  Atlas atlas = Atlas::MakeDenmark();
+  // A point in the middle of the Copenhagen box (74, 26)..(88, 40).
+  EXPECT_EQ(*atlas.LocateLeaf(GeoPoint{81, 33}), atlas.FindByName("Copenhagen")->id);
+  // Open sea.
+  EXPECT_FALSE(atlas.LocateLeaf(GeoPoint{50, 90}).ok());
+}
+
+TEST(AtlasTest, RegistersWithDatabase) {
+  Atlas atlas = Atlas::MakeDenmark();
+  dw::Database db;
+  ASSERT_TRUE(atlas.RegisterWithDatabase(db).ok());
+  EXPECT_EQ(db.regions().size(), 8u);
+  // The hierarchy survives: West Denmark's subtree is itself + 4 cities.
+  core::RegionId west = atlas.FindByName("West Denmark")->id;
+  EXPECT_EQ(db.RegionSubtree(west).size(), 5u);
+  // And the OLAP geo dimension builds on top of it.
+  Result<olap::Dimension> dim = olap::MakeGeoDimension(db);
+  ASSERT_TRUE(dim.ok());
+  EXPECT_EQ(dim->MembersAtLevel(3).size(), 5u);  // cities
+}
+
+// ---- Grid topology ------------------------------------------------------------------
+
+TEST(GridTopologyTest, RadialStructure) {
+  grid::GridTopology topo = grid::GridTopology::MakeRadial(3, 2, 2, 4);
+  // 3 transmission + 2 plants + 6 distribution + 24 feeders.
+  EXPECT_EQ(topo.nodes().size(), 35u);
+  EXPECT_EQ(topo.Feeders().size(), 24u);
+  // Edges: 2 transmission links + 2 plant links + 6 + 24.
+  EXPECT_EQ(topo.edges().size(), 34u);
+  EXPECT_EQ(topo.MaxSlotsPerLayer(), 24);
+
+  // Every feeder's parent chain reaches a transmission node.
+  for (const grid::GridNode& f : topo.Feeders()) {
+    Result<grid::GridNode> ds = topo.Find(f.parent);
+    ASSERT_TRUE(ds.ok());
+    EXPECT_EQ(ds->kind, grid::NodeKind::kDistribution);
+    Result<grid::GridNode> ts = topo.Find(ds->parent);
+    ASSERT_TRUE(ts.ok());
+    EXPECT_EQ(ts->kind, grid::NodeKind::kTransmission);
+  }
+  EXPECT_FALSE(topo.Find(99999).ok());
+}
+
+TEST(GridTopologyTest, KindNames) {
+  EXPECT_EQ(grid::NodeKindName(grid::NodeKind::kPlant), "plant");
+  EXPECT_EQ(grid::NodeKindName(grid::NodeKind::kFeeder), "feeder");
+}
+
+TEST(GridTopologyTest, RegistersWithDatabaseAndDimension) {
+  grid::GridTopology topo = grid::GridTopology::MakeRadial(2, 1, 2, 2);
+  dw::Database db;
+  ASSERT_TRUE(topo.RegisterWithDatabase(db).ok());
+  EXPECT_EQ(db.grid_nodes().size(), topo.nodes().size());
+  Result<olap::Dimension> dim = olap::MakeGridDimension(db);
+  ASSERT_TRUE(dim.ok()) << dim.status().ToString();
+  // Feeders are the deepest level.
+  EXPECT_EQ(dim->MembersAtLevel(3).size(), 8u);
+  // A transmission member covers its whole subtree: itself, its plant, two
+  // distribution substations, and four feeders.
+  int ts = *dim->FindMember("TS-01");
+  EXPECT_EQ(dim->members()[static_cast<size_t>(ts)].leaf_values.size(), 8u);
+}
+
+}  // namespace
+}  // namespace flexvis

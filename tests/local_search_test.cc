@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "core/local_search.h"
+#include "core/scheduler.h"
+#include "util/rng.h"
+
+namespace flexvis::core {
+namespace {
+
+using timeutil::kMinutesPerSlice;
+using timeutil::TimePoint;
+
+TimePoint T0() { return TimePoint::FromCalendarOrDie(2013, 1, 15, 0, 0); }
+
+FlexOffer MakeOffer(FlexOfferId id, int64_t est_slices, int64_t flex_slices,
+                    std::vector<ProfileSlice> profile) {
+  FlexOffer o;
+  o.id = id;
+  o.earliest_start = T0() + est_slices * kMinutesPerSlice;
+  o.latest_start = o.earliest_start + flex_slices * kMinutesPerSlice;
+  o.creation_time = o.earliest_start - 600;
+  o.acceptance_deadline = o.creation_time + 60;
+  o.assignment_deadline = o.creation_time + 120;
+  o.profile = std::move(profile);
+  return o;
+}
+
+TEST(LocalSearchTest, ImprovesADeliberatelyBadPlan) {
+  // Surplus sits at slices 8..11; the offer is parked at slice 0.
+  TimeSeries target(T0(), std::vector<double>(16, 0.0));
+  for (int s = 8; s < 12; ++s) target.Set(s, 2.0);
+  FlexOffer offer = MakeOffer(1, 0, 10, {{4, 2.0, 2.0}});
+  offer.schedule = Schedule{T0(), {2.0, 2.0, 2.0, 2.0}};
+  offer.state = FlexOfferState::kAssigned;
+
+  LocalSearchParams params;
+  params.iterations = 500;
+  LocalSearchResult result = LocalSearchImprover(params).Improve({offer}, target);
+  EXPECT_LT(result.imbalance_after_kwh, result.imbalance_before_kwh);
+  // The optimum parks the offer exactly on the surplus: imbalance 0.
+  EXPECT_NEAR(result.imbalance_after_kwh, 0.0, 1e-9);
+  ASSERT_TRUE(result.offers[0].schedule.has_value());
+  EXPECT_EQ(result.offers[0].schedule->start, T0() + 8 * kMinutesPerSlice);
+  EXPECT_TRUE(Validate(result.offers[0]).ok());
+  EXPECT_GT(result.moves_accepted, 0);
+}
+
+TEST(LocalSearchTest, NeverWorsensThePlan) {
+  Rng rng(99);
+  std::vector<FlexOffer> offers;
+  for (int i = 0; i < 40; ++i) {
+    int slices = static_cast<int>(rng.UniformInt(1, 6));
+    std::vector<ProfileSlice> profile;
+    for (int s = 0; s < slices; ++s) {
+      double min = rng.Uniform(0.0, 1.0);
+      profile.push_back(ProfileSlice{1, min, min + rng.Uniform(0.0, 1.5)});
+    }
+    offers.push_back(
+        MakeOffer(i + 1, rng.UniformInt(0, 80), rng.UniformInt(0, 12), std::move(profile)));
+  }
+  std::vector<double> target_values(96);
+  for (double& v : target_values) v = rng.Uniform(-2.0, 4.0);
+  TimeSeries target(T0(), target_values);
+
+  ScheduleResult greedy = Scheduler().Plan(offers, target);
+  LocalSearchResult improved = LocalSearchImprover().Improve(greedy.offers, target);
+  EXPECT_NEAR(improved.imbalance_before_kwh, greedy.imbalance_after_kwh, 1e-6);
+  EXPECT_LE(improved.imbalance_after_kwh, improved.imbalance_before_kwh + 1e-6);
+  for (const FlexOffer& o : improved.offers) {
+    EXPECT_TRUE(Validate(o).ok()) << Describe(o);
+  }
+}
+
+TEST(LocalSearchTest, UnscheduledAndRigidOffersPassThrough) {
+  FlexOffer unscheduled = MakeOffer(1, 0, 4, {{2, 1.0, 1.0}});
+  FlexOffer rigid = MakeOffer(2, 4, 0, {{2, 1.0, 1.0}});  // no time flexibility
+  rigid.schedule = Schedule{rigid.earliest_start, {1.0, 1.0}};
+  TimeSeries target(T0(), std::vector<double>(16, 1.0));
+  LocalSearchResult result = LocalSearchImprover().Improve({unscheduled, rigid}, target);
+  EXPECT_FALSE(result.offers[0].schedule.has_value());
+  EXPECT_EQ(result.offers[1].schedule->start, rigid.earliest_start);
+}
+
+TEST(LocalSearchTest, PatienceStopsEarly) {
+  // One offer already optimally placed: every move is rejected and patience
+  // kicks in before the iteration budget.
+  TimeSeries target(T0(), std::vector<double>(8, 0.0));
+  target.Set(0, 1.0);
+  target.Set(1, 1.0);
+  FlexOffer offer = MakeOffer(1, 0, 4, {{2, 1.0, 1.0}});
+  offer.schedule = Schedule{T0(), {1.0, 1.0}};
+  LocalSearchParams params;
+  params.iterations = 100000;
+  params.patience = 50;
+  LocalSearchResult result = LocalSearchImprover(params).Improve({offer}, target);
+  EXPECT_LT(result.moves_tried, 1000);
+  EXPECT_NEAR(result.imbalance_after_kwh, 0.0, 1e-9);
+}
+
+// Property: improvement is monotone and feasibility-preserving for random
+// plans produced by the greedy scheduler.
+class LocalSearchPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LocalSearchPropertyTest, MonotoneAndFeasible) {
+  Rng rng(GetParam());
+  std::vector<FlexOffer> offers;
+  int n = static_cast<int>(rng.UniformInt(5, 30));
+  for (int i = 0; i < n; ++i) {
+    int slices = static_cast<int>(rng.UniformInt(1, 5));
+    std::vector<ProfileSlice> profile;
+    for (int s = 0; s < slices; ++s) {
+      double min = rng.Uniform(0.0, 1.0);
+      profile.push_back(ProfileSlice{1, min, min + rng.Uniform(0.0, 1.0)});
+    }
+    offers.push_back(
+        MakeOffer(i + 1, rng.UniformInt(0, 60), rng.UniformInt(0, 10), std::move(profile)));
+  }
+  std::vector<double> values(96);
+  for (double& v : values) v = rng.Uniform(-1.5, 3.0);
+  TimeSeries target(T0(), values);
+
+  ScheduleResult greedy = Scheduler().Plan(offers, target);
+  LocalSearchParams params;
+  params.iterations = 400;
+  params.seed = GetParam() * 13;
+  LocalSearchResult improved = LocalSearchImprover(params).Improve(greedy.offers, target);
+  EXPECT_LE(improved.imbalance_after_kwh, improved.imbalance_before_kwh + 1e-6);
+  for (const FlexOffer& o : improved.offers) EXPECT_TRUE(Validate(o).ok());
+  EXPECT_LE(improved.moves_accepted, improved.moves_tried);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalSearchPropertyTest,
+                         ::testing::Values(1, 4, 9, 16, 25, 36, 49));
+
+}  // namespace
+}  // namespace flexvis::core

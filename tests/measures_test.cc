@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "core/measures.h"
+
+namespace flexvis::core {
+namespace {
+
+using timeutil::kMinutesPerSlice;
+using timeutil::TimePoint;
+
+TimePoint T0() { return TimePoint::FromCalendarOrDie(2013, 1, 15, 0, 0); }
+
+FlexOffer MakeOffer(FlexOfferId id, FlexOfferState state, double min_kwh, double max_kwh,
+                    int slices, int64_t flex_slices) {
+  FlexOffer o;
+  o.id = id;
+  o.state = state;
+  o.earliest_start = T0();
+  o.latest_start = T0() + flex_slices * kMinutesPerSlice;
+  o.creation_time = T0() - 600;
+  o.acceptance_deadline = T0() - 500;
+  o.assignment_deadline = T0() - 400;
+  o.profile = {ProfileSlice{slices, min_kwh, max_kwh}};
+  return o;
+}
+
+TEST(StateCountsTest, CountsAndFractions) {
+  std::vector<FlexOffer> offers = {
+      MakeOffer(1, FlexOfferState::kAccepted, 1, 1, 1, 0),
+      MakeOffer(2, FlexOfferState::kAccepted, 1, 1, 1, 0),
+      MakeOffer(3, FlexOfferState::kAssigned, 1, 1, 1, 0),
+      MakeOffer(4, FlexOfferState::kRejected, 1, 1, 1, 0),
+  };
+  StateCounts counts = CountByState(offers);
+  EXPECT_EQ(counts.total(), 4);
+  EXPECT_EQ(counts[FlexOfferState::kAccepted], 2);
+  EXPECT_EQ(counts[FlexOfferState::kAssigned], 1);
+  EXPECT_EQ(counts[FlexOfferState::kRejected], 1);
+  EXPECT_EQ(counts[FlexOfferState::kOffered], 0);
+  EXPECT_DOUBLE_EQ(counts.Fraction(FlexOfferState::kAccepted), 0.5);
+  EXPECT_DOUBLE_EQ(StateCounts{}.Fraction(FlexOfferState::kAccepted), 0.0);
+}
+
+TEST(AttributeStatsTest, SummarizesMinMaxMeanSum) {
+  std::vector<FlexOffer> offers = {
+      MakeOffer(1, FlexOfferState::kOffered, 1.0, 2.0, 2, 4),  // max total 4
+      MakeOffer(2, FlexOfferState::kOffered, 2.0, 5.0, 1, 8),  // max total 5
+  };
+  AttributeStats stats = Summarize(offers, NumericAttribute::kTotalMaxEnergyKwh);
+  EXPECT_EQ(stats.count, 2);
+  EXPECT_DOUBLE_EQ(stats.min, 4.0);
+  EXPECT_DOUBLE_EQ(stats.max, 5.0);
+  EXPECT_DOUBLE_EQ(stats.sum, 9.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.5);
+
+  AttributeStats flex = Summarize(offers, NumericAttribute::kTimeFlexibilityMinutes);
+  EXPECT_DOUBLE_EQ(flex.min, 60.0);
+  EXPECT_DOUBLE_EQ(flex.max, 120.0);
+
+  EXPECT_EQ(Summarize({}, NumericAttribute::kTotalMinEnergyKwh).count, 0);
+  EXPECT_DOUBLE_EQ(Summarize({}, NumericAttribute::kTotalMinEnergyKwh).mean(), 0.0);
+}
+
+TEST(AttributeStatsTest, AllAttributesHaveNamesAndValues) {
+  FlexOffer o = MakeOffer(1, FlexOfferState::kOffered, 1.0, 2.0, 2, 4);
+  for (auto attr : {NumericAttribute::kTotalMinEnergyKwh, NumericAttribute::kTotalMaxEnergyKwh,
+                    NumericAttribute::kEnergyFlexibilityKwh,
+                    NumericAttribute::kTimeFlexibilityMinutes,
+                    NumericAttribute::kProfileDurationSlices,
+                    NumericAttribute::kScheduledEnergyKwh}) {
+    EXPECT_FALSE(NumericAttributeName(attr).empty());
+    EXPECT_GE(AttributeValue(o, attr), 0.0);
+  }
+}
+
+TEST(PlannedLoadTest, SignsAndAlignment) {
+  FlexOffer consume = MakeOffer(1, FlexOfferState::kAssigned, 1.0, 1.0, 2, 0);
+  consume.schedule = Schedule{T0(), {1.0, 1.0}};
+  FlexOffer produce = MakeOffer(2, FlexOfferState::kAssigned, 1.0, 1.0, 1, 0);
+  produce.direction = Direction::kProduction;
+  produce.schedule = Schedule{T0() + kMinutesPerSlice, {0.5}};
+
+  TimeSeries load = PlannedLoad({consume, produce});
+  EXPECT_DOUBLE_EQ(load.At(T0()), 1.0);
+  EXPECT_DOUBLE_EQ(load.At(T0() + kMinutesPerSlice), 0.5);  // 1.0 - 0.5
+  EXPECT_DOUBLE_EQ(TotalScheduledEnergyKwh({consume, produce}), 2.5);
+}
+
+TEST(PlannedLoadTest, EmptyWithoutSchedules) {
+  FlexOffer o = MakeOffer(1, FlexOfferState::kAccepted, 1.0, 1.0, 1, 0);
+  EXPECT_TRUE(PlannedLoad({o}).empty());
+}
+
+TEST(PlanDeviationTest, RealizedMinusPlanned) {
+  FlexOffer o = MakeOffer(1, FlexOfferState::kAssigned, 1.0, 1.0, 2, 0);
+  o.schedule = Schedule{T0(), {1.0, 1.0}};
+  TimeSeries realized(T0(), {1.5, 0.5});
+  PlanDeviation dev = ComputePlanDeviation({o}, realized);
+  EXPECT_DOUBLE_EQ(dev.deviation.At(T0()), 0.5);
+  EXPECT_DOUBLE_EQ(dev.deviation.At(T0() + kMinutesPerSlice), -0.5);
+  EXPECT_DOUBLE_EQ(dev.total_abs_kwh, 1.0);
+  EXPECT_DOUBLE_EQ(dev.max_abs_kwh, 0.5);
+}
+
+TEST(BalancingPotentialTest, RigidPortfolioScoresZero) {
+  // min == max and no time flexibility: nothing can be reshaped.
+  std::vector<FlexOffer> rigid = {MakeOffer(1, FlexOfferState::kOffered, 2.0, 2.0, 2, 0)};
+  BalancingPotential bp = ComputeBalancingPotential(rigid);
+  EXPECT_DOUBLE_EQ(bp.energy_slack_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(bp.time_shift_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(bp.potential, 0.0);
+}
+
+TEST(BalancingPotentialTest, FlexiblePortfolioScoresHigher) {
+  std::vector<FlexOffer> flexible = {MakeOffer(1, FlexOfferState::kOffered, 0.0, 2.0, 2, 20)};
+  BalancingPotential bp = ComputeBalancingPotential(flexible);
+  EXPECT_DOUBLE_EQ(bp.energy_slack_ratio, 1.0);
+  EXPECT_GT(bp.time_shift_ratio, 0.8);
+  EXPECT_GT(bp.potential, 0.8);
+  EXPECT_LE(bp.potential, 1.0);
+}
+
+TEST(BalancingPotentialTest, MonotoneInFlexibility) {
+  std::vector<FlexOffer> less = {MakeOffer(1, FlexOfferState::kOffered, 1.0, 2.0, 2, 2)};
+  std::vector<FlexOffer> more = {MakeOffer(1, FlexOfferState::kOffered, 0.5, 2.0, 2, 8)};
+  EXPECT_LT(ComputeBalancingPotential(less).potential,
+            ComputeBalancingPotential(more).potential);
+}
+
+TEST(BalancingPotentialTest, EmptyPortfolio) {
+  BalancingPotential bp = ComputeBalancingPotential({});
+  EXPECT_DOUBLE_EQ(bp.potential, 0.0);
+  EXPECT_DOUBLE_EQ(bp.total_max_energy_kwh, 0.0);
+}
+
+}  // namespace
+}  // namespace flexvis::core

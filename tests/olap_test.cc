@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include "olap/cube.h"
+#include "olap/dimension.h"
+#include "olap/mdx.h"
+
+namespace flexvis::olap {
+namespace {
+
+using core::FlexOffer;
+using core::FlexOfferState;
+using core::ProfileSlice;
+using dw::Database;
+using timeutil::kMinutesPerSlice;
+using timeutil::TimePoint;
+
+TimePoint T0() { return TimePoint::FromCalendarOrDie(2013, 1, 15, 0, 0); }
+
+FlexOffer MakeOffer(core::FlexOfferId id, FlexOfferState state,
+                    core::ProsumerType prosumer_type, core::EnergyType energy_type,
+                    core::RegionId region, int64_t est_slices, double min_kwh,
+                    double max_kwh) {
+  FlexOffer o;
+  o.id = id;
+  o.prosumer = id;
+  o.state = state;
+  o.prosumer_type = prosumer_type;
+  o.energy_type = energy_type;
+  o.region = region;
+  o.earliest_start = T0() + est_slices * kMinutesPerSlice;
+  o.latest_start = o.earliest_start + 4 * kMinutesPerSlice;
+  o.creation_time = o.earliest_start - 600;
+  o.acceptance_deadline = o.creation_time + 60;
+  o.assignment_deadline = o.creation_time + 120;
+  o.profile = {ProfileSlice{2, min_kwh, max_kwh}};
+  return o;
+}
+
+class CubeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.RegisterRegion(
+        dw::RegionInfo{1, "Denmark", core::kInvalidRegionId, "country"}).ok());
+    ASSERT_TRUE(db_.RegisterRegion(dw::RegionInfo{10, "West Denmark", 1, "region"}).ok());
+    ASSERT_TRUE(db_.RegisterRegion(dw::RegionInfo{11, "East Denmark", 1, "region"}).ok());
+    ASSERT_TRUE(db_.RegisterRegion(dw::RegionInfo{100, "Aalborg", 10, "city"}).ok());
+    ASSERT_TRUE(db_.RegisterRegion(dw::RegionInfo{104, "Copenhagen", 11, "city"}).ok());
+
+    std::vector<FlexOffer> offers = {
+        // 2 accepted households in Aalborg (west), day 1.
+        MakeOffer(1, FlexOfferState::kAccepted, core::ProsumerType::kHousehold,
+                  core::EnergyType::kMixedGrid, 100, 0, 1.0, 2.0),
+        MakeOffer(2, FlexOfferState::kAccepted, core::ProsumerType::kHousehold,
+                  core::EnergyType::kMixedGrid, 100, 4, 1.0, 2.0),
+        // 1 assigned plant (wind) in Copenhagen (east), day 1.
+        MakeOffer(3, FlexOfferState::kAssigned, core::ProsumerType::kSmallPowerPlant,
+                  core::EnergyType::kWind, 104, 8, 2.0, 4.0),
+        // 1 rejected household in Copenhagen, day 2.
+        MakeOffer(4, FlexOfferState::kRejected, core::ProsumerType::kHousehold,
+                  core::EnergyType::kMixedGrid, 104, 96, 0.5, 0.5),
+    };
+    ASSERT_TRUE(db_.LoadFlexOffers(offers).ok());
+    cube_ = std::make_unique<Cube>(&db_);
+    ASSERT_TRUE(cube_->AddStandardDimensions().ok());
+  }
+
+  Database db_;
+  std::unique_ptr<Cube> cube_;
+};
+
+// ---- Dimensions ------------------------------------------------------------------
+
+TEST(DimensionTest, AddAndNavigate) {
+  Dimension dim("D", "col", {"All", "Leaf"});
+  int root = *dim.AddMember("All", -1, {});
+  int a = *dim.AddMember("A", root, {1});
+  int b = *dim.AddMember("B", root, {2, 3});
+  dim.PropagateLeafValues();
+
+  EXPECT_EQ(dim.root(), root);
+  EXPECT_EQ(dim.Children(root), (std::vector<int>{a, b}));
+  EXPECT_EQ(dim.MembersAtLevel(1).size(), 2u);
+  EXPECT_EQ(*dim.FindMember("b"), b);  // case-insensitive
+  EXPECT_FALSE(dim.FindMember("C").ok());
+  EXPECT_EQ(*dim.FindLevel("leaf"), 1);
+  EXPECT_EQ(dim.PathOf(a), "All / A");
+  // Root now covers the union of the leaves.
+  EXPECT_EQ(dim.members()[static_cast<size_t>(root)].leaf_values,
+            (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(DimensionTest, StructuralErrors) {
+  Dimension dim("D", "col", {"All", "Leaf"});
+  EXPECT_TRUE(dim.AddMember("All", -1, {}).ok());
+  EXPECT_FALSE(dim.AddMember("Second root", -1, {}).ok());
+  EXPECT_FALSE(dim.AddMember("orphan", 99, {}).ok());
+  int leaf = *dim.AddMember("L", 0, {1});
+  // Beyond the last level.
+  EXPECT_FALSE(dim.AddMember("too deep", leaf, {2}).ok());
+}
+
+TEST(DimensionTest, StandardDimensionsCoverEnums) {
+  Dimension state = MakeStateDimension();
+  EXPECT_EQ(state.MembersAtLevel(1).size(), static_cast<size_t>(core::kNumFlexOfferStates));
+
+  Dimension prosumer = MakeProsumerTypeDimension();
+  EXPECT_EQ(prosumer.num_levels(), 3);
+  // Fig. 5's hierarchy: All prosumers -> {Consumer, Producer}.
+  EXPECT_EQ(prosumer.Children(prosumer.root()).size(), 2u);
+  int producer = *prosumer.FindMember("Producer");
+  EXPECT_EQ(prosumer.Children(producer).size(), 2u);  // small/large plants
+  // Root covers all 6 prosumer types.
+  EXPECT_EQ(prosumer.members()[0].leaf_values.size(),
+            static_cast<size_t>(core::kNumProsumerTypes));
+
+  Dimension energy = MakeEnergyTypeDimension();
+  int renewable = *energy.FindMember("Renewable");
+  EXPECT_EQ(energy.members()[static_cast<size_t>(renewable)].leaf_values.size(), 4u);
+}
+
+TEST_F(CubeTest, GeoDimensionFollowsParents) {
+  const Dimension* geo = cube_->FindDimension("Geography");
+  ASSERT_NE(geo, nullptr);
+  int west = *geo->FindMember("West Denmark");
+  // West Denmark covers itself and Aalborg.
+  EXPECT_EQ(geo->members()[static_cast<size_t>(west)].leaf_values,
+            (std::vector<int64_t>{10, 100}));
+}
+
+// ---- Cube evaluation ----------------------------------------------------------------
+
+TEST_F(CubeTest, CountByState) {
+  CubeQuery q;
+  q.axes = {AxisSpec{"State", "", {}}};
+  Result<PivotResult> r = cube_->Evaluate(q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 4u);
+  // Header order follows member ids: Offered, Accepted, Assigned, Rejected.
+  EXPECT_EQ(r->rows[1].label, "Accepted");
+  EXPECT_DOUBLE_EQ(r->cells[1][0], 2.0);
+  EXPECT_DOUBLE_EQ(r->cells[2][0], 1.0);
+  EXPECT_DOUBLE_EQ(r->cells[3][0], 1.0);
+  EXPECT_DOUBLE_EQ(r->GrandTotal(), 4.0);
+}
+
+TEST_F(CubeTest, TwoAxesCrossTab) {
+  CubeQuery q;
+  q.axes = {AxisSpec{"State", "", {}}, AxisSpec{"Prosumer", "Role", {}}};
+  Result<PivotResult> r = cube_->Evaluate(q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->cols.size(), 2u);  // Consumer, Producer
+  // Accepted householders land in (Accepted, Consumer).
+  EXPECT_DOUBLE_EQ(r->cells[1][0], 2.0);
+  // The assigned plant lands in (Assigned, Producer).
+  EXPECT_DOUBLE_EQ(r->cells[2][1], 1.0);
+  EXPECT_DOUBLE_EQ(r->GrandTotal(), 4.0);
+}
+
+TEST_F(CubeTest, SlicerRestrictsFacts) {
+  CubeQuery q;
+  q.axes = {AxisSpec{"State", "", {}}};
+  q.slicers = {SlicerSpec{"Geography", "West Denmark"}};
+  Result<PivotResult> r = cube_->Evaluate(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->GrandTotal(), 2.0);  // only the Aalborg offers
+}
+
+TEST_F(CubeTest, WindowRestrictsByEarliestStart) {
+  CubeQuery q;
+  q.axes = {AxisSpec{"State", "", {}}};
+  q.window = timeutil::TimeInterval(T0(), T0() + 96 * kMinutesPerSlice);  // day 1
+  Result<PivotResult> r = cube_->Evaluate(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->GrandTotal(), 3.0);  // offer 4 starts on day 2
+}
+
+TEST_F(CubeTest, TimeAxisBucketsByGranularity) {
+  CubeQuery q;
+  q.axes = {AxisSpec{"Time", "", {}}};
+  q.window = timeutil::TimeInterval(T0(), T0() + 2 * 96 * kMinutesPerSlice);
+  q.time_granularity = timeutil::Granularity::kDay;
+  Result<PivotResult> r = cube_->Evaluate(q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0].label, "2013-01-15");
+  EXPECT_DOUBLE_EQ(r->cells[0][0], 3.0);
+  EXPECT_DOUBLE_EQ(r->cells[1][0], 1.0);
+}
+
+TEST_F(CubeTest, TimeAxisWithoutWindowFails) {
+  CubeQuery q;
+  q.axes = {AxisSpec{"Time", "", {}}};
+  EXPECT_FALSE(cube_->Evaluate(q).ok());
+}
+
+TEST_F(CubeTest, EnergyMeasures) {
+  CubeQuery q;
+  q.measure = Measure::kSumMaxEnergy;
+  Result<PivotResult> r = cube_->Evaluate(q);
+  ASSERT_TRUE(r.ok());
+  // Σ max = 2*(2*2) + 2*4 + 2*0.5 = 4 + 4 + 8 + 1 = 17.
+  EXPECT_DOUBLE_EQ(r->cells[0][0], 17.0);
+
+  q.measure = Measure::kSumEnergyFlex;
+  r = cube_->Evaluate(q);
+  // Σ (max-min) = 2 + 2 + 4 + 0 = 8.
+  EXPECT_DOUBLE_EQ(r->cells[0][0], 8.0);
+
+  q.measure = Measure::kAvgProfileSlices;
+  r = cube_->Evaluate(q);
+  EXPECT_DOUBLE_EQ(r->cells[0][0], 2.0);
+
+  q.measure = Measure::kBalancingPotential;
+  r = cube_->Evaluate(q);
+  EXPECT_GT(r->cells[0][0], 0.0);
+  EXPECT_LE(r->cells[0][0], 1.0);
+}
+
+TEST_F(CubeTest, ExplicitMemberAxis) {
+  CubeQuery q;
+  q.axes = {AxisSpec{"State", "", {"Accepted", "Rejected"}}};
+  Result<PivotResult> r = cube_->Evaluate(q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(r->cells[0][0], 2.0);
+  EXPECT_DOUBLE_EQ(r->cells[1][0], 1.0);
+}
+
+TEST_F(CubeTest, ErrorsOnUnknownNames) {
+  CubeQuery q;
+  q.axes = {AxisSpec{"Nope", "", {}}};
+  EXPECT_EQ(cube_->Evaluate(q).status().code(), StatusCode::kNotFound);
+  q.axes = {AxisSpec{"State", "NoLevel", {}}};
+  EXPECT_FALSE(cube_->Evaluate(q).ok());
+  q.axes = {AxisSpec{"State", "", {"NoMember"}}};
+  EXPECT_FALSE(cube_->Evaluate(q).ok());
+  q.axes = {};
+  q.slicers = {SlicerSpec{"State", "NoMember"}};
+  EXPECT_FALSE(cube_->Evaluate(q).ok());
+  q.slicers = {};
+  q.axes = {AxisSpec{"State", "", {}}, AxisSpec{"State", "", {}}, AxisSpec{"State", "", {}}};
+  EXPECT_FALSE(cube_->Evaluate(q).ok());
+}
+
+TEST_F(CubeTest, PivotTextRendering) {
+  CubeQuery q;
+  q.axes = {AxisSpec{"State", "", {}}};
+  Result<PivotResult> r = cube_->Evaluate(q);
+  std::string text = r->ToText();
+  EXPECT_NE(text.find("Accepted"), std::string::npos);
+  EXPECT_NE(text.find("measure: Count"), std::string::npos);
+}
+
+TEST(MeasureTest, NamesParse) {
+  for (int i = 0; i <= static_cast<int>(Measure::kBalancingPotential); ++i) {
+    Measure m = static_cast<Measure>(i);
+    EXPECT_EQ(*ParseMeasure(MeasureName(m)), m);
+  }
+  EXPECT_FALSE(ParseMeasure("Bogus").ok());
+}
+
+// ---- MDX --------------------------------------------------------------------------
+
+TEST_F(CubeTest, MdxFullQuery) {
+  Result<CubeQuery> q = ParseMdx(
+      "SELECT { Measures.ScheduledEnergy } ON COLUMNS, { Prosumer.Type.Members } ON ROWS "
+      "FROM [FlexOffers] WHERE ( State.[Accepted], Time.[2013-01-01 : 2013-02-01] )",
+      *cube_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->measure, Measure::kSumScheduledEnergy);
+  ASSERT_EQ(q->axes.size(), 1u);
+  EXPECT_EQ(q->axes[0].dimension, "Prosumer");
+  EXPECT_EQ(q->axes[0].level, "Type");
+  ASSERT_EQ(q->slicers.size(), 1u);
+  EXPECT_EQ(q->slicers[0].member, "Accepted");
+  EXPECT_EQ(q->window.start.ToString(), "2013-01-01 00:00");
+  EXPECT_EQ(q->window.end.ToString(), "2013-02-01 00:00");
+
+  // The parsed query evaluates.
+  EXPECT_TRUE(cube_->Evaluate(*q).ok());
+}
+
+TEST_F(CubeTest, MdxExplicitMembersAndTwoDimensions) {
+  Result<CubeQuery> q = ParseMdx(
+      "SELECT { EnergyType.Class.Members } ON COLUMNS, "
+      "{ State.[Accepted], State.[Rejected] } ON ROWS FROM [FlexOffers]",
+      *cube_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->axes.size(), 2u);
+  EXPECT_EQ(q->axes[0].dimension, "State");  // rows first
+  EXPECT_EQ(q->axes[0].members.size(), 2u);
+  EXPECT_EQ(q->axes[1].dimension, "EnergyType");
+  Result<PivotResult> r = cube_->Evaluate(*q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->GrandTotal(), 3.0);  // 2 accepted + 1 rejected
+}
+
+TEST_F(CubeTest, MdxTimeAxisWithGranularity) {
+  Result<CubeQuery> q = ParseMdx(
+      "SELECT { Time.day.Members } ON ROWS FROM [FlexOffers] "
+      "WHERE ( Time.[2013-01-15 : 2013-01-17] )",
+      *cube_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->time_granularity, timeutil::Granularity::kDay);
+  Result<PivotResult> r = cube_->Evaluate(*q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+TEST_F(CubeTest, MdxDateTimeWithClock) {
+  Result<CubeQuery> q = ParseMdx(
+      "SELECT { State.Members } ON ROWS FROM [FlexOffers] "
+      "WHERE ( Time.[2012-02-01 12:00 : 2012-02-01 13:15] )",
+      *cube_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->window.start.ToString(), "2012-02-01 12:00");
+  EXPECT_EQ(q->window.end.ToString(), "2012-02-01 13:15");
+}
+
+TEST_F(CubeTest, MdxErrors) {
+  EXPECT_FALSE(ParseMdx("", *cube_).ok());
+  EXPECT_FALSE(ParseMdx("SELECT { State.Members } FROM [FlexOffers]", *cube_).ok());
+  EXPECT_FALSE(ParseMdx("SELECT { Bogus.Members } ON ROWS FROM [FlexOffers]", *cube_).ok());
+  EXPECT_FALSE(ParseMdx("SELECT { State.Members } ON ROWS FROM [Wrong]", *cube_).ok());
+  EXPECT_FALSE(
+      ParseMdx("SELECT { State.Members } ON ROWS, { State.Members } ON ROWS FROM [FlexOffers]",
+               *cube_).ok());
+  EXPECT_FALSE(ParseMdx("SELECT { Measures.Nope } ON COLUMNS FROM [FlexOffers]", *cube_).ok());
+  EXPECT_FALSE(ParseMdx("SELECT { State.Members } ON ROWS FROM [FlexOffers] WHERE ( Time.[zzz] )",
+                        *cube_).ok());
+  EXPECT_FALSE(ParseMdx("SELECT { State.Members } ON ROWS FROM [FlexOffers] trailing", *cube_)
+                   .ok());
+  // Unterminated bracket.
+  EXPECT_FALSE(ParseMdx("SELECT { State.[Accepted } ON ROWS FROM [FlexOffers]", *cube_).ok());
+}
+
+}  // namespace
+}  // namespace flexvis::olap

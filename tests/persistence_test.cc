@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "dw/persistence.h"
+#include "olap/cube.h"
+#include "sim/enterprise.h"
+#include "sim/workload.h"
+#include "viz/viewport.h"
+
+namespace flexvis {
+namespace {
+
+using timeutil::kMinutesPerSlice;
+using timeutil::TimeInterval;
+using timeutil::TimePoint;
+
+TimePoint T0() { return TimePoint::FromCalendarOrDie(2013, 1, 15, 0, 0); }
+
+std::string TempDir(const char* name) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "flexvis_persist" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    atlas_ = geo::Atlas::MakeDenmark();
+    topology_ = grid::GridTopology::MakeRadial(2, 2, 2, 3);
+    ASSERT_TRUE(atlas_.RegisterWithDatabase(db_).ok());
+    ASSERT_TRUE(topology_.RegisterWithDatabase(db_).ok());
+    sim::WorkloadGenerator generator(&atlas_, &topology_);
+    sim::WorkloadParams params;
+    params.seed = 808;
+    params.num_prosumers = 40;
+    params.horizon = TimeInterval(T0(), T0() + timeutil::kMinutesPerDay);
+    sim::Workload workload = generator.Generate(params);
+    ASSERT_TRUE(sim::WorkloadGenerator::LoadIntoDatabase(workload, db_).ok());
+    // Include scheduled aggregates so the round-trip covers provenance.
+    sim::Enterprise enterprise;
+    ASSERT_TRUE(enterprise.RunDayAhead(db_, params.horizon).ok());
+  }
+
+  geo::Atlas atlas_;
+  grid::GridTopology topology_ = grid::GridTopology::MakeRadial(1, 1, 1, 1);
+  dw::Database db_;
+};
+
+TEST_F(PersistenceTest, SaveThenLoadReproducesWarehouse) {
+  std::string dir = TempDir("roundtrip");
+  ASSERT_TRUE(dw::SaveDatabase(db_, dir).ok());
+  for (const char* file : {"dim_prosumer.csv", "dim_region.csv", "dim_grid_node.csv",
+                           "flexoffers.jsonl"}) {
+    EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(dir) / file)) << file;
+  }
+
+  Result<dw::Database> restored = dw::LoadDatabase(dir);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->NumFlexOffers(), db_.NumFlexOffers());
+  EXPECT_EQ(restored->prosumers().size(), db_.prosumers().size());
+  EXPECT_EQ(restored->regions().size(), db_.regions().size());
+  EXPECT_EQ(restored->grid_nodes().size(), db_.grid_nodes().size());
+
+  // Every offer reconstructs identically (including schedules/provenance).
+  Result<std::vector<core::FlexOffer>> original = db_.SelectFlexOffers(dw::FlexOfferFilter{});
+  Result<std::vector<core::FlexOffer>> copy =
+      restored->SelectFlexOffers(dw::FlexOfferFilter{});
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(copy.ok());
+  ASSERT_EQ(original->size(), copy->size());
+  for (size_t i = 0; i < original->size(); ++i) {
+    const core::FlexOffer& a = (*original)[i];
+    const core::FlexOffer& b = (*copy)[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.state, b.state);
+    EXPECT_EQ(a.UnitProfile(), b.UnitProfile());
+    EXPECT_EQ(a.aggregated_from, b.aggregated_from);
+    ASSERT_EQ(a.schedule.has_value(), b.schedule.has_value());
+    if (a.schedule.has_value()) {
+      EXPECT_EQ(a.schedule->start, b.schedule->start);
+    }
+  }
+
+  // The OLAP layer answers identically over the restored instance.
+  olap::Cube cube_a(&db_);
+  olap::Cube cube_b(&*restored);
+  ASSERT_TRUE(cube_a.AddStandardDimensions().ok());
+  ASSERT_TRUE(cube_b.AddStandardDimensions().ok());
+  olap::CubeQuery q;
+  q.axes = {olap::AxisSpec{"State", "", {}}, olap::AxisSpec{"Geography", "City", {}}};
+  Result<olap::PivotResult> pa = cube_a.Evaluate(q);
+  Result<olap::PivotResult> pb = cube_b.Evaluate(q);
+  ASSERT_TRUE(pa.ok());
+  ASSERT_TRUE(pb.ok());
+  EXPECT_EQ(pa->cells, pb->cells);
+}
+
+TEST_F(PersistenceTest, LoadFromMissingDirectoryFails) {
+  EXPECT_FALSE(dw::LoadDatabase("/nonexistent_dir_xyz/flexvis").ok());
+}
+
+TEST_F(PersistenceTest, CorruptOfferLineIsReported) {
+  std::string dir = TempDir("corrupt");
+  ASSERT_TRUE(dw::SaveDatabase(db_, dir).ok());
+  std::filesystem::path offers = std::filesystem::path(dir) / "flexoffers.jsonl";
+  std::FILE* f = std::fopen(offers.string().c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{ this is not json\n", f);
+  std::fclose(f);
+  Result<dw::Database> restored = dw::LoadDatabase(dir);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PersistenceTest, SaveToUnwritableLocationFails) {
+  EXPECT_FALSE(dw::SaveDatabase(db_, "/proc/flexvis_cannot_write_here").ok());
+}
+
+// ---- Viewport -----------------------------------------------------------------------
+
+TEST(ViewportTest, StartsAtFullExtent) {
+  TimeInterval full(T0(), T0() + timeutil::kMinutesPerDay);
+  viz::Viewport vp(full);
+  EXPECT_EQ(vp.window(), full);
+  EXPECT_DOUBLE_EQ(vp.ZoomLevel(), 1.0);
+}
+
+TEST(ViewportTest, ZoomInKeepsAnchorInside) {
+  TimeInterval full(T0(), T0() + timeutil::kMinutesPerDay);
+  viz::Viewport vp(full);
+  TimePoint anchor = T0() + 6 * 60;  // 06:00
+  vp.Zoom(2.0, anchor);
+  EXPECT_NEAR(vp.ZoomLevel(), 0.5, 0.01);
+  EXPECT_TRUE(vp.window().Contains(anchor));
+  vp.Zoom(2.0, anchor);
+  EXPECT_NEAR(vp.ZoomLevel(), 0.25, 0.01);
+  EXPECT_TRUE(vp.window().Contains(anchor));
+}
+
+TEST(ViewportTest, ZoomOutClampsToFullExtent) {
+  TimeInterval full(T0(), T0() + timeutil::kMinutesPerDay);
+  viz::Viewport vp(full);
+  vp.Zoom(4.0, T0() + 12 * 60);
+  vp.Zoom(0.01, T0() + 12 * 60);  // way out
+  EXPECT_EQ(vp.window(), full);
+}
+
+TEST(ViewportTest, ZoomNeverShrinksBelowOneSlice) {
+  TimeInterval full(T0(), T0() + timeutil::kMinutesPerDay);
+  viz::Viewport vp(full);
+  for (int i = 0; i < 30; ++i) vp.Zoom(3.0, T0() + 12 * 60);
+  EXPECT_GE(vp.window().duration_minutes(), kMinutesPerSlice);
+}
+
+TEST(ViewportTest, PanClampsAtEdges) {
+  TimeInterval full(T0(), T0() + timeutil::kMinutesPerDay);
+  viz::Viewport vp(full);
+  vp.ZoomTo(TimeInterval(T0() + 6 * 60, T0() + 12 * 60));
+  vp.Pan(-100 * 60);  // far left
+  EXPECT_EQ(vp.window().start, full.start);
+  EXPECT_EQ(vp.window().duration_minutes(), 6 * 60);
+  vp.Pan(100 * 60);  // far right
+  EXPECT_EQ(vp.window().end, full.end);
+  vp.Pan(-60);
+  EXPECT_EQ(vp.window().start, full.end - 6 * 60 - 60);
+}
+
+TEST(ViewportTest, ZoomToAndReset) {
+  TimeInterval full(T0(), T0() + timeutil::kMinutesPerDay);
+  viz::Viewport vp(full);
+  TimeInterval target(T0() + 3 * 60, T0() + 5 * 60);
+  vp.ZoomTo(target);
+  EXPECT_EQ(vp.window(), target);
+  vp.ZoomTo(TimeInterval());  // empty is ignored
+  EXPECT_EQ(vp.window(), target);
+  vp.Reset();
+  EXPECT_EQ(vp.window(), full);
+}
+
+TEST(ViewportTest, TimeAtInvertsScale) {
+  render::LinearScale scale(static_cast<double>(T0().minutes()),
+                            static_cast<double>((T0() + 100).minutes()), 0.0, 1000.0);
+  EXPECT_EQ(viz::Viewport::TimeAt(scale, 500.0), T0() + 50);
+}
+
+}  // namespace
+}  // namespace flexvis

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "render/png.h"
+#include "render/raster_canvas.h"
+
+namespace flexvis::render {
+namespace {
+
+// Big-endian u32 at `offset`.
+uint32_t ReadU32(const std::string& data, size_t offset) {
+  return (static_cast<uint32_t>(static_cast<uint8_t>(data[offset])) << 24) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(data[offset + 1])) << 16) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(data[offset + 2])) << 8) |
+         static_cast<uint32_t>(static_cast<uint8_t>(data[offset + 3]));
+}
+
+// Walks the chunk list; returns (offset of data, length) of the first chunk
+// of `type`, or npos.
+std::pair<size_t, uint32_t> FindChunk(const std::string& png, const char* type) {
+  size_t pos = 8;
+  while (pos + 8 <= png.size()) {
+    uint32_t length = ReadU32(png, pos);
+    if (std::memcmp(png.data() + pos + 4, type, 4) == 0) {
+      return {pos + 8, length};
+    }
+    pos += 12 + length;
+  }
+  return {std::string::npos, 0};
+}
+
+// Decodes a zlib stream made solely of stored deflate blocks (what our
+// encoder emits).
+std::string DecodeStoredZlib(const std::string& zlib) {
+  std::string out;
+  size_t pos = 2;  // skip CMF/FLG
+  while (pos < zlib.size() - 4) {
+    uint8_t header = static_cast<uint8_t>(zlib[pos]);
+    EXPECT_EQ(header & 0x06, 0) << "not a stored block";
+    uint16_t len = static_cast<uint8_t>(zlib[pos + 1]) |
+                   (static_cast<uint16_t>(static_cast<uint8_t>(zlib[pos + 2])) << 8);
+    uint16_t nlen = static_cast<uint8_t>(zlib[pos + 3]) |
+                    (static_cast<uint16_t>(static_cast<uint8_t>(zlib[pos + 4])) << 8);
+    EXPECT_EQ(static_cast<uint16_t>(~len), nlen);
+    out.append(zlib, pos + 5, len);
+    pos += 5 + len;
+    if (header & 0x01) break;  // final block
+  }
+  return out;
+}
+
+TEST(ChecksumTest, KnownVectors) {
+  const char* check = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const uint8_t*>(check), 9), 0xCBF43926u);
+  const char* wiki = "Wikipedia";
+  EXPECT_EQ(Adler32(reinterpret_cast<const uint8_t*>(wiki), 9), 0x11E60398u);
+  EXPECT_EQ(Adler32(nullptr, 0), 1u);
+}
+
+TEST(PngTest, SignatureAndChunkLayout) {
+  RasterCanvas canvas(7, 5);
+  std::string png = CanvasToPng(canvas);
+  ASSERT_GE(png.size(), 8u);
+  EXPECT_EQ(png.compare(0, 8, "\x89PNG\r\n\x1a\n", 8), 0);
+
+  auto [ihdr, ihdr_len] = FindChunk(png, "IHDR");
+  ASSERT_NE(ihdr, std::string::npos);
+  EXPECT_EQ(ihdr_len, 13u);
+  EXPECT_EQ(ReadU32(png, ihdr), 7u);       // width
+  EXPECT_EQ(ReadU32(png, ihdr + 4), 5u);   // height
+  EXPECT_EQ(png[ihdr + 8], '\x08');        // bit depth
+  EXPECT_EQ(png[ihdr + 9], '\x02');        // truecolor
+
+  EXPECT_NE(FindChunk(png, "IDAT").first, std::string::npos);
+  EXPECT_NE(FindChunk(png, "IEND").first, std::string::npos);
+}
+
+TEST(PngTest, ChunkCrcsAreValid) {
+  RasterCanvas canvas(3, 3);
+  canvas.DrawRect(Rect{0, 0, 2, 2}, Style::Fill(Color(255, 0, 0)));
+  std::string png = CanvasToPng(canvas);
+  size_t pos = 8;
+  int chunks = 0;
+  while (pos + 8 <= png.size()) {
+    uint32_t length = ReadU32(png, pos);
+    uint32_t stored_crc = ReadU32(png, pos + 8 + length);
+    uint32_t computed = Crc32(reinterpret_cast<const uint8_t*>(png.data() + pos + 4),
+                              length + 4);
+    EXPECT_EQ(stored_crc, computed) << "chunk " << chunks;
+    pos += 12 + length;
+    ++chunks;
+  }
+  EXPECT_EQ(chunks, 3);  // IHDR, IDAT, IEND
+}
+
+TEST(PngTest, StoredBlocksReproducePixelsExactly) {
+  RasterCanvas canvas(4, 2);
+  canvas.Clear(Color(1, 2, 3));
+  canvas.DrawRect(Rect{0, 0, 1, 1}, Style::Fill(Color(200, 100, 50)));
+  std::string png = CanvasToPng(canvas);
+  auto [idat, idat_len] = FindChunk(png, "IDAT");
+  ASSERT_NE(idat, std::string::npos);
+  std::string zlib = png.substr(idat, idat_len);
+  std::string raw = DecodeStoredZlib(zlib);
+  // 2 scanlines of 1 filter byte + 4*3 pixel bytes.
+  ASSERT_EQ(raw.size(), 2u * (1 + 12));
+  EXPECT_EQ(raw[0], '\x00');  // filter None
+  EXPECT_EQ(static_cast<uint8_t>(raw[1]), 200);  // (0,0).r
+  EXPECT_EQ(static_cast<uint8_t>(raw[2]), 100);
+  EXPECT_EQ(static_cast<uint8_t>(raw[3]), 50);
+  EXPECT_EQ(static_cast<uint8_t>(raw[4]), 1);    // (1,0).r
+  // Adler over the raw stream matches the trailer.
+  uint32_t adler = ReadU32(zlib, zlib.size() - 4);
+  EXPECT_EQ(adler, Adler32(reinterpret_cast<const uint8_t*>(raw.data()), raw.size()));
+}
+
+TEST(PngTest, LargeImageSplitsIntoMultipleStoredBlocks) {
+  // 200x120 RGB = 72k raw bytes + filter bytes > 65535: at least 2 blocks.
+  RasterCanvas canvas(200, 120);
+  canvas.Clear(Color(9, 9, 9));
+  std::string png = CanvasToPng(canvas);
+  auto [idat, idat_len] = FindChunk(png, "IDAT");
+  ASSERT_NE(idat, std::string::npos);
+  std::string raw = DecodeStoredZlib(png.substr(idat, idat_len));
+  EXPECT_EQ(raw.size(), 120u * (1 + 200 * 3));
+}
+
+TEST(PngTest, WriteToFileAndFailurePath) {
+  RasterCanvas canvas(8, 8);
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "flexvis_png";
+  fs::create_directories(dir);
+  std::string path = (dir / "tiny.png").string();
+  ASSERT_TRUE(WritePngFile(canvas, path).ok());
+  EXPECT_EQ(fs::file_size(path), CanvasToPng(canvas).size());
+  EXPECT_FALSE(WritePngFile(canvas, "/nonexistent_dir_xyz/x.png").ok());
+}
+
+}  // namespace
+}  // namespace flexvis::render

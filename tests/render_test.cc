@@ -1,0 +1,534 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "render/axis.h"
+#include "render/color.h"
+#include "render/display_list.h"
+#include "render/font5x7.h"
+#include "render/incremental.h"
+#include "render/raster_canvas.h"
+#include "render/scale.h"
+#include "render/svg_canvas.h"
+
+namespace flexvis::render {
+namespace {
+
+using timeutil::TimeInterval;
+using timeutil::TimePoint;
+
+// ---- Color -------------------------------------------------------------------
+
+TEST(ColorTest, HexAndOpacity) {
+  EXPECT_EQ(Color(255, 0, 128).ToHex(), "#ff0080");
+  EXPECT_DOUBLE_EQ(Color(0, 0, 0, 255).Opacity(), 1.0);
+  EXPECT_NEAR(Color(0, 0, 0, 128).Opacity(), 0.502, 0.001);
+  EXPECT_EQ(Color(1, 2, 3).WithAlpha(9).a, 9);
+}
+
+TEST(ColorTest, LerpEndpointsAndClamp) {
+  Color a(0, 0, 0), b(100, 200, 50);
+  EXPECT_EQ(Lerp(a, b, 0.0), a);
+  EXPECT_EQ(Lerp(a, b, 1.0), b);
+  EXPECT_EQ(Lerp(a, b, 2.0), b);
+  EXPECT_EQ(Lerp(a, b, -1.0), a);
+  Color mid = Lerp(a, b, 0.5);
+  EXPECT_EQ(mid.r, 50);
+  EXPECT_EQ(mid.g, 100);
+}
+
+TEST(ColorTest, BlendOver) {
+  Color white(255, 255, 255);
+  Color red_half(255, 0, 0, 128);
+  Color blended = BlendOver(white, red_half);
+  EXPECT_EQ(blended.r, 255);
+  EXPECT_LT(blended.g, 255);
+  EXPECT_GT(blended.g, 100);
+  // Fully opaque src replaces.
+  EXPECT_EQ(BlendOver(white, Color(1, 2, 3)), Color(1, 2, 3));
+}
+
+TEST(ColorTest, CategoricalCycles) {
+  EXPECT_EQ(CategoricalColor(0), CategoricalColor(10));
+  EXPECT_FALSE(CategoricalColor(0) == CategoricalColor(1));
+}
+
+// ---- Geometry ------------------------------------------------------------------
+
+TEST(RectTest, ContainsIntersects) {
+  Rect r{10, 10, 20, 20};
+  EXPECT_TRUE(r.Contains(Point{10, 10}));
+  EXPECT_FALSE(r.Contains(Point{30, 30}));  // exclusive edge
+  EXPECT_TRUE(r.Intersects(Rect{25, 25, 10, 10}));
+  EXPECT_FALSE(r.Intersects(Rect{30, 10, 5, 5}));
+  Rect i = r.Intersect(Rect{20, 20, 20, 20});
+  EXPECT_EQ(i.x, 20);
+  EXPECT_EQ(i.width, 10);
+  EXPECT_TRUE(r.Intersect(Rect{100, 100, 5, 5}).empty());
+}
+
+TEST(RectTest, FromCornersNormalizes) {
+  Rect r = Rect::FromCorners(Point{30, 40}, Point{10, 20});
+  EXPECT_EQ(r.x, 10);
+  EXPECT_EQ(r.y, 20);
+  EXPECT_EQ(r.width, 20);
+  EXPECT_EQ(r.height, 20);
+}
+
+// ---- Scales -----------------------------------------------------------------------
+
+TEST(LinearScaleTest, ApplyAndInvert) {
+  LinearScale s(0.0, 10.0, 100.0, 200.0);
+  EXPECT_DOUBLE_EQ(s.Apply(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.Apply(10.0), 200.0);
+  EXPECT_DOUBLE_EQ(s.Apply(5.0), 150.0);
+  EXPECT_DOUBLE_EQ(s.Invert(150.0), 5.0);
+  // Inverted ranges (y axes) work.
+  LinearScale inv(0.0, 10.0, 200.0, 100.0);
+  EXPECT_DOUBLE_EQ(inv.Apply(10.0), 100.0);
+}
+
+TEST(PrettyScaleTest, CoversDomainWithNiceSteps) {
+  PrettyScale p = MakePrettyScale(0.3, 9.7, 6);
+  EXPECT_LE(p.nice_min, 0.3);
+  EXPECT_GE(p.nice_max, 9.7);
+  EXPECT_DOUBLE_EQ(p.step, 2.0);
+  ASSERT_GE(p.ticks.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.ticks.front().value, p.nice_min);
+  EXPECT_NEAR(p.ticks.back().value, p.nice_max, 1e-9);
+}
+
+TEST(PrettyScaleTest, DegenerateDomains) {
+  PrettyScale zero = MakePrettyScale(5.0, 5.0, 5);
+  EXPECT_LT(zero.nice_min, 5.0);
+  EXPECT_GT(zero.nice_max, 5.0);
+  PrettyScale swapped = MakePrettyScale(10.0, 0.0, 5);
+  EXPECT_LE(swapped.nice_min, 0.0);
+  EXPECT_GE(swapped.nice_max, 10.0);
+  PrettyScale at_zero = MakePrettyScale(0.0, 0.0, 5);
+  EXPECT_LT(at_zero.nice_min, at_zero.nice_max);
+}
+
+// Property sweep: ticks are evenly spaced with a 1/2/5*10^k step and cover
+// the input domain.
+class PrettyScalePropertyTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(PrettyScalePropertyTest, StepsAreNice) {
+  auto [lo, hi] = GetParam();
+  PrettyScale p = MakePrettyScale(lo, hi, 6);
+  EXPECT_LE(p.nice_min, std::min(lo, hi));
+  EXPECT_GE(p.nice_max, std::max(lo, hi));
+  double mantissa = p.step / std::pow(10.0, std::floor(std::log10(p.step)));
+  EXPECT_TRUE(std::abs(mantissa - 1.0) < 1e-9 || std::abs(mantissa - 2.0) < 1e-9 ||
+              std::abs(mantissa - 5.0) < 1e-9 || std::abs(mantissa - 10.0) < 1e-9)
+      << "step " << p.step;
+  for (size_t i = 1; i < p.ticks.size(); ++i) {
+    EXPECT_NEAR(p.ticks[i].value - p.ticks[i - 1].value, p.step, p.step * 1e-6);
+  }
+  // Not an absurd number of ticks.
+  EXPECT_LE(p.ticks.size(), 12u);
+  EXPECT_GE(p.ticks.size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Domains, PrettyScalePropertyTest,
+    ::testing::Values(std::pair{0.0, 1.0}, std::pair{0.0, 0.00037}, std::pair{-5.0, 5.0},
+                      std::pair{12.0, 13.0}, std::pair{0.0, 98765.0}, std::pair{-0.2, 0.0},
+                      std::pair{1e-6, 2e-6}, std::pair{999.0, 1001.0}));
+
+TEST(TimeTicksTest, PicksHoursForOneDay) {
+  TimePoint start = TimePoint::FromCalendarOrDie(2013, 1, 15, 0, 0);
+  TimeInterval day(start, start + timeutil::kMinutesPerDay);
+  EXPECT_EQ(PickTickGranularity(day), timeutil::Granularity::kHour);
+  std::vector<Tick> ticks = MakeTimeTicks(day);
+  ASSERT_FALSE(ticks.empty());
+  EXPECT_EQ(ticks.front().label, "00:00");  // time-of-day labels within a day
+}
+
+TEST(TimeTicksTest, PicksDaysForAMonth) {
+  TimePoint start = TimePoint::FromCalendarOrDie(2013, 1, 1, 0, 0);
+  TimeInterval month(start, TimePoint::FromCalendarOrDie(2013, 2, 1, 0, 0));
+  timeutil::Granularity g = PickTickGranularity(month);
+  EXPECT_EQ(g, timeutil::Granularity::kWeek);
+  std::vector<Tick> ticks = MakeTimeTicks(month);
+  EXPECT_GE(ticks.size(), 4u);
+  EXPECT_LE(ticks.size(), 14u);
+}
+
+TEST(TimeTicksTest, EmptyIntervalYieldsNoTicks) {
+  EXPECT_TRUE(MakeTimeTicks(TimeInterval()).empty());
+}
+
+TEST(TimeTicksTest, StridesWhenTooMany) {
+  TimePoint start = TimePoint::FromCalendarOrDie(2013, 1, 15, 0, 0);
+  TimeInterval window(start, start + 75);  // 5 slices; slice level chosen
+  std::vector<Tick> ticks = MakeTimeTicks(window, 4, 14);
+  EXPECT_GE(ticks.size(), 4u);
+}
+
+// ---- SVG --------------------------------------------------------------------------
+
+TEST(SvgCanvasTest, EmitsPrimitives) {
+  SvgCanvas svg(200, 100);
+  svg.Clear(palette::kBackground);
+  svg.DrawLine(Point{0, 0}, Point{10, 10}, Style::Stroke(Color(255, 0, 0), 2.0));
+  svg.DrawRect(Rect{5, 5, 20, 10}, Style::FillStroke(Color(0, 255, 0), Color(0, 0, 0)));
+  svg.DrawPolygon({{0, 0}, {10, 0}, {5, 8}}, Style::Fill(Color(0, 0, 255)));
+  svg.DrawPolyline({{0, 0}, {5, 5}, {10, 0}}, Style::Stroke(Color(1, 2, 3)));
+  svg.DrawCircle(Point{50, 50}, 7, Style::Fill(Color(9, 9, 9)));
+  svg.DrawPieSlice(Point{50, 50}, 10, 0, 120, Style::Fill(Color(8, 8, 8)));
+  svg.DrawText(Point{10, 90}, "hello & <world>", TextStyle{});
+  std::string out = svg.ToString();
+  EXPECT_NE(out.find("<svg"), std::string::npos);
+  EXPECT_NE(out.find("<line"), std::string::npos);
+  EXPECT_NE(out.find("<rect"), std::string::npos);
+  EXPECT_NE(out.find("<polygon"), std::string::npos);
+  EXPECT_NE(out.find("<polyline"), std::string::npos);
+  EXPECT_NE(out.find("<circle"), std::string::npos);
+  EXPECT_NE(out.find("<path"), std::string::npos);
+  EXPECT_NE(out.find("hello &amp; &lt;world&gt;"), std::string::npos);
+  EXPECT_NE(out.find("stroke-width=\"2\""), std::string::npos);
+  EXPECT_NE(out.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgCanvasTest, DashAndOpacityAttributes) {
+  SvgCanvas svg(100, 100);
+  svg.DrawLine(Point{0, 0}, Point{10, 0},
+               Style::Stroke(Color(0, 0, 0, 128)).WithDash({4.0, 2.0}));
+  svg.DrawRect(Rect{0, 0, 5, 5}, Style::Fill(Color(0, 0, 0, 64)));
+  std::string out = svg.ToString();
+  EXPECT_NE(out.find("stroke-dasharray=\"4,2\""), std::string::npos);
+  EXPECT_NE(out.find("stroke-opacity"), std::string::npos);
+  EXPECT_NE(out.find("fill-opacity"), std::string::npos);
+}
+
+TEST(SvgCanvasTest, ClipGroupsBalanced) {
+  SvgCanvas svg(100, 100);
+  svg.PushClip(Rect{0, 0, 50, 50});
+  svg.DrawRect(Rect{0, 0, 10, 10}, Style::Fill(Color(0, 0, 0)));
+  std::string unbalanced = svg.ToString();  // still-open clip closed in output
+  EXPECT_NE(unbalanced.find("clipPath"), std::string::npos);
+  size_t opens = 0, closes = 0, pos = 0;
+  while ((pos = unbalanced.find("<g ", pos)) != std::string::npos) { ++opens; pos += 3; }
+  pos = 0;
+  while ((pos = unbalanced.find("</g>", pos)) != std::string::npos) { ++closes; pos += 4; }
+  EXPECT_EQ(opens, closes);
+  svg.PopClip();
+  svg.PopClip();  // extra pop is a no-op
+}
+
+TEST(SvgCanvasTest, FullCircleFor360Sweep) {
+  SvgCanvas svg(100, 100);
+  svg.DrawPieSlice(Point{50, 50}, 10, 0, 360, Style::Fill(Color(1, 1, 1)));
+  EXPECT_NE(svg.ToString().find("<circle"), std::string::npos);
+}
+
+// ---- Raster -----------------------------------------------------------------------
+
+TEST(RasterCanvasTest, StartsWhiteAndClears) {
+  RasterCanvas canvas(10, 10);
+  EXPECT_EQ(canvas.GetPixel(0, 0), Color(255, 255, 255));
+  canvas.Clear(Color(10, 20, 30));
+  EXPECT_EQ(canvas.GetPixel(9, 9), Color(10, 20, 30));
+  EXPECT_EQ(canvas.CountPixels(Color(10, 20, 30)), 100u);
+}
+
+TEST(RasterCanvasTest, FilledRect) {
+  RasterCanvas canvas(20, 20);
+  canvas.DrawRect(Rect{5, 5, 10, 10}, Style::Fill(Color(255, 0, 0)));
+  EXPECT_EQ(canvas.CountPixels(Color(255, 0, 0)), 100u);
+  EXPECT_EQ(canvas.GetPixel(5, 5), Color(255, 0, 0));
+  EXPECT_EQ(canvas.GetPixel(4, 5), Color(255, 255, 255));
+  EXPECT_EQ(canvas.GetPixel(15, 15), Color(255, 255, 255));
+}
+
+TEST(RasterCanvasTest, HorizontalAndDiagonalLines) {
+  RasterCanvas canvas(20, 20);
+  canvas.DrawLine(Point{0, 10}, Point{19, 10}, Style::Stroke(Color(0, 0, 255)));
+  for (int x = 0; x < 20; ++x) EXPECT_EQ(canvas.GetPixel(x, 10), Color(0, 0, 255));
+  canvas.DrawLine(Point{0, 0}, Point{19, 19}, Style::Stroke(Color(255, 0, 0)));
+  EXPECT_EQ(canvas.GetPixel(0, 0), Color(255, 0, 0));
+  EXPECT_EQ(canvas.GetPixel(19, 19), Color(255, 0, 0));
+  EXPECT_EQ(canvas.GetPixel(10, 10), Color(255, 0, 0));
+}
+
+TEST(RasterCanvasTest, ThickLineWiderThanOne) {
+  RasterCanvas canvas(20, 20);
+  canvas.DrawLine(Point{0, 10}, Point{19, 10}, Style::Stroke(Color(0, 0, 0), 3.0));
+  EXPECT_EQ(canvas.GetPixel(10, 9), Color(0, 0, 0));
+  EXPECT_EQ(canvas.GetPixel(10, 11), Color(0, 0, 0));
+}
+
+TEST(RasterCanvasTest, DashedLineHasGaps) {
+  RasterCanvas canvas(40, 10);
+  canvas.DrawLine(Point{0, 5}, Point{39, 5},
+                  Style::Stroke(Color(0, 0, 0)).WithDash({4.0, 4.0}));
+  size_t black = canvas.CountPixels(Color(0, 0, 0));
+  EXPECT_GT(black, 10u);
+  EXPECT_LT(black, 30u);  // roughly half the 40 pixels
+}
+
+TEST(RasterCanvasTest, PolygonFillRespectsShape) {
+  RasterCanvas canvas(20, 20);
+  // Right triangle covering the lower-left half.
+  canvas.DrawPolygon({{0, 0}, {0, 19}, {19, 19}}, Style::Fill(Color(0, 128, 0)));
+  EXPECT_EQ(canvas.GetPixel(2, 17), Color(0, 128, 0));
+  EXPECT_EQ(canvas.GetPixel(17, 2), Color(255, 255, 255));
+}
+
+TEST(RasterCanvasTest, AlphaBlending) {
+  RasterCanvas canvas(4, 4);
+  canvas.DrawRect(Rect{0, 0, 4, 4}, Style::Fill(Color(0, 0, 255, 128)));
+  Color p = canvas.GetPixel(1, 1);
+  EXPECT_GT(p.r, 100);  // white shines through
+  EXPECT_LT(p.r, 200);
+  EXPECT_EQ(p.b, 255);
+}
+
+TEST(RasterCanvasTest, ClippingLimitsDrawing) {
+  RasterCanvas canvas(20, 20);
+  canvas.PushClip(Rect{0, 0, 10, 10});
+  canvas.DrawRect(Rect{0, 0, 20, 20}, Style::Fill(Color(255, 0, 0)));
+  canvas.PopClip();
+  EXPECT_EQ(canvas.GetPixel(5, 5), Color(255, 0, 0));
+  EXPECT_EQ(canvas.GetPixel(15, 15), Color(255, 255, 255));
+  // Nested clips intersect.
+  canvas.PushClip(Rect{0, 0, 10, 10});
+  canvas.PushClip(Rect{5, 5, 10, 10});
+  canvas.DrawRect(Rect{0, 0, 20, 20}, Style::Fill(Color(0, 255, 0)));
+  canvas.PopClip();
+  canvas.PopClip();
+  EXPECT_EQ(canvas.GetPixel(7, 7), Color(0, 255, 0));
+  EXPECT_EQ(canvas.GetPixel(2, 2), Color(255, 0, 0));   // outside inner clip
+  EXPECT_EQ(canvas.GetPixel(12, 7), Color(255, 255, 255));  // outside outer clip
+}
+
+TEST(RasterCanvasTest, TextRendersInk) {
+  RasterCanvas canvas(100, 20);
+  canvas.DrawText(Point{2, 15}, "Hi", TextStyle{});
+  EXPECT_GT(canvas.CountPixels(palette::kText), 8u);
+}
+
+TEST(RasterCanvasTest, TextAnchorsShiftPosition) {
+  RasterCanvas left(60, 20), mid(60, 20);
+  TextStyle ls;
+  ls.anchor = TextAnchor::kStart;
+  left.DrawText(Point{30, 15}, "abc", ls);
+  TextStyle ms;
+  ms.anchor = TextAnchor::kEnd;
+  mid.DrawText(Point{30, 15}, "abc", ms);
+  // End-anchored ink lies left of start-anchored ink.
+  bool left_has_ink_right = false, end_has_ink_right = false;
+  for (int x = 31; x < 60; ++x) {
+    for (int y = 0; y < 20; ++y) {
+      if (left.GetPixel(x, y) == palette::kText) left_has_ink_right = true;
+      if (mid.GetPixel(x, y) == palette::kText) end_has_ink_right = true;
+    }
+  }
+  EXPECT_TRUE(left_has_ink_right);
+  EXPECT_FALSE(end_has_ink_right);
+}
+
+TEST(RasterCanvasTest, PpmFormat) {
+  RasterCanvas canvas(3, 2);
+  std::string ppm = canvas.ToPpm();
+  EXPECT_EQ(ppm.substr(0, 2), "P6");
+  EXPECT_NE(ppm.find("3 2"), std::string::npos);
+  EXPECT_EQ(ppm.size(), ppm.find("255\n") + 4 + 3 * 2 * 3);
+}
+
+TEST(Font5x7Test, GlyphsAvailableForAscii) {
+  for (char c = 32; c < 127; ++c) {
+    EXPECT_NE(Glyph5x7(c), nullptr);
+  }
+  // Out-of-range characters get the replacement box.
+  EXPECT_EQ(Glyph5x7('\t'), Glyph5x7(static_cast<char>(200)));
+  // A space has no ink; an 'X' does.
+  const uint8_t* space = Glyph5x7(' ');
+  int ink = 0;
+  for (int i = 0; i < 5; ++i) ink += space[i];
+  EXPECT_EQ(ink, 0);
+  const uint8_t* x = Glyph5x7('X');
+  ink = 0;
+  for (int i = 0; i < 5; ++i) ink += __builtin_popcount(x[i]);
+  EXPECT_GT(ink, 5);
+}
+
+// ---- DisplayList --------------------------------------------------------------------
+
+TEST(DisplayListTest, RecordsAndReplaysIdentically) {
+  DisplayList list(40, 40);
+  list.Clear(palette::kBackground);
+  list.DrawRect(Rect{5, 5, 10, 10}, Style::Fill(Color(255, 0, 0)));
+  list.DrawLine(Point{0, 0}, Point{39, 39}, Style::Stroke(Color(0, 0, 255)));
+  list.DrawText(Point{2, 35}, "x", TextStyle{});
+
+  RasterCanvas direct(40, 40);
+  direct.Clear(palette::kBackground);
+  direct.DrawRect(Rect{5, 5, 10, 10}, Style::Fill(Color(255, 0, 0)));
+  direct.DrawLine(Point{0, 0}, Point{39, 39}, Style::Stroke(Color(0, 0, 255)));
+  direct.DrawText(Point{2, 35}, "x", TextStyle{});
+
+  RasterCanvas replayed(40, 40);
+  list.ReplayAll(replayed);
+  EXPECT_EQ(direct.ToPpm(), replayed.ToPpm());
+}
+
+TEST(DisplayListTest, ChunkedReplayEqualsFullReplay) {
+  DisplayList list(40, 40);
+  list.Clear(palette::kBackground);
+  for (int i = 0; i < 20; ++i) {
+    list.DrawRect(Rect{static_cast<double>(i), static_cast<double>(i), 6, 6},
+                  Style::Fill(CategoricalColor(static_cast<size_t>(i))));
+  }
+  RasterCanvas full(40, 40);
+  list.ReplayAll(full);
+  RasterCanvas chunked(40, 40);
+  for (size_t begin = 0; begin < list.size(); begin += 3) {
+    list.Replay(chunked, begin, begin + 3);
+  }
+  EXPECT_EQ(full.ToPpm(), chunked.ToPpm());
+}
+
+TEST(DisplayListTest, ChunkedReplayReappliesClips) {
+  DisplayList list(40, 40);
+  list.Clear(palette::kBackground);
+  list.PushClip(Rect{0, 0, 10, 10});
+  list.DrawRect(Rect{0, 0, 40, 40}, Style::Fill(Color(255, 0, 0)));
+  list.DrawRect(Rect{5, 5, 40, 40}, Style::Fill(Color(0, 255, 0)));
+  list.PopClip();
+  RasterCanvas full(40, 40);
+  list.ReplayAll(full);
+  RasterCanvas chunked(40, 40);
+  for (size_t begin = 0; begin < list.size(); ++begin) {
+    list.Replay(chunked, begin, begin + 1);  // one item at a time
+  }
+  EXPECT_EQ(full.ToPpm(), chunked.ToPpm());
+}
+
+TEST(DisplayListTest, HitTestFindsTopmostTag) {
+  DisplayList list(100, 100);
+  list.BeginTag(1);
+  list.DrawRect(Rect{0, 0, 50, 50}, Style::Fill(Color(1, 1, 1)));
+  list.EndTag();
+  list.BeginTag(2);
+  list.DrawRect(Rect{25, 25, 50, 50}, Style::Fill(Color(2, 2, 2)));
+  list.EndTag();
+  list.DrawRect(Rect{0, 0, 100, 100}, Style::Stroke(Color(3, 3, 3)));  // untagged
+
+  std::vector<int64_t> hits = list.HitTest(Point{30, 30});
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], 2);  // topmost first
+  EXPECT_EQ(hits[1], 1);
+  EXPECT_TRUE(list.HitTest(Point{90, 90}).empty());
+  EXPECT_EQ(list.HitTest(Point{10, 10}), (std::vector<int64_t>{1}));
+}
+
+TEST(DisplayListTest, HitTestRegionDeduplicates) {
+  DisplayList list(100, 100);
+  list.BeginTag(7);
+  list.DrawRect(Rect{0, 0, 10, 10}, Style::Fill(Color(1, 1, 1)));
+  list.DrawRect(Rect{20, 0, 10, 10}, Style::Fill(Color(1, 1, 1)));
+  list.EndTag();
+  list.BeginTag(8);
+  list.DrawRect(Rect{60, 60, 10, 10}, Style::Fill(Color(1, 1, 1)));
+  list.EndTag();
+  std::vector<int64_t> hits = list.HitTestRegion(Rect{0, 0, 40, 40});
+  EXPECT_EQ(hits, (std::vector<int64_t>{7}));
+  EXPECT_EQ(list.HitTestRegion(Rect{0, 0, 100, 100}).size(), 2u);
+}
+
+// ---- Incremental renderer -------------------------------------------------------------
+
+TEST(IncrementalRendererTest, StepsUntilDone) {
+  DisplayList list(20, 20);
+  for (int i = 0; i < 10; ++i) {
+    list.DrawRect(Rect{0, 0, 5, 5}, Style::Fill(Color(1, 1, 1)));
+  }
+  RasterCanvas target(20, 20);
+  IncrementalRenderer renderer(&list, &target);
+  EXPECT_FALSE(renderer.done());
+  EXPECT_EQ(renderer.Step(4), 4u);
+  EXPECT_NEAR(renderer.Progress(), 0.4, 1e-9);
+  EXPECT_EQ(renderer.Step(4), 4u);
+  EXPECT_EQ(renderer.Step(4), 2u);  // only 2 remain
+  EXPECT_TRUE(renderer.done());
+  EXPECT_EQ(renderer.Step(4), 0u);
+  EXPECT_DOUBLE_EQ(renderer.Progress(), 1.0);
+}
+
+TEST(IncrementalRendererTest, GrowingListContinues) {
+  DisplayList list(20, 20);
+  list.DrawRect(Rect{0, 0, 5, 5}, Style::Fill(Color(1, 1, 1)));
+  RasterCanvas target(20, 20);
+  IncrementalRenderer renderer(&list, &target);
+  EXPECT_EQ(renderer.Step(10), 1u);
+  EXPECT_TRUE(renderer.done());
+  // The tool appends more offers while rendering is in progress.
+  list.DrawRect(Rect{10, 10, 5, 5}, Style::Fill(Color(2, 2, 2)));
+  EXPECT_FALSE(renderer.done());
+  EXPECT_EQ(renderer.Step(10), 1u);
+  EXPECT_TRUE(renderer.done());
+}
+
+TEST(IncrementalRendererTest, ResultMatchesFullRender) {
+  DisplayList list(30, 30);
+  list.Clear(palette::kBackground);
+  for (int i = 0; i < 12; ++i) {
+    list.DrawCircle(Point{15, 15}, 2.0 + i, Style::Stroke(CategoricalColor(i)));
+  }
+  RasterCanvas full(30, 30);
+  list.ReplayAll(full);
+  RasterCanvas incremental(30, 30);
+  IncrementalRenderer renderer(&list, &incremental);
+  while (!renderer.done()) renderer.Step(2);
+  EXPECT_EQ(full.ToPpm(), incremental.ToPpm());
+}
+
+// ---- Axes / legend ----------------------------------------------------------------------
+
+TEST(AxisTest, BottomAxisDrawsTicksAndLabels) {
+  DisplayList canvas(200, 100);
+  Rect plot{20, 10, 160, 70};
+  LinearScale scale(0.0, 10.0, plot.x, plot.right());
+  PrettyScale pretty = MakePrettyScale(0.0, 10.0, 5);
+  DrawBottomAxis(canvas, plot, scale, pretty.ticks);
+  // At least the axis line, one grid line, one tick, one label.
+  size_t lines = 0, texts = 0;
+  for (const DisplayItem& item : canvas.items()) {
+    if (item.kind == DisplayItem::Kind::kLine) ++lines;
+    if (item.kind == DisplayItem::Kind::kText) ++texts;
+  }
+  EXPECT_GE(lines, 4u);
+  EXPECT_GE(texts, 2u);
+}
+
+TEST(AxisTest, LeftAxisAndTitles) {
+  DisplayList canvas(200, 100);
+  Rect plot{40, 10, 140, 70};
+  LinearScale scale(0.0, 5.0, plot.bottom(), plot.y);
+  PrettyScale pretty = MakePrettyScale(0.0, 5.0, 4);
+  DrawLeftAxis(canvas, plot, scale, pretty.ticks);
+  DrawLeftAxisTitle(canvas, plot, "energy");
+  DrawBottomAxisTitle(canvas, plot, "time");
+  bool found_rotated = false;
+  for (const DisplayItem& item : canvas.items()) {
+    if (item.kind == DisplayItem::Kind::kText && item.text_style.rotate_degrees != 0.0) {
+      found_rotated = true;
+    }
+  }
+  EXPECT_TRUE(found_rotated);
+}
+
+TEST(LegendTest, BoxSizesToContent) {
+  DisplayList canvas(300, 100);
+  Rect box = DrawLegend(canvas, Point{10, 10},
+                        {{"short", Color(1, 1, 1), false},
+                         {"a much longer label", Color(2, 2, 2), true}});
+  EXPECT_GT(box.width, Canvas::MeasureTextWidth("a much longer label", 10.0));
+  EXPECT_GT(box.height, 20.0);
+}
+
+}  // namespace
+}  // namespace flexvis::render

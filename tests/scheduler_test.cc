@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "core/scheduler.h"
+#include "util/rng.h"
+
+namespace flexvis::core {
+namespace {
+
+using timeutil::kMinutesPerSlice;
+using timeutil::TimePoint;
+
+TimePoint T0() { return TimePoint::FromCalendarOrDie(2013, 1, 15, 0, 0); }
+
+FlexOffer MakeOffer(FlexOfferId id, int64_t est_offset_slices, int64_t flex_slices,
+                    std::vector<ProfileSlice> profile) {
+  FlexOffer o;
+  o.id = id;
+  o.earliest_start = T0() + est_offset_slices * kMinutesPerSlice;
+  o.latest_start = o.earliest_start + flex_slices * kMinutesPerSlice;
+  o.creation_time = o.earliest_start - 12 * 60;
+  o.acceptance_deadline = o.creation_time + 60;
+  o.assignment_deadline = o.creation_time + 120;
+  o.profile = std::move(profile);
+  return o;
+}
+
+TEST(SchedulerTest, PlacesOfferAtTargetPeak) {
+  // Target has a surplus at slices 4..5; the offer can start anywhere in
+  // slices 0..6 and should land on the surplus.
+  TimeSeries target(T0(), {0, 0, 0, 0, 2.0, 2.0, 0, 0});
+  FlexOffer offer = MakeOffer(1, 0, 6, {{2, 2.0, 2.0}});
+  ScheduleResult result = Scheduler().Plan({offer}, target);
+  ASSERT_EQ(result.accepted, 1);
+  const FlexOffer& scheduled = result.offers[0];
+  ASSERT_TRUE(scheduled.schedule.has_value());
+  EXPECT_EQ(scheduled.schedule->start, T0() + 4 * kMinutesPerSlice);
+  EXPECT_TRUE(Validate(scheduled).ok());
+  EXPECT_LT(result.imbalance_after_kwh, result.imbalance_before_kwh);
+}
+
+TEST(SchedulerTest, ChoosesEnergyWithinBounds) {
+  TimeSeries target(T0(), std::vector<double>{1.5});
+  FlexOffer offer = MakeOffer(1, 0, 0, {{1, 1.0, 2.0}});
+  ScheduleResult result = Scheduler().Plan({offer}, target);
+  ASSERT_TRUE(result.offers[0].schedule.has_value());
+  // The residual-chasing assignment should pick exactly 1.5 kWh.
+  EXPECT_NEAR(result.offers[0].schedule->energy_kwh[0], 1.5, 1e-9);
+  EXPECT_NEAR(result.imbalance_after_kwh, 0.0, 1e-9);
+}
+
+TEST(SchedulerTest, ClampsToMinimumWhenNoSurplus) {
+  TimeSeries target(T0(), {0.0, 0.0});
+  FlexOffer offer = MakeOffer(1, 0, 0, {{2, 1.0, 2.0}});
+  ScheduleResult result = Scheduler().Plan({offer}, target);
+  ASSERT_TRUE(result.offers[0].schedule.has_value());
+  for (double e : result.offers[0].schedule->energy_kwh) EXPECT_NEAR(e, 1.0, 1e-9);
+}
+
+TEST(SchedulerTest, ProductionOffersReduceDeficit) {
+  // Negative target = deficit; a production offer should absorb it.
+  TimeSeries target(T0(), {-2.0, -2.0});
+  FlexOffer offer = MakeOffer(1, 0, 0, {{2, 0.0, 2.0}});
+  offer.direction = Direction::kProduction;
+  ScheduleResult result = Scheduler().Plan({offer}, target);
+  ASSERT_TRUE(result.offers[0].schedule.has_value());
+  for (double e : result.offers[0].schedule->energy_kwh) EXPECT_NEAR(e, 2.0, 1e-9);
+  EXPECT_NEAR(result.imbalance_after_kwh, 0.0, 1e-9);
+}
+
+TEST(SchedulerTest, InvalidOffersAreSkipped) {
+  FlexOffer bad = MakeOffer(1, 0, 0, {});
+  TimeSeries target(T0(), std::vector<double>{1.0});
+  ScheduleResult result = Scheduler().Plan({bad}, target);
+  EXPECT_EQ(result.accepted, 0);
+  EXPECT_EQ(result.offers[0].state, FlexOfferState::kOffered);
+}
+
+TEST(SchedulerTest, RejectionThresholdRejectsUselessLoad) {
+  // No surplus anywhere: placing the offer only adds imbalance.
+  TimeSeries target(T0(), {0.0, 0.0, 0.0, 0.0});
+  FlexOffer offer = MakeOffer(1, 0, 2, {{2, 3.0, 3.0}});
+  SchedulerParams params;
+  params.rejection_threshold = 0.1;
+  ScheduleResult result = Scheduler(params).Plan({offer}, target);
+  EXPECT_EQ(result.rejected, 1);
+  EXPECT_EQ(result.offers[0].state, FlexOfferState::kRejected);
+  EXPECT_FALSE(result.offers[0].schedule.has_value());
+}
+
+TEST(SchedulerTest, PlannedLoadMatchesSchedules) {
+  TimeSeries target(T0(), {2.0, 2.0, 2.0, 2.0});
+  std::vector<FlexOffer> offers = {MakeOffer(1, 0, 2, {{2, 1.0, 1.0}}),
+                                   MakeOffer(2, 0, 2, {{2, 0.5, 1.0}})};
+  ScheduleResult result = Scheduler().Plan(offers, target);
+  double planned_total = 0.0;
+  for (const FlexOffer& o : result.offers) planned_total += o.total_scheduled_energy_kwh();
+  EXPECT_NEAR(result.planned_load.Total(), planned_total, 1e-9);
+}
+
+TEST(SchedulerTest, OrderModesAllProduceValidPlans) {
+  Rng rng(5150);
+  std::vector<FlexOffer> offers;
+  for (int i = 0; i < 30; ++i) {
+    int slices = static_cast<int>(rng.UniformInt(1, 6));
+    std::vector<ProfileSlice> profile;
+    for (int s = 0; s < slices; ++s) {
+      double min = rng.Uniform(0.0, 1.0);
+      profile.push_back(ProfileSlice{1, min, min + rng.Uniform(0.0, 1.0)});
+    }
+    offers.push_back(MakeOffer(i + 1, rng.UniformInt(0, 40), rng.UniformInt(0, 10),
+                               std::move(profile)));
+  }
+  TimeSeries target(T0(), std::vector<double>(64, 1.5));
+  for (auto order : {SchedulerParams::Order::kLeastFlexibleFirst,
+                     SchedulerParams::Order::kLargestEnergyFirst,
+                     SchedulerParams::Order::kArrival}) {
+    SchedulerParams params;
+    params.order = order;
+    ScheduleResult result = Scheduler(params).Plan(offers, target);
+    EXPECT_EQ(result.accepted, 30);
+    EXPECT_LE(result.imbalance_after_kwh, result.imbalance_before_kwh + 1e-9);
+    for (const FlexOffer& o : result.offers) {
+      EXPECT_TRUE(Validate(o).ok()) << Describe(o);
+    }
+  }
+}
+
+// Property: scheduling never increases imbalance when all offers can choose
+// zero-ish minimum energy.
+class SchedulerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SchedulerPropertyTest, ImbalanceNeverWorsensWithFreeOffers) {
+  Rng rng(GetParam());
+  std::vector<FlexOffer> offers;
+  int n = static_cast<int>(rng.UniformInt(3, 25));
+  for (int i = 0; i < n; ++i) {
+    int slices = static_cast<int>(rng.UniformInt(1, 5));
+    std::vector<ProfileSlice> profile;
+    for (int s = 0; s < slices; ++s) {
+      profile.push_back(ProfileSlice{1, 0.0, rng.Uniform(0.5, 3.0)});  // min 0
+    }
+    offers.push_back(MakeOffer(i + 1, rng.UniformInt(0, 60), rng.UniformInt(0, 12),
+                               std::move(profile)));
+  }
+  std::vector<double> target_values(96);
+  for (double& v : target_values) v = rng.Uniform(0.0, 4.0);
+  TimeSeries target(T0(), target_values);
+  ScheduleResult result = Scheduler().Plan(offers, target);
+  EXPECT_LE(result.imbalance_after_kwh, result.imbalance_before_kwh + 1e-6);
+  for (const FlexOffer& o : result.offers) EXPECT_TRUE(Validate(o).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerPropertyTest,
+                         ::testing::Values(7, 11, 19, 42, 77, 101, 999));
+
+}  // namespace
+}  // namespace flexvis::core

@@ -1,0 +1,392 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/measures.h"
+#include "sim/energy_models.h"
+#include "sim/enterprise.h"
+#include "sim/forecaster.h"
+#include "sim/market.h"
+#include "sim/workload.h"
+
+namespace flexvis::sim {
+namespace {
+
+using core::FlexOffer;
+using core::TimeSeries;
+using timeutil::kMinutesPerDay;
+using timeutil::kMinutesPerSlice;
+using timeutil::TimeInterval;
+using timeutil::TimePoint;
+
+TimePoint T0() { return TimePoint::FromCalendarOrDie(2013, 1, 15, 0, 0); }
+
+// ---- Workload generator -----------------------------------------------------------
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest()
+      : atlas_(geo::Atlas::MakeDenmark()),
+        topology_(grid::GridTopology::MakeRadial(2, 2, 2, 3)),
+        generator_(&atlas_, &topology_) {}
+
+  WorkloadParams DefaultParams() {
+    WorkloadParams params;
+    params.seed = 7;
+    params.num_prosumers = 50;
+    params.offers_per_prosumer = 4.0;
+    params.horizon = TimeInterval(T0(), T0() + 2 * kMinutesPerDay);
+    return params;
+  }
+
+  geo::Atlas atlas_;
+  grid::GridTopology topology_;
+  WorkloadGenerator generator_;
+};
+
+TEST_F(WorkloadTest, DeterministicForSameSeed) {
+  Workload a = generator_.Generate(DefaultParams());
+  Workload b = generator_.Generate(DefaultParams());
+  ASSERT_EQ(a.offers.size(), b.offers.size());
+  for (size_t i = 0; i < a.offers.size(); ++i) {
+    EXPECT_EQ(a.offers[i].id, b.offers[i].id);
+    EXPECT_EQ(a.offers[i].earliest_start, b.offers[i].earliest_start);
+    EXPECT_EQ(a.offers[i].profile, b.offers[i].profile);
+    EXPECT_EQ(a.offers[i].state, b.offers[i].state);
+  }
+  WorkloadParams other = DefaultParams();
+  other.seed = 8;
+  Workload c = generator_.Generate(other);
+  bool any_difference = c.offers.size() != a.offers.size();
+  for (size_t i = 0; !any_difference && i < std::min(a.offers.size(), c.offers.size()); ++i) {
+    any_difference = !(a.offers[i].earliest_start == c.offers[i].earliest_start);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_F(WorkloadTest, EveryOfferValidates) {
+  Workload w = generator_.Generate(DefaultParams());
+  ASSERT_GT(w.offers.size(), 50u);
+  for (const FlexOffer& o : w.offers) {
+    EXPECT_TRUE(core::Validate(o).ok()) << core::Describe(o);
+  }
+}
+
+TEST_F(WorkloadTest, OffersCarryDimensionAttributes) {
+  Workload w = generator_.Generate(DefaultParams());
+  std::vector<geo::GeoRegion> leaves = atlas_.Leaves();
+  for (const FlexOffer& o : w.offers) {
+    bool in_leaf = false;
+    for (const geo::GeoRegion& r : leaves) {
+      if (r.id == o.region) in_leaf = true;
+    }
+    EXPECT_TRUE(in_leaf);
+    EXPECT_TRUE(topology_.Find(o.grid_node).ok());
+  }
+}
+
+TEST_F(WorkloadTest, StateMixApproximatesConfiguredFractions) {
+  WorkloadParams params = DefaultParams();
+  params.num_prosumers = 400;
+  Workload w = generator_.Generate(params);
+  core::StateCounts counts = core::CountByState(w.offers);
+  EXPECT_NEAR(counts.Fraction(core::FlexOfferState::kAccepted), 0.31, 0.05);
+  EXPECT_NEAR(counts.Fraction(core::FlexOfferState::kAssigned), 0.43, 0.05);
+  EXPECT_NEAR(counts.Fraction(core::FlexOfferState::kRejected), 0.26, 0.05);
+}
+
+TEST_F(WorkloadTest, AssignedOffersHaveValidSchedules) {
+  Workload w = generator_.Generate(DefaultParams());
+  int assigned = 0;
+  for (const FlexOffer& o : w.offers) {
+    if (o.state == core::FlexOfferState::kAssigned) {
+      ++assigned;
+      EXPECT_TRUE(o.schedule.has_value());
+    } else {
+      EXPECT_FALSE(o.schedule.has_value());
+    }
+  }
+  EXPECT_GT(assigned, 0);
+}
+
+TEST_F(WorkloadTest, ProducersIssueProductionOffers) {
+  WorkloadParams params = DefaultParams();
+  params.num_prosumers = 300;
+  Workload w = generator_.Generate(params);
+  int production = 0;
+  for (const FlexOffer& o : w.offers) {
+    if (o.direction == core::Direction::kProduction) ++production;
+  }
+  EXPECT_GT(production, 0);
+}
+
+TEST_F(WorkloadTest, LoadIntoDatabaseRoundTrips) {
+  Workload w = generator_.Generate(DefaultParams());
+  dw::Database db;
+  ASSERT_TRUE(atlas_.RegisterWithDatabase(db).ok());
+  ASSERT_TRUE(topology_.RegisterWithDatabase(db).ok());
+  ASSERT_TRUE(WorkloadGenerator::LoadIntoDatabase(w, db).ok());
+  EXPECT_EQ(db.NumFlexOffers(), w.offers.size());
+  EXPECT_EQ(db.prosumers().size(), w.prosumers.size());
+}
+
+// ---- Energy models --------------------------------------------------------------------
+
+TEST(EnergyModelsTest, SolarZeroAtNightAndPositiveAtNoon) {
+  TimeInterval day(T0(), T0() + kMinutesPerDay);
+  EnergyModelParams params;
+  params.wind_mean_kwh = 0.0;  // isolate solar
+  params.noise = 0.0;
+  TimeSeries res = MakeResProduction(day, params);
+  EXPECT_NEAR(res.At(T0() + 2 * 60), 0.0, 1e-9);             // 02:00
+  EXPECT_GT(res.At(T0() + 13 * 60), params.solar_peak_kwh * 0.8);  // 13:00
+  EXPECT_NEAR(res.At(T0() + 23 * 60), 0.0, 1e-9);            // 23:00
+}
+
+TEST(EnergyModelsTest, DemandHasMorningAndEveningPeaks) {
+  TimeInterval day(T0(), T0() + kMinutesPerDay);
+  EnergyModelParams params;
+  params.noise = 0.0;
+  TimeSeries demand = MakeInflexibleDemand(day, params);
+  double night = demand.At(T0() + 3 * 60);
+  double morning = demand.At(T0() + 8 * 60);
+  double evening = demand.At(T0() + 19 * 60);
+  EXPECT_GT(morning, night * 1.2);
+  EXPECT_GT(evening, morning);
+  for (double v : demand.values()) EXPECT_GE(v, 0.0);
+}
+
+TEST(EnergyModelsTest, TargetIsSignedSurplus) {
+  TimeInterval day(T0(), T0() + kMinutesPerDay);
+  EnergyModelParams params;
+  TimeSeries res = MakeResProduction(day, params);
+  TimeSeries demand = MakeInflexibleDemand(day, params);
+  TimeSeries target = MakeFlexibilityTarget(res, demand);
+  bool any_negative = false;
+  for (size_t i = 0; i < target.size(); ++i) {
+    double expected = res.AtIndex(static_cast<int64_t>(i)) -
+                      demand.AtIndex(static_cast<int64_t>(i));
+    EXPECT_NEAR(target.AtIndex(static_cast<int64_t>(i)), expected, 1e-9);
+    if (expected < 0.0) any_negative = true;
+  }
+  // The default mix has deficit hours (evening peak), which flexible
+  // production should serve - so the target must keep its sign.
+  EXPECT_TRUE(any_negative);
+}
+
+TEST(EnergyModelsTest, DeterministicPerSeed) {
+  TimeInterval day(T0(), T0() + kMinutesPerDay);
+  EnergyModelParams params;
+  EXPECT_EQ(MakeResProduction(day, params), MakeResProduction(day, params));
+  params.seed = 8;
+  EXPECT_FALSE(MakeResProduction(day, params) ==
+               MakeResProduction(day, EnergyModelParams{}));
+}
+
+// ---- Forecasters -----------------------------------------------------------------------
+
+TEST(ForecasterTest, SeasonalNaiveExactOnPeriodicSeries) {
+  // Two identical days of history; the forecast must repeat them exactly.
+  std::vector<double> day_shape(96);
+  for (size_t i = 0; i < 96; ++i) day_shape[i] = 10.0 + std::sin(i * 0.3) * 3.0;
+  std::vector<double> history = day_shape;
+  history.insert(history.end(), day_shape.begin(), day_shape.end());
+  TimeSeries hist(T0(), history);
+
+  SeasonalNaiveForecaster naive(96);
+  TimeSeries forecast = naive.Forecast(hist, 96);
+  EXPECT_EQ(forecast.start(), hist.end());
+  for (size_t i = 0; i < 96; ++i) {
+    EXPECT_NEAR(forecast.AtIndex(static_cast<int64_t>(i)), day_shape[i], 1e-9);
+  }
+  ForecastError err = EvaluateForecast(forecast, TimeSeries(hist.end(), day_shape));
+  EXPECT_NEAR(err.mae, 0.0, 1e-9);
+  EXPECT_NEAR(err.rmse, 0.0, 1e-9);
+}
+
+TEST(ForecasterTest, HoltWintersBeatsNaiveOnTrendedSeries) {
+  // Seasonal pattern plus a steady upward trend: the naive forecaster lags
+  // by one full day, Holt-Winters tracks the trend.
+  std::vector<double> history;
+  for (int d = 0; d < 6; ++d) {
+    for (int s = 0; s < 96; ++s) {
+      history.push_back(50.0 + d * 96 * 0.05 + s * 0.05 + 10.0 * std::sin(s * 2.0 * M_PI / 96));
+    }
+  }
+  TimeSeries hist(T0(), history);
+  std::vector<double> future;
+  for (int s = 0; s < 96; ++s) {
+    future.push_back(50.0 + 6 * 96 * 0.05 + s * 0.05 + 10.0 * std::sin(s * 2.0 * M_PI / 96));
+  }
+  TimeSeries actual(hist.end(), future);
+
+  SeasonalNaiveForecaster naive(96);
+  HoltWintersForecaster hw(96);
+  ForecastError naive_err = EvaluateForecast(naive.Forecast(hist, 96), actual);
+  ForecastError hw_err = EvaluateForecast(hw.Forecast(hist, 96), actual);
+  EXPECT_LT(hw_err.mae, naive_err.mae);
+  EXPECT_LT(hw_err.rmse, naive_err.rmse);
+}
+
+TEST(ForecasterTest, HoltWintersFallsBackOnShortHistory) {
+  TimeSeries hist(T0(), {1.0, 2.0, 3.0});
+  HoltWintersForecaster hw(96);
+  TimeSeries forecast = hw.Forecast(hist, 4);
+  EXPECT_EQ(forecast.size(), 4u);  // delegated to the naive baseline
+}
+
+TEST(ForecasterTest, EvaluateHandlesDisjointSeries) {
+  TimeSeries a(T0(), std::vector<double>{1.0});
+  TimeSeries b(T0() + 1000 * kMinutesPerSlice, std::vector<double>{1.0});
+  ForecastError err = EvaluateForecast(a, b);
+  EXPECT_EQ(err.mae, 0.0);
+}
+
+// ---- Market ----------------------------------------------------------------------------
+
+TEST(MarketTest, PricesRiseWithScarcity) {
+  TimeInterval day(T0(), T0() + kMinutesPerDay);
+  MarketParams params;
+  params.noise = 0.0;
+  Market market(params);
+  TimeSeries calm(day.start, std::vector<double>(96, 0.0));
+  TimeSeries scarce(day.start, std::vector<double>(96, 400.0));
+  TimeSeries calm_prices = market.MakePrices(day, calm);
+  TimeSeries scarce_prices = market.MakePrices(day, scarce);
+  EXPECT_GT(scarce_prices.Mean(), calm_prices.Mean());
+  EXPECT_NEAR(calm_prices.Mean(), params.base_price_eur_mwh, 1.0);
+}
+
+TEST(MarketTest, SettlementMath) {
+  MarketParams params;
+  params.imbalance_fee_multiplier = 3.0;
+  Market market(params);
+  // Flat 100 EUR/MWh prices = 0.1 EUR/kWh.
+  TimeSeries prices(T0(), std::vector<double>(4, 100.0));
+  TimeSeries residual(T0(), {10.0, -5.0, 0.0, 0.0});
+  TimeSeries deviation(T0(), {2.0, -1.0, 0.0, 0.0});
+  Settlement s = market.Settle(residual, deviation, prices);
+  EXPECT_NEAR(s.spot_cost_eur, (10.0 - 5.0) * 0.1, 1e-9);
+  EXPECT_NEAR(s.imbalance_kwh, 3.0, 1e-9);
+  EXPECT_NEAR(s.imbalance_cost_eur, 3.0 * 0.1 * 3.0, 1e-9);
+  EXPECT_NEAR(s.total_cost_eur, s.spot_cost_eur + s.imbalance_cost_eur, 1e-9);
+}
+
+// ---- Enterprise ----------------------------------------------------------------------------
+
+class EnterpriseTest : public ::testing::Test {
+ protected:
+  EnterpriseTest()
+      : atlas_(geo::Atlas::MakeDenmark()),
+        topology_(grid::GridTopology::MakeRadial(2, 2, 2, 3)),
+        generator_(&atlas_, &topology_) {
+    WorkloadParams params;
+    params.seed = 99;
+    params.num_prosumers = 80;
+    params.offers_per_prosumer = 3.0;
+    params.horizon = TimeInterval(T0(), T0() + kMinutesPerDay);
+    workload_ = generator_.Generate(params);
+  }
+
+  geo::Atlas atlas_;
+  grid::GridTopology topology_;
+  WorkloadGenerator generator_;
+  Workload workload_;
+};
+
+TEST_F(EnterpriseTest, PlanHorizonReducesImbalance) {
+  // A generous RES surplus: the portfolio's mandatory load fits under the
+  // target, so scheduling must strictly improve the balance. (With a scarce
+  // target, mandatory minimum energies can exceed the surplus and imbalance
+  // legitimately grows - covered by ExecutionSimulationProducesDeviation.)
+  EnterpriseParams eparams;
+  eparams.energy.wind_mean_kwh = 500.0;
+  eparams.energy.solar_peak_kwh = 250.0;
+  eparams.energy.demand_base_kwh = 120.0;
+  Enterprise enterprise(eparams);
+  TimeInterval window(T0(), T0() + kMinutesPerDay);
+  Result<PlanningReport> report = enterprise.PlanHorizon(workload_.offers, window);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->offers_in, static_cast<int>(workload_.offers.size()));
+  EXPECT_GT(report->aggregates_built, 0);
+  EXPECT_LE(report->imbalance_after_kwh, report->imbalance_before_kwh + 1e-6);
+  EXPECT_EQ(report->aggregates_assigned + report->aggregates_rejected,
+            report->aggregates_built);
+}
+
+TEST_F(EnterpriseTest, MemberSchedulesAreValidAndMatchAggregatePlan) {
+  Enterprise enterprise;
+  TimeInterval window(T0(), T0() + kMinutesPerDay);
+  Result<PlanningReport> report = enterprise.PlanHorizon(workload_.offers, window);
+  ASSERT_TRUE(report.ok());
+  for (const FlexOffer& m : report->member_offers) {
+    EXPECT_TRUE(core::Validate(m).ok()) << core::Describe(m);
+  }
+  // The disaggregation invariant: member-level planned load equals the
+  // aggregate-level planned load.
+  TimeSeries aggregate_plan = core::PlannedLoad(report->aggregate_offers);
+  TimeSeries member_plan = report->planned_flexible_load;
+  TimeInterval overlap = aggregate_plan.interval().Span(member_plan.interval());
+  for (TimePoint t = overlap.start; t < overlap.end; t = t + kMinutesPerSlice) {
+    EXPECT_NEAR(aggregate_plan.At(t), member_plan.At(t), 1e-6);
+  }
+}
+
+TEST_F(EnterpriseTest, ExecutionSimulationProducesDeviation) {
+  EnterpriseParams params;
+  params.execution_noise = 0.10;
+  params.non_compliance = 0.05;
+  Enterprise enterprise(params);
+  TimeInterval window(T0(), T0() + kMinutesPerDay);
+  Result<PlanningReport> report = enterprise.PlanHorizon(workload_.offers, window);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->deviation.AbsTotal(), 0.0);
+  EXPECT_GT(report->settlement.imbalance_cost_eur, 0.0);
+  // Perfect execution -> (almost) no deviation.
+  EnterpriseParams perfect;
+  perfect.execution_noise = 0.0;
+  perfect.non_compliance = 0.0;
+  Result<PlanningReport> clean = Enterprise(perfect).PlanHorizon(workload_.offers, window);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_NEAR(clean->deviation.AbsTotal(), 0.0, 1e-6);
+}
+
+TEST_F(EnterpriseTest, RunDayAheadWritesBackToWarehouse) {
+  dw::Database db;
+  ASSERT_TRUE(atlas_.RegisterWithDatabase(db).ok());
+  ASSERT_TRUE(topology_.RegisterWithDatabase(db).ok());
+  ASSERT_TRUE(WorkloadGenerator::LoadIntoDatabase(workload_, db).ok());
+  size_t raw_count = db.NumFlexOffers();
+
+  Enterprise enterprise;
+  TimeInterval window(T0(), T0() + kMinutesPerDay);
+  Result<PlanningReport> report = enterprise.RunDayAhead(db, window);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // Aggregates were appended.
+  EXPECT_EQ(db.NumFlexOffers(), raw_count + report->aggregate_offers.size());
+
+  // Member states in the DW reflect the plan.
+  dw::FlexOfferFilter assigned;
+  assigned.states = {core::FlexOfferState::kAssigned};
+  assigned.aggregates = dw::FlexOfferFilter::AggregateFilter::kOnlyRaw;
+  Result<std::vector<FlexOffer>> in_dw = db.SelectFlexOffers(assigned);
+  ASSERT_TRUE(in_dw.ok());
+  int planned_assigned = 0;
+  for (const FlexOffer& m : report->member_offers) {
+    if (m.state == core::FlexOfferState::kAssigned) ++planned_assigned;
+  }
+  EXPECT_EQ(static_cast<int>(in_dw->size()), planned_assigned);
+  for (const FlexOffer& o : *in_dw) {
+    EXPECT_TRUE(o.schedule.has_value());
+    EXPECT_TRUE(core::Validate(o).ok());
+  }
+}
+
+TEST_F(EnterpriseTest, EmptyWindowRejected) {
+  Enterprise enterprise;
+  EXPECT_FALSE(enterprise.PlanHorizon(workload_.offers, TimeInterval()).ok());
+}
+
+}  // namespace
+}  // namespace flexvis::sim

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "core/time_series.h"
+
+namespace flexvis::core {
+namespace {
+
+using timeutil::kMinutesPerSlice;
+using timeutil::TimeInterval;
+using timeutil::TimePoint;
+
+TimePoint T0() { return TimePoint::FromCalendarOrDie(2013, 1, 15, 0, 0); }
+
+TEST(TimeSeriesTest, EmptyBehaviour) {
+  TimeSeries s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.Total(), 0.0);
+  EXPECT_EQ(s.Min(), 0.0);
+  EXPECT_EQ(s.Max(), 0.0);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.At(T0()), 0.0);
+}
+
+TEST(TimeSeriesTest, ConstructionAlignsStart) {
+  TimeSeries s(T0() + 7, 4);  // unaligned start truncates to the slice grid
+  EXPECT_EQ(s.start(), T0());
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.end(), T0() + 4 * kMinutesPerSlice);
+}
+
+TEST(TimeSeriesTest, AtAndIndexing) {
+  TimeSeries s(T0(), {1.0, 2.0, 3.0});
+  EXPECT_EQ(s.At(T0()), 1.0);
+  EXPECT_EQ(s.At(T0() + 14), 1.0);   // same slice
+  EXPECT_EQ(s.At(T0() + 15), 2.0);
+  EXPECT_EQ(s.At(T0() + 44), 3.0);
+  EXPECT_EQ(s.At(T0() + 45), 0.0);   // past the end
+  EXPECT_EQ(s.At(T0() - 1), 0.0);    // before the start
+  EXPECT_EQ(s.IndexOf(T0() - 1), -1);
+  EXPECT_EQ(s.IndexOf(T0() + 30), 2);
+}
+
+TEST(TimeSeriesTest, SetExtends) {
+  TimeSeries s(T0(), 2);
+  s.Set(5, 7.0);
+  EXPECT_EQ(s.size(), 6u);
+  EXPECT_EQ(s.AtIndex(5), 7.0);
+  EXPECT_EQ(s.AtIndex(3), 0.0);
+}
+
+TEST(TimeSeriesTest, AddAtIgnoresPreStart) {
+  TimeSeries s(T0(), 2);
+  EXPECT_FALSE(s.AddAt(T0() - 15, 1.0));
+  EXPECT_TRUE(s.AddAt(T0() + 15, 2.5));
+  EXPECT_TRUE(s.AddAt(T0() + 15, 0.5));
+  EXPECT_EQ(s.At(T0() + 15), 3.0);
+  // Extending beyond the end grows the series.
+  EXPECT_TRUE(s.AddAt(T0() + 10 * kMinutesPerSlice, 1.0));
+  EXPECT_EQ(s.size(), 11u);
+}
+
+TEST(TimeSeriesTest, AddSubtractAlignByAbsoluteTime) {
+  TimeSeries a(T0(), {1.0, 1.0, 1.0});
+  TimeSeries b(T0() + kMinutesPerSlice, {2.0, 2.0});
+  a.Add(b);
+  EXPECT_EQ(a.values(), (std::vector<double>{1.0, 3.0, 3.0}));
+  a.Subtract(b);
+  EXPECT_EQ(a.values(), (std::vector<double>{1.0, 1.0, 1.0}));
+}
+
+TEST(TimeSeriesTest, ScaleClampTotals) {
+  TimeSeries s(T0(), {-1.0, 2.0, 4.0});
+  s.Scale(2.0);
+  EXPECT_EQ(s.values(), (std::vector<double>{-2.0, 4.0, 8.0}));
+  EXPECT_DOUBLE_EQ(s.Total(), 10.0);
+  EXPECT_DOUBLE_EQ(s.AbsTotal(), 14.0);
+  EXPECT_DOUBLE_EQ(s.Min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 8.0);
+  s.Clamp(0.0, 5.0);
+  EXPECT_EQ(s.values(), (std::vector<double>{0.0, 4.0, 5.0}));
+}
+
+TEST(TimeSeriesTest, SliceClipsWindow) {
+  TimeSeries s(T0(), {1.0, 2.0, 3.0, 4.0});
+  TimeSeries sub = s.Slice(TimeInterval(T0() + kMinutesPerSlice, T0() + 3 * kMinutesPerSlice));
+  EXPECT_EQ(sub.start(), T0() + kMinutesPerSlice);
+  EXPECT_EQ(sub.values(), (std::vector<double>{2.0, 3.0}));
+  // Window larger than the series clips to it.
+  TimeSeries all = s.Slice(TimeInterval(T0() - 100, T0() + 1000));
+  EXPECT_EQ(all.values(), s.values());
+  // Disjoint window yields an empty series.
+  EXPECT_TRUE(s.Slice(TimeInterval(T0() + 500, T0() + 600)).empty());
+}
+
+TEST(TimeSeriesTest, DownsampleSums) {
+  TimeSeries s(T0(), {1.0, 2.0, 3.0, 4.0, 5.0});
+  TimeSeries d = s.Downsample(2);
+  EXPECT_EQ(d.values(), (std::vector<double>{3.0, 7.0, 5.0}));
+  EXPECT_EQ(s.Downsample(1).values(), s.values());
+}
+
+TEST(TimeSeriesTest, MeanAndEquality) {
+  TimeSeries a(T0(), {2.0, 4.0});
+  EXPECT_DOUBLE_EQ(a.Mean(), 3.0);
+  TimeSeries b(T0(), {2.0, 4.0});
+  EXPECT_EQ(a, b);
+  TimeSeries c(T0() + kMinutesPerSlice, {2.0, 4.0});
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace flexvis::core

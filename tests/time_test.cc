@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "time/granularity.h"
+#include "time/time_point.h"
+
+namespace flexvis::timeutil {
+namespace {
+
+TEST(TimePointTest, EpochIsJan2000) {
+  CalendarTime c = TimePoint().ToCalendar();
+  EXPECT_EQ(c.year, 2000);
+  EXPECT_EQ(c.month, 1);
+  EXPECT_EQ(c.day, 1);
+  EXPECT_EQ(c.hour, 0);
+  EXPECT_EQ(c.minute, 0);
+  EXPECT_EQ(c.day_of_week, 5);  // 2000-01-01 was a Saturday
+}
+
+TEST(TimePointTest, FromCalendarRoundTrip) {
+  TimePoint t = TimePoint::FromCalendarOrDie(2013, 3, 18, 14, 45);
+  CalendarTime c = t.ToCalendar();
+  EXPECT_EQ(c.year, 2013);
+  EXPECT_EQ(c.month, 3);
+  EXPECT_EQ(c.day, 18);
+  EXPECT_EQ(c.hour, 14);
+  EXPECT_EQ(c.minute, 45);
+  EXPECT_EQ(c.day_of_week, 0);  // EDBT 2013 started on a Monday
+}
+
+TEST(TimePointTest, PreEpochDatesWork) {
+  TimePoint t = TimePoint::FromCalendarOrDie(1999, 12, 31, 23, 59);
+  EXPECT_LT(t.minutes(), 0);
+  CalendarTime c = t.ToCalendar();
+  EXPECT_EQ(c.year, 1999);
+  EXPECT_EQ(c.month, 12);
+  EXPECT_EQ(c.day, 31);
+  EXPECT_EQ(c.hour, 23);
+}
+
+TEST(TimePointTest, RejectsInvalidFields) {
+  EXPECT_FALSE(TimePoint::FromCalendar(2013, 13, 1, 0, 0).ok());
+  EXPECT_FALSE(TimePoint::FromCalendar(2013, 0, 1, 0, 0).ok());
+  EXPECT_FALSE(TimePoint::FromCalendar(2013, 2, 29, 0, 0).ok());  // not a leap year
+  EXPECT_TRUE(TimePoint::FromCalendar(2012, 2, 29, 0, 0).ok());   // leap year
+  EXPECT_FALSE(TimePoint::FromCalendar(2013, 1, 1, 24, 0).ok());
+  EXPECT_FALSE(TimePoint::FromCalendar(2013, 1, 1, 0, 60).ok());
+}
+
+TEST(TimePointTest, Formatting) {
+  TimePoint t = TimePoint::FromCalendarOrDie(2012, 2, 1, 12, 15);
+  EXPECT_EQ(t.ToString(), "2012-02-01 12:15");
+  EXPECT_EQ(t.TimeOfDayString(), "12:15");
+}
+
+TEST(TimePointTest, ArithmeticAndComparison) {
+  TimePoint a = TimePoint::FromCalendarOrDie(2013, 1, 1, 0, 0);
+  TimePoint b = a + 90;
+  EXPECT_EQ(b - a, 90);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(b - 90, a);
+  EXPECT_EQ(b.ToCalendar().hour, 1);
+  EXPECT_EQ(b.ToCalendar().minute, 30);
+}
+
+// Round-trip sweep across many days including leap-year boundaries.
+class CalendarRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CalendarRoundTripTest, DayRoundTrips) {
+  int64_t day = GetParam();
+  TimePoint t = TimePoint::FromMinutes(day * kMinutesPerDay + 123);
+  CalendarTime c = t.ToCalendar();
+  TimePoint back = TimePoint::FromCalendarOrDie(c.year, c.month, c.day, c.hour, c.minute);
+  EXPECT_EQ(back, t) << c.year << "-" << c.month << "-" << c.day;
+}
+
+INSTANTIATE_TEST_SUITE_P(DaySweep, CalendarRoundTripTest,
+                         ::testing::Values(-400, -1, 0, 1, 58, 59, 60, 365, 366, 730, 1096,
+                                           1460, 1461, 4748, 5000, 10000, 36524));
+
+TEST(LeapYearTest, Rules) {
+  EXPECT_TRUE(IsLeapYear(2000));
+  EXPECT_TRUE(IsLeapYear(2012));
+  EXPECT_FALSE(IsLeapYear(1900));
+  EXPECT_FALSE(IsLeapYear(2013));
+  EXPECT_TRUE(IsLeapYear(2400));
+}
+
+TEST(DaysInMonthTest, AllMonths) {
+  EXPECT_EQ(DaysInMonth(2013, 1), 31);
+  EXPECT_EQ(DaysInMonth(2013, 2), 28);
+  EXPECT_EQ(DaysInMonth(2012, 2), 29);
+  EXPECT_EQ(DaysInMonth(2013, 4), 30);
+  EXPECT_EQ(DaysInMonth(2013, 12), 31);
+  EXPECT_EQ(DaysInMonth(2013, 0), 0);
+  EXPECT_EQ(DaysInMonth(2013, 13), 0);
+}
+
+// ---- TimeInterval -------------------------------------------------------------
+
+TEST(TimeIntervalTest, EmptyAndDuration) {
+  TimePoint t = TimePoint::FromCalendarOrDie(2013, 1, 1, 0, 0);
+  EXPECT_TRUE(TimeInterval(t, t).empty());
+  EXPECT_TRUE(TimeInterval(t + 10, t).empty());
+  EXPECT_EQ(TimeInterval(t, t + 60).duration_minutes(), 60);
+}
+
+TEST(TimeIntervalTest, ContainsIsHalfOpen) {
+  TimePoint t = TimePoint::FromCalendarOrDie(2013, 1, 1, 0, 0);
+  TimeInterval iv(t, t + 60);
+  EXPECT_TRUE(iv.Contains(t));
+  EXPECT_TRUE(iv.Contains(t + 59));
+  EXPECT_FALSE(iv.Contains(t + 60));
+  EXPECT_FALSE(iv.Contains(t - 1));
+}
+
+TEST(TimeIntervalTest, OverlapsAndIntersect) {
+  TimePoint t = TimePoint::FromCalendarOrDie(2013, 1, 1, 0, 0);
+  TimeInterval a(t, t + 60);
+  TimeInterval b(t + 30, t + 90);
+  TimeInterval c(t + 60, t + 120);
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_FALSE(a.Overlaps(c));  // half-open: touching is not overlapping
+  TimeInterval i = a.Intersect(b);
+  EXPECT_EQ(i.start, t + 30);
+  EXPECT_EQ(i.end, t + 60);
+  EXPECT_TRUE(a.Intersect(c).empty());
+}
+
+TEST(TimeIntervalTest, Span) {
+  TimePoint t = TimePoint::FromCalendarOrDie(2013, 1, 1, 0, 0);
+  TimeInterval a(t, t + 10);
+  TimeInterval b(t + 100, t + 110);
+  TimeInterval s = a.Span(b);
+  EXPECT_EQ(s.start, t);
+  EXPECT_EQ(s.end, t + 110);
+  EXPECT_EQ(TimeInterval().Span(a), a);
+  EXPECT_EQ(a.Span(TimeInterval()), a);
+}
+
+// ---- Granularity ---------------------------------------------------------------
+
+TEST(GranularityTest, ParseAndName) {
+  EXPECT_EQ(*ParseGranularity("day"), Granularity::kDay);
+  EXPECT_EQ(*ParseGranularity("HOUR"), Granularity::kHour);
+  EXPECT_FALSE(ParseGranularity("fortnight").ok());
+  EXPECT_EQ(GranularityName(Granularity::kQuarter), "quarter");
+}
+
+TEST(GranularityTest, TruncateSliceHourDay) {
+  TimePoint t = TimePoint::FromCalendarOrDie(2013, 5, 17, 13, 38);
+  EXPECT_EQ(TruncateTo(t, Granularity::kSlice).ToString(), "2013-05-17 13:30");
+  EXPECT_EQ(TruncateTo(t, Granularity::kHour).ToString(), "2013-05-17 13:00");
+  EXPECT_EQ(TruncateTo(t, Granularity::kDay).ToString(), "2013-05-17 00:00");
+}
+
+TEST(GranularityTest, TruncateWeekIsMonday) {
+  // 2013-05-17 was a Friday; the week starts Monday 2013-05-13.
+  TimePoint t = TimePoint::FromCalendarOrDie(2013, 5, 17, 13, 38);
+  EXPECT_EQ(TruncateTo(t, Granularity::kWeek).ToString(), "2013-05-13 00:00");
+  // A Monday truncates to itself.
+  TimePoint monday = TimePoint::FromCalendarOrDie(2013, 5, 13, 0, 0);
+  EXPECT_EQ(TruncateTo(monday, Granularity::kWeek), monday);
+}
+
+TEST(GranularityTest, TruncateMonthQuarterYear) {
+  TimePoint t = TimePoint::FromCalendarOrDie(2013, 5, 17, 13, 38);
+  EXPECT_EQ(TruncateTo(t, Granularity::kMonth).ToString(), "2013-05-01 00:00");
+  EXPECT_EQ(TruncateTo(t, Granularity::kQuarter).ToString(), "2013-04-01 00:00");
+  EXPECT_EQ(TruncateTo(t, Granularity::kYear).ToString(), "2013-01-01 00:00");
+}
+
+TEST(GranularityTest, NextBoundaryAdvances) {
+  TimePoint t = TimePoint::FromCalendarOrDie(2013, 12, 31, 23, 50);
+  EXPECT_EQ(NextBoundary(t, Granularity::kHour).ToString(), "2014-01-01 00:00");
+  EXPECT_EQ(NextBoundary(t, Granularity::kMonth).ToString(), "2014-01-01 00:00");
+  EXPECT_EQ(NextBoundary(t, Granularity::kYear).ToString(), "2014-01-01 00:00");
+  TimePoint nov = TimePoint::FromCalendarOrDie(2013, 11, 15, 0, 0);
+  EXPECT_EQ(NextBoundary(nov, Granularity::kQuarter).ToString(), "2014-01-01 00:00");
+}
+
+TEST(GranularityTest, PeriodLabels) {
+  TimePoint jan = TimePoint::FromCalendarOrDie(2013, 1, 7, 0, 0);
+  EXPECT_EQ(PeriodLabel(TruncateTo(jan, Granularity::kMonth), Granularity::kMonth), "2013-01");
+  EXPECT_EQ(PeriodLabel(TruncateTo(jan, Granularity::kYear), Granularity::kYear), "2013");
+  EXPECT_EQ(PeriodLabel(TruncateTo(jan, Granularity::kQuarter), Granularity::kQuarter),
+            "Q1 2013");
+  EXPECT_EQ(PeriodLabel(TruncateTo(jan, Granularity::kDay), Granularity::kDay), "2013-01-07");
+  // 2013-01-07 is the Monday of ISO week 2.
+  EXPECT_EQ(PeriodLabel(TruncateTo(jan, Granularity::kWeek), Granularity::kWeek), "2013-W02");
+}
+
+TEST(GranularityTest, IsoWeekEdgeCases) {
+  // 2013-01-01 (Tuesday) belongs to ISO week 1 of 2013.
+  TimePoint t = TimePoint::FromCalendarOrDie(2013, 1, 1, 0, 0);
+  EXPECT_EQ(PeriodLabel(TruncateTo(t, Granularity::kWeek), Granularity::kWeek), "2013-W01");
+  // 2012-01-01 (Sunday) belongs to ISO week 52 of 2011.
+  TimePoint s = TimePoint::FromCalendarOrDie(2012, 1, 1, 0, 0);
+  EXPECT_EQ(PeriodLabel(TruncateTo(s, Granularity::kWeek), Granularity::kWeek), "2011-W52");
+}
+
+TEST(GranularityTest, CountPeriods) {
+  TimePoint start = TimePoint::FromCalendarOrDie(2013, 1, 1, 0, 0);
+  TimeInterval day(start, start + kMinutesPerDay);
+  EXPECT_EQ(CountPeriods(day, Granularity::kSlice), 96);
+  EXPECT_EQ(CountPeriods(day, Granularity::kHour), 24);
+  EXPECT_EQ(CountPeriods(day, Granularity::kDay), 1);
+  EXPECT_EQ(CountPeriods(TimeInterval(), Granularity::kDay), 0);
+  // A window straddling two days counts both.
+  TimeInterval straddle(start + 23 * 60, start + 25 * 60);
+  EXPECT_EQ(CountPeriods(straddle, Granularity::kDay), 2);
+}
+
+TEST(GranularityTest, ParentChain) {
+  EXPECT_EQ(ParentGranularity(Granularity::kSlice), Granularity::kHour);
+  EXPECT_EQ(ParentGranularity(Granularity::kHour), Granularity::kDay);
+  EXPECT_EQ(ParentGranularity(Granularity::kMonth), Granularity::kQuarter);
+  EXPECT_EQ(ParentGranularity(Granularity::kAll), Granularity::kAll);
+}
+
+TEST(GranularityTest, TruncateIdempotent) {
+  TimePoint t = TimePoint::FromCalendarOrDie(2013, 7, 19, 11, 27);
+  for (Granularity g : {Granularity::kSlice, Granularity::kHour, Granularity::kDay,
+                        Granularity::kWeek, Granularity::kMonth, Granularity::kQuarter,
+                        Granularity::kYear}) {
+    TimePoint once = TruncateTo(t, g);
+    EXPECT_EQ(TruncateTo(once, g), once) << GranularityName(g);
+    EXPECT_LE(once, t);
+    EXPECT_LT(t, NextBoundary(t, g));
+  }
+}
+
+}  // namespace
+}  // namespace flexvis::timeutil

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace flexvis {
+namespace {
+
+// ---- Status / Result --------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusTest, OkStatusDropsMessage) {
+  Status s(StatusCode::kOk, "ignored");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int i = 0; i <= static_cast<int>(StatusCode::kInternal); ++i) {
+    EXPECT_FALSE(StatusCodeName(static_cast<StatusCode>(i)).empty());
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(NotFoundError("x"), NotFoundError("x"));
+  EXPECT_FALSE(NotFoundError("x") == NotFoundError("y"));
+  EXPECT_FALSE(NotFoundError("x") == InternalError("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFoundError("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, OkStatusWithoutValueBecomesInternalError) {
+  Result<int> r = OkStatus();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOnlyValuesWork) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = *std::move(r);
+  EXPECT_EQ(*owned, 5);
+}
+
+Status FailingHelper() { return OutOfRangeError("boom"); }
+
+Status UsesReturnIfError() {
+  FLEXVIS_RETURN_IF_ERROR(FailingHelper());
+  return OkStatus();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError().code(), StatusCode::kOutOfRange);
+}
+
+// ---- Rng ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(5);
+  EXPECT_EQ(rng.UniformInt(4, 4), 4);
+}
+
+TEST(RngTest, NormalHasRoughlyCorrectMoments) {
+  Rng rng(17);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(4.0));
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesApproximation) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(100.0));
+  EXPECT_NEAR(sum / n, 100.0, 2.0);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(1);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  EXPECT_EQ(rng.Poisson(-1.0), 0);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(37);
+  std::vector<double> weights = {0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.3);
+}
+
+TEST(RngTest, WeightedIndexAllZeroReturnsFirst) {
+  Rng rng(41);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_EQ(rng.WeightedIndex(weights), 0u);
+}
+
+TEST(RngTest, ParetoAboveScale) {
+  Rng rng(43);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.Pareto(2.0, 1.5), 2.0);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(47);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+// ---- Strings ------------------------------------------------------------------
+
+TEST(StringsTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"only"}, ","), "only");
+}
+
+TEST(StringsTest, StrSplitKeepsEmptyFields) {
+  std::vector<std::string> parts = StrSplit("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(StrSplit("", ',').size(), 1u);
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y  "), "x y");
+  EXPECT_EQ(StripWhitespace("\t\n"), "");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+}
+
+TEST(StringsTest, CaseHelpers) {
+  EXPECT_EQ(AsciiToLower("AbC"), "abc");
+  EXPECT_TRUE(EqualsIgnoreCase("Hello", "hELLO"));
+  EXPECT_FALSE(EqualsIgnoreCase("Hello", "Hell"));
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+}
+
+TEST(StringsTest, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(FormatDouble(12.5, 2), "12.5");
+  EXPECT_EQ(FormatDouble(3.0, 2), "3");
+  EXPECT_EQ(FormatDouble(0.25, 4), "0.25");
+  EXPECT_EQ(FormatDouble(100.0, 0), "100");
+}
+
+TEST(StringsTest, XmlEscape) {
+  EXPECT_EQ(XmlEscape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+  EXPECT_EQ(XmlEscape("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace flexvis

@@ -1,0 +1,145 @@
+// Option-matrix coverage for the views: every toggle changes the scene in
+// the way its documentation promises.
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "viz/basic_view.h"
+#include "viz/dashboard_view.h"
+#include "viz/pivot_view.h"
+#include "viz/profile_view.h"
+#include "viz/schematic_view.h"
+
+namespace flexvis::viz {
+namespace {
+
+using core::FlexOffer;
+using core::ProfileSlice;
+using timeutil::kMinutesPerSlice;
+using timeutil::TimePoint;
+
+TimePoint T0() { return TimePoint::FromCalendarOrDie(2013, 1, 15, 0, 0); }
+
+std::vector<FlexOffer> SomeOffers(int n) {
+  Rng rng(12);
+  std::vector<FlexOffer> out;
+  for (int i = 0; i < n; ++i) {
+    FlexOffer o;
+    o.id = i + 1;
+    o.earliest_start = T0() + rng.UniformInt(0, 40) * kMinutesPerSlice;
+    o.latest_start = o.earliest_start + rng.UniformInt(0, 8) * kMinutesPerSlice;
+    o.creation_time = o.earliest_start - 600;
+    o.acceptance_deadline = o.creation_time + 60;
+    o.assignment_deadline = o.creation_time + 120;
+    o.profile = {ProfileSlice{static_cast<int>(rng.UniformInt(1, 5)), 0.5, 1.5}};
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+size_t CountTexts(const render::DisplayList& scene, const std::string& needle) {
+  size_t n = 0;
+  for (const render::DisplayItem& item : scene.items()) {
+    if (item.kind == render::DisplayItem::Kind::kText &&
+        item.text.find(needle) != std::string::npos) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(ViewOptionsTest, BasicViewLegendToggle) {
+  std::vector<FlexOffer> offers = SomeOffers(10);
+  BasicViewOptions with;
+  with.draw_legend = true;
+  BasicViewOptions without;
+  without.draw_legend = false;
+  EXPECT_EQ(CountTexts(*RenderBasicView(offers, with).scene, "raw flex-offer"), 1u);
+  EXPECT_EQ(CountTexts(*RenderBasicView(offers, without).scene, "raw flex-offer"), 0u);
+  // Fewer display items without the legend.
+  EXPECT_LT(RenderBasicView(offers, without).scene->size(),
+            RenderBasicView(offers, with).scene->size());
+}
+
+TEST(ViewOptionsTest, BasicViewCustomFrameAndTitle) {
+  std::vector<FlexOffer> offers = SomeOffers(5);
+  BasicViewOptions options;
+  options.frame.width = 640;
+  options.frame.height = 360;
+  options.frame.title = "my custom title";
+  BasicViewResult result = RenderBasicView(offers, options);
+  EXPECT_EQ(result.scene->width(), 640);
+  EXPECT_EQ(result.scene->height(), 360);
+  EXPECT_EQ(CountTexts(*result.scene, "my custom title"), 1u);
+}
+
+TEST(ViewOptionsTest, BasicViewLaneGapForcesMoreLanes) {
+  std::vector<FlexOffer> offers = SomeOffers(30);
+  BasicViewOptions tight;
+  BasicViewOptions roomy;
+  roomy.lane_gap_minutes = 240;
+  EXPECT_LE(RenderBasicView(offers, tight).layout.lane_count,
+            RenderBasicView(offers, roomy).layout.lane_count);
+}
+
+TEST(ViewOptionsTest, ProfileViewLegendToggle) {
+  std::vector<FlexOffer> offers = SomeOffers(6);
+  ProfileViewOptions with;
+  ProfileViewOptions without;
+  without.draw_legend = false;
+  EXPECT_EQ(CountTexts(*RenderProfileView(offers, with).scene, "scheduled energy"), 1u);
+  EXPECT_EQ(CountTexts(*RenderProfileView(offers, without).scene, "scheduled energy"), 0u);
+}
+
+TEST(ViewOptionsTest, DashboardMeasuresFooterToggle) {
+  std::vector<FlexOffer> offers = SomeOffers(8);
+  DashboardOptions with;
+  DashboardOptions without;
+  without.measures_footer = false;
+  EXPECT_EQ(CountTexts(*RenderDashboardView(offers, with).scene, "balancing potential"), 1u);
+  EXPECT_EQ(CountTexts(*RenderDashboardView(offers, without).scene, "balancing potential"),
+            0u);
+}
+
+TEST(ViewOptionsTest, PivotViewValueLabelsToggle) {
+  olap::PivotResult pivot;
+  pivot.rows = {{"A", 0}, {"B", 1}};
+  pivot.cols = {{"X", 0}};
+  pivot.cells = {{3.0}, {5.0}};
+  PivotViewOptions with;
+  with.draw_values = true;
+  PivotViewOptions without;
+  without.draw_values = false;
+  EXPECT_EQ(CountTexts(*RenderPivotView(pivot, with).scene, "5"), 1u);
+  EXPECT_EQ(CountTexts(*RenderPivotView(pivot, without).scene, "5"), 0u);
+}
+
+TEST(ViewOptionsTest, SchematicPieLayerSelection) {
+  grid::GridTopology topology = grid::GridTopology::MakeRadial(2, 1, 2, 2);
+  std::vector<FlexOffer> offers = SomeOffers(12);
+  std::vector<grid::GridNode> feeders = topology.Feeders();
+  for (size_t i = 0; i < offers.size(); ++i) {
+    offers[i].grid_node = feeders[i % feeders.size()].id;
+    offers[i].state = core::FlexOfferState::kAccepted;
+  }
+  SchematicViewOptions at_distribution;
+  at_distribution.pie_layer = 2;
+  SchematicViewOptions at_transmission;
+  at_transmission.pie_layer = 1;
+  SchematicViewResult d = RenderSchematicView(offers, topology, at_distribution);
+  SchematicViewResult t = RenderSchematicView(offers, topology, at_transmission);
+  EXPECT_EQ(d.pie_nodes.size(), 4u);  // 2x2 distribution substations
+  EXPECT_EQ(t.pie_nodes.size(), 2u);  // 2 transmission substations
+  // Rolled-up totals agree at both layers.
+  auto total = [](const SchematicViewResult& r) {
+    int64_t sum = 0;
+    for (const auto& counts : r.pie_counts) {
+      sum += counts[static_cast<size_t>(core::FlexOfferState::kAccepted)];
+    }
+    return sum;
+  };
+  EXPECT_EQ(total(d), total(t));
+}
+
+}  // namespace
+}  // namespace flexvis::viz

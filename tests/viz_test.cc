@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include "render/raster_canvas.h"
+#include "render/svg_canvas.h"
+#include "util/rng.h"
+#include "viz/anatomy_view.h"
+#include "viz/balancing_view.h"
+#include "viz/basic_view.h"
+#include "viz/dashboard_view.h"
+#include "viz/interaction.h"
+#include "viz/lane_layout.h"
+#include "viz/map_view.h"
+#include "viz/pivot_view.h"
+#include "viz/profile_view.h"
+#include "viz/schematic_view.h"
+#include "viz/session.h"
+
+namespace flexvis::viz {
+namespace {
+
+using core::FlexOffer;
+using core::FlexOfferId;
+using core::ProfileSlice;
+using timeutil::kMinutesPerSlice;
+using timeutil::TimePoint;
+
+TimePoint T0() { return TimePoint::FromCalendarOrDie(2013, 1, 15, 0, 0); }
+
+FlexOffer MakeOffer(FlexOfferId id, int64_t est_slices, int64_t flex_slices,
+                    int profile_slices, double min_kwh = 1.0, double max_kwh = 2.0) {
+  FlexOffer o;
+  o.id = id;
+  o.prosumer = id;
+  o.earliest_start = T0() + est_slices * kMinutesPerSlice;
+  o.latest_start = o.earliest_start + flex_slices * kMinutesPerSlice;
+  o.creation_time = o.earliest_start - 600;
+  o.acceptance_deadline = o.creation_time + 60;
+  o.assignment_deadline = o.creation_time + 120;
+  o.profile = {ProfileSlice{profile_slices, min_kwh, max_kwh}};
+  return o;
+}
+
+std::vector<FlexOffer> RandomOffers(uint64_t seed, int n) {
+  Rng rng(seed);
+  std::vector<FlexOffer> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(MakeOffer(i + 1, rng.UniformInt(0, 96), rng.UniformInt(0, 16),
+                            static_cast<int>(rng.UniformInt(1, 8)), rng.Uniform(0.2, 1.0),
+                            rng.Uniform(1.0, 3.0)));
+  }
+  return out;
+}
+
+// ---- Lane layout ----------------------------------------------------------------
+
+TEST(LaneLayoutTest, NonOverlappingOffersShareOneLane) {
+  std::vector<FlexOffer> offers = {MakeOffer(1, 0, 0, 2), MakeOffer(2, 2, 0, 2),
+                                   MakeOffer(3, 4, 0, 2)};
+  LaneLayout layout = AssignLanes(offers);
+  EXPECT_EQ(layout.lane_count, 1);
+  EXPECT_TRUE(ValidateLayout(offers, layout));
+}
+
+TEST(LaneLayoutTest, OverlappingOffersStack) {
+  std::vector<FlexOffer> offers = {MakeOffer(1, 0, 0, 4), MakeOffer(2, 1, 0, 4),
+                                   MakeOffer(3, 2, 0, 4)};
+  LaneLayout layout = AssignLanes(offers);
+  EXPECT_EQ(layout.lane_count, 3);
+  EXPECT_TRUE(ValidateLayout(offers, layout));
+}
+
+TEST(LaneLayoutTest, ExtentIncludesTimeFlexibility) {
+  // Profiles don't overlap but the flexibility window of #1 covers #2's
+  // start, so they must stack.
+  std::vector<FlexOffer> offers = {MakeOffer(1, 0, 8, 2), MakeOffer(2, 4, 0, 2)};
+  LaneLayout layout = AssignLanes(offers);
+  EXPECT_EQ(layout.lane_count, 2);
+}
+
+TEST(LaneLayoutTest, GapKeepsBreathingRoom) {
+  std::vector<FlexOffer> offers = {MakeOffer(1, 0, 0, 2), MakeOffer(2, 2, 0, 2)};
+  EXPECT_EQ(AssignLanes(offers, 0).lane_count, 1);
+  EXPECT_EQ(AssignLanes(offers, 15).lane_count, 2);
+  EXPECT_TRUE(ValidateLayout(offers, AssignLanes(offers, 15), 15));
+}
+
+TEST(LaneLayoutTest, NaiveUsesOneLanePerOffer) {
+  std::vector<FlexOffer> offers = RandomOffers(3, 50);
+  LaneLayout naive = AssignLanesNaive(offers);
+  EXPECT_EQ(naive.lane_count, 50);
+  EXPECT_TRUE(ValidateLayout(offers, naive));
+}
+
+TEST(LaneLayoutTest, ValidateDetectsBadLayouts) {
+  std::vector<FlexOffer> offers = {MakeOffer(1, 0, 0, 4), MakeOffer(2, 1, 0, 4)};
+  LaneLayout bad;
+  bad.lane_of = {0, 0};  // overlap in one lane
+  bad.lane_count = 1;
+  EXPECT_FALSE(ValidateLayout(offers, bad));
+  LaneLayout wrong_size;
+  wrong_size.lane_of = {0};
+  wrong_size.lane_count = 1;
+  EXPECT_FALSE(ValidateLayout(offers, wrong_size));
+  LaneLayout out_of_range;
+  out_of_range.lane_of = {0, 5};
+  out_of_range.lane_count = 2;
+  EXPECT_FALSE(ValidateLayout(offers, out_of_range));
+}
+
+class LaneLayoutPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LaneLayoutPropertyTest, GreedyIsValidAndNeverWorseThanNaive) {
+  std::vector<FlexOffer> offers = RandomOffers(GetParam(), 120);
+  LaneLayout layout = AssignLanes(offers);
+  EXPECT_TRUE(ValidateLayout(offers, layout));
+  EXPECT_LE(layout.lane_count, static_cast<int>(offers.size()));
+  // Lower bound: the max number of offers overlapping any single minute.
+  int max_overlap = 0;
+  for (const FlexOffer& probe : offers) {
+    int overlap = 0;
+    for (const FlexOffer& other : offers) {
+      if (other.extent().Contains(probe.extent().start)) ++overlap;
+    }
+    max_overlap = std::max(max_overlap, overlap);
+  }
+  // Greedy on interval graphs is optimal, so it matches the clique bound.
+  EXPECT_EQ(layout.lane_count, max_overlap);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LaneLayoutPropertyTest,
+                         ::testing::Values(1, 7, 13, 99, 1234, 5150, 31337));
+
+// ---- Basic view -------------------------------------------------------------------
+
+TEST(BasicViewTest, SceneTagsEveryOffer) {
+  std::vector<FlexOffer> offers = RandomOffers(11, 40);
+  BasicViewResult result = RenderBasicView(offers, BasicViewOptions{});
+  ASSERT_NE(result.scene, nullptr);
+  EXPECT_GT(result.scene->size(), offers.size());
+  // Every offer id appears as a tag somewhere in the scene.
+  for (const FlexOffer& o : offers) {
+    bool found = false;
+    for (const render::DisplayItem& item : result.scene->items()) {
+      if (item.tag == o.id) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "offer " << o.id;
+  }
+  EXPECT_EQ(result.layout.lane_of.size(), offers.size());
+  EXPECT_FALSE(result.window.empty());
+}
+
+TEST(BasicViewTest, ScheduledStartDrawsRedLine) {
+  FlexOffer o = MakeOffer(1, 0, 4, 4);
+  o.schedule = core::Schedule{o.earliest_start + kMinutesPerSlice, {1.5, 1.5, 1.5, 1.5}};
+  BasicViewResult result = RenderBasicView({o}, BasicViewOptions{});
+  bool has_scheduled_line = false;
+  for (const render::DisplayItem& item : result.scene->items()) {
+    if (item.kind == render::DisplayItem::Kind::kLine && item.style.stroke.has_value() &&
+        *item.style.stroke == render::palette::kScheduled) {
+      has_scheduled_line = true;
+    }
+  }
+  EXPECT_TRUE(has_scheduled_line);
+}
+
+TEST(BasicViewTest, AggregateColorDiffersFromRaw) {
+  FlexOffer raw = MakeOffer(1, 0, 4, 4);
+  FlexOffer agg = MakeOffer(2, 10, 4, 4);
+  agg.aggregated_from = {1};
+  EXPECT_EQ(OfferFillColor(raw), render::palette::kRawOffer);
+  EXPECT_EQ(OfferFillColor(agg), render::palette::kAggregatedOffer);
+  FlexOffer rejected = MakeOffer(3, 20, 4, 4);
+  rejected.state = core::FlexOfferState::kRejected;
+  EXPECT_FALSE(OfferFillColor(rejected) == render::palette::kRawOffer);
+}
+
+TEST(BasicViewTest, SelectionRectangleDrawnWhenRequested) {
+  BasicViewOptions options;
+  options.selection = render::Rect{100, 100, 80, 60};
+  BasicViewResult result = RenderBasicView(RandomOffers(5, 10), options);
+  bool dashed_rect = false;
+  for (const render::DisplayItem& item : result.scene->items()) {
+    if (item.kind == render::DisplayItem::Kind::kRect && !item.style.dash.empty()) {
+      dashed_rect = true;
+    }
+  }
+  EXPECT_TRUE(dashed_rect);
+}
+
+TEST(BasicViewTest, EmptyOffersRenderEmptyFrame) {
+  BasicViewResult result = RenderBasicView({}, BasicViewOptions{});
+  ASSERT_NE(result.scene, nullptr);
+  EXPECT_TRUE(result.window.empty());
+}
+
+TEST(BasicViewTest, RendersToBothBackends) {
+  BasicViewResult result = RenderBasicView(RandomOffers(21, 30), BasicViewOptions{});
+  render::SvgCanvas svg(result.scene->width(), result.scene->height());
+  result.scene->ReplayAll(svg);
+  EXPECT_GT(svg.ToString().size(), 1000u);
+  render::RasterCanvas raster(static_cast<int>(result.scene->width()),
+                              static_cast<int>(result.scene->height()));
+  result.scene->ReplayAll(raster);
+  // Some raw-offer pixels made it to the framebuffer.
+  EXPECT_GT(raster.CountPixels(render::palette::kRawOffer), 50u);
+}
+
+// ---- Profile view -----------------------------------------------------------------
+
+TEST(ProfileViewTest, SynchronizedScaleCoversGlobalPeak) {
+  std::vector<FlexOffer> offers = {MakeOffer(1, 0, 2, 2, 0.5, 1.0),
+                                   MakeOffer(2, 8, 2, 2, 2.0, 7.3)};
+  ProfileViewResult result = RenderProfileView(offers, ProfileViewOptions{});
+  EXPECT_GE(result.max_energy_kwh, 7.3);  // pretty bound at or above the peak
+  EXPECT_GT(result.kwh_per_pixel, 0.0);
+}
+
+TEST(ProfileViewTest, ScheduledStepLineAppears) {
+  FlexOffer o = MakeOffer(1, 0, 2, 3);
+  o.schedule = core::Schedule{o.earliest_start, {1.2, 1.8, 1.5}};
+  ProfileViewResult result = RenderProfileView({o}, ProfileViewOptions{});
+  bool has_step = false;
+  for (const render::DisplayItem& item : result.scene->items()) {
+    if (item.kind == render::DisplayItem::Kind::kPolyline && item.style.stroke.has_value() &&
+        *item.style.stroke == render::palette::kScheduled) {
+      has_step = true;
+      EXPECT_EQ(item.points.size(), 6u);  // 2 points per unit slice
+    }
+  }
+  EXPECT_TRUE(has_step);
+}
+
+TEST(ProfileViewTest, DetailCapDegradesGracefully) {
+  std::vector<FlexOffer> offers = RandomOffers(31, 30);
+  ProfileViewOptions options;
+  options.detail_cap = 10;
+  ProfileViewResult result = RenderProfileView(offers, options);
+  ASSERT_NE(result.scene, nullptr);
+  // Offers past the cap still get tagged boxes.
+  bool found_last = false;
+  for (const render::DisplayItem& item : result.scene->items()) {
+    if (item.tag == offers.back().id) found_last = true;
+  }
+  EXPECT_TRUE(found_last);
+}
+
+// ---- Interaction --------------------------------------------------------------------
+
+TEST(InteractionTest, HoverFindsOfferAndProvenance) {
+  FlexOffer member1 = MakeOffer(1, 0, 0, 2);
+  FlexOffer member2 = MakeOffer(2, 2, 0, 2);
+  FlexOffer agg = MakeOffer(100, 0, 0, 4);
+  agg.aggregated_from = {1, 2};
+  std::vector<FlexOffer> offers = {member1, member2, agg};
+  // Widen the window so the creation/acceptance/assignment markers (which
+  // precede the execution window) are on-screen.
+  BasicViewOptions options;
+  options.window = timeutil::TimeInterval(member1.creation_time - 60, agg.latest_end() + 60);
+  BasicViewResult view = RenderBasicView(offers, options);
+
+  // Find the aggregate's box center via its tag bounds.
+  render::Point center{-1, -1};
+  for (const render::DisplayItem& item : view.scene->items()) {
+    if (item.tag == 100 && item.kind == render::DisplayItem::Kind::kRect) {
+      render::Rect b = item.Bounds();
+      center = render::Point{b.x + b.width / 2, b.y + b.height / 2};
+    }
+  }
+  ASSERT_GE(center.x, 0.0);
+  HoverInfo info = HoverAt(*view.scene, offers, center);
+  ASSERT_TRUE(info.hit);
+  EXPECT_EQ(info.offer, 100);
+  EXPECT_EQ(info.provenance, (std::vector<FlexOfferId>{1, 2}));
+  EXPECT_NE(info.description.find("aggregate of 2"), std::string::npos);
+
+  // Hover overlay draws the yellow markers and dashed provenance links.
+  render::DisplayList overlay(view.scene->width(), view.scene->height());
+  DrawHoverOverlay(overlay, info, offers, *view.scene, view.time_scale, view.plot);
+  int marker_lines = 0, provenance_lines = 0;
+  for (const render::DisplayItem& item : overlay.items()) {
+    if (item.kind != render::DisplayItem::Kind::kLine) continue;
+    if (item.style.stroke.has_value() && *item.style.stroke == render::palette::kMarker) {
+      ++marker_lines;
+    }
+    if (item.style.stroke.has_value() && *item.style.stroke == render::palette::kProvenance) {
+      ++provenance_lines;
+    }
+  }
+  EXPECT_GE(marker_lines, 1);
+  EXPECT_EQ(provenance_lines, 2);
+}
+
+TEST(InteractionTest, HoverMissReturnsNoHit) {
+  std::vector<FlexOffer> offers = {MakeOffer(1, 0, 0, 2)};
+  BasicViewResult view = RenderBasicView(offers, BasicViewOptions{});
+  HoverInfo info = HoverAt(*view.scene, offers, render::Point{-50, -50});
+  EXPECT_FALSE(info.hit);
+  // Overlay for a miss draws nothing.
+  render::DisplayList overlay(10, 10);
+  DrawHoverOverlay(overlay, info, offers, *view.scene, view.time_scale, view.plot);
+  EXPECT_EQ(overlay.size(), 0u);
+}
+
+TEST(InteractionTest, RectangleSelectionAndExtraction) {
+  std::vector<FlexOffer> offers = RandomOffers(41, 20);
+  BasicViewResult view = RenderBasicView(offers, BasicViewOptions{});
+  std::vector<FlexOfferId> all = SelectByRectangle(
+      *view.scene, render::Rect{0, 0, view.scene->width(), view.scene->height()});
+  EXPECT_EQ(all.size(), offers.size());
+
+  std::vector<FlexOfferId> some = {all[0], all[1]};
+  std::vector<FlexOffer> kept = ExtractSelection(offers, some, /*keep_selected=*/true);
+  EXPECT_EQ(kept.size(), 2u);
+  std::vector<FlexOffer> rest = ExtractSelection(offers, some, /*keep_selected=*/false);
+  EXPECT_EQ(rest.size(), offers.size() - 2);
+}
+
+TEST(InteractionTest, ClickSelectsTopmost) {
+  std::vector<FlexOffer> offers = {MakeOffer(1, 0, 0, 4)};
+  BasicViewResult view = RenderBasicView(offers, BasicViewOptions{});
+  render::Rect bounds;
+  for (const render::DisplayItem& item : view.scene->items()) {
+    if (item.tag == 1) bounds = item.Bounds();
+  }
+  std::vector<FlexOfferId> hit = SelectByClick(
+      *view.scene, render::Point{bounds.x + bounds.width / 2, bounds.y + bounds.height / 2});
+  EXPECT_EQ(hit, (std::vector<FlexOfferId>{1}));
+  EXPECT_TRUE(SelectByClick(*view.scene, render::Point{-1, -1}).empty());
+}
+
+}  // namespace
+}  // namespace flexvis::viz

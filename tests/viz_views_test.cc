@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include "olap/cube.h"
+#include "olap/mdx.h"
+#include "sim/enterprise.h"
+#include "sim/workload.h"
+#include "util/rng.h"
+#include "viz/anatomy_view.h"
+#include "viz/balancing_view.h"
+#include "viz/dashboard_view.h"
+#include "viz/map_view.h"
+#include "viz/pivot_view.h"
+#include "viz/schematic_view.h"
+#include "viz/session.h"
+
+namespace flexvis::viz {
+namespace {
+
+using core::FlexOffer;
+using core::FlexOfferState;
+using core::ProfileSlice;
+using timeutil::kMinutesPerSlice;
+using timeutil::TimePoint;
+
+TimePoint T0() { return TimePoint::FromCalendarOrDie(2013, 1, 15, 0, 0); }
+
+// A full scenario fixture: atlas + grid + workload loaded into a DW.
+class ScenarioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    atlas_ = geo::Atlas::MakeDenmark();
+    topology_ = grid::GridTopology::MakeRadial(2, 2, 2, 3);
+    ASSERT_TRUE(atlas_.RegisterWithDatabase(db_).ok());
+    ASSERT_TRUE(topology_.RegisterWithDatabase(db_).ok());
+
+    sim::WorkloadGenerator generator(&atlas_, &topology_);
+    sim::WorkloadParams params;
+    params.seed = 20130318;
+    params.num_prosumers = 60;
+    params.offers_per_prosumer = 4.0;
+    params.horizon = timeutil::TimeInterval(T0(), T0() + 2 * timeutil::kMinutesPerDay);
+    workload_ = generator.Generate(params);
+    ASSERT_TRUE(sim::WorkloadGenerator::LoadIntoDatabase(workload_, db_).ok());
+  }
+
+  geo::Atlas atlas_;
+  grid::GridTopology topology_ = grid::GridTopology::MakeRadial(1, 1, 1, 1);
+  dw::Database db_;
+  sim::Workload workload_;
+};
+
+// ---- Map view (Fig. 3) -------------------------------------------------------------
+
+TEST_F(ScenarioTest, MapViewCountsMatchWorkload) {
+  MapViewResult result = RenderMapView(workload_.offers, atlas_, MapViewOptions{});
+  ASSERT_NE(result.scene, nullptr);
+  ASSERT_EQ(result.region_ids.size(), 5u);  // the five leaf areas of Fig. 3
+  int64_t total = 0;
+  for (int64_t c : result.region_counts) total += c;
+  EXPECT_EQ(total, static_cast<int64_t>(workload_.offers.size()));
+  // Region polygons are tagged for click-to-filter.
+  for (core::RegionId id : result.region_ids) {
+    bool tagged = false;
+    for (const render::DisplayItem& item : result.scene->items()) {
+      if (item.tag == id && item.kind == render::DisplayItem::Kind::kPolygon) tagged = true;
+    }
+    EXPECT_TRUE(tagged) << "region " << id;
+  }
+}
+
+TEST_F(ScenarioTest, MapViewHistogramScaleLabels) {
+  MapViewResult result = RenderMapView(workload_.offers, atlas_, MapViewOptions{});
+  // Fig. 3 shows a "0" at the base of each mini histogram.
+  int zero_labels = 0;
+  for (const render::DisplayItem& item : result.scene->items()) {
+    if (item.kind == render::DisplayItem::Kind::kText && item.text == "0") ++zero_labels;
+  }
+  EXPECT_GE(zero_labels, 5);
+}
+
+// ---- Schematic view (Fig. 4) ----------------------------------------------------------
+
+TEST_F(ScenarioTest, SchematicPiesCoverStateMix) {
+  SchematicViewResult result =
+      RenderSchematicView(workload_.offers, topology_, SchematicViewOptions{});
+  ASSERT_NE(result.scene, nullptr);
+  ASSERT_FALSE(result.pie_nodes.empty());
+  // Summing pie counts over distribution nodes equals the offers routed
+  // through them (accepted+assigned+rejected only).
+  int64_t pie_total = 0;
+  for (const auto& counts : result.pie_counts) {
+    pie_total += counts[static_cast<size_t>(FlexOfferState::kAccepted)];
+    pie_total += counts[static_cast<size_t>(FlexOfferState::kAssigned)];
+    pie_total += counts[static_cast<size_t>(FlexOfferState::kRejected)];
+  }
+  core::StateCounts global = core::CountByState(workload_.offers);
+  EXPECT_EQ(pie_total, global[FlexOfferState::kAccepted] + global[FlexOfferState::kAssigned] +
+                           global[FlexOfferState::kRejected]);
+  // "G" glyphs for the two plants.
+  int g_labels = 0;
+  for (const render::DisplayItem& item : result.scene->items()) {
+    if (item.kind == render::DisplayItem::Kind::kText && item.text == "G") ++g_labels;
+  }
+  EXPECT_EQ(g_labels, 2);
+  // Pies drawn as pie slices.
+  bool has_pie = false;
+  for (const render::DisplayItem& item : result.scene->items()) {
+    if (item.kind == render::DisplayItem::Kind::kPieSlice) has_pie = true;
+  }
+  EXPECT_TRUE(has_pie);
+}
+
+// ---- Pivot view (Fig. 5) ---------------------------------------------------------------
+
+TEST_F(ScenarioTest, PivotViewRendersMdxDrivenSwimlanes) {
+  olap::Cube cube(&db_);
+  ASSERT_TRUE(cube.AddStandardDimensions().ok());
+  const std::string mdx =
+      "SELECT { Measures.Count } ON COLUMNS, { Prosumer.Type.Members } ON ROWS "
+      "FROM [FlexOffers]";
+  Result<olap::CubeQuery> query = olap::ParseMdx(mdx, cube);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  Result<olap::PivotResult> pivot = cube.Evaluate(*query);
+  ASSERT_TRUE(pivot.ok());
+  EXPECT_DOUBLE_EQ(pivot->GrandTotal(), static_cast<double>(workload_.offers.size()));
+
+  PivotViewOptions options;
+  options.mdx_text = mdx;
+  options.hierarchy = cube.FindDimension("Prosumer");
+  PivotViewResult view = RenderPivotView(*pivot, options);
+  ASSERT_NE(view.scene, nullptr);
+  // The MDX echo and at least one member label appear.
+  bool mdx_echo = false, member_label = false;
+  for (const render::DisplayItem& item : view.scene->items()) {
+    if (item.kind != render::DisplayItem::Kind::kText) continue;
+    if (item.text.find("MDX>") != std::string::npos) mdx_echo = true;
+    if (item.text == "Household") member_label = true;
+  }
+  EXPECT_TRUE(mdx_echo);
+  EXPECT_TRUE(member_label);
+}
+
+TEST(PivotViewTest, EmptyPivotRendersFrameOnly) {
+  olap::PivotResult empty;
+  PivotViewResult view = RenderPivotView(empty, PivotViewOptions{});
+  ASSERT_NE(view.scene, nullptr);
+}
+
+// ---- Dashboard view (Fig. 6) --------------------------------------------------------------
+
+TEST_F(ScenarioTest, DashboardCountsAndSeries) {
+  DashboardOptions options;
+  options.window = timeutil::TimeInterval(T0(), T0() + timeutil::kMinutesPerDay);
+  DashboardResult result = RenderDashboardView(workload_.offers, options);
+  ASSERT_NE(result.scene, nullptr);
+  EXPECT_EQ(result.counts.total(), static_cast<int64_t>(workload_.offers.size()));
+  EXPECT_EQ(result.accepted_per_slice.size(), 96u);
+  // The state mix approximates the configured 31/43/26 split.
+  EXPECT_NEAR(result.counts.Fraction(FlexOfferState::kAccepted), 0.31, 0.12);
+  EXPECT_NEAR(result.counts.Fraction(FlexOfferState::kAssigned), 0.43, 0.12);
+  EXPECT_NEAR(result.counts.Fraction(FlexOfferState::kRejected), 0.26, 0.12);
+  // Pie slices and the From/To header are drawn.
+  bool has_pie = false, has_header = false;
+  for (const render::DisplayItem& item : result.scene->items()) {
+    if (item.kind == render::DisplayItem::Kind::kPieSlice) has_pie = true;
+    if (item.kind == render::DisplayItem::Kind::kText &&
+        item.text.find("From:") != std::string::npos) {
+      has_header = true;
+    }
+  }
+  EXPECT_TRUE(has_pie);
+  EXPECT_TRUE(has_header);
+}
+
+// ---- Balancing view (Fig. 1) ---------------------------------------------------------------
+
+TEST_F(ScenarioTest, BalancingViewShowsImprovement) {
+  sim::Enterprise enterprise;
+  timeutil::TimeInterval window(T0(), T0() + timeutil::kMinutesPerDay);
+  Result<sim::PlanningReport> report = enterprise.PlanHorizon(workload_.offers, window);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  BalancingViewResult view = RenderBalancingView(*report, BalancingViewOptions{});
+  ASSERT_NE(view.scene, nullptr);
+  // Fig. 1's message: scheduling improves (or at least never worsens) the
+  // match between load and RES production.
+  EXPECT_LE(view.imbalance_after_kwh, view.imbalance_before_kwh * 1.001);
+  EXPECT_GT(view.imbalance_before_kwh, 0.0);
+}
+
+// ---- Anatomy view (Fig. 2) ------------------------------------------------------------------
+
+TEST(AnatomyViewTest, PaperExampleMatchesFigure2) {
+  FlexOffer offer = MakePaperExampleOffer();
+  ASSERT_TRUE(core::Validate(offer).ok());
+  EXPECT_EQ(offer.earliest_start.TimeOfDayString(), "01:00");
+  EXPECT_EQ(offer.latest_start.TimeOfDayString(), "03:00");
+  EXPECT_EQ(offer.latest_end().TimeOfDayString(), "05:00");
+  EXPECT_EQ(offer.acceptance_deadline.TimeOfDayString(), "23:00");
+  EXPECT_EQ(offer.assignment_deadline.TimeOfDayString(), "00:00");
+  EXPECT_EQ(offer.profile_duration_minutes(), 120);
+  EXPECT_EQ(offer.time_flexibility_minutes(), 120);
+
+  AnatomyViewResult view = RenderAnatomyView(offer, AnatomyViewOptions{});
+  ASSERT_NE(view.scene, nullptr);
+  // The figure's callouts are rendered.
+  std::vector<std::string> expected = {"start time flexibility", "minimum required energy",
+                                       "energy flexibility", "scheduled energy"};
+  for (const std::string& label : expected) {
+    bool found = false;
+    for (const render::DisplayItem& item : view.scene->items()) {
+      if (item.kind == render::DisplayItem::Kind::kText && item.text == label) found = true;
+    }
+    EXPECT_TRUE(found) << label;
+  }
+  bool earliest_marker = false;
+  for (const render::DisplayItem& item : view.scene->items()) {
+    if (item.kind == render::DisplayItem::Kind::kText &&
+        item.text.find("01:00 earliest start") != std::string::npos) {
+      earliest_marker = true;
+    }
+  }
+  EXPECT_TRUE(earliest_marker);
+}
+
+// ---- Session (Figs. 7, 8, 11) -----------------------------------------------------------------
+
+TEST_F(ScenarioTest, SessionLoadTabByLegalEntity) {
+  Session session(&db_);
+  EXPECT_EQ(session.LegalEntities().size(), workload_.prosumers.size());
+
+  dw::FlexOfferFilter filter;
+  filter.prosumer = workload_.prosumers[0].id;
+  Result<size_t> tab = session.LoadTab(filter);
+  ASSERT_TRUE(tab.ok());
+  ViewTab* view_tab = session.tab(*tab);
+  // The tab title carries the legal entity's name (Fig. 7 flow).
+  EXPECT_NE(view_tab->title().find(workload_.prosumers[0].name), std::string::npos);
+  for (const FlexOffer& o : view_tab->offers()) {
+    EXPECT_EQ(o.prosumer, workload_.prosumers[0].id);
+  }
+  // Both views render from the tab.
+  EXPECT_NE(view_tab->RenderBasic(BasicViewOptions{}).scene, nullptr);
+  EXPECT_NE(view_tab->RenderProfile(ProfileViewOptions{}).scene, nullptr);
+}
+
+TEST_F(ScenarioTest, SessionSelectionToNewTabAndRemoval) {
+  Session session(&db_);
+  Result<size_t> tab = session.LoadTab(dw::FlexOfferFilter{});
+  ASSERT_TRUE(tab.ok());
+  ViewTab* source = session.tab(*tab);
+  size_t original_count = source->offers().size();
+  ASSERT_GE(original_count, 3u);
+
+  // No selection -> error.
+  EXPECT_FALSE(session.OpenSelectionAsTab(*tab).ok());
+
+  std::vector<core::FlexOfferId> selection = {source->offers()[0].id,
+                                              source->offers()[1].id};
+  source->set_selection(selection);
+  Result<size_t> new_tab = session.OpenSelectionAsTab(*tab);
+  ASSERT_TRUE(new_tab.ok());
+  EXPECT_EQ(session.tabs()[*new_tab]->offers().size(), 2u);
+
+  // "Removed from the current view".
+  EXPECT_EQ(source->RemoveSelected(), 2u);
+  EXPECT_EQ(source->offers().size(), original_count - 2);
+  EXPECT_TRUE(source->selection().empty());
+}
+
+TEST_F(ScenarioTest, SessionAggregationToolFig11) {
+  Session session(&db_);
+  Result<size_t> tab = session.LoadTab(dw::FlexOfferFilter{});
+  ASSERT_TRUE(tab.ok());
+  size_t before = session.tabs()[*tab]->offers().size();
+
+  core::AggregationParams params;
+  params.est_tolerance_minutes = 240;
+  params.tft_tolerance_minutes = 240;
+  Result<size_t> agg_tab = session.AggregateTab(*tab, params);
+  ASSERT_TRUE(agg_tab.ok());
+  size_t after = session.tabs()[*agg_tab]->offers().size();
+  EXPECT_LT(after, before);  // "reducing the count of flex-offers shown"
+  EXPECT_NE(session.tabs()[*agg_tab]->title().find("aggregated"), std::string::npos);
+
+  // Interactive parameter tuning: tighter tolerances -> more aggregates.
+  core::AggregationParams tight;
+  tight.est_tolerance_minutes = 15;
+  tight.tft_tolerance_minutes = 15;
+  Result<size_t> tight_tab = session.AggregateTab(*tab, tight);
+  ASSERT_TRUE(tight_tab.ok());
+  EXPECT_GE(session.tabs()[*tight_tab]->offers().size(), after);
+
+  EXPECT_FALSE(session.AggregateTab(999, params).ok());
+}
+
+TEST_F(ScenarioTest, SessionDisaggregationRestoresMembers) {
+  // Plan first so the DW holds scheduled aggregates.
+  sim::Enterprise enterprise;
+  timeutil::TimeInterval window(T0(), T0() + 2 * timeutil::kMinutesPerDay);
+  Result<sim::PlanningReport> report = enterprise.RunDayAhead(db_, window);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  Session session(&db_);
+  dw::FlexOfferFilter only_aggregates;
+  only_aggregates.aggregates = dw::FlexOfferFilter::AggregateFilter::kOnlyAggregates;
+  Result<size_t> tab = session.LoadTab(only_aggregates, "aggregates");
+  ASSERT_TRUE(tab.ok());
+  size_t aggregate_count = session.tabs()[*tab]->offers().size();
+  ASSERT_GT(aggregate_count, 0u);
+
+  Result<size_t> disagg = session.DisaggregateTab(*tab);
+  ASSERT_TRUE(disagg.ok()) << disagg.status().ToString();
+  EXPECT_GE(session.tabs()[*disagg]->offers().size(), aggregate_count);
+
+  // Close tabs back down.
+  while (!session.tabs().empty()) {
+    ASSERT_TRUE(session.CloseTab(session.tabs().size() - 1).ok());
+  }
+  EXPECT_FALSE(session.CloseTab(0).ok());
+}
+
+TEST_F(ScenarioTest, TabViewportDrivesRenderWindow) {
+  Session session(&db_);
+  Result<size_t> tab = session.LoadTab(dw::FlexOfferFilter{});
+  ASSERT_TRUE(tab.ok());
+  ViewTab* t = session.tab(*tab);
+
+  // Untouched viewport: the render window is the offers' extent.
+  BasicViewResult full = t->RenderBasic(BasicViewOptions{});
+  timeutil::TimeInterval extent = t->viewport().full_extent();
+  EXPECT_EQ(full.window, extent);
+
+  // Zoom into the middle; the next render uses the zoomed window.
+  timeutil::TimePoint mid = extent.start + extent.duration_minutes() / 2;
+  t->viewport().Zoom(4.0, mid);
+  BasicViewResult zoomed = t->RenderBasic(BasicViewOptions{});
+  EXPECT_EQ(zoomed.window, t->viewport().window());
+  EXPECT_LT(zoomed.window.duration_minutes(), extent.duration_minutes());
+  EXPECT_TRUE(zoomed.window.Contains(mid));
+
+  // Pan right; profile view follows the same viewport.
+  t->viewport().Pan(60);
+  ProfileViewResult panned = t->RenderProfile(ProfileViewOptions{});
+  EXPECT_EQ(panned.window, t->viewport().window());
+
+  // An explicit window in the options overrides the viewport.
+  BasicViewOptions forced;
+  forced.window = extent;
+  EXPECT_EQ(t->RenderBasic(forced).window, extent);
+
+  t->viewport().Reset();
+  EXPECT_EQ(t->RenderBasic(BasicViewOptions{}).window, extent);
+}
+
+TEST_F(ScenarioTest, ViewKindToggle) {
+  Session session(&db_);
+  Result<size_t> tab = session.LoadTab(dw::FlexOfferFilter{});
+  ASSERT_TRUE(tab.ok());
+  ViewTab* t = session.tab(*tab);
+  EXPECT_EQ(t->view_kind(), ViewKind::kBasic);
+  t->set_view_kind(ViewKind::kProfile);
+  EXPECT_EQ(t->view_kind(), ViewKind::kProfile);
+}
+
+}  // namespace
+}  // namespace flexvis::viz
