@@ -1,11 +1,14 @@
 #include "bench/bench_common.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 
 #include "render/svg_canvas.h"
 #include "util/rng.h"
+#include "util/strings.h"
 
 namespace flexvis::bench {
 
@@ -48,19 +51,88 @@ std::unique_ptr<World> BuildWorld(const WorldOptions& options) {
   return world;
 }
 
-bool ExportScene(const render::DisplayList& scene, const std::string& name) {
+namespace {
+
+Status EnsureBenchOutDir() {
   std::error_code ec;
   std::filesystem::create_directories("bench_out", ec);
+  if (ec) {
+    return InternalError(StrFormat("cannot create bench_out: %s", ec.message().c_str()));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status ExportScene(const render::DisplayList& scene, const std::string& name) {
+  FLEXVIS_RETURN_IF_ERROR(EnsureBenchOutDir());
   render::SvgCanvas svg(scene.width(), scene.height());
   scene.ReplayAll(svg);
   std::string path = "bench_out/" + name + ".svg";
-  Status status = svg.WriteToFile(path);
-  if (!status.ok()) {
-    std::fprintf(stderr, "export failed: %s\n", status.ToString().c_str());
-    return false;
-  }
+  FLEXVIS_RETURN_IF_ERROR(svg.WriteToFile(path));
   std::printf("artifact: %s\n", path.c_str());
-  return true;
+  return OkStatus();
+}
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::AddSample(const std::string& label, double wall_seconds, int threads,
+                            double items) {
+  JsonValue sample = JsonValue::Object();
+  sample.Set("label", JsonValue::Str(label));
+  sample.Set("wall_seconds", JsonValue::Double(wall_seconds));
+  sample.Set("threads", JsonValue::Int(threads));
+  sample.Set("items", JsonValue::Double(items));
+  sample.Set("items_per_second",
+             JsonValue::Double(wall_seconds > 0.0 ? items / wall_seconds : 0.0));
+  samples_.Append(std::move(sample));
+}
+
+void BenchReport::SetCounter(const std::string& key, double value) {
+  counters_.Set(key, JsonValue::Double(value));
+}
+
+Status BenchReport::Write() const {
+  FLEXVIS_RETURN_IF_ERROR(EnsureBenchOutDir());
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema_version", JsonValue::Int(1));
+  doc.Set("name", JsonValue::Str(name_));
+  doc.Set("samples", samples_);
+  doc.Set("counters", counters_);
+  std::string path = "bench_out/BENCH_" + name_ + ".json";
+  std::string body = doc.Pretty();
+  body += "\n";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return InternalError(StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != body.size() || close_rc != 0) {
+    return InternalError(StrFormat("short write to '%s'", path.c_str()));
+  }
+  std::printf("report: %s\n", path.c_str());
+  return OkStatus();
+}
+
+double MeasureSeconds(const std::function<void()>& fn, int repeats) {
+  double best = 0.0;
+  for (int i = 0; i < std::max(1, repeats); ++i) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+    if (i == 0 || elapsed.count() < best) best = elapsed.count();
+  }
+  return best;
+}
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0) return fallback;
+  return static_cast<size_t>(v);
 }
 
 std::vector<core::FlexOffer> MakeRandomOffers(uint64_t seed, size_t count) {

@@ -1,6 +1,7 @@
 #ifndef FLEXVIS_BENCH_BENCH_COMMON_H_
 #define FLEXVIS_BENCH_BENCH_COMMON_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -11,6 +12,8 @@
 #include "render/display_list.h"
 #include "sim/workload.h"
 #include "time/time_point.h"
+#include "util/json.h"
+#include "util/status.h"
 
 namespace flexvis::bench {
 
@@ -47,8 +50,51 @@ timeutil::TimePoint BenchDay();
 std::unique_ptr<World> BuildWorld(const WorldOptions& options);
 
 /// Writes `scene` under bench_out/<name>.svg (creating the directory) and
-/// prints the path. Returns false on I/O failure.
-bool ExportScene(const render::DisplayList& scene, const std::string& name);
+/// prints the path. Any directory-creation or write failure is returned to
+/// the caller so benches exit nonzero instead of silently continuing.
+Status ExportScene(const render::DisplayList& scene, const std::string& name);
+
+/// Machine-readable benchmark observability for CI gating. A bench records
+/// timed samples (typically one serial and one threaded run of the same
+/// workload) plus free-form counters, then writes
+/// `bench_out/BENCH_<name>.json`:
+///
+/// {
+///   "schema_version": 1,
+///   "name": "<bench name>",
+///   "samples": [
+///     {"label": "...", "wall_seconds": s, "threads": n,
+///      "items": i, "items_per_second": i/s}, ...
+///   ],
+///   "counters": {"speedup": ..., "deterministic": 1, ...}
+/// }
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  /// Records one timed sample; `items` is the workload size (offers,
+  /// display items, ...) used to derive the items_per_second rate.
+  void AddSample(const std::string& label, double wall_seconds, int threads, double items);
+
+  /// Sets a free-form counter (speedup, reduction ratio, ...).
+  void SetCounter(const std::string& key, double value);
+
+  /// Writes bench_out/BENCH_<name>.json (creating the directory) and prints
+  /// the path.
+  Status Write() const;
+
+ private:
+  std::string name_;
+  JsonValue samples_ = JsonValue::Array();
+  JsonValue counters_ = JsonValue::Object();
+};
+
+/// Best-of-`repeats` wall time of `fn` in seconds (steady clock).
+double MeasureSeconds(const std::function<void()>& fn, int repeats = 3);
+
+/// Reads a positive size_t from environment variable `name`; `fallback`
+/// when unset or unparsable. Lets CI shrink report workloads.
+size_t EnvSize(const char* name, size_t fallback);
 
 /// Prints the standard header every figure bench starts with.
 void PrintHeader(const char* figure, const char* claim);

@@ -72,7 +72,10 @@ int main() {
   render::DisplayList overlay(view.scene->width(), view.scene->height());
   view.scene->ReplayAll(overlay);
   viz::DrawHoverOverlay(overlay, info, shown, *view.scene, view.time_scale, view.plot);
-  if (!bench::ExportScene(overlay, "fig10_hover")) return 1;
+  if (Status export_status = bench::ExportScene(overlay, "fig10_hover"); !export_status.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", export_status.ToString().c_str());
+    return 1;
+  }
 
   // Pointer sweep: hit-test latency across the plot.
   auto start = std::chrono::steady_clock::now();

@@ -63,7 +63,11 @@ int main() {
   if (!agg_tab.ok()) return 1;
   viz::BasicViewResult view =
       session.tab(*agg_tab)->RenderBasic(viz::BasicViewOptions{});
-  if (!bench::ExportScene(*view.scene, "fig11_aggregation")) return 1;
+  Status export_status = bench::ExportScene(*view.scene, "fig11_aggregation");
+  if (!export_status.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", export_status.ToString().c_str());
+    return 1;
+  }
   std::printf("tab '%s'\n", session.tab(*agg_tab)->title().c_str());
   return 0;
 }

@@ -37,7 +37,11 @@ int main() {
 
   viz::BalancingViewResult view =
       viz::RenderBalancingView(*report, viz::BalancingViewOptions{});
-  if (!bench::ExportScene(*view.scene, "fig1_balancing")) return 1;
+  Status export_status = bench::ExportScene(*view.scene, "fig1_balancing");
+  if (!export_status.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", export_status.ToString().c_str());
+    return 1;
+  }
 
   // The series behind the chart, hourly.
   std::printf("\nhour  RES[kWh]  inflex[kWh]  flex_planned[kWh]\n");

@@ -22,7 +22,10 @@ int main() {
   }
 
   viz::AnatomyViewResult view = viz::RenderAnatomyView(offer, viz::AnatomyViewOptions{});
-  if (!bench::ExportScene(*view.scene, "fig2_anatomy")) return 1;
+  if (Status export_status = bench::ExportScene(*view.scene, "fig2_anatomy"); !export_status.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", export_status.ToString().c_str());
+    return 1;
+  }
 
   std::printf("\nstructural elements (paper values in parentheses):\n");
   std::printf("  acceptance time     %s  (11 pm)\n",

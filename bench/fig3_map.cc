@@ -24,7 +24,11 @@ int main() {
   view_options.histogram_buckets = 8;
   viz::MapViewResult view = viz::RenderMapView(world->workload.offers, world->atlas,
                                                view_options);
-  if (!bench::ExportScene(*view.scene, "fig3_map")) return 1;
+  Status export_status = bench::ExportScene(*view.scene, "fig3_map");
+  if (!export_status.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", export_status.ToString().c_str());
+    return 1;
+  }
 
   std::printf("\n%zu flex-offers over %zu regions\n", world->workload.offers.size(),
               view.region_ids.size());
@@ -45,7 +49,11 @@ int main() {
   region_options.level = "region";
   viz::MapViewResult regions = viz::RenderMapView(world->workload.offers, world->atlas,
                                                   region_options);
-  if (!bench::ExportScene(*regions.scene, "fig3_map_regions")) return 1;
+  export_status = bench::ExportScene(*regions.scene, "fig3_map_regions");
+  if (!export_status.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", export_status.ToString().c_str());
+    return 1;
+  }
   std::printf("\ndrill-up to region level:\n%-14s %8s\n", "region", "offers");
   for (size_t i = 0; i < regions.region_ids.size(); ++i) {
     Result<geo::GeoRegion> region = world->atlas.Find(regions.region_ids[i]);

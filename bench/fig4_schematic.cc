@@ -27,7 +27,11 @@ int main() {
 
   viz::SchematicViewResult view = viz::RenderSchematicView(
       world->workload.offers, world->topology, viz::SchematicViewOptions{});
-  if (!bench::ExportScene(*view.scene, "fig4_schematic")) return 1;
+  Status export_status = bench::ExportScene(*view.scene, "fig4_schematic");
+  if (!export_status.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", export_status.ToString().c_str());
+    return 1;
+  }
 
   core::StateCounts global = core::CountByState(world->workload.offers);
   std::printf("\nglobal state mix (paper: 31%% / 43%% / 26%%):\n");

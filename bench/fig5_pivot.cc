@@ -39,7 +39,10 @@ int main() {
   view_options.mdx_text = mdx;
   view_options.hierarchy = world->cube->FindDimension("Prosumer");
   viz::PivotViewResult view = viz::RenderPivotView(*pivot, view_options);
-  if (!bench::ExportScene(*view.scene, "fig5_pivot")) return 1;
+  if (Status export_status = bench::ExportScene(*view.scene, "fig5_pivot"); !export_status.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", export_status.ToString().c_str());
+    return 1;
+  }
 
   std::printf("\nMDX> %s\n\n%s", mdx.c_str(), pivot->ToText().c_str());
 

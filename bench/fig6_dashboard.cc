@@ -27,7 +27,11 @@ int main() {
   viz::DashboardOptions view_options;
   view_options.window = timeutil::TimeInterval(from, to);
   viz::DashboardResult view = viz::RenderDashboardView(world->workload.offers, view_options);
-  if (!bench::ExportScene(*view.scene, "fig6_dashboard")) return 1;
+  Status export_status = bench::ExportScene(*view.scene, "fig6_dashboard");
+  if (!export_status.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", export_status.ToString().c_str());
+    return 1;
+  }
 
   std::printf("\nFrom: %s  To: %s\n", from.ToString().c_str(), to.ToString().c_str());
   std::printf("pie (paper: Accepted 31%%, Assigned 43%%, Rejected 26%%):\n");

@@ -52,7 +52,11 @@ int main() {
   std::vector<core::FlexOfferId> selected = viz::SelectByRectangle(*first_pass.scene, band);
   view_options.selection = band;
   viz::BasicViewResult view = viz::RenderBasicView(offers, view_options);
-  if (!bench::ExportScene(*view.scene, "fig8_basic_view")) return 1;
+  Status export_status = bench::ExportScene(*view.scene, "fig8_basic_view");
+  if (!export_status.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", export_status.ToString().c_str());
+    return 1;
+  }
 
   std::printf("\noffers shown:        %zu (%zu raw + %zu aggregates)\n", offers.size(),
               raw_count, offers.size() - raw_count);

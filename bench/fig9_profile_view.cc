@@ -33,7 +33,11 @@ int main() {
   viz::ProfileViewOptions view_options;
   view_options.frame.height = 760;
   viz::ProfileViewResult view = viz::RenderProfileView(plan.offers, view_options);
-  if (!bench::ExportScene(*view.scene, "fig9_profile_view")) return 1;
+  Status export_status = bench::ExportScene(*view.scene, "fig9_profile_view");
+  if (!export_status.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", export_status.ToString().c_str());
+    return 1;
+  }
 
   std::printf("\noffers: %zu in %d lanes\n", plan.offers.size(), view.layout.lane_count);
   std::printf("synchronized ordinate: 0 .. %.1f kWh per 15 min (all lanes share it)\n",

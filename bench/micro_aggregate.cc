@@ -9,8 +9,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
 #include "bench/bench_common.h"
 #include "core/aggregation.h"
+#include "util/parallel.h"
 
 using namespace flexvis;
 
@@ -88,6 +93,89 @@ void BM_CompressProfile(benchmark::State& state) {
 }
 BENCHMARK(BM_CompressProfile)->Arg(96)->Arg(960);
 
+// FNV-1a over the fields that define an aggregation result, to verify the
+// threaded run is byte-equivalent to the serial one.
+uint64_t HashAggregates(const core::AggregationResult& result) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const core::FlexOffer& a : result.aggregates) {
+    mix(static_cast<uint64_t>(a.id));
+    mix(static_cast<uint64_t>(a.earliest_start.minutes()));
+    mix(static_cast<uint64_t>(a.latest_start.minutes()));
+    mix(a.aggregated_from.size());
+    for (core::FlexOfferId m : a.aggregated_from) mix(static_cast<uint64_t>(m));
+    for (const core::ProfileSlice& s : a.profile) {
+      mix(static_cast<uint64_t>(s.duration_slices));
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(s.min_energy_kwh));
+      std::memcpy(&bits, &s.min_energy_kwh, sizeof(bits));
+      mix(bits);
+      std::memcpy(&bits, &s.max_energy_kwh, sizeof(bits));
+      mix(bits);
+    }
+  }
+  mix(result.passthrough.size());
+  return h;
+}
+
+// Serial-vs-threaded speedup report for the CI gate. Returns false when the
+// report cannot be written or the threaded run diverges from the serial one.
+bool WriteSpeedupReport() {
+  const size_t count = bench::EnvSize("FLEXVIS_BENCH_OFFERS", 100000);
+  std::vector<core::FlexOffer> offers = bench::MakeRandomOffers(11, count);
+  core::AggregationParams params;
+  params.est_tolerance_minutes = 240;
+  params.tft_tolerance_minutes = 240;
+  core::Aggregator aggregator(params);
+
+  auto run = [&]() {
+    core::FlexOfferId next_id = 1'000'000;
+    return aggregator.Aggregate(offers, &next_id);
+  };
+
+  SetParallelThreadCount(1);
+  uint64_t serial_hash = HashAggregates(run());
+  double serial_seconds = bench::MeasureSeconds([&] { run(); });
+
+  const int threads = std::max(4, ParallelThreadCount());
+  SetParallelThreadCount(threads);
+  core::AggregationResult threaded = run();
+  uint64_t threaded_hash = HashAggregates(threaded);
+  double threaded_seconds = bench::MeasureSeconds([&] { run(); });
+  SetParallelThreadCount(0);  // back to the environment-resolved default
+
+  bench::BenchReport report("micro_aggregate");
+  report.AddSample("aggregate_serial", serial_seconds, 1, static_cast<double>(count));
+  report.AddSample("aggregate_parallel", threaded_seconds, threads,
+                   static_cast<double>(count));
+  report.SetCounter("speedup", threaded_seconds > 0.0 ? serial_seconds / threaded_seconds : 0.0);
+  report.SetCounter("reduction",
+                    static_cast<double>(count) /
+                        static_cast<double>(std::max<size_t>(1, threaded.aggregates.size())));
+  const bool deterministic = serial_hash == threaded_hash;
+  report.SetCounter("deterministic", deterministic ? 1.0 : 0.0);
+  Status status = report.Write();
+  if (!status.ok()) {
+    std::fprintf(stderr, "report failed: %s\n", status.ToString().c_str());
+    return false;
+  }
+  if (!deterministic) {
+    std::fprintf(stderr, "FAIL: threaded aggregation diverged from serial output\n");
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!WriteSpeedupReport()) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,12 +9,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 
 #include "bench/bench_common.h"
 #include "render/incremental.h"
 #include "render/raster_canvas.h"
+#include "util/parallel.h"
 #include "viz/basic_view.h"
 
 using namespace flexvis;
@@ -70,6 +73,57 @@ void BM_ItemsPerFrameBudget(benchmark::State& state) {
 }
 BENCHMARK(BM_ItemsPerFrameBudget)->Iterations(3)->Unit(benchmark::kMillisecond);
 
+// Serial-vs-tile-parallel raster replay report for the CI gate. The two
+// framebuffers must match byte-for-byte; false on divergence or I/O failure.
+bool WriteSpeedupReport() {
+  const size_t offers = bench::EnvSize("FLEXVIS_BENCH_OFFERS", 20000);
+  std::unique_ptr<render::DisplayList> scene = BuildScene(offers);
+  const double items = static_cast<double>(scene->size());
+
+  SetParallelThreadCount(1);
+  render::RasterCanvas serial_canvas(1000, 600);
+  scene->ReplayAll(serial_canvas);
+  double serial_seconds = bench::MeasureSeconds([&] {
+    render::RasterCanvas canvas(1000, 600);
+    scene->ReplayAll(canvas);
+  });
+
+  const int threads = std::max(4, ParallelThreadCount());
+  SetParallelThreadCount(threads);
+  render::RasterCanvas threaded_canvas(1000, 600);
+  threaded_canvas.ReplayParallelAll(*scene);
+  double threaded_seconds = bench::MeasureSeconds([&] {
+    render::RasterCanvas canvas(1000, 600);
+    canvas.ReplayParallelAll(*scene);
+  });
+  SetParallelThreadCount(0);
+
+  bench::BenchReport report("micro_incremental");
+  report.AddSample("raster_replay_serial", serial_seconds, 1, items);
+  report.AddSample("raster_replay_parallel", threaded_seconds, threads, items);
+  report.SetCounter("speedup", threaded_seconds > 0.0 ? serial_seconds / threaded_seconds : 0.0);
+  report.SetCounter("display_items", items);
+  const bool deterministic = serial_canvas.ToPpm() == threaded_canvas.ToPpm();
+  report.SetCounter("deterministic", deterministic ? 1.0 : 0.0);
+  Status status = report.Write();
+  if (!status.ok()) {
+    std::fprintf(stderr, "report failed: %s\n", status.ToString().c_str());
+    return false;
+  }
+  if (!deterministic) {
+    std::fprintf(stderr, "FAIL: tile-parallel raster output diverged from serial replay\n");
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!WriteSpeedupReport()) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

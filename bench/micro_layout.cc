@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "bench/bench_common.h"
 #include "viz/basic_view.h"
 #include "viz/lane_layout.h"
@@ -72,6 +74,39 @@ void BM_RenderProfileViewScene(benchmark::State& state) {
 }
 BENCHMARK(BM_RenderProfileViewScene)->Arg(100)->Arg(1000)->Arg(4000);
 
+// Layout throughput report (layout itself is single-threaded; the report
+// tracks offers/sec so CI can flag regressions of the Q1 scaling claim).
+bool WriteLayoutReport() {
+  const size_t count = bench::EnvSize("FLEXVIS_BENCH_OFFERS", 100000);
+  std::vector<core::FlexOffer> offers = bench::MakeRandomOffers(1, count);
+
+  double lanes_seconds = bench::MeasureSeconds([&] {
+    viz::LaneLayout layout = viz::AssignLanes(offers);
+    benchmark::DoNotOptimize(layout);
+  });
+  double scene_seconds = bench::MeasureSeconds([&] {
+    viz::BasicViewResult result = viz::RenderBasicView(offers, viz::BasicViewOptions{});
+    benchmark::DoNotOptimize(result);
+  });
+
+  bench::BenchReport report("micro_layout");
+  report.AddSample("assign_lanes", lanes_seconds, 1, static_cast<double>(count));
+  report.AddSample("render_basic_view_scene", scene_seconds, 1, static_cast<double>(count));
+  Status status = report.Write();
+  if (!status.ok()) {
+    std::fprintf(stderr, "report failed: %s\n", status.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!WriteLayoutReport()) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

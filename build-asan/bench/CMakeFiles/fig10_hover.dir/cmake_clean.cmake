@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_hover.dir/fig10_hover.cc.o"
+  "CMakeFiles/fig10_hover.dir/fig10_hover.cc.o.d"
+  "fig10_hover"
+  "fig10_hover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_hover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

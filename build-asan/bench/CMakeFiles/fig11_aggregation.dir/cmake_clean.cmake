@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_aggregation.dir/fig11_aggregation.cc.o"
+  "CMakeFiles/fig11_aggregation.dir/fig11_aggregation.cc.o.d"
+  "fig11_aggregation"
+  "fig11_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

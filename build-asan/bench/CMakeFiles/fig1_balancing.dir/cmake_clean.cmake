@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_balancing.dir/fig1_balancing.cc.o"
+  "CMakeFiles/fig1_balancing.dir/fig1_balancing.cc.o.d"
+  "fig1_balancing"
+  "fig1_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

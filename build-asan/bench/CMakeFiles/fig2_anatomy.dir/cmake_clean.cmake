@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_anatomy.dir/fig2_anatomy.cc.o"
+  "CMakeFiles/fig2_anatomy.dir/fig2_anatomy.cc.o.d"
+  "fig2_anatomy"
+  "fig2_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_map.dir/fig3_map.cc.o"
+  "CMakeFiles/fig3_map.dir/fig3_map.cc.o.d"
+  "fig3_map"
+  "fig3_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_schematic.dir/fig4_schematic.cc.o"
+  "CMakeFiles/fig4_schematic.dir/fig4_schematic.cc.o.d"
+  "fig4_schematic"
+  "fig4_schematic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_schematic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_pivot.dir/fig5_pivot.cc.o"
+  "CMakeFiles/fig5_pivot.dir/fig5_pivot.cc.o.d"
+  "fig5_pivot"
+  "fig5_pivot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_pivot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

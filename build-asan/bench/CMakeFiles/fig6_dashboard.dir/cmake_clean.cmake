@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_dashboard.dir/fig6_dashboard.cc.o"
+  "CMakeFiles/fig6_dashboard.dir/fig6_dashboard.cc.o.d"
+  "fig6_dashboard"
+  "fig6_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

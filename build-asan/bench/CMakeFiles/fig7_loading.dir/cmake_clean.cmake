@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_loading.dir/fig7_loading.cc.o"
+  "CMakeFiles/fig7_loading.dir/fig7_loading.cc.o.d"
+  "fig7_loading"
+  "fig7_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_basic_view.dir/fig8_basic_view.cc.o"
+  "CMakeFiles/fig8_basic_view.dir/fig8_basic_view.cc.o.d"
+  "fig8_basic_view"
+  "fig8_basic_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_basic_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

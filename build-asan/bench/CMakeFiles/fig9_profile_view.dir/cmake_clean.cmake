@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_profile_view.dir/fig9_profile_view.cc.o"
+  "CMakeFiles/fig9_profile_view.dir/fig9_profile_view.cc.o.d"
+  "fig9_profile_view"
+  "fig9_profile_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_profile_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

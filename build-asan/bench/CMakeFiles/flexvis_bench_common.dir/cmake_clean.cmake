@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libflexvis_bench_common.a"
+  "../lib/libflexvis_bench_common.pdb"
+  "CMakeFiles/flexvis_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/flexvis_bench_common.dir/bench_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexvis_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_aggregate.cc" "bench/CMakeFiles/micro_aggregate.dir/micro_aggregate.cc.o" "gcc" "bench/CMakeFiles/micro_aggregate.dir/micro_aggregate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/bench/CMakeFiles/flexvis_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/viz/CMakeFiles/flexvis_viz.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/flexvis_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/olap/CMakeFiles/flexvis_olap.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geo/CMakeFiles/flexvis_geo.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/grid/CMakeFiles/flexvis_grid.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/dw/CMakeFiles/flexvis_dw.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/render/CMakeFiles/flexvis_render.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/flexvis_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/time/CMakeFiles/flexvis_time.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/flexvis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_incremental.dir/micro_incremental.cc.o"
+  "CMakeFiles/micro_incremental.dir/micro_incremental.cc.o.d"
+  "micro_incremental"
+  "micro_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_interact.dir/micro_interact.cc.o"
+  "CMakeFiles/micro_interact.dir/micro_interact.cc.o.d"
+  "micro_interact"
+  "micro_interact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_interact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_olap.dir/micro_olap.cc.o"
+  "CMakeFiles/micro_olap.dir/micro_olap.cc.o.d"
+  "micro_olap"
+  "micro_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

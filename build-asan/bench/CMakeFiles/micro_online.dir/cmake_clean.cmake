@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_online.dir/micro_online.cc.o"
+  "CMakeFiles/micro_online.dir/micro_online.cc.o.d"
+  "micro_online"
+  "micro_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-asan/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_fig1_balancing "/root/repo/build-asan/bench/fig1_balancing")
+set_tests_properties(bench_smoke_fig1_balancing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig2_anatomy "/root/repo/build-asan/bench/fig2_anatomy")
+set_tests_properties(bench_smoke_fig2_anatomy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig3_map "/root/repo/build-asan/bench/fig3_map")
+set_tests_properties(bench_smoke_fig3_map PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig4_schematic "/root/repo/build-asan/bench/fig4_schematic")
+set_tests_properties(bench_smoke_fig4_schematic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig5_pivot "/root/repo/build-asan/bench/fig5_pivot")
+set_tests_properties(bench_smoke_fig5_pivot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig6_dashboard "/root/repo/build-asan/bench/fig6_dashboard")
+set_tests_properties(bench_smoke_fig6_dashboard PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig7_loading "/root/repo/build-asan/bench/fig7_loading")
+set_tests_properties(bench_smoke_fig7_loading PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig8_basic_view "/root/repo/build-asan/bench/fig8_basic_view")
+set_tests_properties(bench_smoke_fig8_basic_view PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig9_profile_view "/root/repo/build-asan/bench/fig9_profile_view")
+set_tests_properties(bench_smoke_fig9_profile_view PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig10_hover "/root/repo/build-asan/bench/fig10_hover")
+set_tests_properties(bench_smoke_fig10_hover PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig11_aggregation "/root/repo/build-asan/bench/fig11_aggregation")
+set_tests_properties(bench_smoke_fig11_aggregation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")

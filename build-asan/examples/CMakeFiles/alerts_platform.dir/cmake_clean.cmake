@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alerts_platform.dir/alerts_platform.cpp.o"
+  "CMakeFiles/alerts_platform.dir/alerts_platform.cpp.o.d"
+  "alerts_platform"
+  "alerts_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alerts_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

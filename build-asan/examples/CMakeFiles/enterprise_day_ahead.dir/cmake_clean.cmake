@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_day_ahead.dir/enterprise_day_ahead.cpp.o"
+  "CMakeFiles/enterprise_day_ahead.dir/enterprise_day_ahead.cpp.o.d"
+  "enterprise_day_ahead"
+  "enterprise_day_ahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_day_ahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_exploration.dir/olap_exploration.cpp.o"
+  "CMakeFiles/olap_exploration.dir/olap_exploration.cpp.o.d"
+  "olap_exploration"
+  "olap_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

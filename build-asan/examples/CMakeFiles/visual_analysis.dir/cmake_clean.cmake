@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visual_analysis.dir/visual_analysis.cpp.o"
+  "CMakeFiles/visual_analysis.dir/visual_analysis.cpp.o.d"
+  "visual_analysis"
+  "visual_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visual_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/week_simulation.dir/week_simulation.cpp.o"
+  "CMakeFiles/week_simulation.dir/week_simulation.cpp.o.d"
+  "week_simulation"
+  "week_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/week_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

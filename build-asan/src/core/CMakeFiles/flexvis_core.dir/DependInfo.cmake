@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregation.cc" "src/core/CMakeFiles/flexvis_core.dir/aggregation.cc.o" "gcc" "src/core/CMakeFiles/flexvis_core.dir/aggregation.cc.o.d"
+  "/root/repo/src/core/flex_offer.cc" "src/core/CMakeFiles/flexvis_core.dir/flex_offer.cc.o" "gcc" "src/core/CMakeFiles/flexvis_core.dir/flex_offer.cc.o.d"
+  "/root/repo/src/core/local_search.cc" "src/core/CMakeFiles/flexvis_core.dir/local_search.cc.o" "gcc" "src/core/CMakeFiles/flexvis_core.dir/local_search.cc.o.d"
+  "/root/repo/src/core/measures.cc" "src/core/CMakeFiles/flexvis_core.dir/measures.cc.o" "gcc" "src/core/CMakeFiles/flexvis_core.dir/measures.cc.o.d"
+  "/root/repo/src/core/messages.cc" "src/core/CMakeFiles/flexvis_core.dir/messages.cc.o" "gcc" "src/core/CMakeFiles/flexvis_core.dir/messages.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/flexvis_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/flexvis_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/time_series.cc" "src/core/CMakeFiles/flexvis_core.dir/time_series.cc.o" "gcc" "src/core/CMakeFiles/flexvis_core.dir/time_series.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/core/CMakeFiles/flexvis_core.dir/types.cc.o" "gcc" "src/core/CMakeFiles/flexvis_core.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/time/CMakeFiles/flexvis_time.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/flexvis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexvis_core.dir/aggregation.cc.o"
+  "CMakeFiles/flexvis_core.dir/aggregation.cc.o.d"
+  "CMakeFiles/flexvis_core.dir/flex_offer.cc.o"
+  "CMakeFiles/flexvis_core.dir/flex_offer.cc.o.d"
+  "CMakeFiles/flexvis_core.dir/local_search.cc.o"
+  "CMakeFiles/flexvis_core.dir/local_search.cc.o.d"
+  "CMakeFiles/flexvis_core.dir/measures.cc.o"
+  "CMakeFiles/flexvis_core.dir/measures.cc.o.d"
+  "CMakeFiles/flexvis_core.dir/messages.cc.o"
+  "CMakeFiles/flexvis_core.dir/messages.cc.o.d"
+  "CMakeFiles/flexvis_core.dir/scheduler.cc.o"
+  "CMakeFiles/flexvis_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/flexvis_core.dir/time_series.cc.o"
+  "CMakeFiles/flexvis_core.dir/time_series.cc.o.d"
+  "CMakeFiles/flexvis_core.dir/types.cc.o"
+  "CMakeFiles/flexvis_core.dir/types.cc.o.d"
+  "libflexvis_core.a"
+  "libflexvis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexvis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

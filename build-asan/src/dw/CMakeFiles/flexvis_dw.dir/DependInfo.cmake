@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dw/csv.cc" "src/dw/CMakeFiles/flexvis_dw.dir/csv.cc.o" "gcc" "src/dw/CMakeFiles/flexvis_dw.dir/csv.cc.o.d"
+  "/root/repo/src/dw/database.cc" "src/dw/CMakeFiles/flexvis_dw.dir/database.cc.o" "gcc" "src/dw/CMakeFiles/flexvis_dw.dir/database.cc.o.d"
+  "/root/repo/src/dw/persistence.cc" "src/dw/CMakeFiles/flexvis_dw.dir/persistence.cc.o" "gcc" "src/dw/CMakeFiles/flexvis_dw.dir/persistence.cc.o.d"
+  "/root/repo/src/dw/query.cc" "src/dw/CMakeFiles/flexvis_dw.dir/query.cc.o" "gcc" "src/dw/CMakeFiles/flexvis_dw.dir/query.cc.o.d"
+  "/root/repo/src/dw/table.cc" "src/dw/CMakeFiles/flexvis_dw.dir/table.cc.o" "gcc" "src/dw/CMakeFiles/flexvis_dw.dir/table.cc.o.d"
+  "/root/repo/src/dw/value.cc" "src/dw/CMakeFiles/flexvis_dw.dir/value.cc.o" "gcc" "src/dw/CMakeFiles/flexvis_dw.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/flexvis_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/time/CMakeFiles/flexvis_time.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/flexvis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

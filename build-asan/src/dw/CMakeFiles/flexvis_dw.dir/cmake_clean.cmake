@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexvis_dw.dir/csv.cc.o"
+  "CMakeFiles/flexvis_dw.dir/csv.cc.o.d"
+  "CMakeFiles/flexvis_dw.dir/database.cc.o"
+  "CMakeFiles/flexvis_dw.dir/database.cc.o.d"
+  "CMakeFiles/flexvis_dw.dir/persistence.cc.o"
+  "CMakeFiles/flexvis_dw.dir/persistence.cc.o.d"
+  "CMakeFiles/flexvis_dw.dir/query.cc.o"
+  "CMakeFiles/flexvis_dw.dir/query.cc.o.d"
+  "CMakeFiles/flexvis_dw.dir/table.cc.o"
+  "CMakeFiles/flexvis_dw.dir/table.cc.o.d"
+  "CMakeFiles/flexvis_dw.dir/value.cc.o"
+  "CMakeFiles/flexvis_dw.dir/value.cc.o.d"
+  "libflexvis_dw.a"
+  "libflexvis_dw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexvis_dw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

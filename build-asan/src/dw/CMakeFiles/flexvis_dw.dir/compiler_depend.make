@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for flexvis_dw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/atlas.cc" "src/geo/CMakeFiles/flexvis_geo.dir/atlas.cc.o" "gcc" "src/geo/CMakeFiles/flexvis_geo.dir/atlas.cc.o.d"
+  "/root/repo/src/geo/geometry.cc" "src/geo/CMakeFiles/flexvis_geo.dir/geometry.cc.o" "gcc" "src/geo/CMakeFiles/flexvis_geo.dir/geometry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/dw/CMakeFiles/flexvis_dw.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/flexvis_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/flexvis_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/time/CMakeFiles/flexvis_time.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

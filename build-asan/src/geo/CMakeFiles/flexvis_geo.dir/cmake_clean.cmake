@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexvis_geo.dir/atlas.cc.o"
+  "CMakeFiles/flexvis_geo.dir/atlas.cc.o.d"
+  "CMakeFiles/flexvis_geo.dir/geometry.cc.o"
+  "CMakeFiles/flexvis_geo.dir/geometry.cc.o.d"
+  "libflexvis_geo.a"
+  "libflexvis_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexvis_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

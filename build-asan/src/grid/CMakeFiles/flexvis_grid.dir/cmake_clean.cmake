@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexvis_grid.dir/topology.cc.o"
+  "CMakeFiles/flexvis_grid.dir/topology.cc.o.d"
+  "libflexvis_grid.a"
+  "libflexvis_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexvis_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

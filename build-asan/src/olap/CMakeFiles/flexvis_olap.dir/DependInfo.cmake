@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/olap/cube.cc" "src/olap/CMakeFiles/flexvis_olap.dir/cube.cc.o" "gcc" "src/olap/CMakeFiles/flexvis_olap.dir/cube.cc.o.d"
+  "/root/repo/src/olap/dimension.cc" "src/olap/CMakeFiles/flexvis_olap.dir/dimension.cc.o" "gcc" "src/olap/CMakeFiles/flexvis_olap.dir/dimension.cc.o.d"
+  "/root/repo/src/olap/mdx.cc" "src/olap/CMakeFiles/flexvis_olap.dir/mdx.cc.o" "gcc" "src/olap/CMakeFiles/flexvis_olap.dir/mdx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/dw/CMakeFiles/flexvis_dw.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/flexvis_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/time/CMakeFiles/flexvis_time.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/flexvis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

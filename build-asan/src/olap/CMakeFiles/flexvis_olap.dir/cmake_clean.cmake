@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexvis_olap.dir/cube.cc.o"
+  "CMakeFiles/flexvis_olap.dir/cube.cc.o.d"
+  "CMakeFiles/flexvis_olap.dir/dimension.cc.o"
+  "CMakeFiles/flexvis_olap.dir/dimension.cc.o.d"
+  "CMakeFiles/flexvis_olap.dir/mdx.cc.o"
+  "CMakeFiles/flexvis_olap.dir/mdx.cc.o.d"
+  "libflexvis_olap.a"
+  "libflexvis_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexvis_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

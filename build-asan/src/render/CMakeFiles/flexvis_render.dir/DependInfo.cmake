@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/render/axis.cc" "src/render/CMakeFiles/flexvis_render.dir/axis.cc.o" "gcc" "src/render/CMakeFiles/flexvis_render.dir/axis.cc.o.d"
+  "/root/repo/src/render/canvas.cc" "src/render/CMakeFiles/flexvis_render.dir/canvas.cc.o" "gcc" "src/render/CMakeFiles/flexvis_render.dir/canvas.cc.o.d"
+  "/root/repo/src/render/color.cc" "src/render/CMakeFiles/flexvis_render.dir/color.cc.o" "gcc" "src/render/CMakeFiles/flexvis_render.dir/color.cc.o.d"
+  "/root/repo/src/render/display_list.cc" "src/render/CMakeFiles/flexvis_render.dir/display_list.cc.o" "gcc" "src/render/CMakeFiles/flexvis_render.dir/display_list.cc.o.d"
+  "/root/repo/src/render/font5x7.cc" "src/render/CMakeFiles/flexvis_render.dir/font5x7.cc.o" "gcc" "src/render/CMakeFiles/flexvis_render.dir/font5x7.cc.o.d"
+  "/root/repo/src/render/incremental.cc" "src/render/CMakeFiles/flexvis_render.dir/incremental.cc.o" "gcc" "src/render/CMakeFiles/flexvis_render.dir/incremental.cc.o.d"
+  "/root/repo/src/render/png.cc" "src/render/CMakeFiles/flexvis_render.dir/png.cc.o" "gcc" "src/render/CMakeFiles/flexvis_render.dir/png.cc.o.d"
+  "/root/repo/src/render/raster_canvas.cc" "src/render/CMakeFiles/flexvis_render.dir/raster_canvas.cc.o" "gcc" "src/render/CMakeFiles/flexvis_render.dir/raster_canvas.cc.o.d"
+  "/root/repo/src/render/scale.cc" "src/render/CMakeFiles/flexvis_render.dir/scale.cc.o" "gcc" "src/render/CMakeFiles/flexvis_render.dir/scale.cc.o.d"
+  "/root/repo/src/render/svg_canvas.cc" "src/render/CMakeFiles/flexvis_render.dir/svg_canvas.cc.o" "gcc" "src/render/CMakeFiles/flexvis_render.dir/svg_canvas.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/time/CMakeFiles/flexvis_time.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/flexvis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

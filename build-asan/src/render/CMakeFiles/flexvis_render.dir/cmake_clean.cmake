@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexvis_render.dir/axis.cc.o"
+  "CMakeFiles/flexvis_render.dir/axis.cc.o.d"
+  "CMakeFiles/flexvis_render.dir/canvas.cc.o"
+  "CMakeFiles/flexvis_render.dir/canvas.cc.o.d"
+  "CMakeFiles/flexvis_render.dir/color.cc.o"
+  "CMakeFiles/flexvis_render.dir/color.cc.o.d"
+  "CMakeFiles/flexvis_render.dir/display_list.cc.o"
+  "CMakeFiles/flexvis_render.dir/display_list.cc.o.d"
+  "CMakeFiles/flexvis_render.dir/font5x7.cc.o"
+  "CMakeFiles/flexvis_render.dir/font5x7.cc.o.d"
+  "CMakeFiles/flexvis_render.dir/incremental.cc.o"
+  "CMakeFiles/flexvis_render.dir/incremental.cc.o.d"
+  "CMakeFiles/flexvis_render.dir/png.cc.o"
+  "CMakeFiles/flexvis_render.dir/png.cc.o.d"
+  "CMakeFiles/flexvis_render.dir/raster_canvas.cc.o"
+  "CMakeFiles/flexvis_render.dir/raster_canvas.cc.o.d"
+  "CMakeFiles/flexvis_render.dir/scale.cc.o"
+  "CMakeFiles/flexvis_render.dir/scale.cc.o.d"
+  "CMakeFiles/flexvis_render.dir/svg_canvas.cc.o"
+  "CMakeFiles/flexvis_render.dir/svg_canvas.cc.o.d"
+  "libflexvis_render.a"
+  "libflexvis_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexvis_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/alerts.cc" "src/sim/CMakeFiles/flexvis_sim.dir/alerts.cc.o" "gcc" "src/sim/CMakeFiles/flexvis_sim.dir/alerts.cc.o.d"
+  "/root/repo/src/sim/energy_models.cc" "src/sim/CMakeFiles/flexvis_sim.dir/energy_models.cc.o" "gcc" "src/sim/CMakeFiles/flexvis_sim.dir/energy_models.cc.o.d"
+  "/root/repo/src/sim/enterprise.cc" "src/sim/CMakeFiles/flexvis_sim.dir/enterprise.cc.o" "gcc" "src/sim/CMakeFiles/flexvis_sim.dir/enterprise.cc.o.d"
+  "/root/repo/src/sim/forecaster.cc" "src/sim/CMakeFiles/flexvis_sim.dir/forecaster.cc.o" "gcc" "src/sim/CMakeFiles/flexvis_sim.dir/forecaster.cc.o.d"
+  "/root/repo/src/sim/market.cc" "src/sim/CMakeFiles/flexvis_sim.dir/market.cc.o" "gcc" "src/sim/CMakeFiles/flexvis_sim.dir/market.cc.o.d"
+  "/root/repo/src/sim/online.cc" "src/sim/CMakeFiles/flexvis_sim.dir/online.cc.o" "gcc" "src/sim/CMakeFiles/flexvis_sim.dir/online.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/sim/CMakeFiles/flexvis_sim.dir/workload.cc.o" "gcc" "src/sim/CMakeFiles/flexvis_sim.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/dw/CMakeFiles/flexvis_dw.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geo/CMakeFiles/flexvis_geo.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/grid/CMakeFiles/flexvis_grid.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/flexvis_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/time/CMakeFiles/flexvis_time.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/flexvis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

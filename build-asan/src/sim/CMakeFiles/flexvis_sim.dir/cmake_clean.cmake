@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexvis_sim.dir/alerts.cc.o"
+  "CMakeFiles/flexvis_sim.dir/alerts.cc.o.d"
+  "CMakeFiles/flexvis_sim.dir/energy_models.cc.o"
+  "CMakeFiles/flexvis_sim.dir/energy_models.cc.o.d"
+  "CMakeFiles/flexvis_sim.dir/enterprise.cc.o"
+  "CMakeFiles/flexvis_sim.dir/enterprise.cc.o.d"
+  "CMakeFiles/flexvis_sim.dir/forecaster.cc.o"
+  "CMakeFiles/flexvis_sim.dir/forecaster.cc.o.d"
+  "CMakeFiles/flexvis_sim.dir/market.cc.o"
+  "CMakeFiles/flexvis_sim.dir/market.cc.o.d"
+  "CMakeFiles/flexvis_sim.dir/online.cc.o"
+  "CMakeFiles/flexvis_sim.dir/online.cc.o.d"
+  "CMakeFiles/flexvis_sim.dir/workload.cc.o"
+  "CMakeFiles/flexvis_sim.dir/workload.cc.o.d"
+  "libflexvis_sim.a"
+  "libflexvis_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexvis_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

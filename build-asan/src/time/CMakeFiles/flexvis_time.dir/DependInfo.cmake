@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/time/granularity.cc" "src/time/CMakeFiles/flexvis_time.dir/granularity.cc.o" "gcc" "src/time/CMakeFiles/flexvis_time.dir/granularity.cc.o.d"
+  "/root/repo/src/time/time_point.cc" "src/time/CMakeFiles/flexvis_time.dir/time_point.cc.o" "gcc" "src/time/CMakeFiles/flexvis_time.dir/time_point.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/flexvis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

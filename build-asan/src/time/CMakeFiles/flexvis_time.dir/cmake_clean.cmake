@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexvis_time.dir/granularity.cc.o"
+  "CMakeFiles/flexvis_time.dir/granularity.cc.o.d"
+  "CMakeFiles/flexvis_time.dir/time_point.cc.o"
+  "CMakeFiles/flexvis_time.dir/time_point.cc.o.d"
+  "libflexvis_time.a"
+  "libflexvis_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexvis_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

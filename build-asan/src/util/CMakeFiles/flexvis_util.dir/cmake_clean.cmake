@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexvis_util.dir/json.cc.o"
+  "CMakeFiles/flexvis_util.dir/json.cc.o.d"
+  "CMakeFiles/flexvis_util.dir/parallel.cc.o"
+  "CMakeFiles/flexvis_util.dir/parallel.cc.o.d"
+  "CMakeFiles/flexvis_util.dir/rng.cc.o"
+  "CMakeFiles/flexvis_util.dir/rng.cc.o.d"
+  "CMakeFiles/flexvis_util.dir/status.cc.o"
+  "CMakeFiles/flexvis_util.dir/status.cc.o.d"
+  "CMakeFiles/flexvis_util.dir/strings.cc.o"
+  "CMakeFiles/flexvis_util.dir/strings.cc.o.d"
+  "libflexvis_util.a"
+  "libflexvis_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexvis_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

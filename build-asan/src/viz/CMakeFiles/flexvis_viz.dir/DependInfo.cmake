@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/anatomy_view.cc" "src/viz/CMakeFiles/flexvis_viz.dir/anatomy_view.cc.o" "gcc" "src/viz/CMakeFiles/flexvis_viz.dir/anatomy_view.cc.o.d"
+  "/root/repo/src/viz/balancing_view.cc" "src/viz/CMakeFiles/flexvis_viz.dir/balancing_view.cc.o" "gcc" "src/viz/CMakeFiles/flexvis_viz.dir/balancing_view.cc.o.d"
+  "/root/repo/src/viz/basic_view.cc" "src/viz/CMakeFiles/flexvis_viz.dir/basic_view.cc.o" "gcc" "src/viz/CMakeFiles/flexvis_viz.dir/basic_view.cc.o.d"
+  "/root/repo/src/viz/dashboard_view.cc" "src/viz/CMakeFiles/flexvis_viz.dir/dashboard_view.cc.o" "gcc" "src/viz/CMakeFiles/flexvis_viz.dir/dashboard_view.cc.o.d"
+  "/root/repo/src/viz/interaction.cc" "src/viz/CMakeFiles/flexvis_viz.dir/interaction.cc.o" "gcc" "src/viz/CMakeFiles/flexvis_viz.dir/interaction.cc.o.d"
+  "/root/repo/src/viz/lane_layout.cc" "src/viz/CMakeFiles/flexvis_viz.dir/lane_layout.cc.o" "gcc" "src/viz/CMakeFiles/flexvis_viz.dir/lane_layout.cc.o.d"
+  "/root/repo/src/viz/map_view.cc" "src/viz/CMakeFiles/flexvis_viz.dir/map_view.cc.o" "gcc" "src/viz/CMakeFiles/flexvis_viz.dir/map_view.cc.o.d"
+  "/root/repo/src/viz/pivot_offers_view.cc" "src/viz/CMakeFiles/flexvis_viz.dir/pivot_offers_view.cc.o" "gcc" "src/viz/CMakeFiles/flexvis_viz.dir/pivot_offers_view.cc.o.d"
+  "/root/repo/src/viz/pivot_view.cc" "src/viz/CMakeFiles/flexvis_viz.dir/pivot_view.cc.o" "gcc" "src/viz/CMakeFiles/flexvis_viz.dir/pivot_view.cc.o.d"
+  "/root/repo/src/viz/profile_view.cc" "src/viz/CMakeFiles/flexvis_viz.dir/profile_view.cc.o" "gcc" "src/viz/CMakeFiles/flexvis_viz.dir/profile_view.cc.o.d"
+  "/root/repo/src/viz/schematic_view.cc" "src/viz/CMakeFiles/flexvis_viz.dir/schematic_view.cc.o" "gcc" "src/viz/CMakeFiles/flexvis_viz.dir/schematic_view.cc.o.d"
+  "/root/repo/src/viz/session.cc" "src/viz/CMakeFiles/flexvis_viz.dir/session.cc.o" "gcc" "src/viz/CMakeFiles/flexvis_viz.dir/session.cc.o.d"
+  "/root/repo/src/viz/view_common.cc" "src/viz/CMakeFiles/flexvis_viz.dir/view_common.cc.o" "gcc" "src/viz/CMakeFiles/flexvis_viz.dir/view_common.cc.o.d"
+  "/root/repo/src/viz/viewport.cc" "src/viz/CMakeFiles/flexvis_viz.dir/viewport.cc.o" "gcc" "src/viz/CMakeFiles/flexvis_viz.dir/viewport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/render/CMakeFiles/flexvis_render.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/olap/CMakeFiles/flexvis_olap.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/flexvis_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geo/CMakeFiles/flexvis_geo.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/grid/CMakeFiles/flexvis_grid.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/dw/CMakeFiles/flexvis_dw.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/flexvis_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/time/CMakeFiles/flexvis_time.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/flexvis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexvis_viz.dir/anatomy_view.cc.o"
+  "CMakeFiles/flexvis_viz.dir/anatomy_view.cc.o.d"
+  "CMakeFiles/flexvis_viz.dir/balancing_view.cc.o"
+  "CMakeFiles/flexvis_viz.dir/balancing_view.cc.o.d"
+  "CMakeFiles/flexvis_viz.dir/basic_view.cc.o"
+  "CMakeFiles/flexvis_viz.dir/basic_view.cc.o.d"
+  "CMakeFiles/flexvis_viz.dir/dashboard_view.cc.o"
+  "CMakeFiles/flexvis_viz.dir/dashboard_view.cc.o.d"
+  "CMakeFiles/flexvis_viz.dir/interaction.cc.o"
+  "CMakeFiles/flexvis_viz.dir/interaction.cc.o.d"
+  "CMakeFiles/flexvis_viz.dir/lane_layout.cc.o"
+  "CMakeFiles/flexvis_viz.dir/lane_layout.cc.o.d"
+  "CMakeFiles/flexvis_viz.dir/map_view.cc.o"
+  "CMakeFiles/flexvis_viz.dir/map_view.cc.o.d"
+  "CMakeFiles/flexvis_viz.dir/pivot_offers_view.cc.o"
+  "CMakeFiles/flexvis_viz.dir/pivot_offers_view.cc.o.d"
+  "CMakeFiles/flexvis_viz.dir/pivot_view.cc.o"
+  "CMakeFiles/flexvis_viz.dir/pivot_view.cc.o.d"
+  "CMakeFiles/flexvis_viz.dir/profile_view.cc.o"
+  "CMakeFiles/flexvis_viz.dir/profile_view.cc.o.d"
+  "CMakeFiles/flexvis_viz.dir/schematic_view.cc.o"
+  "CMakeFiles/flexvis_viz.dir/schematic_view.cc.o.d"
+  "CMakeFiles/flexvis_viz.dir/session.cc.o"
+  "CMakeFiles/flexvis_viz.dir/session.cc.o.d"
+  "CMakeFiles/flexvis_viz.dir/view_common.cc.o"
+  "CMakeFiles/flexvis_viz.dir/view_common.cc.o.d"
+  "CMakeFiles/flexvis_viz.dir/viewport.cc.o"
+  "CMakeFiles/flexvis_viz.dir/viewport.cc.o.d"
+  "libflexvis_viz.a"
+  "libflexvis_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexvis_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

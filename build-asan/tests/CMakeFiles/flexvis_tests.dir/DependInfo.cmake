@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aggregation_test.cc" "tests/CMakeFiles/flexvis_tests.dir/aggregation_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/aggregation_test.cc.o.d"
+  "/root/repo/tests/determinism_test.cc" "tests/CMakeFiles/flexvis_tests.dir/determinism_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/determinism_test.cc.o.d"
+  "/root/repo/tests/dw_test.cc" "tests/CMakeFiles/flexvis_tests.dir/dw_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/dw_test.cc.o.d"
+  "/root/repo/tests/enterprise_modes_test.cc" "tests/CMakeFiles/flexvis_tests.dir/enterprise_modes_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/enterprise_modes_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/flexvis_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/failure_test.cc" "tests/CMakeFiles/flexvis_tests.dir/failure_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/failure_test.cc.o.d"
+  "/root/repo/tests/flex_offer_test.cc" "tests/CMakeFiles/flexvis_tests.dir/flex_offer_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/flex_offer_test.cc.o.d"
+  "/root/repo/tests/geo_grid_test.cc" "tests/CMakeFiles/flexvis_tests.dir/geo_grid_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/geo_grid_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/flexvis_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/json_test.cc" "tests/CMakeFiles/flexvis_tests.dir/json_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/json_test.cc.o.d"
+  "/root/repo/tests/local_search_test.cc" "tests/CMakeFiles/flexvis_tests.dir/local_search_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/local_search_test.cc.o.d"
+  "/root/repo/tests/measures_test.cc" "tests/CMakeFiles/flexvis_tests.dir/measures_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/measures_test.cc.o.d"
+  "/root/repo/tests/messages_test.cc" "tests/CMakeFiles/flexvis_tests.dir/messages_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/messages_test.cc.o.d"
+  "/root/repo/tests/misc_coverage_test.cc" "tests/CMakeFiles/flexvis_tests.dir/misc_coverage_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/misc_coverage_test.cc.o.d"
+  "/root/repo/tests/olap_test.cc" "tests/CMakeFiles/flexvis_tests.dir/olap_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/olap_test.cc.o.d"
+  "/root/repo/tests/parallel_test.cc" "tests/CMakeFiles/flexvis_tests.dir/parallel_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/parallel_test.cc.o.d"
+  "/root/repo/tests/persistence_test.cc" "tests/CMakeFiles/flexvis_tests.dir/persistence_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/persistence_test.cc.o.d"
+  "/root/repo/tests/png_test.cc" "tests/CMakeFiles/flexvis_tests.dir/png_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/png_test.cc.o.d"
+  "/root/repo/tests/render_test.cc" "tests/CMakeFiles/flexvis_tests.dir/render_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/render_test.cc.o.d"
+  "/root/repo/tests/scheduler_test.cc" "tests/CMakeFiles/flexvis_tests.dir/scheduler_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/scheduler_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/flexvis_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/time_series_test.cc" "tests/CMakeFiles/flexvis_tests.dir/time_series_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/time_series_test.cc.o.d"
+  "/root/repo/tests/time_test.cc" "tests/CMakeFiles/flexvis_tests.dir/time_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/time_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/flexvis_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/view_options_test.cc" "tests/CMakeFiles/flexvis_tests.dir/view_options_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/view_options_test.cc.o.d"
+  "/root/repo/tests/viz_test.cc" "tests/CMakeFiles/flexvis_tests.dir/viz_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/viz_test.cc.o.d"
+  "/root/repo/tests/viz_views_test.cc" "tests/CMakeFiles/flexvis_tests.dir/viz_views_test.cc.o" "gcc" "tests/CMakeFiles/flexvis_tests.dir/viz_views_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/viz/CMakeFiles/flexvis_viz.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/flexvis_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/olap/CMakeFiles/flexvis_olap.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/dw/CMakeFiles/flexvis_dw.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geo/CMakeFiles/flexvis_geo.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/grid/CMakeFiles/flexvis_grid.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/render/CMakeFiles/flexvis_render.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/flexvis_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/time/CMakeFiles/flexvis_time.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/flexvis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexvis_cli.dir/flexvis_cli.cc.o"
+  "CMakeFiles/flexvis_cli.dir/flexvis_cli.cc.o.d"
+  "flexvis"
+  "flexvis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexvis_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

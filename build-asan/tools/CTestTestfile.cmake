@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-asan/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_smoke "bash" "-c" "    set -e;     DB=\$(mktemp -d);     /root/repo/build-asan/tools/flexvis generate --out \$DB --prosumers 40 --day 2013-02-01 &&     /root/repo/build-asan/tools/flexvis stats --db \$DB &&     /root/repo/build-asan/tools/flexvis plan --db \$DB --day 2013-02-01 &&     /root/repo/build-asan/tools/flexvis render --db \$DB --view dashboard --out \$DB/dash.svg &&     /root/repo/build-asan/tools/flexvis render --db \$DB --view map --out \$DB/map.png &&     /root/repo/build-asan/tools/flexvis mdx --db \$DB 'SELECT { State.Members } ON ROWS FROM [FlexOffers]' &&     /root/repo/build-asan/tools/flexvis alerts --db \$DB &&     test -s \$DB/dash.svg && test -s \$DB/map.png &&     rm -rf \$DB")
+set_tests_properties(cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <tuple>
 
+#include "util/parallel.h"
 #include "util/strings.h"
 
 namespace flexvis::core {
@@ -131,15 +133,45 @@ std::vector<ProfileSlice> CompressProfile(const std::vector<ProfileSlice>& units
 
 AggregationResult Aggregator::Aggregate(const std::vector<FlexOffer>& offers,
                                         FlexOfferId* next_id) const {
+  // Fixed chunk width for validation and grouping; chunk boundaries must not
+  // depend on the thread count or the grouped order (and hence the output)
+  // would change between serial and threaded runs.
+  constexpr size_t kGrain = 2048;
+
   AggregationResult result;
-  std::map<CellKey, std::vector<const FlexOffer*>> cells;
-  for (const FlexOffer& offer : offers) {
-    if (!Validate(offer).ok()) {
-      result.passthrough.push_back(offer);
-      continue;
-    }
-    cells[MakeKey(offer, params_)].push_back(&offer);
+  std::vector<uint8_t> valid(offers.size(), 0);
+  ParallelFor(0, offers.size(), kGrain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) valid[i] = Validate(offers[i]).ok() ? 1 : 0;
+  });
+
+  // Per-chunk ordered maps, merged in chunk order: within a cell, members
+  // stay in arrival order exactly as the serial single-pass insert produced.
+  using CellMap = std::map<CellKey, std::vector<const FlexOffer*>>;
+  CellMap cells = ParallelReduce<CellMap>(
+      0, offers.size(), kGrain, CellMap{},
+      [&](size_t begin, size_t end) {
+        CellMap local;
+        for (size_t i = begin; i < end; ++i) {
+          if (valid[i]) local[MakeKey(offers[i], params_)].push_back(&offers[i]);
+        }
+        return local;
+      },
+      [](CellMap acc, CellMap chunk) {
+        for (auto& [key, members] : chunk) {
+          std::vector<const FlexOffer*>& dst = acc[key];
+          dst.insert(dst.end(), members.begin(), members.end());
+        }
+        return acc;
+      });
+
+  for (size_t i = 0; i < offers.size(); ++i) {
+    if (!valid[i]) result.passthrough.push_back(offers[i]);
   }
+
+  // Split cells into capped groups in (cell key, arrival) order, then build
+  // the aggregates in parallel. Ids are assigned by group index up front so
+  // numbering matches the serial order no matter which worker runs a group.
+  std::vector<std::vector<const FlexOffer*>> groups;
   for (auto& [key, members] : cells) {
     (void)key;
     size_t cap = params_.max_group_size > 0 ? static_cast<size_t>(params_.max_group_size)
@@ -147,10 +179,17 @@ AggregationResult Aggregator::Aggregate(const std::vector<FlexOffer>& offers,
     if (cap == 0) cap = 1;
     for (size_t begin = 0; begin < members.size(); begin += cap) {
       size_t end = std::min(begin + cap, members.size());
-      std::vector<const FlexOffer*> group(members.begin() + begin, members.begin() + end);
-      result.aggregates.push_back(BuildAggregate(group, (*next_id)++));
+      groups.emplace_back(members.begin() + begin, members.begin() + end);
     }
   }
+  const FlexOfferId base_id = *next_id;
+  *next_id += static_cast<FlexOfferId>(groups.size());
+  result.aggregates.resize(groups.size());
+  ParallelFor(0, groups.size(), 16, [&](size_t begin, size_t end) {
+    for (size_t g = begin; g < end; ++g) {
+      result.aggregates[g] = BuildAggregate(groups[g], base_id + static_cast<FlexOfferId>(g));
+    }
+  });
   return result;
 }
 

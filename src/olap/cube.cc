@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/parallel.h"
 #include "util/strings.h"
 
 namespace flexvis::olap {
@@ -138,6 +139,16 @@ struct CellAcc {
   double sum_tf = 0.0;
   double sum_slices = 0.0;
   double sum_shift_ratio = 0.0;
+
+  void Merge(const CellAcc& other) {
+    count += other.count;
+    sum_min += other.sum_min;
+    sum_max += other.sum_max;
+    sum_sched += other.sum_sched;
+    sum_tf += other.sum_tf;
+    sum_slices += other.sum_slices;
+    sum_shift_ratio += other.sum_shift_ratio;
+  }
 
   double Finish(Measure m) const {
     switch (m) {
@@ -286,42 +297,58 @@ Result<PivotResult> Cube::Evaluate(const CubeQuery& query) const {
   result.measure = query.measure;
   result.rows = axes[0].headers;
   result.cols = axes[1].headers;
-  std::vector<std::vector<CellAcc>> acc(result.rows.size(),
-                                        std::vector<CellAcc>(result.cols.size()));
+  const size_t num_rows = result.rows.size();
+  const size_t num_cols = result.cols.size();
 
-  for (size_t r = 0; r < facts.NumRows(); ++r) {
-    if (!query.window.empty()) {
-      TimePoint est = TimePoint::FromMinutes(est_col->GetInt64(r));
-      if (!query.window.Contains(est)) continue;
-    }
-    bool pass = true;
-    for (const auto& [col, allowed] : slicer_sets) {
-      if (allowed.find(col->GetInt64(r)) == allowed.end()) {
-        pass = false;
-        break;
-      }
-    }
-    if (!pass) continue;
-    int row_idx = axes[0].Classify(r);
-    int col_idx = axes[1].Classify(r);
-    if (row_idx < 0 || col_idx < 0) continue;
-    CellAcc& cell = acc[row_idx][col_idx];
-    cell.count += 1.0;
-    cell.sum_min += min_col->GetDouble(r);
-    cell.sum_max += max_col->GetDouble(r);
-    cell.sum_sched += sched_col->GetDouble(r);
-    double tf = static_cast<double>(tf_col->GetInt64(r));
-    double dur = static_cast<double>(slices_col->GetInt64(r)) * timeutil::kMinutesPerSlice;
-    cell.sum_tf += tf;
-    cell.sum_slices += static_cast<double>(slices_col->GetInt64(r));
-    if (tf + dur > 0.0) cell.sum_shift_ratio += tf / (tf + dur);
-  }
+  // Chunked parallel scan with per-chunk accumulator matrices merged in
+  // chunk order. The fixed grain keeps the floating-point summation order
+  // independent of the thread count, so a query answers bit-identically on
+  // 1 thread and on 8.
+  constexpr size_t kGrain = 4096;
+  using AccMatrix = std::vector<CellAcc>;  // row-major num_rows x num_cols
+  AccMatrix acc = ParallelReduce<AccMatrix>(
+      0, facts.NumRows(), kGrain, AccMatrix(num_rows * num_cols),
+      [&](size_t begin, size_t end) {
+        AccMatrix local(num_rows * num_cols);
+        for (size_t r = begin; r < end; ++r) {
+          if (!query.window.empty()) {
+            TimePoint est = TimePoint::FromMinutes(est_col->GetInt64(r));
+            if (!query.window.Contains(est)) continue;
+          }
+          bool pass = true;
+          for (const auto& [col, allowed] : slicer_sets) {
+            if (allowed.find(col->GetInt64(r)) == allowed.end()) {
+              pass = false;
+              break;
+            }
+          }
+          if (!pass) continue;
+          int row_idx = axes[0].Classify(r);
+          int col_idx = axes[1].Classify(r);
+          if (row_idx < 0 || col_idx < 0) continue;
+          CellAcc& cell = local[static_cast<size_t>(row_idx) * num_cols + col_idx];
+          cell.count += 1.0;
+          cell.sum_min += min_col->GetDouble(r);
+          cell.sum_max += max_col->GetDouble(r);
+          cell.sum_sched += sched_col->GetDouble(r);
+          double tf = static_cast<double>(tf_col->GetInt64(r));
+          double dur = static_cast<double>(slices_col->GetInt64(r)) * timeutil::kMinutesPerSlice;
+          cell.sum_tf += tf;
+          cell.sum_slices += static_cast<double>(slices_col->GetInt64(r));
+          if (tf + dur > 0.0) cell.sum_shift_ratio += tf / (tf + dur);
+        }
+        return local;
+      },
+      [&](AccMatrix merged, AccMatrix chunk) {
+        for (size_t i = 0; i < merged.size(); ++i) merged[i].Merge(chunk[i]);
+        return merged;
+      });
 
-  result.cells.resize(result.rows.size());
-  for (size_t i = 0; i < result.rows.size(); ++i) {
-    result.cells[i].resize(result.cols.size());
-    for (size_t j = 0; j < result.cols.size(); ++j) {
-      result.cells[i][j] = acc[i][j].Finish(query.measure);
+  result.cells.resize(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) {
+    result.cells[i].resize(num_cols);
+    for (size_t j = 0; j < num_cols; ++j) {
+      result.cells[i][j] = acc[i * num_cols + j].Finish(query.measure);
     }
   }
   return result;

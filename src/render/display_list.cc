@@ -132,7 +132,42 @@ void DisplayList::PopClip() {
   Push(std::move(item));
 }
 
+namespace {
+
+// True when `item` provably draws nothing inside `region`. Clip and clear
+// items are structural and never skippable; rotated text keeps untransformed
+// bounds, so it is never culled either. Everything else is culled on
+// generously inflated bounds (thick strokes stamp squares past their
+// endpoints and small raster glyphs overshoot the metric text box).
+bool OutsideRegion(const DisplayItem& item, const Rect& region) {
+  switch (item.kind) {
+    case DisplayItem::Kind::kClear:
+    case DisplayItem::Kind::kPushClip:
+    case DisplayItem::Kind::kPopClip:
+      return false;
+    case DisplayItem::Kind::kText:
+      if (item.text_style.rotate_degrees != 0.0) return false;
+      break;
+    default:
+      break;
+  }
+  const double pad = item.style.stroke_width + 8.0;
+  return !item.Bounds().Expanded(pad).Intersects(region);
+}
+
+}  // namespace
+
 void DisplayList::Replay(Canvas& target, size_t begin, size_t end) const {
+  ReplayImpl(target, begin, end, nullptr);
+}
+
+void DisplayList::ReplayRegion(Canvas& target, size_t begin, size_t end,
+                               const Rect& region) const {
+  ReplayImpl(target, begin, end, &region);
+}
+
+void DisplayList::ReplayImpl(Canvas& target, size_t begin, size_t end,
+                             const Rect* region) const {
   end = std::min(end, items_.size());
   if (begin >= end) return;
 
@@ -150,6 +185,7 @@ void DisplayList::Replay(Canvas& target, size_t begin, size_t end) const {
 
   for (size_t i = begin; i < end; ++i) {
     const DisplayItem& it = items_[i];
+    if (region != nullptr && OutsideRegion(it, *region)) continue;
     switch (it.kind) {
       case DisplayItem::Kind::kClear:
         target.Clear(it.clear_color);

@@ -79,6 +79,14 @@ class DisplayList : public Canvas {
   /// draws exactly what a full replay would.
   void Replay(Canvas& target, size_t begin, size_t end) const;
 
+  /// Like Replay, but skips draw items that provably cannot touch `region`
+  /// (clip and clear items always replay). The skip test inflates item
+  /// bounds conservatively and never culls rotated text (whose recorded
+  /// bounds are untransformed), so for a clipped target covering exactly
+  /// `region` the produced pixels match an unfiltered replay. This is the
+  /// per-tile cull of the tile-parallel rasterizer.
+  void ReplayRegion(Canvas& target, size_t begin, size_t end, const Rect& region) const;
+
   /// Replays everything.
   void ReplayAll(Canvas& target) const { Replay(target, 0, items_.size()); }
 
@@ -92,6 +100,7 @@ class DisplayList : public Canvas {
 
  private:
   void Push(DisplayItem item);
+  void ReplayImpl(Canvas& target, size_t begin, size_t end, const Rect* region) const;
 
   double width_;
   double height_;

@@ -2,12 +2,22 @@
 
 #include <algorithm>
 
+#include "render/raster_canvas.h"
+#include "util/parallel.h"
+
 namespace flexvis::render {
+
+IncrementalRenderer::IncrementalRenderer(const DisplayList* list, Canvas* target)
+    : list_(list), target_(target), raster_target_(dynamic_cast<RasterCanvas*>(target)) {}
 
 size_t IncrementalRenderer::Step(size_t max_items) {
   if (done() || max_items == 0) return 0;
   size_t end = std::min(list_->size(), cursor_ + max_items);
-  list_->Replay(*target_, cursor_, end);
+  if (raster_target_ != nullptr && ParallelThreadCount() > 1) {
+    raster_target_->ReplayParallel(*list_, cursor_, end);
+  } else {
+    list_->Replay(*target_, cursor_, end);
+  }
   size_t replayed = end - cursor_;
   cursor_ = end;
   return replayed;

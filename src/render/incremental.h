@@ -7,6 +7,8 @@
 
 namespace flexvis::render {
 
+class RasterCanvas;
+
 /// Budgeted, resumable replay of a DisplayList ("the incremental rendering
 /// of flex-offers, which allows executing actions when a flex-offer
 /// rendering is in progress — rendering does not freeze the tool").
@@ -15,11 +17,15 @@ namespace flexvis::render {
 /// the frame deadline; between steps the application remains responsive. The
 /// source list may keep growing while rendering is in progress (the tool
 /// appends newly loaded flex-offers); the cursor simply continues.
+///
+/// When the target is a RasterCanvas and the worker pool is enabled
+/// (FLEXVIS_THREADS > 1), each step rasterizes tile-parallel: the step's
+/// dirty rows are split into bands rendered concurrently, with output
+/// byte-identical to the serial replay.
 class IncrementalRenderer {
  public:
   /// Both `list` and `target` must outlive the renderer.
-  IncrementalRenderer(const DisplayList* list, Canvas* target)
-      : list_(list), target_(target) {}
+  IncrementalRenderer(const DisplayList* list, Canvas* target);
 
   /// Replays up to `max_items` further items. Returns the number actually
   /// replayed (0 when already done).
@@ -40,6 +46,7 @@ class IncrementalRenderer {
  private:
   const DisplayList* list_;
   Canvas* target_;
+  RasterCanvas* raster_target_ = nullptr;  // non-null when tile-parallel applies
   size_t cursor_ = 0;
 };
 

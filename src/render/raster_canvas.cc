@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstdio>
 
+#include "render/display_list.h"
 #include "render/font5x7.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 
 namespace flexvis::render {
@@ -23,10 +25,17 @@ Point Direction(double degrees) {
 RasterCanvas::RasterCanvas(int width, int height)
     : width_(std::max(1, width)),
       height_(std::max(1, height)),
-      pixels_(static_cast<size_t>(width_) * height_ * 3, 255) {}
+      pixels_(static_cast<size_t>(width_) * height_ * 3, 255),
+      hard_clip_{0, 0, width_, height_} {}
+
+RasterCanvas::RasterCanvas(RasterCanvas* parent, int row_begin, int row_end)
+    : width_(parent->width_),
+      height_(parent->height_),
+      parent_(parent),
+      hard_clip_{0, row_begin, parent->width_, row_end} {}
 
 RasterCanvas::ClipRect RasterCanvas::ActiveClip() const {
-  ClipRect clip{0, 0, width_, height_};
+  ClipRect clip = hard_clip_;
   for (const ClipRect& c : clips_) {
     clip.x0 = std::max(clip.x0, c.x0);
     clip.y0 = std::max(clip.y0, c.y0);
@@ -39,16 +48,17 @@ RasterCanvas::ClipRect RasterCanvas::ActiveClip() const {
 void RasterCanvas::SetPixel(int x, int y, const Color& color) {
   ClipRect clip = ActiveClip();
   if (x < clip.x0 || x >= clip.x1 || y < clip.y0 || y >= clip.y1) return;
+  uint8_t* d = Data();
   size_t i = (static_cast<size_t>(y) * width_ + x) * 3;
   if (color.a == 255) {
-    pixels_[i] = color.r;
-    pixels_[i + 1] = color.g;
-    pixels_[i + 2] = color.b;
+    d[i] = color.r;
+    d[i + 1] = color.g;
+    d[i + 2] = color.b;
   } else if (color.a > 0) {
-    Color blended = BlendOver(Color(pixels_[i], pixels_[i + 1], pixels_[i + 2]), color);
-    pixels_[i] = blended.r;
-    pixels_[i + 1] = blended.g;
-    pixels_[i + 2] = blended.b;
+    Color blended = BlendOver(Color(d[i], d[i + 1], d[i + 2]), color);
+    d[i] = blended.r;
+    d[i + 1] = blended.g;
+    d[i + 2] = blended.b;
   }
 }
 
@@ -58,13 +68,14 @@ void RasterCanvas::FillRectPx(int x0, int y0, int x1, int y1, const Color& color
   y0 = std::max(y0, clip.y0);
   x1 = std::min(x1, clip.x1);
   y1 = std::min(y1, clip.y1);
+  uint8_t* d = Data();
   for (int y = y0; y < y1; ++y) {
     if (color.a == 255) {
       size_t i = (static_cast<size_t>(y) * width_ + x0) * 3;
       for (int x = x0; x < x1; ++x) {
-        pixels_[i] = color.r;
-        pixels_[i + 1] = color.g;
-        pixels_[i + 2] = color.b;
+        d[i] = color.r;
+        d[i + 1] = color.g;
+        d[i + 2] = color.b;
         i += 3;
       }
     } else {
@@ -74,11 +85,18 @@ void RasterCanvas::FillRectPx(int x0, int y0, int x1, int y1, const Color& color
 }
 
 void RasterCanvas::Clear(const Color& color) {
-  // Clear ignores clipping by convention (it re-initializes the surface).
-  for (size_t i = 0; i < pixels_.size(); i += 3) {
-    pixels_[i] = color.r;
-    pixels_[i + 1] = color.g;
-    pixels_[i + 2] = color.b;
+  // Clear ignores soft clipping by convention (it re-initializes the
+  // surface) but honors the hard clip so a band view only re-initializes
+  // its own rows — the bands together still clear everything.
+  uint8_t* d = Data();
+  for (int y = hard_clip_.y0; y < hard_clip_.y1; ++y) {
+    size_t i = static_cast<size_t>(y) * width_ * 3;
+    for (int x = 0; x < width_; ++x) {
+      d[i] = color.r;
+      d[i + 1] = color.g;
+      d[i + 2] = color.b;
+      i += 3;
+    }
   }
 }
 
@@ -284,24 +302,78 @@ void RasterCanvas::PopClip() {
 
 Color RasterCanvas::GetPixel(int x, int y) const {
   if (x < 0 || x >= width_ || y < 0 || y >= height_) return Color(0, 0, 0);
+  const uint8_t* d = Data();
   size_t i = (static_cast<size_t>(y) * width_ + x) * 3;
-  return Color(pixels_[i], pixels_[i + 1], pixels_[i + 2]);
+  return Color(d[i], d[i + 1], d[i + 2]);
 }
 
 size_t RasterCanvas::CountPixels(const Color& color) const {
+  const uint8_t* d = Data();
+  const size_t bytes = static_cast<size_t>(width_) * height_ * 3;
   size_t count = 0;
-  for (size_t i = 0; i < pixels_.size(); i += 3) {
-    if (pixels_[i] == color.r && pixels_[i + 1] == color.g && pixels_[i + 2] == color.b) {
-      ++count;
-    }
+  for (size_t i = 0; i < bytes; i += 3) {
+    if (d[i] == color.r && d[i + 1] == color.g && d[i + 2] == color.b) ++count;
   }
   return count;
 }
 
 std::string RasterCanvas::ToPpm() const {
   std::string out = StrFormat("P6\n%d %d\n255\n", width_, height_);
-  out.append(reinterpret_cast<const char*>(pixels_.data()), pixels_.size());
+  out.append(reinterpret_cast<const char*>(Data()),
+             static_cast<size_t>(width_) * height_ * 3);
   return out;
+}
+
+void RasterCanvas::ReplayParallel(const DisplayList& list, size_t begin, size_t end) {
+  end = std::min(end, list.size());
+  if (begin >= end) return;
+  if (ParallelThreadCount() <= 1 || InParallelWorker()) {
+    list.Replay(*this, begin, end);
+    return;
+  }
+
+  // Dirty row range of the chunk: bands outside it have nothing to draw.
+  // Clear items mark everything dirty through their huge recorded bounds.
+  double dirty_y0 = height_;
+  double dirty_y1 = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const DisplayItem& it = list.items()[i];
+    if (it.kind == DisplayItem::Kind::kPushClip || it.kind == DisplayItem::Kind::kPopClip) {
+      continue;
+    }
+    Rect b = it.Bounds().Expanded(it.style.stroke_width + 8.0);
+    // Rotated text bounds are untransformed; treat the item as touching
+    // every row rather than trusting them.
+    if (it.kind == DisplayItem::Kind::kText && it.text_style.rotate_degrees != 0.0) {
+      b = Rect{0, 0, static_cast<double>(width_), static_cast<double>(height_)};
+    }
+    dirty_y0 = std::min(dirty_y0, b.y);
+    dirty_y1 = std::max(dirty_y1, b.bottom());
+  }
+  int row_begin = std::max(0, static_cast<int>(std::floor(dirty_y0)));
+  int row_end = std::min(height_, static_cast<int>(std::ceil(dirty_y1)));
+  if (row_begin >= row_end) return;
+
+  // Fixed-height bands, enough to keep every worker busy; each band replays
+  // the chunk through its own hard-clipped view, culling items that cannot
+  // reach its rows.
+  constexpr int kBandRows = 32;
+  const size_t num_bands =
+      static_cast<size_t>((row_end - row_begin + kBandRows - 1) / kBandRows);
+  ParallelFor(0, num_bands, 1, [&](size_t band_begin, size_t band_end) {
+    for (size_t band = band_begin; band < band_end; ++band) {
+      int y0 = row_begin + static_cast<int>(band) * kBandRows;
+      int y1 = std::min(row_end, y0 + kBandRows);
+      RasterCanvas view(this, y0, y1);
+      list.ReplayRegion(view, begin, end,
+                        Rect{0, static_cast<double>(y0), static_cast<double>(width_),
+                             static_cast<double>(y1 - y0)});
+    }
+  });
+}
+
+void RasterCanvas::ReplayParallelAll(const DisplayList& list) {
+  ReplayParallel(list, 0, list.size());
 }
 
 Status RasterCanvas::WriteToFile(const std::string& path) const {

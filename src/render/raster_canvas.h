@@ -10,10 +10,19 @@
 
 namespace flexvis::render {
 
+class DisplayList;
+
 /// Software-rasterizing canvas backend: an RGB8 framebuffer with scanline
 /// polygon fill, Bresenham lines (widened for thick strokes), midpoint
 /// circles, pie wedges via polygon tessellation, and 5x7 bitmap-font text.
 /// Output is binary PPM (P6), viewable everywhere and easy to diff in tests.
+///
+/// Replay of a recorded scene can run tile-parallel (ReplayParallel): the
+/// surface is split into horizontal pixel bands, each rendered by a worker
+/// through a band view — a RasterCanvas sharing this framebuffer whose hard
+/// clip confines every write to its own rows. Bands partition the surface,
+/// so workers never touch the same byte and the result is byte-identical to
+/// a serial replay under any FLEXVIS_THREADS setting.
 class RasterCanvas : public Canvas {
  public:
   /// Creates a `width` x `height` canvas cleared to white.
@@ -50,7 +59,22 @@ class RasterCanvas : public Canvas {
   /// Writes ToPpm() to `path`.
   Status WriteToFile(const std::string& path) const;
 
+  /// Replays items [begin, end) of `list` with the canvas split into
+  /// horizontal bands rendered by the shared worker pool. Byte-identical to
+  /// `list.Replay(*this, begin, end)`; falls back to exactly that serial
+  /// call when the resolved thread count is 1 (or inside a nested parallel
+  /// section). Only the rows covered by the replayed items' dirty bounds are
+  /// visited.
+  void ReplayParallel(const DisplayList& list, size_t begin, size_t end);
+
+  /// Replays the whole list (tile-parallel when threads are available).
+  void ReplayParallelAll(const DisplayList& list);
+
  private:
+  /// Band view: draws into `parent`'s framebuffer, hard-clipped to pixel
+  /// rows [row_begin, row_end). Owns its own clip stack so concurrent band
+  /// replays never share mutable state.
+  RasterCanvas(RasterCanvas* parent, int row_begin, int row_end);
   /// Blends `color` into pixel (x, y), honoring the active clip.
   void SetPixel(int x, int y, const Color& color);
   void FillRectPx(int x0, int y0, int x1, int y1, const Color& color);
@@ -61,9 +85,19 @@ class RasterCanvas : public Canvas {
   struct ClipRect { int x0, y0, x1, y1; };
   ClipRect ActiveClip() const;
 
+  /// The framebuffer bytes — this canvas's own, or the parent's for a band
+  /// view.
+  uint8_t* Data() { return parent_ != nullptr ? parent_->Data() : pixels_.data(); }
+  const uint8_t* Data() const {
+    return parent_ != nullptr ? parent_->Data() : pixels_.data();
+  }
+
   int width_;
   int height_;
-  std::vector<uint8_t> pixels_;  // RGB8, row-major
+  std::vector<uint8_t> pixels_;  // RGB8, row-major (empty for band views)
+  RasterCanvas* parent_ = nullptr;
+  /// Rows/columns this canvas may write; the full surface except for bands.
+  ClipRect hard_clip_;
   std::vector<ClipRect> clips_;
 };
 

@@ -1,0 +1,206 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace flexvis {
+
+namespace {
+
+thread_local bool t_in_worker = false;
+
+/// Fixed-size pool: `size` workers pulling std::function tasks off one
+/// queue. No work stealing — parallel sections hand out chunks through a
+/// shared atomic cursor, so a single queue of "helper" tasks is enough and
+/// shutdown stays trivial (drain, notify, join).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int size) {
+    workers_.reserve(static_cast<size_t>(size));
+    for (int i = 0; i < size; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop() {
+    t_in_worker = true;
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) {
+          if (stop_) return;
+          continue;
+        }
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+std::mutex g_pool_mu;
+int g_threads = 0;  // 0 = not yet resolved
+std::unique_ptr<ThreadPool> g_pool;
+
+int ResolveThreadCount() {
+  const char* env = std::getenv("FLEXVIS_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024) return static_cast<int>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? static_cast<int>(hw) : 1;
+}
+
+/// Returns the pool for the current thread count, or nullptr when running
+/// serially. The pool holds `threads - 1` workers; the calling thread is the
+/// remaining participant.
+ThreadPool* PoolForCount(int threads) {
+  if (threads <= 1) return nullptr;
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool == nullptr || g_pool->size() != threads - 1) {
+    g_pool.reset();  // join the old workers before spawning replacements
+    g_pool = std::make_unique<ThreadPool>(threads - 1);
+  }
+  return g_pool.get();
+}
+
+/// State shared between the caller and its helper tasks for one ParallelFor.
+/// Heap-allocated and shared_ptr-owned so a helper task scheduled after the
+/// section already finished (all chunks claimed) can still touch it safely.
+struct ForState {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  const std::function<void(size_t, size_t)>* fn = nullptr;
+
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<size_t> done_chunks{0};
+  std::mutex err_mu;
+  std::exception_ptr error;
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  void RunChunks() {
+    for (;;) {
+      size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) return;
+      size_t b = begin + chunk * grain;
+      size_t e = b + grain < end ? b + grain : end;
+      try {
+        (*fn)(b, e);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!error) error = std::current_exception();
+      }
+      if (done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+void SerialFor(size_t begin, size_t end, size_t grain,
+               const std::function<void(size_t, size_t)>& fn) {
+  for (size_t b = begin; b < end; b += grain) {
+    size_t e = b + grain < end ? b + grain : end;
+    fn(b, e);
+  }
+}
+
+}  // namespace
+
+int ParallelThreadCount() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_threads == 0) g_threads = ResolveThreadCount();
+  return g_threads;
+}
+
+void SetParallelThreadCount(int count) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_threads = count >= 1 ? count : ResolveThreadCount();
+  if (g_pool != nullptr && g_pool->size() != g_threads - 1) g_pool.reset();
+}
+
+bool InParallelWorker() { return t_in_worker; }
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const size_t num_chunks = parallel_internal::NumChunks(begin, end, grain);
+  const int threads = ParallelThreadCount();
+  // Serial path: resolved single thread, a single chunk, or a nested call
+  // from inside a worker (running inline avoids pool deadlock).
+  if (threads <= 1 || num_chunks <= 1 || t_in_worker) {
+    SerialFor(begin, end, grain, fn);
+    return;
+  }
+  ThreadPool* pool = PoolForCount(threads);
+  if (pool == nullptr) {
+    SerialFor(begin, end, grain, fn);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->num_chunks = num_chunks;
+  state->fn = &fn;
+
+  size_t helpers = static_cast<size_t>(pool->size());
+  if (helpers > num_chunks - 1) helpers = num_chunks - 1;
+  for (size_t i = 0; i < helpers; ++i) {
+    pool->Submit([state] { state->RunChunks(); });
+  }
+  state->RunChunks();  // the caller is the pool's missing Nth participant
+  {
+    std::unique_lock<std::mutex> lock(state->done_mu);
+    state->done_cv.wait(lock, [&] {
+      return state->done_chunks.load(std::memory_order_acquire) == state->num_chunks;
+    });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace flexvis

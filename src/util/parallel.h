@@ -1,0 +1,91 @@
+#ifndef FLEXVIS_UTIL_PARALLEL_H_
+#define FLEXVIS_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace flexvis {
+
+/// Fixed-size worker-pool parallelism for the aggregation, OLAP, and raster
+/// hot paths. The design goal is *determinism first*: every primitive chunks
+/// its index range purely by `grain` (never by thread count) and combines
+/// per-chunk results in ascending chunk order, so a computation produces
+/// bit-identical output whether it runs on 1 thread or 8. Floating-point
+/// folds in particular see exactly the same additions in exactly the same
+/// order under every thread count.
+///
+/// Thread count resolution, in priority order:
+///  1. SetParallelThreadCount(n) with n >= 1 (tests and benches);
+///  2. the FLEXVIS_THREADS environment variable, read once on first use;
+///  3. std::thread::hardware_concurrency().
+/// A resolved count of 1 (notably hardware_concurrency() <= 1 with no
+/// override) disables the pool entirely: every call degrades to a plain
+/// serial loop over the same chunks.
+
+/// The resolved worker count (>= 1). Resolves lazily on first call.
+int ParallelThreadCount();
+
+/// Overrides the worker count. `count >= 1` forces that many workers;
+/// `count == 0` re-resolves from FLEXVIS_THREADS / hardware_concurrency.
+/// Tears down and rebuilds the shared pool as needed; must not be called
+/// concurrently with running parallel sections.
+void SetParallelThreadCount(int count);
+
+/// True when the calling thread is a pool worker executing a parallel
+/// section. Nested ParallelFor/ParallelReduce calls detect this and run
+/// serially inline, so user callbacks may themselves call into parallel
+/// code without deadlocking the pool.
+bool InParallelWorker();
+
+/// Invokes `fn(chunk_begin, chunk_end)` over consecutive chunks of
+/// [begin, end), each at most `grain` wide (grain 0 is treated as 1).
+/// Chunks run concurrently on the shared pool; the calling thread
+/// participates. `fn` must only write to disjoint, chunk-owned locations.
+///
+/// The first exception thrown by `fn` is captured and rethrown on the
+/// calling thread after all chunks finish.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+namespace parallel_internal {
+
+inline size_t NumChunks(size_t begin, size_t end, size_t grain) {
+  if (end <= begin) return 0;
+  if (grain == 0) grain = 1;
+  return (end - begin + grain - 1) / grain;
+}
+
+}  // namespace parallel_internal
+
+/// Maps chunks of [begin, end) through `map(chunk_begin, chunk_end) -> T`
+/// and folds the per-chunk results with `reduce(T acc, T chunk) -> T` in
+/// ascending chunk order, starting from `identity`. Because chunking depends
+/// only on `grain` and the fold order is fixed, the result is bit-identical
+/// under every thread count (serial execution included) as long as `map` and
+/// `reduce` are themselves deterministic.
+template <typename T, typename MapFn, typename ReduceFn>
+T ParallelReduce(size_t begin, size_t end, size_t grain, T identity, const MapFn& map,
+                 const ReduceFn& reduce) {
+  if (grain == 0) grain = 1;
+  const size_t num_chunks = parallel_internal::NumChunks(begin, end, grain);
+  if (num_chunks == 0) return identity;
+  std::vector<T> partial(num_chunks, identity);
+  ParallelFor(0, num_chunks, 1, [&](size_t chunk_begin, size_t chunk_end) {
+    for (size_t c = chunk_begin; c < chunk_end; ++c) {
+      size_t b = begin + c * grain;
+      size_t e = b + grain < end ? b + grain : end;
+      partial[c] = map(b, e);
+    }
+  });
+  T acc = std::move(identity);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    acc = reduce(std::move(acc), std::move(partial[c]));
+  }
+  return acc;
+}
+
+}  // namespace flexvis
+
+#endif  // FLEXVIS_UTIL_PARALLEL_H_
