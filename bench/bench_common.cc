@@ -17,6 +17,13 @@ timeutil::TimePoint BenchDay() {
 }
 
 std::unique_ptr<World> BuildWorld(const WorldOptions& options) {
+  // Honor FLEXVIS_FAULTS so every bench can report behavior under fault
+  // load; a malformed spec is a hard error (silently ignoring it would
+  // produce clean-run numbers labeled as fault-run numbers).
+  if (Status faults = sim::InstallFaultsFromEnv(options.seed); !faults.ok()) {
+    std::fprintf(stderr, "bench world: %s\n", faults.ToString().c_str());
+    std::abort();
+  }
   auto world = std::make_unique<World>();
   world->atlas = geo::Atlas::MakeDenmark();
   world->topology = grid::GridTopology::MakeRadial(options.transmission, options.plants,

@@ -2,13 +2,19 @@
 // "in an online fashion"): how much plan quality does irrevocable
 // incremental commitment cost versus the offline scheduler that sees the
 // whole horizon, and how does the planning-tick cadence trade deadline
-// safety against work per tick.
+// safety against work per tick. The custom main additionally writes
+// bench_out/BENCH_micro_online.json with ingest throughput at 0%, 1%, and
+// 10% injected fault rates (the robustness layer's overhead budget).
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
 
 #include "bench/bench_common.h"
 #include "core/scheduler.h"
 #include "sim/online.h"
+#include "util/fault.h"
+#include "util/parallel.h"
 
 using namespace flexvis;
 
@@ -83,6 +89,83 @@ void BM_EncodeDecodeMessage(benchmark::State& state) {
 }
 BENCHMARK(BM_EncodeDecodeMessage);
 
+// Throughput-under-faults report for the CI gate: the same online run with
+// the sim.online.ingest and sim.online.send seams armed at increasing
+// failure probabilities. Retries and degradations keep every run finishing;
+// the JSON captures what the fault load costs in items/sec and how many
+// offers the loop shed. Returns false when a run errors (injected faults
+// must never surface from OnlineEnterprise::Run) or the report cannot be
+// written.
+bool WriteFaultLoadReport() {
+  const size_t count = bench::EnvSize("FLEXVIS_BENCH_ONLINE_OFFERS", 4000);
+  std::vector<core::FlexOffer> offers = bench::MakeRandomOffers(21, count);
+  sim::OnlineEnterprise enterprise(sim::OnlineParams{});
+  FaultRegistry& registry = FaultRegistry::Global();
+
+  struct Rate {
+    const char* label;
+    double probability;
+  };
+  const Rate rates[] = {{"fault_0pct", 0.0}, {"fault_1pct", 0.01}, {"fault_10pct", 0.10}};
+
+  bench::BenchReport report("micro_online");
+  double clean_imbalance = 0.0;
+  bool ok = true;
+  for (const Rate& rate : rates) {
+    registry.DisarmAll();
+    registry.Seed(20130318);
+    if (rate.probability > 0.0) {
+      FaultConfig config;
+      config.probability = rate.probability;
+      registry.Arm("sim.online.ingest", config);
+      registry.Arm("sim.online.send", config);
+    }
+    Result<sim::OnlineReport> run = enterprise.Run(offers, BenchWindow());
+    if (!run.ok()) {
+      std::fprintf(stderr, "FAIL: online run at %s errored: %s\n", rate.label,
+                   run.status().ToString().c_str());
+      ok = false;
+      break;
+    }
+    double seconds = bench::MeasureSeconds([&] {
+      Result<sim::OnlineReport> timed = enterprise.Run(offers, BenchWindow());
+      benchmark::DoNotOptimize(timed);
+    });
+    report.AddSample(rate.label, seconds, ParallelThreadCount(),
+                     static_cast<double>(count));
+    if (rate.probability == 0.0) clean_imbalance = run->imbalance_kwh;
+    std::string prefix = rate.label;
+    report.SetCounter(prefix + "_dropped_ingest", run->dropped_ingest);
+    report.SetCounter(prefix + "_failed_sends", run->failed_sends);
+    report.SetCounter(prefix + "_imbalance_kwh", run->imbalance_kwh);
+  }
+  registry.DisarmAll();
+
+  if (ok) {
+    // The 0% run must match a registry-untouched run bit-for-bit: disarmed
+    // fault checks may not perturb the pipeline.
+    Result<sim::OnlineReport> baseline = enterprise.Run(offers, BenchWindow());
+    const bool clean = baseline.ok() && baseline->imbalance_kwh == clean_imbalance;
+    report.SetCounter("faults_off_matches_baseline", clean ? 1.0 : 0.0);
+    if (!clean) {
+      std::fprintf(stderr, "FAIL: disarmed fault checks changed online output\n");
+      ok = false;
+    }
+  }
+  if (Status status = report.Write(); !status.ok()) {
+    std::fprintf(stderr, "report failed: %s\n", status.ToString().c_str());
+    return false;
+  }
+  return ok;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!WriteFaultLoadReport()) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

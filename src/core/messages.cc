@@ -1,5 +1,6 @@
 #include "core/messages.h"
 
+#include "util/fault.h"
 #include "util/strings.h"
 
 namespace flexvis::core {
@@ -201,6 +202,9 @@ std::string EncodeMessage(const Message& message) {
 }
 
 Result<Message> DecodeMessage(std::string_view text) {
+  // A lossy gateway link: an armed fault here models an envelope lost or
+  // garbled in transit. Typed, not retried — redelivery is the sender's job.
+  FLEXVIS_FAULT_CHECK("core.messages.decode");
   Result<JsonValue> parsed = JsonValue::Parse(text);
   if (!parsed.ok()) return parsed.status();
   Result<std::string> type = parsed->GetString("type");

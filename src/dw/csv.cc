@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "util/fault.h"
+#include "util/retry.h"
 #include "util/strings.h"
 
 namespace flexvis::dw {
@@ -195,30 +197,39 @@ Result<Table> TableFromCsv(std::string table_name, const std::vector<ColumnSpec>
 }
 
 Status WriteCsvFile(const Table& table, const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return InternalError(StrFormat("cannot open '%s' for writing", path.c_str()));
-  }
-  std::string data = TableToCsv(table);
-  size_t written = std::fwrite(data.data(), 1, data.size(), f);
-  std::fclose(f);
-  if (written != data.size()) {
-    return InternalError(StrFormat("short write to '%s'", path.c_str()));
-  }
-  return OkStatus();
+  // The write is idempotent (same bytes, same destination), so a transient
+  // injected failure retries the whole operation under the default policy.
+  return RetryFaultPoint("dw.csv.write", DefaultRetryPolicy(), [&]() -> Status {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      return InternalError(StrFormat("cannot open '%s' for writing", path.c_str()));
+    }
+    std::string data = TableToCsv(table);
+    size_t written = std::fwrite(data.data(), 1, data.size(), f);
+    std::fclose(f);
+    if (written != data.size()) {
+      return InternalError(StrFormat("short write to '%s'", path.c_str()));
+    }
+    return OkStatus();
+  });
 }
 
 Result<Table> ReadCsvFile(std::string table_name, const std::vector<ColumnSpec>& schema,
                           const std::string& path, bool has_header) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return InternalError(StrFormat("cannot open '%s' for reading", path.c_str()));
-  }
   std::string data;
-  char buffer[4096];
-  size_t n;
-  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) data.append(buffer, n);
-  std::fclose(f);
+  Status read = RetryFaultPoint("dw.csv.read", DefaultRetryPolicy(), [&]() -> Status {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      return InternalError(StrFormat("cannot open '%s' for reading", path.c_str()));
+    }
+    data.clear();
+    char buffer[4096];
+    size_t n;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) data.append(buffer, n);
+    std::fclose(f);
+    return OkStatus();
+  });
+  if (!read.ok()) return read;
   return TableFromCsv(std::move(table_name), schema, data, has_header);
 }
 

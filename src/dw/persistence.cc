@@ -5,6 +5,8 @@
 
 #include "core/messages.h"
 #include "dw/csv.h"
+#include "util/fault.h"
+#include "util/retry.h"
 #include "util/strings.h"
 
 namespace flexvis::dw {
@@ -17,28 +19,37 @@ constexpr const char* kGridFile = "dim_grid_node.csv";
 constexpr const char* kOffersFile = "flexoffers.jsonl";
 
 Status WriteTextFile(const std::string& path, const std::string& data) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return InternalError(StrFormat("cannot open '%s' for writing", path.c_str()));
-  }
-  size_t written = std::fwrite(data.data(), 1, data.size(), f);
-  std::fclose(f);
-  if (written != data.size()) {
-    return InternalError(StrFormat("short write to '%s'", path.c_str()));
-  }
-  return OkStatus();
+  // Overwriting the same bytes is idempotent; retry transient faults.
+  return RetryFaultPoint("dw.persistence.save", DefaultRetryPolicy(), [&]() -> Status {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      return InternalError(StrFormat("cannot open '%s' for writing", path.c_str()));
+    }
+    size_t written = std::fwrite(data.data(), 1, data.size(), f);
+    std::fclose(f);
+    if (written != data.size()) {
+      return InternalError(StrFormat("short write to '%s'", path.c_str()));
+    }
+    return OkStatus();
+  });
 }
 
 Result<std::string> ReadTextFile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return NotFoundError(StrFormat("cannot open '%s' for reading", path.c_str()));
-  }
   std::string data;
-  char buffer[8192];
-  size_t n;
-  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) data.append(buffer, n);
-  std::fclose(f);
+  Status read =
+      RetryFaultPoint("dw.persistence.load", DefaultRetryPolicy(), [&]() -> Status {
+        std::FILE* f = std::fopen(path.c_str(), "rb");
+        if (f == nullptr) {
+          return NotFoundError(StrFormat("cannot open '%s' for reading", path.c_str()));
+        }
+        data.clear();
+        char buffer[8192];
+        size_t n;
+        while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) data.append(buffer, n);
+        std::fclose(f);
+        return OkStatus();
+      });
+  if (!read.ok()) return read;
   return data;
 }
 

@@ -6,6 +6,8 @@
 #include "core/local_search.h"
 #include "core/measures.h"
 #include "sim/forecaster.h"
+#include "util/fault.h"
+#include "util/retry.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -29,17 +31,26 @@ Result<PlanningReport> Enterprise::PlanHorizon(const std::vector<FlexOffer>& off
   // 1. Forecast the uncontrollable sides. In forecast mode the plan targets
   //    a Holt-Winters prediction of the inflexible demand built from
   //    synthetic history; otherwise it targets the actual curves directly.
+  //    If the forecasting service is down (sim.enterprise.forecast), the
+  //    plan degrades to targeting the actual demand curve — a worse plan on
+  //    a real day-ahead horizon, never a failed one.
   report.res_production = MakeResProduction(window, params_.energy);
   report.inflexible_demand = MakeInflexibleDemand(window, params_.energy);
   report.planned_against_demand = report.inflexible_demand;
   if (params_.plan_on_forecast) {
-    TimeInterval history_window(
-        window.start - params_.forecast_history_days * timeutil::kMinutesPerDay,
-        window.start);
-    TimeSeries history = MakeInflexibleDemand(history_window, params_.energy);
-    HoltWintersForecaster forecaster;
-    report.planned_against_demand = forecaster.Forecast(
-        history, static_cast<size_t>(window.duration_minutes() / kMinutesPerSlice));
+    Status forecast_up = RetryFaultPoint("sim.enterprise.forecast", DefaultRetryPolicy(),
+                                         []() -> Status { return OkStatus(); });
+    if (forecast_up.ok()) {
+      TimeInterval history_window(
+          window.start - params_.forecast_history_days * timeutil::kMinutesPerDay,
+          window.start);
+      TimeSeries history = MakeInflexibleDemand(history_window, params_.energy);
+      HoltWintersForecaster forecaster;
+      report.planned_against_demand = forecaster.Forecast(
+          history, static_cast<size_t>(window.duration_minutes() / kMinutesPerSlice));
+    } else {
+      report.degraded_stages.push_back("sim.enterprise.forecast");
+    }
   }
   report.target = MakeFlexibilityTarget(report.res_production, report.planned_against_demand);
 
@@ -50,17 +61,67 @@ Result<PlanningReport> Enterprise::PlanHorizon(const std::vector<FlexOffer>& off
     o.schedule.reset();
   }
 
-  // 3. Aggregate.
+  // 3. Aggregate. An aggregation-service outage (sim.enterprise.aggregate)
+  //    degrades to scheduling the raw offers individually — more work for
+  //    the scheduler and a worse reduction ratio, but the horizon still
+  //    plans.
   core::FlexOfferId next_id = 0;
   for (const FlexOffer& o : fresh) next_id = std::max(next_id, o.id);
   ++next_id;
-  core::Aggregator aggregator(params_.aggregation);
-  core::AggregationResult agg = aggregator.Aggregate(fresh, &next_id);
+  core::AggregationResult agg;
+  Status aggregate_up = RetryFaultPoint("sim.enterprise.aggregate", DefaultRetryPolicy(),
+                                        []() -> Status { return OkStatus(); });
+  if (aggregate_up.ok()) {
+    core::Aggregator aggregator(params_.aggregation);
+    agg = aggregator.Aggregate(fresh, &next_id);
+  } else {
+    agg.aggregates = fresh;  // every offer schedules as its own unit
+    report.degraded_stages.push_back("sim.enterprise.aggregate");
+  }
   report.aggregates_built = static_cast<int>(agg.aggregates.size());
 
-  // 4. Schedule the aggregates against the RES surplus.
-  core::Scheduler scheduler(params_.scheduler);
-  core::ScheduleResult plan = scheduler.Plan(agg.aggregates, report.target);
+  // 4. Schedule the aggregates against the RES surplus. A scheduler outage
+  //    (sim.enterprise.schedule) falls back to the last accepted plan when
+  //    one exists for this exact window and aggregate set, and to the empty
+  //    plan otherwise; either way the unserved imbalance is settled at the
+  //    penalty fee in step 8 instead of crashing the horizon.
+  core::ScheduleResult plan;
+  Status scheduler_up = RetryFaultPoint("sim.enterprise.schedule", DefaultRetryPolicy(),
+                                        []() -> Status { return OkStatus(); });
+  std::vector<core::FlexOfferId> aggregate_ids;
+  aggregate_ids.reserve(agg.aggregates.size());
+  for (const FlexOffer& a : agg.aggregates) aggregate_ids.push_back(a.id);
+  if (scheduler_up.ok()) {
+    core::Scheduler scheduler(params_.scheduler);
+    plan = scheduler.Plan(agg.aggregates, report.target);
+    std::lock_guard<std::mutex> lock(plan_mutex_);
+    last_accepted_plan_ = CachedPlan{window, aggregate_ids, plan};
+  } else {
+    report.degraded_stages.push_back("sim.enterprise.schedule");
+    bool reused = false;
+    {
+      std::lock_guard<std::mutex> lock(plan_mutex_);
+      if (last_accepted_plan_.has_value() && last_accepted_plan_->window == window &&
+          last_accepted_plan_->aggregate_ids == aggregate_ids) {
+        plan = last_accepted_plan_->plan;
+        reused = true;
+      }
+    }
+    if (!reused) {
+      // Empty plan: reject everything, use no flexibility. The full target
+      // imbalance remains and is booked as the paper's imbalance fee.
+      plan.offers = agg.aggregates;
+      for (FlexOffer& o : plan.offers) {
+        o.state = core::FlexOfferState::kRejected;
+        o.schedule.reset();
+      }
+      plan.planned_load = TimeSeries(window.start,
+                                     static_cast<size_t>(window.duration_minutes() /
+                                                         kMinutesPerSlice));
+      plan.imbalance_before_kwh = report.target.AbsTotal();
+      plan.imbalance_after_kwh = plan.imbalance_before_kwh;
+    }
+  }
   report.imbalance_before_kwh = plan.imbalance_before_kwh;
   report.imbalance_after_kwh = plan.imbalance_after_kwh;
   report.aggregate_offers = plan.offers;
@@ -76,10 +137,14 @@ Result<PlanningReport> Enterprise::PlanHorizon(const std::vector<FlexOffer>& off
     report.imbalance_after_kwh = refined.imbalance_after_kwh;
   }
 
-  // 5. Disaggregate each assigned aggregate back onto its members.
+  // 5. Disaggregate each assigned aggregate back onto its members. A
+  //    disaggregation fault (sim.enterprise.disaggregate) demotes only the
+  //    affected aggregate to rejected — its members run nothing, the lost
+  //    flexibility surfaces as imbalance — rather than failing the horizon.
   std::unordered_map<core::FlexOfferId, const FlexOffer*> by_id;
   for (const FlexOffer& o : fresh) by_id[o.id] = &o;
 
+  bool disaggregate_degraded = false;
   for (const FlexOffer& aggregate : report.aggregate_offers) {
     std::vector<FlexOffer> members;
     members.reserve(aggregate.aggregated_from.size());
@@ -91,20 +156,45 @@ Result<PlanningReport> Enterprise::PlanHorizon(const std::vector<FlexOffer>& off
       }
       members.push_back(*it->second);
     }
-    if (aggregate.state == core::FlexOfferState::kAssigned &&
-        aggregate.schedule.has_value()) {
+    bool assigned = aggregate.state == core::FlexOfferState::kAssigned &&
+                    aggregate.schedule.has_value();
+    if (assigned) {
+      Status disaggregate_up = RetryFaultPoint(
+          "sim.enterprise.disaggregate", DefaultRetryPolicy(),
+          []() -> Status { return OkStatus(); });
+      if (!disaggregate_up.ok()) {
+        assigned = false;
+        disaggregate_degraded = true;
+      }
+    }
+    if (assigned) {
       ++report.aggregates_assigned;
+      if (aggregate.aggregated_from.empty()) {
+        // Raw pass-through unit (aggregation degraded): it is its own member.
+        report.member_offers.push_back(aggregate);
+        continue;
+      }
       Result<std::vector<FlexOffer>> scheduled = core::Disaggregate(aggregate, members);
       if (!scheduled.ok()) return scheduled.status();
       for (FlexOffer& m : *scheduled) report.member_offers.push_back(std::move(m));
     } else {
       ++report.aggregates_rejected;
+      if (aggregate.aggregated_from.empty()) {
+        FlexOffer raw = aggregate;
+        raw.state = core::FlexOfferState::kRejected;
+        raw.schedule.reset();
+        report.member_offers.push_back(std::move(raw));
+        continue;
+      }
       for (FlexOffer& m : members) {
         m.state = core::FlexOfferState::kRejected;
         m.schedule.reset();
         report.member_offers.push_back(std::move(m));
       }
     }
+  }
+  if (disaggregate_degraded) {
+    report.degraded_stages.push_back("sim.enterprise.disaggregate");
   }
 
   // 6. Planned flexible load from member schedules (must equal the
@@ -145,7 +235,15 @@ Result<PlanningReport> Enterprise::PlanHorizon(const std::vector<FlexOffer>& off
   TimeSeries scarcity = residual;
   scarcity.Clamp(0.0, 1e18);
   TimeSeries prices = market.MakePrices(window, scarcity);
-  report.settlement = market.Settle(residual, report.deviation, prices);
+  Result<Settlement> settled = market.TrySettle(residual, report.deviation, prices);
+  if (settled.ok()) {
+    report.settlement = *std::move(settled);
+  } else {
+    // Spot market unreachable: nothing trades, and the whole residual is
+    // settled at the imbalance penalty — the fee the paper warns about.
+    report.settlement = market.SettleAllAsImbalance(residual, report.deviation, prices);
+    report.degraded_stages.push_back("sim.market.bid");
+  }
   return report;
 }
 
@@ -154,8 +252,17 @@ Result<PlanningReport> Enterprise::RunDayAhead(dw::Database& db,
   dw::FlexOfferFilter filter;
   filter.window = window;
   filter.aggregates = dw::FlexOfferFilter::AggregateFilter::kOnlyRaw;
-  Result<std::vector<FlexOffer>> offers = db.SelectFlexOffers(filter);
-  if (!offers.ok()) return offers.status();
+  // Collection is the pipeline's entry: without offers there is nothing to
+  // degrade to, so an exhausted sim.enterprise.collect surfaces typed.
+  std::vector<FlexOffer> collected;
+  FLEXVIS_RETURN_IF_ERROR(
+      RetryFaultPoint("sim.enterprise.collect", DefaultRetryPolicy(), [&]() -> Status {
+        Result<std::vector<FlexOffer>> offers = db.SelectFlexOffers(filter);
+        if (!offers.ok()) return offers.status();
+        collected = *std::move(offers);
+        return OkStatus();
+      }));
+  Result<std::vector<FlexOffer>> offers(std::move(collected));
 
   Result<PlanningReport> report = PlanHorizon(*offers, window);
   if (!report.ok()) return report.status();

@@ -1,6 +1,9 @@
 #ifndef FLEXVIS_SIM_ENTERPRISE_H_
 #define FLEXVIS_SIM_ENTERPRISE_H_
 
+#include <mutex>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/aggregation.h"
@@ -73,6 +76,13 @@ struct PlanningReport {
   std::vector<core::FlexOffer> aggregate_offers;
 
   Settlement settlement;
+
+  /// Injection points whose faults this run absorbed by degrading instead of
+  /// failing (e.g. "sim.enterprise.forecast" fell back to planning on the
+  /// actual demand curve, "sim.market.bid" settled everything at the
+  /// imbalance fee). Empty on a clean run. Dashboards and the fault-matrix
+  /// test read this to distinguish degraded from nominal output.
+  std::vector<std::string> degraded_stages;
 };
 
 /// The planning and control engine of a MIRABEL enterprise.
@@ -97,7 +107,22 @@ class Enterprise {
                                      const timeutil::TimeInterval& window) const;
 
  private:
+  /// The last accepted aggregate plan, kept so a scheduler outage can fall
+  /// back to it (the paper's enterprise keeps trading yesterday's plan and
+  /// books the imbalance fee rather than going dark). Reused only when the
+  /// outage run targets the same window and the same aggregate set;
+  /// otherwise the fallback is the empty plan (every aggregate rejected).
+  struct CachedPlan {
+    timeutil::TimeInterval window;
+    std::vector<core::FlexOfferId> aggregate_ids;
+    core::ScheduleResult plan;
+  };
+
   EnterpriseParams params_;
+  /// Guarded by plan_mutex_; mutable because PlanHorizon is logically const
+  /// (the cache only changes which *fallback* a degraded run uses).
+  mutable std::mutex plan_mutex_;
+  mutable std::optional<CachedPlan> last_accepted_plan_;
 };
 
 }  // namespace flexvis::sim

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/fault.h"
+#include "util/retry.h"
+
 namespace flexvis::sim {
 
 using core::TimeSeries;
@@ -41,6 +44,36 @@ Settlement Market::Settle(const TimeSeries& plan_residual, const TimeSeries& dev
     s.imbalance_kwh += dev;
     s.imbalance_cost_eur += dev * price_eur_per_kwh * params_.imbalance_fee_multiplier;
   }
+  s.total_cost_eur = s.spot_cost_eur + s.imbalance_cost_eur;
+  return s;
+}
+
+Result<Settlement> Market::TrySettle(const TimeSeries& plan_residual,
+                                     const TimeSeries& deviation,
+                                     const TimeSeries& prices) const {
+  FLEXVIS_RETURN_IF_ERROR(RetryFaultPoint("sim.market.bid", DefaultRetryPolicy(),
+                                          []() -> Status { return OkStatus(); }));
+  return Settle(plan_residual, deviation, prices);
+}
+
+Settlement Market::SettleAllAsImbalance(const TimeSeries& plan_residual,
+                                        const TimeSeries& deviation,
+                                        const TimeSeries& prices) const {
+  Settlement s;
+  s.traded_kwh = plan_residual;
+  s.traded_kwh.Scale(0.0);  // nothing was traded
+  s.prices = prices;
+  auto charge = [&](const TimeSeries& series) {
+    for (size_t i = 0; i < series.size(); ++i) {
+      timeutil::TimePoint t = series.start() + static_cast<int64_t>(i) * kMinutesPerSlice;
+      double energy = std::abs(series.AtIndex(static_cast<int64_t>(i)));
+      double price_eur_per_kwh = prices.At(t) / 1000.0;
+      s.imbalance_kwh += energy;
+      s.imbalance_cost_eur += energy * price_eur_per_kwh * params_.imbalance_fee_multiplier;
+    }
+  };
+  charge(plan_residual);
+  charge(deviation);
   s.total_cost_eur = s.spot_cost_eur + s.imbalance_cost_eur;
   return s;
 }

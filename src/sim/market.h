@@ -3,6 +3,7 @@
 
 #include "core/time_series.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace flexvis::sim {
 
@@ -50,6 +51,23 @@ class Market {
   Settlement Settle(const core::TimeSeries& plan_residual,
                     const core::TimeSeries& deviation,
                     const core::TimeSeries& prices) const;
+
+  /// Settle() behind the `sim.market.bid` injection point: bid placement on
+  /// the spot exchange is the pipeline's outward-facing network call, so it
+  /// retries transient faults under the default policy and surfaces a typed
+  /// Status when the exchange stays unreachable. Callers degrade via
+  /// SettleAllAsImbalance (see Enterprise::PlanHorizon).
+  Result<Settlement> TrySettle(const core::TimeSeries& plan_residual,
+                               const core::TimeSeries& deviation,
+                               const core::TimeSeries& prices) const;
+
+  /// Degraded settlement for an unreachable spot market: no trade executes
+  /// (traded_kwh all zero, spot cost zero) and the *entire* residual — not
+  /// just the plan deviation — is settled at the imbalance penalty price,
+  /// the fee the paper says "is substantially higher than a spot price".
+  Settlement SettleAllAsImbalance(const core::TimeSeries& plan_residual,
+                                  const core::TimeSeries& deviation,
+                                  const core::TimeSeries& prices) const;
 
  private:
   MarketParams params_;

@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "core/measures.h"
+#include "util/fault.h"
+#include "util/retry.h"
 #include "util/strings.h"
 
 namespace flexvis::sim {
@@ -49,13 +51,35 @@ Result<OnlineReport> OnlineEnterprise::Run(const std::vector<FlexOffer>& offers,
   std::vector<size_t> pending_assignment;  // accepted, not yet scheduled
   size_t next_arrival = 0;
 
+  // Delivery to the prosumer gateway sits behind the sim.online.send seam.
+  // Each send retries per policy; persistent failure is absorbed, never
+  // propagated — the loop must keep its tick cadence whatever the link does.
+  auto deliver = [&](std::string wire) -> bool {
+    Status sent = RetryFaultPoint("sim.online.send", DefaultRetryPolicy(),
+                                  []() -> Status { return OkStatus(); });
+    if (!sent.ok()) {
+      ++report.failed_sends;
+      return false;
+    }
+    report.outbox.push_back(std::move(wire));
+    return true;
+  };
+
   auto send_acceptance = [&](size_t idx, TimePoint now, bool accepted) {
     FlexOffer& offer = report.offers[idx];
     AcceptanceMessage msg;
     msg.offer = offer.id;
     msg.accepted = accepted;
     msg.sent_at = std::min(now, offer.acceptance_deadline);
-    report.outbox.push_back(core::EncodeMessage(core::Message(msg)));
+    // A lost acceptance degrades to rejection: without a confirmation the
+    // prosumer must assume its offer lapsed, and the enterprise books no
+    // capacity against it.
+    if (!deliver(core::EncodeMessage(core::Message(msg)))) {
+      offer.state = core::FlexOfferState::kRejected;
+      ++report.rejected;
+      ++report.missed_acceptance;
+      return;
+    }
     if (accepted) {
       offer.state = core::FlexOfferState::kAccepted;
       ++report.accepted;
@@ -70,10 +94,19 @@ Result<OnlineReport> OnlineEnterprise::Run(const std::vector<FlexOffer>& offers,
     ++report.ticks;
     const TimePoint next_tick = now + params_.tick_minutes;
 
-    // 1. Ingest offers created up to now.
+    // 1. Ingest offers created up to now. The uplink from the prosumer
+    //    gateway is lossy (sim.online.ingest): an offer whose submission
+    //    fails after retries is dropped — counted, left kOffered, never
+    //    answered — and the loop moves on.
     while (next_arrival < arrival.size() &&
            report.offers[arrival[next_arrival]].creation_time <= now) {
       size_t idx = arrival[next_arrival++];
+      Status ingested = RetryFaultPoint("sim.online.ingest", DefaultRetryPolicy(),
+                                        []() -> Status { return OkStatus(); });
+      if (!ingested.ok()) {
+        ++report.dropped_ingest;
+        continue;
+      }
       ++report.offers_received;
       if (report.offers[idx].acceptance_deadline < now) {
         // Arrived already expired (coarse tick): count as missed, reject.
@@ -137,6 +170,18 @@ Result<OnlineReport> OnlineEnterprise::Run(const std::vector<FlexOffer>& offers,
           offer.state = core::FlexOfferState::kRejected;
           continue;
         }
+        AssignmentMessage msg;
+        msg.offer = offer.id;
+        msg.schedule = *plan.offers[k].schedule;
+        msg.sent_at = std::min(now, offer.assignment_deadline);
+        // Commit capacity only after the assignment is delivered: a lost
+        // assignment leaves the offer accepted-but-unscheduled (the
+        // prosumer never learned what to run), books nothing against the
+        // residual, and counts as a missed assignment deadline.
+        if (!deliver(core::EncodeMessage(core::Message(msg)))) {
+          ++report.missed_assignment;
+          continue;
+        }
         offer.schedule = plan.offers[k].schedule;
         offer.state = core::FlexOfferState::kAssigned;
         ++report.assigned;
@@ -146,11 +191,6 @@ Result<OnlineReport> OnlineEnterprise::Run(const std::vector<FlexOffer>& offers,
           residual.AddAt(offer.schedule->start + static_cast<int64_t>(i) * kMinutesPerSlice,
                          -sign * offer.schedule->energy_kwh[i]);
         }
-        AssignmentMessage msg;
-        msg.offer = offer.id;
-        msg.schedule = *offer.schedule;
-        msg.sent_at = std::min(now, offer.assignment_deadline);
-        report.outbox.push_back(core::EncodeMessage(core::Message(msg)));
       }
     }
   }

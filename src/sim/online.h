@@ -33,6 +33,15 @@ struct OnlineReport {
   /// both at zero.
   int missed_acceptance = 0;
   int missed_assignment = 0;
+  /// Offers lost at the sim.online.ingest seam after retries (lossy uplink):
+  /// they stay kOffered, are never answered, and count here so operators see
+  /// the loss. Zero unless faults are armed.
+  int dropped_ingest = 0;
+  /// Outbound messages that could not be delivered at sim.online.send after
+  /// retries. A lost acceptance rejects the offer (the prosumer never got a
+  /// confirmation to act on); a lost assignment leaves the offer accepted
+  /// but uncommitted, so no capacity is booked against its schedule.
+  int failed_sends = 0;
   /// Σ|target - committed load| over the horizon after the run.
   double imbalance_kwh = 0.0;
   /// Offers with their final states and committed schedules.

@@ -8,6 +8,12 @@
 
 namespace flexvis::sim {
 
+Status InstallFaultsFromEnv(uint64_t seed) {
+  FaultRegistry& registry = FaultRegistry::Global();
+  registry.Seed(seed);
+  return registry.ConfigureFromEnv();
+}
+
 using core::ApplianceType;
 using core::Direction;
 using core::EnergyType;

@@ -7,10 +7,20 @@
 #include "dw/database.h"
 #include "geo/atlas.h"
 #include "grid/topology.h"
+#include "util/fault.h"
 #include "util/rng.h"
 #include "util/status.h"
 
 namespace flexvis::sim {
+
+/// Arms the global FaultRegistry from the FLEXVIS_FAULTS environment
+/// variable ("point:prob[@latency_minutes],...", see FaultRegistry::
+/// Configure) and seeds its streams with `seed` so fault draws reproduce
+/// alongside the workload. The hook every workload driver — bench mains,
+/// the CLI, throughput harnesses — calls before generating load, so a run
+/// under injected faults is configured exactly like a clean one plus one
+/// environment variable. No-op when the variable is unset.
+Status InstallFaultsFromEnv(uint64_t seed = 2013);
 
 /// Shape of the synthetic flex-offer population. Defaults approximate the
 /// MIRABEL demo mix: mostly households with EVs/heat pumps/wet appliances,

@@ -1,0 +1,224 @@
+#include "util/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace flexvis {
+
+namespace {
+
+/// FNV-1a over the point name; mixed into the registry seed so each point
+/// draws from its own independent, reproducible stream.
+uint64_t HashName(std::string_view name) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+constexpr uint64_t kDefaultSeed = 0xFA17ED5EEDULL;  // "faulted seed"
+
+}  // namespace
+
+struct FaultRegistry::Point {
+  Point(std::string point_name, uint64_t stream_seed)
+      : name(std::move(point_name)), rng(stream_seed) {}
+
+  std::string name;
+  bool armed = false;
+  FaultConfig config;
+  int fail_budget = 0;  // remaining deterministic failures
+  Rng rng;
+  FaultStats stats;
+};
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+FaultRegistry::FaultRegistry() : seed_(kDefaultSeed) {
+  for (const char* name : kFaultPoints) FindOrRegister(name);
+}
+
+FaultRegistry::~FaultRegistry() = default;
+
+void FaultRegistry::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  seed_ = seed;
+  for (auto& point : points_) {
+    point->rng = Rng(seed_ ^ HashName(point->name));
+    point->stats = FaultStats{};
+    point->fail_budget = point->config.fail_first;
+  }
+}
+
+FaultRegistry::Point& FaultRegistry::FindOrRegister(std::string_view point) {
+  if (Point* found = Find(point)) return *found;
+  points_.push_back(
+      std::make_unique<Point>(std::string(point), seed_ ^ HashName(point)));
+  return *points_.back();
+}
+
+FaultRegistry::Point* FaultRegistry::Find(std::string_view point) {
+  for (auto& p : points_) {
+    if (p->name == point) return p.get();
+  }
+  return nullptr;
+}
+
+const FaultRegistry::Point* FaultRegistry::Find(std::string_view point) const {
+  for (const auto& p : points_) {
+    if (p->name == point) return p.get();
+  }
+  return nullptr;
+}
+
+void FaultRegistry::Arm(std::string_view point, const FaultConfig& config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Point& p = FindOrRegister(point);
+  p.armed = true;
+  p.config = config;
+  p.fail_budget = config.fail_first;
+  p.rng = Rng(seed_ ^ HashName(p.name));
+  p.stats = FaultStats{};
+}
+
+void FaultRegistry::Disarm(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Point* p = Find(point)) {
+    p->armed = false;
+    p->fail_budget = 0;
+  }
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& p : points_) {
+    p->armed = false;
+    p->fail_budget = 0;
+  }
+}
+
+Status FaultRegistry::Hit(std::string_view point, int64_t* latency_minutes) {
+  if (latency_minutes != nullptr) *latency_minutes = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Point& p = FindOrRegister(point);
+  if (!p.armed) return OkStatus();
+  ++p.stats.hits;
+  if (p.config.latency_minutes > 0) {
+    p.stats.latency_minutes += p.config.latency_minutes;
+    if (latency_minutes != nullptr) *latency_minutes = p.config.latency_minutes;
+  }
+  bool fail = p.config.always_fail;
+  if (!fail && p.fail_budget > 0) {
+    --p.fail_budget;
+    fail = true;
+  }
+  if (!fail && p.config.probability > 0.0) {
+    fail = p.rng.Bernoulli(p.config.probability);
+  }
+  if (!fail) return OkStatus();
+  ++p.stats.failures;
+  return Status(p.config.code,
+                StrFormat("injected fault at '%s' (hit %lld)", p.name.c_str(),
+                          static_cast<long long>(p.stats.hits)));
+}
+
+std::vector<std::string> FaultRegistry::Points() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& p : points_) names.push_back(p->name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool FaultRegistry::IsArmed(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Point* p = Find(point);
+  return p != nullptr && p->armed;
+}
+
+FaultStats FaultRegistry::Stats(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Point* p = Find(point);
+  return p != nullptr ? p->stats : FaultStats{};
+}
+
+Status FaultRegistry::Configure(const char* spec) {
+  if (spec == nullptr || *spec == '\0') return OkStatus();
+
+  // Parse everything before arming anything, so a bad spec is atomic.
+  struct Entry {
+    std::string point;
+    FaultConfig config;
+  };
+  std::vector<Entry> entries;
+  for (std::string_view part : StrSplit(spec, ',')) {
+    part = StripWhitespace(part);
+    if (part.empty()) {
+      // A stray comma is almost certainly a typo in the fault list; arming
+      // fewer points than the operator asked for must not pass silently.
+      return InvalidArgumentError("FLEXVIS_FAULTS: empty entry in spec");
+    }
+    size_t colon = part.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return InvalidArgumentError(
+          StrFormat("FLEXVIS_FAULTS entry '%.*s': want point:probability[@latency]",
+                    static_cast<int>(part.size()), part.data()));
+    }
+    Entry entry;
+    entry.point = std::string(part.substr(0, colon));
+    {
+      // A typo'd point name would arm a point no seam consults — the run
+      // would report clean numbers under a fault-run label. Reject instead.
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (Find(entry.point) == nullptr) {
+        return InvalidArgumentError(
+            StrFormat("FLEXVIS_FAULTS entry '%s': unknown fault point "
+                      "(see kFaultPoints in util/fault.h)",
+                      entry.point.c_str()));
+      }
+    }
+    std::string_view rest = part.substr(colon + 1);
+    std::string_view prob_text = rest;
+    size_t at = rest.find('@');
+    if (at != std::string_view::npos) {
+      prob_text = rest.substr(0, at);
+      std::string latency_text(rest.substr(at + 1));
+      char* end = nullptr;
+      long long latency = std::strtoll(latency_text.c_str(), &end, 10);
+      if (end == latency_text.c_str() || *end != '\0' || latency < 0) {
+        return InvalidArgumentError(
+            StrFormat("FLEXVIS_FAULTS entry '%s': bad latency '%s'",
+                      entry.point.c_str(), latency_text.c_str()));
+      }
+      entry.config.latency_minutes = latency;
+    }
+    std::string prob_str(prob_text);
+    char* end = nullptr;
+    double prob = std::strtod(prob_str.c_str(), &end);
+    if (end == prob_str.c_str() || *end != '\0' || prob < 0.0 || prob > 1.0) {
+      return InvalidArgumentError(
+          StrFormat("FLEXVIS_FAULTS entry '%s': bad probability '%s'",
+                    entry.point.c_str(), prob_str.c_str()));
+    }
+    entry.config.probability = prob;
+    if (prob >= 1.0) entry.config.always_fail = true;
+    entries.push_back(std::move(entry));
+  }
+  for (const Entry& entry : entries) Arm(entry.point, entry.config);
+  return OkStatus();
+}
+
+Status FaultRegistry::ConfigureFromEnv() {
+  return Configure(std::getenv("FLEXVIS_FAULTS"));
+}
+
+}  // namespace flexvis

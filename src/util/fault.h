@@ -1,0 +1,162 @@
+#ifndef FLEXVIS_UTIL_FAULT_H_
+#define FLEXVIS_UTIL_FAULT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace flexvis {
+
+/// Deterministic fault injection for the enterprise pipeline. Every lossy
+/// seam in the system — file I/O, the message bus, market bids, the planning
+/// stage transitions — declares a *named injection point* and consults the
+/// process-wide FaultRegistry before doing its work. A disarmed point costs
+/// one mutex-guarded hash lookup and never fails, so production paths pay
+/// nearly nothing; an armed point fails (or adds simulated latency) according
+/// to its FaultConfig, with all randomness drawn from per-point xoshiro
+/// streams seeded from the registry seed, so a run under faults is exactly as
+/// reproducible as a run without them.
+///
+/// Configuration sources, in the order tests and benches use them:
+///   1. FaultRegistry::Global().Arm("dw.csv.read", config) in code;
+///   2. the FLEXVIS_FAULTS environment variable (see ConfigureFromEnv), the
+///      hook the bench mains and the CLI install.
+
+/// The canonical injection points, pre-registered so sweeps (the fault-matrix
+/// test, `Points()`) see every seam before any code path runs. Sites may
+/// register additional points lazily by hitting them, but every name listed
+/// here is wired into the production pipeline:
+///
+///   dw.csv.write / dw.csv.read          CSV file I/O (COPY stand-in)
+///   dw.persistence.save / .load         warehouse dump/restore
+///   core.messages.decode                message-bus envelope decoding
+///   sim.market.bid                      spot-market bid placement
+///   sim.online.ingest                   online-loop offer ingest
+///   sim.online.send                     acceptance/assignment delivery
+///   sim.enterprise.collect              offer collection from the DW
+///   sim.enterprise.forecast             demand forecasting
+///   sim.enterprise.aggregate            flex-offer aggregation
+///   sim.enterprise.schedule             aggregate scheduling
+///   sim.enterprise.disaggregate         schedule disaggregation
+inline constexpr const char* kFaultPoints[] = {
+    "dw.csv.write",
+    "dw.csv.read",
+    "dw.persistence.save",
+    "dw.persistence.load",
+    "core.messages.decode",
+    "sim.market.bid",
+    "sim.online.ingest",
+    "sim.online.send",
+    "sim.enterprise.collect",
+    "sim.enterprise.forecast",
+    "sim.enterprise.aggregate",
+    "sim.enterprise.schedule",
+    "sim.enterprise.disaggregate",
+};
+
+/// How an armed point misbehaves. The fields compose: a hit first serves any
+/// deterministic fail_first budget, then draws against probability; latency
+/// accrues on every hit (success or failure).
+struct FaultConfig {
+  /// Chance in [0, 1] that a hit fails (after fail_first is exhausted).
+  double probability = 0.0;
+  /// Deterministically fail the first N hits after arming (fail-once = 1,
+  /// fail-n = N). Serviced before any probability draw.
+  int fail_first = 0;
+  /// Every hit fails regardless of the other knobs.
+  bool always_fail = false;
+  /// Simulated latency added per hit, in minutes (TimePoint granularity).
+  /// Returned to the caller via Hit()'s out-param; retry loops charge it
+  /// against their deadline, so a latency spike can surface as
+  /// kDeadlineExceeded without any real sleeping.
+  int64_t latency_minutes = 0;
+  /// The error kind an injected failure carries. Defaults to the retryable
+  /// kUnavailable; arm with a permanent code to model poison-pill failures.
+  StatusCode code = StatusCode::kUnavailable;
+};
+
+/// Cumulative per-point observability counters.
+struct FaultStats {
+  int64_t hits = 0;
+  int64_t failures = 0;
+  int64_t latency_minutes = 0;
+};
+
+class FaultRegistry {
+ public:
+  /// The process-wide registry every injection point consults.
+  static FaultRegistry& Global();
+
+  /// Constructs a registry with every kFaultPoints name pre-registered and
+  /// disarmed. Public so tests can exercise isolated instances.
+  FaultRegistry();
+  ~FaultRegistry();  // out-of-line: Point is incomplete here
+
+  /// Reseeds the per-point random streams and clears stats. Two registries
+  /// seeded identically and armed identically fail identically.
+  void Seed(uint64_t seed);
+
+  /// Arms `point` with `config` (registering it if unknown) and resets its
+  /// stats and fail_first budget.
+  void Arm(std::string_view point, const FaultConfig& config);
+
+  /// Disarms one point / every point. Registration and stats survive.
+  void Disarm(std::string_view point);
+  void DisarmAll();
+
+  /// The heart of the layer: called by an injection site. Returns OK when
+  /// the point is disarmed or the draw passes; otherwise a Status carrying
+  /// the configured code and the point name in its message. When
+  /// `latency_minutes` is non-null it receives the simulated latency this
+  /// hit accrued (0 when disarmed). Thread-safe.
+  Status Hit(std::string_view point, int64_t* latency_minutes = nullptr);
+
+  /// Every registered point name, sorted (the sweep surface of the
+  /// fault-matrix test).
+  std::vector<std::string> Points() const;
+
+  /// True when `point` is currently armed.
+  bool IsArmed(std::string_view point) const;
+
+  /// Counters for `point`; zeros for unknown names.
+  FaultStats Stats(std::string_view point) const;
+
+  /// Parses a FLEXVIS_FAULTS-style spec and arms the named points:
+  ///
+  ///   spec     := entry {"," entry}
+  ///   entry    := point ":" probability ["@" latency_minutes]
+  ///
+  /// e.g. "sim.online.ingest:0.01,dw.csv.read:0.5@30". An empty or null
+  /// spec is a no-op. Returns InvalidArgument (arming nothing) on syntax
+  /// errors, out-of-range probabilities, or negative latencies.
+  Status Configure(const char* spec);
+
+  /// Configure(getenv("FLEXVIS_FAULTS")) — the bench/CLI entry point.
+  Status ConfigureFromEnv();
+
+ private:
+  struct Point;
+  Point* Find(std::string_view point);
+  const Point* Find(std::string_view point) const;
+  Point& FindOrRegister(std::string_view point);
+
+  mutable std::mutex mutex_;
+  uint64_t seed_;
+  /// Stable storage: points are never removed, so raw pointers into the
+  /// vector of unique_ptrs stay valid across registration.
+  std::vector<std::unique_ptr<Point>> points_;
+};
+
+/// Checks an injection point and propagates an injected failure to the
+/// caller. Works in functions returning Status or Result<T>.
+#define FLEXVIS_FAULT_CHECK(point) \
+  FLEXVIS_RETURN_IF_ERROR(::flexvis::FaultRegistry::Global().Hit(point))
+
+}  // namespace flexvis
+
+#endif  // FLEXVIS_UTIL_FAULT_H_

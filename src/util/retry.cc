@@ -1,0 +1,95 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/fault.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace flexvis {
+
+namespace {
+
+uint64_t HashName(std::string_view name) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Backoff before retry number `retry` (1-based), jittered.
+int64_t BackoffMinutes(const RetryPolicy& policy, int retry, Rng& rng) {
+  double base = static_cast<double>(policy.initial_backoff_minutes) *
+                std::pow(std::max(1.0, policy.multiplier), retry - 1);
+  base = std::min(base, static_cast<double>(policy.max_backoff_minutes));
+  double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  double scaled = base * rng.Uniform(1.0 - jitter, 1.0 + jitter);
+  return std::max<int64_t>(0, static_cast<int64_t>(std::llround(scaled)));
+}
+
+bool DeadlineExhausted(const RetryPolicy& policy, const SimClock& clock) {
+  return policy.deadline_minutes >= 0 && clock.elapsed_minutes() > policy.deadline_minutes;
+}
+
+RetryResult RetryLoop(const RetryPolicy& policy, uint64_t seed, std::string_view point,
+                      const std::function<Status()>& op, SimClock* external_clock) {
+  Rng rng(seed);
+  SimClock local_clock;
+  SimClock& clock = external_clock != nullptr ? *external_clock : local_clock;
+  RetryResult result;
+  const int max_attempts = std::max(1, policy.max_attempts);
+  Status last = OkStatus();
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    ++result.attempts;
+    if (!point.empty()) {
+      int64_t latency = 0;
+      last = FaultRegistry::Global().Hit(point, &latency);
+      clock.Advance(latency);
+      if (DeadlineExhausted(policy, clock)) {
+        result.status = DeadlineExceededError(StrFormat(
+            "deadline of %lld simulated minutes exhausted at '%.*s' after %d attempt(s)",
+            static_cast<long long>(policy.deadline_minutes),
+            static_cast<int>(point.size()), point.data(), result.attempts));
+        result.simulated_minutes = clock.elapsed_minutes();
+        return result;
+      }
+      if (last.ok()) last = op();
+    } else {
+      last = op();
+    }
+    if (last.ok() || !IsRetryable(last)) break;
+    if (attempt == max_attempts) break;
+    clock.Advance(BackoffMinutes(policy, attempt, rng));
+    if (DeadlineExhausted(policy, clock)) {
+      result.status = DeadlineExceededError(StrFormat(
+          "deadline of %lld simulated minutes exhausted after %d attempt(s): %s",
+          static_cast<long long>(policy.deadline_minutes), result.attempts,
+          last.ToString().c_str()));
+      result.simulated_minutes = clock.elapsed_minutes();
+      return result;
+    }
+  }
+  result.status = last;
+  result.simulated_minutes = clock.elapsed_minutes();
+  return result;
+}
+
+}  // namespace
+
+RetryPolicy DefaultRetryPolicy() { return RetryPolicy{}; }
+
+RetryResult RetryWithPolicy(const RetryPolicy& policy, uint64_t seed,
+                            const std::function<Status()>& op, SimClock* clock) {
+  return RetryLoop(policy, seed, std::string_view(), op, clock);
+}
+
+Status RetryFaultPoint(std::string_view point, const RetryPolicy& policy,
+                       const std::function<Status()>& op) {
+  return RetryLoop(policy, HashName(point) ^ 0x9E3779B97F4A7C15ULL, point, op, nullptr)
+      .status;
+}
+
+}  // namespace flexvis

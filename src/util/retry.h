@@ -1,0 +1,76 @@
+#ifndef FLEXVIS_UTIL_RETRY_H_
+#define FLEXVIS_UTIL_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace flexvis {
+
+/// Retry policies for the pipeline's lossy seams. Everything runs on
+/// *simulated* time — minutes at TimePoint granularity, the unit the rest of
+/// the planner uses — so a retry loop with minutes of backoff completes in
+/// microseconds of wall time and an injected latency spike can exhaust a
+/// deadline without ever sleeping. No injected fault can therefore hang a
+/// run; the worst outcome is a typed kDeadlineExceeded.
+struct RetryPolicy {
+  /// Total tries including the first (1 = no retrying).
+  int max_attempts = 3;
+  /// Simulated backoff before the first retry.
+  int64_t initial_backoff_minutes = 1;
+  /// Exponential growth factor between consecutive backoffs.
+  double multiplier = 2.0;
+  /// Ceiling on a single backoff.
+  int64_t max_backoff_minutes = 60;
+  /// Each backoff is scaled by a factor drawn uniformly from
+  /// [1 - jitter, 1 + jitter] (clamped to [0, 1]); deterministic per
+  /// (seed, fault point).
+  double jitter = 0.25;
+  /// Budget of simulated minutes (backoff + injected latency) across all
+  /// attempts; exceeding it yields kDeadlineExceeded. < 0 disables.
+  int64_t deadline_minutes = 24 * 60;
+};
+
+/// The conservative default used by the I/O and pipeline seams: 3 attempts,
+/// 1-minute initial backoff doubling to at most 60, one-day deadline.
+RetryPolicy DefaultRetryPolicy();
+
+/// Accumulator for simulated elapsed time across an operation's retries.
+class SimClock {
+ public:
+  void Advance(int64_t minutes) { elapsed_minutes_ += minutes; }
+  int64_t elapsed_minutes() const { return elapsed_minutes_; }
+
+ private:
+  int64_t elapsed_minutes_ = 0;
+};
+
+/// Outcome of a retried operation, for callers that want observability
+/// beyond the final Status.
+struct RetryResult {
+  Status status;
+  int attempts = 0;
+  int64_t simulated_minutes = 0;
+};
+
+/// Runs `op` under `policy`: retries while op returns a retryable status
+/// (IsRetryable), backing off exponentially with deterministic jitter seeded
+/// by `seed`. Non-retryable errors return immediately; exhausting
+/// max_attempts returns the last error; exhausting the deadline returns
+/// kDeadlineExceeded. `clock`, when non-null, accrues the simulated minutes.
+RetryResult RetryWithPolicy(const RetryPolicy& policy, uint64_t seed,
+                            const std::function<Status()>& op, SimClock* clock = nullptr);
+
+/// The injection-site helper used by the pipeline seams: each attempt first
+/// consults FaultRegistry::Global() at `point` (charging any injected
+/// latency against the deadline), then runs `op`. Retryable failures —
+/// injected or real — back off and retry per `policy`; the returned error
+/// for an exhausted point names it ("injected fault at '<point>' ...").
+Status RetryFaultPoint(std::string_view point, const RetryPolicy& policy,
+                       const std::function<Status()>& op);
+
+}  // namespace flexvis
+
+#endif  // FLEXVIS_UTIL_RETRY_H_

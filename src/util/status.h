@@ -19,6 +19,8 @@ enum class StatusCode {
   kAlreadyExists,     // insertion of a duplicate key
   kUnimplemented,     // feature declared by the API but not available
   kInternal,          // invariant violation inside the library
+  kUnavailable,       // transient failure (lossy link, injected fault); retryable
+  kDeadlineExceeded,  // a retry deadline or simulated-time budget ran out
 };
 
 /// Returns a stable, human-readable name for `code` ("OK", "INVALID_ARGUMENT",
@@ -72,6 +74,14 @@ Status FailedPreconditionError(std::string message);
 Status AlreadyExistsError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
+Status UnavailableError(std::string message);
+Status DeadlineExceededError(std::string message);
+
+/// True for codes that describe transient conditions a caller may retry
+/// (currently only kUnavailable). Permanent errors — bad input, missing
+/// entities, internal invariant violations — are never retryable.
+bool IsRetryable(StatusCode code);
+inline bool IsRetryable(const Status& status) { return IsRetryable(status.code()); }
 
 /// Value-or-error union. Holds either an OK status plus a T, or a non-OK
 /// status. Accessing value() on an error aborts, so callers must check ok()

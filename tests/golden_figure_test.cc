@@ -1,0 +1,371 @@
+// Golden-figure regression harness: renders all 11 paper-figure scenes
+// through the deterministic raster path and compares CRC32 of the
+// framebuffer (RasterCanvas::ToPpm bytes) against the checked-in goldens
+// in tests/golden/figN.crc. Every scene is built and rasterized twice —
+// at 1 and at 8 worker threads — and the two CRCs must agree with each
+// other *and* with the golden, pinning the PR-1 byte-identical-replay
+// guarantee to concrete pixels.
+//
+// After an intentional visual change, regenerate the goldens with
+//
+//   ./build/tests/flexvis_golden_tests --update-golden
+//
+// and commit the rewritten tests/golden/*.crc files alongside the change
+// (the diff makes the visual impact reviewable: one line per figure).
+//
+// On mismatch the harness writes golden_diff/<fig>.expected.crc,
+// golden_diff/<fig>.actual.crc, and golden_diff/<fig>.png so CI can
+// upload the disagreement as an inspectable artifact.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/aggregation.h"
+#include "core/scheduler.h"
+#include "olap/mdx.h"
+#include "render/png.h"
+#include "render/raster_canvas.h"
+#include "sim/enterprise.h"
+#include "util/parallel.h"
+#include "viz/anatomy_view.h"
+#include "viz/balancing_view.h"
+#include "viz/basic_view.h"
+#include "viz/dashboard_view.h"
+#include "viz/interaction.h"
+#include "viz/map_view.h"
+#include "viz/pivot_view.h"
+#include "viz/profile_view.h"
+#include "viz/schematic_view.h"
+#include "viz/session.h"
+
+#ifndef FLEXVIS_GOLDEN_DIR
+#error "FLEXVIS_GOLDEN_DIR must point at tests/golden (set by CMake)"
+#endif
+
+using namespace flexvis;
+
+namespace {
+
+using Scene = std::unique_ptr<render::DisplayList>;
+using SceneBuilder = std::function<Scene()>;
+
+struct GoldenCase {
+  const char* name;
+  SceneBuilder build;
+};
+
+std::unique_ptr<bench::World> SmallWorld(int prosumers, double offers = 5.0) {
+  bench::WorldOptions options;
+  options.num_prosumers = prosumers;
+  options.offers_per_prosumer = offers;
+  return bench::BuildWorld(options);
+}
+
+Scene BuildFig1() {
+  std::unique_ptr<bench::World> world = SmallWorld(120);
+  sim::EnterpriseParams params;
+  params.aggregation.est_tolerance_minutes = 120;
+  params.aggregation.tft_tolerance_minutes = 120;
+  params.execution_noise = 0.0;
+  params.non_compliance = 0.0;
+  sim::Enterprise enterprise(params);
+  Result<sim::PlanningReport> report =
+      enterprise.PlanHorizon(world->workload.offers, world->horizon);
+  if (!report.ok()) return nullptr;
+  return std::move(viz::RenderBalancingView(*report, viz::BalancingViewOptions{}).scene);
+}
+
+Scene BuildFig2() {
+  core::FlexOffer offer = viz::MakePaperExampleOffer();
+  if (!core::Validate(offer).ok()) return nullptr;
+  return std::move(viz::RenderAnatomyView(offer, viz::AnatomyViewOptions{}).scene);
+}
+
+Scene BuildFig3() {
+  std::unique_ptr<bench::World> world = SmallWorld(150, 8.0);
+  viz::MapViewOptions options;
+  options.histogram_buckets = 8;
+  return std::move(
+      viz::RenderMapView(world->workload.offers, world->atlas, options).scene);
+}
+
+Scene BuildFig4() {
+  bench::WorldOptions options;
+  options.num_prosumers = 120;
+  options.distribution_per_transmission = 3;
+  std::unique_ptr<bench::World> world = bench::BuildWorld(options);
+  return std::move(viz::RenderSchematicView(world->workload.offers, world->topology,
+                                            viz::SchematicViewOptions{})
+                       .scene);
+}
+
+Scene BuildFig5() {
+  std::unique_ptr<bench::World> world = SmallWorld(120);
+  const std::string mdx =
+      "SELECT { Measures.ScheduledEnergy } ON COLUMNS, { Prosumer.Type.Members } ON ROWS "
+      "FROM [FlexOffers]";
+  Result<olap::CubeQuery> query = olap::ParseMdx(mdx, *world->cube);
+  if (!query.ok()) return nullptr;
+  Result<olap::PivotResult> pivot = world->cube->Evaluate(*query);
+  if (!pivot.ok()) return nullptr;
+  viz::PivotViewOptions options;
+  options.mdx_text = mdx;
+  options.hierarchy = world->cube->FindDimension("Prosumer");
+  return std::move(viz::RenderPivotView(*pivot, options).scene);
+}
+
+Scene BuildFig6() {
+  timeutil::TimePoint from = timeutil::TimePoint::FromCalendarOrDie(2012, 2, 1, 12, 0);
+  timeutil::TimePoint to = timeutil::TimePoint::FromCalendarOrDie(2012, 2, 1, 13, 15);
+  bench::WorldOptions options;
+  options.num_prosumers = 100;
+  options.offers_per_prosumer = 4.0;
+  options.horizon = timeutil::TimeInterval(from - 4 * 60, to + 4 * 60);
+  std::unique_ptr<bench::World> world = bench::BuildWorld(options);
+  viz::DashboardOptions view_options;
+  view_options.window = timeutil::TimeInterval(from, to);
+  return std::move(
+      viz::RenderDashboardView(world->workload.offers, view_options).scene);
+}
+
+Scene BuildFig7() {
+  std::unique_ptr<bench::World> world = SmallWorld(100);
+  viz::Session session(&world->db);
+  dw::FlexOfferFilter filter;
+  filter.window = world->horizon;
+  Result<size_t> tab = session.LoadTab(filter, "Loaded offers");
+  if (!tab.ok()) return nullptr;
+  return std::move(session.tab(*tab)->RenderBasic(viz::BasicViewOptions{}).scene);
+}
+
+Scene BuildFig8() {
+  bench::WorldOptions options;
+  options.num_prosumers = 120;
+  options.horizon = timeutil::TimeInterval(
+      bench::BenchDay(), bench::BenchDay() + 2 * timeutil::kMinutesPerDay);
+  std::unique_ptr<bench::World> world = bench::BuildWorld(options);
+  std::vector<core::FlexOffer> offers = world->workload.offers;
+  std::vector<core::FlexOffer> half(offers.begin() + offers.size() / 2, offers.end());
+  offers.resize(offers.size() / 2);
+  core::AggregationParams agg_params;
+  agg_params.est_tolerance_minutes = 120;
+  agg_params.tft_tolerance_minutes = 120;
+  core::FlexOfferId next_id = 1'000'000;
+  core::AggregationResult aggregated = core::Aggregator(agg_params).Aggregate(half, &next_id);
+  for (core::FlexOffer& a : aggregated.aggregates) offers.push_back(std::move(a));
+  viz::BasicViewOptions view_options;
+  view_options.frame.width = 1200;
+  view_options.frame.height = 700;
+  viz::BasicViewResult first_pass = viz::RenderBasicView(offers, view_options);
+  view_options.selection =
+      render::Rect{first_pass.plot.x + first_pass.plot.width * 0.4,
+                   first_pass.plot.y + first_pass.plot.height * 0.25,
+                   first_pass.plot.width * 0.2, first_pass.plot.height * 0.5};
+  return std::move(viz::RenderBasicView(offers, view_options).scene);
+}
+
+Scene BuildFig9() {
+  std::unique_ptr<bench::World> world = SmallWorld(12, 3.0);
+  core::TimeSeries target = sim::MakeFlexibilityTarget(
+      sim::MakeResProduction(world->horizon, sim::EnergyModelParams{}),
+      sim::MakeInflexibleDemand(world->horizon, sim::EnergyModelParams{}));
+  core::ScheduleResult plan = core::Scheduler().Plan(world->workload.offers, target);
+  viz::ProfileViewOptions options;
+  options.frame.height = 760;
+  return std::move(viz::RenderProfileView(plan.offers, options).scene);
+}
+
+Scene BuildFig10() {
+  std::unique_ptr<bench::World> world = SmallWorld(60, 4.0);
+  core::AggregationParams agg_params;
+  agg_params.est_tolerance_minutes = 180;
+  agg_params.tft_tolerance_minutes = 180;
+  agg_params.max_group_size = 12;
+  core::FlexOfferId next_id = 1'000'000;
+  core::AggregationResult aggregated =
+      core::Aggregator(agg_params).Aggregate(world->workload.offers, &next_id);
+  std::vector<core::FlexOffer> shown = world->workload.offers;
+  for (const core::FlexOffer& a : aggregated.aggregates) {
+    if (a.aggregated_from.size() >= 3) shown.push_back(a);
+  }
+  viz::BasicViewResult view = viz::RenderBasicView(shown, viz::BasicViewOptions{});
+  const core::FlexOffer* target = nullptr;
+  for (const core::FlexOffer& o : shown) {
+    if (o.is_aggregate() &&
+        (target == nullptr || o.aggregated_from.size() > target->aggregated_from.size())) {
+      target = &o;
+    }
+  }
+  if (target == nullptr) return nullptr;
+  render::Point pointer{0, 0};
+  for (const render::DisplayItem& item : view.scene->items()) {
+    if (item.tag == target->id && item.kind == render::DisplayItem::Kind::kRect) {
+      render::Rect b = item.Bounds();
+      pointer = render::Point{b.x + b.width / 2, b.y + b.height / 2};
+    }
+  }
+  viz::HoverInfo info = viz::HoverAt(*view.scene, shown, pointer);
+  if (!info.hit) return nullptr;
+  auto overlay =
+      std::make_unique<render::DisplayList>(view.scene->width(), view.scene->height());
+  view.scene->ReplayAll(*overlay);
+  viz::DrawHoverOverlay(*overlay, info, shown, *view.scene, view.time_scale, view.plot);
+  return overlay;
+}
+
+Scene BuildFig11() {
+  std::unique_ptr<bench::World> world = SmallWorld(100);
+  viz::Session session(&world->db);
+  Result<size_t> tab = session.LoadTab(dw::FlexOfferFilter{}, "All offers");
+  if (!tab.ok()) return nullptr;
+  core::AggregationParams params;
+  params.est_tolerance_minutes = 240;
+  params.tft_tolerance_minutes = 240;
+  Result<size_t> agg_tab = session.AggregateTab(*tab, params);
+  if (!agg_tab.ok()) return nullptr;
+  return std::move(session.tab(*agg_tab)->RenderBasic(viz::BasicViewOptions{}).scene);
+}
+
+uint32_t SceneCrc(const render::DisplayList& scene) {
+  render::RasterCanvas canvas(static_cast<int>(scene.width()),
+                              static_cast<int>(scene.height()));
+  scene.ReplayAll(canvas);
+  std::string ppm = canvas.ToPpm();
+  return render::Crc32(reinterpret_cast<const uint8_t*>(ppm.data()), ppm.size());
+}
+
+std::string GoldenPath(const char* name) {
+  return std::string(FLEXVIS_GOLDEN_DIR) + "/" + name + ".crc";
+}
+
+bool ReadGolden(const char* name, uint32_t* crc) {
+  std::FILE* f = std::fopen(GoldenPath(name).c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[32] = {};
+  size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  if (n == 0) return false;
+  char* end = nullptr;
+  unsigned long v = std::strtoul(buf, &end, 16);
+  if (end == buf) return false;
+  *crc = static_cast<uint32_t>(v);
+  return true;
+}
+
+bool WriteGolden(const char* name, uint32_t crc) {
+  std::FILE* f = std::fopen(GoldenPath(name).c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fprintf(f, "%08x\n", crc);
+  return std::fclose(f) == 0;
+}
+
+void WriteDiffArtifacts(const char* name, uint32_t expected, uint32_t actual,
+                        const render::DisplayList& scene) {
+  std::error_code ec;
+  std::filesystem::create_directories("golden_diff", ec);
+  if (ec) return;
+  std::string base = std::string("golden_diff/") + name;
+  if (std::FILE* f = std::fopen((base + ".expected.crc").c_str(), "wb")) {
+    std::fprintf(f, "%08x\n", expected);
+    std::fclose(f);
+  }
+  if (std::FILE* f = std::fopen((base + ".actual.crc").c_str(), "wb")) {
+    std::fprintf(f, "%08x\n", actual);
+    std::fclose(f);
+  }
+  render::RasterCanvas canvas(static_cast<int>(scene.width()),
+                              static_cast<int>(scene.height()));
+  scene.ReplayAll(canvas);
+  if (Status png = render::WritePngFile(canvas, base + ".png"); !png.ok()) {
+    std::fprintf(stderr, "  (png artifact failed: %s)\n", png.ToString().c_str());
+  } else {
+    std::printf("  artifact: %s.png\n", base.c_str());
+  }
+}
+
+// Builds + rasterizes `c` at 1 and 8 worker threads and checks both CRCs
+// against the golden (or rewrites the golden when `update` is set).
+// Returns false on any disagreement or build failure.
+bool RunCase(const GoldenCase& c, bool update) {
+  SetParallelThreadCount(1);
+  Scene serial = c.build();
+  if (serial == nullptr) {
+    std::printf("FAIL  %s: scene construction failed (1 thread)\n", c.name);
+    return false;
+  }
+  uint32_t crc1 = SceneCrc(*serial);
+
+  SetParallelThreadCount(8);
+  Scene threaded = c.build();
+  uint32_t crc8 = threaded == nullptr ? ~crc1 : SceneCrc(*threaded);
+  SetParallelThreadCount(1);
+  if (crc8 != crc1) {
+    std::printf("FAIL  %s: thread-count dependent raster (1T=%08x, 8T=%08x)\n", c.name,
+                crc1, crc8);
+    WriteDiffArtifacts(c.name, crc1, crc8, *serial);
+    return false;
+  }
+
+  if (update) {
+    if (!WriteGolden(c.name, crc1)) {
+      std::printf("FAIL  %s: cannot write %s\n", c.name, GoldenPath(c.name).c_str());
+      return false;
+    }
+    std::printf("WROTE %s = %08x\n", c.name, crc1);
+    return true;
+  }
+
+  uint32_t expected = 0;
+  if (!ReadGolden(c.name, &expected)) {
+    std::printf("FAIL  %s: missing golden %s (run with --update-golden)\n", c.name,
+                GoldenPath(c.name).c_str());
+    return false;
+  }
+  if (crc1 != expected) {
+    std::printf("FAIL  %s: crc %08x != golden %08x\n", c.name, crc1, expected);
+    WriteDiffArtifacts(c.name, expected, crc1, *serial);
+    return false;
+  }
+  std::printf("ok    %s = %08x (1 and 8 threads)\n", c.name, crc1);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool update = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-golden") == 0) {
+      update = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--update-golden]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const GoldenCase cases[] = {
+      {"fig1_balancing", BuildFig1},  {"fig2_anatomy", BuildFig2},
+      {"fig3_map", BuildFig3},        {"fig4_schematic", BuildFig4},
+      {"fig5_pivot", BuildFig5},      {"fig6_dashboard", BuildFig6},
+      {"fig7_loading", BuildFig7},    {"fig8_basic_view", BuildFig8},
+      {"fig9_profile_view", BuildFig9},
+      {"fig10_hover", BuildFig10},    {"fig11_aggregation", BuildFig11},
+  };
+
+  int failures = 0;
+  for (const GoldenCase& c : cases) {
+    if (!RunCase(c, update)) ++failures;
+  }
+  if (failures > 0) {
+    std::printf("%d/%zu golden figures disagree\n", failures, std::size(cases));
+    return 1;
+  }
+  return 0;
+}

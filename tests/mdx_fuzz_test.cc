@@ -1,0 +1,180 @@
+// Seeded fuzz tests for the MDX front-end (olap/mdx): random mutations of
+// valid queries — byte edits, token shuffles, and random token soup — are
+// thrown at ParseMdx against a real cube. The contract under test: parsing
+// never crashes or hangs, rejection always carries an error Status, and any
+// query that *does* parse must also evaluate without crashing (evaluation
+// may still return a typed error, e.g. for an empty axis set).
+//
+// Case counts default to a CI-smoke budget and scale with the
+// FLEXVIS_FUZZ_CASES environment variable.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "olap/cube.h"
+#include "olap/mdx.h"
+#include "util/rng.h"
+
+namespace flexvis {
+namespace {
+
+using core::FlexOffer;
+using core::FlexOfferState;
+using core::ProfileSlice;
+using timeutil::kMinutesPerSlice;
+using timeutil::TimePoint;
+
+size_t FuzzCases() {
+  const char* env = std::getenv("FLEXVIS_FUZZ_CASES");
+  if (env == nullptr || *env == '\0') return 10000;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0) return 10000;
+  return static_cast<size_t>(v);
+}
+
+TimePoint T0() { return TimePoint::FromCalendarOrDie(2013, 1, 15, 0, 0); }
+
+FlexOffer MakeOffer(core::FlexOfferId id, FlexOfferState state,
+                    core::ProsumerType prosumer_type, core::RegionId region,
+                    int64_t est_slices) {
+  FlexOffer o;
+  o.id = id;
+  o.prosumer = id;
+  o.state = state;
+  o.prosumer_type = prosumer_type;
+  o.region = region;
+  o.earliest_start = T0() + est_slices * kMinutesPerSlice;
+  o.latest_start = o.earliest_start + 4 * kMinutesPerSlice;
+  o.creation_time = o.earliest_start - 600;
+  o.acceptance_deadline = o.creation_time + 60;
+  o.assignment_deadline = o.creation_time + 120;
+  o.profile = {ProfileSlice{2, 1.0, 2.0}};
+  return o;
+}
+
+class MdxFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.RegisterRegion(
+        dw::RegionInfo{1, "Denmark", core::kInvalidRegionId, "country"}).ok());
+    ASSERT_TRUE(db_.RegisterRegion(dw::RegionInfo{10, "West Denmark", 1, "region"}).ok());
+    ASSERT_TRUE(db_.RegisterRegion(dw::RegionInfo{100, "Aalborg", 10, "city"}).ok());
+    std::vector<FlexOffer> offers;
+    for (int i = 0; i < 16; ++i) {
+      offers.push_back(MakeOffer(
+          i + 1,
+          static_cast<FlexOfferState>(i % 4),
+          i % 3 == 0 ? core::ProsumerType::kSmallPowerPlant : core::ProsumerType::kHousehold,
+          100, i * 4));
+    }
+    ASSERT_TRUE(db_.LoadFlexOffers(offers).ok());
+    cube_ = std::make_unique<olap::Cube>(&db_);
+    ASSERT_TRUE(cube_->AddStandardDimensions().ok());
+  }
+
+  // ParseMdx must return ok-or-error; when it returns ok, Evaluate must do
+  // the same. Any crash/hang/sanitizer report is the bug.
+  void Exercise(const std::string& query) {
+    Result<olap::CubeQuery> parsed = olap::ParseMdx(query, *cube_);
+    if (!parsed.ok()) {
+      EXPECT_FALSE(parsed.status().message().empty()) << "query: " << query;
+      return;
+    }
+    Result<olap::PivotResult> pivot = cube_->Evaluate(*parsed);
+    if (!pivot.ok()) {
+      EXPECT_FALSE(pivot.status().message().empty()) << "query: " << query;
+    }
+  }
+
+  dw::Database db_;
+  std::unique_ptr<olap::Cube> cube_;
+};
+
+const char* const kValidQueries[] = {
+    "SELECT { Measures.ScheduledEnergy } ON COLUMNS, { Prosumer.Type.Members } ON ROWS "
+    "FROM [FlexOffers]",
+    "SELECT { Measures.Count } ON COLUMNS, { Geography.Members } ON ROWS "
+    "FROM [FlexOffers]",
+    "SELECT { Measures.Count } ON COLUMNS FROM [FlexOffers]",
+};
+
+TEST_F(MdxFuzzTest, ValidQueriesStillParse) {
+  for (const char* q : kValidQueries) {
+    Result<olap::CubeQuery> parsed = olap::ParseMdx(q, *cube_);
+    EXPECT_TRUE(parsed.ok()) << q << ": " << parsed.status().ToString();
+  }
+}
+
+TEST_F(MdxFuzzTest, ByteMutationsNeverCrash) {
+  Rng rng(0x3D5EED);
+  const size_t cases = FuzzCases() / 2;
+  size_t parsed_ok = 0;
+  for (size_t i = 0; i < cases; ++i) {
+    std::string mutant = kValidQueries[rng.UniformInt(0, std::size(kValidQueries) - 1)];
+    int edits = static_cast<int>(rng.UniformInt(1, 5));
+    for (int e = 0; e < edits; ++e) {
+      if (mutant.empty()) break;
+      size_t pos = static_cast<size_t>(rng.UniformInt(0, mutant.size() - 1));
+      switch (rng.UniformInt(0, 3)) {
+        case 0:
+          mutant[pos] = static_cast<char>(rng.UniformInt(32, 126));
+          break;
+        case 1:
+          mutant.insert(pos, 1, "{}[].,()"[rng.UniformInt(0, 7)]);
+          break;
+        case 2:
+          mutant.erase(pos, 1);
+          break;
+        case 3:
+          mutant.resize(pos);
+          break;
+      }
+    }
+    Result<olap::CubeQuery> parsed = olap::ParseMdx(mutant, *cube_);
+    if (parsed.ok()) ++parsed_ok;
+    Exercise(mutant);
+  }
+  // Mutated grammars should not all survive; an all-accepting parser means
+  // the mutations missed everything it validates.
+  EXPECT_LT(parsed_ok, cases);
+}
+
+// Random token soup from the MDX vocabulary: hits parser states byte
+// mutations rarely reach (keyword repetition, unbalanced braces at depth,
+// dotted paths of valid member names in invalid positions).
+TEST_F(MdxFuzzTest, TokenSoupNeverCrashes) {
+  static const char* const kTokens[] = {
+      "SELECT", "ON", "COLUMNS", "ROWS", "FROM", "[FlexOffers]", "WHERE",
+      "{", "}", ",", ".", "Measures", "ScheduledEnergy", "Count",
+      "Prosumer", "Type", "Members", "Geography", "Children", "(", ")", "State",
+  };
+  Rng rng(0x70CE2);
+  const size_t cases = FuzzCases() / 2;
+  for (size_t i = 0; i < cases; ++i) {
+    std::string soup;
+    int tokens = static_cast<int>(rng.UniformInt(1, 24));
+    for (int t = 0; t < tokens; ++t) {
+      soup += kTokens[rng.UniformInt(0, std::size(kTokens) - 1)];
+      soup += rng.UniformInt(0, 4) == 0 ? "" : " ";
+    }
+    Exercise(soup);
+  }
+}
+
+TEST_F(MdxFuzzTest, DegenerateInputsRejectCleanly) {
+  const char* const kDegenerate[] = {
+      "", " ", "SELECT", "SELECT FROM", "FROM [FlexOffers]",
+      "SELECT {{{{{{{{ } ON COLUMNS FROM [FlexOffers]",
+      "SELECT { Measures.Nope } ON COLUMNS FROM [FlexOffers]",
+      "SELECT { Measures.Count } ON COLUMNS FROM [NoSuchCube]",
+      "\"unterminated",
+  };
+  for (const char* q : kDegenerate) Exercise(q);
+}
+
+}  // namespace
+}  // namespace flexvis

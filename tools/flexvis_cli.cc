@@ -332,6 +332,10 @@ int CmdStats(const Args& args) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  if (Status faults = sim::InstallFaultsFromEnv(); !faults.ok()) {
+    std::fprintf(stderr, "%s\n", faults.ToString().c_str());
+    return 1;
+  }
   std::string command = argv[1];
   Args args = ParseArgs(argc, argv, 2);
   if (command == "generate") return CmdGenerate(args);
