@@ -1,0 +1,223 @@
+// Recovery-path microbenchmarks (EXPERIMENTS.md Q7): what crash consistency
+// costs and how fast a crashed run comes back. The custom main writes
+// bench_out/BENCH_recovery.json with snapshot save/load throughput, journal
+// append rates (fsync-per-record vs buffered), journal replay rate, and
+// ResumeOnline wall time against the number of journaled ticks — each at 1
+// and 8 worker threads, since recovery shares the process with the parallel
+// render/aggregation pools.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "dw/persistence.h"
+#include "sim/checkpoint.h"
+#include "sim/online.h"
+#include "util/journal.h"
+#include "util/parallel.h"
+#include "util/strings.h"
+
+using namespace flexvis;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string BenchDir(const std::string& name) {
+  fs::path dir = fs::temp_directory_path() / "flexvis_bench_recovery" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string SampleRecord() {
+  // Roughly the size and shape of a real journaled tick record.
+  return std::string(
+      R"({"tick":7,"changes":[{"offer":1201,"state":2,"start_min":22606560,)"
+      R"("kwh":[1.25,0.5,2.0]}],"sent":["..."],"received":64,"accepted":20,)"
+      R"("rejected":4,"assigned":16,"next_arrival":64,"pend_acc":[7,9]})");
+}
+
+// ---- google-benchmark timings (not run by the CI smoke filter) ----------------------
+
+void BM_JournalAppendDurable(benchmark::State& state) {
+  const std::string path = BenchDir("bm_append") + "/j.wal";
+  Result<JournalWriter> writer = JournalWriter::Open(path);
+  if (!writer.ok()) {
+    state.SkipWithError(writer.status().ToString().c_str());
+    return;
+  }
+  const std::string record = SampleRecord();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(writer->Append(record));
+    benchmark::DoNotOptimize(writer->Flush());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(record.size()));
+}
+BENCHMARK(BM_JournalAppendDurable);
+
+void BM_JournalReplay(benchmark::State& state) {
+  const std::string path = BenchDir("bm_replay") + "/j.wal";
+  {
+    Result<JournalWriter> writer = JournalWriter::Open(path);
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      if (!writer->Append(SampleRecord()).ok()) {
+        state.SkipWithError("append failed");
+        return;
+      }
+    }
+    (void)writer->Close();
+  }
+  for (auto _ : state) {
+    Result<JournalReplay> replay = ReplayJournal(path);
+    benchmark::DoNotOptimize(replay);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_JournalReplay)->Arg(1000)->Arg(10000);
+
+// ---- The JSON report the CI gate archives -------------------------------------------
+
+bool WriteRecoveryReport() {
+  bench::BenchReport report("recovery");
+  bool ok = true;
+
+  // Snapshot save/load throughput over a realistic warehouse.
+  bench::WorldOptions world_options;
+  world_options.num_prosumers =
+      static_cast<int>(bench::EnvSize("FLEXVIS_BENCH_RECOVERY_PROSUMERS", 150));
+  std::unique_ptr<bench::World> world = bench::BuildWorld(world_options);
+  const double db_offers = static_cast<double>(world->db.NumFlexOffers());
+
+  // Journal workload: enough records that per-record overheads dominate.
+  const size_t journal_records = bench::EnvSize("FLEXVIS_BENCH_JOURNAL_RECORDS", 2000);
+  const std::string record = SampleRecord();
+
+  // Resume workload: the same window at two tick cadences, so the report
+  // shows recovery wall-time as a function of journal length.
+  std::vector<core::FlexOffer> offers =
+      bench::MakeRandomOffers(31, bench::EnvSize("FLEXVIS_BENCH_RECOVERY_OFFERS", 1000));
+  timeutil::TimeInterval window(bench::BenchDay(),
+                                bench::BenchDay() + 2 * timeutil::kMinutesPerDay);
+  const int64_t cadences[] = {120, 15};  // 24 and 192 ticks over two days
+
+  for (int threads : {1, 8}) {
+    SetParallelThreadCount(threads);
+    const std::string suffix = StrFormat("_%dt", threads);
+
+    // Snapshot save + load (manifest verification included in the load).
+    const std::string snap_dir = BenchDir(StrFormat("snapshot%s", suffix.c_str()));
+    double save_s = bench::MeasureSeconds([&] {
+      if (!dw::SaveDatabase(world->db, snap_dir).ok()) ok = false;
+    });
+    report.AddSample("snapshot_save" + suffix, save_s, threads, db_offers);
+    double load_s = bench::MeasureSeconds([&] {
+      Result<dw::Database> restored = dw::LoadDatabase(snap_dir);
+      if (!restored.ok()) ok = false;
+      benchmark::DoNotOptimize(restored);
+    });
+    report.AddSample("snapshot_load" + suffix, load_s, threads, db_offers);
+
+    // Journal append, durable (flush+fsync per record) and buffered.
+    const std::string journal_dir = BenchDir(StrFormat("journal%s", suffix.c_str()));
+    double durable_s = bench::MeasureSeconds(
+        [&] {
+          const std::string path = journal_dir + "/durable.wal";
+          fs::remove(path);
+          Result<JournalWriter> writer = JournalWriter::Open(path);
+          for (size_t i = 0; writer.ok() && i < journal_records; ++i) {
+            if (!writer->Append(record).ok() || !writer->Flush().ok()) ok = false;
+          }
+        },
+        1);
+    report.AddSample("journal_append_fsync" + suffix, durable_s, threads,
+                     static_cast<double>(journal_records));
+    double buffered_s = bench::MeasureSeconds([&] {
+      const std::string path = journal_dir + "/buffered.wal";
+      fs::remove(path);
+      Result<JournalWriter> writer = JournalWriter::Open(path);
+      for (size_t i = 0; writer.ok() && i < journal_records; ++i) {
+        if (!writer->Append(record).ok()) ok = false;
+      }
+      if (writer.ok() && !writer->Close().ok()) ok = false;
+    });
+    report.AddSample("journal_append_buffered" + suffix, buffered_s, threads,
+                     static_cast<double>(journal_records));
+
+    // Journal replay (reads the buffered file written above).
+    double replay_s = bench::MeasureSeconds([&] {
+      Result<JournalReplay> replay = ReplayJournal(journal_dir + "/buffered.wal");
+      if (!replay.ok() || replay->records.size() != journal_records) ok = false;
+      benchmark::DoNotOptimize(replay);
+    });
+    report.AddSample("journal_replay" + suffix, replay_s, threads,
+                     static_cast<double>(journal_records));
+    if (replay_s > 0.0) {
+      report.SetCounter("journal_replay_records_per_sec" + suffix,
+                        static_cast<double>(journal_records) / replay_s);
+    }
+
+    // Recovery wall time vs journaled ticks: run once checkpointed, then
+    // time ResumeOnline over the completed journal (replay of every tick;
+    // zero live ticks) and check it reproduces the original byte for byte.
+    for (int64_t tick_minutes : cadences) {
+      sim::OnlineParams params;
+      params.tick_minutes = tick_minutes;
+      const std::string dir =
+          BenchDir(StrFormat("resume_%lldm%s", static_cast<long long>(tick_minutes),
+                             suffix.c_str()));
+      Result<sim::OnlineReport> baseline =
+          sim::RunOnlineCheckpointed(params, offers, window, dir);
+      if (!baseline.ok()) {
+        std::fprintf(stderr, "FAIL: checkpointed run errored: %s\n",
+                     baseline.status().ToString().c_str());
+        return false;
+      }
+      const std::string label =
+          StrFormat("resume_%dticks%s", baseline->ticks, suffix.c_str());
+      sim::ResumeInfo info;
+      Result<sim::OnlineReport> resumed = sim::ResumeOnline(dir, &info);
+      if (!resumed.ok() || info.ticks_replayed != baseline->ticks ||
+          info.ticks_continued != 0 || resumed->outbox != baseline->outbox ||
+          resumed->imbalance_kwh != baseline->imbalance_kwh) {
+        std::fprintf(stderr, "FAIL: resume diverged from the checkpointed run (%s)\n",
+                     label.c_str());
+        ok = false;
+      }
+      double resume_s = bench::MeasureSeconds([&] {
+        Result<sim::OnlineReport> timed = sim::ResumeOnline(dir);
+        if (!timed.ok()) ok = false;
+        benchmark::DoNotOptimize(timed);
+      });
+      report.AddSample(label, resume_s, threads, static_cast<double>(baseline->ticks));
+      if (resume_s > 0.0) {
+        report.SetCounter(label + "_ticks_per_sec",
+                          static_cast<double>(baseline->ticks) / resume_s);
+      }
+    }
+  }
+  SetParallelThreadCount(1);
+  report.SetCounter("resume_matches_baseline", ok ? 1.0 : 0.0);
+
+  if (Status status = report.Write(); !status.ok()) {
+    std::fprintf(stderr, "report failed: %s\n", status.ToString().c_str());
+    return false;
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!WriteRecoveryReport()) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

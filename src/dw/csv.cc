@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "util/fault.h"
+#include "util/fileio.h"
 #include "util/retry.h"
 #include "util/strings.h"
 
@@ -199,18 +200,11 @@ Result<Table> TableFromCsv(std::string table_name, const std::vector<ColumnSpec>
 Status WriteCsvFile(const Table& table, const std::string& path) {
   // The write is idempotent (same bytes, same destination), so a transient
   // injected failure retries the whole operation under the default policy.
+  // WriteFileAtomic detects short writes and stream failures (a full disk
+  // surfaces as a typed error, never a silently truncated CSV) and stages
+  // through a temp path so the destination is never half-written.
   return RetryFaultPoint("dw.csv.write", DefaultRetryPolicy(), [&]() -> Status {
-    std::FILE* f = std::fopen(path.c_str(), "wb");
-    if (f == nullptr) {
-      return InternalError(StrFormat("cannot open '%s' for writing", path.c_str()));
-    }
-    std::string data = TableToCsv(table);
-    size_t written = std::fwrite(data.data(), 1, data.size(), f);
-    std::fclose(f);
-    if (written != data.size()) {
-      return InternalError(StrFormat("short write to '%s'", path.c_str()));
-    }
-    return OkStatus();
+    return WriteFileAtomic(path, TableToCsv(table));
   });
 }
 

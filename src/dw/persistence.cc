@@ -2,10 +2,12 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <set>
 
 #include "core/messages.h"
 #include "dw/csv.h"
 #include "util/fault.h"
+#include "util/fileio.h"
 #include "util/retry.h"
 #include "util/strings.h"
 
@@ -20,33 +22,19 @@ constexpr const char* kOffersFile = "flexoffers.jsonl";
 
 Status WriteTextFile(const std::string& path, const std::string& data) {
   // Overwriting the same bytes is idempotent; retry transient faults.
-  return RetryFaultPoint("dw.persistence.save", DefaultRetryPolicy(), [&]() -> Status {
-    std::FILE* f = std::fopen(path.c_str(), "wb");
-    if (f == nullptr) {
-      return InternalError(StrFormat("cannot open '%s' for writing", path.c_str()));
-    }
-    size_t written = std::fwrite(data.data(), 1, data.size(), f);
-    std::fclose(f);
-    if (written != data.size()) {
-      return InternalError(StrFormat("short write to '%s'", path.c_str()));
-    }
-    return OkStatus();
-  });
+  // WriteFileAtomic checks for short writes and stream failure on close, so
+  // a full disk surfaces as a typed error, never a silently truncated file.
+  return RetryFaultPoint("dw.persistence.save", DefaultRetryPolicy(),
+                         [&]() -> Status { return WriteFileAtomic(path, data); });
 }
 
 Result<std::string> ReadTextFile(const std::string& path) {
   std::string data;
   Status read =
       RetryFaultPoint("dw.persistence.load", DefaultRetryPolicy(), [&]() -> Status {
-        std::FILE* f = std::fopen(path.c_str(), "rb");
-        if (f == nullptr) {
-          return NotFoundError(StrFormat("cannot open '%s' for reading", path.c_str()));
-        }
-        data.clear();
-        char buffer[8192];
-        size_t n;
-        while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) data.append(buffer, n);
-        std::fclose(f);
+        Result<std::string> content = ReadFileToString(path);
+        if (!content.ok()) return content.status();
+        data = *std::move(content);
         return OkStatus();
       });
   if (!read.ok()) return read;
@@ -63,9 +51,12 @@ Status SaveDatabase(const Database& db, const std::string& directory) {
                                    ec.message().c_str()));
   }
   const std::filesystem::path dir(directory);
-  FLEXVIS_RETURN_IF_ERROR(WriteCsvFile(db.dim_prosumer(), (dir / kProsumerFile).string()));
-  FLEXVIS_RETURN_IF_ERROR(WriteCsvFile(db.dim_region(), (dir / kRegionFile).string()));
-  FLEXVIS_RETURN_IF_ERROR(WriteCsvFile(db.dim_grid_node(), (dir / kGridFile).string()));
+  FLEXVIS_RETURN_IF_ERROR(
+      WriteTextFile((dir / kProsumerFile).string(), TableToCsv(db.dim_prosumer())));
+  FLEXVIS_RETURN_IF_ERROR(
+      WriteTextFile((dir / kRegionFile).string(), TableToCsv(db.dim_region())));
+  FLEXVIS_RETURN_IF_ERROR(
+      WriteTextFile((dir / kGridFile).string(), TableToCsv(db.dim_grid_node())));
 
   // Offers as JSON Lines in id order. Aggregates must come after their
   // members? Loading re-validates but membership is stored on the aggregate,
@@ -77,10 +68,21 @@ Status SaveDatabase(const Database& db, const std::string& directory) {
     lines += core::EncodeFlexOffer(offer);
     lines += '\n';
   }
-  return WriteTextFile((dir / kOffersFile).string(), lines);
+  FLEXVIS_RETURN_IF_ERROR(WriteTextFile((dir / kOffersFile).string(), lines));
+
+  // The manifest goes last: its atomic rename is the commit point of the
+  // snapshot. A crash anywhere above leaves the previous manifest (or none),
+  // so LoadDatabase never trusts a half-written file set.
+  return WriteManifest(directory, kSnapshotManifest,
+                       {kProsumerFile, kRegionFile, kGridFile, kOffersFile});
 }
 
 Result<Database> LoadDatabase(const std::string& directory) {
+  // Integrity first: refuse to parse anything until every covered byte
+  // matches the manifest, so a torn save or bit rot yields kDataLoss rather
+  // than a plausible-but-wrong Database.
+  FLEXVIS_RETURN_IF_ERROR(VerifyManifest(directory, kSnapshotManifest));
+
   const std::filesystem::path dir(directory);
   Database db;
 
@@ -125,17 +127,28 @@ Result<Database> LoadDatabase(const std::string& directory) {
   Result<std::string> lines = ReadTextFile((dir / kOffersFile).string());
   if (!lines.ok()) return lines.status();
   std::vector<core::FlexOffer> offers;
+  std::set<core::FlexOfferId> seen_ids;
   size_t start = 0;
+  size_t line_number = 0;
   while (start < lines->size()) {
     size_t end = lines->find('\n', start);
     if (end == std::string::npos) end = lines->size();
     std::string_view line(lines->data() + start, end - start);
+    ++line_number;
     if (!StripWhitespace(line).empty()) {
       Result<core::FlexOffer> offer = core::DecodeFlexOffer(line);
       if (!offer.ok()) {
         return InvalidArgumentError(
             StrFormat("%s: bad offer record near byte %zu: %s", kOffersFile, start,
                       offer.status().message().c_str()));
+      }
+      // A duplicated id means two lines claim the same offer; silently
+      // letting the last line win would hide whichever state the first
+      // carried. Name the id and the line so the operator can diff the file.
+      if (!seen_ids.insert(offer->id).second) {
+        return InvalidArgumentError(
+            StrFormat("%s: duplicate flex-offer id %lld at line %zu", kOffersFile,
+                      static_cast<long long>(offer->id), line_number));
       }
       offers.push_back(*std::move(offer));
     }

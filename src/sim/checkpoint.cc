@@ -1,0 +1,356 @@
+#include "sim/checkpoint.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "core/messages.h"
+#include "util/fileio.h"
+#include "util/journal.h"
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace flexvis::sim {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+JsonValue IdArray(const std::vector<core::FlexOfferId>& ids) {
+  JsonValue out = JsonValue::Array();
+  for (core::FlexOfferId id : ids) out.Append(JsonValue::Int(id));
+  return out;
+}
+
+Status ReadIdArray(const JsonValue& parent, std::string_view key,
+                   std::vector<core::FlexOfferId>* out) {
+  const JsonValue& array = parent.Get(key);
+  if (!array.is_array()) {
+    return DataLossError(StrFormat("tick record field '%.*s' is not an array",
+                                   static_cast<int>(key.size()), key.data()));
+  }
+  out->clear();
+  for (size_t i = 0; i < array.size(); ++i) {
+    if (!array[i].is_int()) {
+      return DataLossError(StrFormat("tick record field '%.*s' holds a non-integer id",
+                                     static_cast<int>(key.size()), key.data()));
+    }
+    out->push_back(array[i].AsInt());
+  }
+  return OkStatus();
+}
+
+/// meta.json <-> (window, params). Every field the loop's decisions depend
+/// on must round-trip exactly; doubles serialize as %.17g so they do.
+std::string EncodeMeta(const OnlineParams& params, const timeutil::TimeInterval& window) {
+  JsonValue meta = JsonValue::Object();
+  meta.Set("schema_version", JsonValue::Int(1));
+  meta.Set("window_start_min", JsonValue::Int(window.start.minutes()));
+  meta.Set("window_end_min", JsonValue::Int(window.end.minutes()));
+  meta.Set("tick_minutes", JsonValue::Int(params.tick_minutes));
+  meta.Set("rejection_threshold", JsonValue::Double(params.scheduler.rejection_threshold));
+  meta.Set("scheduler_order", JsonValue::Int(static_cast<int64_t>(params.scheduler.order)));
+  meta.Set("energy_seed", JsonValue::Int(static_cast<int64_t>(params.energy.seed)));
+  meta.Set("wind_mean_kwh", JsonValue::Double(params.energy.wind_mean_kwh));
+  meta.Set("solar_peak_kwh", JsonValue::Double(params.energy.solar_peak_kwh));
+  meta.Set("demand_base_kwh", JsonValue::Double(params.energy.demand_base_kwh));
+  meta.Set("energy_noise", JsonValue::Double(params.energy.noise));
+  return meta.Dump();
+}
+
+Status DecodeMeta(std::string_view text, OnlineParams* params,
+                  timeutil::TimeInterval* window) {
+  Result<JsonValue> parsed = JsonValue::Parse(text);
+  if (!parsed.ok() || !parsed->is_object()) {
+    return DataLossError("checkpoint meta.json is unparsable");
+  }
+  const JsonValue& meta = *parsed;
+  Result<int64_t> start = meta.GetInt("window_start_min");
+  Result<int64_t> end = meta.GetInt("window_end_min");
+  Result<int64_t> tick = meta.GetInt("tick_minutes");
+  Result<double> threshold = meta.GetDouble("rejection_threshold");
+  Result<int64_t> order = meta.GetInt("scheduler_order");
+  Result<int64_t> seed = meta.GetInt("energy_seed");
+  Result<double> wind = meta.GetDouble("wind_mean_kwh");
+  Result<double> solar = meta.GetDouble("solar_peak_kwh");
+  Result<double> demand = meta.GetDouble("demand_base_kwh");
+  Result<double> noise = meta.GetDouble("energy_noise");
+  for (const Status* status :
+       {&start.status(), &end.status(), &tick.status(), &threshold.status(),
+        &order.status(), &seed.status(), &wind.status(), &solar.status(),
+        &demand.status(), &noise.status()}) {
+    if (!status->ok()) {
+      return DataLossError(StrFormat("checkpoint meta.json is incomplete: %s",
+                                     status->message().c_str()));
+    }
+  }
+  *window = timeutil::TimeInterval(timeutil::TimePoint::FromMinutes(*start),
+                                   timeutil::TimePoint::FromMinutes(*end));
+  params->tick_minutes = *tick;
+  params->scheduler.rejection_threshold = *threshold;
+  params->scheduler.order = static_cast<core::SchedulerParams::Order>(*order);
+  params->energy.seed = static_cast<uint64_t>(*seed);
+  params->energy.wind_mean_kwh = *wind;
+  params->energy.solar_peak_kwh = *solar;
+  params->energy.demand_base_kwh = *demand;
+  params->energy.noise = *noise;
+  return OkStatus();
+}
+
+std::string EncodeOffers(const std::vector<core::FlexOffer>& offers) {
+  // Input order preserved: the report's offers vector mirrors it, and
+  // byte-identical recovery depends on the exact order coming back.
+  std::string lines;
+  for (const core::FlexOffer& offer : offers) {
+    lines += core::EncodeFlexOffer(offer);
+    lines += '\n';
+  }
+  return lines;
+}
+
+Status DecodeOffers(std::string_view lines, std::vector<core::FlexOffer>* offers) {
+  offers->clear();
+  size_t start = 0;
+  while (start < lines.size()) {
+    size_t end = lines.find('\n', start);
+    if (end == std::string_view::npos) end = lines.size();
+    std::string_view line = lines.substr(start, end - start);
+    if (!StripWhitespace(line).empty()) {
+      Result<core::FlexOffer> offer = core::DecodeFlexOffer(line);
+      if (!offer.ok()) {
+        return DataLossError(StrFormat("checkpoint offers.jsonl: bad record near byte %zu: %s",
+                                       start, offer.status().message().c_str()));
+      }
+      offers->push_back(*std::move(offer));
+    }
+    start = end + 1;
+  }
+  return OkStatus();
+}
+
+/// Writes the immutable snapshot (meta + offers + manifest) under `dir`.
+/// The manifest lands last: its rename is the snapshot's commit point.
+Status WriteSnapshot(const fs::path& dir, const OnlineParams& params,
+                     const std::vector<core::FlexOffer>& offers,
+                     const timeutil::TimeInterval& window) {
+  FLEXVIS_RETURN_IF_ERROR(
+      WriteFileAtomic((dir / kCheckpointMetaFile).string(), EncodeMeta(params, window)));
+  FLEXVIS_RETURN_IF_ERROR(
+      WriteFileAtomic((dir / kCheckpointOffersFile).string(), EncodeOffers(offers)));
+  return WriteManifest(dir.string(), kCheckpointManifestFile,
+                       {kCheckpointMetaFile, kCheckpointOffersFile});
+}
+
+/// Executes the remaining ticks live, journaling each one (append + flush
+/// before the next tick starts: the flush is the durability point).
+Result<OnlineReport> ContinueJournaled(const OnlineEnterprise& enterprise,
+                                       OnlineLoopState state, const fs::path& journal_path,
+                                       int* ticks_continued) {
+  Result<JournalWriter> writer = JournalWriter::Open(journal_path.string());
+  if (!writer.ok()) return writer.status();
+  while (!enterprise.Done(state)) {
+    OnlineTickRecord record;
+    enterprise.Tick(state, &record);
+    FLEXVIS_RETURN_IF_ERROR(writer->Append(EncodeTickRecord(record)));
+    FLEXVIS_RETURN_IF_ERROR(writer->Flush());
+    if (ticks_continued != nullptr) ++*ticks_continued;
+  }
+  FLEXVIS_RETURN_IF_ERROR(writer->Close());
+  return enterprise.Finish(std::move(state));
+}
+
+}  // namespace
+
+std::string EncodeTickRecord(const OnlineTickRecord& record) {
+  JsonValue json = JsonValue::Object();
+  json.Set("tick", JsonValue::Int(record.tick));
+  JsonValue changes = JsonValue::Array();
+  for (const OnlineStateChange& change : record.changes) {
+    JsonValue c = JsonValue::Object();
+    c.Set("offer", JsonValue::Int(change.offer));
+    c.Set("state", JsonValue::Int(static_cast<int64_t>(change.state)));
+    if (change.schedule.has_value()) {
+      c.Set("start_min", JsonValue::Int(change.schedule->start.minutes()));
+      JsonValue kwh = JsonValue::Array();
+      for (double e : change.schedule->energy_kwh) kwh.Append(JsonValue::Double(e));
+      c.Set("kwh", std::move(kwh));
+    }
+    changes.Append(std::move(c));
+  }
+  json.Set("changes", std::move(changes));
+  JsonValue sent = JsonValue::Array();
+  for (const std::string& wire : record.sent) sent.Append(JsonValue::Str(wire));
+  json.Set("sent", std::move(sent));
+  json.Set("received", JsonValue::Int(record.offers_received));
+  json.Set("accepted", JsonValue::Int(record.accepted));
+  json.Set("rejected", JsonValue::Int(record.rejected));
+  json.Set("assigned", JsonValue::Int(record.assigned));
+  json.Set("missed_acc", JsonValue::Int(record.missed_acceptance));
+  json.Set("missed_asn", JsonValue::Int(record.missed_assignment));
+  json.Set("dropped", JsonValue::Int(record.dropped_ingest));
+  json.Set("failed_sends", JsonValue::Int(record.failed_sends));
+  json.Set("next_arrival", JsonValue::Int(record.next_arrival));
+  json.Set("pend_acc", IdArray(record.pending_acceptance));
+  json.Set("pend_asn", IdArray(record.pending_assignment));
+  return json.Dump();
+}
+
+Result<OnlineTickRecord> DecodeTickRecord(std::string_view text) {
+  Result<JsonValue> parsed = JsonValue::Parse(text);
+  if (!parsed.ok() || !parsed->is_object()) {
+    return DataLossError("journal record is not a JSON object");
+  }
+  const JsonValue& json = *parsed;
+  OnlineTickRecord record;
+  Result<int64_t> tick = json.GetInt("tick");
+  Result<int64_t> received = json.GetInt("received");
+  Result<int64_t> accepted = json.GetInt("accepted");
+  Result<int64_t> rejected = json.GetInt("rejected");
+  Result<int64_t> assigned = json.GetInt("assigned");
+  Result<int64_t> missed_acc = json.GetInt("missed_acc");
+  Result<int64_t> missed_asn = json.GetInt("missed_asn");
+  Result<int64_t> dropped = json.GetInt("dropped");
+  Result<int64_t> failed_sends = json.GetInt("failed_sends");
+  Result<int64_t> next_arrival = json.GetInt("next_arrival");
+  for (const Status* status :
+       {&tick.status(), &received.status(), &accepted.status(), &rejected.status(),
+        &assigned.status(), &missed_acc.status(), &missed_asn.status(), &dropped.status(),
+        &failed_sends.status(), &next_arrival.status()}) {
+    if (!status->ok()) {
+      return DataLossError(
+          StrFormat("journal record is incomplete: %s", status->message().c_str()));
+    }
+  }
+  record.tick = static_cast<int>(*tick);
+  record.offers_received = static_cast<int>(*received);
+  record.accepted = static_cast<int>(*accepted);
+  record.rejected = static_cast<int>(*rejected);
+  record.assigned = static_cast<int>(*assigned);
+  record.missed_acceptance = static_cast<int>(*missed_acc);
+  record.missed_assignment = static_cast<int>(*missed_asn);
+  record.dropped_ingest = static_cast<int>(*dropped);
+  record.failed_sends = static_cast<int>(*failed_sends);
+  record.next_arrival = *next_arrival;
+
+  const JsonValue& changes = json.Get("changes");
+  if (!changes.is_array()) return DataLossError("journal record lacks a 'changes' array");
+  for (size_t i = 0; i < changes.size(); ++i) {
+    const JsonValue& c = changes[i];
+    Result<int64_t> offer = c.GetInt("offer");
+    Result<int64_t> state = c.GetInt("state");
+    if (!offer.ok() || !state.ok()) {
+      return DataLossError(StrFormat("journal record change %zu is malformed", i));
+    }
+    OnlineStateChange change;
+    change.offer = *offer;
+    change.state = static_cast<core::FlexOfferState>(*state);
+    if (c.Has("start_min")) {
+      Result<int64_t> start = c.GetInt("start_min");
+      const JsonValue& kwh = c.Get("kwh");
+      if (!start.ok() || !kwh.is_array()) {
+        return DataLossError(StrFormat("journal record change %zu has a bad schedule", i));
+      }
+      core::Schedule schedule;
+      schedule.start = timeutil::TimePoint::FromMinutes(*start);
+      for (size_t k = 0; k < kwh.size(); ++k) {
+        if (!kwh[k].is_number()) {
+          return DataLossError(StrFormat("journal record change %zu has a bad schedule", i));
+        }
+        schedule.energy_kwh.push_back(kwh[k].AsDouble());
+      }
+      change.schedule = std::move(schedule);
+    }
+    record.changes.push_back(std::move(change));
+  }
+
+  const JsonValue& sent = json.Get("sent");
+  if (!sent.is_array()) return DataLossError("journal record lacks a 'sent' array");
+  for (size_t i = 0; i < sent.size(); ++i) {
+    if (!sent[i].is_string()) {
+      return DataLossError(StrFormat("journal record sent[%zu] is not a string", i));
+    }
+    record.sent.push_back(sent[i].AsString());
+  }
+  FLEXVIS_RETURN_IF_ERROR(ReadIdArray(json, "pend_acc", &record.pending_acceptance));
+  FLEXVIS_RETURN_IF_ERROR(ReadIdArray(json, "pend_asn", &record.pending_assignment));
+  return record;
+}
+
+Result<OnlineReport> RunOnlineCheckpointed(const OnlineParams& params,
+                                           const std::vector<core::FlexOffer>& offers,
+                                           const timeutil::TimeInterval& window,
+                                           const std::string& directory) {
+  const fs::path dir(directory);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return InternalError(StrFormat("cannot create checkpoint directory '%s': %s",
+                                   directory.c_str(), ec.message().c_str()));
+  }
+  // Invalidate any previous checkpoint before rewriting: dropping the
+  // manifest first means a crash inside this function leaves "no valid
+  // snapshot" (rerun from inputs), never a new journal under an old
+  // snapshot or vice versa.
+  fs::remove(dir / kCheckpointManifestFile, ec);
+  fs::remove(dir / kCheckpointJournalFile, ec);
+
+  OnlineEnterprise enterprise(params);
+  Result<OnlineLoopState> state = enterprise.Begin(offers, window);
+  if (!state.ok()) return state.status();
+
+  FLEXVIS_RETURN_IF_ERROR(WriteSnapshot(dir, params, offers, window));
+  return ContinueJournaled(enterprise, *std::move(state), dir / kCheckpointJournalFile,
+                           nullptr);
+}
+
+Result<OnlineReport> ResumeOnline(const std::string& directory, ResumeInfo* info) {
+  const fs::path dir(directory);
+  if (info != nullptr) *info = ResumeInfo{};
+
+  // Snapshot integrity gates everything: a crash before the manifest landed
+  // means no tick ever ran (the journal is only written after the snapshot
+  // commits), so the caller can simply rerun from its inputs.
+  FLEXVIS_RETURN_IF_ERROR(VerifyManifest(directory, kCheckpointManifestFile));
+
+  Result<std::string> meta_text = ReadFileToString((dir / kCheckpointMetaFile).string());
+  if (!meta_text.ok()) return meta_text.status();
+  OnlineParams params;
+  timeutil::TimeInterval window;
+  FLEXVIS_RETURN_IF_ERROR(DecodeMeta(*meta_text, &params, &window));
+
+  Result<std::string> offers_text = ReadFileToString((dir / kCheckpointOffersFile).string());
+  if (!offers_text.ok()) return offers_text.status();
+  std::vector<core::FlexOffer> offers;
+  FLEXVIS_RETURN_IF_ERROR(DecodeOffers(*offers_text, &offers));
+
+  OnlineEnterprise enterprise(params);
+  Result<OnlineLoopState> state = enterprise.Begin(offers, window);
+  if (!state.ok()) return state.status();
+
+  // Replay: apply every intact journaled tick; truncate a torn tail so the
+  // continued run appends on a frame boundary. A missing journal means the
+  // crash hit between snapshot commit and the first append — zero ticks.
+  const std::string journal_path = (dir / kCheckpointJournalFile).string();
+  Result<JournalReplay> replay = ReplayJournal(journal_path);
+  if (replay.ok()) {
+    for (const std::string& record_text : replay->records) {
+      Result<OnlineTickRecord> record = DecodeTickRecord(record_text);
+      if (!record.ok()) return record.status();
+      FLEXVIS_RETURN_IF_ERROR(enterprise.Apply(*state, *record));
+    }
+    if (replay->torn_tail) {
+      FLEXVIS_RETURN_IF_ERROR(TruncateJournal(journal_path, replay->valid_bytes));
+    }
+    if (info != nullptr) {
+      info->ticks_replayed = static_cast<int>(replay->records.size());
+      info->torn_tail = replay->torn_tail;
+      info->torn_bytes = replay->torn_bytes;
+    }
+  } else if (replay.status().code() != StatusCode::kNotFound) {
+    return replay.status();
+  }
+
+  return ContinueJournaled(enterprise, *std::move(state), dir / kCheckpointJournalFile,
+                           info != nullptr ? &info->ticks_continued : nullptr);
+}
+
+}  // namespace flexvis::sim

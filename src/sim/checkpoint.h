@@ -1,0 +1,74 @@
+#ifndef FLEXVIS_SIM_CHECKPOINT_H_
+#define FLEXVIS_SIM_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/online.h"
+#include "util/status.h"
+
+namespace flexvis::sim {
+
+/// Crash-consistent checkpointing for the online planning loop. A checkpoint
+/// directory holds
+///
+///   meta.json       window + OnlineParams (the run's immutable inputs)
+///   offers.jsonl    the input flex-offers, one message-format offer per line
+///   SNAPSHOT.json   size + CRC-32 manifest over the two files above,
+///                   written last — the snapshot's commit point
+///   journal.wal     write-ahead journal of OnlineTickRecords, one frame per
+///                   tick, flushed after every append
+///
+/// RunOnlineCheckpointed snapshots the inputs before the first tick and
+/// journals every tick's decisions; ResumeOnline rebuilds the loop state by
+/// replaying snapshot + journal — applying recorded decisions, never
+/// re-running them — and continues the run, producing an OnlineReport and
+/// outbox byte-identical to an uninterrupted run. A crash before the
+/// snapshot manifest lands surfaces as kDataLoss (nothing was promised yet;
+/// rerun from the inputs); a torn journal tail is truncated and the lost
+/// ticks re-executed.
+
+inline constexpr const char* kCheckpointMetaFile = "meta.json";
+inline constexpr const char* kCheckpointOffersFile = "offers.jsonl";
+inline constexpr const char* kCheckpointManifestFile = "SNAPSHOT.json";
+inline constexpr const char* kCheckpointJournalFile = "journal.wal";
+
+/// Observability of a recovery: how much state came back from disk.
+struct ResumeInfo {
+  /// Ticks reconstructed from the journal (no decision logic re-run).
+  int ticks_replayed = 0;
+  /// Ticks executed live after the replay to finish the window.
+  int ticks_continued = 0;
+  /// True when the journal ended in a torn frame (crash mid-append); the
+  /// debris was truncated before continuing.
+  bool torn_tail = false;
+  /// Bytes of journal debris discarded.
+  uint64_t torn_bytes = 0;
+};
+
+/// Runs the online loop over `window` with checkpointing into `directory`
+/// (created if needed; any previous run's checkpoint there is replaced).
+/// Each tick is journaled and flushed before the next begins, so at every
+/// instant the directory recovers to a prefix of this run.
+Result<OnlineReport> RunOnlineCheckpointed(const OnlineParams& params,
+                                           const std::vector<core::FlexOffer>& offers,
+                                           const timeutil::TimeInterval& window,
+                                           const std::string& directory);
+
+/// Recovers a run from `directory`: verifies the snapshot manifest
+/// (kDataLoss when the snapshot is partial or corrupt), replays the journal
+/// (truncating a torn tail), then continues the remaining ticks — journaling
+/// them — and returns the completed report. Byte-identical to the report the
+/// uninterrupted run would have produced, including the outbox stream.
+Result<OnlineReport> ResumeOnline(const std::string& directory, ResumeInfo* info = nullptr);
+
+/// Serialization of one tick record (exposed for tests and the recovery
+/// bench): compact JSON via EncodeTickRecord, strict decode via
+/// DecodeTickRecord (missing fields or type mismatches error).
+std::string EncodeTickRecord(const OnlineTickRecord& record);
+Result<OnlineTickRecord> DecodeTickRecord(std::string_view text);
+
+}  // namespace flexvis::sim
+
+#endif  // FLEXVIS_SIM_CHECKPOINT_H_

@@ -18,38 +18,74 @@ using timeutil::kMinutesPerSlice;
 using timeutil::TimeInterval;
 using timeutil::TimePoint;
 
-Result<OnlineReport> OnlineEnterprise::Run(const std::vector<FlexOffer>& offers,
-                                           const TimeInterval& window) const {
+namespace {
+
+/// Books a committed schedule's energy against the residual (consumption
+/// positive). Shared by the live tick and journal replay so both sides of a
+/// recovery agree bit-for-bit on the remaining target.
+void CommitScheduleToResidual(const FlexOffer& offer, TimeSeries& residual) {
+  const double sign = offer.direction == core::Direction::kConsumption ? 1.0 : -1.0;
+  for (size_t i = 0; i < offer.schedule->energy_kwh.size(); ++i) {
+    residual.AddAt(offer.schedule->start + static_cast<int64_t>(i) * kMinutesPerSlice,
+                   -sign * offer.schedule->energy_kwh[i]);
+  }
+}
+
+}  // namespace
+
+Result<OnlineLoopState> OnlineEnterprise::Begin(const std::vector<FlexOffer>& offers,
+                                                const TimeInterval& window) const {
   if (window.empty()) return InvalidArgumentError("online window is empty");
   if (params_.tick_minutes <= 0) {
     return InvalidArgumentError("tick_minutes must be positive");
   }
 
-  OnlineReport report;
-  report.offers = offers;
-  for (FlexOffer& o : report.offers) {
+  OnlineLoopState state;
+  state.window = window;
+  state.report.offers = offers;
+  for (FlexOffer& o : state.report.offers) {
     o.state = core::FlexOfferState::kOffered;
     o.schedule.reset();
   }
+  state.index_of.reserve(state.report.offers.size());
+  for (size_t i = 0; i < state.report.offers.size(); ++i) {
+    state.index_of[state.report.offers[i].id] = i;
+  }
 
   // Arrival order.
-  std::vector<size_t> arrival(report.offers.size());
-  std::iota(arrival.begin(), arrival.end(), 0);
-  std::stable_sort(arrival.begin(), arrival.end(), [&](size_t a, size_t b) {
-    return report.offers[a].creation_time < report.offers[b].creation_time;
+  state.arrival.resize(state.report.offers.size());
+  std::iota(state.arrival.begin(), state.arrival.end(), 0);
+  std::stable_sort(state.arrival.begin(), state.arrival.end(), [&](size_t a, size_t b) {
+    return state.report.offers[a].creation_time < state.report.offers[b].creation_time;
   });
 
   // The balancing target and the running committed load. Committed capacity
   // is never revised: once an assignment message is out, its energy stays.
-  TimeSeries target = MakeFlexibilityTarget(MakeResProduction(window, params_.energy),
-                                            MakeInflexibleDemand(window, params_.energy));
-  TimeSeries residual = target;  // shrinks as assignments commit
+  state.residual = MakeFlexibilityTarget(MakeResProduction(window, params_.energy),
+                                         MakeInflexibleDemand(window, params_.energy));
+  return state;
+}
+
+bool OnlineEnterprise::Done(const OnlineLoopState& state) const {
+  return state.window.start + state.next_tick * params_.tick_minutes >= state.window.end;
+}
+
+void OnlineEnterprise::Tick(OnlineLoopState& state, OnlineTickRecord* record) const {
+  OnlineReport& report = state.report;
+  const TimePoint now = state.window.start + state.next_tick * params_.tick_minutes;
+  const TimePoint next_tick = now + params_.tick_minutes;
+  ++report.ticks;
 
   core::Scheduler scheduler(params_.scheduler);
 
-  std::vector<size_t> pending_acceptance;  // ingested, not yet answered
-  std::vector<size_t> pending_assignment;  // accepted, not yet scheduled
-  size_t next_arrival = 0;
+  auto note_change = [&](const FlexOffer& offer) {
+    if (record == nullptr) return;
+    OnlineStateChange change;
+    change.offer = offer.id;
+    change.state = offer.state;
+    if (offer.state == core::FlexOfferState::kAssigned) change.schedule = offer.schedule;
+    record->changes.push_back(std::move(change));
+  };
 
   // Delivery to the prosumer gateway sits behind the sim.online.send seam.
   // Each send retries per policy; persistent failure is absorbed, never
@@ -61,11 +97,12 @@ Result<OnlineReport> OnlineEnterprise::Run(const std::vector<FlexOffer>& offers,
       ++report.failed_sends;
       return false;
     }
+    if (record != nullptr) record->sent.push_back(wire);
     report.outbox.push_back(std::move(wire));
     return true;
   };
 
-  auto send_acceptance = [&](size_t idx, TimePoint now, bool accepted) {
+  auto send_acceptance = [&](size_t idx, bool accepted) {
     FlexOffer& offer = report.offers[idx];
     AcceptanceMessage msg;
     msg.offer = offer.id;
@@ -78,128 +115,220 @@ Result<OnlineReport> OnlineEnterprise::Run(const std::vector<FlexOffer>& offers,
       offer.state = core::FlexOfferState::kRejected;
       ++report.rejected;
       ++report.missed_acceptance;
+      note_change(offer);
       return;
     }
     if (accepted) {
       offer.state = core::FlexOfferState::kAccepted;
       ++report.accepted;
-      pending_assignment.push_back(idx);
+      state.pending_assignment.push_back(idx);
     } else {
       offer.state = core::FlexOfferState::kRejected;
       ++report.rejected;
     }
+    note_change(offer);
   };
 
-  for (TimePoint now = window.start; now < window.end; now = now + params_.tick_minutes) {
-    ++report.ticks;
-    const TimePoint next_tick = now + params_.tick_minutes;
-
-    // 1. Ingest offers created up to now. The uplink from the prosumer
-    //    gateway is lossy (sim.online.ingest): an offer whose submission
-    //    fails after retries is dropped — counted, left kOffered, never
-    //    answered — and the loop moves on.
-    while (next_arrival < arrival.size() &&
-           report.offers[arrival[next_arrival]].creation_time <= now) {
-      size_t idx = arrival[next_arrival++];
-      Status ingested = RetryFaultPoint("sim.online.ingest", DefaultRetryPolicy(),
-                                        []() -> Status { return OkStatus(); });
-      if (!ingested.ok()) {
-        ++report.dropped_ingest;
-        continue;
-      }
-      ++report.offers_received;
-      if (report.offers[idx].acceptance_deadline < now) {
-        // Arrived already expired (coarse tick): count as missed, reject.
-        ++report.missed_acceptance;
-        send_acceptance(idx, now, /*accepted=*/false);
-      } else {
-        pending_acceptance.push_back(idx);
-      }
+  // 1. Ingest offers created up to now. The uplink from the prosumer
+  //    gateway is lossy (sim.online.ingest): an offer whose submission
+  //    fails after retries is dropped — counted, left kOffered, never
+  //    answered — and the loop moves on.
+  while (state.next_arrival < state.arrival.size() &&
+         report.offers[state.arrival[state.next_arrival]].creation_time <= now) {
+    size_t idx = state.arrival[state.next_arrival++];
+    Status ingested = RetryFaultPoint("sim.online.ingest", DefaultRetryPolicy(),
+                                      []() -> Status { return OkStatus(); });
+    if (!ingested.ok()) {
+      ++report.dropped_ingest;
+      continue;
     }
-
-    // 2. Answer every acceptance deadline falling before the next tick. The
-    //    accept/reject call is a cheap screen: offers whose mandatory energy
-    //    can never help (no surplus anywhere in their window) are rejected
-    //    up front; everything else is accepted and scheduled later.
-    std::vector<size_t> keep;
-    for (size_t idx : pending_acceptance) {
-      FlexOffer& offer = report.offers[idx];
-      if (offer.acceptance_deadline >= next_tick) {
-        keep.push_back(idx);
-        continue;
-      }
-      bool useful = false;
-      const double sign = offer.direction == core::Direction::kConsumption ? 1.0 : -1.0;
-      for (TimePoint t = offer.earliest_start; t < offer.latest_end();
-           t = t + kMinutesPerSlice) {
-        if (sign * residual.At(t) > 0.0) {
-          useful = true;
-          break;
-        }
-      }
-      // With no rejection threshold configured, accept everything (the
-      // offline scheduler's behaviour); otherwise screen by usefulness.
-      bool accept = params_.scheduler.rejection_threshold < 0.0 || useful;
-      send_acceptance(idx, now, accept);
-    }
-    pending_acceptance = std::move(keep);
-
-    // 3. Commit schedules for every assignment deadline before the next
-    //    tick. Scheduling the urgent batch against the *remaining* residual
-    //    implements the incremental commitment.
-    std::vector<FlexOffer> urgent;
-    std::vector<size_t> urgent_idx;
-    keep.clear();
-    for (size_t idx : pending_assignment) {
-      FlexOffer& offer = report.offers[idx];
-      if (offer.assignment_deadline >= next_tick) {
-        keep.push_back(idx);
-        continue;
-      }
-      if (offer.assignment_deadline < now) ++report.missed_assignment;
-      urgent.push_back(offer);
-      urgent_idx.push_back(idx);
-    }
-    pending_assignment = std::move(keep);
-    if (!urgent.empty()) {
-      core::ScheduleResult plan = scheduler.Plan(urgent, residual);
-      for (size_t k = 0; k < plan.offers.size(); ++k) {
-        FlexOffer& offer = report.offers[urgent_idx[k]];
-        if (!plan.offers[k].schedule.has_value()) {
-          // The scheduler rejected it post-acceptance; demote.
-          offer.state = core::FlexOfferState::kRejected;
-          continue;
-        }
-        AssignmentMessage msg;
-        msg.offer = offer.id;
-        msg.schedule = *plan.offers[k].schedule;
-        msg.sent_at = std::min(now, offer.assignment_deadline);
-        // Commit capacity only after the assignment is delivered: a lost
-        // assignment leaves the offer accepted-but-unscheduled (the
-        // prosumer never learned what to run), books nothing against the
-        // residual, and counts as a missed assignment deadline.
-        if (!deliver(core::EncodeMessage(core::Message(msg)))) {
-          ++report.missed_assignment;
-          continue;
-        }
-        offer.schedule = plan.offers[k].schedule;
-        offer.state = core::FlexOfferState::kAssigned;
-        ++report.assigned;
-        const double sign =
-            offer.direction == core::Direction::kConsumption ? 1.0 : -1.0;
-        for (size_t i = 0; i < offer.schedule->energy_kwh.size(); ++i) {
-          residual.AddAt(offer.schedule->start + static_cast<int64_t>(i) * kMinutesPerSlice,
-                         -sign * offer.schedule->energy_kwh[i]);
-        }
-      }
+    ++report.offers_received;
+    if (report.offers[idx].acceptance_deadline < now) {
+      // Arrived already expired (coarse tick): count as missed, reject.
+      ++report.missed_acceptance;
+      send_acceptance(idx, /*accepted=*/false);
+    } else {
+      state.pending_acceptance.push_back(idx);
     }
   }
 
+  // 2. Answer every acceptance deadline falling before the next tick. The
+  //    accept/reject call is a cheap screen: offers whose mandatory energy
+  //    can never help (no surplus anywhere in their window) are rejected
+  //    up front; everything else is accepted and scheduled later.
+  std::vector<size_t> keep;
+  for (size_t idx : state.pending_acceptance) {
+    FlexOffer& offer = report.offers[idx];
+    if (offer.acceptance_deadline >= next_tick) {
+      keep.push_back(idx);
+      continue;
+    }
+    bool useful = false;
+    const double sign = offer.direction == core::Direction::kConsumption ? 1.0 : -1.0;
+    for (TimePoint t = offer.earliest_start; t < offer.latest_end();
+         t = t + kMinutesPerSlice) {
+      if (sign * state.residual.At(t) > 0.0) {
+        useful = true;
+        break;
+      }
+    }
+    // With no rejection threshold configured, accept everything (the
+    // offline scheduler's behaviour); otherwise screen by usefulness.
+    bool accept = params_.scheduler.rejection_threshold < 0.0 || useful;
+    send_acceptance(idx, accept);
+  }
+  state.pending_acceptance = std::move(keep);
+
+  // 3. Commit schedules for every assignment deadline before the next
+  //    tick. Scheduling the urgent batch against the *remaining* residual
+  //    implements the incremental commitment.
+  std::vector<FlexOffer> urgent;
+  std::vector<size_t> urgent_idx;
+  keep.clear();
+  for (size_t idx : state.pending_assignment) {
+    FlexOffer& offer = report.offers[idx];
+    if (offer.assignment_deadline >= next_tick) {
+      keep.push_back(idx);
+      continue;
+    }
+    if (offer.assignment_deadline < now) ++report.missed_assignment;
+    urgent.push_back(offer);
+    urgent_idx.push_back(idx);
+  }
+  state.pending_assignment = std::move(keep);
+  if (!urgent.empty()) {
+    core::ScheduleResult plan = scheduler.Plan(urgent, state.residual);
+    for (size_t k = 0; k < plan.offers.size(); ++k) {
+      FlexOffer& offer = report.offers[urgent_idx[k]];
+      if (!plan.offers[k].schedule.has_value()) {
+        // The scheduler rejected it post-acceptance; demote.
+        offer.state = core::FlexOfferState::kRejected;
+        note_change(offer);
+        continue;
+      }
+      AssignmentMessage msg;
+      msg.offer = offer.id;
+      msg.schedule = *plan.offers[k].schedule;
+      msg.sent_at = std::min(now, offer.assignment_deadline);
+      // Commit capacity only after the assignment is delivered: a lost
+      // assignment leaves the offer accepted-but-unscheduled (the
+      // prosumer never learned what to run), books nothing against the
+      // residual, and counts as a missed assignment deadline.
+      if (!deliver(core::EncodeMessage(core::Message(msg)))) {
+        ++report.missed_assignment;
+        continue;
+      }
+      offer.schedule = plan.offers[k].schedule;
+      offer.state = core::FlexOfferState::kAssigned;
+      ++report.assigned;
+      CommitScheduleToResidual(offer, state.residual);
+      note_change(offer);
+    }
+  }
+
+  if (record != nullptr) {
+    record->tick = state.next_tick;
+    record->offers_received = report.offers_received;
+    record->accepted = report.accepted;
+    record->rejected = report.rejected;
+    record->assigned = report.assigned;
+    record->missed_acceptance = report.missed_acceptance;
+    record->missed_assignment = report.missed_assignment;
+    record->dropped_ingest = report.dropped_ingest;
+    record->failed_sends = report.failed_sends;
+    record->next_arrival = static_cast<int64_t>(state.next_arrival);
+    record->pending_acceptance.clear();
+    record->pending_assignment.clear();
+    for (size_t idx : state.pending_acceptance) {
+      record->pending_acceptance.push_back(report.offers[idx].id);
+    }
+    for (size_t idx : state.pending_assignment) {
+      record->pending_assignment.push_back(report.offers[idx].id);
+    }
+  }
+  ++state.next_tick;
+}
+
+Status OnlineEnterprise::Apply(OnlineLoopState& state, const OnlineTickRecord& record) const {
+  if (record.tick != state.next_tick) {
+    return DataLossError(StrFormat("journal tick %d does not continue state at tick %d "
+                                   "(journal and snapshot disagree)",
+                                   record.tick, state.next_tick));
+  }
+  OnlineReport& report = state.report;
+  auto find_index = [&](core::FlexOfferId id, size_t* out) -> Status {
+    auto it = state.index_of.find(id);
+    if (it == state.index_of.end()) {
+      return DataLossError(StrFormat("journal names flex-offer %lld absent from snapshot",
+                                     static_cast<long long>(id)));
+    }
+    *out = it->second;
+    return OkStatus();
+  };
+
+  for (const OnlineStateChange& change : record.changes) {
+    size_t idx = 0;
+    FLEXVIS_RETURN_IF_ERROR(find_index(change.offer, &idx));
+    FlexOffer& offer = report.offers[idx];
+    offer.state = change.state;
+    if (change.state == core::FlexOfferState::kAssigned) {
+      if (!change.schedule.has_value()) {
+        return DataLossError(StrFormat("journal assigns flex-offer %lld without a schedule",
+                                       static_cast<long long>(change.offer)));
+      }
+      offer.schedule = change.schedule;
+      CommitScheduleToResidual(offer, state.residual);
+    } else {
+      offer.schedule.reset();
+    }
+  }
+  for (const std::string& wire : record.sent) report.outbox.push_back(wire);
+
+  report.offers_received = record.offers_received;
+  report.accepted = record.accepted;
+  report.rejected = record.rejected;
+  report.assigned = record.assigned;
+  report.missed_acceptance = record.missed_acceptance;
+  report.missed_assignment = record.missed_assignment;
+  report.dropped_ingest = record.dropped_ingest;
+  report.failed_sends = record.failed_sends;
+  if (record.next_arrival < 0 ||
+      static_cast<size_t>(record.next_arrival) > state.arrival.size()) {
+    return DataLossError(StrFormat("journal arrival cursor %lld out of range",
+                                   static_cast<long long>(record.next_arrival)));
+  }
+  state.next_arrival = static_cast<size_t>(record.next_arrival);
+  state.pending_acceptance.clear();
+  for (core::FlexOfferId id : record.pending_acceptance) {
+    size_t idx = 0;
+    FLEXVIS_RETURN_IF_ERROR(find_index(id, &idx));
+    state.pending_acceptance.push_back(idx);
+  }
+  state.pending_assignment.clear();
+  for (core::FlexOfferId id : record.pending_assignment) {
+    size_t idx = 0;
+    FLEXVIS_RETURN_IF_ERROR(find_index(id, &idx));
+    state.pending_assignment.push_back(idx);
+  }
+  report.ticks = record.tick + 1;
+  state.next_tick = record.tick + 1;
+  return OkStatus();
+}
+
+OnlineReport OnlineEnterprise::Finish(OnlineLoopState state) const {
   // Anything still pending at the end of the window never got answered in
   // time (its deadlines lie beyond the simulated horizon) — leave it
   // kOffered/kAccepted; that is honest bookkeeping, not a miss.
-  report.imbalance_kwh = residual.Slice(window).AbsTotal();
-  return report;
+  state.report.imbalance_kwh = state.residual.Slice(state.window).AbsTotal();
+  return std::move(state.report);
+}
+
+Result<OnlineReport> OnlineEnterprise::Run(const std::vector<FlexOffer>& offers,
+                                           const TimeInterval& window) const {
+  Result<OnlineLoopState> state = Begin(offers, window);
+  if (!state.ok()) return state.status();
+  while (!Done(*state)) Tick(*state, nullptr);
+  return Finish(*std::move(state));
 }
 
 }  // namespace flexvis::sim

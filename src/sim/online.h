@@ -1,7 +1,9 @@
 #ifndef FLEXVIS_SIM_ONLINE_H_
 #define FLEXVIS_SIM_ONLINE_H_
 
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/messages.h"
@@ -53,6 +55,59 @@ struct OnlineReport {
   int ticks = 0;
 };
 
+/// One offer's state transition within a tick — the unit the write-ahead
+/// journal (sim/checkpoint) persists so a crashed run can be replayed
+/// without re-running any decision logic or fault draw.
+struct OnlineStateChange {
+  core::FlexOfferId offer = core::kInvalidFlexOfferId;
+  core::FlexOfferState state = core::FlexOfferState::kOffered;
+  /// Present exactly when `state` is kAssigned: the committed schedule whose
+  /// energy was booked against the residual.
+  std::optional<core::Schedule> schedule;
+};
+
+/// Everything one tick changed, in a form that makes replay exact and
+/// idempotent: state transitions and sent wires are per-tick deltas (applied
+/// in order), while the counters, arrival cursor, and pending queues are
+/// absolute post-tick values.
+struct OnlineTickRecord {
+  /// 0-based index of the tick this record describes.
+  int tick = 0;
+  std::vector<OnlineStateChange> changes;
+  /// Wires appended to the outbox this tick, in send order.
+  std::vector<std::string> sent;
+  // Absolute counter values after the tick.
+  int offers_received = 0;
+  int accepted = 0;
+  int rejected = 0;
+  int assigned = 0;
+  int missed_acceptance = 0;
+  int missed_assignment = 0;
+  int dropped_ingest = 0;
+  int failed_sends = 0;
+  /// Arrival cursor after the tick (offers ingested or dropped so far).
+  int64_t next_arrival = 0;
+  /// Post-tick pending queues, as offer ids (stable across processes).
+  std::vector<core::FlexOfferId> pending_acceptance;
+  std::vector<core::FlexOfferId> pending_assignment;
+};
+
+/// Mid-run state of the online loop, exposed so the checkpoint layer can run
+/// tick-at-a-time, journal each tick's decisions, and reconstruct a crashed
+/// run by applying journaled records. Opaque to other callers; obtain one
+/// from OnlineEnterprise::Begin.
+struct OnlineLoopState {
+  OnlineReport report;
+  core::TimeSeries residual;  // shrinks as assignments commit
+  timeutil::TimeInterval window;
+  std::vector<size_t> arrival;  // indices into report.offers, by creation time
+  std::vector<size_t> pending_acceptance;  // ingested, not yet answered
+  std::vector<size_t> pending_assignment;  // accepted, not yet scheduled
+  size_t next_arrival = 0;
+  int next_tick = 0;  // index of the tick Tick() would execute next
+  std::unordered_map<core::FlexOfferId, size_t> index_of;  // id -> offers index
+};
+
 /// The enterprise's *online* mode (Section 2: "performs a complex planning
 /// activity in an online fashion"): offers arrive at their creation times;
 /// the loop must send the acceptance message before each offer's acceptance
@@ -70,8 +125,38 @@ class OnlineEnterprise {
   /// Simulates the loop over `window` (clock from window.start to
   /// window.end) with `offers` arriving at their creation times. Offers
   /// whose creation time precedes the window are ingested at the first tick.
+  /// Equivalent to Begin + Tick-until-Done + Finish.
   Result<OnlineReport> Run(const std::vector<core::FlexOffer>& offers,
                            const timeutil::TimeInterval& window) const;
+
+  // ---- Checkpoint surface (sim/checkpoint) --------------------------------
+  //
+  // The tick-at-a-time decomposition of Run. `Tick` executes the next
+  // planning tick live (consulting the sim.online.* fault seams exactly as
+  // Run does) and optionally records its decisions; `Apply` replays a
+  // journaled record onto the state without any decision logic or fault
+  // draw, so a resumed run reproduces the original byte for byte.
+
+  /// Validates inputs and builds the initial loop state (offers reset to
+  /// kOffered, arrival order computed, balancing target derived).
+  Result<OnlineLoopState> Begin(const std::vector<core::FlexOffer>& offers,
+                                const timeutil::TimeInterval& window) const;
+
+  /// True when every tick of the window has executed (or been applied).
+  bool Done(const OnlineLoopState& state) const;
+
+  /// Executes the next tick. When `record` is non-null it receives the
+  /// tick's decisions for journaling. Precondition: !Done(state).
+  void Tick(OnlineLoopState& state, OnlineTickRecord* record) const;
+
+  /// Applies a journaled tick record: state transitions, outbox wires,
+  /// counters, queues, and committed capacity. Rejects records that are out
+  /// of order or name unknown offers (kDataLoss — the journal does not match
+  /// the snapshot).
+  Status Apply(OnlineLoopState& state, const OnlineTickRecord& record) const;
+
+  /// Finalizes the report (imbalance over the window).
+  OnlineReport Finish(OnlineLoopState state) const;
 
  private:
   OnlineParams params_;

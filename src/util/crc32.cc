@@ -1,0 +1,25 @@
+#include "util/crc32.h"
+
+namespace flexvis {
+
+uint32_t Crc32(const uint8_t* data, size_t size, uint32_t seed) {
+  // Table computed on first use (function-local static of trivially
+  // destructible type would need an array; build lazily into a static
+  // buffer via an immediately-invoked lambda).
+  static const uint32_t* kTable = [] {
+    static uint32_t table[256];
+    for (uint32_t n = 0; n < 256; ++n) {
+      uint32_t c = n;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      table[n] = c;
+    }
+    return table;
+  }();
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace flexvis

@@ -111,6 +111,11 @@ Status FaultRegistry::Hit(std::string_view point, int64_t* latency_minutes) {
   Point& p = FindOrRegister(point);
   if (!p.armed) return OkStatus();
   ++p.stats.hits;
+  if (p.config.crash_at_hit > 0 && p.stats.hits == p.config.crash_at_hit) {
+    // Injected crash: die without unwinding, flushing, or running atexit
+    // hooks, so buffered-but-unflushed writes are lost like on a power cut.
+    std::_Exit(kCrashExitCode);
+  }
   if (p.config.latency_minutes > 0) {
     p.stats.latency_minutes += p.config.latency_minutes;
     if (latency_minutes != nullptr) *latency_minutes = p.config.latency_minutes;

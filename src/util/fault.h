@@ -78,7 +78,17 @@ struct FaultConfig {
   /// The error kind an injected failure carries. Defaults to the retryable
   /// kUnavailable; arm with a permanent code to model poison-pill failures.
   StatusCode code = StatusCode::kUnavailable;
+  /// When > 0, the Nth hit of this point (counted since arming) terminates
+  /// the process immediately via std::_Exit(kCrashExitCode) — no destructors,
+  /// no stdio flush, exactly the state a power cut leaves behind. The
+  /// kill-matrix recovery tests fork a child, arm a crash at each successive
+  /// write point, and verify the parent can recover the run from disk.
+  int64_t crash_at_hit = 0;
 };
+
+/// Exit code of an injected crash, so a test driver can tell "child crashed
+/// where told to" apart from "child failed some other way".
+inline constexpr int kCrashExitCode = 86;
 
 /// Cumulative per-point observability counters.
 struct FaultStats {

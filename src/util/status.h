@@ -21,6 +21,7 @@ enum class StatusCode {
   kInternal,          // invariant violation inside the library
   kUnavailable,       // transient failure (lossy link, injected fault); retryable
   kDeadlineExceeded,  // a retry deadline or simulated-time budget ran out
+  kDataLoss,          // persisted state is missing, truncated, or corrupt
 };
 
 /// Returns a stable, human-readable name for `code` ("OK", "INVALID_ARGUMENT",
@@ -76,6 +77,7 @@ Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status UnavailableError(std::string message);
 Status DeadlineExceededError(std::string message);
+Status DataLossError(std::string message);
 
 /// True for codes that describe transient conditions a caller may retry
 /// (currently only kUnavailable). Permanent errors — bad input, missing

@@ -1,0 +1,269 @@
+#include "util/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/crc32.h"
+#include "util/fileio.h"
+#include "util/status.h"
+
+namespace flexvis {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const char* name) {
+  fs::path dir = fs::temp_directory_path() / "flexvis_journal" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string ReadAll(const std::string& path) {
+  Result<std::string> data = ReadFileToString(path);
+  EXPECT_TRUE(data.ok()) << data.status().ToString();
+  return data.ok() ? *data : std::string();
+}
+
+void WriteAll(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), f), data.size());
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+std::vector<std::string> SampleRecords() {
+  return {"alpha", std::string(1, '\0') + std::string("binary\xff\x01 ok"),
+          std::string(300, 'x'), "", "{\"tick\":4,\"sent\":[]}"};
+}
+
+Status AppendAll(const std::string& path, const std::vector<std::string>& records) {
+  Result<JournalWriter> writer = JournalWriter::Open(path);
+  if (!writer.ok()) return writer.status();
+  for (const std::string& record : records) {
+    FLEXVIS_RETURN_IF_ERROR(writer->Append(record));
+  }
+  return writer->Close();
+}
+
+// ---- Crc32 --------------------------------------------------------------------------
+
+TEST(Crc32Test, KnownVector) {
+  // The standard CRC-32 check value (IEEE 802.3, reflected 0xEDB88320).
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(Crc32Test, SeedChains) {
+  const std::string text = "123456789";
+  uint32_t split = Crc32(text.substr(4), Crc32(text.substr(0, 4)));
+  EXPECT_EQ(split, Crc32(text));
+}
+
+// ---- Journal framing ----------------------------------------------------------------
+
+TEST(JournalTest, AppendFlushReplayRoundtrip) {
+  const std::string path = TempDir("roundtrip") + "/j.wal";
+  const std::vector<std::string> records = SampleRecords();
+  ASSERT_TRUE(AppendAll(path, records).ok());
+
+  Result<JournalReplay> replay = ReplayJournal(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->records, records);
+  EXPECT_FALSE(replay->torn_tail);
+  EXPECT_EQ(replay->torn_bytes, 0u);
+  EXPECT_EQ(replay->valid_bytes, fs::file_size(path));
+}
+
+TEST(JournalTest, MissingFileIsNotFound) {
+  Result<JournalReplay> replay = ReplayJournal(TempDir("missing") + "/absent.wal");
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kNotFound);
+}
+
+TEST(JournalTest, EmptyFileIsCleanAndEmpty) {
+  const std::string path = TempDir("empty") + "/j.wal";
+  WriteAll(path, "");
+  Result<JournalReplay> replay = ReplayJournal(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->records.empty());
+  EXPECT_FALSE(replay->torn_tail);
+}
+
+TEST(JournalTest, EveryTruncationPointRecoversThePrefix) {
+  // Write a clean journal, then chop it at EVERY byte length and verify the
+  // replay returns exactly the records whose frames fit — never garbage,
+  // never an error, and torn_tail iff the cut is not on a frame boundary.
+  const std::string dir = TempDir("truncate");
+  const std::string clean = dir + "/clean.wal";
+  const std::vector<std::string> records = {"one", "two-longer", "three"};
+  ASSERT_TRUE(AppendAll(clean, records).ok());
+  const std::string bytes = ReadAll(clean);
+
+  // Frame boundaries: cumulative framed sizes.
+  std::vector<size_t> boundaries = {0};
+  for (const std::string& r : records) boundaries.push_back(boundaries.back() + 8 + r.size());
+  ASSERT_EQ(boundaries.back(), bytes.size());
+
+  const std::string cut = dir + "/cut.wal";
+  for (size_t len = 0; len <= bytes.size(); ++len) {
+    WriteAll(cut, bytes.substr(0, len));
+    Result<JournalReplay> replay = ReplayJournal(cut);
+    ASSERT_TRUE(replay.ok()) << "len=" << len;
+    size_t expect_records = 0;
+    while (expect_records + 1 < boundaries.size() && boundaries[expect_records + 1] <= len) {
+      ++expect_records;
+    }
+    EXPECT_EQ(replay->records.size(), expect_records) << "len=" << len;
+    for (size_t i = 0; i < replay->records.size(); ++i) {
+      EXPECT_EQ(replay->records[i], records[i]) << "len=" << len;
+    }
+    EXPECT_EQ(replay->valid_bytes, boundaries[expect_records]) << "len=" << len;
+    EXPECT_EQ(replay->torn_tail, len != boundaries[expect_records]) << "len=" << len;
+    EXPECT_EQ(replay->torn_bytes, len - boundaries[expect_records]) << "len=" << len;
+  }
+}
+
+TEST(JournalTest, FlippedPayloadByteStopsReplayAtThatFrame) {
+  const std::string dir = TempDir("flip");
+  const std::string path = dir + "/j.wal";
+  const std::vector<std::string> records = {"first", "second", "third"};
+  ASSERT_TRUE(AppendAll(path, records).ok());
+  std::string bytes = ReadAll(path);
+  // Flip a byte inside the second record's payload (frame 0 is 8+5 bytes).
+  const size_t second_payload = (8 + 5) + 8;
+  bytes[second_payload + 2] ^= 0x40;
+  WriteAll(path, bytes);
+
+  Result<JournalReplay> replay = ReplayJournal(path);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 1u);
+  EXPECT_EQ(replay->records[0], "first");
+  EXPECT_TRUE(replay->torn_tail);
+  EXPECT_EQ(replay->valid_bytes, 8u + 5u);
+}
+
+TEST(JournalTest, GarbageLengthFieldIsTornNotGiantAllocation) {
+  const std::string dir = TempDir("garbage");
+  const std::string path = dir + "/j.wal";
+  ASSERT_TRUE(AppendAll(path, {"ok"}).ok());
+  std::string bytes = ReadAll(path);
+  // Append a header claiming a ~4 GiB record; replay must treat it as debris.
+  bytes += std::string("\xff\xff\xff\xff\x00\x00\x00\x00", 8);
+  bytes += "leftover";
+  WriteAll(path, bytes);
+
+  Result<JournalReplay> replay = ReplayJournal(path);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 1u);
+  EXPECT_TRUE(replay->torn_tail);
+  EXPECT_EQ(replay->valid_bytes, 8u + 2u);
+}
+
+TEST(JournalTest, TruncateThenAppendYieldsCleanJournal) {
+  const std::string dir = TempDir("repair");
+  const std::string path = dir + "/j.wal";
+  ASSERT_TRUE(AppendAll(path, {"keep-1", "keep-2"}).ok());
+  // Simulate a crash mid-append: half a frame of debris at the tail.
+  std::string bytes = ReadAll(path);
+  WriteAll(path, bytes + std::string("\x09\x00\x00", 3));
+
+  Result<JournalReplay> torn = ReplayJournal(path);
+  ASSERT_TRUE(torn.ok());
+  ASSERT_TRUE(torn->torn_tail);
+  ASSERT_TRUE(TruncateJournal(path, torn->valid_bytes).ok());
+  ASSERT_TRUE(AppendAll(path, {"after-crash"}).ok());
+
+  Result<JournalReplay> replay = ReplayJournal(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->records,
+            (std::vector<std::string>{"keep-1", "keep-2", "after-crash"}));
+  EXPECT_FALSE(replay->torn_tail);
+}
+
+TEST(JournalTest, ReopenAppendsAfterExistingRecords) {
+  const std::string path = TempDir("reopen") + "/j.wal";
+  ASSERT_TRUE(AppendAll(path, {"session-1"}).ok());
+  ASSERT_TRUE(AppendAll(path, {"session-2a", "session-2b"}).ok());
+  Result<JournalReplay> replay = ReplayJournal(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->records,
+            (std::vector<std::string>{"session-1", "session-2a", "session-2b"}));
+}
+
+TEST(JournalTest, OpenInUnwritableDirectoryFailsTyped) {
+  Result<JournalWriter> writer = JournalWriter::Open("/proc/flexvis_no_such/j.wal");
+  ASSERT_FALSE(writer.ok());
+  EXPECT_EQ(writer.status().code(), StatusCode::kInternal);
+}
+
+TEST(JournalTest, AppendAfterCloseIsFailedPrecondition) {
+  const std::string path = TempDir("closed") + "/j.wal";
+  Result<JournalWriter> writer = JournalWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Close().ok());
+  EXPECT_EQ(writer->Append("late").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer->Flush().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---- Atomic file I/O ----------------------------------------------------------------
+
+TEST(FileIoTest, WriteFileAtomicLeavesNoTempBehind) {
+  const std::string dir = TempDir("atomic");
+  const std::string path = dir + "/data.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "payload").ok());
+  EXPECT_EQ(ReadAll(path), "payload");
+  EXPECT_FALSE(fs::exists(path + kTmpSuffix));
+  // Overwrite is atomic too: the new content fully replaces the old.
+  ASSERT_TRUE(WriteFileAtomic(path, "v2").ok());
+  EXPECT_EQ(ReadAll(path), "v2");
+}
+
+TEST(FileIoTest, WriteFileAtomicToUnwritableLocationFailsTyped) {
+  Status status = WriteFileAtomic("/proc/flexvis_no_such/data.txt", "x");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(FileIoTest, ReadMissingFileIsNotFound) {
+  Result<std::string> data = ReadFileToString(TempDir("readmiss") + "/absent");
+  ASSERT_FALSE(data.ok());
+  EXPECT_EQ(data.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FileIoTest, ManifestRoundtripVerifies) {
+  const std::string dir = TempDir("manifest");
+  ASSERT_TRUE(WriteFileAtomic(dir + "/a.txt", "aaaa").ok());
+  ASSERT_TRUE(WriteFileAtomic(dir + "/b.txt", "bb").ok());
+  ASSERT_TRUE(WriteManifest(dir, "M.json", {"a.txt", "b.txt"}).ok());
+  EXPECT_TRUE(VerifyManifest(dir, "M.json").ok());
+}
+
+TEST(FileIoTest, ManifestDetectsEveryCorruption) {
+  const std::string dir = TempDir("manifest_corrupt");
+  ASSERT_TRUE(WriteFileAtomic(dir + "/a.txt", "aaaa").ok());
+  ASSERT_TRUE(WriteManifest(dir, "M.json", {"a.txt"}).ok());
+
+  // Missing manifest.
+  EXPECT_EQ(VerifyManifest(dir, "absent.json").code(), StatusCode::kDataLoss);
+  // Size mismatch.
+  WriteAll(dir + "/a.txt", "aaaaa");
+  EXPECT_EQ(VerifyManifest(dir, "M.json").code(), StatusCode::kDataLoss);
+  // Same size, flipped byte → CRC mismatch.
+  WriteAll(dir + "/a.txt", "aaab");
+  EXPECT_EQ(VerifyManifest(dir, "M.json").code(), StatusCode::kDataLoss);
+  // Covered file missing entirely.
+  fs::remove(dir + "/a.txt");
+  EXPECT_EQ(VerifyManifest(dir, "M.json").code(), StatusCode::kDataLoss);
+  // Unparsable manifest.
+  WriteAll(dir + "/a.txt", "aaaa");
+  WriteAll(dir + "/M.json", "{not json");
+  EXPECT_EQ(VerifyManifest(dir, "M.json").code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace flexvis

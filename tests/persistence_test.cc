@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <filesystem>
 
 #include "dw/persistence.h"
+#include "util/fileio.h"
 #include "olap/cube.h"
 #include "sim/enterprise.h"
 #include "sim/workload.h"
@@ -110,6 +113,12 @@ TEST_F(PersistenceTest, CorruptOfferLineIsReported) {
   ASSERT_NE(f, nullptr);
   std::fputs("{ this is not json\n", f);
   std::fclose(f);
+  // Re-seal the manifest over the corrupted file: the integrity layer now
+  // passes, so the *parser* must still reject the bad record.
+  ASSERT_TRUE(WriteManifest(dir, dw::kSnapshotManifest,
+                            {"dim_prosumer.csv", "dim_region.csv", "dim_grid_node.csv",
+                             "flexoffers.jsonl"})
+                  .ok());
   Result<dw::Database> restored = dw::LoadDatabase(dir);
   ASSERT_FALSE(restored.ok());
   EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
@@ -117,6 +126,126 @@ TEST_F(PersistenceTest, CorruptOfferLineIsReported) {
 
 TEST_F(PersistenceTest, SaveToUnwritableLocationFails) {
   EXPECT_FALSE(dw::SaveDatabase(db_, "/proc/flexvis_cannot_write_here").ok());
+}
+
+// ---- Snapshot corruption matrix ------------------------------------------------------
+//
+// Every way a snapshot can be damaged on disk must surface as a typed error
+// (kDataLoss for integrity violations), never as a plausible-but-wrong
+// Database.
+
+namespace {
+
+void Overwrite(const std::filesystem::path& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.string().c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), f), data.size());
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+std::string Slurp(const std::filesystem::path& path) {
+  std::FILE* f = std::fopen(path.string().c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::string data;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  std::fclose(f);
+  return data;
+}
+
+}  // namespace
+
+TEST_F(PersistenceTest, TruncatedSnapshotFileIsDataLoss) {
+  std::string dir = TempDir("truncated");
+  ASSERT_TRUE(dw::SaveDatabase(db_, dir).ok());
+  for (const char* file : {"flexoffers.jsonl", "dim_prosumer.csv"}) {
+    std::filesystem::path target = std::filesystem::path(dir) / file;
+    std::string original = Slurp(target);
+    ASSERT_GT(original.size(), 10u);
+    Overwrite(target, original.substr(0, original.size() / 2));
+    Result<dw::Database> restored = dw::LoadDatabase(dir);
+    ASSERT_FALSE(restored.ok()) << file;
+    EXPECT_EQ(restored.status().code(), StatusCode::kDataLoss) << file;
+    Overwrite(target, original);  // restore for the next iteration
+  }
+  EXPECT_TRUE(dw::LoadDatabase(dir).ok());  // fixture intact again
+}
+
+TEST_F(PersistenceTest, FlippedByteIsDataLoss) {
+  std::string dir = TempDir("flipped");
+  ASSERT_TRUE(dw::SaveDatabase(db_, dir).ok());
+  std::filesystem::path offers = std::filesystem::path(dir) / "flexoffers.jsonl";
+  std::string bytes = Slurp(offers);
+  // Same size, one bit different: only the manifest CRC can catch this.
+  bytes[bytes.size() / 3] ^= 0x04;
+  Overwrite(offers, bytes);
+  Result<dw::Database> restored = dw::LoadDatabase(dir);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(PersistenceTest, MissingManifestIsDataLoss) {
+  std::string dir = TempDir("no_manifest");
+  ASSERT_TRUE(dw::SaveDatabase(db_, dir).ok());
+  std::filesystem::remove(std::filesystem::path(dir) / dw::kSnapshotManifest);
+  Result<dw::Database> restored = dw::LoadDatabase(dir);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(PersistenceTest, MissingCoveredFileIsDataLoss) {
+  std::string dir = TempDir("missing_file");
+  ASSERT_TRUE(dw::SaveDatabase(db_, dir).ok());
+  std::filesystem::remove(std::filesystem::path(dir) / "dim_region.csv");
+  Result<dw::Database> restored = dw::LoadDatabase(dir);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(PersistenceTest, StaleTempFilesAreIgnored) {
+  std::string dir = TempDir("stale_tmp");
+  ASSERT_TRUE(dw::SaveDatabase(db_, dir).ok());
+  // Debris of a crashed earlier save: .tmp files that never got renamed.
+  Overwrite(std::filesystem::path(dir) / ("flexoffers.jsonl" + std::string(kTmpSuffix)),
+            "half-written garbage");
+  Overwrite(std::filesystem::path(dir) / ("dim_prosumer.csv" + std::string(kTmpSuffix)), "");
+  Result<dw::Database> restored = dw::LoadDatabase(dir);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->NumFlexOffers(), db_.NumFlexOffers());
+}
+
+TEST_F(PersistenceTest, DuplicateOfferIdNamesIdAndLine) {
+  std::string dir = TempDir("dup_id");
+  ASSERT_TRUE(dw::SaveDatabase(db_, dir).ok());
+  std::filesystem::path offers = std::filesystem::path(dir) / "flexoffers.jsonl";
+  std::string bytes = Slurp(offers);
+  // Duplicate the first line at the end, then re-seal the manifest so only
+  // the duplicate-id check (not the CRC) can reject the file.
+  std::string first_line = bytes.substr(0, bytes.find('\n') + 1);
+  size_t lines_before = static_cast<size_t>(std::count(bytes.begin(), bytes.end(), '\n'));
+  Overwrite(offers, bytes + first_line);
+  ASSERT_TRUE(WriteManifest(dir, dw::kSnapshotManifest,
+                            {"dim_prosumer.csv", "dim_region.csv", "dim_grid_node.csv",
+                             "flexoffers.jsonl"})
+                  .ok());
+  Result<dw::Database> restored = dw::LoadDatabase(dir);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(restored.status().message().find("duplicate flex-offer id"), std::string::npos)
+      << restored.status().message();
+  EXPECT_NE(restored.status().message().find("line " + std::to_string(lines_before + 1)),
+            std::string::npos)
+      << restored.status().message();
+}
+
+TEST_F(PersistenceTest, ShortWriteSurfacesAsTypedError) {
+  // /dev/full makes every write report ENOSPC: the save must fail with a
+  // typed error instead of leaving a silently truncated file. (Directory
+  // creation under /dev/full fails too, which is an equally typed path.)
+  Status status = dw::SaveDatabase(db_, "/dev/full");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
 }
 
 // ---- Viewport -----------------------------------------------------------------------
