@@ -7,6 +7,8 @@
 #include <filesystem>
 
 #include "render/svg_canvas.h"
+#include "sim/coordinator.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -69,6 +71,25 @@ Status EnsureBenchOutDir() {
   return OkStatus();
 }
 
+/// Commit every report is stamped with, so a BENCH_*.json artifact is
+/// traceable to the exact tree it measured: GITHUB_SHA when CI exports it,
+/// otherwise `git rev-parse`, otherwise "unknown" (outside a work tree).
+std::string GitSha() {
+  if (const char* env = std::getenv("GITHUB_SHA"); env != nullptr && *env != '\0') {
+    std::string sha(env);
+    if (sha.size() > 12) sha.resize(12);
+    return sha;
+  }
+  std::string sha;
+  if (std::FILE* pipe = ::popen("git rev-parse --short=12 HEAD 2>/dev/null", "r")) {
+    char buffer[64];
+    if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) sha = buffer;
+    ::pclose(pipe);
+  }
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) sha.pop_back();
+  return sha.empty() ? "unknown" : sha;
+}
+
 }  // namespace
 
 Status ExportScene(const render::DisplayList& scene, const std::string& name) {
@@ -104,6 +125,11 @@ Status BenchReport::Write() const {
   JsonValue doc = JsonValue::Object();
   doc.Set("schema_version", JsonValue::Int(1));
   doc.Set("name", JsonValue::Str(name_));
+  JsonValue meta = JsonValue::Object();
+  meta.Set("git_sha", JsonValue::Str(GitSha()));
+  meta.Set("threads", JsonValue::Int(ParallelThreadCount()));
+  meta.Set("shards", JsonValue::Int(sim::ShardsFromEnv(1)));
+  doc.Set("meta", std::move(meta));
   doc.Set("samples", samples_);
   doc.Set("counters", counters_);
   std::string path = "bench_out/BENCH_" + name_ + ".json";

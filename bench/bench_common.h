@@ -62,6 +62,7 @@ Status ExportScene(const render::DisplayList& scene, const std::string& name);
 /// {
 ///   "schema_version": 1,
 ///   "name": "<bench name>",
+///   "meta": {"git_sha": "<commit>", "threads": n, "shards": k},
 ///   "samples": [
 ///     {"label": "...", "wall_seconds": s, "threads": n,
 ///      "items": i, "items_per_second": i/s}, ...

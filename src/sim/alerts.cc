@@ -18,6 +18,7 @@ std::string_view AlertKindName(AlertKind kind) {
     case AlertKind::kShortage: return "shortage";
     case AlertKind::kOverCapacity: return "over-capacity";
     case AlertKind::kPlanDeviation: return "plan-deviation";
+    case AlertKind::kOverload: return "overload";
   }
   return "unknown";
 }
@@ -85,6 +86,32 @@ std::vector<Alert> AlertEngine::Scan(const PlanningReport& report) const {
     if (a.interval.start == b.interval.start) return a.severity > b.severity;
     return a.interval.start < b.interval.start;
   });
+  return alerts;
+}
+
+std::vector<Alert> ScanOverload(const std::vector<OnlineReport>& shard_reports,
+                                const TimeInterval& window, int queue_depth_threshold) {
+  std::vector<Alert> alerts;
+  for (size_t shard = 0; shard < shard_reports.size(); ++shard) {
+    const OnlineReport& report = shard_reports[shard];
+    const bool shed = report.shed_offers > 0;
+    const bool deep = queue_depth_threshold > 0 &&
+                      report.queue_high_watermark >= queue_depth_threshold;
+    if (!shed && !deep) continue;
+    Alert alert;
+    alert.kind = AlertKind::kOverload;
+    alert.interval = window;
+    alert.magnitude_kwh = static_cast<double>(report.shed_offers);
+    alert.peak_kwh = static_cast<double>(report.queue_high_watermark);
+    alert.severity = std::clamp(
+        static_cast<double>(report.shed_offers) /
+            static_cast<double>(std::max(1, report.offers_received)),
+        deep ? 0.25 : 0.0, 1.0);
+    alert.message = StrFormat(
+        "overload on shard %zu: %d offer(s) shed, pending-acceptance queue peaked at %d",
+        shard, report.shed_offers, report.queue_high_watermark);
+    alerts.push_back(std::move(alert));
+  }
   return alerts;
 }
 

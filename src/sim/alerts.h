@@ -7,6 +7,7 @@
 #include "core/measures.h"
 #include "dw/database.h"
 #include "sim/enterprise.h"
+#include "sim/online.h"
 #include "util/status.h"
 
 namespace flexvis::sim {
@@ -22,6 +23,10 @@ enum class AlertKind {
   kOverCapacity,
   /// Realized load deviates from the plan beyond tolerance (imbalance fees).
   kPlanDeviation,
+  /// An enterprise shard's bounded ingest queue shed offers (reject-newest)
+  /// or ran near capacity — the shard is saturated and prosumers are being
+  /// turned away.
+  kOverload,
 };
 
 std::string_view AlertKindName(AlertKind kind);
@@ -86,6 +91,15 @@ struct AlertDrillDown {
 
 Result<AlertDrillDown> DrillDownAlert(const Alert& alert, const dw::Database& db,
                                       size_t top_k = 10);
+
+/// Scans per-shard online reports (index = shard id) for overload: a shard
+/// that shed offers — or, when `queue_depth_threshold` > 0, whose
+/// pending-acceptance queue reached that depth — produces one kOverload
+/// alert spanning `window`, with magnitude_kwh = shed offer count, peak_kwh
+/// = queue high watermark, and a message naming the shard. Ordered by shard.
+std::vector<Alert> ScanOverload(const std::vector<OnlineReport>& shard_reports,
+                                const timeutil::TimeInterval& window,
+                                int queue_depth_threshold = 0);
 
 }  // namespace flexvis::sim
 

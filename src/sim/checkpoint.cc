@@ -54,7 +54,17 @@ std::string EncodeMeta(const OnlineParams& params, const timeutil::TimeInterval&
   meta.Set("solar_peak_kwh", JsonValue::Double(params.energy.solar_peak_kwh));
   meta.Set("demand_base_kwh", JsonValue::Double(params.energy.demand_base_kwh));
   meta.Set("energy_noise", JsonValue::Double(params.energy.noise));
+  meta.Set("max_ingest_per_tick", JsonValue::Int(params.max_ingest_per_tick));
+  meta.Set("ingest_queue_capacity", JsonValue::Int(params.ingest_queue_capacity));
   return meta.Dump();
+}
+
+/// Optional-with-default integer: pre-overload checkpoints lack the newer
+/// keys and must keep resuming with the historical (unlimited) behaviour.
+int64_t GetIntOr(const JsonValue& json, std::string_view key, int64_t fallback) {
+  if (!json.Has(key)) return fallback;
+  Result<int64_t> value = json.GetInt(key);
+  return value.ok() ? *value : fallback;
 }
 
 Status DecodeMeta(std::string_view text, OnlineParams* params,
@@ -93,6 +103,10 @@ Status DecodeMeta(std::string_view text, OnlineParams* params,
   params->energy.solar_peak_kwh = *solar;
   params->energy.demand_base_kwh = *demand;
   params->energy.noise = *noise;
+  params->max_ingest_per_tick = static_cast<int>(GetIntOr(meta, "max_ingest_per_tick", 0));
+  params->ingest_queue_capacity =
+      static_cast<int>(GetIntOr(meta, "ingest_queue_capacity", 0));
+  params->faults = nullptr;
   return OkStatus();
 }
 
@@ -127,19 +141,6 @@ Status DecodeOffers(std::string_view lines, std::vector<core::FlexOffer>* offers
   return OkStatus();
 }
 
-/// Writes the immutable snapshot (meta + offers + manifest) under `dir`.
-/// The manifest lands last: its rename is the snapshot's commit point.
-Status WriteSnapshot(const fs::path& dir, const OnlineParams& params,
-                     const std::vector<core::FlexOffer>& offers,
-                     const timeutil::TimeInterval& window) {
-  FLEXVIS_RETURN_IF_ERROR(
-      WriteFileAtomic((dir / kCheckpointMetaFile).string(), EncodeMeta(params, window)));
-  FLEXVIS_RETURN_IF_ERROR(
-      WriteFileAtomic((dir / kCheckpointOffersFile).string(), EncodeOffers(offers)));
-  return WriteManifest(dir.string(), kCheckpointManifestFile,
-                       {kCheckpointMetaFile, kCheckpointOffersFile});
-}
-
 /// Executes the remaining ticks live, journaling each one (append + flush
 /// before the next tick starts: the flush is the durability point).
 Result<OnlineReport> ContinueJournaled(const OnlineEnterprise& enterprise,
@@ -159,6 +160,32 @@ Result<OnlineReport> ContinueJournaled(const OnlineEnterprise& enterprise,
 }
 
 }  // namespace
+
+Status WriteOnlineSnapshot(const std::string& directory, const OnlineParams& params,
+                           const std::vector<core::FlexOffer>& offers,
+                           const timeutil::TimeInterval& window) {
+  const fs::path dir(directory);
+  FLEXVIS_RETURN_IF_ERROR(
+      WriteFileAtomic((dir / kCheckpointMetaFile).string(), EncodeMeta(params, window)));
+  FLEXVIS_RETURN_IF_ERROR(
+      WriteFileAtomic((dir / kCheckpointOffersFile).string(), EncodeOffers(offers)));
+  return WriteManifest(dir.string(), kCheckpointManifestFile,
+                       {kCheckpointMetaFile, kCheckpointOffersFile});
+}
+
+Status ReadOnlineSnapshot(const std::string& directory, OnlineParams* params,
+                          std::vector<core::FlexOffer>* offers,
+                          timeutil::TimeInterval* window) {
+  const fs::path dir(directory);
+  FLEXVIS_RETURN_IF_ERROR(VerifyManifest(directory, kCheckpointManifestFile));
+  Result<std::string> meta_text = ReadFileToString((dir / kCheckpointMetaFile).string());
+  if (!meta_text.ok()) return meta_text.status();
+  FLEXVIS_RETURN_IF_ERROR(DecodeMeta(*meta_text, params, window));
+  Result<std::string> offers_text =
+      ReadFileToString((dir / kCheckpointOffersFile).string());
+  if (!offers_text.ok()) return offers_text.status();
+  return DecodeOffers(*offers_text, offers);
+}
 
 std::string EncodeTickRecord(const OnlineTickRecord& record) {
   JsonValue json = JsonValue::Object();
@@ -188,6 +215,8 @@ std::string EncodeTickRecord(const OnlineTickRecord& record) {
   json.Set("missed_asn", JsonValue::Int(record.missed_assignment));
   json.Set("dropped", JsonValue::Int(record.dropped_ingest));
   json.Set("failed_sends", JsonValue::Int(record.failed_sends));
+  json.Set("shed", JsonValue::Int(record.shed_offers));
+  json.Set("qhw", JsonValue::Int(record.queue_high_watermark));
   json.Set("next_arrival", JsonValue::Int(record.next_arrival));
   json.Set("pend_acc", IdArray(record.pending_acceptance));
   json.Set("pend_asn", IdArray(record.pending_assignment));
@@ -229,6 +258,8 @@ Result<OnlineTickRecord> DecodeTickRecord(std::string_view text) {
   record.missed_assignment = static_cast<int>(*missed_asn);
   record.dropped_ingest = static_cast<int>(*dropped);
   record.failed_sends = static_cast<int>(*failed_sends);
+  record.shed_offers = static_cast<int>(GetIntOr(json, "shed", 0));
+  record.queue_high_watermark = static_cast<int>(GetIntOr(json, "qhw", 0));
   record.next_arrival = *next_arrival;
 
   const JsonValue& changes = json.Get("changes");
@@ -297,7 +328,7 @@ Result<OnlineReport> RunOnlineCheckpointed(const OnlineParams& params,
   Result<OnlineLoopState> state = enterprise.Begin(offers, window);
   if (!state.ok()) return state.status();
 
-  FLEXVIS_RETURN_IF_ERROR(WriteSnapshot(dir, params, offers, window));
+  FLEXVIS_RETURN_IF_ERROR(WriteOnlineSnapshot(directory, params, offers, window));
   return ContinueJournaled(enterprise, *std::move(state), dir / kCheckpointJournalFile,
                            nullptr);
 }
@@ -309,18 +340,10 @@ Result<OnlineReport> ResumeOnline(const std::string& directory, ResumeInfo* info
   // Snapshot integrity gates everything: a crash before the manifest landed
   // means no tick ever ran (the journal is only written after the snapshot
   // commits), so the caller can simply rerun from its inputs.
-  FLEXVIS_RETURN_IF_ERROR(VerifyManifest(directory, kCheckpointManifestFile));
-
-  Result<std::string> meta_text = ReadFileToString((dir / kCheckpointMetaFile).string());
-  if (!meta_text.ok()) return meta_text.status();
   OnlineParams params;
   timeutil::TimeInterval window;
-  FLEXVIS_RETURN_IF_ERROR(DecodeMeta(*meta_text, &params, &window));
-
-  Result<std::string> offers_text = ReadFileToString((dir / kCheckpointOffersFile).string());
-  if (!offers_text.ok()) return offers_text.status();
   std::vector<core::FlexOffer> offers;
-  FLEXVIS_RETURN_IF_ERROR(DecodeOffers(*offers_text, &offers));
+  FLEXVIS_RETURN_IF_ERROR(ReadOnlineSnapshot(directory, &params, &offers, &window));
 
   OnlineEnterprise enterprise(params);
   Result<OnlineLoopState> state = enterprise.Begin(offers, window);

@@ -65,9 +65,31 @@ Result<OnlineReport> ResumeOnline(const std::string& directory, ResumeInfo* info
 
 /// Serialization of one tick record (exposed for tests and the recovery
 /// bench): compact JSON via EncodeTickRecord, strict decode via
-/// DecodeTickRecord (missing fields or type mismatches error).
+/// DecodeTickRecord (missing fields or type mismatches error; the overload
+/// counters added later are optional-with-default so pre-overload journals
+/// still replay).
 std::string EncodeTickRecord(const OnlineTickRecord& record);
 Result<OnlineTickRecord> DecodeTickRecord(std::string_view text);
+
+// ---- Snapshot codec (shared with sim/coordinator) ---------------------------
+//
+// The sharded coordinator namespaces one of these snapshot directories per
+// shard (shard-0000/, shard-0001/, ...) under its run directory, so every
+// shard owns exactly the layout a single-enterprise checkpoint uses.
+
+/// Writes the immutable snapshot (meta.json, offers.jsonl, SNAPSHOT.json —
+/// manifest last, its rename being the commit point) under `directory`,
+/// which must already exist.
+Status WriteOnlineSnapshot(const std::string& directory, const OnlineParams& params,
+                           const std::vector<core::FlexOffer>& offers,
+                           const timeutil::TimeInterval& window);
+
+/// Verifies the snapshot manifest under `directory` (kDataLoss when partial
+/// or corrupt) and decodes the run's immutable inputs. `params->faults` is
+/// always left null — fault wiring is runtime state, never persisted.
+Status ReadOnlineSnapshot(const std::string& directory, OnlineParams* params,
+                          std::vector<core::FlexOffer>* offers,
+                          timeutil::TimeInterval* window);
 
 }  // namespace flexvis::sim
 

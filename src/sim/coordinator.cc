@@ -1,0 +1,910 @@
+#include "sim/coordinator.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <filesystem>
+#include <map>
+#include <utility>
+
+#include "core/messages.h"
+#include "sim/workload.h"
+#include "util/fileio.h"
+#include "util/json.h"
+#include "util/parallel.h"
+#include "util/strings.h"
+
+namespace flexvis::sim {
+
+namespace fs = std::filesystem;
+
+using core::FlexOffer;
+using timeutil::TimeInterval;
+
+namespace {
+
+/// splitmix64-style shard seed: every shard's fault registry draws from its
+/// own streams, reproducibly derived from the run's base seed.
+uint64_t ShardSeed(uint64_t base, int shard) {
+  uint64_t x = base + 0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(shard + 1);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Element-wise sum of `other` into `acc`, rebasing `acc` when `other`
+/// starts earlier (TimeSeries::Add ignores slices before the receiver's
+/// start). Used only when merging shard 1+ into the running global series,
+/// so a 1-shard merge never touches the copied report.
+void AddAligned(core::TimeSeries* acc, const core::TimeSeries& other) {
+  if (other.empty()) return;
+  if (acc->empty()) {
+    *acc = other;
+    return;
+  }
+  if (other.start() < acc->start()) {
+    core::TimeSeries rebased(other.start(), 0);
+    rebased.Add(*acc);
+    *acc = std::move(rebased);
+  }
+  acc->Add(other);
+}
+
+// ---- Migration journal records ----------------------------------------------
+//
+// Tick records serialize as JSON objects without a "kind" key (the PR 3
+// format, unchanged byte for byte); migration records are tagged with one.
+// A migration appends migrate_out to the source journal (flushed first),
+// then migrate_in — carrying the full offer payload, so the record is
+// self-contained — to the target journal, then rewrites COORDINATOR.json
+// with the bumped epoch. Recovery therefore sees one of: both records (the
+// migration committed; replay it), only migrate_out (crash between the two
+// flushes; complete the migration by synthesizing the migrate_in), or
+// neither (the migration never happened).
+
+struct MigrationRecord {
+  bool is_in = false;  // migrate_in vs migrate_out
+  core::ProsumerId prosumer = core::kInvalidProsumerId;
+  int from = 0;
+  int to = 0;
+  int64_t epoch = 0;
+  /// migrate_in only: the migrated prosumer's offers.
+  std::vector<FlexOffer> offers;
+};
+
+std::string EncodeMigrationRecord(const MigrationRecord& record) {
+  JsonValue json = JsonValue::Object();
+  json.Set("kind", JsonValue::Str(record.is_in ? "migrate_in" : "migrate_out"));
+  json.Set("prosumer", JsonValue::Int(record.prosumer));
+  json.Set("from", JsonValue::Int(record.from));
+  json.Set("to", JsonValue::Int(record.to));
+  json.Set("epoch", JsonValue::Int(record.epoch));
+  if (record.is_in) {
+    JsonValue offers = JsonValue::Array();
+    for (const FlexOffer& o : record.offers) {
+      offers.Append(JsonValue::Str(core::EncodeFlexOffer(o)));
+    }
+    json.Set("offers", std::move(offers));
+  }
+  return json.Dump();
+}
+
+Result<MigrationRecord> DecodeMigrationRecord(const JsonValue& json) {
+  MigrationRecord record;
+  Result<std::string> kind = json.GetString("kind");
+  Result<int64_t> prosumer = json.GetInt("prosumer");
+  Result<int64_t> from = json.GetInt("from");
+  Result<int64_t> to = json.GetInt("to");
+  Result<int64_t> epoch = json.GetInt("epoch");
+  if (!kind.ok() || !prosumer.ok() || !from.ok() || !to.ok() || !epoch.ok()) {
+    return DataLossError("migration journal record is incomplete");
+  }
+  if (*kind == "migrate_in") {
+    record.is_in = true;
+  } else if (*kind != "migrate_out") {
+    return DataLossError(StrFormat("unknown journal record kind '%s'", kind->c_str()));
+  }
+  record.prosumer = *prosumer;
+  record.from = static_cast<int>(*from);
+  record.to = static_cast<int>(*to);
+  record.epoch = *epoch;
+  if (record.is_in) {
+    const JsonValue& offers = json.Get("offers");
+    if (!offers.is_array()) {
+      return DataLossError("migrate_in record lacks an 'offers' array");
+    }
+    for (size_t i = 0; i < offers.size(); ++i) {
+      if (!offers[i].is_string()) {
+        return DataLossError("migrate_in record holds a non-string offer");
+      }
+      Result<FlexOffer> offer = core::DecodeFlexOffer(offers[i].AsString());
+      if (!offer.ok()) return offer.status();
+      record.offers.push_back(*std::move(offer));
+    }
+  }
+  return record;
+}
+
+/// One replayed journal entry: either a tick record or a migration record.
+struct ReplayedRecord {
+  bool is_migration = false;
+  OnlineTickRecord tick;
+  MigrationRecord migration;
+};
+
+Result<ReplayedRecord> ParseJournalRecord(const std::string& payload) {
+  ReplayedRecord out;
+  Result<JsonValue> parsed = JsonValue::Parse(payload);
+  if (!parsed.ok() || !parsed->is_object()) {
+    return DataLossError("journal record is not a JSON object");
+  }
+  if (parsed->Has("kind")) {
+    Result<MigrationRecord> migration = DecodeMigrationRecord(*parsed);
+    if (!migration.ok()) return migration.status();
+    out.is_migration = true;
+    out.migration = *std::move(migration);
+    return out;
+  }
+  Result<OnlineTickRecord> tick = DecodeTickRecord(payload);
+  if (!tick.ok()) return tick.status();
+  out.tick = *std::move(tick);
+  return out;
+}
+
+}  // namespace
+
+int ShardsFromEnv(int fallback) {
+  const char* env = std::getenv(kShardsEnvVar);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || value < 1 || value > 64) return fallback;
+  return static_cast<int>(value);
+}
+
+/// Everything one shard owns: its loop parameters (energy scaled, faults
+/// pointed at the shard registry), its fault registry, its live state, the
+/// full list of applied tick records (replayed on migration rebuilds), and —
+/// when checkpointed — its open journal.
+struct Coordinator::Shard {
+  OnlineParams params;
+  std::unique_ptr<FaultRegistry> registry;
+  OnlineEnterprise enterprise;
+  OnlineLoopState state;
+  std::vector<OnlineTickRecord> applied;
+  JournalWriter journal;
+};
+
+Coordinator::Coordinator(CoordinatorParams params)
+    : params_(std::move(params)),
+      router_(params_.num_shards < 1 ? 1 : params_.num_shards, params_.policy) {
+  if (params_.num_shards < 1) params_.num_shards = 1;
+}
+
+Coordinator::~Coordinator() = default;
+
+FaultRegistry& Coordinator::shard_faults(int shard) {
+  return *shards_[static_cast<size_t>(shard)]->registry;
+}
+
+std::string Coordinator::ShardDir(int shard) const {
+  return (fs::path(directory_) / StrFormat("%s%04d", kShardDirPrefix, shard)).string();
+}
+
+Status Coordinator::Begin(const std::vector<FlexOffer>& offers, const TimeInterval& window) {
+  if (begun_) return FailedPreconditionError("coordinator already begun");
+  offers_ = offers;
+  window_ = window;
+  const int n = params_.num_shards;
+  std::vector<std::vector<size_t>> partition = router_.Partition(offers_);
+  shards_.clear();
+  for (int s = 0; s < n; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->registry = std::make_unique<FaultRegistry>();
+    FLEXVIS_RETURN_IF_ERROR(
+        InstallFaultsInto(*shard->registry, ShardSeed(params_.fault_seed, s)));
+    shard->params = params_.online;
+    shard->params.faults = shard->registry.get();
+    if (params_.scale_energy_per_shard) {
+      const double divisor = static_cast<double>(n);
+      shard->params.energy.wind_mean_kwh /= divisor;
+      shard->params.energy.solar_peak_kwh /= divisor;
+      shard->params.energy.demand_base_kwh /= divisor;
+    }
+    shard->enterprise = OnlineEnterprise(shard->params);
+    std::vector<FlexOffer> subset;
+    subset.reserve(partition[static_cast<size_t>(s)].size());
+    for (size_t idx : partition[static_cast<size_t>(s)]) subset.push_back(offers_[idx]);
+    Result<OnlineLoopState> state = shard->enterprise.Begin(subset, window);
+    if (!state.ok()) return state.status();
+    shard->state = *std::move(state);
+    shards_.push_back(std::move(shard));
+  }
+  begun_ = true;
+  return OkStatus();
+}
+
+Status Coordinator::BeginCheckpointed(const std::vector<FlexOffer>& offers,
+                                      const TimeInterval& window,
+                                      const std::string& directory) {
+  directory_ = directory;
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec) {
+    return InternalError(StrFormat("cannot create checkpoint directory '%s': %s",
+                                   directory.c_str(), ec.message().c_str()));
+  }
+  // Invalidate any previous run first: dropping COORDINATOR.json means a
+  // crash anywhere inside this function recovers to "no committed run"
+  // (rerun from inputs), never to a mix of old and new shard state.
+  fs::remove(fs::path(directory_) / kCoordinatorManifestFile, ec);
+  for (const fs::directory_entry& entry : fs::directory_iterator(directory_, ec)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kShardDirPrefix, 0) != 0) continue;
+    std::error_code ignore;
+    fs::remove(entry.path() / kCheckpointManifestFile, ignore);
+    fs::remove(entry.path() / kCheckpointJournalFile, ignore);
+  }
+
+  FLEXVIS_RETURN_IF_ERROR(Begin(offers, window));
+  checkpointed_ = true;
+
+  // Per-shard snapshots (each its own commit point via SNAPSHOT.json), then
+  // the coordinator manifest — the run's overall commit point — last.
+  std::vector<std::vector<size_t>> partition = router_.Partition(offers_);
+  for (int s = 0; s < params_.num_shards; ++s) {
+    const std::string shard_dir = ShardDir(s);
+    fs::create_directories(shard_dir, ec);
+    if (ec) {
+      return InternalError(StrFormat("cannot create shard directory '%s': %s",
+                                     shard_dir.c_str(), ec.message().c_str()));
+    }
+    std::vector<FlexOffer> subset;
+    for (size_t idx : partition[static_cast<size_t>(s)]) subset.push_back(offers_[idx]);
+    FLEXVIS_RETURN_IF_ERROR(
+        WriteOnlineSnapshot(shard_dir, shards_[static_cast<size_t>(s)]->params, subset,
+                            window));
+  }
+  FLEXVIS_RETURN_IF_ERROR(WriteCoordinatorManifest());
+  for (int s = 0; s < params_.num_shards; ++s) {
+    Result<JournalWriter> writer =
+        JournalWriter::Open((fs::path(ShardDir(s)) / kCheckpointJournalFile).string());
+    if (!writer.ok()) return writer.status();
+    shards_[static_cast<size_t>(s)]->journal = *std::move(writer);
+  }
+  return OkStatus();
+}
+
+bool Coordinator::Done() const {
+  if (!begun_) return false;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (!shard->enterprise.Done(shard->state)) return false;
+  }
+  return true;
+}
+
+Status Coordinator::Tick() {
+  if (!begun_) return FailedPreconditionError("coordinator not begun");
+  int64_t min_tick = -1;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->enterprise.Done(shard->state)) continue;
+    if (min_tick < 0 || shard->state.next_tick < min_tick) {
+      min_tick = shard->state.next_tick;
+    }
+  }
+  if (min_tick < 0) return FailedPreconditionError("all shards are done");
+
+  // Phase 1: compute every eligible shard's tick in parallel. The tick path
+  // touches only shard-owned state and the shard's own FaultRegistry, so
+  // execution order across shards cannot change any outcome.
+  const size_t n = shards_.size();
+  std::vector<OnlineTickRecord> records(n);
+  std::vector<char> ticked(n, 0);
+  ParallelFor(0, n, 1, [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      Shard& shard = *shards_[s];
+      if (shard.enterprise.Done(shard.state) || shard.state.next_tick != min_tick) continue;
+      shard.enterprise.Tick(shard.state, &records[s]);
+      ticked[s] = 1;
+    }
+  });
+
+  // Phase 2: journal serially in shard order. All file I/O (and with it the
+  // process-wide util.journal.* crash points) happens here, on one thread,
+  // in a deterministic order — the property the coordinator kill-matrix
+  // test depends on.
+  for (size_t s = 0; s < n; ++s) {
+    if (!ticked[s]) continue;
+    Shard& shard = *shards_[s];
+    if (checkpointed_) {
+      FLEXVIS_RETURN_IF_ERROR(shard.journal.Append(EncodeTickRecord(records[s])));
+      FLEXVIS_RETURN_IF_ERROR(shard.journal.Flush());
+    }
+    shard.applied.push_back(std::move(records[s]));
+  }
+  return OkStatus();
+}
+
+Status Coordinator::RebuildShard(int s, const ShardRouter& router,
+                                 OnlineLoopState* out) const {
+  const Shard& shard = *shards_[static_cast<size_t>(s)];
+  std::vector<FlexOffer> subset;
+  for (const FlexOffer& offer : offers_) {
+    if (router.ShardOf(offer) == s) subset.push_back(offer);
+  }
+  Result<OnlineLoopState> rebuilt = shard.enterprise.Begin(subset, window_);
+  if (!rebuilt.ok()) return rebuilt.status();
+  for (const OnlineTickRecord& record : shard.applied) {
+    FLEXVIS_RETURN_IF_ERROR(shard.enterprise.Apply(*rebuilt, record));
+  }
+
+  // Replay-diff against the live state. The arrival-prefix comparison is the
+  // real migration precondition: history is untouched exactly when every
+  // already-consumed arrival position maps to the same offer before and
+  // after the membership change.
+  const OnlineLoopState& live = shard.state;
+  if (rebuilt->next_tick != live.next_tick ||
+      rebuilt->next_arrival != live.next_arrival) {
+    return FailedPreconditionError(StrFormat(
+        "migration would perturb shard %d history (tick %d vs %d, arrival cursor %zu vs "
+        "%zu)",
+        s, rebuilt->next_tick, live.next_tick, rebuilt->next_arrival, live.next_arrival));
+  }
+  for (size_t i = 0; i < rebuilt->next_arrival; ++i) {
+    core::FlexOfferId rebuilt_id = rebuilt->report.offers[rebuilt->arrival[i]].id;
+    core::FlexOfferId live_id = live.report.offers[live.arrival[i]].id;
+    if (rebuilt_id != live_id) {
+      return FailedPreconditionError(StrFormat(
+          "migration would reorder shard %d's consumed arrivals (position %zu: offer %lld "
+          "vs %lld)",
+          s, i, static_cast<long long>(rebuilt_id), static_cast<long long>(live_id)));
+    }
+  }
+  if (rebuilt->report.outbox != live.report.outbox ||
+      rebuilt->report.offers_received != live.report.offers_received ||
+      rebuilt->report.accepted != live.report.accepted ||
+      rebuilt->report.rejected != live.report.rejected ||
+      rebuilt->report.assigned != live.report.assigned) {
+    return InternalError(
+        StrFormat("shard %d replay diverged from its live state during migration", s));
+  }
+  *out = *std::move(rebuilt);
+  return OkStatus();
+}
+
+Status Coordinator::CommitMigration(core::ProsumerId prosumer, int from, int to,
+                                    int64_t new_epoch) {
+  FLEXVIS_RETURN_IF_ERROR(router_.Assign(prosumer, to));
+  epoch_ = new_epoch;
+  OnlineLoopState source_state;
+  OnlineLoopState target_state;
+  FLEXVIS_RETURN_IF_ERROR(RebuildShard(from, router_, &source_state));
+  FLEXVIS_RETURN_IF_ERROR(RebuildShard(to, router_, &target_state));
+  shards_[static_cast<size_t>(from)]->state = std::move(source_state);
+  shards_[static_cast<size_t>(to)]->state = std::move(target_state);
+  return OkStatus();
+}
+
+Status Coordinator::MigrateProsumer(core::ProsumerId prosumer, int to_shard) {
+  if (!begun_) return FailedPreconditionError("coordinator not begun");
+  if (to_shard < 0 || to_shard >= params_.num_shards) {
+    return InvalidArgumentError(
+        StrFormat("shard %d out of range [0, %d)", to_shard, params_.num_shards));
+  }
+  const FlexOffer* sample = nullptr;
+  std::vector<FlexOffer> moving;
+  for (const FlexOffer& offer : offers_) {
+    if (offer.prosumer != prosumer) continue;
+    if (sample == nullptr) sample = &offer;
+    moving.push_back(offer);
+  }
+  if (sample == nullptr) {
+    return NotFoundError(
+        StrFormat("prosumer %lld owns no offers", static_cast<long long>(prosumer)));
+  }
+  const int from = router_.ShardOf(*sample);
+  if (from == to_shard) {
+    return InvalidArgumentError(StrFormat("prosumer %lld is already on shard %d",
+                                          static_cast<long long>(prosumer), to_shard));
+  }
+
+  // Precondition: the prosumer is idle on its source shard — none of its
+  // offers were ingested (their arrival positions all lie at or past the
+  // cursor). An active prosumer's history cannot move without rewriting it.
+  Shard& source = *shards_[static_cast<size_t>(from)];
+  for (size_t pos = 0; pos < source.state.next_arrival; ++pos) {
+    const FlexOffer& consumed = source.state.report.offers[source.state.arrival[pos]];
+    if (consumed.prosumer == prosumer) {
+      return FailedPreconditionError(StrFormat(
+          "prosumer %lld is active on shard %d (offer %lld already ingested); migration "
+          "requires an idle prosumer",
+          static_cast<long long>(prosumer), from, static_cast<long long>(consumed.id)));
+    }
+  }
+
+  // Speculative rebuild + replay-diff of both shards BEFORE anything becomes
+  // durable: a failed verification leaves the run (and journals) untouched.
+  ShardRouter new_router = router_;
+  FLEXVIS_RETURN_IF_ERROR(new_router.Assign(prosumer, to_shard));
+  const int64_t new_epoch = epoch_ + 1;
+  OnlineLoopState source_state;
+  OnlineLoopState target_state;
+  FLEXVIS_RETURN_IF_ERROR(RebuildShard(from, new_router, &source_state));
+  FLEXVIS_RETURN_IF_ERROR(RebuildShard(to_shard, new_router, &target_state));
+
+  // Durability order: migrate_out (source journal) -> migrate_in with the
+  // offer payload (target journal) -> manifest rewrite. Recovery completes a
+  // lone migrate_out; a migrate_in cannot exist without its migrate_out.
+  if (checkpointed_) {
+    MigrationRecord out;
+    out.is_in = false;
+    out.prosumer = prosumer;
+    out.from = from;
+    out.to = to_shard;
+    out.epoch = new_epoch;
+    FLEXVIS_RETURN_IF_ERROR(source.journal.Append(EncodeMigrationRecord(out)));
+    FLEXVIS_RETURN_IF_ERROR(source.journal.Flush());
+    MigrationRecord in = out;
+    in.is_in = true;
+    in.offers = std::move(moving);
+    Shard& target = *shards_[static_cast<size_t>(to_shard)];
+    FLEXVIS_RETURN_IF_ERROR(target.journal.Append(EncodeMigrationRecord(in)));
+    FLEXVIS_RETURN_IF_ERROR(target.journal.Flush());
+  }
+
+  router_ = std::move(new_router);
+  epoch_ = new_epoch;
+  shards_[static_cast<size_t>(from)]->state = std::move(source_state);
+  shards_[static_cast<size_t>(to_shard)]->state = std::move(target_state);
+  if (checkpointed_) FLEXVIS_RETURN_IF_ERROR(WriteCoordinatorManifest());
+  return OkStatus();
+}
+
+std::vector<std::vector<size_t>> Coordinator::CurrentPartition() const {
+  return router_.Partition(offers_);
+}
+
+Status Coordinator::WriteCoordinatorManifest() const {
+  JsonValue manifest = JsonValue::Object();
+  manifest.Set("schema_version", JsonValue::Int(1));
+  manifest.Set("num_shards", JsonValue::Int(params_.num_shards));
+  manifest.Set("policy", JsonValue::Str(std::string(ShardPolicyName(params_.policy))));
+  manifest.Set("scale_energy_per_shard", JsonValue::Bool(params_.scale_energy_per_shard));
+  manifest.Set("fault_seed", JsonValue::Int(static_cast<int64_t>(params_.fault_seed)));
+  manifest.Set("epoch", JsonValue::Int(epoch_));
+  JsonValue overrides = JsonValue::Array();
+  for (const auto& [prosumer, shard] : router_.overrides()) {
+    JsonValue pair = JsonValue::Array();
+    pair.Append(JsonValue::Int(prosumer));
+    pair.Append(JsonValue::Int(shard));
+    overrides.Append(std::move(pair));
+  }
+  manifest.Set("overrides", std::move(overrides));
+  JsonValue order = JsonValue::Array();
+  for (const FlexOffer& offer : offers_) order.Append(JsonValue::Int(offer.id));
+  manifest.Set("offer_order", std::move(order));
+  return WriteFileAtomic((fs::path(directory_) / kCoordinatorManifestFile).string(),
+                         manifest.Dump());
+}
+
+Result<MergedOnlineReport> Coordinator::Finish() {
+  if (!begun_) return FailedPreconditionError("coordinator not begun");
+  MergedOnlineReport merged;
+  merged.num_shards = params_.num_shards;
+  merged.epoch = epoch_;
+  std::vector<std::vector<size_t>> partition = CurrentPartition();
+  merged.global.offers.resize(offers_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    if (checkpointed_ && shard.journal.is_open()) {
+      FLEXVIS_RETURN_IF_ERROR(shard.journal.Close());
+    }
+    OnlineReport report = shard.enterprise.Finish(std::move(shard.state));
+    if (report.offers.size() != partition[s].size()) {
+      return InternalError(StrFormat(
+          "shard %zu finished with %zu offers but owns %zu (partition drift)", s,
+          report.offers.size(), partition[s].size()));
+    }
+    for (size_t i = 0; i < partition[s].size(); ++i) {
+      merged.global.offers[partition[s][i]] = report.offers[i];
+    }
+    merged.global.offers_received += report.offers_received;
+    merged.global.accepted += report.accepted;
+    merged.global.rejected += report.rejected;
+    merged.global.assigned += report.assigned;
+    merged.global.missed_acceptance += report.missed_acceptance;
+    merged.global.missed_assignment += report.missed_assignment;
+    merged.global.dropped_ingest += report.dropped_ingest;
+    merged.global.failed_sends += report.failed_sends;
+    merged.global.shed_offers += report.shed_offers;
+    merged.global.queue_high_watermark =
+        std::max(merged.global.queue_high_watermark, report.queue_high_watermark);
+    merged.global.imbalance_kwh += report.imbalance_kwh;
+    merged.global.ticks = std::max(merged.global.ticks, report.ticks);
+    for (const std::string& wire : report.outbox) merged.global.outbox.push_back(wire);
+    merged.shard_reports.push_back(std::move(report));
+  }
+  for (const FlexOffer& offer : merged.global.offers) {
+    merged.total_offered_kwh += offer.total_max_energy_kwh();
+  }
+  begun_ = false;
+  return merged;
+}
+
+Result<MergedOnlineReport> Coordinator::RunSharded(const CoordinatorParams& params,
+                                                   const std::vector<FlexOffer>& offers,
+                                                   const TimeInterval& window) {
+  Coordinator coordinator(params);
+  FLEXVIS_RETURN_IF_ERROR(coordinator.Begin(offers, window));
+  while (!coordinator.Done()) FLEXVIS_RETURN_IF_ERROR(coordinator.Tick());
+  return coordinator.Finish();
+}
+
+Result<MergedOnlineReport> Coordinator::RunShardedCheckpointed(
+    const CoordinatorParams& params, const std::vector<FlexOffer>& offers,
+    const TimeInterval& window, const std::string& directory) {
+  Coordinator coordinator(params);
+  FLEXVIS_RETURN_IF_ERROR(coordinator.BeginCheckpointed(offers, window, directory));
+  while (!coordinator.Done()) FLEXVIS_RETURN_IF_ERROR(coordinator.Tick());
+  return coordinator.Finish();
+}
+
+Result<MergedOnlineReport> Coordinator::ResumeSharded(const std::string& directory,
+                                                      ShardResumeInfo* info) {
+  if (info != nullptr) *info = ShardResumeInfo{};
+  const fs::path dir(directory);
+
+  // The coordinator manifest is the run's commit point: without it nothing
+  // was promised (the crash predates Begin's completion) and the caller
+  // reruns from its inputs.
+  Result<std::string> manifest_text =
+      ReadFileToString((dir / kCoordinatorManifestFile).string());
+  if (!manifest_text.ok()) {
+    return DataLossError(StrFormat(
+        "no committed coordinator manifest under '%s'; rerun from inputs",
+        directory.c_str()));
+  }
+  Result<JsonValue> manifest = JsonValue::Parse(*manifest_text);
+  if (!manifest.ok() || !manifest->is_object()) {
+    return DataLossError("COORDINATOR.json is unparsable");
+  }
+  Result<int64_t> num_shards = manifest->GetInt("num_shards");
+  Result<std::string> policy_name = manifest->GetString("policy");
+  Result<bool> scale = manifest->GetBool("scale_energy_per_shard");
+  Result<int64_t> fault_seed = manifest->GetInt("fault_seed");
+  Result<int64_t> manifest_epoch = manifest->GetInt("epoch");
+  if (!num_shards.ok() || !policy_name.ok() || !scale.ok() || !fault_seed.ok() ||
+      !manifest_epoch.ok() || *num_shards < 1) {
+    return DataLossError("COORDINATOR.json is incomplete");
+  }
+  Result<ShardPolicy> policy = ParseShardPolicy(*policy_name);
+  if (!policy.ok()) return DataLossError("COORDINATOR.json names an unknown policy");
+  const JsonValue& order_json = manifest->Get("offer_order");
+  const JsonValue& overrides_json = manifest->Get("overrides");
+  if (!order_json.is_array() || !overrides_json.is_array()) {
+    return DataLossError("COORDINATOR.json lacks offer_order/overrides arrays");
+  }
+  std::map<core::ProsumerId, int> manifest_overrides;
+  for (size_t i = 0; i < overrides_json.size(); ++i) {
+    const JsonValue& pair = overrides_json[i];
+    if (!pair.is_array() || pair.size() != 2 || !pair[0].is_int() || !pair[1].is_int()) {
+      return DataLossError("COORDINATOR.json override entry is malformed");
+    }
+    manifest_overrides[pair[0].AsInt()] = static_cast<int>(pair[1].AsInt());
+  }
+
+  const int n = static_cast<int>(*num_shards);
+  CoordinatorParams params;
+  params.num_shards = n;
+  params.policy = *policy;
+  params.scale_energy_per_shard = *scale;
+  params.fault_seed = static_cast<uint64_t>(*fault_seed);
+
+  // Load every shard snapshot (each verifies its own SNAPSHOT.json).
+  std::vector<OnlineParams> shard_params(static_cast<size_t>(n));
+  std::vector<std::vector<FlexOffer>> shard_offers(static_cast<size_t>(n));
+  TimeInterval window;
+  for (int s = 0; s < n; ++s) {
+    const std::string shard_dir =
+        (dir / StrFormat("%s%04d", kShardDirPrefix, s)).string();
+    FLEXVIS_RETURN_IF_ERROR(ReadOnlineSnapshot(shard_dir, &shard_params[static_cast<size_t>(s)],
+                                               &shard_offers[static_cast<size_t>(s)],
+                                               &window));
+  }
+
+  // Rebuild the global offer list in its original input order.
+  std::map<core::FlexOfferId, const FlexOffer*> by_id;
+  for (const std::vector<FlexOffer>& subset : shard_offers) {
+    for (const FlexOffer& offer : subset) {
+      if (!by_id.emplace(offer.id, &offer).second) {
+        return DataLossError(StrFormat("flex-offer %lld appears in two shard snapshots",
+                                       static_cast<long long>(offer.id)));
+      }
+    }
+  }
+  Coordinator coordinator(params);
+  coordinator.params_.online = shard_params[0];
+  coordinator.params_.online.faults = nullptr;
+  // The snapshots already carry per-shard (scaled) parameters; nothing below
+  // rescales, so suppress the Begin-time scaling semantics on this instance.
+  coordinator.directory_ = directory;
+  coordinator.window_ = window;
+  for (size_t i = 0; i < order_json.size(); ++i) {
+    if (!order_json[i].is_int()) return DataLossError("offer_order holds a non-integer id");
+    auto it = by_id.find(order_json[i].AsInt());
+    if (it == by_id.end()) {
+      return DataLossError(StrFormat("offer_order names flex-offer %lld absent from every "
+                                     "shard snapshot",
+                                     static_cast<long long>(order_json[i].AsInt())));
+    }
+    coordinator.offers_.push_back(*it->second);
+  }
+  if (coordinator.offers_.size() != by_id.size()) {
+    return DataLossError("shard snapshots hold offers missing from offer_order");
+  }
+
+  // Rebuild each shard from its snapshot subset (the pre-migration
+  // partition; migrations re-apply during journal replay).
+  if (info != nullptr) info->shards.resize(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->registry = std::make_unique<FaultRegistry>();
+    FLEXVIS_RETURN_IF_ERROR(
+        InstallFaultsInto(*shard->registry, ShardSeed(params.fault_seed, s)));
+    shard->params = shard_params[static_cast<size_t>(s)];
+    shard->params.faults = shard->registry.get();
+    shard->enterprise = OnlineEnterprise(shard->params);
+    Result<OnlineLoopState> state =
+        shard->enterprise.Begin(shard_offers[static_cast<size_t>(s)], window);
+    if (!state.ok()) return state.status();
+    shard->state = *std::move(state);
+    coordinator.shards_.push_back(std::move(shard));
+  }
+  coordinator.begun_ = true;
+  coordinator.checkpointed_ = true;
+
+  // Replay every shard journal: truncate torn tails, parse records.
+  std::vector<std::deque<ReplayedRecord>> queues(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    const std::string journal_path =
+        (fs::path(coordinator.ShardDir(s)) / kCheckpointJournalFile).string();
+    Result<JournalReplay> replay = ReplayJournal(journal_path);
+    if (!replay.ok()) {
+      if (replay.status().code() == StatusCode::kNotFound) continue;
+      return replay.status();
+    }
+    for (const std::string& payload : replay->records) {
+      Result<ReplayedRecord> record = ParseJournalRecord(payload);
+      if (!record.ok()) return record.status();
+      queues[static_cast<size_t>(s)].push_back(*std::move(record));
+    }
+    if (replay->torn_tail) {
+      FLEXVIS_RETURN_IF_ERROR(TruncateJournal(journal_path, replay->valid_bytes));
+    }
+    if (info != nullptr) {
+      info->shards[static_cast<size_t>(s)].torn_tail = replay->torn_tail;
+      info->shards[static_cast<size_t>(s)].torn_bytes = replay->torn_bytes;
+    }
+  }
+  for (int s = 0; s < n; ++s) {
+    Result<JournalWriter> writer = JournalWriter::Open(
+        (fs::path(coordinator.ShardDir(s)) / kCheckpointJournalFile).string());
+    if (!writer.ok()) return writer.status();
+    coordinator.shards_[static_cast<size_t>(s)]->journal = *std::move(writer);
+  }
+
+  // Lockstep replay: at every tick boundary first commit the migrations
+  // recorded there (pairing each migrate_in with its migrate_out; a lone
+  // migrate_out whose target journal ends is a crash between the two
+  // flushes — complete it by synthesizing the migrate_in), then apply one
+  // tick record per shard.
+  std::vector<MigrationRecord> pending_out;
+  for (;;) {
+    bool progressed = false;
+
+    std::vector<std::pair<int, MigrationRecord>> boundary;
+    for (int s = 0; s < n; ++s) {
+      std::deque<ReplayedRecord>& queue = queues[static_cast<size_t>(s)];
+      while (!queue.empty() && queue.front().is_migration) {
+        boundary.emplace_back(s, std::move(queue.front().migration));
+        queue.pop_front();
+        progressed = true;
+      }
+    }
+    for (auto& [shard_idx, record] : boundary) {
+      if (!record.is_in) {
+        if (record.from != shard_idx) {
+          return DataLossError("migrate_out found in a journal it does not name as source");
+        }
+        pending_out.push_back(std::move(record));
+      }
+    }
+    // Commit paired migrations in epoch order.
+    std::vector<std::pair<int, MigrationRecord>> ins;
+    for (auto& [shard_idx, record] : boundary) {
+      if (record.is_in) ins.emplace_back(shard_idx, std::move(record));
+    }
+    std::sort(ins.begin(), ins.end(),
+              [](const auto& a, const auto& b) { return a.second.epoch < b.second.epoch; });
+    for (auto& [shard_idx, record] : ins) {
+      if (record.to != shard_idx) {
+        return DataLossError("migrate_in found in a journal it does not name as target");
+      }
+      auto match = std::find_if(pending_out.begin(), pending_out.end(),
+                                [&](const MigrationRecord& out) {
+                                  return out.prosumer == record.prosumer &&
+                                         out.epoch == record.epoch;
+                                });
+      if (match == pending_out.end()) {
+        return DataLossError(StrFormat(
+            "migrate_in for prosumer %lld has no matching migrate_out",
+            static_cast<long long>(record.prosumer)));
+      }
+      pending_out.erase(match);
+      FLEXVIS_RETURN_IF_ERROR(coordinator.CommitMigration(record.prosumer, record.from,
+                                                          record.to, record.epoch));
+      if (info != nullptr) ++info->migrations_replayed;
+    }
+    // Repair lone migrate_outs whose target journal is exhausted: the crash
+    // hit between the two flushes. Re-journal the migrate_in, then commit.
+    for (auto it = pending_out.begin(); it != pending_out.end();) {
+      if (!queues[static_cast<size_t>(it->to)].empty()) {
+        ++it;
+        continue;
+      }
+      MigrationRecord in = *it;
+      in.is_in = true;
+      for (const FlexOffer& offer : coordinator.offers_) {
+        if (offer.prosumer == in.prosumer) in.offers.push_back(offer);
+      }
+      Shard& target = *coordinator.shards_[static_cast<size_t>(in.to)];
+      FLEXVIS_RETURN_IF_ERROR(target.journal.Append(EncodeMigrationRecord(in)));
+      FLEXVIS_RETURN_IF_ERROR(target.journal.Flush());
+      FLEXVIS_RETURN_IF_ERROR(
+          coordinator.CommitMigration(in.prosumer, in.from, in.to, in.epoch));
+      if (info != nullptr) ++info->migrations_repaired;
+      it = pending_out.erase(it);
+      progressed = true;
+    }
+
+    for (int s = 0; s < n; ++s) {
+      std::deque<ReplayedRecord>& queue = queues[static_cast<size_t>(s)];
+      if (queue.empty() || queue.front().is_migration) continue;
+      Shard& shard = *coordinator.shards_[static_cast<size_t>(s)];
+      OnlineTickRecord record = std::move(queue.front().tick);
+      queue.pop_front();
+      FLEXVIS_RETURN_IF_ERROR(shard.enterprise.Apply(shard.state, record));
+      shard.applied.push_back(std::move(record));
+      if (info != nullptr) ++info->shards[static_cast<size_t>(s)].ticks_replayed;
+      progressed = true;
+    }
+    if (!progressed) break;
+  }
+  if (!pending_out.empty()) {
+    return DataLossError("unresolved migrate_out records after journal replay");
+  }
+
+  // The journals are authoritative for the assignment epoch; a manifest that
+  // lags them (crash between a migration's flushes and its manifest rewrite)
+  // is refreshed before the run continues.
+  if (coordinator.epoch_ != *manifest_epoch ||
+      coordinator.router_.overrides() != manifest_overrides) {
+    FLEXVIS_RETURN_IF_ERROR(coordinator.WriteCoordinatorManifest());
+    if (info != nullptr) info->manifest_rewritten = true;
+  }
+
+  std::vector<int> replayed_ticks(static_cast<size_t>(n), 0);
+  for (int s = 0; s < n; ++s) {
+    replayed_ticks[static_cast<size_t>(s)] =
+        coordinator.shards_[static_cast<size_t>(s)]->state.report.ticks;
+  }
+  while (!coordinator.Done()) FLEXVIS_RETURN_IF_ERROR(coordinator.Tick());
+  if (info != nullptr) {
+    for (int s = 0; s < n; ++s) {
+      info->shards[static_cast<size_t>(s)].ticks_continued =
+          coordinator.shards_[static_cast<size_t>(s)]->state.report.ticks -
+          replayed_ticks[static_cast<size_t>(s)];
+    }
+  }
+  return coordinator.Finish();
+}
+
+// ---- Offline sharded planning -----------------------------------------------
+
+Result<MergedPlanningReport> PlanHorizonSharded(const EnterpriseParams& params,
+                                                int num_shards, ShardPolicy policy,
+                                                const std::vector<FlexOffer>& offers,
+                                                const TimeInterval& window,
+                                                bool scale_energy_per_shard,
+                                                uint64_t fault_seed) {
+  const int n = num_shards < 1 ? 1 : num_shards;
+  ShardRouter router(n, policy);
+  std::vector<std::vector<size_t>> partition = router.Partition(offers);
+
+  std::vector<std::unique_ptr<FaultRegistry>> registries(static_cast<size_t>(n));
+  std::vector<EnterpriseParams> shard_params(static_cast<size_t>(n), params);
+  for (int s = 0; s < n; ++s) {
+    registries[static_cast<size_t>(s)] = std::make_unique<FaultRegistry>();
+    FLEXVIS_RETURN_IF_ERROR(
+        InstallFaultsInto(*registries[static_cast<size_t>(s)], ShardSeed(fault_seed, s)));
+    EnterpriseParams& sp = shard_params[static_cast<size_t>(s)];
+    if (scale_energy_per_shard) {
+      const double divisor = static_cast<double>(n);
+      sp.energy.wind_mean_kwh /= divisor;
+      sp.energy.solar_peak_kwh /= divisor;
+      sp.energy.demand_base_kwh /= divisor;
+    }
+    sp.faults = registries[static_cast<size_t>(s)].get();
+    sp.market.faults = registries[static_cast<size_t>(s)].get();
+  }
+
+  // Shard planning runs in parallel; each shard touches only its own params,
+  // registry, and report slot. Nested parallel sections inside PlanHorizon
+  // degrade to serial inline execution (util/parallel), so this composes.
+  std::vector<Status> statuses(static_cast<size_t>(n), OkStatus());
+  std::vector<PlanningReport> reports(static_cast<size_t>(n));
+  ParallelFor(0, static_cast<size_t>(n), 1, [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      std::vector<FlexOffer> subset;
+      subset.reserve(partition[s].size());
+      for (size_t idx : partition[s]) subset.push_back(offers[idx]);
+      Enterprise enterprise(shard_params[s]);
+      Result<PlanningReport> report = enterprise.PlanHorizon(subset, window);
+      if (report.ok()) {
+        reports[s] = *std::move(report);
+      } else {
+        statuses[s] = report.status();
+      }
+    }
+  });
+  for (const Status& status : statuses) FLEXVIS_RETURN_IF_ERROR(status);
+
+  MergedPlanningReport merged;
+  merged.num_shards = n;
+  // Shard 0 seeds the global report (so a 1-shard merge is the unsharded
+  // report verbatim); shards 1+ fold in. Prices stay shard 0's curve — a
+  // merged price is not meaningful; per-shard curves live in shard_reports.
+  merged.global = reports[0];
+  for (int s = 1; s < n; ++s) {
+    PlanningReport& r = reports[static_cast<size_t>(s)];
+    AddAligned(&merged.global.res_production, r.res_production);
+    AddAligned(&merged.global.inflexible_demand, r.inflexible_demand);
+    AddAligned(&merged.global.planned_against_demand, r.planned_against_demand);
+    AddAligned(&merged.global.target, r.target);
+    AddAligned(&merged.global.planned_flexible_load, r.planned_flexible_load);
+    AddAligned(&merged.global.realized_flexible_load, r.realized_flexible_load);
+    AddAligned(&merged.global.deviation, r.deviation);
+    merged.global.offers_in += r.offers_in;
+    merged.global.aggregates_built += r.aggregates_built;
+    merged.global.aggregates_assigned += r.aggregates_assigned;
+    merged.global.aggregates_rejected += r.aggregates_rejected;
+    merged.global.imbalance_before_kwh += r.imbalance_before_kwh;
+    merged.global.imbalance_after_kwh += r.imbalance_after_kwh;
+    for (FlexOffer& o : r.member_offers) merged.global.member_offers.push_back(o);
+    for (FlexOffer& o : r.aggregate_offers) merged.global.aggregate_offers.push_back(o);
+    for (const std::string& stage : r.degraded_stages) {
+      merged.global.degraded_stages.push_back(stage);
+    }
+    AddAligned(&merged.global.settlement.traded_kwh, r.settlement.traded_kwh);
+    merged.global.settlement.spot_cost_eur += r.settlement.spot_cost_eur;
+    merged.global.settlement.imbalance_kwh += r.settlement.imbalance_kwh;
+    merged.global.settlement.imbalance_cost_eur += r.settlement.imbalance_cost_eur;
+    merged.global.settlement.total_cost_eur += r.settlement.total_cost_eur;
+  }
+  if (n > 1) {
+    std::sort(merged.global.degraded_stages.begin(), merged.global.degraded_stages.end());
+    merged.global.degraded_stages.erase(std::unique(merged.global.degraded_stages.begin(),
+                                                    merged.global.degraded_stages.end()),
+                                        merged.global.degraded_stages.end());
+  }
+  // Shard-invariant total: summed over the *input* offers in global order,
+  // so the floating-point fold is bit-identical at every shard count.
+  for (const FlexOffer& offer : offers) {
+    merged.total_offered_kwh += offer.total_max_energy_kwh();
+  }
+  merged.shard_reports = std::move(reports);
+  return merged;
+}
+
+}  // namespace flexvis::sim

@@ -1,0 +1,220 @@
+#ifndef FLEXVIS_SIM_COORDINATOR_H_
+#define FLEXVIS_SIM_COORDINATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/checkpoint.h"
+#include "sim/enterprise.h"
+#include "sim/online.h"
+#include "sim/shard.h"
+#include "util/fault.h"
+#include "util/journal.h"
+#include "util/status.h"
+
+namespace flexvis::sim {
+
+/// Multi-enterprise sharding: the prosumer population is partitioned across
+/// N Enterprise instances (shards) by a ShardRouter, and a Coordinator
+/// drives all shards in lockstep — one global planning tick advances every
+/// shard one tick — then merges the per-shard reports into a global view
+/// with deterministic ordering. Each shard owns its own FaultRegistry,
+/// OnlineLoopState, checkpoint directory, and write-ahead journal; nothing
+/// process-wide sits on the tick path, so shard tick *computation* runs in
+/// parallel (util/parallel pool) while all journal and snapshot I/O happens
+/// serially in shard order (the process-wide util.journal.* / util.fileio.*
+/// crash points therefore fire at deterministic positions, which the
+/// coordinator kill-matrix test relies on).
+///
+/// A 1-shard run is byte-identical to the unsharded OnlineEnterprise::Run:
+/// the hash partition routes everything to shard 0 in input order, energy
+/// scaling divides by 1.0 (exact), and the merge maps shard-local offers
+/// back through the identity permutation.
+
+/// Layout of a sharded checkpoint directory:
+///
+///   COORDINATOR.json      num_shards, policy, epoch, migration overrides,
+///                         and the global offer order — written atomically,
+///                         last at Begin (the run's commit point) and again
+///                         after every committed migration
+///   shard-0000/           a full single-enterprise checkpoint (meta.json,
+///   shard-0001/ ...       offers.jsonl, SNAPSHOT.json, journal.wal)
+inline constexpr const char* kCoordinatorManifestFile = "COORDINATOR.json";
+inline constexpr const char* kShardDirPrefix = "shard-";
+
+/// Name of the shard-count environment knob benches and the CLI honour.
+inline constexpr const char* kShardsEnvVar = "FLEXVIS_SHARDS";
+
+/// getenv(FLEXVIS_SHARDS) clamped to [1, 64]; `fallback` when unset/invalid.
+int ShardsFromEnv(int fallback = 1);
+
+struct CoordinatorParams {
+  int num_shards = 1;
+  ShardPolicy policy = ShardPolicy::kHash;
+  /// Per-shard loop parameters. `online.faults` is ignored: every shard gets
+  /// its own registry, seeded from `fault_seed` and armed from
+  /// FLEXVIS_FAULTS (a no-op when the variable is unset).
+  OnlineParams online;
+  /// Divide the energy-model means (wind/solar/demand) by num_shards so each
+  /// shard balances its share of the market zone and shard-summed totals
+  /// stay comparable to a single-enterprise run. Division by 1.0 is exact,
+  /// preserving 1-shard byte-identity.
+  bool scale_energy_per_shard = true;
+  /// Base seed for the per-shard fault registries (shard s is seeded with a
+  /// shard-distinct mix of this).
+  uint64_t fault_seed = 2013;
+};
+
+/// The coordinator's merged view of one sharded run.
+struct MergedOnlineReport {
+  int num_shards = 1;
+  /// Assignment epoch: number of committed prosumer migrations.
+  int64_t epoch = 0;
+  /// Global report: counters summed across shards (queue_high_watermark is
+  /// the max), offers merged back into global input order, outbox
+  /// concatenated in shard order.
+  OnlineReport global;
+  /// Per-shard reports, indexed by shard id (sim/alerts ScanOverload input).
+  std::vector<OnlineReport> shard_reports;
+  /// Σ total_max_energy_kwh over the input offers in global order — a
+  /// shard-invariant total (bit-identical at any shard count).
+  double total_offered_kwh = 0.0;
+};
+
+/// Observability of a sharded recovery.
+struct ShardResumeInfo {
+  std::vector<ResumeInfo> shards;
+  /// Committed migrations reconstructed from the journals.
+  int migrations_replayed = 0;
+  /// migrate_out records whose migrate_in was lost to the crash; the resume
+  /// completed them (synthesizing the migrate_in) before continuing.
+  int migrations_repaired = 0;
+  /// True when COORDINATOR.json lagged the journals (crash between a
+  /// migration's journal flushes and its manifest rewrite) and was rewritten.
+  bool manifest_rewritten = false;
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorParams params);
+  ~Coordinator();
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  const CoordinatorParams& params() const { return params_; }
+  const ShardRouter& router() const { return router_; }
+  int64_t epoch() const { return epoch_; }
+
+  /// Per-shard fault registry (armed from FLEXVIS_FAULTS at Begin); valid
+  /// after Begin. Tests arm individual shards through this.
+  FaultRegistry& shard_faults(int shard);
+
+  /// Partitions `offers` across the shards and builds every shard's loop
+  /// state. In-memory mode: nothing touches disk.
+  Status Begin(const std::vector<core::FlexOffer>& offers,
+               const timeutil::TimeInterval& window);
+
+  /// Begin with checkpointing under `directory` (created if needed; a
+  /// previous run there is invalidated first): one snapshot sub-directory
+  /// per shard, COORDINATOR.json written last as the commit point, and a
+  /// per-shard journal flushed every tick.
+  Status BeginCheckpointed(const std::vector<core::FlexOffer>& offers,
+                           const timeutil::TimeInterval& window,
+                           const std::string& directory);
+
+  /// True when every shard has executed all ticks of the window.
+  bool Done() const;
+
+  /// Advances the run one global tick: every shard at the minimum tick index
+  /// computes its tick in parallel (per-shard state and registries only),
+  /// then the records are journaled serially in shard order.
+  Status Tick();
+
+  /// Moves `prosumer` to `to_shard`, replay-verified: the prosumer must be
+  /// idle in its current shard (none of its offers ingested yet —
+  /// FailedPrecondition otherwise), its offers are exported as a journaled
+  /// migrate_out record, imported into the target via a migrate_in record
+  /// carrying the full offer payload, and both shards are rebuilt from their
+  /// new offer subsets by replaying every applied tick record; the rebuilt
+  /// states are diffed against the pre-migration counters/outbox (Internal
+  /// on any mismatch). Commits the new assignment epoch to COORDINATOR.json
+  /// when checkpointed. NotFound when the prosumer owns no offers;
+  /// InvalidArgument when already on `to_shard`.
+  Status MigrateProsumer(core::ProsumerId prosumer, int to_shard);
+
+  /// Finalizes every shard and merges. Call once, after Done().
+  Result<MergedOnlineReport> Finish();
+
+  // ---- One-shot drivers ----------------------------------------------------
+
+  static Result<MergedOnlineReport> RunSharded(const CoordinatorParams& params,
+                                               const std::vector<core::FlexOffer>& offers,
+                                               const timeutil::TimeInterval& window);
+
+  static Result<MergedOnlineReport> RunShardedCheckpointed(
+      const CoordinatorParams& params, const std::vector<core::FlexOffer>& offers,
+      const timeutil::TimeInterval& window, const std::string& directory);
+
+  /// Recovers a sharded run from `directory`: reads COORDINATOR.json
+  /// (kDataLoss when absent — the run never committed; rerun from inputs),
+  /// loads every shard snapshot, replays every shard journal in lockstep —
+  /// reconstructing committed migrations in order, repairing a migration
+  /// whose migrate_in was lost to the crash, truncating torn tails — then
+  /// resumes all shards to a consistent epoch, continues the remaining
+  /// ticks, and returns the merged report, byte-identical to an
+  /// uninterrupted run.
+  static Result<MergedOnlineReport> ResumeSharded(const std::string& directory,
+                                                  ShardResumeInfo* info = nullptr);
+
+ private:
+  struct Shard;
+
+  std::string ShardDir(int shard) const;
+  Status WriteCoordinatorManifest() const;
+  /// Rebuilds shard `s`'s loop state from the offer subset `router` assigns
+  /// it, replaying every applied tick record, and replay-diffs the result
+  /// against the live state (arrival prefix, counters, outbox) — the
+  /// migration verification step. Writes the rebuilt state to `out`.
+  Status RebuildShard(int s, const ShardRouter& router, OnlineLoopState* out) const;
+  /// Commits a migration whose journal records are already durable: applies
+  /// the override, bumps the epoch, and swaps in the rebuilt states.
+  Status CommitMigration(core::ProsumerId prosumer, int from, int to, int64_t new_epoch);
+  std::vector<std::vector<size_t>> CurrentPartition() const;
+
+  CoordinatorParams params_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<core::FlexOffer> offers_;  // global input order
+  timeutil::TimeInterval window_;
+  int64_t epoch_ = 0;
+  bool checkpointed_ = false;
+  std::string directory_;
+  bool begun_ = false;
+};
+
+/// Offline counterpart: PlanHorizon across N enterprise shards, each with
+/// its own FaultRegistry and a 1/N-scaled energy model, run in parallel and
+/// merged deterministically.
+struct MergedPlanningReport {
+  int num_shards = 1;
+  /// Series and settlement scalars summed across shards; member_offers and
+  /// aggregate_offers concatenated in shard order (identical to the
+  /// unsharded report at N = 1); degraded_stages is the sorted union.
+  PlanningReport global;
+  std::vector<PlanningReport> shard_reports;
+  /// Σ total_max_energy_kwh over the input offers in global order.
+  double total_offered_kwh = 0.0;
+};
+
+Result<MergedPlanningReport> PlanHorizonSharded(const EnterpriseParams& params,
+                                                int num_shards, ShardPolicy policy,
+                                                const std::vector<core::FlexOffer>& offers,
+                                                const timeutil::TimeInterval& window,
+                                                bool scale_energy_per_shard = true,
+                                                uint64_t fault_seed = 2013);
+
+}  // namespace flexvis::sim
+
+#endif  // FLEXVIS_SIM_COORDINATOR_H_

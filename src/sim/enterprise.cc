@@ -27,6 +27,8 @@ Result<PlanningReport> Enterprise::PlanHorizon(const std::vector<FlexOffer>& off
   PlanningReport report;
   report.window = window;
   report.offers_in = static_cast<int>(offers.size());
+  FaultRegistry& faults =
+      params_.faults != nullptr ? *params_.faults : FaultRegistry::Global();
 
   // 1. Forecast the uncontrollable sides. In forecast mode the plan targets
   //    a Holt-Winters prediction of the inflexible demand built from
@@ -38,8 +40,9 @@ Result<PlanningReport> Enterprise::PlanHorizon(const std::vector<FlexOffer>& off
   report.inflexible_demand = MakeInflexibleDemand(window, params_.energy);
   report.planned_against_demand = report.inflexible_demand;
   if (params_.plan_on_forecast) {
-    Status forecast_up = RetryFaultPoint("sim.enterprise.forecast", DefaultRetryPolicy(),
-                                         []() -> Status { return OkStatus(); });
+    Status forecast_up =
+        RetryFaultPointIn(faults, "sim.enterprise.forecast", DefaultRetryPolicy(),
+                          []() -> Status { return OkStatus(); });
     if (forecast_up.ok()) {
       TimeInterval history_window(
           window.start - params_.forecast_history_days * timeutil::kMinutesPerDay,
@@ -69,8 +72,9 @@ Result<PlanningReport> Enterprise::PlanHorizon(const std::vector<FlexOffer>& off
   for (const FlexOffer& o : fresh) next_id = std::max(next_id, o.id);
   ++next_id;
   core::AggregationResult agg;
-  Status aggregate_up = RetryFaultPoint("sim.enterprise.aggregate", DefaultRetryPolicy(),
-                                        []() -> Status { return OkStatus(); });
+  Status aggregate_up =
+      RetryFaultPointIn(faults, "sim.enterprise.aggregate", DefaultRetryPolicy(),
+                        []() -> Status { return OkStatus(); });
   if (aggregate_up.ok()) {
     core::Aggregator aggregator(params_.aggregation);
     agg = aggregator.Aggregate(fresh, &next_id);
@@ -86,8 +90,9 @@ Result<PlanningReport> Enterprise::PlanHorizon(const std::vector<FlexOffer>& off
   //    plan otherwise; either way the unserved imbalance is settled at the
   //    penalty fee in step 8 instead of crashing the horizon.
   core::ScheduleResult plan;
-  Status scheduler_up = RetryFaultPoint("sim.enterprise.schedule", DefaultRetryPolicy(),
-                                        []() -> Status { return OkStatus(); });
+  Status scheduler_up =
+      RetryFaultPointIn(faults, "sim.enterprise.schedule", DefaultRetryPolicy(),
+                        []() -> Status { return OkStatus(); });
   std::vector<core::FlexOfferId> aggregate_ids;
   aggregate_ids.reserve(agg.aggregates.size());
   for (const FlexOffer& a : agg.aggregates) aggregate_ids.push_back(a.id);
@@ -159,8 +164,8 @@ Result<PlanningReport> Enterprise::PlanHorizon(const std::vector<FlexOffer>& off
     bool assigned = aggregate.state == core::FlexOfferState::kAssigned &&
                     aggregate.schedule.has_value();
     if (assigned) {
-      Status disaggregate_up = RetryFaultPoint(
-          "sim.enterprise.disaggregate", DefaultRetryPolicy(),
+      Status disaggregate_up = RetryFaultPointIn(
+          faults, "sim.enterprise.disaggregate", DefaultRetryPolicy(),
           []() -> Status { return OkStatus(); });
       if (!disaggregate_up.ok()) {
         assigned = false;
@@ -231,7 +236,9 @@ Result<PlanningReport> Enterprise::PlanHorizon(const std::vector<FlexOffer>& off
   residual.Add(report.planned_flexible_load.Slice(window));
   residual.Subtract(report.res_production);
 
-  Market market(params_.market);
+  MarketParams market_params = params_.market;
+  if (market_params.faults == nullptr) market_params.faults = params_.faults;
+  Market market(market_params);
   TimeSeries scarcity = residual;
   scarcity.Clamp(0.0, 1e18);
   TimeSeries prices = market.MakePrices(window, scarcity);
@@ -254,9 +261,11 @@ Result<PlanningReport> Enterprise::RunDayAhead(dw::Database& db,
   filter.aggregates = dw::FlexOfferFilter::AggregateFilter::kOnlyRaw;
   // Collection is the pipeline's entry: without offers there is nothing to
   // degrade to, so an exhausted sim.enterprise.collect surfaces typed.
+  FaultRegistry& faults =
+      params_.faults != nullptr ? *params_.faults : FaultRegistry::Global();
   std::vector<FlexOffer> collected;
-  FLEXVIS_RETURN_IF_ERROR(
-      RetryFaultPoint("sim.enterprise.collect", DefaultRetryPolicy(), [&]() -> Status {
+  FLEXVIS_RETURN_IF_ERROR(RetryFaultPointIn(
+      faults, "sim.enterprise.collect", DefaultRetryPolicy(), [&]() -> Status {
         Result<std::vector<FlexOffer>> offers = db.SelectFlexOffers(filter);
         if (!offers.ok()) return offers.status();
         collected = *std::move(offers);

@@ -13,6 +13,10 @@
 #include "sim/market.h"
 #include "util/status.h"
 
+namespace flexvis {
+class FaultRegistry;
+}
+
 namespace flexvis::sim {
 
 /// Configuration of the MIRABEL enterprise planning loop (Section 2 of the
@@ -41,6 +45,13 @@ struct EnterpriseParams {
   /// Tušar et al. the paper cites.
   int local_search_iterations = 0;
   uint64_t seed = 2013;
+  /// Fault registry the pipeline's sim.enterprise.* seams consult; nullptr
+  /// means FaultRegistry::Global() (the historical behaviour). Also forwarded
+  /// to the market's sim.market.bid seam unless `market.faults` is set
+  /// explicitly. The sharded coordinator points each shard's enterprise at
+  /// its own registry so no process-wide singleton sits on the planning
+  /// path. Runtime wiring only: never serialized.
+  FaultRegistry* faults = nullptr;
 };
 
 /// Everything one planning run produces; the dashboards and Fig. 1 feed on

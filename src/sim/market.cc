@@ -51,8 +51,10 @@ Settlement Market::Settle(const TimeSeries& plan_residual, const TimeSeries& dev
 Result<Settlement> Market::TrySettle(const TimeSeries& plan_residual,
                                      const TimeSeries& deviation,
                                      const TimeSeries& prices) const {
-  FLEXVIS_RETURN_IF_ERROR(RetryFaultPoint("sim.market.bid", DefaultRetryPolicy(),
-                                          []() -> Status { return OkStatus(); }));
+  FaultRegistry& faults =
+      params_.faults != nullptr ? *params_.faults : FaultRegistry::Global();
+  FLEXVIS_RETURN_IF_ERROR(RetryFaultPointIn(faults, "sim.market.bid", DefaultRetryPolicy(),
+                                            []() -> Status { return OkStatus(); }));
   return Settle(plan_residual, deviation, prices);
 }
 

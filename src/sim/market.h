@@ -5,6 +5,10 @@
 #include "util/rng.h"
 #include "util/status.h"
 
+namespace flexvis {
+class FaultRegistry;
+}
+
 namespace flexvis::sim {
 
 /// Day-ahead spot market model (the paper's Nordpool Spot stand-in): spot
@@ -18,6 +22,11 @@ struct MarketParams {
   double noise = 0.05;
   /// Imbalance energy is settled at spot * this multiplier.
   double imbalance_fee_multiplier = 3.0;
+  /// Fault registry the sim.market.bid seam consults; nullptr means
+  /// FaultRegistry::Global() (the historical behaviour). Per-shard market
+  /// instances get their shard's registry so bid-placement fault draws stay
+  /// deterministic under shard-parallel execution. Runtime wiring only.
+  FaultRegistry* faults = nullptr;
 };
 
 /// Settlement of one planning horizon.

@@ -77,6 +77,8 @@ void OnlineEnterprise::Tick(OnlineLoopState& state, OnlineTickRecord* record) co
   ++report.ticks;
 
   core::Scheduler scheduler(params_.scheduler);
+  FaultRegistry& faults =
+      params_.faults != nullptr ? *params_.faults : FaultRegistry::Global();
 
   auto note_change = [&](const FlexOffer& offer) {
     if (record == nullptr) return;
@@ -91,8 +93,8 @@ void OnlineEnterprise::Tick(OnlineLoopState& state, OnlineTickRecord* record) co
   // Each send retries per policy; persistent failure is absorbed, never
   // propagated — the loop must keep its tick cadence whatever the link does.
   auto deliver = [&](std::string wire) -> bool {
-    Status sent = RetryFaultPoint("sim.online.send", DefaultRetryPolicy(),
-                                  []() -> Status { return OkStatus(); });
+    Status sent = RetryFaultPointIn(faults, "sim.online.send", DefaultRetryPolicy(),
+                                    []() -> Status { return OkStatus(); });
     if (!sent.ok()) {
       ++report.failed_sends;
       return false;
@@ -132,12 +134,23 @@ void OnlineEnterprise::Tick(OnlineLoopState& state, OnlineTickRecord* record) co
   // 1. Ingest offers created up to now. The uplink from the prosumer
   //    gateway is lossy (sim.online.ingest): an offer whose submission
   //    fails after retries is dropped — counted, left kOffered, never
-  //    answered — and the loop moves on.
+  //    answered — and the loop moves on. Two overload valves bound the work
+  //    a traffic spike can force into one tick: `max_ingest_per_tick`
+  //    defers surplus arrivals to the next tick (the backlog stretches, the
+  //    tick does not), and `ingest_queue_capacity` sheds reject-newest once
+  //    the pending-acceptance queue is full (the shed offer is answered
+  //    with a rejection so the prosumer is not left hanging).
+  int ingested_this_tick = 0;
   while (state.next_arrival < state.arrival.size() &&
          report.offers[state.arrival[state.next_arrival]].creation_time <= now) {
+    if (params_.max_ingest_per_tick > 0 &&
+        ingested_this_tick >= params_.max_ingest_per_tick) {
+      break;  // work budget exhausted; remaining arrivals carry over
+    }
     size_t idx = state.arrival[state.next_arrival++];
-    Status ingested = RetryFaultPoint("sim.online.ingest", DefaultRetryPolicy(),
-                                      []() -> Status { return OkStatus(); });
+    ++ingested_this_tick;
+    Status ingested = RetryFaultPointIn(faults, "sim.online.ingest", DefaultRetryPolicy(),
+                                        []() -> Status { return OkStatus(); });
     if (!ingested.ok()) {
       ++report.dropped_ingest;
       continue;
@@ -147,8 +160,16 @@ void OnlineEnterprise::Tick(OnlineLoopState& state, OnlineTickRecord* record) co
       // Arrived already expired (coarse tick): count as missed, reject.
       ++report.missed_acceptance;
       send_acceptance(idx, /*accepted=*/false);
+    } else if (params_.ingest_queue_capacity > 0 &&
+               state.pending_acceptance.size() >=
+                   static_cast<size_t>(params_.ingest_queue_capacity)) {
+      ++report.shed_offers;
+      send_acceptance(idx, /*accepted=*/false);
     } else {
       state.pending_acceptance.push_back(idx);
+      report.queue_high_watermark =
+          std::max(report.queue_high_watermark,
+                   static_cast<int>(state.pending_acceptance.size()));
     }
   }
 
@@ -236,6 +257,8 @@ void OnlineEnterprise::Tick(OnlineLoopState& state, OnlineTickRecord* record) co
     record->missed_assignment = report.missed_assignment;
     record->dropped_ingest = report.dropped_ingest;
     record->failed_sends = report.failed_sends;
+    record->shed_offers = report.shed_offers;
+    record->queue_high_watermark = report.queue_high_watermark;
     record->next_arrival = static_cast<int64_t>(state.next_arrival);
     record->pending_acceptance.clear();
     record->pending_assignment.clear();
@@ -292,6 +315,8 @@ Status OnlineEnterprise::Apply(OnlineLoopState& state, const OnlineTickRecord& r
   report.missed_assignment = record.missed_assignment;
   report.dropped_ingest = record.dropped_ingest;
   report.failed_sends = record.failed_sends;
+  report.shed_offers = record.shed_offers;
+  report.queue_high_watermark = record.queue_high_watermark;
   if (record.next_arrival < 0 ||
       static_cast<size_t>(record.next_arrival) > state.arrival.size()) {
     return DataLossError(StrFormat("journal arrival cursor %lld out of range",

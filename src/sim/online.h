@@ -11,6 +11,10 @@
 #include "sim/energy_models.h"
 #include "util/status.h"
 
+namespace flexvis {
+class FaultRegistry;
+}
+
 namespace flexvis::sim {
 
 /// Parameters of the online planning loop.
@@ -22,6 +26,27 @@ struct OnlineParams {
   int64_t tick_minutes = 60;
   core::SchedulerParams scheduler;
   EnergyModelParams energy;
+
+  // ---- Overload protection (per-shard when run under the coordinator) -----
+
+  /// Per-tick ingest work budget: at most this many arrivals are processed
+  /// per tick; the surplus stays in the arrival backlog and is carried into
+  /// the next tick, so a traffic spike stretches the backlog, never the
+  /// tick. 0 = unlimited (the historical behaviour).
+  int max_ingest_per_tick = 0;
+  /// Bound on the pending-acceptance queue. An arrival that would overflow
+  /// it is shed reject-newest: the enterprise answers it with an immediate
+  /// rejection (counted in `shed_offers`) instead of queueing unbounded
+  /// work. 0 = unbounded (the historical behaviour).
+  int ingest_queue_capacity = 0;
+
+  /// Fault registry the loop's sim.online.* seams consult; nullptr means
+  /// FaultRegistry::Global() (the historical behaviour). The sharded
+  /// coordinator points each shard at its own registry so fault draws are
+  /// deterministic per shard regardless of shard-parallel execution order —
+  /// no process-wide singleton sits on the tick path. Runtime wiring only:
+  /// never serialized into checkpoint metadata.
+  FaultRegistry* faults = nullptr;
 };
 
 /// Outcome of one online run.
@@ -44,6 +69,13 @@ struct OnlineReport {
   /// confirmation to act on); a lost assignment leaves the offer accepted
   /// but uncommitted, so no capacity is booked against its schedule.
   int failed_sends = 0;
+  /// Arrivals shed by the bounded ingest queue (reject-newest): answered
+  /// with an immediate rejection because pending_acceptance was already at
+  /// `ingest_queue_capacity`. Zero unless the capacity knob is set.
+  int shed_offers = 0;
+  /// Largest pending-acceptance queue depth observed across the run — the
+  /// saturation signal operators watch next to `shed_offers`.
+  int queue_high_watermark = 0;
   /// Σ|target - committed load| over the horizon after the run.
   double imbalance_kwh = 0.0;
   /// Offers with their final states and committed schedules.
@@ -85,6 +117,8 @@ struct OnlineTickRecord {
   int missed_assignment = 0;
   int dropped_ingest = 0;
   int failed_sends = 0;
+  int shed_offers = 0;
+  int queue_high_watermark = 0;
   /// Arrival cursor after the tick (offers ingested or dropped so far).
   int64_t next_arrival = 0;
   /// Post-tick pending queues, as offer ids (stable across processes).

@@ -1,0 +1,90 @@
+#include "sim/shard.h"
+
+#include "util/strings.h"
+
+namespace flexvis::sim {
+
+namespace {
+
+/// splitmix64 finalizer: a cheap, well-mixed stable hash so consecutive
+/// prosumer ids spread evenly instead of striping across shards.
+uint64_t MixId(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+int Bucket(uint64_t key, int num_shards) {
+  return static_cast<int>(key % static_cast<uint64_t>(num_shards));
+}
+
+}  // namespace
+
+std::string_view ShardPolicyName(ShardPolicy policy) {
+  switch (policy) {
+    case ShardPolicy::kHash: return "hash";
+    case ShardPolicy::kRegion: return "region";
+    case ShardPolicy::kFeeder: return "feeder";
+  }
+  return "unknown";
+}
+
+Result<ShardPolicy> ParseShardPolicy(std::string_view name) {
+  if (name == "hash") return ShardPolicy::kHash;
+  if (name == "region") return ShardPolicy::kRegion;
+  if (name == "feeder") return ShardPolicy::kFeeder;
+  return InvalidArgumentError(
+      StrFormat("unknown shard policy '%.*s' (want hash|region|feeder)",
+                static_cast<int>(name.size()), name.data()));
+}
+
+ShardRouter::ShardRouter(int num_shards, ShardPolicy policy)
+    : num_shards_(num_shards < 1 ? 1 : num_shards), policy_(policy) {}
+
+int ShardRouter::ShardOfProsumer(core::ProsumerId prosumer, core::RegionId region,
+                                 core::GridNodeId grid_node) const {
+  auto it = overrides_.find(prosumer);
+  if (it != overrides_.end()) return it->second;
+  switch (policy_) {
+    case ShardPolicy::kHash:
+      return Bucket(MixId(static_cast<uint64_t>(prosumer)), num_shards_);
+    case ShardPolicy::kRegion:
+      // Unknown dimension values fall back to the prosumer hash so every
+      // offer still routes somewhere deterministic.
+      if (region == core::kInvalidRegionId) {
+        return Bucket(MixId(static_cast<uint64_t>(prosumer)), num_shards_);
+      }
+      return Bucket(static_cast<uint64_t>(region), num_shards_);
+    case ShardPolicy::kFeeder:
+      if (grid_node == core::kInvalidGridNodeId) {
+        return Bucket(MixId(static_cast<uint64_t>(prosumer)), num_shards_);
+      }
+      return Bucket(static_cast<uint64_t>(grid_node), num_shards_);
+  }
+  return 0;
+}
+
+int ShardRouter::ShardOf(const core::FlexOffer& offer) const {
+  return ShardOfProsumer(offer.prosumer, offer.region, offer.grid_node);
+}
+
+Status ShardRouter::Assign(core::ProsumerId prosumer, int shard) {
+  if (shard < 0 || shard >= num_shards_) {
+    return InvalidArgumentError(
+        StrFormat("shard %d out of range [0, %d)", shard, num_shards_));
+  }
+  overrides_[prosumer] = shard;
+  return OkStatus();
+}
+
+std::vector<std::vector<size_t>> ShardRouter::Partition(
+    const std::vector<core::FlexOffer>& offers) const {
+  std::vector<std::vector<size_t>> out(static_cast<size_t>(num_shards_));
+  for (size_t i = 0; i < offers.size(); ++i) {
+    out[static_cast<size_t>(ShardOf(offers[i]))].push_back(i);
+  }
+  return out;
+}
+
+}  // namespace flexvis::sim

@@ -1,0 +1,73 @@
+#ifndef FLEXVIS_SIM_SHARD_H_
+#define FLEXVIS_SIM_SHARD_H_
+
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "core/flex_offer.h"
+#include "util/status.h"
+
+namespace flexvis::sim {
+
+/// How prosumers are assigned to enterprise shards. The MIRABEL platform is
+/// "envisioned to be deployed at different distribution and transmission
+/// system operators"; sharding the prosumer population across N enterprise
+/// instances models exactly that federation.
+enum class ShardPolicy {
+  /// Stable hash of the prosumer id — the load-balancing default.
+  kHash = 0,
+  /// Geographic: prosumers of the same atlas region share a shard (an
+  /// enterprise per market zone).
+  kRegion,
+  /// Electrical: prosumers on the same grid feeder share a shard (an
+  /// enterprise per distribution operator).
+  kFeeder,
+};
+
+std::string_view ShardPolicyName(ShardPolicy policy);
+
+/// Inverse of ShardPolicyName; InvalidArgument on unknown names.
+Result<ShardPolicy> ParseShardPolicy(std::string_view name);
+
+/// Deterministic prosumer -> shard routing. The base mapping is a pure
+/// function of (policy, num_shards, prosumer attributes); migrations lay
+/// explicit per-prosumer overrides on top. Two routers constructed alike and
+/// given the same overrides route identically in every process.
+class ShardRouter {
+ public:
+  ShardRouter(int num_shards, ShardPolicy policy);
+
+  int num_shards() const { return num_shards_; }
+  ShardPolicy policy() const { return policy_; }
+
+  /// Shard owning `offer`'s prosumer (override first, then policy).
+  int ShardOf(const core::FlexOffer& offer) const;
+
+  /// Shard for a prosumer given its dimension attributes.
+  int ShardOfProsumer(core::ProsumerId prosumer, core::RegionId region,
+                      core::GridNodeId grid_node) const;
+
+  /// Pins `prosumer` to `shard` (a migration), overriding the policy.
+  /// InvalidArgument when the shard index is out of range.
+  Status Assign(core::ProsumerId prosumer, int shard);
+
+  /// The explicit overrides, ordered by prosumer id (the serialized form the
+  /// coordinator manifest pins).
+  const std::map<core::ProsumerId, int>& overrides() const { return overrides_; }
+
+  /// Splits `offers` into per-shard index lists, preserving the input order
+  /// within every shard: out[s] holds the positions (into `offers`) of the
+  /// offers shard s owns, ascending. Order preservation is what makes an
+  /// N-shard merge reproduce global input order exactly.
+  std::vector<std::vector<size_t>> Partition(const std::vector<core::FlexOffer>& offers) const;
+
+ private:
+  int num_shards_;
+  ShardPolicy policy_;
+  std::map<core::ProsumerId, int> overrides_;
+};
+
+}  // namespace flexvis::sim
+
+#endif  // FLEXVIS_SIM_SHARD_H_

@@ -9,7 +9,10 @@
 namespace flexvis::sim {
 
 Status InstallFaultsFromEnv(uint64_t seed) {
-  FaultRegistry& registry = FaultRegistry::Global();
+  return InstallFaultsInto(FaultRegistry::Global(), seed);
+}
+
+Status InstallFaultsInto(FaultRegistry& registry, uint64_t seed) {
   registry.Seed(seed);
   return registry.ConfigureFromEnv();
 }

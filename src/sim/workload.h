@@ -22,6 +22,13 @@ namespace flexvis::sim {
 /// environment variable. No-op when the variable is unset.
 Status InstallFaultsFromEnv(uint64_t seed = 2013);
 
+/// InstallFaultsFromEnv against an explicit registry: seeds `registry` with
+/// `seed` and arms it from FLEXVIS_FAULTS. The sharded coordinator calls
+/// this once per shard (with a shard-distinct seed) so every shard draws its
+/// faults from its own deterministic streams instead of the process-wide
+/// singleton.
+Status InstallFaultsInto(FaultRegistry& registry, uint64_t seed);
+
 /// Shape of the synthetic flex-offer population. Defaults approximate the
 /// MIRABEL demo mix: mostly households with EVs/heat pumps/wet appliances,
 /// a sprinkle of industry and small plants.

@@ -35,7 +35,8 @@ bool DeadlineExhausted(const RetryPolicy& policy, const SimClock& clock) {
 }
 
 RetryResult RetryLoop(const RetryPolicy& policy, uint64_t seed, std::string_view point,
-                      const std::function<Status()>& op, SimClock* external_clock) {
+                      FaultRegistry* registry, const std::function<Status()>& op,
+                      SimClock* external_clock) {
   Rng rng(seed);
   SimClock local_clock;
   SimClock& clock = external_clock != nullptr ? *external_clock : local_clock;
@@ -46,7 +47,7 @@ RetryResult RetryLoop(const RetryPolicy& policy, uint64_t seed, std::string_view
     ++result.attempts;
     if (!point.empty()) {
       int64_t latency = 0;
-      last = FaultRegistry::Global().Hit(point, &latency);
+      last = registry->Hit(point, &latency);
       clock.Advance(latency);
       if (DeadlineExhausted(policy, clock)) {
         result.status = DeadlineExceededError(StrFormat(
@@ -83,12 +84,18 @@ RetryPolicy DefaultRetryPolicy() { return RetryPolicy{}; }
 
 RetryResult RetryWithPolicy(const RetryPolicy& policy, uint64_t seed,
                             const std::function<Status()>& op, SimClock* clock) {
-  return RetryLoop(policy, seed, std::string_view(), op, clock);
+  return RetryLoop(policy, seed, std::string_view(), nullptr, op, clock);
 }
 
 Status RetryFaultPoint(std::string_view point, const RetryPolicy& policy,
                        const std::function<Status()>& op) {
-  return RetryLoop(policy, HashName(point) ^ 0x9E3779B97F4A7C15ULL, point, op, nullptr)
+  return RetryFaultPointIn(FaultRegistry::Global(), point, policy, op);
+}
+
+Status RetryFaultPointIn(FaultRegistry& registry, std::string_view point,
+                         const RetryPolicy& policy, const std::function<Status()>& op) {
+  return RetryLoop(policy, HashName(point) ^ 0x9E3779B97F4A7C15ULL, point, &registry, op,
+                   nullptr)
       .status;
 }
 

@@ -71,6 +71,16 @@ RetryResult RetryWithPolicy(const RetryPolicy& policy, uint64_t seed,
 Status RetryFaultPoint(std::string_view point, const RetryPolicy& policy,
                        const std::function<Status()>& op);
 
+class FaultRegistry;
+
+/// RetryFaultPoint against an explicit registry instead of the process-wide
+/// one. The sharded coordinator gives every enterprise shard its own
+/// FaultRegistry so fault draws stay deterministic per shard no matter how
+/// many shards tick concurrently — the tick path must not touch process-wide
+/// singletons.
+Status RetryFaultPointIn(FaultRegistry& registry, std::string_view point,
+                         const RetryPolicy& policy, const std::function<Status()>& op);
+
 }  // namespace flexvis
 
 #endif  // FLEXVIS_UTIL_RETRY_H_

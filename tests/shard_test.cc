@@ -1,0 +1,639 @@
+// Multi-enterprise sharding tests: router determinism, 1-shard byte-identity
+// with the unsharded run, shard-invariant measures of the N-shard merge,
+// replay-verified prosumer migration, the coordinator-level kill matrix
+// (crashes during a shard's journal flush and during the coordinator manifest
+// write), overload shedding, and sharded warehouse persistence.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/messages.h"
+#include "dw/persistence.h"
+#include "geo/atlas.h"
+#include "grid/topology.h"
+#include "sim/alerts.h"
+#include "sim/coordinator.h"
+#include "sim/online.h"
+#include "sim/shard.h"
+#include "sim/workload.h"
+#include "util/fault.h"
+#include "util/parallel.h"
+
+namespace flexvis {
+namespace {
+
+namespace fs = std::filesystem;
+using timeutil::TimeInterval;
+using timeutil::TimePoint;
+
+TimePoint T0() { return TimePoint::FromCalendarOrDie(2013, 1, 15, 0, 0); }
+
+void ExpectReportsEqual(const sim::OnlineReport& a, const sim::OnlineReport& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.outbox, b.outbox) << label;
+  EXPECT_EQ(a.offers_received, b.offers_received) << label;
+  EXPECT_EQ(a.accepted, b.accepted) << label;
+  EXPECT_EQ(a.rejected, b.rejected) << label;
+  EXPECT_EQ(a.assigned, b.assigned) << label;
+  EXPECT_EQ(a.missed_acceptance, b.missed_acceptance) << label;
+  EXPECT_EQ(a.missed_assignment, b.missed_assignment) << label;
+  EXPECT_EQ(a.dropped_ingest, b.dropped_ingest) << label;
+  EXPECT_EQ(a.failed_sends, b.failed_sends) << label;
+  EXPECT_EQ(a.shed_offers, b.shed_offers) << label;
+  EXPECT_EQ(a.queue_high_watermark, b.queue_high_watermark) << label;
+  EXPECT_EQ(a.ticks, b.ticks) << label;
+  EXPECT_EQ(a.imbalance_kwh, b.imbalance_kwh) << label;  // exact, not near
+  ASSERT_EQ(a.offers.size(), b.offers.size()) << label;
+  for (size_t i = 0; i < a.offers.size(); ++i) {
+    EXPECT_EQ(core::EncodeFlexOffer(a.offers[i]), core::EncodeFlexOffer(b.offers[i]))
+        << label << " offer " << i;
+  }
+}
+
+void ExpectMergedEqual(const sim::MergedOnlineReport& a, const sim::MergedOnlineReport& b,
+                       const std::string& label) {
+  EXPECT_EQ(a.num_shards, b.num_shards) << label;
+  EXPECT_EQ(a.epoch, b.epoch) << label;
+  EXPECT_EQ(a.total_offered_kwh, b.total_offered_kwh) << label;
+  ExpectReportsEqual(a.global, b.global, label + " (global)");
+  ASSERT_EQ(a.shard_reports.size(), b.shard_reports.size()) << label;
+  for (size_t s = 0; s < a.shard_reports.size(); ++s) {
+    ExpectReportsEqual(a.shard_reports[s], b.shard_reports[s],
+                       label + " (shard " + std::to_string(s) + ")");
+  }
+}
+
+class ShardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetParallelThreadCount(1);
+    FaultRegistry::Global().DisarmAll();
+    atlas_ = geo::Atlas::MakeDenmark();
+    topology_ = grid::GridTopology::MakeRadial(2, 2, 2, 3);
+    sim::WorkloadGenerator generator(&atlas_, &topology_);
+    sim::WorkloadParams wp;
+    wp.seed = 4242;
+    wp.num_prosumers = 30;
+    wp.offers_per_prosumer = 1.5;
+    wp.horizon = TimeInterval(T0(), T0() + timeutil::kMinutesPerDay);
+    workload_ = generator.Generate(wp);
+    window_ = wp.horizon;
+    online_.tick_minutes = 120;  // 12 ticks over the day
+
+    root_ = fs::path(::testing::TempDir()) / "flexvis_shard";
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+
+  void TearDown() override {
+    FaultRegistry::Global().DisarmAll();
+    SetParallelThreadCount(1);
+  }
+
+  std::string Dir(const std::string& name) {
+    fs::path dir = root_ / name;
+    fs::remove_all(dir);
+    return dir.string();
+  }
+
+  sim::CoordinatorParams Params(int shards) {
+    sim::CoordinatorParams params;
+    params.num_shards = shards;
+    params.online = online_;
+    return params;
+  }
+
+  sim::MergedOnlineReport MustRunSharded(int shards) {
+    Result<sim::MergedOnlineReport> merged =
+        sim::Coordinator::RunSharded(Params(shards), workload_.offers, window_);
+    EXPECT_TRUE(merged.ok()) << merged.status().ToString();
+    return merged.ok() ? *std::move(merged) : sim::MergedOnlineReport{};
+  }
+
+  /// A prosumer none of whose offers have been created by tick
+  /// `migrate_after_ticks` — idle everywhere, so it is migration-eligible.
+  core::ProsumerId FindIdleProsumer(int migrate_after_ticks) {
+    // Tick i ingests offers with creation_time <= window.start + i * tick, so
+    // after `migrate_after_ticks` ticks the last ingest happened at tick
+    // (migrate_after_ticks - 1).
+    TimePoint cutoff =
+        window_.start + (migrate_after_ticks - 1) * online_.tick_minutes;
+    std::set<core::ProsumerId> all;
+    std::set<core::ProsumerId> early;
+    for (const core::FlexOffer& offer : workload_.offers) {
+      all.insert(offer.prosumer);
+      if (offer.creation_time <= cutoff) early.insert(offer.prosumer);
+    }
+    for (core::ProsumerId p : all) {
+      if (early.count(p) == 0) return p;
+    }
+    return core::kInvalidProsumerId;
+  }
+
+  /// One checkpointed sharded run that migrates `prosumer` to `to_shard`
+  /// after `migrate_after_ticks` ticks. The shape the kill matrix exercises:
+  /// per-tick journal flushes, the two migration flushes, and the
+  /// coordinator manifest writes all happen on this path.
+  Result<sim::MergedOnlineReport> RunMigrating(const std::string& dir, int shards,
+                                               core::ProsumerId prosumer, int to_shard,
+                                               int migrate_after_ticks) {
+    sim::Coordinator coordinator(Params(shards));
+    FLEXVIS_RETURN_IF_ERROR(
+        coordinator.BeginCheckpointed(workload_.offers, window_, dir));
+    for (int i = 0; i < migrate_after_ticks && !coordinator.Done(); ++i) {
+      FLEXVIS_RETURN_IF_ERROR(coordinator.Tick());
+    }
+    FLEXVIS_RETURN_IF_ERROR(coordinator.MigrateProsumer(prosumer, to_shard));
+    while (!coordinator.Done()) FLEXVIS_RETURN_IF_ERROR(coordinator.Tick());
+    return coordinator.Finish();
+  }
+
+  geo::Atlas atlas_;
+  grid::GridTopology topology_ = grid::GridTopology::MakeRadial(1, 1, 1, 1);
+  sim::Workload workload_;
+  TimeInterval window_;
+  sim::OnlineParams online_;
+  fs::path root_;
+};
+
+// ---- Router ----------------------------------------------------------------
+
+TEST_F(ShardTest, RouterIsDeterministicAndOrderPreserving) {
+  sim::ShardRouter a(4, sim::ShardPolicy::kHash);
+  sim::ShardRouter b(4, sim::ShardPolicy::kHash);
+  for (const core::FlexOffer& offer : workload_.offers) {
+    int shard = a.ShardOf(offer);
+    EXPECT_EQ(shard, b.ShardOf(offer));
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 4);
+  }
+  std::vector<std::vector<size_t>> partition = a.Partition(workload_.offers);
+  size_t total = 0;
+  for (const std::vector<size_t>& part : partition) {
+    EXPECT_TRUE(std::is_sorted(part.begin(), part.end()));
+    total += part.size();
+  }
+  EXPECT_EQ(total, workload_.offers.size());
+}
+
+TEST_F(ShardTest, RegionPolicyKeepsARegionOnOneShard) {
+  sim::ShardRouter router(3, sim::ShardPolicy::kRegion);
+  std::map<core::RegionId, int> seen;
+  for (const core::FlexOffer& offer : workload_.offers) {
+    if (offer.region == core::kInvalidRegionId) continue;
+    int shard = router.ShardOf(offer);
+    auto [it, inserted] = seen.emplace(offer.region, shard);
+    EXPECT_EQ(it->second, shard) << "region " << offer.region << " split across shards";
+  }
+}
+
+TEST_F(ShardTest, OverrideWinsOverPolicyAndRejectsBadShard) {
+  sim::ShardRouter router(2, sim::ShardPolicy::kHash);
+  const core::FlexOffer& offer = workload_.offers.front();
+  int base = router.ShardOf(offer);
+  ASSERT_TRUE(router.Assign(offer.prosumer, 1 - base).ok());
+  EXPECT_EQ(router.ShardOf(offer), 1 - base);
+  EXPECT_EQ(router.Assign(offer.prosumer, 2).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(router.Assign(offer.prosumer, -1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ShardTest, PolicyNamesRoundTrip) {
+  for (sim::ShardPolicy policy : {sim::ShardPolicy::kHash, sim::ShardPolicy::kRegion,
+                                  sim::ShardPolicy::kFeeder}) {
+    Result<sim::ShardPolicy> parsed =
+        sim::ParseShardPolicy(sim::ShardPolicyName(policy));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_EQ(sim::ParseShardPolicy("bogus").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ShardTest, ShardsFromEnvParsesAndClamps) {
+  ::setenv(sim::kShardsEnvVar, "4", 1);
+  EXPECT_EQ(sim::ShardsFromEnv(1), 4);
+  ::setenv(sim::kShardsEnvVar, "abc", 1);
+  EXPECT_EQ(sim::ShardsFromEnv(3), 3);
+  ::setenv(sim::kShardsEnvVar, "0", 1);
+  EXPECT_EQ(sim::ShardsFromEnv(3), 3);
+  ::setenv(sim::kShardsEnvVar, "65", 1);
+  EXPECT_EQ(sim::ShardsFromEnv(3), 3);
+  ::unsetenv(sim::kShardsEnvVar);
+  EXPECT_EQ(sim::ShardsFromEnv(2), 2);
+}
+
+// ---- 1-shard byte-identity -------------------------------------------------
+
+TEST_F(ShardTest, OneShardRunIsByteIdenticalToUnshardedAt1And8Threads) {
+  Result<sim::OnlineReport> plain =
+      sim::OnlineEnterprise(online_).Run(workload_.offers, window_);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  for (int threads : {1, 8}) {
+    SetParallelThreadCount(threads);
+    sim::MergedOnlineReport merged = MustRunSharded(1);
+    ExpectReportsEqual(*plain, merged.global,
+                       "1 shard vs unsharded at " + std::to_string(threads) + "t");
+    ASSERT_EQ(merged.shard_reports.size(), 1u);
+    ExpectReportsEqual(*plain, merged.shard_reports[0], "shard 0 vs unsharded");
+  }
+  SetParallelThreadCount(1);
+}
+
+// ---- Shard-invariant measures of the N-shard merge --------------------------
+
+TEST_F(ShardTest, MergedReportPreservesShardInvariantMeasuresAt1And8Threads) {
+  sim::MergedOnlineReport one = MustRunSharded(1);
+  for (int threads : {1, 8}) {
+    SetParallelThreadCount(threads);
+    for (int shards : {2, 8}) {
+      sim::MergedOnlineReport many = MustRunSharded(shards);
+      const std::string label =
+          std::to_string(shards) + " shards at " + std::to_string(threads) + "t";
+      // Total offered energy is summed over the input order — bit-identical.
+      EXPECT_EQ(many.total_offered_kwh, one.total_offered_kwh) << label;
+      // Ingest and acceptance depend only on each offer's own deadlines and
+      // the (shared) tick grid, so the merged counters are shard-invariant.
+      EXPECT_EQ(many.global.offers_received, one.global.offers_received) << label;
+      EXPECT_EQ(many.global.accepted, one.global.accepted) << label;
+      EXPECT_EQ(many.global.rejected, one.global.rejected) << label;
+      EXPECT_EQ(many.global.missed_acceptance, one.global.missed_acceptance) << label;
+      EXPECT_EQ(many.global.ticks, one.global.ticks) << label;
+      // The merge loses nothing: every input offer comes back exactly once,
+      // in the global input order.
+      ASSERT_EQ(many.global.offers.size(), workload_.offers.size()) << label;
+      for (size_t i = 0; i < many.global.offers.size(); ++i) {
+        EXPECT_EQ(many.global.offers[i].id, workload_.offers[i].id) << label;
+      }
+      // Counters merge as sums over the per-shard reports.
+      int received = 0;
+      for (const sim::OnlineReport& r : many.shard_reports) received += r.offers_received;
+      EXPECT_EQ(received, many.global.offers_received) << label;
+    }
+  }
+  SetParallelThreadCount(1);
+}
+
+TEST_F(ShardTest, OfflinePlanShardedMatchesUnshardedAtOneShardAndConserves) {
+  sim::EnterpriseParams params;
+  Result<sim::PlanningReport> plain =
+      sim::Enterprise(params).PlanHorizon(workload_.offers, window_);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  Result<sim::MergedPlanningReport> one = sim::PlanHorizonSharded(
+      params, 1, sim::ShardPolicy::kHash, workload_.offers, window_);
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  EXPECT_EQ(one->global.offers_in, plain->offers_in);
+  EXPECT_EQ(one->global.aggregates_built, plain->aggregates_built);
+  EXPECT_EQ(one->global.imbalance_after_kwh, plain->imbalance_after_kwh);
+  EXPECT_EQ(one->global.planned_flexible_load, plain->planned_flexible_load);
+  EXPECT_EQ(one->global.settlement.total_cost_eur, plain->settlement.total_cost_eur);
+  ASSERT_EQ(one->global.member_offers.size(), plain->member_offers.size());
+  for (size_t i = 0; i < plain->member_offers.size(); ++i) {
+    EXPECT_EQ(core::EncodeFlexOffer(one->global.member_offers[i]),
+              core::EncodeFlexOffer(plain->member_offers[i]));
+  }
+
+  for (int threads : {1, 8}) {
+    SetParallelThreadCount(threads);
+    Result<sim::MergedPlanningReport> many = sim::PlanHorizonSharded(
+        params, 8, sim::ShardPolicy::kHash, workload_.offers, window_);
+    ASSERT_TRUE(many.ok()) << many.status().ToString();
+    const std::string label = "8 shards at " + std::to_string(threads) + "t";
+    // Shard-invariant total (summed over the input order).
+    EXPECT_EQ(many->total_offered_kwh, one->total_offered_kwh) << label;
+    // Every input offer is planned by exactly one shard.
+    int offers_in = 0;
+    for (const sim::PlanningReport& r : many->shard_reports) offers_in += r.offers_in;
+    EXPECT_EQ(offers_in, many->global.offers_in) << label;
+    EXPECT_EQ(many->global.offers_in, plain->offers_in) << label;
+    // Settlement conservation: the merged totals obey the same identity every
+    // per-shard settlement obeys.
+    EXPECT_NEAR(many->global.settlement.total_cost_eur,
+                many->global.settlement.spot_cost_eur +
+                    many->global.settlement.imbalance_cost_eur,
+                1e-6)
+        << label;
+    // Clean runs degrade nowhere, at any shard count.
+    EXPECT_TRUE(many->global.degraded_stages.empty()) << label;
+  }
+  SetParallelThreadCount(1);
+}
+
+TEST_F(ShardTest, DegradedStageUnionIsDeduplicatedAcrossShards) {
+  // Arm the forecast seam in every shard (the registries are built inside
+  // PlanHorizonSharded, so the env hook is the way in): each shard degrades
+  // to planning on actuals, and the merged union names the stage once.
+  sim::EnterpriseParams params;
+  params.plan_on_forecast = true;  // the forecast seam only fires when used
+  ::setenv("FLEXVIS_FAULTS", "sim.enterprise.forecast:1.0", 1);
+  Result<sim::MergedPlanningReport> many = sim::PlanHorizonSharded(
+      params, 4, sim::ShardPolicy::kHash, workload_.offers, window_);
+  ::unsetenv("FLEXVIS_FAULTS");
+  ASSERT_TRUE(many.ok()) << many.status().ToString();
+  int degraded_shards = 0;
+  for (const sim::PlanningReport& r : many->shard_reports) {
+    if (!r.degraded_stages.empty()) ++degraded_shards;
+  }
+  EXPECT_GT(degraded_shards, 1);
+  EXPECT_EQ(many->global.degraded_stages,
+            std::vector<std::string>{"sim.enterprise.forecast"});
+}
+
+// ---- Migration -------------------------------------------------------------
+
+TEST_F(ShardTest, MigrationMidRunEqualsMigrationAtBeginAt1And8Threads) {
+  const int kMigrateAfter = 3;
+  core::ProsumerId prosumer = FindIdleProsumer(kMigrateAfter);
+  ASSERT_NE(prosumer, core::kInvalidProsumerId)
+      << "workload has no prosumer idle through tick " << kMigrateAfter;
+
+  for (int threads : {1, 8}) {
+    SetParallelThreadCount(threads);
+    const std::string label = std::to_string(threads) + " threads";
+
+    auto run = [&](int migrate_after) -> sim::MergedOnlineReport {
+      sim::Coordinator coordinator(Params(2));
+      EXPECT_TRUE(coordinator.Begin(workload_.offers, window_).ok());
+      for (int i = 0; i < migrate_after; ++i) {
+        EXPECT_TRUE(coordinator.Tick().ok());
+      }
+      int from = coordinator.router().ShardOfProsumer(prosumer, core::kInvalidRegionId,
+                                                      core::kInvalidGridNodeId);
+      Status migrated = coordinator.MigrateProsumer(prosumer, 1 - from);
+      EXPECT_TRUE(migrated.ok()) << migrated.ToString();
+      EXPECT_EQ(coordinator.epoch(), 1);
+      while (!coordinator.Done()) EXPECT_TRUE(coordinator.Tick().ok());
+      Result<sim::MergedOnlineReport> merged = coordinator.Finish();
+      EXPECT_TRUE(merged.ok()) << merged.status().ToString();
+      return merged.ok() ? *std::move(merged) : sim::MergedOnlineReport{};
+    };
+
+    // An idle prosumer's history is empty in both shards, so moving it
+    // mid-run must be indistinguishable from having moved it up front.
+    sim::MergedOnlineReport at_begin = run(0);
+    sim::MergedOnlineReport mid_run = run(kMigrateAfter);
+    ExpectMergedEqual(at_begin, mid_run, "migrate at begin vs mid-run, " + label);
+  }
+  SetParallelThreadCount(1);
+}
+
+TEST_F(ShardTest, MigrationOfActiveProsumerIsFailedPrecondition) {
+  sim::Coordinator coordinator(Params(2));
+  ASSERT_TRUE(coordinator.Begin(workload_.offers, window_).ok());
+  // Run far enough that some offers have certainly been ingested.
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(coordinator.Tick().ok());
+
+  // The earliest-created offer's prosumer is active by now.
+  const core::FlexOffer* earliest = &workload_.offers.front();
+  for (const core::FlexOffer& offer : workload_.offers) {
+    if (offer.creation_time < earliest->creation_time) earliest = &offer;
+  }
+  int from = coordinator.router().ShardOf(*earliest);
+  Status status = coordinator.MigrateProsumer(earliest->prosumer, 1 - from);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition) << status.ToString();
+  EXPECT_EQ(coordinator.epoch(), 0);  // nothing committed
+
+  // Bogus arguments are typed errors, not crashes.
+  EXPECT_EQ(coordinator.MigrateProsumer(999999999, 1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(coordinator.MigrateProsumer(earliest->prosumer, 7).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(coordinator.MigrateProsumer(earliest->prosumer, from).code(),
+            StatusCode::kInvalidArgument);
+
+  while (!coordinator.Done()) ASSERT_TRUE(coordinator.Tick().ok());
+  Result<sim::MergedOnlineReport> merged = coordinator.Finish();
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->epoch, 0);
+}
+
+TEST_F(ShardTest, ResumeOfCompletedMigratedRunReplaysTheMigration) {
+  const int kMigrateAfter = 3;
+  core::ProsumerId prosumer = FindIdleProsumer(kMigrateAfter);
+  ASSERT_NE(prosumer, core::kInvalidProsumerId);
+  sim::ShardRouter router(2, sim::ShardPolicy::kHash);
+  int from = router.ShardOfProsumer(prosumer, core::kInvalidRegionId,
+                                    core::kInvalidGridNodeId);
+
+  std::string dir = Dir("migrated_resume");
+  Result<sim::MergedOnlineReport> baseline =
+      RunMigrating(dir, 2, prosumer, 1 - from, kMigrateAfter);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_EQ(baseline->epoch, 1);
+
+  sim::ShardResumeInfo info;
+  Result<sim::MergedOnlineReport> resumed = sim::Coordinator::ResumeSharded(dir, &info);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(info.migrations_replayed, 1);
+  EXPECT_EQ(info.migrations_repaired, 0);
+  EXPECT_FALSE(info.manifest_rewritten);
+  ASSERT_EQ(info.shards.size(), 2u);
+  for (const sim::ResumeInfo& shard : info.shards) {
+    EXPECT_EQ(shard.ticks_replayed, baseline->global.ticks);
+    EXPECT_EQ(shard.ticks_continued, 0);
+    EXPECT_FALSE(shard.torn_tail);
+  }
+  ExpectMergedEqual(*baseline, *resumed, "resume of completed migrated run");
+}
+
+// ---- Coordinator kill matrix ------------------------------------------------
+
+TEST_F(ShardTest, CoordinatorKillMatrixConvergesToAConsistentEpoch) {
+  const int kShards = 2;
+  const int kMigrateAfter = 3;
+  core::ProsumerId prosumer = FindIdleProsumer(kMigrateAfter);
+  ASSERT_NE(prosumer, core::kInvalidProsumerId);
+  sim::ShardRouter router(kShards, sim::ShardPolicy::kHash);
+  const int from = router.ShardOfProsumer(prosumer, core::kInvalidRegionId,
+                                          core::kInvalidGridNodeId);
+  const int to = 1 - from;
+
+  // Two legitimate recovery outcomes, decided by whether the migration's
+  // migrate_out reached its journal before the crash: the migrated run
+  // (epoch 1) or the untouched run (epoch 0). Anything else — a half-applied
+  // migration, a shard at the wrong tick — is a bug.
+  Result<sim::MergedOnlineReport> migrated =
+      RunMigrating(Dir("kill_base_mig"), kShards, prosumer, to, kMigrateAfter);
+  ASSERT_TRUE(migrated.ok()) << migrated.status().ToString();
+  Result<sim::MergedOnlineReport> plain = sim::Coordinator::RunShardedCheckpointed(
+      Params(kShards), workload_.offers, window_, Dir("kill_base_plain"));
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_GT(migrated->global.ticks, 0);
+
+  // The crash points on the coordinator's write path: "util.journal.flush"
+  // covers every shard's per-tick flush plus the two migration flushes;
+  // "util.fileio.write" covers the shard snapshots and every COORDINATOR.json
+  // manifest write (at Begin and after the migration commits).
+  for (const char* point : {"util.journal.flush", "util.fileio.write"}) {
+    // Count the hits of one clean run by arming a never-failing config.
+    FaultRegistry::Global().Arm(point, FaultConfig{});
+    ASSERT_TRUE(
+        RunMigrating(Dir("count"), kShards, prosumer, to, kMigrateAfter).ok());
+    const int64_t hits = FaultRegistry::Global().Stats(point).hits;
+    FaultRegistry::Global().DisarmAll();
+    ASSERT_GT(hits, 0) << point << " is not on the coordinator write path";
+
+    for (int64_t hit = 1; hit <= hits; ++hit) {
+      const std::string label =
+          std::string(point) + " hit " + std::to_string(hit) + "/" + std::to_string(hits);
+      std::string dir = Dir("kill_" + std::to_string(hit) + point);
+
+      pid_t pid = fork();
+      if (pid == 0) {
+        FaultConfig config;
+        config.crash_at_hit = hit;
+        FaultRegistry::Global().Arm(point, config);
+        Result<sim::MergedOnlineReport> report =
+            RunMigrating(dir, kShards, prosumer, to, kMigrateAfter);
+        std::_Exit(report.ok() ? 0 : 1);
+      }
+      ASSERT_GT(pid, 0) << "fork failed";
+      int wstatus = 0;
+      ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+      ASSERT_TRUE(WIFEXITED(wstatus));
+      ASSERT_EQ(WEXITSTATUS(wstatus), kCrashExitCode)
+          << label << ": child did not crash where told to";
+
+      sim::ShardResumeInfo info;
+      Result<sim::MergedOnlineReport> recovered =
+          sim::Coordinator::ResumeSharded(dir, &info);
+      if (!recovered.ok() && recovered.status().code() == StatusCode::kDataLoss) {
+        // The run never committed (crash before the coordinator manifest):
+        // nothing was promised; rerun from inputs.
+        recovered = RunMigrating(dir, kShards, prosumer, to, kMigrateAfter);
+        ASSERT_TRUE(recovered.ok()) << label << ": " << recovered.status().ToString();
+        ExpectMergedEqual(*migrated, *recovered, label + " (rerun)");
+        continue;
+      }
+      ASSERT_TRUE(recovered.ok()) << label << ": " << recovered.status().ToString();
+
+      // All shards resumed to one consistent epoch, and the whole run matches
+      // the baseline of whichever epoch recovery converged to.
+      if (recovered->epoch == 1) {
+        EXPECT_EQ(info.migrations_replayed + info.migrations_repaired, 1) << label;
+        ExpectMergedEqual(*migrated, *recovered, label + " (migrated baseline)");
+      } else {
+        EXPECT_EQ(recovered->epoch, 0) << label;
+        ExpectMergedEqual(*plain, *recovered, label + " (plain baseline)");
+      }
+
+      // After recovery the journals are whole: a second resume replays
+      // everything and re-executes nothing.
+      sim::ShardResumeInfo again;
+      Result<sim::MergedOnlineReport> second =
+          sim::Coordinator::ResumeSharded(dir, &again);
+      ASSERT_TRUE(second.ok()) << label << ": " << second.status().ToString();
+      for (const sim::ResumeInfo& shard : again.shards) {
+        EXPECT_EQ(shard.ticks_replayed, recovered->global.ticks) << label;
+        EXPECT_EQ(shard.ticks_continued, 0) << label;
+      }
+      ExpectMergedEqual(*recovered, *second, label + " (second resume)");
+    }
+  }
+}
+
+TEST_F(ShardTest, ResumeShardedWithoutManifestIsDataLoss) {
+  std::string dir = Dir("no_manifest");
+  fs::create_directories(dir);
+  Result<sim::MergedOnlineReport> report = sim::Coordinator::ResumeSharded(dir);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kDataLoss);
+}
+
+// ---- Overload protection ----------------------------------------------------
+
+TEST_F(ShardTest, BoundedIngestQueueShedsAndSurfacesInMergedReportAndAlerts) {
+  sim::CoordinatorParams params = Params(2);
+  params.online.ingest_queue_capacity = 1;
+  Result<sim::MergedOnlineReport> merged =
+      sim::Coordinator::RunSharded(params, workload_.offers, window_);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_GT(merged->global.shed_offers, 0);
+  EXPECT_GE(merged->global.queue_high_watermark, 1);
+  int shed = 0;
+  for (const sim::OnlineReport& r : merged->shard_reports) shed += r.shed_offers;
+  EXPECT_EQ(shed, merged->global.shed_offers);
+
+  std::vector<sim::Alert> alerts = sim::ScanOverload(merged->shard_reports, window_);
+  ASSERT_FALSE(alerts.empty());
+  for (const sim::Alert& alert : alerts) {
+    EXPECT_EQ(alert.kind, sim::AlertKind::kOverload);
+    EXPECT_GT(alert.magnitude_kwh, 0.0);
+    EXPECT_NE(alert.message.find("overload on shard"), std::string::npos);
+  }
+  // Unbounded runs never shed and never alert.
+  sim::MergedOnlineReport clean = MustRunSharded(2);
+  EXPECT_EQ(clean.global.shed_offers, 0);
+  EXPECT_TRUE(sim::ScanOverload(clean.shard_reports, window_).empty());
+}
+
+TEST_F(ShardTest, OverloadCountersSurviveCheckpointResume) {
+  sim::CoordinatorParams params = Params(2);
+  params.online.ingest_queue_capacity = 1;
+  std::string dir = Dir("overload_resume");
+  Result<sim::MergedOnlineReport> baseline = sim::Coordinator::RunShardedCheckpointed(
+      params, workload_.offers, window_, dir);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_GT(baseline->global.shed_offers, 0);
+
+  Result<sim::MergedOnlineReport> resumed = sim::Coordinator::ResumeSharded(dir);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ExpectMergedEqual(*baseline, *resumed, "overload counters across resume");
+}
+
+// ---- Sharded persistence ----------------------------------------------------
+
+TEST_F(ShardTest, ShardedDatabaseSaveLoadRoundTrips) {
+  dw::Database db;
+  ASSERT_TRUE(atlas_.RegisterWithDatabase(db).ok());
+  ASSERT_TRUE(topology_.RegisterWithDatabase(db).ok());
+  for (const dw::ProsumerInfo& p : workload_.prosumers) {
+    ASSERT_TRUE(db.RegisterProsumer(p).ok());
+  }
+  ASSERT_TRUE(db.LoadFlexOffers(workload_.offers).ok());
+
+  sim::ShardRouter router(3, sim::ShardPolicy::kHash);
+  std::string dir = Dir("dw_sharded");
+  ASSERT_TRUE(dw::SaveDatabaseSharded(
+                  db, dir, 3,
+                  [&](const core::FlexOffer& offer) { return router.ShardOf(offer); })
+                  .ok());
+
+  Result<dw::Database> restored = dw::LoadDatabaseSharded(dir);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  Result<std::vector<core::FlexOffer>> original = db.SelectFlexOffers({});
+  Result<std::vector<core::FlexOffer>> roundtrip = restored->SelectFlexOffers({});
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(roundtrip.ok());
+  ASSERT_EQ(original->size(), roundtrip->size());
+  for (size_t i = 0; i < original->size(); ++i) {
+    EXPECT_EQ(core::EncodeFlexOffer((*original)[i]),
+              core::EncodeFlexOffer((*roundtrip)[i]));
+  }
+  EXPECT_EQ(restored->prosumers().size(), db.prosumers().size());
+
+  // Each shard directory is a complete, independently loadable warehouse.
+  Result<dw::Database> shard0 = dw::LoadDatabase(dir + "/shard-0000");
+  ASSERT_TRUE(shard0.ok()) << shard0.status().ToString();
+  EXPECT_EQ(shard0->prosumers().size(), db.prosumers().size());
+
+  // No top-level manifest (crash mid-save) means nothing was committed.
+  fs::remove(fs::path(dir) / dw::kShardsManifest);
+  EXPECT_EQ(dw::LoadDatabaseSharded(dir).status().code(), StatusCode::kDataLoss);
+
+  // Bad routing is a typed error, not a silent misfile.
+  EXPECT_EQ(dw::SaveDatabaseSharded(db, Dir("dw_bad"), 3,
+                                    [](const core::FlexOffer&) { return 5; })
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace flexvis

@@ -8,7 +8,9 @@
 //
 //   flexvis plan --db DIR [--day YYYY-MM-DD] [--forecast] [--local-search N]
 //       run the day-ahead enterprise loop, write schedules back, print the
-//       report, and save the updated warehouse
+//       report, and save the updated warehouse. With FLEXVIS_SHARDS=N (N>1)
+//       the horizon is planned across N enterprise shards instead and the
+//       merged report printed; sharded plans are not written back.
 //
 //   flexvis render --db DIR --view basic|profile|map|schematic|dashboard
 //                  --out FILE.svg|.png|.ppm [--day YYYY-MM-DD]
@@ -41,6 +43,7 @@
 #include "render/raster_canvas.h"
 #include "render/svg_canvas.h"
 #include "sim/alerts.h"
+#include "sim/coordinator.h"
 #include "sim/enterprise.h"
 #include "sim/workload.h"
 #include "util/strings.h"
@@ -171,6 +174,32 @@ int CmdPlan(const Args& args) {
   sim::EnterpriseParams params;
   params.plan_on_forecast = args.Has("forecast");
   params.local_search_iterations = static_cast<int>(args.GetInt("local-search", 0));
+
+  // FLEXVIS_SHARDS=N partitions the prosumer population across N enterprise
+  // shards (README "Multi-enterprise sharding"). The merged plan is printed
+  // but not written back: per-shard schedules belong to per-shard
+  // warehouses (dw::SaveDatabaseSharded), not this single one.
+  if (int shards = sim::ShardsFromEnv(1); shards > 1) {
+    Result<std::vector<core::FlexOffer>> offers =
+        db->SelectFlexOffers(dw::FlexOfferFilter{});
+    if (!offers.ok()) return Fail(offers.status());
+    Result<sim::MergedPlanningReport> merged = sim::PlanHorizonSharded(
+        params, shards, sim::ShardPolicy::kHash, *offers, DayWindow(args));
+    if (!merged.ok()) return Fail(merged.status());
+    std::printf("enterprise shards     %d\n", merged->num_shards);
+    std::printf("offers planned        %d\n", merged->global.offers_in);
+    std::printf("aggregates            %d (assigned %d, rejected %d)\n",
+                merged->global.aggregates_built, merged->global.aggregates_assigned,
+                merged->global.aggregates_rejected);
+    std::printf("surplus imbalance     %.0f -> %.0f kWh\n",
+                merged->global.imbalance_before_kwh, merged->global.imbalance_after_kwh);
+    std::printf("settlement            %.2f EUR (imbalance fee %.2f EUR)\n",
+                merged->global.settlement.total_cost_eur,
+                merged->global.settlement.imbalance_cost_eur);
+    std::printf("warehouse unchanged   sharded plans are not written back\n");
+    return 0;
+  }
+
   sim::Enterprise enterprise(params);
   Result<sim::PlanningReport> report = enterprise.RunDayAhead(*db, DayWindow(args));
   if (!report.ok()) return Fail(report.status());
