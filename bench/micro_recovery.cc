@@ -1,10 +1,16 @@
-// Recovery-path microbenchmarks (EXPERIMENTS.md Q7): what crash consistency
-// costs and how fast a crashed run comes back. The custom main writes
-// bench_out/BENCH_recovery.json with snapshot save/load throughput, journal
-// append rates (fsync-per-record vs buffered), journal replay rate, and
-// ResumeOnline wall time against the number of journaled ticks — each at 1
-// and 8 worker threads, since recovery shares the process with the parallel
-// render/aggregation pools.
+// Recovery-path microbenchmarks (EXPERIMENTS.md Q7/Q9): what crash
+// consistency costs and how fast a crashed run comes back. The custom main
+// writes bench_out/BENCH_recovery.json with snapshot save/load throughput,
+// WAL append rates (fsync-per-record vs buffered), store recovery rate, and
+// ResumeOnline wall time against the number of journaled ticks — with and
+// without generational compaction. With compaction at interval C the resume
+// replays at most C tick records no matter how long the run was; the
+// `replay_bounded_by_interval` counter gates that bound in CI (the bench
+// exits nonzero when a compacted resume replays more than its interval).
+//
+// All durable I/O goes through util/store's DurableStore — the journal and
+// manifest primitives are implementation details of util/ and are not used
+// directly here.
 
 #include <benchmark/benchmark.h>
 
@@ -17,8 +23,8 @@
 #include "dw/persistence.h"
 #include "sim/checkpoint.h"
 #include "sim/online.h"
-#include "util/journal.h"
 #include "util/parallel.h"
+#include "util/store.h"
 #include "util/strings.h"
 
 using namespace flexvis;
@@ -42,44 +48,58 @@ std::string SampleRecord() {
       R"("rejected":4,"assigned":16,"next_arrival":64,"pend_acc":[7,9]})");
 }
 
+/// A minimal store layout for the raw WAL-rate benchmarks: one manifest, one
+/// WAL, no snapshot files.
+StoreOptions WalBenchOptions() {
+  StoreOptions options;
+  options.manifest_name = "MANIFEST.json";
+  options.journal_name = "records.wal";
+  return options;
+}
+
 // ---- google-benchmark timings (not run by the CI smoke filter) ----------------------
 
-void BM_JournalAppendDurable(benchmark::State& state) {
-  const std::string path = BenchDir("bm_append") + "/j.wal";
-  Result<JournalWriter> writer = JournalWriter::Open(path);
-  if (!writer.ok()) {
-    state.SkipWithError(writer.status().ToString().c_str());
+void BM_StoreAppendDurable(benchmark::State& state) {
+  Result<DurableStore> store =
+      DurableStore::Create(BenchDir("bm_append"), WalBenchOptions(), {}, JsonValue());
+  if (!store.ok()) {
+    state.SkipWithError(store.status().ToString().c_str());
     return;
   }
   const std::string record = SampleRecord();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(writer->Append(record));
-    benchmark::DoNotOptimize(writer->Flush());
+    benchmark::DoNotOptimize(store->Append(record));
+    benchmark::DoNotOptimize(store->Flush());
   }
   state.SetItemsProcessed(state.iterations());
   state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(record.size()));
 }
-BENCHMARK(BM_JournalAppendDurable);
+BENCHMARK(BM_StoreAppendDurable);
 
-void BM_JournalReplay(benchmark::State& state) {
-  const std::string path = BenchDir("bm_replay") + "/j.wal";
+void BM_StoreRecover(benchmark::State& state) {
+  const std::string dir = BenchDir("bm_recover");
   {
-    Result<JournalWriter> writer = JournalWriter::Open(path);
+    Result<DurableStore> store =
+        DurableStore::Create(dir, WalBenchOptions(), {}, JsonValue());
+    if (!store.ok()) {
+      state.SkipWithError(store.status().ToString().c_str());
+      return;
+    }
     for (int64_t i = 0; i < state.range(0); ++i) {
-      if (!writer->Append(SampleRecord()).ok()) {
+      if (!store->Append(SampleRecord()).ok()) {
         state.SkipWithError("append failed");
         return;
       }
     }
-    (void)writer->Close();
+    (void)store->Close();
   }
   for (auto _ : state) {
-    Result<JournalReplay> replay = ReplayJournal(path);
-    benchmark::DoNotOptimize(replay);
+    Result<StoreRecovery> recovery = DurableStore::Recover(dir, WalBenchOptions());
+    benchmark::DoNotOptimize(recovery);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_JournalReplay)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_StoreRecover)->Arg(1000)->Arg(10000);
 
 // ---- The JSON report the CI gate archives -------------------------------------------
 
@@ -94,17 +114,9 @@ bool WriteRecoveryReport() {
   std::unique_ptr<bench::World> world = bench::BuildWorld(world_options);
   const double db_offers = static_cast<double>(world->db.NumFlexOffers());
 
-  // Journal workload: enough records that per-record overheads dominate.
+  // WAL workload: enough records that per-record overheads dominate.
   const size_t journal_records = bench::EnvSize("FLEXVIS_BENCH_JOURNAL_RECORDS", 2000);
   const std::string record = SampleRecord();
-
-  // Resume workload: the same window at two tick cadences, so the report
-  // shows recovery wall-time as a function of journal length.
-  std::vector<core::FlexOffer> offers =
-      bench::MakeRandomOffers(31, bench::EnvSize("FLEXVIS_BENCH_RECOVERY_OFFERS", 1000));
-  timeutil::TimeInterval window(bench::BenchDay(),
-                                bench::BenchDay() + 2 * timeutil::kMinutesPerDay);
-  const int64_t cadences[] = {120, 15};  // 24 and 192 ticks over two days
 
   for (int threads : {1, 8}) {
     SetParallelThreadCount(threads);
@@ -123,37 +135,38 @@ bool WriteRecoveryReport() {
     });
     report.AddSample("snapshot_load" + suffix, load_s, threads, db_offers);
 
-    // Journal append, durable (flush+fsync per record) and buffered.
+    // WAL append, durable (flush+fsync per record) and buffered.
     const std::string journal_dir = BenchDir(StrFormat("journal%s", suffix.c_str()));
     double durable_s = bench::MeasureSeconds(
         [&] {
-          const std::string path = journal_dir + "/durable.wal";
-          fs::remove(path);
-          Result<JournalWriter> writer = JournalWriter::Open(path);
-          for (size_t i = 0; writer.ok() && i < journal_records; ++i) {
-            if (!writer->Append(record).ok() || !writer->Flush().ok()) ok = false;
+          Result<DurableStore> store = DurableStore::Create(
+              journal_dir + "/durable", WalBenchOptions(), {}, JsonValue());
+          for (size_t i = 0; store.ok() && i < journal_records; ++i) {
+            if (!store->Append(record).ok() || !store->Flush().ok()) ok = false;
           }
         },
         1);
     report.AddSample("journal_append_fsync" + suffix, durable_s, threads,
                      static_cast<double>(journal_records));
+    const std::string buffered_dir = journal_dir + "/buffered";
     double buffered_s = bench::MeasureSeconds([&] {
-      const std::string path = journal_dir + "/buffered.wal";
-      fs::remove(path);
-      Result<JournalWriter> writer = JournalWriter::Open(path);
-      for (size_t i = 0; writer.ok() && i < journal_records; ++i) {
-        if (!writer->Append(record).ok()) ok = false;
+      Result<DurableStore> store =
+          DurableStore::Create(buffered_dir, WalBenchOptions(), {}, JsonValue());
+      for (size_t i = 0; store.ok() && i < journal_records; ++i) {
+        if (!store->Append(record).ok()) ok = false;
       }
-      if (writer.ok() && !writer->Close().ok()) ok = false;
+      if (store.ok() && !store->Close().ok()) ok = false;
     });
     report.AddSample("journal_append_buffered" + suffix, buffered_s, threads,
                      static_cast<double>(journal_records));
 
-    // Journal replay (reads the buffered file written above).
+    // Store recovery (manifest verification + WAL replay of the buffered
+    // store written above).
     double replay_s = bench::MeasureSeconds([&] {
-      Result<JournalReplay> replay = ReplayJournal(journal_dir + "/buffered.wal");
-      if (!replay.ok() || replay->records.size() != journal_records) ok = false;
-      benchmark::DoNotOptimize(replay);
+      Result<StoreRecovery> recovery =
+          DurableStore::Recover(buffered_dir, WalBenchOptions());
+      if (!recovery.ok() || recovery->records.size() != journal_records) ok = false;
+      benchmark::DoNotOptimize(recovery);
     });
     report.AddSample("journal_replay" + suffix, replay_s, threads,
                      static_cast<double>(journal_records));
@@ -161,16 +174,36 @@ bool WriteRecoveryReport() {
       report.SetCounter("journal_replay_records_per_sec" + suffix,
                         static_cast<double>(journal_records) / replay_s);
     }
+  }
+  SetParallelThreadCount(1);
 
-    // Recovery wall time vs journaled ticks: run once checkpointed, then
-    // time ResumeOnline over the completed journal (replay of every tick;
-    // zero live ticks) and check it reproduces the original byte for byte.
-    for (int64_t tick_minutes : cadences) {
+  // Resume wall time vs run length x compaction cadence (EXPERIMENTS.md Q9):
+  // run once checkpointed at a 15-minute tick over growing windows, then
+  // time ResumeOnline over the completed store. Without compaction the
+  // replayed-tick count grows linearly with the run; with compaction at
+  // interval C the resume replays at most C records — the hard bound the
+  // `replay_bounded_by_interval` counter gates.
+  std::vector<core::FlexOffer> offers =
+      bench::MakeRandomOffers(31, bench::EnvSize("FLEXVIS_BENCH_RESUME_OFFERS", 200));
+  const int64_t tick_minutes = 15;
+  const size_t ticks_cap = bench::EnvSize("FLEXVIS_BENCH_RESUME_TICKS_CAP", 19200);
+  std::vector<int> compact_settings = {0, 64, 256};
+  if (int env = sim::CompactTicksFromEnv();
+      env > 0 && std::find(compact_settings.begin(), compact_settings.end(), env) ==
+                     compact_settings.end()) {
+    compact_settings.push_back(env);
+  }
+  bool bounded = true;
+  for (int run_ticks : {192, 1920, 19200}) {
+    if (static_cast<size_t>(run_ticks) > ticks_cap) continue;
+    timeutil::TimeInterval window(bench::BenchDay(),
+                                  bench::BenchDay() + run_ticks * tick_minutes);
+    for (int compact_ticks : compact_settings) {
       sim::OnlineParams params;
       params.tick_minutes = tick_minutes;
+      params.compact_ticks = compact_ticks;
       const std::string dir =
-          BenchDir(StrFormat("resume_%lldm%s", static_cast<long long>(tick_minutes),
-                             suffix.c_str()));
+          BenchDir(StrFormat("resume_%dticks_c%d", run_ticks, compact_ticks));
       Result<sim::OnlineReport> baseline =
           sim::RunOnlineCheckpointed(params, offers, window, dir);
       if (!baseline.ok()) {
@@ -179,30 +212,39 @@ bool WriteRecoveryReport() {
         return false;
       }
       const std::string label =
-          StrFormat("resume_%dticks%s", baseline->ticks, suffix.c_str());
+          StrFormat("resume_%dticks_c%d", baseline->ticks, compact_ticks);
       sim::ResumeInfo info;
       Result<sim::OnlineReport> resumed = sim::ResumeOnline(dir, &info);
-      if (!resumed.ok() || info.ticks_replayed != baseline->ticks ||
+      if (!resumed.ok() ||
+          info.ticks_folded + info.ticks_replayed != baseline->ticks ||
           info.ticks_continued != 0 || resumed->outbox != baseline->outbox ||
           resumed->imbalance_kwh != baseline->imbalance_kwh) {
         std::fprintf(stderr, "FAIL: resume diverged from the checkpointed run (%s)\n",
                      label.c_str());
         ok = false;
       }
-      double resume_s = bench::MeasureSeconds([&] {
-        Result<sim::OnlineReport> timed = sim::ResumeOnline(dir);
-        if (!timed.ok()) ok = false;
-        benchmark::DoNotOptimize(timed);
-      });
-      report.AddSample(label, resume_s, threads, static_cast<double>(baseline->ticks));
-      if (resume_s > 0.0) {
-        report.SetCounter(label + "_ticks_per_sec",
-                          static_cast<double>(baseline->ticks) / resume_s);
+      if (compact_ticks > 0 && info.ticks_replayed > compact_ticks) {
+        std::fprintf(stderr,
+                     "FAIL: compacted resume replayed %d ticks, above its interval %d "
+                     "(%s)\n",
+                     info.ticks_replayed, compact_ticks, label.c_str());
+        bounded = false;
       }
+      double resume_s = bench::MeasureSeconds(
+          [&] {
+            Result<sim::OnlineReport> timed = sim::ResumeOnline(dir);
+            if (!timed.ok()) ok = false;
+            benchmark::DoNotOptimize(timed);
+          },
+          1);
+      report.AddSample(label, resume_s, 1, static_cast<double>(baseline->ticks));
+      report.SetCounter(label + "_ticks_replayed", static_cast<double>(info.ticks_replayed));
+      report.SetCounter(label + "_generation", static_cast<double>(info.generation));
     }
   }
-  SetParallelThreadCount(1);
+  report.SetCounter("replay_bounded_by_interval", bounded ? 1.0 : 0.0);
   report.SetCounter("resume_matches_baseline", ok ? 1.0 : 0.0);
+  ok = ok && bounded;
 
   if (Status status = report.Write(); !status.ok()) {
     std::fprintf(stderr, "report failed: %s\n", status.ToString().c_str());

@@ -1,17 +1,15 @@
 #include "dw/persistence.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <filesystem>
 #include <map>
 #include <set>
+#include <utility>
 
 #include "core/messages.h"
 #include "dw/csv.h"
-#include "util/fault.h"
-#include "util/fileio.h"
 #include "util/json.h"
-#include "util/retry.h"
+#include "util/store.h"
 #include "util/strings.h"
 
 namespace flexvis::dw {
@@ -23,44 +21,38 @@ constexpr const char* kRegionFile = "dim_region.csv";
 constexpr const char* kGridFile = "dim_grid_node.csv";
 constexpr const char* kOffersFile = "flexoffers.jsonl";
 
-Status WriteTextFile(const std::string& path, const std::string& data) {
-  // Overwriting the same bytes is idempotent; retry transient faults.
-  // WriteFileAtomic checks for short writes and stream failure on close, so
-  // a full disk surfaces as a typed error, never a silently truncated file.
-  return RetryFaultPoint("dw.persistence.save", DefaultRetryPolicy(),
-                         [&]() -> Status { return WriteFileAtomic(path, data); });
+/// A warehouse snapshot is a snapshot-only util/store generation: the four
+/// content files covered by MANIFEST.json, no WAL. Content writes and reads
+/// keep the dw.persistence.* fault seams through the store's retry wrapping.
+StoreOptions SnapshotStoreOptions() {
+  StoreOptions options;
+  options.manifest_name = kSnapshotManifest;
+  options.write_retry_point = "dw.persistence.save";
+  options.read_retry_point = "dw.persistence.load";
+  return options;
 }
 
-Result<std::string> ReadTextFile(const std::string& path) {
-  std::string data;
-  Status read =
-      RetryFaultPoint("dw.persistence.load", DefaultRetryPolicy(), [&]() -> Status {
-        Result<std::string> content = ReadFileToString(path);
-        if (!content.ok()) return content.status();
-        data = *std::move(content);
-        return OkStatus();
-      });
-  if (!read.ok()) return read;
-  return data;
+/// SHARDS.json is a zero-file store manifest whose meta carries the shard
+/// count; its atomic rename commits the whole sharded snapshot.
+StoreOptions ShardsStoreOptions() {
+  StoreOptions options;
+  options.manifest_name = kShardsManifest;
+  return options;
+}
+
+Result<Table> TableFromSnapshot(const StoreRecovery& recovery, std::string table_name,
+                                const std::vector<ColumnSpec>& schema,
+                                const char* file) {
+  auto it = recovery.files.find(file);
+  if (it == recovery.files.end()) {
+    return DataLossError(StrFormat("snapshot manifest does not cover '%s'", file));
+  }
+  return TableFromCsv(std::move(table_name), schema, it->second);
 }
 
 }  // namespace
 
 Status SaveDatabase(const Database& db, const std::string& directory) {
-  std::error_code ec;
-  std::filesystem::create_directories(directory, ec);
-  if (ec) {
-    return InternalError(StrFormat("cannot create directory '%s': %s", directory.c_str(),
-                                   ec.message().c_str()));
-  }
-  const std::filesystem::path dir(directory);
-  FLEXVIS_RETURN_IF_ERROR(
-      WriteTextFile((dir / kProsumerFile).string(), TableToCsv(db.dim_prosumer())));
-  FLEXVIS_RETURN_IF_ERROR(
-      WriteTextFile((dir / kRegionFile).string(), TableToCsv(db.dim_region())));
-  FLEXVIS_RETURN_IF_ERROR(
-      WriteTextFile((dir / kGridFile).string(), TableToCsv(db.dim_grid_node())));
-
   // Offers as JSON Lines in id order. Aggregates must come after their
   // members? Loading re-validates but membership is stored on the aggregate,
   // so order does not matter for correctness; id order keeps diffs stable.
@@ -71,27 +63,34 @@ Status SaveDatabase(const Database& db, const std::string& directory) {
     lines += core::EncodeFlexOffer(offer);
     lines += '\n';
   }
-  FLEXVIS_RETURN_IF_ERROR(WriteTextFile((dir / kOffersFile).string(), lines));
 
-  // The manifest goes last: its atomic rename is the commit point of the
-  // snapshot. A crash anywhere above leaves the previous manifest (or none),
-  // so LoadDatabase never trusts a half-written file set.
-  return WriteManifest(directory, kSnapshotManifest,
-                       {kProsumerFile, kRegionFile, kGridFile, kOffersFile});
+  // The store writes every file atomically and commits the manifest last, so
+  // a crash mid-save leaves no manifest pairing old files with new content —
+  // LoadDatabase then reports kDataLoss instead of loading garbage.
+  StoreFiles files;
+  files.emplace_back(kProsumerFile, TableToCsv(db.dim_prosumer()));
+  files.emplace_back(kRegionFile, TableToCsv(db.dim_region()));
+  files.emplace_back(kGridFile, TableToCsv(db.dim_grid_node()));
+  files.emplace_back(kOffersFile, std::move(lines));
+  Result<DurableStore> store =
+      DurableStore::Create(directory, SnapshotStoreOptions(), files, JsonValue());
+  if (!store.ok()) return store.status();
+  return store->Close();
 }
 
 Result<Database> LoadDatabase(const std::string& directory) {
-  // Integrity first: refuse to parse anything until every covered byte
-  // matches the manifest, so a torn save or bit rot yields kDataLoss rather
-  // than a plausible-but-wrong Database.
-  FLEXVIS_RETURN_IF_ERROR(VerifyManifest(directory, kSnapshotManifest));
+  // Integrity first: Recover refuses to hand back anything until every
+  // covered byte matches the manifest, so a torn save or bit rot yields
+  // kDataLoss rather than a plausible-but-wrong Database. Stale `.tmp`
+  // debris of a crashed save is garbage-collected on the way.
+  Result<StoreRecovery> recovery = DurableStore::Recover(directory, SnapshotStoreOptions());
+  if (!recovery.ok()) return recovery.status();
 
-  const std::filesystem::path dir(directory);
   Database db;
 
   // Dimensions.
   Result<Table> prosumers =
-      ReadCsvFile("dim_prosumer", db.dim_prosumer().schema(), (dir / kProsumerFile).string());
+      TableFromSnapshot(*recovery, "dim_prosumer", db.dim_prosumer().schema(), kProsumerFile);
   if (!prosumers.ok()) return prosumers.status();
   for (size_t r = 0; r < prosumers->NumRows(); ++r) {
     ProsumerInfo p;
@@ -104,7 +103,7 @@ Result<Database> LoadDatabase(const std::string& directory) {
     FLEXVIS_RETURN_IF_ERROR(db.RegisterProsumer(p));
   }
   Result<Table> regions =
-      ReadCsvFile("dim_region", db.dim_region().schema(), (dir / kRegionFile).string());
+      TableFromSnapshot(*recovery, "dim_region", db.dim_region().schema(), kRegionFile);
   if (!regions.ok()) return regions.status();
   for (size_t r = 0; r < regions->NumRows(); ++r) {
     RegionInfo info;
@@ -115,7 +114,7 @@ Result<Database> LoadDatabase(const std::string& directory) {
     FLEXVIS_RETURN_IF_ERROR(db.RegisterRegion(info));
   }
   Result<Table> grid_nodes =
-      ReadCsvFile("dim_grid_node", db.dim_grid_node().schema(), (dir / kGridFile).string());
+      TableFromSnapshot(*recovery, "dim_grid_node", db.dim_grid_node().schema(), kGridFile);
   if (!grid_nodes.ok()) return grid_nodes.status();
   for (size_t r = 0; r < grid_nodes->NumRows(); ++r) {
     GridNodeInfo info;
@@ -127,16 +126,19 @@ Result<Database> LoadDatabase(const std::string& directory) {
   }
 
   // Offers.
-  Result<std::string> lines = ReadTextFile((dir / kOffersFile).string());
-  if (!lines.ok()) return lines.status();
+  auto lines_it = recovery->files.find(kOffersFile);
+  if (lines_it == recovery->files.end()) {
+    return DataLossError(StrFormat("snapshot manifest does not cover '%s'", kOffersFile));
+  }
+  const std::string& lines = lines_it->second;
   std::vector<core::FlexOffer> offers;
   std::set<core::FlexOfferId> seen_ids;
   size_t start = 0;
   size_t line_number = 0;
-  while (start < lines->size()) {
-    size_t end = lines->find('\n', start);
-    if (end == std::string::npos) end = lines->size();
-    std::string_view line(lines->data() + start, end - start);
+  while (start < lines.size()) {
+    size_t end = lines.find('\n', start);
+    if (end == std::string::npos) end = lines.size();
+    std::string_view line(lines.data() + start, end - start);
     ++line_number;
     if (!StripWhitespace(line).empty()) {
       Result<core::FlexOffer> offer = core::DecodeFlexOffer(line);
@@ -184,7 +186,7 @@ Status SaveDatabaseSharded(const Database& db, const std::string& directory,
   // Invalidate a previous sharded snapshot up front: with SHARDS.json gone, a
   // crash mid-save recovers to "no committed snapshot", never to a mix of old
   // and new shard directories.
-  std::filesystem::remove(dir / kShardsManifest, ec);
+  FLEXVIS_RETURN_IF_ERROR(DurableStore::Invalidate(directory, ShardsStoreOptions()));
 
   Result<std::vector<core::FlexOffer>> offers = db.SelectFlexOffers(FlexOfferFilter{});
   if (!offers.ok()) return offers.status();
@@ -230,24 +232,25 @@ Status SaveDatabaseSharded(const Database& db, const std::string& directory,
   }
 
   // The shard manifest is the commit point of the whole sharded snapshot.
-  JsonValue manifest = JsonValue::Object();
-  manifest.Set("schema_version", JsonValue::Int(1));
-  manifest.Set("num_shards", JsonValue::Int(num_shards));
-  return WriteTextFile((dir / kShardsManifest).string(), manifest.Dump());
+  JsonValue meta = JsonValue::Object();
+  meta.Set("num_shards", JsonValue::Int(num_shards));
+  Result<DurableStore> store =
+      DurableStore::Create(directory, ShardsStoreOptions(), {}, meta);
+  if (!store.ok()) return store.status();
+  return store->Close();
 }
 
 Result<Database> LoadDatabaseSharded(const std::string& directory) {
   const std::filesystem::path dir(directory);
-  Result<std::string> manifest_text = ReadTextFile((dir / kShardsManifest).string());
-  if (!manifest_text.ok()) {
-    return DataLossError(StrFormat("no committed shard manifest under '%s'",
-                                   directory.c_str()));
+  Result<StoreRecovery> recovery = DurableStore::Recover(directory, ShardsStoreOptions());
+  if (!recovery.ok()) {
+    return DataLossError(StrFormat("no committed shard manifest under '%s': %s",
+                                   directory.c_str(),
+                                   recovery.status().message().c_str()));
   }
-  Result<JsonValue> manifest = JsonValue::Parse(*manifest_text);
-  if (!manifest.ok() || !manifest->is_object()) {
-    return DataLossError(StrFormat("%s is unparsable", kShardsManifest));
-  }
-  Result<int64_t> num_shards = manifest->GetInt("num_shards");
+  Result<int64_t> num_shards =
+      recovery->meta.is_object() ? recovery->meta.GetInt("num_shards")
+                                 : Result<int64_t>(DataLossError("meta is not an object"));
   if (!num_shards.ok() || *num_shards < 1) {
     return DataLossError(StrFormat("%s lacks a valid num_shards", kShardsManifest));
   }

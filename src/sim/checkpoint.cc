@@ -1,19 +1,16 @@
 #include "sim/checkpoint.h"
 
-#include <filesystem>
+#include <cstdlib>
 #include <utility>
 
 #include "core/messages.h"
-#include "util/fileio.h"
-#include "util/journal.h"
 #include "util/json.h"
+#include "util/store.h"
 #include "util/strings.h"
 
 namespace flexvis::sim {
 
 namespace {
-
-namespace fs = std::filesystem;
 
 JsonValue IdArray(const std::vector<core::FlexOfferId>& ids) {
   JsonValue out = JsonValue::Array();
@@ -39,6 +36,14 @@ Status ReadIdArray(const JsonValue& parent, std::string_view key,
   return OkStatus();
 }
 
+/// Optional-with-default integer: pre-overload / pre-compaction checkpoints
+/// lack the newer keys and must keep resuming with the historical behaviour.
+int64_t GetIntOr(const JsonValue& json, std::string_view key, int64_t fallback) {
+  if (!json.Has(key)) return fallback;
+  Result<int64_t> value = json.GetInt(key);
+  return value.ok() ? *value : fallback;
+}
+
 /// meta.json <-> (window, params). Every field the loop's decisions depend
 /// on must round-trip exactly; doubles serialize as %.17g so they do.
 std::string EncodeMeta(const OnlineParams& params, const timeutil::TimeInterval& window) {
@@ -56,15 +61,9 @@ std::string EncodeMeta(const OnlineParams& params, const timeutil::TimeInterval&
   meta.Set("energy_noise", JsonValue::Double(params.energy.noise));
   meta.Set("max_ingest_per_tick", JsonValue::Int(params.max_ingest_per_tick));
   meta.Set("ingest_queue_capacity", JsonValue::Int(params.ingest_queue_capacity));
+  meta.Set("shed_policy", JsonValue::Int(static_cast<int64_t>(params.shed_policy)));
+  meta.Set("compact_ticks", JsonValue::Int(params.compact_ticks));
   return meta.Dump();
-}
-
-/// Optional-with-default integer: pre-overload checkpoints lack the newer
-/// keys and must keep resuming with the historical (unlimited) behaviour.
-int64_t GetIntOr(const JsonValue& json, std::string_view key, int64_t fallback) {
-  if (!json.Has(key)) return fallback;
-  Result<int64_t> value = json.GetInt(key);
-  return value.ok() ? *value : fallback;
 }
 
 Status DecodeMeta(std::string_view text, OnlineParams* params,
@@ -106,6 +105,8 @@ Status DecodeMeta(std::string_view text, OnlineParams* params,
   params->max_ingest_per_tick = static_cast<int>(GetIntOr(meta, "max_ingest_per_tick", 0));
   params->ingest_queue_capacity =
       static_cast<int>(GetIntOr(meta, "ingest_queue_capacity", 0));
+  params->shed_policy = static_cast<ShedPolicy>(GetIntOr(meta, "shed_policy", 0));
+  params->compact_ticks = static_cast<int>(GetIntOr(meta, "compact_ticks", 0));
   params->faults = nullptr;
   return OkStatus();
 }
@@ -141,55 +142,110 @@ Status DecodeOffers(std::string_view lines, std::vector<core::FlexOffer>* offers
   return OkStatus();
 }
 
-/// Executes the remaining ticks live, journaling each one (append + flush
-/// before the next tick starts: the flush is the durability point).
+/// Executes the remaining ticks live: journal append + flush before the next
+/// tick starts (the flush is the durability point), folding every record
+/// into `fold` and compacting the store on the params cadence.
 Result<OnlineReport> ContinueJournaled(const OnlineEnterprise& enterprise,
-                                       OnlineLoopState state, const fs::path& journal_path,
-                                       int* ticks_continued) {
-  Result<JournalWriter> writer = JournalWriter::Open(journal_path.string());
-  if (!writer.ok()) return writer.status();
+                                       OnlineLoopState state, DurableStore& store,
+                                       const StoreFiles& snapshot_files,
+                                       OnlineTickRecord* fold, int* ticks_continued) {
+  const int compact_ticks = enterprise.params().compact_ticks;
   while (!enterprise.Done(state)) {
     OnlineTickRecord record;
     enterprise.Tick(state, &record);
-    FLEXVIS_RETURN_IF_ERROR(writer->Append(EncodeTickRecord(record)));
-    FLEXVIS_RETURN_IF_ERROR(writer->Flush());
+    FLEXVIS_RETURN_IF_ERROR(store.Append(EncodeTickRecord(record)));
+    FLEXVIS_RETURN_IF_ERROR(store.Flush());
+    FoldTickRecordInto(fold, record);
     if (ticks_continued != nullptr) ++*ticks_continued;
+    if (compact_ticks > 0 && (record.tick + 1) % compact_ticks == 0) {
+      // Fold the journal into a new generation: the fold covers every tick
+      // since Begin (including any previously folded base), so the new
+      // snapshot alone reproduces the post-tick state and the WAL restarts
+      // empty. Cadence keys off the absolute tick index so a resumed run
+      // compacts at the same boundaries the uninterrupted run would.
+      StoreFiles files = snapshot_files;
+      files.emplace_back(kCheckpointStateFile, EncodeTickRecord(*fold));
+      FLEXVIS_RETURN_IF_ERROR(store.Compact(files, JsonValue()));
+    }
   }
-  FLEXVIS_RETURN_IF_ERROR(writer->Close());
+  FLEXVIS_RETURN_IF_ERROR(store.Close());
   return enterprise.Finish(std::move(state));
 }
 
 }  // namespace
 
-Status WriteOnlineSnapshot(const std::string& directory, const OnlineParams& params,
-                           const std::vector<core::FlexOffer>& offers,
-                           const timeutil::TimeInterval& window) {
-  const fs::path dir(directory);
-  FLEXVIS_RETURN_IF_ERROR(
-      WriteFileAtomic((dir / kCheckpointMetaFile).string(), EncodeMeta(params, window)));
-  FLEXVIS_RETURN_IF_ERROR(
-      WriteFileAtomic((dir / kCheckpointOffersFile).string(), EncodeOffers(offers)));
-  return WriteManifest(dir.string(), kCheckpointManifestFile,
-                       {kCheckpointMetaFile, kCheckpointOffersFile});
+int CompactTicksFromEnv() {
+  const char* env = std::getenv(kCompactTicksEnvVar);
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || value < 0) return 0;
+  return static_cast<int>(value);
 }
 
-Status ReadOnlineSnapshot(const std::string& directory, OnlineParams* params,
-                          std::vector<core::FlexOffer>* offers,
-                          timeutil::TimeInterval* window) {
-  const fs::path dir(directory);
-  FLEXVIS_RETURN_IF_ERROR(VerifyManifest(directory, kCheckpointManifestFile));
-  Result<std::string> meta_text = ReadFileToString((dir / kCheckpointMetaFile).string());
-  if (!meta_text.ok()) return meta_text.status();
-  FLEXVIS_RETURN_IF_ERROR(DecodeMeta(*meta_text, params, window));
-  Result<std::string> offers_text =
-      ReadFileToString((dir / kCheckpointOffersFile).string());
-  if (!offers_text.ok()) return offers_text.status();
-  return DecodeOffers(*offers_text, offers);
+StoreOptions CheckpointStoreOptions() {
+  StoreOptions options;
+  options.manifest_name = kCheckpointManifestFile;
+  options.journal_name = kCheckpointJournalFile;
+  return options;
+}
+
+void FoldTickRecordInto(OnlineTickRecord* fold, const OnlineTickRecord& record) {
+  fold->folded = true;
+  fold->tick = record.tick;
+  fold->shed_policy = record.shed_policy;
+  fold->changes.insert(fold->changes.end(), record.changes.begin(), record.changes.end());
+  fold->sent.insert(fold->sent.end(), record.sent.begin(), record.sent.end());
+  fold->offers_received = record.offers_received;
+  fold->accepted = record.accepted;
+  fold->rejected = record.rejected;
+  fold->assigned = record.assigned;
+  fold->missed_acceptance = record.missed_acceptance;
+  fold->missed_assignment = record.missed_assignment;
+  fold->dropped_ingest = record.dropped_ingest;
+  fold->failed_sends = record.failed_sends;
+  fold->shed_offers = record.shed_offers;
+  fold->queue_high_watermark = record.queue_high_watermark;
+  fold->next_arrival = record.next_arrival;
+  fold->pending_acceptance = record.pending_acceptance;
+  fold->pending_assignment = record.pending_assignment;
+}
+
+OnlineTickRecord FoldTickRecords(const std::vector<OnlineTickRecord>& records) {
+  OnlineTickRecord fold;
+  for (const OnlineTickRecord& record : records) FoldTickRecordInto(&fold, record);
+  return fold;
+}
+
+StoreFiles EncodeOnlineSnapshot(const OnlineParams& params,
+                                const std::vector<core::FlexOffer>& offers,
+                                const timeutil::TimeInterval& window) {
+  StoreFiles files;
+  files.emplace_back(kCheckpointMetaFile, EncodeMeta(params, window));
+  files.emplace_back(kCheckpointOffersFile, EncodeOffers(offers));
+  return files;
+}
+
+Status DecodeOnlineSnapshot(const StoreRecovery& recovery, OnlineParams* params,
+                            std::vector<core::FlexOffer>* offers,
+                            timeutil::TimeInterval* window) {
+  auto meta = recovery.files.find(kCheckpointMetaFile);
+  if (meta == recovery.files.end()) {
+    return DataLossError("checkpoint store has no meta.json");
+  }
+  FLEXVIS_RETURN_IF_ERROR(DecodeMeta(meta->second, params, window));
+  auto offer_lines = recovery.files.find(kCheckpointOffersFile);
+  if (offer_lines == recovery.files.end()) {
+    return DataLossError("checkpoint store has no offers.jsonl");
+  }
+  return DecodeOffers(offer_lines->second, offers);
 }
 
 std::string EncodeTickRecord(const OnlineTickRecord& record) {
   JsonValue json = JsonValue::Object();
   json.Set("tick", JsonValue::Int(record.tick));
+  if (record.folded) json.Set("folded", JsonValue::Bool(true));
+  json.Set("shed_policy", JsonValue::Int(record.shed_policy));
   JsonValue changes = JsonValue::Array();
   for (const OnlineStateChange& change : record.changes) {
     JsonValue c = JsonValue::Object();
@@ -250,6 +306,8 @@ Result<OnlineTickRecord> DecodeTickRecord(std::string_view text) {
     }
   }
   record.tick = static_cast<int>(*tick);
+  record.folded = json.Get("folded").is_bool() && json.Get("folded").AsBool();
+  record.shed_policy = static_cast<int>(GetIntOr(json, "shed_policy", 0));
   record.offers_received = static_cast<int>(*received);
   record.accepted = static_cast<int>(*accepted);
   record.rejected = static_cast<int>(*rejected);
@@ -310,69 +368,85 @@ Result<OnlineReport> RunOnlineCheckpointed(const OnlineParams& params,
                                            const std::vector<core::FlexOffer>& offers,
                                            const timeutil::TimeInterval& window,
                                            const std::string& directory) {
-  const fs::path dir(directory);
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) {
-    return InternalError(StrFormat("cannot create checkpoint directory '%s': %s",
-                                   directory.c_str(), ec.message().c_str()));
-  }
-  // Invalidate any previous checkpoint before rewriting: dropping the
-  // manifest first means a crash inside this function leaves "no valid
-  // snapshot" (rerun from inputs), never a new journal under an old
-  // snapshot or vice versa.
-  fs::remove(dir / kCheckpointManifestFile, ec);
-  fs::remove(dir / kCheckpointJournalFile, ec);
-
   OnlineEnterprise enterprise(params);
   Result<OnlineLoopState> state = enterprise.Begin(offers, window);
   if (!state.ok()) return state.status();
 
-  FLEXVIS_RETURN_IF_ERROR(WriteOnlineSnapshot(directory, params, offers, window));
-  return ContinueJournaled(enterprise, *std::move(state), dir / kCheckpointJournalFile,
-                           nullptr);
+  // Create invalidates any previous checkpoint (manifest removed first) and
+  // commits the generation-0 snapshot before the first tick runs.
+  const StoreFiles snapshot = EncodeOnlineSnapshot(params, offers, window);
+  Result<DurableStore> store =
+      DurableStore::Create(directory, CheckpointStoreOptions(), snapshot, JsonValue());
+  if (!store.ok()) return store.status();
+
+  OnlineTickRecord fold;
+  return ContinueJournaled(enterprise, *std::move(state), *store, snapshot, &fold, nullptr);
 }
 
 Result<OnlineReport> ResumeOnline(const std::string& directory, ResumeInfo* info) {
-  const fs::path dir(directory);
   if (info != nullptr) *info = ResumeInfo{};
 
-  // Snapshot integrity gates everything: a crash before the manifest landed
+  // Store integrity gates everything: a crash before the manifest landed
   // means no tick ever ran (the journal is only written after the snapshot
-  // commits), so the caller can simply rerun from its inputs.
+  // commits), so the caller can simply rerun from its inputs. Resume also
+  // repairs a torn journal tail and garbage-collects compaction debris.
+  StoreRecovery recovery;
+  Result<DurableStore> store =
+      DurableStore::Resume(directory, CheckpointStoreOptions(), &recovery);
+  if (!store.ok()) return store.status();
+
   OnlineParams params;
   timeutil::TimeInterval window;
   std::vector<core::FlexOffer> offers;
-  FLEXVIS_RETURN_IF_ERROR(ReadOnlineSnapshot(directory, &params, &offers, &window));
+  FLEXVIS_RETURN_IF_ERROR(DecodeOnlineSnapshot(recovery, &params, &offers, &window));
 
   OnlineEnterprise enterprise(params);
   Result<OnlineLoopState> state = enterprise.Begin(offers, window);
   if (!state.ok()) return state.status();
 
-  // Replay: apply every intact journaled tick; truncate a torn tail so the
-  // continued run appends on a frame boundary. A missing journal means the
-  // crash hit between snapshot commit and the first append — zero ticks.
-  const std::string journal_path = (dir / kCheckpointJournalFile).string();
-  Result<JournalReplay> replay = ReplayJournal(journal_path);
-  if (replay.ok()) {
-    for (const std::string& record_text : replay->records) {
-      Result<OnlineTickRecord> record = DecodeTickRecord(record_text);
-      if (!record.ok()) return record.status();
-      FLEXVIS_RETURN_IF_ERROR(enterprise.Apply(*state, *record));
+  // A compacted generation carries the fold of every tick before the
+  // compaction point as state.json — one Apply recovers them all.
+  OnlineTickRecord fold;
+  auto folded_state = recovery.files.find(kCheckpointStateFile);
+  if (folded_state != recovery.files.end()) {
+    Result<OnlineTickRecord> base = DecodeTickRecord(folded_state->second);
+    if (!base.ok()) return base.status();
+    if (!base->folded) {
+      return DataLossError("checkpoint state.json is not a folded tick record");
     }
-    if (replay->torn_tail) {
-      FLEXVIS_RETURN_IF_ERROR(TruncateJournal(journal_path, replay->valid_bytes));
-    }
-    if (info != nullptr) {
-      info->ticks_replayed = static_cast<int>(replay->records.size());
-      info->torn_tail = replay->torn_tail;
-      info->torn_bytes = replay->torn_bytes;
-    }
-  } else if (replay.status().code() != StatusCode::kNotFound) {
-    return replay.status();
+    FLEXVIS_RETURN_IF_ERROR(enterprise.Apply(*state, *base));
+    fold = *std::move(base);
+    if (info != nullptr) info->ticks_folded = fold.tick + 1;
   }
 
-  return ContinueJournaled(enterprise, *std::move(state), dir / kCheckpointJournalFile,
+  // Replay the journal tail of the committed generation.
+  for (const std::string& record_text : recovery.records) {
+    Result<OnlineTickRecord> record = DecodeTickRecord(record_text);
+    if (!record.ok()) return record.status();
+    FLEXVIS_RETURN_IF_ERROR(enterprise.Apply(*state, *record));
+    FoldTickRecordInto(&fold, *record);
+  }
+  if (info != nullptr) {
+    info->ticks_replayed = static_cast<int>(recovery.records.size());
+    info->generation = recovery.generation;
+    info->torn_tail = recovery.torn_tail;
+    info->torn_bytes = recovery.torn_bytes;
+  }
+
+  // A journal whose last record lands on a compaction boundary means the
+  // crash interrupted that boundary's compaction — an uninterrupted run
+  // compacts before the next tick starts, so it never leaves such a tail.
+  // Re-execute the compaction now: the directory converges to the layout the
+  // uninterrupted run would have, and the bounded-replay guarantee (at most
+  // compact_ticks journal records) holds again after recovery.
+  const StoreFiles snapshot = EncodeOnlineSnapshot(params, offers, window);
+  if (params.compact_ticks > 0 && !recovery.records.empty() &&
+      (fold.tick + 1) % params.compact_ticks == 0) {
+    StoreFiles files = snapshot;
+    files.emplace_back(kCheckpointStateFile, EncodeTickRecord(fold));
+    FLEXVIS_RETURN_IF_ERROR(store->Compact(files, JsonValue()));
+  }
+  return ContinueJournaled(enterprise, *std::move(state), *store, snapshot, &fold,
                            info != nullptr ? &info->ticks_continued : nullptr);
 }
 

@@ -7,39 +7,70 @@
 
 #include "sim/online.h"
 #include "util/status.h"
+#include "util/store.h"
 
 namespace flexvis::sim {
 
-/// Crash-consistent checkpointing for the online planning loop. A checkpoint
-/// directory holds
+/// Crash-consistent checkpointing for the online planning loop, built on the
+/// generational util/store engine. A checkpoint directory is one DurableStore
+/// whose generation holds
 ///
 ///   meta.json       window + OnlineParams (the run's immutable inputs)
 ///   offers.jsonl    the input flex-offers, one message-format offer per line
-///   SNAPSHOT.json   size + CRC-32 manifest over the two files above,
-///                   written last — the snapshot's commit point
+///   state.json      (generations > 0 only) the folded tick record carrying
+///                   every tick compacted so far
+///   SNAPSHOT.json   the store manifest (generation + size/CRC over the
+///                   files above), written last — the commit point
 ///   journal.wal     write-ahead journal of OnlineTickRecords, one frame per
 ///                   tick, flushed after every append
 ///
 /// RunOnlineCheckpointed snapshots the inputs before the first tick and
 /// journals every tick's decisions; ResumeOnline rebuilds the loop state by
-/// replaying snapshot + journal — applying recorded decisions, never
-/// re-running them — and continues the run, producing an OnlineReport and
-/// outbox byte-identical to an uninterrupted run. A crash before the
-/// snapshot manifest lands surfaces as kDataLoss (nothing was promised yet;
-/// rerun from the inputs); a torn journal tail is truncated and the lost
-/// ticks re-executed.
+/// replaying snapshot + folded state + journal — applying recorded
+/// decisions, never re-running them — and continues the run, producing an
+/// OnlineReport and outbox byte-identical to an uninterrupted run. A crash
+/// before the snapshot manifest lands surfaces as kDataLoss (nothing was
+/// promised yet; rerun from the inputs); a torn journal tail is truncated
+/// and the lost ticks re-executed.
+///
+/// Compaction: with OnlineParams::compact_ticks = C > 0 the run folds the
+/// journal into a new store generation after every C-th tick — the folded
+/// record becomes state.json, the manifest commit supersedes the old
+/// generation, and the WAL restarts empty — so a resume replays at most C
+/// tick records no matter how long the run is. Generation > 0 files carry a
+/// ".g<G>" suffix; recovery lands on exactly one committed generation and
+/// garbage-collects the debris of the other.
 
 inline constexpr const char* kCheckpointMetaFile = "meta.json";
 inline constexpr const char* kCheckpointOffersFile = "offers.jsonl";
+inline constexpr const char* kCheckpointStateFile = "state.json";
 inline constexpr const char* kCheckpointManifestFile = "SNAPSHOT.json";
 inline constexpr const char* kCheckpointJournalFile = "journal.wal";
 
+/// Environment knob for the compaction cadence (ticks between folds; unset,
+/// empty, 0, or unparsable = compaction off).
+inline constexpr const char* kCompactTicksEnvVar = "FLEXVIS_COMPACT_TICKS";
+
+/// Parses $FLEXVIS_COMPACT_TICKS into an OnlineParams::compact_ticks value
+/// (>= 0; 0 = off). The benches and CLI wire it through explicitly — library
+/// code never reads the environment behind a caller's back.
+int CompactTicksFromEnv();
+
+/// The store layout above as StoreOptions (manifest SNAPSHOT.json, WAL
+/// journal.wal). The sharded coordinator opens one such store per shard.
+StoreOptions CheckpointStoreOptions();
+
 /// Observability of a recovery: how much state came back from disk.
 struct ResumeInfo {
+  /// Ticks recovered from the folded state.json of a compacted generation
+  /// (no decision logic re-run, no per-tick records read).
+  int ticks_folded = 0;
   /// Ticks reconstructed from the journal (no decision logic re-run).
   int ticks_replayed = 0;
   /// Ticks executed live after the replay to finish the window.
   int ticks_continued = 0;
+  /// Store generation the recovery landed on (0 = never compacted).
+  int64_t generation = 0;
   /// True when the journal ended in a torn frame (crash mid-append); the
   /// debris was truncated before continuing.
   bool torn_tail = false;
@@ -56,40 +87,52 @@ Result<OnlineReport> RunOnlineCheckpointed(const OnlineParams& params,
                                            const timeutil::TimeInterval& window,
                                            const std::string& directory);
 
-/// Recovers a run from `directory`: verifies the snapshot manifest
-/// (kDataLoss when the snapshot is partial or corrupt), replays the journal
-/// (truncating a torn tail), then continues the remaining ticks — journaling
-/// them — and returns the completed report. Byte-identical to the report the
-/// uninterrupted run would have produced, including the outbox stream.
+/// Recovers a run from `directory`: verifies the committed store generation
+/// (kDataLoss when the snapshot is partial or corrupt), applies the folded
+/// state (if the run compacted) and the journal tail (truncating a torn
+/// frame), then continues the remaining ticks — journaling and compacting on
+/// the cadence recorded in meta.json — and returns the completed report.
+/// Byte-identical to the report the uninterrupted run would have produced,
+/// including the outbox stream.
 Result<OnlineReport> ResumeOnline(const std::string& directory, ResumeInfo* info = nullptr);
 
 /// Serialization of one tick record (exposed for tests and the recovery
 /// bench): compact JSON via EncodeTickRecord, strict decode via
-/// DecodeTickRecord (missing fields or type mismatches error; the overload
-/// counters added later are optional-with-default so pre-overload journals
+/// DecodeTickRecord (missing fields or type mismatches error; the overload /
+/// compaction fields added later are optional-with-default so older journals
 /// still replay).
 std::string EncodeTickRecord(const OnlineTickRecord& record);
 Result<OnlineTickRecord> DecodeTickRecord(std::string_view text);
 
+/// Merges `record` (the next tick) into the running fold `*fold`: deltas
+/// (changes, sent wires) concatenate in order, absolute fields (counters,
+/// cursor, queues) come from `record`, and the result is marked folded.
+/// Applying the fold of ticks 0..K onto a fresh Begin state reproduces the
+/// live post-tick-K state byte for byte — the invariant compaction rests on.
+void FoldTickRecordInto(OnlineTickRecord* fold, const OnlineTickRecord& record);
+
+/// FoldTickRecordInto over a whole sequence. Precondition: non-empty.
+OnlineTickRecord FoldTickRecords(const std::vector<OnlineTickRecord>& records);
+
 // ---- Snapshot codec (shared with sim/coordinator) ---------------------------
 //
-// The sharded coordinator namespaces one of these snapshot directories per
+// The sharded coordinator namespaces one of these checkpoint stores per
 // shard (shard-0000/, shard-0001/, ...) under its run directory, so every
 // shard owns exactly the layout a single-enterprise checkpoint uses.
 
-/// Writes the immutable snapshot (meta.json, offers.jsonl, SNAPSHOT.json —
-/// manifest last, its rename being the commit point) under `directory`,
-/// which must already exist.
-Status WriteOnlineSnapshot(const std::string& directory, const OnlineParams& params,
-                           const std::vector<core::FlexOffer>& offers,
-                           const timeutil::TimeInterval& window);
+/// The immutable snapshot content (meta.json, offers.jsonl) for
+/// DurableStore::Create/Compact. Never includes state.json — compaction
+/// appends that itself.
+StoreFiles EncodeOnlineSnapshot(const OnlineParams& params,
+                                const std::vector<core::FlexOffer>& offers,
+                                const timeutil::TimeInterval& window);
 
-/// Verifies the snapshot manifest under `directory` (kDataLoss when partial
-/// or corrupt) and decodes the run's immutable inputs. `params->faults` is
-/// always left null — fault wiring is runtime state, never persisted.
-Status ReadOnlineSnapshot(const std::string& directory, OnlineParams* params,
-                          std::vector<core::FlexOffer>* offers,
-                          timeutil::TimeInterval* window);
+/// Decodes the run's immutable inputs out of a recovered checkpoint store.
+/// `params->faults` is always left null — fault wiring is runtime state,
+/// never persisted.
+Status DecodeOnlineSnapshot(const StoreRecovery& recovery, OnlineParams* params,
+                            std::vector<core::FlexOffer>* offers,
+                            timeutil::TimeInterval* window);
 
 }  // namespace flexvis::sim
 

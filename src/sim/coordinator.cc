@@ -9,9 +9,9 @@
 
 #include "core/messages.h"
 #include "sim/workload.h"
-#include "util/fileio.h"
 #include "util/json.h"
 #include "util/parallel.h"
+#include "util/store.h"
 #include "util/strings.h"
 
 namespace flexvis::sim {
@@ -151,6 +151,15 @@ Result<ReplayedRecord> ParseJournalRecord(const std::string& payload) {
   return out;
 }
 
+/// COORDINATOR.json as a zero-file util/store generation: no snapshot files,
+/// no WAL — just the atomically-renamed manifest whose `meta` carries the
+/// whole coordinator state.
+StoreOptions CoordinatorStoreOptions() {
+  StoreOptions options;
+  options.manifest_name = kCoordinatorManifestFile;
+  return options;
+}
+
 }  // namespace
 
 int ShardsFromEnv(int fallback) {
@@ -164,15 +173,16 @@ int ShardsFromEnv(int fallback) {
 
 /// Everything one shard owns: its loop parameters (energy scaled, faults
 /// pointed at the shard registry), its fault registry, its live state, the
-/// full list of applied tick records (replayed on migration rebuilds), and —
-/// when checkpointed — its open journal.
+/// list of applied records (a resumed shard's first entry is the folded
+/// record of its compacted generation; replayed on migration rebuilds), and
+/// — when checkpointed — its open durable store.
 struct Coordinator::Shard {
   OnlineParams params;
   std::unique_ptr<FaultRegistry> registry;
   OnlineEnterprise enterprise;
   OnlineLoopState state;
   std::vector<OnlineTickRecord> applied;
-  JournalWriter journal;
+  DurableStore store;
 };
 
 Coordinator::Coordinator(CoordinatorParams params)
@@ -237,42 +247,35 @@ Status Coordinator::BeginCheckpointed(const std::vector<FlexOffer>& offers,
   // Invalidate any previous run first: dropping COORDINATOR.json means a
   // crash anywhere inside this function recovers to "no committed run"
   // (rerun from inputs), never to a mix of old and new shard state.
-  fs::remove(fs::path(directory_) / kCoordinatorManifestFile, ec);
+  FLEXVIS_RETURN_IF_ERROR(DurableStore::Invalidate(directory_, CoordinatorStoreOptions()));
   for (const fs::directory_entry& entry : fs::directory_iterator(directory_, ec)) {
     if (!entry.is_directory()) continue;
     const std::string name = entry.path().filename().string();
     if (name.rfind(kShardDirPrefix, 0) != 0) continue;
-    std::error_code ignore;
-    fs::remove(entry.path() / kCheckpointManifestFile, ignore);
-    fs::remove(entry.path() / kCheckpointJournalFile, ignore);
+    (void)DurableStore::Invalidate(entry.path().string(), CheckpointStoreOptions());
   }
 
   FLEXVIS_RETURN_IF_ERROR(Begin(offers, window));
   checkpointed_ = true;
 
-  // Per-shard snapshots (each its own commit point via SNAPSHOT.json), then
-  // the coordinator manifest — the run's overall commit point — last.
+  // Per-shard stores (each its own commit point via SNAPSHOT.json, WAL
+  // opened ready for the first tick), then the coordinator store — the run's
+  // overall commit point — last.
   std::vector<std::vector<size_t>> partition = router_.Partition(offers_);
   for (int s = 0; s < params_.num_shards; ++s) {
-    const std::string shard_dir = ShardDir(s);
-    fs::create_directories(shard_dir, ec);
-    if (ec) {
-      return InternalError(StrFormat("cannot create shard directory '%s': %s",
-                                     shard_dir.c_str(), ec.message().c_str()));
-    }
     std::vector<FlexOffer> subset;
     for (size_t idx : partition[static_cast<size_t>(s)]) subset.push_back(offers_[idx]);
-    FLEXVIS_RETURN_IF_ERROR(
-        WriteOnlineSnapshot(shard_dir, shards_[static_cast<size_t>(s)]->params, subset,
-                            window));
+    Result<DurableStore> store = DurableStore::Create(
+        ShardDir(s), CheckpointStoreOptions(),
+        EncodeOnlineSnapshot(shards_[static_cast<size_t>(s)]->params, subset, window),
+        JsonValue());
+    if (!store.ok()) return store.status();
+    shards_[static_cast<size_t>(s)]->store = *std::move(store);
   }
-  FLEXVIS_RETURN_IF_ERROR(WriteCoordinatorManifest());
-  for (int s = 0; s < params_.num_shards; ++s) {
-    Result<JournalWriter> writer =
-        JournalWriter::Open((fs::path(ShardDir(s)) / kCheckpointJournalFile).string());
-    if (!writer.ok()) return writer.status();
-    shards_[static_cast<size_t>(s)]->journal = *std::move(writer);
-  }
+  Result<DurableStore> coord =
+      DurableStore::Create(directory_, CoordinatorStoreOptions(), {}, CoordinatorMeta());
+  if (!coord.ok()) return coord.status();
+  coord_store_ = *std::move(coord);
   return OkStatus();
 }
 
@@ -318,11 +321,52 @@ Status Coordinator::Tick() {
     if (!ticked[s]) continue;
     Shard& shard = *shards_[s];
     if (checkpointed_) {
-      FLEXVIS_RETURN_IF_ERROR(shard.journal.Append(EncodeTickRecord(records[s])));
-      FLEXVIS_RETURN_IF_ERROR(shard.journal.Flush());
+      FLEXVIS_RETURN_IF_ERROR(shard.store.Append(EncodeTickRecord(records[s])));
+      FLEXVIS_RETURN_IF_ERROR(shard.store.Flush());
     }
     shard.applied.push_back(std::move(records[s]));
   }
+
+  // Checkpoint compaction at the global tick boundary: cadence keys off the
+  // absolute tick index so a resumed run compacts at the same boundaries the
+  // uninterrupted run would.
+  const int compact_ticks = params_.online.compact_ticks;
+  if (checkpointed_ && compact_ticks > 0 && (min_tick + 1) % compact_ticks == 0) {
+    FLEXVIS_RETURN_IF_ERROR(CompactShards());
+  }
+  return OkStatus();
+}
+
+Status Coordinator::CompactShards(const std::vector<bool>* include) {
+  // base_epoch advances FIRST (its own atomic manifest commit): once any
+  // shard folds, a recovery may find a migration record at or below
+  // base_epoch whose counterpart was compacted away, and must treat the
+  // counterpart shard's snapshot as already carrying that migration.
+  if (base_epoch_ != epoch_) {
+    base_epoch_ = epoch_;
+    FLEXVIS_RETURN_IF_ERROR(WriteCoordinatorManifest());
+  }
+  std::vector<std::vector<size_t>> partition = router_.Partition(offers_);
+  for (int s = 0; s < params_.num_shards; ++s) {
+    Shard& shard = *shards_[static_cast<size_t>(s)];
+    if (shard.applied.empty()) continue;
+    if (include != nullptr && !(*include)[static_cast<size_t>(s)]) continue;
+    std::vector<FlexOffer> subset;
+    subset.reserve(partition[static_cast<size_t>(s)].size());
+    for (size_t idx : partition[static_cast<size_t>(s)]) subset.push_back(offers_[idx]);
+    StoreFiles files = EncodeOnlineSnapshot(shard.params, subset, window_);
+    files.emplace_back(kCheckpointStateFile,
+                       EncodeTickRecord(FoldTickRecords(shard.applied)));
+    FLEXVIS_RETURN_IF_ERROR(shard.store.Compact(files, JsonValue()));
+  }
+  return OkStatus();
+}
+
+Status Coordinator::RebakeShard(int s, int64_t epoch) {
+  OnlineLoopState rebuilt;
+  FLEXVIS_RETURN_IF_ERROR(RebuildShard(s, router_, &rebuilt));
+  shards_[static_cast<size_t>(s)]->state = std::move(rebuilt);
+  epoch_ = std::max(epoch_, epoch);
   return OkStatus();
 }
 
@@ -376,7 +420,9 @@ Status Coordinator::RebuildShard(int s, const ShardRouter& router,
 Status Coordinator::CommitMigration(core::ProsumerId prosumer, int from, int to,
                                     int64_t new_epoch) {
   FLEXVIS_RETURN_IF_ERROR(router_.Assign(prosumer, to));
-  epoch_ = new_epoch;
+  // max, not assignment: a resume pre-seeds epoch_ with the manifest's
+  // base_epoch, and a replayed migration below it must not regress the epoch.
+  epoch_ = std::max(epoch_, new_epoch);
   OnlineLoopState source_state;
   OnlineLoopState target_state;
   FLEXVIS_RETURN_IF_ERROR(RebuildShard(from, router_, &source_state));
@@ -443,14 +489,14 @@ Status Coordinator::MigrateProsumer(core::ProsumerId prosumer, int to_shard) {
     out.from = from;
     out.to = to_shard;
     out.epoch = new_epoch;
-    FLEXVIS_RETURN_IF_ERROR(source.journal.Append(EncodeMigrationRecord(out)));
-    FLEXVIS_RETURN_IF_ERROR(source.journal.Flush());
+    FLEXVIS_RETURN_IF_ERROR(source.store.Append(EncodeMigrationRecord(out)));
+    FLEXVIS_RETURN_IF_ERROR(source.store.Flush());
     MigrationRecord in = out;
     in.is_in = true;
     in.offers = std::move(moving);
     Shard& target = *shards_[static_cast<size_t>(to_shard)];
-    FLEXVIS_RETURN_IF_ERROR(target.journal.Append(EncodeMigrationRecord(in)));
-    FLEXVIS_RETURN_IF_ERROR(target.journal.Flush());
+    FLEXVIS_RETURN_IF_ERROR(target.store.Append(EncodeMigrationRecord(in)));
+    FLEXVIS_RETURN_IF_ERROR(target.store.Flush());
   }
 
   router_ = std::move(new_router);
@@ -465,14 +511,15 @@ std::vector<std::vector<size_t>> Coordinator::CurrentPartition() const {
   return router_.Partition(offers_);
 }
 
-Status Coordinator::WriteCoordinatorManifest() const {
-  JsonValue manifest = JsonValue::Object();
-  manifest.Set("schema_version", JsonValue::Int(1));
-  manifest.Set("num_shards", JsonValue::Int(params_.num_shards));
-  manifest.Set("policy", JsonValue::Str(std::string(ShardPolicyName(params_.policy))));
-  manifest.Set("scale_energy_per_shard", JsonValue::Bool(params_.scale_energy_per_shard));
-  manifest.Set("fault_seed", JsonValue::Int(static_cast<int64_t>(params_.fault_seed)));
-  manifest.Set("epoch", JsonValue::Int(epoch_));
+JsonValue Coordinator::CoordinatorMeta() const {
+  JsonValue meta = JsonValue::Object();
+  meta.Set("schema_version", JsonValue::Int(1));
+  meta.Set("num_shards", JsonValue::Int(params_.num_shards));
+  meta.Set("policy", JsonValue::Str(std::string(ShardPolicyName(params_.policy))));
+  meta.Set("scale_energy_per_shard", JsonValue::Bool(params_.scale_energy_per_shard));
+  meta.Set("fault_seed", JsonValue::Int(static_cast<int64_t>(params_.fault_seed)));
+  meta.Set("epoch", JsonValue::Int(epoch_));
+  meta.Set("base_epoch", JsonValue::Int(base_epoch_));
   JsonValue overrides = JsonValue::Array();
   for (const auto& [prosumer, shard] : router_.overrides()) {
     JsonValue pair = JsonValue::Array();
@@ -480,12 +527,15 @@ Status Coordinator::WriteCoordinatorManifest() const {
     pair.Append(JsonValue::Int(shard));
     overrides.Append(std::move(pair));
   }
-  manifest.Set("overrides", std::move(overrides));
+  meta.Set("overrides", std::move(overrides));
   JsonValue order = JsonValue::Array();
   for (const FlexOffer& offer : offers_) order.Append(JsonValue::Int(offer.id));
-  manifest.Set("offer_order", std::move(order));
-  return WriteFileAtomic((fs::path(directory_) / kCoordinatorManifestFile).string(),
-                         manifest.Dump());
+  meta.Set("offer_order", std::move(order));
+  return meta;
+}
+
+Status Coordinator::WriteCoordinatorManifest() {
+  return coord_store_.Recommit(CoordinatorMeta());
 }
 
 Result<MergedOnlineReport> Coordinator::Finish() {
@@ -497,8 +547,8 @@ Result<MergedOnlineReport> Coordinator::Finish() {
   merged.global.offers.resize(offers_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = *shards_[s];
-    if (checkpointed_ && shard.journal.is_open()) {
-      FLEXVIS_RETURN_IF_ERROR(shard.journal.Close());
+    if (checkpointed_ && shard.store.is_open()) {
+      FLEXVIS_RETURN_IF_ERROR(shard.store.Close());
     }
     OnlineReport report = shard.enterprise.Finish(std::move(shard.state));
     if (report.offers.size() != partition[s].size()) {
@@ -528,6 +578,7 @@ Result<MergedOnlineReport> Coordinator::Finish() {
   for (const FlexOffer& offer : merged.global.offers) {
     merged.total_offered_kwh += offer.total_max_energy_kwh();
   }
+  if (checkpointed_ && coord_store_.is_open()) FLEXVIS_RETURN_IF_ERROR(coord_store_.Close());
   begun_ = false;
   return merged;
 }
@@ -553,35 +604,32 @@ Result<MergedOnlineReport> Coordinator::RunShardedCheckpointed(
 Result<MergedOnlineReport> Coordinator::ResumeSharded(const std::string& directory,
                                                       ShardResumeInfo* info) {
   if (info != nullptr) *info = ShardResumeInfo{};
-  const fs::path dir(directory);
 
-  // The coordinator manifest is the run's commit point: without it nothing
-  // was promised (the crash predates Begin's completion) and the caller
-  // reruns from its inputs.
-  Result<std::string> manifest_text =
-      ReadFileToString((dir / kCoordinatorManifestFile).string());
-  if (!manifest_text.ok()) {
-    return DataLossError(StrFormat(
-        "no committed coordinator manifest under '%s'; rerun from inputs",
-        directory.c_str()));
-  }
-  Result<JsonValue> manifest = JsonValue::Parse(*manifest_text);
-  if (!manifest.ok() || !manifest->is_object()) {
-    return DataLossError("COORDINATOR.json is unparsable");
-  }
-  Result<int64_t> num_shards = manifest->GetInt("num_shards");
-  Result<std::string> policy_name = manifest->GetString("policy");
-  Result<bool> scale = manifest->GetBool("scale_energy_per_shard");
-  Result<int64_t> fault_seed = manifest->GetInt("fault_seed");
-  Result<int64_t> manifest_epoch = manifest->GetInt("epoch");
+  // The coordinator store manifest is the run's commit point: without it
+  // nothing was promised (the crash predates Begin's completion) and the
+  // caller reruns from its inputs. Resume also garbage-collects any staging
+  // debris a crash left next to it.
+  StoreRecovery coord_recovery;
+  Result<DurableStore> coord_store =
+      DurableStore::Resume(directory, CoordinatorStoreOptions(), &coord_recovery);
+  if (!coord_store.ok()) return coord_store.status();
+  const JsonValue& meta = coord_recovery.meta;
+  if (!meta.is_object()) return DataLossError("COORDINATOR.json carries no coordinator meta");
+  Result<int64_t> num_shards = meta.GetInt("num_shards");
+  Result<std::string> policy_name = meta.GetString("policy");
+  Result<bool> scale = meta.GetBool("scale_energy_per_shard");
+  Result<int64_t> fault_seed = meta.GetInt("fault_seed");
+  Result<int64_t> manifest_epoch = meta.GetInt("epoch");
   if (!num_shards.ok() || !policy_name.ok() || !scale.ok() || !fault_seed.ok() ||
       !manifest_epoch.ok() || *num_shards < 1) {
     return DataLossError("COORDINATOR.json is incomplete");
   }
   Result<ShardPolicy> policy = ParseShardPolicy(*policy_name);
   if (!policy.ok()) return DataLossError("COORDINATOR.json names an unknown policy");
-  const JsonValue& order_json = manifest->Get("offer_order");
-  const JsonValue& overrides_json = manifest->Get("overrides");
+  const JsonValue& base_epoch_json = meta.Get("base_epoch");
+  const int64_t base_epoch = base_epoch_json.is_int() ? base_epoch_json.AsInt() : 0;
+  const JsonValue& order_json = meta.Get("offer_order");
+  const JsonValue& overrides_json = meta.Get("overrides");
   if (!order_json.is_array() || !overrides_json.is_array()) {
     return DataLossError("COORDINATOR.json lacks offer_order/overrides arrays");
   }
@@ -601,166 +649,271 @@ Result<MergedOnlineReport> Coordinator::ResumeSharded(const std::string& directo
   params.scale_energy_per_shard = *scale;
   params.fault_seed = static_cast<uint64_t>(*fault_seed);
 
-  // Load every shard snapshot (each verifies its own SNAPSHOT.json).
+  // Resume every shard store: each verifies its own SNAPSHOT.json, repairs a
+  // torn WAL tail, garbage-collects other-generation debris, and reopens the
+  // committed generation's WAL for the continuation. Shards recover to
+  // *independent* generations — a crash mid-compaction leaves some folded
+  // and some not, and the replay below reconciles them.
+  Coordinator coordinator(params);
+  coordinator.directory_ = directory;
+  coordinator.coord_store_ = *std::move(coord_store);
+  std::vector<DurableStore> shard_stores(static_cast<size_t>(n));
+  std::vector<StoreRecovery> shard_recovery(static_cast<size_t>(n));
   std::vector<OnlineParams> shard_params(static_cast<size_t>(n));
   std::vector<std::vector<FlexOffer>> shard_offers(static_cast<size_t>(n));
   TimeInterval window;
   for (int s = 0; s < n; ++s) {
-    const std::string shard_dir =
-        (dir / StrFormat("%s%04d", kShardDirPrefix, s)).string();
-    FLEXVIS_RETURN_IF_ERROR(ReadOnlineSnapshot(shard_dir, &shard_params[static_cast<size_t>(s)],
-                                               &shard_offers[static_cast<size_t>(s)],
-                                               &window));
+    const size_t si = static_cast<size_t>(s);
+    Result<DurableStore> store = DurableStore::Resume(
+        coordinator.ShardDir(s), CheckpointStoreOptions(), &shard_recovery[si]);
+    if (!store.ok()) return store.status();
+    shard_stores[si] = *std::move(store);
+    FLEXVIS_RETURN_IF_ERROR(DecodeOnlineSnapshot(shard_recovery[si], &shard_params[si],
+                                                 &shard_offers[si], &window));
   }
 
-  // Rebuild the global offer list in its original input order.
-  std::map<core::FlexOfferId, const FlexOffer*> by_id;
+  // Parse every shard's WAL records up front and take a migration inventory:
+  // for each epoch, which side(s) survived the crash. A migrate_in whose
+  // migrate_out is nowhere and is not covered by base_epoch is impossible
+  // under the durability order (out flushes first) — the directory is
+  // corrupt, not crashed.
+  struct MigrationSides {
+    bool has_out = false;
+    bool has_in = false;
+    core::ProsumerId prosumer = core::kInvalidProsumerId;
+  };
+  std::map<int64_t, MigrationSides> inventory;
+  std::vector<std::deque<ReplayedRecord>> queues(static_cast<size_t>(n));
+  if (info != nullptr) info->shards.resize(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    const size_t si = static_cast<size_t>(s);
+    for (const std::string& payload : shard_recovery[si].records) {
+      Result<ReplayedRecord> record = ParseJournalRecord(payload);
+      if (!record.ok()) return record.status();
+      if (record->is_migration) {
+        MigrationSides& sides = inventory[record->migration.epoch];
+        (record->migration.is_in ? sides.has_in : sides.has_out) = true;
+        sides.prosumer = record->migration.prosumer;
+      }
+      queues[si].push_back(*std::move(record));
+    }
+    if (info != nullptr) {
+      info->shards[si].torn_tail = shard_recovery[si].torn_tail;
+      info->shards[si].torn_bytes = shard_recovery[si].torn_bytes;
+      info->shards[si].generation = shard_recovery[si].generation;
+    }
+  }
+  for (const auto& [epoch, sides] : inventory) {
+    if (sides.has_in && !sides.has_out && epoch > base_epoch) {
+      return DataLossError(
+          StrFormat("migrate_in for prosumer %lld has no matching migrate_out",
+                    static_cast<long long>(sides.prosumer)));
+    }
+  }
+
+  // Rebuild the global offer list in its original input order. Shards on
+  // different generations may both carry a migrated prosumer's offers (the
+  // source's pre-migration snapshot and the target's compacted one); that is
+  // benign exactly when the copies are byte-identical. Offers missing from
+  // every snapshot (migrated into a shard whose fold never committed) are
+  // recovered from migrate_in payloads.
+  std::map<core::FlexOfferId, FlexOffer> by_id;
   for (const std::vector<FlexOffer>& subset : shard_offers) {
     for (const FlexOffer& offer : subset) {
-      if (!by_id.emplace(offer.id, &offer).second) {
-        return DataLossError(StrFormat("flex-offer %lld appears in two shard snapshots",
-                                       static_cast<long long>(offer.id)));
+      auto [it, inserted] = by_id.emplace(offer.id, offer);
+      if (!inserted &&
+          core::EncodeFlexOffer(it->second) != core::EncodeFlexOffer(offer)) {
+        return DataLossError(
+            StrFormat("flex-offer %lld appears in two shard snapshots with different "
+                      "content",
+                      static_cast<long long>(offer.id)));
       }
     }
   }
-  Coordinator coordinator(params);
+  for (const std::deque<ReplayedRecord>& queue : queues) {
+    for (const ReplayedRecord& record : queue) {
+      if (!record.is_migration || !record.migration.is_in) continue;
+      for (const FlexOffer& offer : record.migration.offers) {
+        auto [it, inserted] = by_id.emplace(offer.id, offer);
+        if (!inserted &&
+            core::EncodeFlexOffer(it->second) != core::EncodeFlexOffer(offer)) {
+          return DataLossError(
+              StrFormat("flex-offer %lld in a migrate_in payload differs from its "
+                        "snapshot copy",
+                        static_cast<long long>(offer.id)));
+        }
+      }
+    }
+  }
   coordinator.params_.online = shard_params[0];
   coordinator.params_.online.faults = nullptr;
   // The snapshots already carry per-shard (scaled) parameters; nothing below
   // rescales, so suppress the Begin-time scaling semantics on this instance.
-  coordinator.directory_ = directory;
   coordinator.window_ = window;
   for (size_t i = 0; i < order_json.size(); ++i) {
     if (!order_json[i].is_int()) return DataLossError("offer_order holds a non-integer id");
     auto it = by_id.find(order_json[i].AsInt());
     if (it == by_id.end()) {
       return DataLossError(StrFormat("offer_order names flex-offer %lld absent from every "
-                                     "shard snapshot",
+                                     "shard snapshot and migration record",
                                      static_cast<long long>(order_json[i].AsInt())));
     }
-    coordinator.offers_.push_back(*it->second);
+    coordinator.offers_.push_back(it->second);
   }
   if (coordinator.offers_.size() != by_id.size()) {
     return DataLossError("shard snapshots hold offers missing from offer_order");
   }
 
-  // Rebuild each shard from its snapshot subset (the pre-migration
-  // partition; migrations re-apply during journal replay).
-  if (info != nullptr) info->shards.resize(static_cast<size_t>(n));
+  // Seed the router with every override the manifest committed. Safe even
+  // for overrides whose journal records will replay again below: migration
+  // requires an idle prosumer, so the pre-boundary arrival prefix of every
+  // shard is identical under the pre- and post-migration partitions, and
+  // CommitMigration's Assign is then idempotent. The epoch starts at
+  // base_epoch — migrations at or below it are baked into (some) snapshots
+  // and may have no journal records left to replay.
+  for (const auto& [prosumer, shard] : manifest_overrides) {
+    FLEXVIS_RETURN_IF_ERROR(coordinator.router_.Assign(prosumer, shard));
+  }
+  coordinator.epoch_ = base_epoch;
+  coordinator.base_epoch_ = base_epoch;
+
+  // Rebuild each shard from its snapshot subset, then fast-forward through
+  // the folded state.json of a compacted generation (no decision logic
+  // re-runs; the folded record is kept as applied[0] so migration rebuilds
+  // can replay it).
   for (int s = 0; s < n; ++s) {
+    const size_t si = static_cast<size_t>(s);
     auto shard = std::make_unique<Shard>();
     shard->registry = std::make_unique<FaultRegistry>();
     FLEXVIS_RETURN_IF_ERROR(
         InstallFaultsInto(*shard->registry, ShardSeed(params.fault_seed, s)));
-    shard->params = shard_params[static_cast<size_t>(s)];
+    shard->params = shard_params[si];
     shard->params.faults = shard->registry.get();
     shard->enterprise = OnlineEnterprise(shard->params);
-    Result<OnlineLoopState> state =
-        shard->enterprise.Begin(shard_offers[static_cast<size_t>(s)], window);
+    Result<OnlineLoopState> state = shard->enterprise.Begin(shard_offers[si], window);
     if (!state.ok()) return state.status();
     shard->state = *std::move(state);
+    auto folded = shard_recovery[si].files.find(kCheckpointStateFile);
+    if (folded != shard_recovery[si].files.end()) {
+      Result<OnlineTickRecord> fold = DecodeTickRecord(folded->second);
+      if (!fold.ok()) return fold.status();
+      if (!fold->folded) {
+        return DataLossError(
+            StrFormat("shard %d state.json is not a folded tick record", s));
+      }
+      FLEXVIS_RETURN_IF_ERROR(shard->enterprise.Apply(shard->state, *fold));
+      if (info != nullptr) {
+        info->shards[si].ticks_folded = static_cast<int>(fold->tick) + 1;
+      }
+      shard->applied.push_back(*std::move(fold));
+    }
+    shard->store = std::move(shard_stores[si]);
     coordinator.shards_.push_back(std::move(shard));
   }
   coordinator.begun_ = true;
   coordinator.checkpointed_ = true;
 
-  // Replay every shard journal: truncate torn tails, parse records.
-  std::vector<std::deque<ReplayedRecord>> queues(static_cast<size_t>(n));
-  for (int s = 0; s < n; ++s) {
-    const std::string journal_path =
-        (fs::path(coordinator.ShardDir(s)) / kCheckpointJournalFile).string();
-    Result<JournalReplay> replay = ReplayJournal(journal_path);
-    if (!replay.ok()) {
-      if (replay.status().code() == StatusCode::kNotFound) continue;
-      return replay.status();
-    }
-    for (const std::string& payload : replay->records) {
-      Result<ReplayedRecord> record = ParseJournalRecord(payload);
-      if (!record.ok()) return record.status();
-      queues[static_cast<size_t>(s)].push_back(*std::move(record));
-    }
-    if (replay->torn_tail) {
-      FLEXVIS_RETURN_IF_ERROR(TruncateJournal(journal_path, replay->valid_bytes));
-    }
-    if (info != nullptr) {
-      info->shards[static_cast<size_t>(s)].torn_tail = replay->torn_tail;
-      info->shards[static_cast<size_t>(s)].torn_bytes = replay->torn_bytes;
-    }
-  }
-  for (int s = 0; s < n; ++s) {
-    Result<JournalWriter> writer = JournalWriter::Open(
-        (fs::path(coordinator.ShardDir(s)) / kCheckpointJournalFile).string());
-    if (!writer.ok()) return writer.status();
-    coordinator.shards_[static_cast<size_t>(s)]->journal = *std::move(writer);
-  }
-
-  // Lockstep replay: at every tick boundary first commit the migrations
-  // recorded there (pairing each migrate_in with its migrate_out; a lone
-  // migrate_out whose target journal ends is a crash between the two
-  // flushes — complete it by synthesizing the migrate_in), then apply one
-  // tick record per shard.
-  std::vector<MigrationRecord> pending_out;
+  // Lockstep replay. Shards recovered to different generations start at
+  // different ticks, so migration records do not surface in the same round;
+  // a shard that has surfaced a migration record STALLS (applies no further
+  // ticks) until the record resolves:
+  //   - paired with its counterpart from the other shard's queue -> commit;
+  //   - counterpart compacted away (epoch at or below base_epoch) -> the
+  //     other shard's snapshot already carries the migration; rebase only
+  //     the surfacing shard against the manifest-seeded router;
+  //   - lone migrate_out above base_epoch whose target queue is exhausted ->
+  //     the crash hit between the two flushes; complete the migration by
+  //     synthesizing and journaling the migrate_in, then commit.
+  struct PendingMigration {
+    int shard = 0;  // the shard whose journal surfaced the record
+    MigrationRecord record;
+  };
+  std::vector<PendingMigration> pending_in;
+  std::vector<PendingMigration> pending_out;
+  std::vector<bool> missed_compaction(static_cast<size_t>(n), false);
   for (;;) {
     bool progressed = false;
 
-    std::vector<std::pair<int, MigrationRecord>> boundary;
     for (int s = 0; s < n; ++s) {
       std::deque<ReplayedRecord>& queue = queues[static_cast<size_t>(s)];
       while (!queue.empty() && queue.front().is_migration) {
-        boundary.emplace_back(s, std::move(queue.front().migration));
+        MigrationRecord record = std::move(queue.front().migration);
         queue.pop_front();
         progressed = true;
-      }
-    }
-    for (auto& [shard_idx, record] : boundary) {
-      if (!record.is_in) {
-        if (record.from != shard_idx) {
-          return DataLossError("migrate_out found in a journal it does not name as source");
+        if (record.is_in) {
+          if (record.to != s) {
+            return DataLossError("migrate_in found in a journal it does not name as target");
+          }
+          pending_in.push_back({s, std::move(record)});
+        } else {
+          if (record.from != s) {
+            return DataLossError(
+                "migrate_out found in a journal it does not name as source");
+          }
+          pending_out.push_back({s, std::move(record)});
         }
-        pending_out.push_back(std::move(record));
       }
     }
-    // Commit paired migrations in epoch order.
-    std::vector<std::pair<int, MigrationRecord>> ins;
-    for (auto& [shard_idx, record] : boundary) {
-      if (record.is_in) ins.emplace_back(shard_idx, std::move(record));
-    }
-    std::sort(ins.begin(), ins.end(),
-              [](const auto& a, const auto& b) { return a.second.epoch < b.second.epoch; });
-    for (auto& [shard_idx, record] : ins) {
-      if (record.to != shard_idx) {
-        return DataLossError("migrate_in found in a journal it does not name as target");
-      }
+
+    // Commit migrations in epoch order as their records pair up.
+    std::sort(pending_in.begin(), pending_in.end(), [](const auto& a, const auto& b) {
+      return a.record.epoch < b.record.epoch;
+    });
+    for (auto it = pending_in.begin(); it != pending_in.end();) {
+      const MigrationRecord& record = it->record;
       auto match = std::find_if(pending_out.begin(), pending_out.end(),
-                                [&](const MigrationRecord& out) {
-                                  return out.prosumer == record.prosumer &&
-                                         out.epoch == record.epoch;
+                                [&](const PendingMigration& out) {
+                                  return out.record.prosumer == record.prosumer &&
+                                         out.record.epoch == record.epoch;
                                 });
-      if (match == pending_out.end()) {
-        return DataLossError(StrFormat(
-            "migrate_in for prosumer %lld has no matching migrate_out",
-            static_cast<long long>(record.prosumer)));
+      if (match != pending_out.end()) {
+        pending_out.erase(match);
+        FLEXVIS_RETURN_IF_ERROR(coordinator.CommitMigration(record.prosumer, record.from,
+                                                            record.to, record.epoch));
+        if (info != nullptr) ++info->migrations_replayed;
+        it = pending_in.erase(it);
+        progressed = true;
+      } else if (!inventory[record.epoch].has_out) {
+        // The migrate_out was compacted away with the source's old WAL
+        // (epoch <= base_epoch, verified above): the source snapshot already
+        // excludes the prosumer; rebase only this target shard.
+        FLEXVIS_RETURN_IF_ERROR(coordinator.RebakeShard(it->shard, record.epoch));
+        if (info != nullptr) ++info->migrations_replayed;
+        it = pending_in.erase(it);
+        progressed = true;
+      } else {
+        ++it;  // the out exists in some queue; keep draining until it surfaces
       }
-      pending_out.erase(match);
-      FLEXVIS_RETURN_IF_ERROR(coordinator.CommitMigration(record.prosumer, record.from,
-                                                          record.to, record.epoch));
-      if (info != nullptr) ++info->migrations_replayed;
     }
-    // Repair lone migrate_outs whose target journal is exhausted: the crash
-    // hit between the two flushes. Re-journal the migrate_in, then commit.
     for (auto it = pending_out.begin(); it != pending_out.end();) {
-      if (!queues[static_cast<size_t>(it->to)].empty()) {
-        ++it;
+      const MigrationRecord& record = it->record;
+      if (inventory[record.epoch].has_in) {
+        ++it;  // the in exists in some queue; it will pair above
         continue;
       }
-      MigrationRecord in = *it;
+      if (record.epoch <= base_epoch) {
+        // The migrate_in was compacted away with the target's old WAL: the
+        // target snapshot already includes the prosumer; rebase the source.
+        FLEXVIS_RETURN_IF_ERROR(coordinator.RebakeShard(it->shard, record.epoch));
+        if (info != nullptr) ++info->migrations_replayed;
+        it = pending_out.erase(it);
+        progressed = true;
+        continue;
+      }
+      if (!queues[static_cast<size_t>(record.to)].empty()) {
+        ++it;  // target still replaying its pre-boundary ticks
+        continue;
+      }
+      // Lone migrate_out above base_epoch: the crash hit between the two
+      // flushes. Re-journal the migrate_in, then commit.
+      MigrationRecord in = record;
       in.is_in = true;
       for (const FlexOffer& offer : coordinator.offers_) {
         if (offer.prosumer == in.prosumer) in.offers.push_back(offer);
       }
       Shard& target = *coordinator.shards_[static_cast<size_t>(in.to)];
-      FLEXVIS_RETURN_IF_ERROR(target.journal.Append(EncodeMigrationRecord(in)));
-      FLEXVIS_RETURN_IF_ERROR(target.journal.Flush());
+      FLEXVIS_RETURN_IF_ERROR(target.store.Append(EncodeMigrationRecord(in)));
+      FLEXVIS_RETURN_IF_ERROR(target.store.Flush());
       FLEXVIS_RETURN_IF_ERROR(
           coordinator.CommitMigration(in.prosumer, in.from, in.to, in.epoch));
       if (info != nullptr) ++info->migrations_repaired;
@@ -771,18 +924,29 @@ Result<MergedOnlineReport> Coordinator::ResumeSharded(const std::string& directo
     for (int s = 0; s < n; ++s) {
       std::deque<ReplayedRecord>& queue = queues[static_cast<size_t>(s)];
       if (queue.empty() || queue.front().is_migration) continue;
+      const auto stalled = [s](const PendingMigration& p) { return p.shard == s; };
+      if (std::any_of(pending_in.begin(), pending_in.end(), stalled) ||
+          std::any_of(pending_out.begin(), pending_out.end(), stalled)) {
+        continue;  // this shard's next records postdate its unresolved migration
+      }
       Shard& shard = *coordinator.shards_[static_cast<size_t>(s)];
       OnlineTickRecord record = std::move(queue.front().tick);
       queue.pop_front();
       FLEXVIS_RETURN_IF_ERROR(shard.enterprise.Apply(shard.state, record));
+      // A boundary tick surviving in the WAL means this shard's fold at that
+      // boundary never committed — remembered for the catch-up compaction.
+      if (const int compact_ticks = coordinator.params_.online.compact_ticks;
+          compact_ticks > 0 && (record.tick + 1) % compact_ticks == 0) {
+        missed_compaction[static_cast<size_t>(s)] = true;
+      }
       shard.applied.push_back(std::move(record));
       if (info != nullptr) ++info->shards[static_cast<size_t>(s)].ticks_replayed;
       progressed = true;
     }
     if (!progressed) break;
   }
-  if (!pending_out.empty()) {
-    return DataLossError("unresolved migrate_out records after journal replay");
+  if (!pending_in.empty() || !pending_out.empty()) {
+    return DataLossError("unresolved migration records after journal replay");
   }
 
   // The journals are authoritative for the assignment epoch; a manifest that
@@ -792,6 +956,30 @@ Result<MergedOnlineReport> Coordinator::ResumeSharded(const std::string& directo
       coordinator.router_.overrides() != manifest_overrides) {
     FLEXVIS_RETURN_IF_ERROR(coordinator.WriteCoordinatorManifest());
     if (info != nullptr) info->manifest_rewritten = true;
+  }
+
+  // A global compaction the crash interrupted: every shard applied through
+  // the boundary tick yet some shard's WAL still holds the boundary record —
+  // an uninterrupted CompactShards folds it away before the next global tick
+  // starts. Re-run the compaction for exactly those shards so the directory
+  // converges to the uninterrupted layout and replay stays bounded by the
+  // interval on the next recovery. When the crash hit mid-way through the
+  // boundary tick's own journaling instead (some shard never got the
+  // record), min_next sits below the boundary and the continuation re-runs
+  // the global tick and its compaction itself.
+  if (const int compact_ticks = coordinator.params_.online.compact_ticks;
+      compact_ticks > 0 &&
+      std::find(missed_compaction.begin(), missed_compaction.end(), true) !=
+          missed_compaction.end()) {
+    int64_t min_next = -1;
+    for (const std::unique_ptr<Shard>& shard : coordinator.shards_) {
+      if (min_next < 0 || shard->state.next_tick < min_next) {
+        min_next = shard->state.next_tick;
+      }
+    }
+    if (min_next > 0 && min_next % compact_ticks == 0) {
+      FLEXVIS_RETURN_IF_ERROR(coordinator.CompactShards(&missed_compaction));
+    }
   }
 
   std::vector<int> replayed_ticks(static_cast<size_t>(n), 0);

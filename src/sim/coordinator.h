@@ -11,8 +11,8 @@
 #include "sim/online.h"
 #include "sim/shard.h"
 #include "util/fault.h"
-#include "util/journal.h"
 #include "util/status.h"
+#include "util/store.h"
 
 namespace flexvis::sim {
 
@@ -35,12 +35,24 @@ namespace flexvis::sim {
 
 /// Layout of a sharded checkpoint directory:
 ///
-///   COORDINATOR.json      num_shards, policy, epoch, migration overrides,
-///                         and the global offer order — written atomically,
-///                         last at Begin (the run's commit point) and again
-///                         after every committed migration
-///   shard-0000/           a full single-enterprise checkpoint (meta.json,
-///   shard-0001/ ...       offers.jsonl, SNAPSHOT.json, journal.wal)
+///   COORDINATOR.json      the coordinator's util/store manifest (a zero-file
+///                         generation whose `meta` carries num_shards, policy,
+///                         epoch, base_epoch, migration overrides, and the
+///                         global offer order) — written atomically, last at
+///                         Begin (the run's commit point) and again after
+///                         every committed migration and at every compaction
+///   shard-0000/           a full single-enterprise checkpoint store
+///   shard-0001/ ...       (meta.json, offers.jsonl, state.json for compacted
+///                         generations, SNAPSHOT.json, journal.wal)
+///
+/// Compaction (OnlineParams::compact_ticks = C > 0) runs at every global tick
+/// boundary divisible by C: the coordinator first advances `base_epoch` to
+/// the current epoch in COORDINATOR.json, then folds every shard's journal
+/// into a new store generation whose offers.jsonl reflects the *current*
+/// router partition (committed migrations baked in). A recovery that finds a
+/// migration record at or below base_epoch whose counterpart record was
+/// compacted away therefore knows the counterpart shard's snapshot already
+/// reflects that migration.
 inline constexpr const char* kCoordinatorManifestFile = "COORDINATOR.json";
 inline constexpr const char* kShardDirPrefix = "shard-";
 
@@ -172,7 +184,24 @@ class Coordinator {
   struct Shard;
 
   std::string ShardDir(int shard) const;
-  Status WriteCoordinatorManifest() const;
+  /// The coordinator state persisted as the COORDINATOR.json store meta.
+  JsonValue CoordinatorMeta() const;
+  /// Recommits COORDINATOR.json (the coordinator store manifest) with the
+  /// current epoch/base_epoch/overrides — the atomic commit point for every
+  /// coordinator-level state change.
+  Status WriteCoordinatorManifest();
+  /// Folds every shard's journal into a new store generation (current router
+  /// partition + folded tick record), advancing base_epoch first so recovery
+  /// can tell baked migrations from lost ones. `include`, when non-null,
+  /// restricts the fold to the flagged shards — the resume path's catch-up
+  /// for a compaction the crash interrupted partway through the shard list.
+  Status CompactShards(const std::vector<bool>* include = nullptr);
+  /// Resume-only: re-verifies shard `s` against the manifest-seeded router by
+  /// rebuild + replay-diff, swapping in the rebuilt state. Used for a
+  /// migration record whose counterpart was compacted away (epoch at or
+  /// below base_epoch): the other shard's snapshot already reflects the
+  /// migration, so only the surfacing shard needs its state rebased.
+  Status RebakeShard(int s, int64_t epoch);
   /// Rebuilds shard `s`'s loop state from the offer subset `router` assigns
   /// it, replaying every applied tick record, and replay-diffs the result
   /// against the live state (arrival prefix, counters, outbox) — the
@@ -189,8 +218,13 @@ class Coordinator {
   std::vector<core::FlexOffer> offers_;  // global input order
   timeutil::TimeInterval window_;
   int64_t epoch_ = 0;
+  /// Highest epoch whose migrations are baked into the shard snapshots (set
+  /// when compaction commits COORDINATOR.json before folding the shards).
+  int64_t base_epoch_ = 0;
   bool checkpointed_ = false;
   std::string directory_;
+  /// The zero-file store behind COORDINATOR.json (checkpointed runs only).
+  DurableStore coord_store_;
   bool begun_ = false;
 };
 

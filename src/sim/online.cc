@@ -163,8 +163,32 @@ void OnlineEnterprise::Tick(OnlineLoopState& state, OnlineTickRecord* record) co
     } else if (params_.ingest_queue_capacity > 0 &&
                state.pending_acceptance.size() >=
                    static_cast<size_t>(params_.ingest_queue_capacity)) {
+      size_t victim = idx;  // reject-newest: the arrival itself
+      if (params_.shed_policy == ShedPolicy::kRejectLeastValuable) {
+        // Evict the queued offer with the lowest energy-flexibility value,
+        // but only when the arrival is worth strictly more than it — ties
+        // keep the queue (earliest-queued wins), so a flood of equal-value
+        // offers cannot churn the queue.
+        size_t least_pos = 0;
+        double least_value =
+            report.offers[state.pending_acceptance[0]].energy_flexibility_kwh();
+        for (size_t p = 1; p < state.pending_acceptance.size(); ++p) {
+          const double value =
+              report.offers[state.pending_acceptance[p]].energy_flexibility_kwh();
+          if (value < least_value) {
+            least_value = value;
+            least_pos = p;
+          }
+        }
+        if (report.offers[idx].energy_flexibility_kwh() > least_value) {
+          victim = state.pending_acceptance[least_pos];
+          state.pending_acceptance.erase(state.pending_acceptance.begin() +
+                                         static_cast<ptrdiff_t>(least_pos));
+          state.pending_acceptance.push_back(idx);
+        }
+      }
       ++report.shed_offers;
-      send_acceptance(idx, /*accepted=*/false);
+      send_acceptance(victim, /*accepted=*/false);
     } else {
       state.pending_acceptance.push_back(idx);
       report.queue_high_watermark =
@@ -249,6 +273,7 @@ void OnlineEnterprise::Tick(OnlineLoopState& state, OnlineTickRecord* record) co
 
   if (record != nullptr) {
     record->tick = state.next_tick;
+    record->shed_policy = static_cast<int>(params_.shed_policy);
     record->offers_received = report.offers_received;
     record->accepted = report.accepted;
     record->rejected = report.rejected;
@@ -273,7 +298,15 @@ void OnlineEnterprise::Tick(OnlineLoopState& state, OnlineTickRecord* record) co
 }
 
 Status OnlineEnterprise::Apply(OnlineLoopState& state, const OnlineTickRecord& record) const {
-  if (record.tick != state.next_tick) {
+  if (record.folded) {
+    // A folded record is the cumulative merge of ticks 0..record.tick; it
+    // only makes sense applied onto a fresh state.
+    if (state.next_tick != 0) {
+      return DataLossError(StrFormat("folded journal record (ticks 0..%d) cannot apply to "
+                                     "state already at tick %d",
+                                     record.tick, state.next_tick));
+    }
+  } else if (record.tick != state.next_tick) {
     return DataLossError(StrFormat("journal tick %d does not continue state at tick %d "
                                    "(journal and snapshot disagree)",
                                    record.tick, state.next_tick));

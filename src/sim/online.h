@@ -17,6 +17,19 @@ class FaultRegistry;
 
 namespace flexvis::sim {
 
+/// What to do with an arrival when the bounded ingest queue is full.
+enum class ShedPolicy {
+  /// Reject the arriving offer (the historical behaviour): cheapest, but a
+  /// burst of low-value offers can crowd out a late high-value one.
+  kRejectNewest = 0,
+  /// Evict the *queued* offer with the lowest energy-flexibility value
+  /// (FlexOffer::energy_flexibility_kwh, ties broken earliest-queued) when
+  /// the arrival is worth more than it; otherwise reject the arrival. Under
+  /// overload the queue keeps the most flexible offers — the ones the
+  /// balancing objective values most.
+  kRejectLeastValuable = 1,
+};
+
 /// Parameters of the online planning loop.
 struct OnlineParams {
   /// Cadence of the planning tick. Each tick ingests newly created offers,
@@ -39,6 +52,18 @@ struct OnlineParams {
   /// rejection (counted in `shed_offers`) instead of queueing unbounded
   /// work. 0 = unbounded (the historical behaviour).
   int ingest_queue_capacity = 0;
+  /// Which offer loses when the queue is full. Journaled in every tick
+  /// record so a resumed run can prove it sheds under the same policy.
+  ShedPolicy shed_policy = ShedPolicy::kRejectNewest;
+
+  // ---- Checkpoint compaction (sim/checkpoint) -----------------------------
+
+  /// Fold the write-ahead journal into a new-generation snapshot every this
+  /// many ticks, bounding both journal size and resume replay time. 0 = off
+  /// (the journal grows for the whole run). Purely a durability cadence: it
+  /// never changes a planning decision, so any value produces byte-identical
+  /// reports. Read from $FLEXVIS_COMPACT_TICKS by CompactTicksFromEnv.
+  int compact_ticks = 0;
 
   /// Fault registry the loop's sim.online.* seams consult; nullptr means
   /// FaultRegistry::Global() (the historical behaviour). The sharded
@@ -105,6 +130,16 @@ struct OnlineStateChange {
 struct OnlineTickRecord {
   /// 0-based index of the tick this record describes.
   int tick = 0;
+  /// True for a *folded* record — the cumulative merge of ticks 0..tick that
+  /// checkpoint compaction stores as the new-generation snapshot state. A
+  /// folded record applies only onto a fresh (tick-0) state and replays the
+  /// concatenated deltas of every folded tick in their original order, which
+  /// reproduces the live state byte for byte (assignment commits hit the
+  /// residual in the same order with the same operands).
+  bool folded = false;
+  /// ShedPolicy the run sheds under, journaled for provenance so a resumed
+  /// run can verify it continues with the policy the journal was cut under.
+  int shed_policy = 0;
   std::vector<OnlineStateChange> changes;
   /// Wires appended to the outbox this tick, in send order.
   std::vector<std::string> sent;

@@ -44,20 +44,48 @@ Result<JournalReplay> ReplayJournal(const std::string& path) {
   const std::string& bytes = *data;
   size_t pos = 0;
   while (pos < bytes.size()) {
-    if (bytes.size() - pos < kFrameHeaderBytes) break;  // torn header
+    if (bytes.size() - pos < kFrameHeaderBytes) {
+      replay.torn_reason = StrFormat("torn header (%zu of %zu bytes)", bytes.size() - pos,
+                                     kFrameHeaderBytes);
+      break;
+    }
     const uint32_t length = ReadU32Le(bytes.data() + pos);
     const uint32_t expected_crc = ReadU32Le(bytes.data() + pos + 4);
-    if (length > kMaxRecordBytes) break;                      // garbage length
-    if (bytes.size() - pos - kFrameHeaderBytes < length) break;  // torn payload
+    if (length > kMaxRecordBytes) {
+      replay.torn_reason = StrFormat("garbage length field (%u bytes claimed, max %u)", length,
+                                     kMaxRecordBytes);
+      break;
+    }
+    if (bytes.size() - pos - kFrameHeaderBytes < length) {
+      replay.torn_reason = StrFormat("torn payload (%zu of %u bytes)",
+                                     bytes.size() - pos - kFrameHeaderBytes, length);
+      break;
+    }
     std::string_view payload(bytes.data() + pos + kFrameHeaderBytes, length);
-    if (Crc32(payload) != expected_crc) break;  // corrupt payload
+    if (Crc32(payload) != expected_crc) {
+      replay.torn_reason = "crc mismatch";
+      break;
+    }
     replay.records.emplace_back(payload);
     pos += kFrameHeaderBytes + length;
   }
   replay.valid_bytes = pos;
   replay.torn_bytes = bytes.size() - pos;
   replay.torn_tail = replay.torn_bytes != 0;
+  replay.torn_frame_index = replay.records.size();
+  if (!replay.torn_tail) replay.torn_reason.clear();
   return replay;
+}
+
+Status TornTailStatus(const std::string& path, const JournalReplay& replay) {
+  if (!replay.torn_tail) return OkStatus();
+  return DataLossError(StrFormat(
+      "journal '%s' torn at byte offset %llu (frame index %llu): %s; %llu trailing bytes are "
+      "debris",
+      path.c_str(), static_cast<unsigned long long>(replay.valid_bytes),
+      static_cast<unsigned long long>(replay.torn_frame_index),
+      replay.torn_reason.empty() ? "undecodable frame" : replay.torn_reason.c_str(),
+      static_cast<unsigned long long>(replay.torn_bytes)));
 }
 
 Status TruncateJournal(const std::string& path, uint64_t valid_bytes) {

@@ -41,7 +41,20 @@ struct JournalReplay {
   uint64_t torn_bytes = 0;
   /// True when the file ends in a torn or corrupt frame.
   bool torn_tail = false;
+  /// Index of the first bad frame when torn_tail (== records.size(): the
+  /// frames before it all decoded). Unspecified for a clean journal.
+  uint64_t torn_frame_index = 0;
+  /// Why the first bad frame failed to decode ("torn header (3 of 8 bytes)",
+  /// "garbage length field", "torn payload (7 of 64 bytes)", or
+  /// "crc mismatch"). Empty for a clean journal.
+  std::string torn_reason;
 };
+
+/// Formats the torn tail of `replay` as a kDataLoss Status whose message
+/// names the journal path, the byte offset and frame index of the first bad
+/// frame, the decode failure, and how many trailing bytes are debris — the
+/// line recovery-diff artifacts carry. OkStatus() when the replay is clean.
+Status TornTailStatus(const std::string& path, const JournalReplay& replay);
 
 /// Reads `path` and decodes every intact frame. NotFound when the file does
 /// not exist (a journal that was never started); a torn or corrupt tail is

@@ -147,6 +147,41 @@ TEST(JournalTest, FlippedPayloadByteStopsReplayAtThatFrame) {
   EXPECT_EQ(replay->valid_bytes, 8u + 5u);
 }
 
+TEST(JournalTest, TornTailStatusNamesOffsetAndFrameIndex) {
+  const std::string dir = TempDir("torn_status");
+  const std::string path = dir + "/j.wal";
+  const std::vector<std::string> records = {"one", "two-longer", "three"};
+  ASSERT_TRUE(AppendAll(path, records).ok());
+  const std::string bytes = ReadAll(path);
+
+  // Clean replay: no torn tail, no error to report.
+  Result<JournalReplay> clean = ReplayJournal(path);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_TRUE(TornTailStatus(path, *clean).ok());
+
+  // Cut 5 bytes into the third frame: two intact records, frame index 2 torn
+  // at the byte offset where frame 2 would start.
+  const size_t boundary = (8 + records[0].size()) + (8 + records[1].size());
+  WriteAll(path, bytes.substr(0, boundary + 5));
+  Result<JournalReplay> replay = ReplayJournal(path);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_TRUE(replay->torn_tail);
+  EXPECT_EQ(replay->valid_bytes, boundary);
+  EXPECT_EQ(replay->torn_frame_index, 2u);
+  EXPECT_EQ(replay->torn_bytes, 5u);
+  EXPECT_FALSE(replay->torn_reason.empty());
+
+  Status status = TornTailStatus(path, *replay);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  const std::string message = status.message();
+  EXPECT_NE(message.find(path), std::string::npos) << message;
+  EXPECT_NE(message.find("byte offset " + std::to_string(boundary)), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("frame index 2"), std::string::npos) << message;
+  EXPECT_NE(message.find(replay->torn_reason), std::string::npos) << message;
+  EXPECT_NE(message.find("5 trailing bytes"), std::string::npos) << message;
+}
+
 TEST(JournalTest, GarbageLengthFieldIsTornNotGiantAllocation) {
   const std::string dir = TempDir("garbage");
   const std::string path = dir + "/j.wal";

@@ -218,6 +218,68 @@ TEST_F(RecoveryTest, KillMatrixEveryWritePointConvergesToBaseline) {
   }
 }
 
+TEST_F(RecoveryTest, KillMatrixWithCompactionEveryPointConvergesToBaseline) {
+  // Compaction on a cadence that does NOT divide the tick count: 12 ticks at
+  // C = 5 compacts after ticks 4 and 9 and leaves 2 ticks in the final WAL,
+  // exercising fold, journal switch, old-generation delete, and a non-empty
+  // tail in one run.
+  params_.compact_ticks = 5;
+  sim::OnlineReport baseline = MustRun(Dir("compact_baseline"));
+  ASSERT_GT(baseline.ticks, 0);
+
+  // Compaction is transparent: byte-identical to a run that never compacts.
+  {
+    sim::OnlineParams flat_params = params_;
+    flat_params.compact_ticks = 0;
+    Result<sim::OnlineReport> flat = sim::RunOnlineCheckpointed(
+        flat_params, workload_.offers, window_, Dir("compact_off"));
+    ASSERT_TRUE(flat.ok()) << flat.status().ToString();
+    ExpectReportsEqual(*flat, baseline, "compaction transparency");
+  }
+
+  // The compaction run adds two crash points to the matrix: before the fold
+  // starts and before the old generation is deleted. Every fileio write
+  // inside the fold (new-generation snapshot files, new manifest) is already
+  // covered by util.fileio.write.
+  const char* const points[] = {"util.fileio.write", "util.journal.append",
+                                "util.journal.flush", "util.store.compact",
+                                "util.store.delete"};
+  for (const char* point : points) {
+    const int64_t hits = CountHits(point);
+    ASSERT_GT(hits, 0) << point << " is not on the compacting write path";
+    for (int64_t hit = 1; hit <= hits; ++hit) {
+      const std::string label = std::string("compact ") + point + " hit " +
+                                std::to_string(hit) + "/" + std::to_string(hits);
+      std::string dir = Dir("ckill_" + std::string(point) + "_" + std::to_string(hit));
+      ASSERT_EQ(RunChildCrashingAt(point, hit, dir), kCrashExitCode)
+          << label << ": child did not crash where told to";
+
+      sim::ResumeInfo info;
+      sim::OnlineReport recovered = MustRecover(dir, &info);
+      ExpectReportsEqual(baseline, recovered, label);
+      // Folded + replayed + continued covers the window exactly once (when
+      // the snapshot committed before the crash).
+      if (info.ticks_folded + info.ticks_replayed + info.ticks_continued > 0) {
+        EXPECT_EQ(info.ticks_folded + info.ticks_replayed + info.ticks_continued,
+                  baseline.ticks)
+            << label;
+      }
+
+      // The recovered run finished all compactions, so a second resume folds
+      // everything up to the last boundary and replays at most C records —
+      // the bounded-replay guarantee compaction exists for.
+      sim::ResumeInfo again;
+      Result<sim::OnlineReport> second = sim::ResumeOnline(dir, &again);
+      ASSERT_TRUE(second.ok()) << label << ": " << second.status().ToString();
+      EXPECT_EQ(again.ticks_folded + again.ticks_replayed, baseline.ticks) << label;
+      EXPECT_EQ(again.ticks_continued, 0) << label;
+      EXPECT_LE(again.ticks_replayed, params_.compact_ticks) << label;
+      EXPECT_EQ(again.generation, baseline.ticks / params_.compact_ticks) << label;
+      ExpectReportsEqual(baseline, *second, label + " (second resume)");
+    }
+  }
+}
+
 TEST_F(RecoveryTest, RecoveredStateAnswersWarehouseQueriesIdentically) {
   sim::OnlineReport baseline = MustRun(Dir("wh_base"));
 

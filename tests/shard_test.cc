@@ -539,6 +539,89 @@ TEST_F(ShardTest, CoordinatorKillMatrixConvergesToAConsistentEpoch) {
   }
 }
 
+TEST_F(ShardTest, CompactionKillMatrixConvergesAt4Shards) {
+  const int kShards = 4;
+  sim::CoordinatorParams params = Params(kShards);
+  params.online.tick_minutes = 240;  // 6 global ticks over the day
+  params.online.compact_ticks = 4;   // one compaction after tick 3, 2 ticks left in the WALs
+
+  auto run = [&](const std::string& dir) {
+    return sim::Coordinator::RunShardedCheckpointed(params, workload_.offers, window_, dir);
+  };
+  Result<sim::MergedOnlineReport> baseline = run(Dir("ckill_base"));
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_GT(baseline->global.ticks, 0);
+
+  // Compaction is transparent: byte-identical to a run that never compacts.
+  {
+    sim::CoordinatorParams flat = params;
+    flat.online.compact_ticks = 0;
+    Result<sim::MergedOnlineReport> plain = sim::Coordinator::RunShardedCheckpointed(
+        flat, workload_.offers, window_, Dir("ckill_flat"));
+    ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+    ExpectMergedEqual(*plain, *baseline, "sharded compaction transparency");
+  }
+
+  // Crash at every consulted point, including the two compaction-specific
+  // ones (before each shard's fold starts, before its old generation is
+  // deleted) and every atomic write inside the fold.
+  for (const char* point : {"util.fileio.write", "util.journal.append",
+                            "util.journal.flush", "util.store.compact",
+                            "util.store.delete"}) {
+    FaultRegistry::Global().Arm(point, FaultConfig{});
+    ASSERT_TRUE(run(Dir("ckill_count")).ok());
+    const int64_t hits = FaultRegistry::Global().Stats(point).hits;
+    FaultRegistry::Global().DisarmAll();
+    ASSERT_GT(hits, 0) << point << " is not on the compacting sharded write path";
+
+    for (int64_t hit = 1; hit <= hits; ++hit) {
+      const std::string label =
+          std::string(point) + " hit " + std::to_string(hit) + "/" + std::to_string(hits);
+      std::string dir = Dir("ckill_" + std::to_string(hit) + point);
+
+      pid_t pid = fork();
+      if (pid == 0) {
+        FaultConfig config;
+        config.crash_at_hit = hit;
+        FaultRegistry::Global().Arm(point, config);
+        Result<sim::MergedOnlineReport> report = run(dir);
+        std::_Exit(report.ok() ? 0 : 1);
+      }
+      ASSERT_GT(pid, 0) << "fork failed";
+      int wstatus = 0;
+      ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+      ASSERT_TRUE(WIFEXITED(wstatus));
+      ASSERT_EQ(WEXITSTATUS(wstatus), kCrashExitCode)
+          << label << ": child did not crash where told to";
+
+      Result<sim::MergedOnlineReport> recovered = sim::Coordinator::ResumeSharded(dir);
+      if (!recovered.ok() && recovered.status().code() == StatusCode::kDataLoss) {
+        recovered = run(dir);  // never committed; rerun from inputs
+        ASSERT_TRUE(recovered.ok()) << label << ": " << recovered.status().ToString();
+        ExpectMergedEqual(*baseline, *recovered, label + " (rerun)");
+        continue;
+      }
+      ASSERT_TRUE(recovered.ok()) << label << ": " << recovered.status().ToString();
+      ExpectMergedEqual(*baseline, *recovered, label);
+
+      // The recovery finished (or re-executed) every compaction, so a second
+      // resume folds everything up to the boundary and replays at most
+      // compact_ticks records per shard — the bounded-replay guarantee.
+      sim::ShardResumeInfo again;
+      Result<sim::MergedOnlineReport> second = sim::Coordinator::ResumeSharded(dir, &again);
+      ASSERT_TRUE(second.ok()) << label << ": " << second.status().ToString();
+      for (const sim::ResumeInfo& shard : again.shards) {
+        EXPECT_EQ(shard.ticks_folded + shard.ticks_replayed, baseline->global.ticks)
+            << label;
+        EXPECT_EQ(shard.ticks_continued, 0) << label;
+        EXPECT_LE(shard.ticks_replayed, params.online.compact_ticks) << label;
+        EXPECT_EQ(shard.generation, 1) << label;
+      }
+      ExpectMergedEqual(*baseline, *second, label + " (second resume)");
+    }
+  }
+}
+
 TEST_F(ShardTest, ResumeShardedWithoutManifestIsDataLoss) {
   std::string dir = Dir("no_manifest");
   fs::create_directories(dir);
@@ -586,6 +669,57 @@ TEST_F(ShardTest, OverloadCountersSurviveCheckpointResume) {
   Result<sim::MergedOnlineReport> resumed = sim::Coordinator::ResumeSharded(dir);
   ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
   ExpectMergedEqual(*baseline, *resumed, "overload counters across resume");
+}
+
+TEST_F(ShardTest, ShedPoliciesShedEquallyButKeepDifferentOffers) {
+  // Same overflow pressure under both policies: every overflow arrival sheds
+  // exactly one offer — the arrival itself (reject-newest) or the queue's
+  // least-valuable entry when the arrival is worth strictly more
+  // (reject-least-valuable). Counts match; the surviving set must not.
+  sim::CoordinatorParams newest = Params(2);
+  newest.online.ingest_queue_capacity = 1;
+  newest.online.shed_policy = sim::ShedPolicy::kRejectNewest;
+  sim::CoordinatorParams valuable = newest;
+  valuable.online.shed_policy = sim::ShedPolicy::kRejectLeastValuable;
+
+  Result<sim::MergedOnlineReport> by_newest =
+      sim::Coordinator::RunSharded(newest, workload_.offers, window_);
+  Result<sim::MergedOnlineReport> by_value =
+      sim::Coordinator::RunSharded(valuable, workload_.offers, window_);
+  ASSERT_TRUE(by_newest.ok()) << by_newest.status().ToString();
+  ASSERT_TRUE(by_value.ok()) << by_value.status().ToString();
+  ASSERT_GT(by_newest->global.shed_offers, 0);
+  EXPECT_EQ(by_newest->global.shed_offers, by_value->global.shed_offers);
+  EXPECT_NE(by_newest->global.outbox, by_value->global.outbox)
+      << "policies kept identical offers under heavy overflow";
+}
+
+TEST_F(ShardTest, LeastValuableShedPolicyIsJournaledAndSurvivesResume) {
+  sim::CoordinatorParams params = Params(2);
+  params.online.ingest_queue_capacity = 1;
+  params.online.shed_policy = sim::ShedPolicy::kRejectLeastValuable;
+  std::string dir = Dir("shed_value_resume");
+  Result<sim::MergedOnlineReport> baseline = sim::Coordinator::RunShardedCheckpointed(
+      params, workload_.offers, window_, dir);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_GT(baseline->global.shed_offers, 0);
+
+  // Every journaled tick record carries the policy it shed under, so a
+  // resumed run proves its eviction decisions against the same policy.
+  Result<StoreRecovery> shard0 = DurableStore::Recover(
+      dir + "/" + sim::kShardDirPrefix + "0000", sim::CheckpointStoreOptions());
+  ASSERT_TRUE(shard0.ok()) << shard0.status().ToString();
+  ASSERT_FALSE(shard0->records.empty());
+  for (const std::string& text : shard0->records) {
+    Result<sim::OnlineTickRecord> record = sim::DecodeTickRecord(text);
+    ASSERT_TRUE(record.ok()) << record.status().ToString();
+    EXPECT_EQ(record->shed_policy,
+              static_cast<int>(sim::ShedPolicy::kRejectLeastValuable));
+  }
+
+  Result<sim::MergedOnlineReport> resumed = sim::Coordinator::ResumeSharded(dir);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ExpectMergedEqual(*baseline, *resumed, "least-valuable shed across resume");
 }
 
 // ---- Sharded persistence ----------------------------------------------------

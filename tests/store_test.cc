@@ -1,0 +1,378 @@
+// Tests for the generational durable store (util/store) — the one engine
+// behind dw/persistence snapshots, sim/checkpoint runs, and the sharded
+// coordinator. The core contract under test: the manifest's atomic rename is
+// the SOLE commit point, so after a crash at any instruction — including at
+// every byte of an in-flight compaction — the directory decodes to exactly
+// one committed generation, never a mix.
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/fileio.h"
+#include "util/json.h"
+#include "util/status.h"
+#include "util/store.h"
+
+namespace flexvis {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  fs::path dir = fs::temp_directory_path() / "flexvis_store_test" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+void WriteRaw(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+std::string ReadRaw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+StoreOptions TestOptions() {
+  StoreOptions options;
+  options.manifest_name = "MANIFEST.json";
+  options.journal_name = "journal.wal";
+  return options;
+}
+
+JsonValue MetaTagged(int64_t tag) {
+  JsonValue meta = JsonValue::Object();
+  meta.Set("tag", JsonValue::Int(tag));
+  return meta;
+}
+
+/// Every regular file directly under `dir`, by name.
+std::map<std::string, std::string> SnapshotDir(const std::string& dir) {
+  std::map<std::string, std::string> state;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) {
+      state[entry.path().filename().string()] = ReadRaw(entry.path().string());
+    }
+  }
+  return state;
+}
+
+void RestoreDir(const std::string& dir, const std::map<std::string, std::string>& state) {
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  for (const auto& [name, bytes] : state) WriteRaw(dir + "/" + name, bytes);
+}
+
+TEST(StoreTest, CreateResumeRecoverRoundtrip) {
+  const std::string dir = TempDir("roundtrip");
+  StoreFiles files = {{"state.json", "{\"x\":1}"}, {"offers.jsonl", "a\nb\n"}};
+  Result<DurableStore> store = DurableStore::Create(dir, TestOptions(), files, MetaTagged(7));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ(store->generation(), 0);
+  ASSERT_TRUE(store->Append("rec-1").ok());
+  ASSERT_TRUE(store->Append("rec-2").ok());
+  ASSERT_TRUE(store->Flush().ok());
+  ASSERT_TRUE(store->Close().ok());
+
+  Result<StoreRecovery> recovery = DurableStore::Recover(dir, TestOptions());
+  ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
+  EXPECT_EQ(recovery->generation, 0);
+  EXPECT_EQ(recovery->files.at("state.json"), "{\"x\":1}");
+  EXPECT_EQ(recovery->files.at("offers.jsonl"), "a\nb\n");
+  EXPECT_EQ(recovery->file_order, (std::vector<std::string>{"state.json", "offers.jsonl"}));
+  EXPECT_EQ(recovery->records, (std::vector<std::string>{"rec-1", "rec-2"}));
+  ASSERT_TRUE(recovery->meta.is_object());
+  EXPECT_EQ(recovery->meta.Get("tag").AsInt(), 7);
+  EXPECT_FALSE(recovery->torn_tail);
+
+  // Resume reopens the WAL; appends land after the recovered records.
+  Result<DurableStore> resumed = DurableStore::Resume(dir, TestOptions(), nullptr);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ASSERT_TRUE(resumed->Append("rec-3").ok());
+  ASSERT_TRUE(resumed->Close().ok());
+  recovery = DurableStore::Recover(dir, TestOptions());
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_EQ(recovery->records, (std::vector<std::string>{"rec-1", "rec-2", "rec-3"}));
+}
+
+TEST(StoreTest, LegacyManifestReadsAsGenerationZeroWithNullMeta) {
+  // Manifests written by the pre-store WriteManifest (no generation, no
+  // meta) must keep decoding: generation 0, meta null.
+  const std::string dir = TempDir("legacy");
+  ASSERT_TRUE(WriteFileAtomic(dir + "/state.json", "legacy-state").ok());
+  ASSERT_TRUE(WriteFileAtomic(dir + "/offers.jsonl", "legacy-offers\n").ok());
+  ASSERT_TRUE(
+      WriteManifest(dir, "MANIFEST.json", {"state.json", "offers.jsonl"}).ok());
+
+  Result<StoreRecovery> recovery = DurableStore::Recover(dir, TestOptions());
+  ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
+  EXPECT_EQ(recovery->generation, 0);
+  EXPECT_TRUE(recovery->meta.is_null());
+  EXPECT_EQ(recovery->files.at("state.json"), "legacy-state");
+  EXPECT_EQ(recovery->files.at("offers.jsonl"), "legacy-offers\n");
+  EXPECT_TRUE(recovery->records.empty());
+}
+
+TEST(StoreTest, MissingManifestIsDataLoss) {
+  const std::string dir = TempDir("no_manifest");
+  WriteRaw(dir + "/state.json", "content");
+  Result<StoreRecovery> recovery = DurableStore::Recover(dir, TestOptions());
+  ASSERT_FALSE(recovery.ok());
+  EXPECT_EQ(recovery.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(StoreTest, RecoverCollectsDebrisButNeverUnknownNamesOrSubdirectories) {
+  const std::string dir = TempDir("debris");
+  StoreFiles files = {{"state.json", "current"}};
+  Result<DurableStore> store = DurableStore::Create(dir, TestOptions(), files, JsonValue());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Close().ok());
+
+  // Debris the GC must remove: stale .tmp staging and orphaned files of a
+  // non-committed generation.
+  WriteRaw(dir + "/state.json.tmp", "half-written");
+  WriteRaw(dir + "/state.json.g7", "orphaned-generation");
+  WriteRaw(dir + "/journal.wal.g7", "orphaned-wal");
+  // Content the GC must never touch: unknown names and subdirectories.
+  WriteRaw(dir + "/README.txt", "keep me");
+  fs::create_directories(dir + "/shard-0000");
+  WriteRaw(dir + "/shard-0000/state.json", "nested store");
+
+  Result<StoreRecovery> recovery = DurableStore::Recover(dir, TestOptions());
+  ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
+  EXPECT_EQ(recovery->files.at("state.json"), "current");
+  EXPECT_EQ(recovery->removed_debris.size(), 3u);
+  EXPECT_FALSE(fs::exists(dir + "/state.json.tmp"));
+  EXPECT_FALSE(fs::exists(dir + "/state.json.g7"));
+  EXPECT_FALSE(fs::exists(dir + "/journal.wal.g7"));
+  EXPECT_TRUE(fs::exists(dir + "/README.txt"));
+  EXPECT_EQ(ReadRaw(dir + "/shard-0000/state.json"), "nested store");
+}
+
+TEST(StoreTest, CompactAdvancesGenerationAndDeletesTheOldOne) {
+  const std::string dir = TempDir("compact");
+  Result<DurableStore> store =
+      DurableStore::Create(dir, TestOptions(), {{"state.json", "v0"}}, MetaTagged(0));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Append("old-1").ok());
+  ASSERT_TRUE(store->Flush().ok());
+
+  ASSERT_TRUE(store->Compact({{"state.json", "v1"}}, MetaTagged(1)).ok());
+  EXPECT_EQ(store->generation(), 1);
+  // Old generation gone, new generation under .g1 names.
+  EXPECT_FALSE(fs::exists(dir + "/state.json"));
+  EXPECT_FALSE(fs::exists(dir + "/journal.wal"));
+  EXPECT_TRUE(fs::exists(dir + "/state.json.g1"));
+
+  ASSERT_TRUE(store->Append("new-1").ok());
+  ASSERT_TRUE(store->Close().ok());
+
+  Result<StoreRecovery> recovery = DurableStore::Recover(dir, TestOptions());
+  ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
+  EXPECT_EQ(recovery->generation, 1);
+  EXPECT_EQ(recovery->files.at("state.json"), "v1");
+  EXPECT_EQ(recovery->records, (std::vector<std::string>{"new-1"}));
+  ASSERT_TRUE(recovery->meta.is_object());
+  EXPECT_EQ(recovery->meta.Get("tag").AsInt(), 1);
+}
+
+TEST(StoreTest, RecommitRewritesMetaWithoutTouchingFilesOrRecords) {
+  const std::string dir = TempDir("recommit");
+  Result<DurableStore> store =
+      DurableStore::Create(dir, TestOptions(), {{"state.json", "fixed"}}, MetaTagged(1));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Append("rec").ok());
+  ASSERT_TRUE(store->Flush().ok());
+  ASSERT_TRUE(store->Recommit(MetaTagged(2)).ok());
+  ASSERT_TRUE(store->Close().ok());
+
+  Result<StoreRecovery> recovery = DurableStore::Recover(dir, TestOptions());
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_EQ(recovery->meta.Get("tag").AsInt(), 2);
+  EXPECT_EQ(recovery->files.at("state.json"), "fixed");
+  EXPECT_EQ(recovery->records, (std::vector<std::string>{"rec"}));
+}
+
+TEST(StoreTest, SnapshotOnlyStoreRejectsAppendAndCompact) {
+  StoreOptions options;
+  options.manifest_name = "MANIFEST.json";  // no journal_name
+  const std::string dir = TempDir("snapshot_only");
+  Result<DurableStore> store =
+      DurableStore::Create(dir, options, {{"data.csv", "1,2\n"}}, JsonValue());
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->Append("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store->Flush().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store->Compact({{"data.csv", "3,4\n"}}, JsonValue()).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(store->Close().ok());
+}
+
+TEST(StoreTest, InvalidateMakesRecoverDataLoss) {
+  const std::string dir = TempDir("invalidate");
+  Result<DurableStore> store =
+      DurableStore::Create(dir, TestOptions(), {{"state.json", "x"}}, JsonValue());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Close().ok());
+  ASSERT_TRUE(DurableStore::Invalidate(dir, TestOptions()).ok());
+  Result<StoreRecovery> recovery = DurableStore::Recover(dir, TestOptions());
+  ASSERT_FALSE(recovery.ok());
+  EXPECT_EQ(recovery.status().code(), StatusCode::kDataLoss);
+}
+
+// ---- The compaction-boundary sweep --------------------------------------------------
+//
+// Build a store, compact it, and capture the directory byte-for-byte on both
+// sides of the manifest commit. Then reconstruct every possible crash state
+// across the boundary — a partially written new-generation file before the
+// commit, a torn new-generation WAL after it with the old generation not yet
+// deleted — at EVERY truncation length, and assert recovery always lands on
+// exactly the old or exactly the new generation. Never a mix, never an error
+// (other than the manifest-corruption case, where kDataLoss is the contract).
+
+struct BoundaryFixture {
+  std::map<std::string, std::string> old_state;  // committed gen 0
+  std::map<std::string, std::string> new_state;  // committed gen 1
+  std::vector<std::string> old_records;
+  std::vector<std::string> new_records;
+};
+
+BoundaryFixture BuildBoundary(const std::string& dir) {
+  BoundaryFixture fixture;
+  fixture.old_records = {"old-1", "old-22", "old-333"};
+  fixture.new_records = {"new-1", "new-22"};
+  Result<DurableStore> store =
+      DurableStore::Create(dir, TestOptions(), {{"state.json", "OLD-STATE"}}, MetaTagged(0));
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  for (const std::string& record : fixture.old_records) {
+    EXPECT_TRUE(store->Append(record).ok());
+  }
+  EXPECT_TRUE(store->Flush().ok());
+  fixture.old_state = SnapshotDir(dir);
+
+  EXPECT_TRUE(store->Compact({{"state.json", "NEW-STATE"}}, MetaTagged(1)).ok());
+  for (const std::string& record : fixture.new_records) {
+    EXPECT_TRUE(store->Append(record).ok());
+  }
+  EXPECT_TRUE(store->Flush().ok());
+  EXPECT_TRUE(store->Close().ok());
+  fixture.new_state = SnapshotDir(dir);
+  return fixture;
+}
+
+/// Asserts `recovery` decodes to exactly the fixture's old or new generation
+/// (full snapshot content and a record prefix of that generation — mixing
+/// generations is the corruption the store exists to prevent).
+void ExpectOldOrNew(const StoreRecovery& recovery, const BoundaryFixture& fixture,
+                    const std::string& context) {
+  if (recovery.generation == 0) {
+    EXPECT_EQ(recovery.files.at("state.json"), "OLD-STATE") << context;
+    EXPECT_EQ(recovery.meta.Get("tag").AsInt(), 0) << context;
+    ASSERT_LE(recovery.records.size(), fixture.old_records.size()) << context;
+    for (size_t i = 0; i < recovery.records.size(); ++i) {
+      EXPECT_EQ(recovery.records[i], fixture.old_records[i]) << context;
+    }
+  } else {
+    EXPECT_EQ(recovery.generation, 1) << context;
+    EXPECT_EQ(recovery.files.at("state.json"), "NEW-STATE") << context;
+    EXPECT_EQ(recovery.meta.Get("tag").AsInt(), 1) << context;
+    ASSERT_LE(recovery.records.size(), fixture.new_records.size()) << context;
+    for (size_t i = 0; i < recovery.records.size(); ++i) {
+      EXPECT_EQ(recovery.records[i], fixture.new_records[i]) << context;
+    }
+  }
+}
+
+TEST(StoreTest, EveryByteCrashBeforeCompactionCommitRecoversOldGeneration) {
+  const std::string build_dir = TempDir("boundary_pre_build");
+  BoundaryFixture fixture = BuildBoundary(build_dir);
+  const std::string new_file = fixture.new_state.at("state.json.g1");
+
+  // Crash before the manifest commit: old generation fully committed, the
+  // new generation's snapshot file present at every possible length (and as
+  // a .tmp staging file). Recovery must return the complete old generation
+  // and sweep the partial .g1 debris.
+  const std::string dir = TempDir("boundary_pre");
+  for (size_t len = 0; len <= new_file.size(); ++len) {
+    for (const char* name : {"state.json.g1", "state.json.g1.tmp"}) {
+      std::map<std::string, std::string> state = fixture.old_state;
+      state[name] = new_file.substr(0, len);
+      RestoreDir(dir, state);
+      const std::string context =
+          std::string(name) + " len=" + std::to_string(len);
+      Result<StoreRecovery> recovery = DurableStore::Recover(dir, TestOptions());
+      ASSERT_TRUE(recovery.ok()) << context << ": " << recovery.status().ToString();
+      EXPECT_EQ(recovery->generation, 0) << context;
+      ExpectOldOrNew(*recovery, fixture, context);
+      EXPECT_EQ(recovery->records.size(), fixture.old_records.size()) << context;
+      EXPECT_FALSE(fs::exists(dir + "/" + name)) << context;
+    }
+  }
+}
+
+TEST(StoreTest, EveryByteCrashAfterCompactionCommitRecoversNewGeneration) {
+  const std::string build_dir = TempDir("boundary_post_build");
+  BoundaryFixture fixture = BuildBoundary(build_dir);
+  const std::string new_wal = fixture.new_state.at("journal.wal.g1");
+
+  // Crash after the manifest commit but before the old generation was
+  // deleted: the new generation is committed, the old files linger, and the
+  // new WAL is torn at every possible length. Recovery must return the new
+  // generation (a record prefix), never an old record, and delete the stale
+  // old-generation files.
+  const std::string dir = TempDir("boundary_post");
+  for (size_t len = 0; len <= new_wal.size(); ++len) {
+    std::map<std::string, std::string> state = fixture.new_state;
+    for (const auto& [name, bytes] : fixture.old_state) {
+      if (name != TestOptions().manifest_name) state[name] = bytes;
+    }
+    state["journal.wal.g1"] = new_wal.substr(0, len);
+    RestoreDir(dir, state);
+    const std::string context = "len=" + std::to_string(len);
+    Result<StoreRecovery> recovery = DurableStore::Recover(dir, TestOptions());
+    ASSERT_TRUE(recovery.ok()) << context << ": " << recovery.status().ToString();
+    EXPECT_EQ(recovery->generation, 1) << context;
+    ExpectOldOrNew(*recovery, fixture, context);
+    EXPECT_FALSE(fs::exists(dir + "/state.json")) << context;
+    EXPECT_FALSE(fs::exists(dir + "/journal.wal")) << context;
+    // A committed store must also resume and keep appending.
+    Result<DurableStore> resumed = DurableStore::Resume(dir, TestOptions(), nullptr);
+    ASSERT_TRUE(resumed.ok()) << context << ": " << resumed.status().ToString();
+    ASSERT_TRUE(resumed->Append("post-crash").ok()) << context;
+    ASSERT_TRUE(resumed->Close().ok()) << context;
+  }
+}
+
+TEST(StoreTest, EveryByteManifestTruncationIsDataLossOrACommittedGeneration) {
+  const std::string build_dir = TempDir("boundary_manifest_build");
+  BoundaryFixture fixture = BuildBoundary(build_dir);
+  const std::string manifest = fixture.new_state.at("MANIFEST.json");
+
+  // The manifest is written via atomic rename, so a torn manifest is outside
+  // the crash contract — but a recovery that meets one (bit rot, manual
+  // truncation) must still never decode a mixed state: every truncation is
+  // either typed kDataLoss or a complete committed generation.
+  const std::string dir = TempDir("boundary_manifest");
+  for (size_t len = 0; len < manifest.size(); ++len) {
+    std::map<std::string, std::string> state = fixture.new_state;
+    state["MANIFEST.json"] = manifest.substr(0, len);
+    RestoreDir(dir, state);
+    Result<StoreRecovery> recovery = DurableStore::Recover(dir, TestOptions());
+    const std::string context = "len=" + std::to_string(len);
+    if (recovery.ok()) {
+      ExpectOldOrNew(*recovery, fixture, context);
+    } else {
+      EXPECT_EQ(recovery.status().code(), StatusCode::kDataLoss) << context;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flexvis
