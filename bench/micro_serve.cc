@@ -1,0 +1,326 @@
+// Serving-layer microbenchmarks (EXPERIMENTS.md Q10): what the concurrent
+// multi-session MVCC tier costs and guarantees. The custom main writes
+// bench_out/BENCH_serve.json with sessions/sec and p99 query latency for the
+// mixed hover/select/pivot/rollup workload at 1/8/64 concurrent sessions,
+// publish (ingest) throughput with 0 vs 64 pinned reader sessions, and cache
+// hit/miss/eviction counters. Two hard gates fail the binary:
+//
+//   cache_coherent    every answer served from the result cache byte-equals
+//                     the same request recomputed from scratch on a fresh
+//                     engine over the same warehouse generation;
+//   ingest_unblocked  publishing N generations with 64 pinned readers stays
+//                     within FLEXVIS_SERVE_INGEST_TOLERANCE (default 10%)
+//                     of the session-free publish rate — readers never block
+//                     the ingest path.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "serve/engine.h"
+#include "util/strings.h"
+
+using namespace flexvis;
+
+namespace {
+
+/// A warehouse generation whose content is a pure function of (offers,
+/// version): states rotate with the version so successive generations give
+/// different query answers.
+std::shared_ptr<const dw::Database> MakeWarehouse(const std::vector<core::FlexOffer>& offers,
+                                                  int version) {
+  auto db = std::make_shared<dw::Database>();
+  std::vector<core::FlexOffer> rotated = offers;
+  const core::FlexOfferState states[] = {
+      core::FlexOfferState::kOffered, core::FlexOfferState::kAccepted,
+      core::FlexOfferState::kAssigned, core::FlexOfferState::kRejected};
+  for (size_t i = 0; i < rotated.size(); ++i) {
+    rotated[i].state = states[(i + static_cast<size_t>(version)) % 4];
+    if (rotated[i].state != core::FlexOfferState::kAssigned) rotated[i].schedule.reset();
+  }
+  if (!db->LoadFlexOffers(rotated).ok()) std::abort();
+  return db;
+}
+
+/// The mixed dashboard workload: hover, filtered select, pivot, roll-up.
+std::vector<serve::ServeRequest> MixedWorkload(const std::vector<core::FlexOffer>& offers) {
+  std::vector<serve::ServeRequest> requests;
+  for (int i = 0; i < 4; ++i) {
+    serve::ServeRequest hover;
+    hover.kind = serve::RequestKind::kHover;
+    hover.offer = offers[(offers.size() / 4) * static_cast<size_t>(i)].id;
+    requests.push_back(hover);
+  }
+  serve::ServeRequest select;
+  select.kind = serve::RequestKind::kSelect;
+  select.filter.states = {core::FlexOfferState::kAccepted, core::FlexOfferState::kAssigned};
+  requests.push_back(select);
+
+  serve::ServeRequest pivot;
+  pivot.kind = serve::RequestKind::kPivot;
+  pivot.mdx =
+      "SELECT { Measures.EnergyFlexibility } ON COLUMNS, { State.Members } ON ROWS "
+      "FROM [FlexOffers]";
+  requests.push_back(pivot);
+
+  serve::ServeRequest rollup = pivot;
+  rollup.kind = serve::RequestKind::kRollup;
+  rollup.mdx =
+      "SELECT { Measures.Count } ON COLUMNS, { Prosumer.Type.Members } ON ROWS "
+      "FROM [FlexOffers]";
+  requests.push_back(rollup);
+  return requests;
+}
+
+double Percentile(std::vector<double>& sorted_ascending, double p) {
+  if (sorted_ascending.empty()) return 0.0;
+  std::sort(sorted_ascending.begin(), sorted_ascending.end());
+  const size_t index = std::min(
+      sorted_ascending.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_ascending.size())));
+  return sorted_ascending[index];
+}
+
+double EnvTolerance(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return (end != value && parsed > 0.0) ? parsed : fallback;
+}
+
+// ---- google-benchmark timings (not run by the CI smoke filter) --------------
+
+void BM_ServeCachedPivot(benchmark::State& state) {
+  std::vector<core::FlexOffer> offers = bench::MakeRandomOffers(91, 400);
+  serve::ServeEngine engine(serve::ServeEngine::Options{});
+  engine.Publish(MakeWarehouse(offers, 0));
+  Result<serve::ServeSession> session = engine.OpenSession();
+  if (!session.ok()) {
+    state.SkipWithError(session.status().ToString().c_str());
+    return;
+  }
+  const std::vector<serve::ServeRequest> workload = MixedWorkload(offers);
+  size_t next = 0;
+  for (auto _ : state) {
+    Result<std::string> answer = session->Query(workload[next++ % workload.size()]);
+    if (!answer.ok()) {
+      state.SkipWithError(answer.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(answer);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeCachedPivot);
+
+// ---- The JSON report the CI gate archives -----------------------------------
+
+bool WriteServeReport() {
+  bench::BenchReport report("serve");
+  bool ok = true;
+
+  const size_t num_offers = bench::EnvSize("FLEXVIS_BENCH_SERVE_OFFERS", 600);
+  const std::vector<core::FlexOffer> offers = bench::MakeRandomOffers(91, num_offers);
+  const std::vector<serve::ServeRequest> workload = MixedWorkload(offers);
+
+  // ---- Sessions/sec + p99 query latency at 1/8/64 concurrent sessions ----
+  serve::ServeEngine engine(serve::ServeEngine::Options{});
+  engine.Publish(MakeWarehouse(offers, 0));
+
+  for (int concurrency : {1, 8, 64}) {
+    const int cycles_per_thread = concurrency == 1 ? 24 : concurrency == 8 ? 6 : 2;
+    std::atomic<int> errors{0};
+    std::atomic<int64_t> sessions_opened{0};
+    std::mutex latency_mutex;
+    std::vector<double> latencies;
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(concurrency));
+    for (int t = 0; t < concurrency; ++t) {
+      threads.emplace_back([&, t] {
+        std::vector<double> local;
+        for (int c = 0; c < cycles_per_thread; ++c) {
+          Result<serve::ServeSession> session = engine.OpenSession();
+          if (!session.ok()) { ++errors; return; }
+          ++sessions_opened;
+          for (size_t q = 0; q < workload.size(); ++q) {
+            const auto start = std::chrono::steady_clock::now();
+            Result<std::string> answer =
+                session->Query(workload[(q + static_cast<size_t>(t)) % workload.size()]);
+            const auto end = std::chrono::steady_clock::now();
+            if (!answer.ok()) { ++errors; return; }
+            local.push_back(std::chrono::duration<double>(end - start).count());
+          }
+        }
+        std::lock_guard<std::mutex> lock(latency_mutex);
+        latencies.insert(latencies.end(), local.begin(), local.end());
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+    if (errors.load() != 0) {
+      std::fprintf(stderr, "FAIL: %d-session workload had %d errors\n", concurrency,
+                   errors.load());
+      ok = false;
+    }
+    const double sessions = static_cast<double>(sessions_opened.load());
+    const std::string label = StrFormat("serve_sessions_%d", concurrency);
+    report.AddSample(label, wall_s, concurrency, sessions);
+    if (wall_s > 0.0) {
+      report.SetCounter(StrFormat("sessions_per_sec_%d", concurrency), sessions / wall_s);
+    }
+    report.SetCounter(StrFormat("p99_query_seconds_%d", concurrency),
+                      Percentile(latencies, 0.99));
+    report.SetCounter(StrFormat("p50_query_seconds_%d", concurrency),
+                      Percentile(latencies, 0.50));
+  }
+
+  serve::ServeStats stats = engine.stats();
+  report.SetCounter("cache_hits", static_cast<double>(stats.cache.hits));
+  report.SetCounter("cache_misses", static_cast<double>(stats.cache.misses));
+  report.SetCounter("cache_evictions", static_cast<double>(stats.cache.evictions));
+  if (stats.cache.hits <= 0) {
+    std::fprintf(stderr, "FAIL: the mixed workload never hit the result cache\n");
+    ok = false;
+  }
+  if (stats.active_pins != 0) {
+    std::fprintf(stderr, "FAIL: %lld pins leaked after all sessions closed\n",
+                 static_cast<long long>(stats.active_pins));
+    ok = false;
+  }
+
+  // ---- Hard gate: cached result byte-equals recomputed --------------------
+  // Re-answer the whole workload on the live engine (cache-hot), then on a
+  // fresh engine over the same warehouse bytes (cache-cold, every answer
+  // recomputed), and byte-compare.
+  {
+    bool coherent = true;
+    std::shared_ptr<const dw::Database> db = MakeWarehouse(offers, 0);
+    serve::ServeEngine fresh(serve::ServeEngine::Options{});
+    fresh.Publish(db);
+    Result<serve::ServeSession> hot = engine.OpenSession();
+    Result<serve::ServeSession> cold = fresh.OpenSession();
+    if (!hot.ok() || !cold.ok()) {
+      coherent = false;
+    } else {
+      for (const serve::ServeRequest& request : workload) {
+        Result<std::string> cached = hot->Query(request);
+        Result<std::string> recomputed = cold->Query(request);
+        if (!cached.ok() || !recomputed.ok() || *cached != *recomputed) {
+          coherent = false;
+          std::fprintf(stderr, "FAIL: cached result differs from recomputation\n");
+          break;
+        }
+      }
+    }
+    report.SetCounter("cache_coherent", coherent ? 1.0 : 0.0);
+    ok = ok && coherent;
+  }
+
+  // ---- Hard gate: pinned readers never block the ingest path --------------
+  // Publish K generations with no sessions, then with 64 open sessions each
+  // pinning a generation. MVCC means the publisher never waits on a reader,
+  // so the pinned-readers run must stay within tolerance of the free run.
+  {
+    const int kPublishes = static_cast<int>(bench::EnvSize("FLEXVIS_BENCH_SERVE_PUBLISHES", 20));
+    const double tolerance = EnvTolerance("FLEXVIS_SERVE_INGEST_TOLERANCE", 0.10);
+
+    auto publish_k = [&](serve::ServeEngine& target) {
+      for (int v = 1; v <= kPublishes; ++v) {
+        target.Publish(MakeWarehouse(offers, v));
+      }
+    };
+
+    serve::ServeEngine free_engine(serve::ServeEngine::Options{});
+    free_engine.Publish(MakeWarehouse(offers, 0));
+    const double free_s = bench::MeasureSeconds([&] { publish_k(free_engine); });
+
+    serve::ServeEngine pinned_engine(serve::ServeEngine::Options{});
+    pinned_engine.Publish(MakeWarehouse(offers, 0));
+    std::vector<serve::ServeSession> readers;
+    readers.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+      Result<serve::ServeSession> session = pinned_engine.OpenSession();
+      if (!session.ok()) { ok = false; break; }
+      // Each reader pins whatever is current and holds the pin across the
+      // whole publish storm (a dashboard mid-interaction).
+      readers.push_back(*std::move(session));
+    }
+    const double pinned_s = bench::MeasureSeconds([&] { publish_k(pinned_engine); });
+    readers.clear();
+
+    const double free_rate = free_s > 0.0 ? kPublishes / free_s : 0.0;
+    const double pinned_rate = pinned_s > 0.0 ? kPublishes / pinned_s : 0.0;
+    report.SetCounter("publish_per_sec_free", free_rate);
+    report.SetCounter("publish_per_sec_64_pinned", pinned_rate);
+    const bool unblocked =
+        free_rate > 0.0 && pinned_rate >= free_rate * (1.0 - tolerance);
+    report.SetCounter("ingest_unblocked", unblocked ? 1.0 : 0.0);
+    report.SetCounter("ingest_tolerance", tolerance);
+    if (!unblocked) {
+      std::fprintf(stderr,
+                   "FAIL: publish rate dropped from %.1f/s to %.1f/s with 64 pinned "
+                   "readers (tolerance %.0f%%)\n",
+                   free_rate, pinned_rate, tolerance * 100.0);
+      ok = false;
+    }
+  }
+
+  // ---- Admission control under overload (reported, journaled) -------------
+  {
+    std::atomic<int64_t> journal_lines{0};
+    serve::ServeEngine::Options options;
+    options.max_active_sessions = 8;
+    options.shed_policy = sim::ShedPolicy::kRejectNewest;
+    options.journal = [&journal_lines](const std::string&) { ++journal_lines; };
+    serve::ServeEngine bounded(options);
+    bounded.Publish(MakeWarehouse(offers, 0));
+    std::vector<serve::ServeSession> held;
+    int shed = 0;
+    for (int i = 0; i < 64; ++i) {
+      Result<serve::ServeSession> session = bounded.OpenSession();
+      if (session.ok()) {
+        held.push_back(*std::move(session));
+      } else {
+        ++shed;
+      }
+    }
+    report.SetCounter("admission_shed_64_over_8", static_cast<double>(shed));
+    report.SetCounter("admission_journal_lines", static_cast<double>(journal_lines.load()));
+    if (shed != 56 || bounded.stats().admission.shed != 56) {
+      std::fprintf(stderr, "FAIL: expected 56 of 64 sessions shed, got %d\n", shed);
+      ok = false;
+    }
+  }
+
+  if (Status status = report.Write(); !status.ok()) {
+    std::fprintf(stderr, "report failed: %s\n", status.ToString().c_str());
+    return false;
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!WriteServeReport()) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -40,7 +40,50 @@ std::vector<ColumnSpec> FactFlexOfferSchema() {
   };
 }
 
+/// Appends a sorted integer list (or "*" when unconstrained) to `out`.
+template <typename T>
+void AppendSortedList(std::string* out, const char* tag, const std::vector<T>& values) {
+  *out += tag;
+  *out += '=';
+  if (values.empty()) {
+    *out += "*;";
+    return;
+  }
+  std::vector<long long> sorted;
+  sorted.reserve(values.size());
+  for (const T& v : values) sorted.push_back(static_cast<long long>(v));
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) *out += ',';
+    *out += StrFormat("%lld", sorted[i]);
+  }
+  *out += ';';
+}
+
 }  // namespace
+
+std::string CanonicalFilterKey(const FlexOfferFilter& filter) {
+  std::string key;
+  key += filter.prosumer.has_value()
+             ? StrFormat("p=%lld;", static_cast<long long>(*filter.prosumer))
+             : std::string("p=*;");
+  key += filter.window.empty()
+             ? std::string("w=*;")
+             : StrFormat("w=%lld..%lld;",
+                         static_cast<long long>(filter.window.start.minutes()),
+                         static_cast<long long>(filter.window.end.minutes()));
+  AppendSortedList(&key, "s", filter.states);
+  AppendSortedList(&key, "r", filter.regions);
+  AppendSortedList(&key, "g", filter.grid_nodes);
+  AppendSortedList(&key, "e", filter.energy_types);
+  AppendSortedList(&key, "pt", filter.prosumer_types);
+  AppendSortedList(&key, "a", filter.appliance_types);
+  key += filter.direction.has_value()
+             ? StrFormat("d=%d;", static_cast<int>(*filter.direction))
+             : std::string("d=*;");
+  key += StrFormat("agg=%d", static_cast<int>(filter.aggregates));
+  return key;
+}
 
 Database::Database()
     : fact_flexoffer_("fact_flexoffer", FactFlexOfferSchema()),

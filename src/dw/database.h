@@ -62,6 +62,13 @@ struct FlexOfferFilter {
 
 class Database;
 
+/// Canonical cache-key text for a filter: two filters selecting the same
+/// offers via the same constraints produce the same key regardless of the
+/// order their IN-lists were assembled in (member lists are sorted; absent
+/// constraints print as "*"). The serving layer's result cache keys on
+/// (store generation, this string) — see src/serve.
+std::string CanonicalFilterKey(const FlexOfferFilter& filter);
+
 /// Builds a filter selecting every flex-offer in the geographic subtree
 /// rooted at `region` ("to select data for (or group on) a spacial object,
 /// e.g., country, city, or district"). NotFound when the region is not

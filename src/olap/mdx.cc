@@ -1,5 +1,6 @@
 #include "olap/mdx.h"
 
+#include <algorithm>
 #include <cctype>
 #include <string>
 #include <vector>
@@ -327,6 +328,72 @@ Result<CubeQuery> ParseMdx(std::string_view text, const Cube& cube) {
   if (!tokens.ok()) return tokens.status();
   Parser parser(*std::move(tokens), cube);
   return parser.Parse();
+}
+
+std::string CanonicalCubeQueryKey(const CubeQuery& query) {
+  std::string key = StrFormat("m=%s", std::string(MeasureName(query.measure)).c_str());
+  for (size_t a = 0; a < query.axes.size(); ++a) {
+    const AxisSpec& axis = query.axes[a];
+    key += StrFormat("|ax%zu=%s@%s:", a, axis.dimension.c_str(), axis.level.c_str());
+    for (size_t m = 0; m < axis.members.size(); ++m) {
+      if (m > 0) key += ',';
+      key += axis.members[m];
+    }
+  }
+  // Slicers AND together, so their order is not semantic — sort for a
+  // stable key.
+  std::vector<std::string> slicers;
+  slicers.reserve(query.slicers.size());
+  for (const SlicerSpec& slicer : query.slicers) {
+    slicers.push_back(StrFormat("%s.[%s]", slicer.dimension.c_str(), slicer.member.c_str()));
+  }
+  std::sort(slicers.begin(), slicers.end());
+  for (const std::string& slicer : slicers) key += StrFormat("|sl=%s", slicer.c_str());
+  if (!query.window.empty()) {
+    key += StrFormat("|w=%lld..%lld", static_cast<long long>(query.window.start.minutes()),
+                     static_cast<long long>(query.window.end.minutes()));
+  }
+  key += StrFormat("|g=%s", std::string(GranularityName(query.time_granularity)).c_str());
+  return key;
+}
+
+Result<std::string> NormalizeMdxKey(std::string_view text, const Cube& cube) {
+  Result<CubeQuery> query = ParseMdx(text, cube);
+  if (!query.ok()) return query.status();
+  // ParseMdx resolves names case-insensitively but stores them as typed;
+  // rewrite each to its registered spelling so every accepted spelling of
+  // one query produces one cache key. Names that don't resolve (the Time
+  // pseudo-dimension's bucket labels, date literals) are kept as typed —
+  // Evaluate treats them literally too.
+  CubeQuery canonical = *std::move(query);
+  auto canonical_time = [](std::string& name) {
+    if (name.size() == 4 && (name[0] == 't' || name[0] == 'T')) name = "Time";
+  };
+  for (AxisSpec& axis : canonical.axes) {
+    if (const Dimension* dim = cube.FindDimension(axis.dimension)) {
+      axis.dimension = dim->name();
+      if (!axis.level.empty()) {
+        Result<int> level = dim->FindLevel(axis.level);
+        if (level.ok()) axis.level = dim->level_names()[static_cast<size_t>(*level)];
+      }
+      for (std::string& member : axis.members) {
+        Result<int> id = dim->FindMember(member);
+        if (id.ok()) member = dim->members()[static_cast<size_t>(*id)].name;
+      }
+    } else {
+      canonical_time(axis.dimension);
+    }
+  }
+  for (SlicerSpec& slicer : canonical.slicers) {
+    if (const Dimension* dim = cube.FindDimension(slicer.dimension)) {
+      slicer.dimension = dim->name();
+      Result<int> id = dim->FindMember(slicer.member);
+      if (id.ok()) slicer.member = dim->members()[static_cast<size_t>(*id)].name;
+    } else {
+      canonical_time(slicer.dimension);
+    }
+  }
+  return CanonicalCubeQueryKey(canonical);
 }
 
 }  // namespace flexvis::olap

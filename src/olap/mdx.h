@@ -34,6 +34,17 @@ namespace flexvis::olap {
 ///   WHERE ( State.[Accepted], Time.[2013-01-01 : 2013-02-01] )
 Result<CubeQuery> ParseMdx(std::string_view text, const Cube& cube);
 
+/// Canonical cache-key text for a parsed pivot query: axes, members (in
+/// axis order — order is semantic for explicit member sets), slicers,
+/// window, granularity, and measure in one stable rendering. Two MDX
+/// strings differing only in case, whitespace, or bracketing normalize to
+/// the same key.
+std::string CanonicalCubeQueryKey(const CubeQuery& query);
+
+/// ParseMdx + CanonicalCubeQueryKey: the normalized MDX form the serving
+/// layer's result cache keys on (alongside the pinned store generation).
+Result<std::string> NormalizeMdxKey(std::string_view text, const Cube& cube);
+
 }  // namespace flexvis::olap
 
 #endif  // FLEXVIS_OLAP_MDX_H_

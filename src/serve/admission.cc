@@ -1,0 +1,110 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace flexvis::serve {
+
+Status AdmissionController::Admit(double value) {
+  // Each shed session journals its own line after the lock is dropped (the
+  // journal callback never runs under the controller mutex).
+  std::string journal_line;
+  Status result = OkStatus();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const int64_t seq = next_seq_++;
+    // Invariant: waiters exist only while the active set is full (Release
+    // admits one waiter per freed slot under the same lock), so an empty
+    // queue plus a free slot means immediate admission without queue-jumping.
+    if (max_active_ <= 0 || (active_ < max_active_ && queue_.empty())) {
+      ++active_;
+      ++admitted_;
+      return OkStatus();
+    }
+
+    Waiter self;
+    self.value = value;
+    self.seq = seq;
+    bool enqueued = false;
+    if (queue_capacity_ > 0 && static_cast<int>(queue_.size()) < queue_capacity_) {
+      enqueued = true;
+    } else if (policy_ == sim::ShedPolicy::kRejectLeastValuable && !queue_.empty()) {
+      // Evict the lowest-value waiter (ties: earliest-queued loses) when the
+      // arrival is worth strictly more; otherwise the arrival is shed.
+      auto victim = std::min_element(queue_.begin(), queue_.end(),
+                                     [](const Waiter* a, const Waiter* b) {
+                                       if (a->value != b->value) return a->value < b->value;
+                                       return a->seq < b->seq;
+                                     });
+      if ((*victim)->value < value) {
+        (*victim)->shed = true;
+        queue_.erase(victim);
+        cv_.notify_all();
+        enqueued = true;
+      }
+    }
+
+    if (!enqueued) {
+      ++shed_;
+      journal_line = StrFormat("admission.shed policy=%s seq=%lld value=%.3f queue=%zu",
+                               policy_ == sim::ShedPolicy::kRejectNewest ? "reject_newest"
+                                                                         : "least_valuable",
+                               static_cast<long long>(seq), value, queue_.size());
+      result = UnavailableError("session shed: serving tier at capacity");
+    } else {
+      ++queued_;
+      queue_.push_back(&self);
+      queue_high_watermark_ =
+          std::max(queue_high_watermark_, static_cast<int64_t>(queue_.size()));
+      cv_.wait(lock, [&self] { return self.admitted || self.shed; });
+      if (self.shed) {
+        ++shed_;
+        journal_line = StrFormat("admission.shed policy=least_valuable seq=%lld value=%.3f "
+                                 "evicted_from_queue=1",
+                                 static_cast<long long>(seq), value);
+        result = UnavailableError("session shed: evicted from admission queue");
+      }
+    }
+  }
+  if (journal_ && !journal_line.empty()) journal_(journal_line);
+  return result;
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  --active_;
+  if (!queue_.empty() && (max_active_ <= 0 || active_ < max_active_)) {
+    auto next = NextWaiterLocked();
+    (*next)->admitted = true;
+    queue_.erase(next);
+    ++active_;
+    ++admitted_;
+    cv_.notify_all();
+  }
+}
+
+std::list<AdmissionController::Waiter*>::iterator AdmissionController::NextWaiterLocked() {
+  if (policy_ == sim::ShedPolicy::kRejectLeastValuable) {
+    return std::max_element(queue_.begin(), queue_.end(),
+                            [](const Waiter* a, const Waiter* b) {
+                              if (a->value != b->value) return a->value < b->value;
+                              return a->seq > b->seq;  // FIFO within equal value
+                            });
+  }
+  return queue_.begin();  // FIFO
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AdmissionStats stats;
+  stats.admitted = admitted_;
+  stats.shed = shed_;
+  stats.queued = queued_;
+  stats.active = active_;
+  stats.waiting = static_cast<int64_t>(queue_.size());
+  stats.queue_high_watermark = queue_high_watermark_;
+  return stats;
+}
+
+}  // namespace flexvis::serve

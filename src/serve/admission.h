@@ -1,0 +1,97 @@
+#ifndef FLEXVIS_SERVE_ADMISSION_H_
+#define FLEXVIS_SERVE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <string>
+
+#include "sim/online.h"
+#include "util/status.h"
+
+namespace flexvis::serve {
+
+/// Counters the serving reports surface.
+struct AdmissionStats {
+  int64_t admitted = 0;  // sessions that got a slot (immediately or queued)
+  int64_t shed = 0;      // sessions refused under overload
+  int64_t queued = 0;    // sessions that had to wait before admission
+  int64_t active = 0;    // currently holding a slot
+  int64_t waiting = 0;   // currently queued
+  int64_t queue_high_watermark = 0;
+};
+
+/// Session admission control under overload, reusing the online loop's
+/// ShedPolicy semantics (sim/online.h) at the serving tier: `max_active`
+/// bounds concurrently open sessions; a bounded wait queue absorbs bursts;
+/// when the queue is also full, the policy picks who loses —
+///
+///   kRejectNewest        the arriving session is shed (the historical
+///                        ingest behaviour, cheapest);
+///   kRejectLeastValuable the lowest-value *queued* session is shed when
+///                        the arrival is worth more (ties keep the earlier
+///                        arrival), so under overload the queue keeps the
+///                        sessions the operator values most.
+///
+/// Shed sessions fail with kUnavailable and are journaled through the
+/// optional `journal` callback (one line per shed, surfaced in reports).
+/// Thread-safe; Admit blocks queued callers on a condition variable.
+class AdmissionController {
+ public:
+  /// `max_active` <= 0 means unlimited (admission always immediate).
+  /// `queue_capacity` bounds waiters; 0 = no queue (full => shed).
+  AdmissionController(int max_active, int queue_capacity, sim::ShedPolicy policy,
+                      std::function<void(const std::string&)> journal = nullptr)
+      : max_active_(max_active), queue_capacity_(queue_capacity), policy_(policy),
+        journal_(std::move(journal)) {}
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Acquires a session slot, blocking in the wait queue if the active set
+  /// is full. `value` is the session's worth under kRejectLeastValuable
+  /// (e.g. the dashboard's priority). Returns OK once the slot is held, or
+  /// kUnavailable when the session is shed. Every successful Admit must be
+  /// paired with exactly one Release.
+  Status Admit(double value);
+
+  /// Returns a slot; wakes the highest-priority waiter (FIFO within equal
+  /// value under kRejectNewest; highest value first under
+  /// kRejectLeastValuable).
+  void Release();
+
+  AdmissionStats stats() const;
+
+ private:
+  struct Waiter {
+    double value = 0.0;
+    int64_t seq = 0;      // arrival order, for tie-breaks and FIFO
+    bool admitted = false;
+    bool shed = false;
+  };
+
+  /// Picks the next waiter to admit (caller holds the lock): FIFO under
+  /// kRejectNewest, highest-value-first (FIFO within ties) under
+  /// kRejectLeastValuable.
+  std::list<Waiter*>::iterator NextWaiterLocked();
+
+  const int max_active_;
+  const int queue_capacity_;
+  const sim::ShedPolicy policy_;
+  const std::function<void(const std::string&)> journal_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::list<Waiter*> queue_;  // waiters park their stack frames here
+  int64_t next_seq_ = 0;
+  int64_t active_ = 0;
+  int64_t admitted_ = 0;
+  int64_t shed_ = 0;
+  int64_t queued_ = 0;
+  int64_t queue_high_watermark_ = 0;
+};
+
+}  // namespace flexvis::serve
+
+#endif  // FLEXVIS_SERVE_ADMISSION_H_

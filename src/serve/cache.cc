@@ -1,0 +1,85 @@
+#include "serve/cache.h"
+
+#include <utility>
+
+namespace flexvis::serve {
+
+std::optional<std::string> ResultCache::Lookup(int64_t generation, const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(Key{generation, key});
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->value;
+}
+
+void ResultCache::Insert(int64_t generation, const std::string& key, std::string value) {
+  if (value.size() > max_bytes_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(Key{generation, key});
+  if (it != index_.end()) {
+    bytes_ -= it->second->value.size();
+    bytes_ += value.size();
+    it->second->value = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Node{Key{generation, key}, std::move(value)});
+    bytes_ += lru_.front().value.size();
+    index_[lru_.front().key] = lru_.begin();
+  }
+  EvictWhileOverLocked();
+}
+
+int64_t ResultCache::InvalidateBefore(int64_t generation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.generation < generation) {
+      bytes_ -= it->value.size();
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  invalidated_ += dropped;
+  return dropped;
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.invalidated = invalidated_;
+  stats.entries = lru_.size();
+  stats.bytes = bytes_;
+  return stats;
+}
+
+std::vector<std::tuple<int64_t, std::string, std::string>> ResultCache::Entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::tuple<int64_t, std::string, std::string>> out;
+  out.reserve(lru_.size());
+  for (const Node& node : lru_) {
+    out.emplace_back(node.key.generation, node.key.text, node.value);
+  }
+  return out;
+}
+
+void ResultCache::EvictWhileOverLocked() {
+  while (!lru_.empty() && (lru_.size() > max_entries_ || bytes_ > max_bytes_)) {
+    const Node& victim = lru_.back();
+    bytes_ -= victim.value.size();
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace flexvis::serve

@@ -1,0 +1,90 @@
+#ifndef FLEXVIS_SERVE_CACHE_H_
+#define FLEXVIS_SERVE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace flexvis::serve {
+
+/// Counters the serving reports surface. `entries`/`bytes` are the live
+/// footprint; the rest are monotonically increasing since construction.
+struct CacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;    // capacity evictions (LRU)
+  int64_t invalidated = 0;  // entries dropped by InvalidateBefore
+  size_t entries = 0;
+  size_t bytes = 0;
+};
+
+/// Query/result cache keyed on (store generation, canonical query text).
+/// Generations are immutable, so a cached result can never go stale within
+/// its generation — the only invalidation is the strict one on generation
+/// advance (InvalidateBefore), which drops every entry of superseded
+/// generations. LRU-bounded by entry count and payload bytes. Thread-safe;
+/// every operation is a short critical section (no user code runs under the
+/// lock).
+class ResultCache {
+ public:
+  explicit ResultCache(size_t max_entries = 512, size_t max_bytes = 16u << 20)
+      : max_entries_(max_entries), max_bytes_(max_bytes) {}
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// The cached result for (generation, key), refreshing its LRU position;
+  /// nullopt on miss. Counts a hit or miss.
+  std::optional<std::string> Lookup(int64_t generation, const std::string& key);
+
+  /// Inserts (or overwrites) the result for (generation, key), evicting
+  /// least-recently-used entries while over either capacity bound. A value
+  /// larger than max_bytes is not cached at all.
+  void Insert(int64_t generation, const std::string& key, std::string value);
+
+  /// Strict invalidation on generation advance: drops every entry whose
+  /// generation is < `generation`. Returns how many entries were dropped.
+  int64_t InvalidateBefore(int64_t generation);
+
+  CacheStats stats() const;
+
+  /// Every live (generation, key, value) triple, unordered. The bench's
+  /// cache-coherence gate recomputes each one and byte-compares.
+  std::vector<std::tuple<int64_t, std::string, std::string>> Entries() const;
+
+ private:
+  struct Key {
+    int64_t generation;
+    std::string text;
+    bool operator<(const Key& other) const {
+      if (generation != other.generation) return generation < other.generation;
+      return text < other.text;
+    }
+  };
+  struct Node {
+    Key key;
+    std::string value;
+  };
+
+  void EvictWhileOverLocked();
+
+  const size_t max_entries_;
+  const size_t max_bytes_;
+
+  mutable std::mutex mutex_;
+  std::list<Node> lru_;  // front = most recently used
+  std::map<Key, std::list<Node>::iterator> index_;
+  size_t bytes_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+  int64_t invalidated_ = 0;
+};
+
+}  // namespace flexvis::serve
+
+#endif  // FLEXVIS_SERVE_CACHE_H_

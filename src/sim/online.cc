@@ -295,6 +295,7 @@ void OnlineEnterprise::Tick(OnlineLoopState& state, OnlineTickRecord* record) co
     }
   }
   ++state.next_tick;
+  if (params_.publish_hook) params_.publish_hook(state);
 }
 
 Status OnlineEnterprise::Apply(OnlineLoopState& state, const OnlineTickRecord& record) const {

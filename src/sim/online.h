@@ -1,6 +1,7 @@
 #ifndef FLEXVIS_SIM_ONLINE_H_
 #define FLEXVIS_SIM_ONLINE_H_
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -72,6 +73,16 @@ struct OnlineParams {
   /// no process-wide singleton sits on the tick path. Runtime wiring only:
   /// never serialized into checkpoint metadata.
   FaultRegistry* faults = nullptr;
+
+  /// Publish-generation hook for the concurrent serving layer (src/serve):
+  /// invoked at the end of every *live* Tick() with the post-tick loop
+  /// state, so an ingest loop can publish a fresh warehouse generation to
+  /// concurrent dashboard readers on whatever cadence the hook chooses.
+  /// Never invoked during Apply() — journal replay reconstructs state, it
+  /// does not serve traffic. Runtime wiring only: never serialized, and it
+  /// must not mutate the state it observes (decisions stay byte-identical
+  /// with and without a hook installed).
+  std::function<void(const struct OnlineLoopState& state)> publish_hook;
 };
 
 /// Outcome of one online run.

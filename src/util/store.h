@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -63,6 +65,97 @@ struct StoreOptions {
 /// Snapshot content handed to Create/Compact: (logical name, content) in
 /// manifest order.
 using StoreFiles = std::vector<std::pair<std::string, std::string>>;
+
+/// Process-wide registry of pinned (store directory, generation) pairs — the
+/// MVCC substrate of the concurrent serving layer (src/serve). A reader that
+/// snapshots a generation pins it here; while a generation is pinned,
+/// Compact() and the Recover()/Create() garbage-collection sweeps must not
+/// delete its on-disk files, so the reader's snapshot stays reconstructible
+/// for the whole life of the pin. Deletions that would have happened are
+/// *deferred*: their paths are parked under the (directory, generation) key
+/// and executed by the last Unpin — after firing the "util.store.delete"
+/// injection point, so the kill matrix can crash a process between the
+/// unpin and the deferred delete and prove the next Recover() sweeps the
+/// debris (the crashed process's pins die with it).
+///
+/// Pins are process-local by design: they protect in-process readers, not
+/// cross-process ones (those re-open their own committed generation).
+/// Thread-safe; all methods may be called concurrently.
+class StorePinRegistry {
+ public:
+  /// The registry every DurableStore consults.
+  static StorePinRegistry& Global();
+
+  /// Increments the pin count of (directory, generation). Directories are
+  /// keyed by their canonical absolute path, so "./x" and "x" agree.
+  void Pin(const std::string& directory, int64_t generation);
+
+  /// Decrements the pin count. When the count reaches zero and deletions
+  /// were deferred onto this generation, fires "util.store.delete" once and
+  /// — unless the injection point failed or crashed — removes the deferred
+  /// files. An injected failure leaves the files as debris for the next
+  /// Recover() sweep; nothing is retried (the files are garbage either way).
+  void Unpin(const std::string& directory, int64_t generation);
+
+  /// True while (directory, generation) has at least one live pin.
+  bool IsPinned(const std::string& directory, int64_t generation) const;
+
+  /// Every pinned generation of `directory`, for the GC sweeps.
+  std::set<int64_t> PinnedGenerations(const std::string& directory) const;
+
+  /// Parks `paths` (absolute) for deletion when (directory, generation)
+  /// loses its last pin. Precondition checked by callers, not enforced
+  /// here: the pair should currently be pinned — otherwise the paths are
+  /// deleted immediately.
+  void DeferDelete(const std::string& directory, int64_t generation,
+                   std::vector<std::string> paths);
+
+  /// Live pins across every directory (observability for tests/benches).
+  int64_t total_pins() const;
+  /// Deferred deletions executed so far (after their fault check passed).
+  int64_t deferred_deletes_run() const;
+
+ private:
+  struct Key {
+    std::string directory;
+    int64_t generation;
+    bool operator<(const Key& other) const {
+      if (directory != other.directory) return directory < other.directory;
+      return generation < other.generation;
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::map<Key, int64_t> pins_;
+  std::map<Key, std::vector<std::string>> deferred_;
+  int64_t deferred_runs_ = 0;
+};
+
+/// RAII pin on one store generation: pins in the constructor (via
+/// DurableStore::PinGeneration or explicitly), unpins on destruction or
+/// Release(). Movable, not copyable; a moved-from or default-constructed pin
+/// is empty and releases nothing.
+class StoreGenerationPin {
+ public:
+  StoreGenerationPin() = default;
+  StoreGenerationPin(std::string directory, int64_t generation);
+  StoreGenerationPin(StoreGenerationPin&& other) noexcept;
+  StoreGenerationPin& operator=(StoreGenerationPin&& other) noexcept;
+  StoreGenerationPin(const StoreGenerationPin&) = delete;
+  StoreGenerationPin& operator=(const StoreGenerationPin&) = delete;
+  ~StoreGenerationPin();
+
+  /// Unpins now (idempotent).
+  void Release();
+
+  bool empty() const { return directory_.empty(); }
+  const std::string& directory() const { return directory_; }
+  int64_t generation() const { return generation_; }
+
+ private:
+  std::string directory_;  // canonical; empty = no pin held
+  int64_t generation_ = 0;
+};
 
 /// What Recover() decoded from a store directory.
 struct StoreRecovery {
@@ -134,7 +227,9 @@ class DurableStore {
   /// atomically, and only then deletes the old generation's snapshot files
   /// and WAL. The WAL writer switches to the (empty) new-generation WAL.
   /// A crash anywhere inside recovers to exactly the old or the new
-  /// generation — never a mix.
+  /// generation — never a mix. When the old generation is pinned in the
+  /// StorePinRegistry, its files are not deleted but parked for deferred
+  /// deletion by the last Unpin.
   Status Compact(const StoreFiles& files, const JsonValue& meta);
 
   /// Rewrites the manifest in place — same generation, same snapshot file
@@ -145,6 +240,11 @@ class DurableStore {
   /// Flushes and closes the WAL. The destructor closes without flushing
   /// (crash semantics: unflushed records are not promised).
   Status Close();
+
+  /// Pins the committed generation in the process-wide StorePinRegistry so
+  /// Compact() and the GC sweeps defer deleting its files until the pin is
+  /// released. The serving layer pins the generation a reader snapshots.
+  StoreGenerationPin PinGeneration() const;
 
   bool is_open() const { return open_; }
   int64_t generation() const { return generation_; }

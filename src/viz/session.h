@@ -69,6 +69,13 @@ class Session {
   /// `db` must outlive the session.
   explicit Session(const dw::Database* db) : db_(db) {}
 
+  /// Shares ownership of `db`: the session keeps the warehouse snapshot
+  /// alive for its own lifetime. This is how the concurrent serving layer
+  /// (src/serve) binds a session to its pinned MVCC generation — the
+  /// generation cannot be retired out from under an open session.
+  explicit Session(std::shared_ptr<const dw::Database> db)
+      : db_(db.get()), retained_db_(std::move(db)) {}
+
   const dw::Database& db() const { return *db_; }
   const std::vector<std::unique_ptr<ViewTab>>& tabs() const { return tabs_; }
   ViewTab* tab(size_t index) { return tabs_[index].get(); }
@@ -100,6 +107,8 @@ class Session {
 
  private:
   const dw::Database* db_;
+  /// Non-null only for the shared-ownership constructor.
+  std::shared_ptr<const dw::Database> retained_db_;
   std::vector<std::unique_ptr<ViewTab>> tabs_;
   core::FlexOfferId next_aggregate_id_ = 1'000'000'000;
 };

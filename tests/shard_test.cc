@@ -88,7 +88,11 @@ class ShardTest : public ::testing::Test {
     window_ = wp.horizon;
     online_.tick_minutes = 120;  // 12 ticks over the day
 
-    root_ = fs::path(::testing::TempDir()) / "flexvis_shard";
+    // Suffix with the pid: ctest runs each test in its own process, possibly
+    // in parallel, and a shared fixture root lets one test's SetUp sweep
+    // another's live files mid-run.
+    root_ = fs::path(::testing::TempDir()) /
+            ("flexvis_shard." + std::to_string(::getpid()));
     fs::remove_all(root_);
     fs::create_directories(root_);
   }
@@ -96,6 +100,12 @@ class ShardTest : public ::testing::Test {
   void TearDown() override {
     FaultRegistry::Global().DisarmAll();
     SetParallelThreadCount(1);
+    // Keep the directory on failure so the divergent journals/manifests can
+    // be inspected (and uploaded by CI); pid-suffixed roots never collide.
+    if (!HasFailure()) {
+      std::error_code ec;
+      fs::remove_all(root_, ec);
+    }
   }
 
   std::string Dir(const std::string& name) {

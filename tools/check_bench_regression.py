@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh BENCH_<name>.json against its
+committed baseline and fail on regressions beyond a tolerance.
+
+Usage:
+    check_bench_regression.py --baseline bench/baselines/BENCH_serve.json \
+        --current bench_out/BENCH_serve.json [--tolerance 0.25] \
+        [--diff-out bench_out/BENCH_serve.diff.json]
+    check_bench_regression.py --self-test
+
+Which direction is "worse" is inferred from the metric name:
+
+  * higher-is-better:  *_per_sec, *_per_second, items_per_second, speedup
+  * lower-is-better:   *_seconds, *_p50*, *_p99*, *overhead*
+  * hard gates (exact): metrics valued 0/1 in the baseline whose name does
+    not match a direction pattern (deterministic, cache_coherent,
+    ingest_unblocked, ...) — a 1 in the baseline must stay 1.
+
+Lower-is-better metrics named in seconds additionally get an absolute slack
+(--latency-slack, default 1 ms): micro- and nanosecond-scale percentiles sit
+at timer resolution, so a relative-only gate would flap on scheduler noise.
+Such a metric regresses only when it is BOTH beyond the relative tolerance
+AND more than the slack worse in absolute terms.
+
+Everything else is reported informationally and never gates. Samples gate on
+their items_per_second; counters gate per the rules above. The exit code is
+nonzero iff at least one gated metric regressed beyond the tolerance, and the
+full comparison is always written to --diff-out (when given) so CI can
+archive it as an artifact.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+HIGHER_BETTER = re.compile(r"(_per_sec(ond)?$|^speedup|_speedup$|sessions_per_sec|per_second$)")
+LOWER_BETTER = re.compile(r"(_seconds(_\d+)?$|p50|p99|overhead|_wall$)")
+
+
+def classify(name, baseline_value):
+    if HIGHER_BETTER.search(name):
+        return "higher"
+    if LOWER_BETTER.search(name):
+        return "lower"
+    if baseline_value in (0.0, 1.0):
+        return "exact"
+    return "info"
+
+
+def load_metrics(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    metrics = {}
+    for sample in report.get("samples", []):
+        label = sample.get("label")
+        ips = sample.get("items_per_second")
+        if label is not None and ips is not None:
+            metrics[f"sample:{label}:items_per_second"] = float(ips)
+    for key, value in report.get("counters", {}).items():
+        try:
+            metrics[f"counter:{key}"] = float(value)
+        except (TypeError, ValueError):
+            continue
+    return report.get("name", "?"), metrics
+
+
+def compare(baseline, current, tolerance, latency_slack=0.001):
+    """Returns (rows, regressions): every compared metric, and those failing."""
+    rows = []
+    regressions = []
+    for name, base in sorted(baseline.items()):
+        short = name.split(":", 1)[1] if ":" in name else name
+        kind = classify(short.rsplit(":", 1)[-1] if name.startswith("sample:") else short, base)
+        cur = current.get(name)
+        row = {"metric": name, "baseline": base, "current": cur, "direction": kind}
+        if cur is None:
+            row["status"] = "missing"
+            if kind != "info":
+                row["status"] = "regressed"
+                row["reason"] = "metric disappeared from the current report"
+                regressions.append(row)
+            rows.append(row)
+            continue
+        status = "ok"
+        reason = None
+        if kind == "higher":
+            floor = base * (1.0 - tolerance)
+            if cur < floor:
+                status, reason = "regressed", f"{cur:.6g} < {floor:.6g} (-{tolerance:.0%} of baseline)"
+        elif kind == "lower":
+            ceiling = base * (1.0 + tolerance)
+            # Seconds-valued metrics also need to clear the absolute slack so
+            # timer-resolution noise on sub-millisecond percentiles cannot
+            # gate; a zero baseline cannot gate relatively at all.
+            slack = latency_slack if ("seconds" in short or "_wall" in short) else 0.0
+            if base > 0.0 and cur > ceiling and (cur - base) > slack:
+                status, reason = "regressed", f"{cur:.6g} > {ceiling:.6g} (+{tolerance:.0%} of baseline, >{slack:g}s slack)"
+        elif kind == "exact":
+            if base == 1.0 and cur != 1.0:
+                status, reason = "regressed", "hard gate flipped from 1 to 0"
+        row["status"] = status
+        if reason:
+            row["reason"] = reason
+        rows.append(row)
+        if status == "regressed":
+            regressions.append(row)
+    for name in sorted(set(current) - set(baseline)):
+        rows.append({"metric": name, "baseline": None, "current": current[name],
+                     "status": "new", "direction": "info"})
+    return rows, regressions
+
+
+def run_check(args):
+    base_name, baseline = load_metrics(args.baseline)
+    cur_name, current = load_metrics(args.current)
+    if base_name != cur_name:
+        print(f"WARNING: comparing report '{cur_name}' against baseline '{base_name}'")
+    rows, regressions = compare(baseline, current, args.tolerance, args.latency_slack)
+
+    diff = {
+        "bench": cur_name,
+        "tolerance": args.tolerance,
+        "regressed": bool(regressions),
+        "comparisons": rows,
+    }
+    if args.diff_out:
+        with open(args.diff_out, "w", encoding="utf-8") as fh:
+            json.dump(diff, fh, indent=2)
+            fh.write("\n")
+
+    gated = [r for r in rows if r["direction"] != "info"]
+    print(f"bench '{cur_name}': {len(gated)} gated metrics, "
+          f"{len(rows) - len(gated)} informational, tolerance {args.tolerance:.0%}")
+    for row in rows:
+        if row["status"] in ("regressed", "missing"):
+            print(f"  REGRESSED  {row['metric']}: baseline={row['baseline']} "
+                  f"current={row['current']} ({row.get('reason', row['status'])})")
+    if regressions:
+        print(f"FAIL: {len(regressions)} metric(s) regressed beyond {args.tolerance:.0%}")
+        return 1
+    print("OK: no gated metric regressed")
+    return 0
+
+
+def self_test():
+    """Proves the checker fails on a synthetic regression and passes on
+    identical reports (run by CI so the gate is demonstrably live)."""
+    baseline = {
+        "sample:workload:items_per_second": 1000.0,
+        "counter:sessions_per_sec_8": 500.0,
+        "counter:p99_query_seconds_8": 0.010,
+        "counter:cache_coherent": 1.0,
+        "counter:cache_hits": 77.0,
+    }
+
+    rows, regressions = compare(baseline, dict(baseline), 0.25)
+    assert not regressions, f"identical reports must pass: {regressions}"
+
+    slower = dict(baseline)
+    slower["counter:sessions_per_sec_8"] = 500.0 * 0.5  # -50% throughput
+    rows, regressions = compare(baseline, slower, 0.25)
+    assert any(r["metric"] == "counter:sessions_per_sec_8" for r in regressions), rows
+
+    latent = dict(baseline)
+    latent["counter:p99_query_seconds_8"] = 0.010 * 2.0  # 2x p99, +10ms absolute
+    rows, regressions = compare(baseline, latent, 0.25)
+    assert any(r["metric"] == "counter:p99_query_seconds_8" for r in regressions), rows
+
+    tiny = dict(baseline)
+    tiny["counter:p50_query_seconds_1"] = 5e-6  # 10x relatively, but within slack
+    tiny_base = dict(baseline)
+    tiny_base["counter:p50_query_seconds_1"] = 5e-7
+    rows, regressions = compare(tiny_base, tiny, 0.25)
+    assert not regressions, f"sub-slack latency noise must not gate: {regressions}"
+
+    broken = dict(baseline)
+    broken["counter:cache_coherent"] = 0.0  # hard gate flip
+    rows, regressions = compare(baseline, broken, 0.25)
+    assert any(r["metric"] == "counter:cache_coherent" for r in regressions), rows
+
+    noisy = dict(baseline)
+    noisy["counter:cache_hits"] = 5.0  # informational: must NOT gate
+    rows, regressions = compare(baseline, noisy, 0.25)
+    assert not regressions, f"informational counters must not gate: {regressions}"
+
+    within = dict(baseline)
+    within["counter:sessions_per_sec_8"] = 500.0 * 0.80  # -20% < 25% tolerance
+    rows, regressions = compare(baseline, within, 0.25)
+    assert not regressions, f"within-tolerance drift must pass: {regressions}"
+
+    print("self-test OK: regressions fail, identical/within-tolerance pass")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", help="committed BENCH_<name>.json to compare against")
+    parser.add_argument("--current", help="freshly produced BENCH_<name>.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative regression (default 0.25 = 25%%)")
+    parser.add_argument("--latency-slack", type=float, default=0.001,
+                        help="absolute slack in seconds for lower-is-better "
+                             "latency metrics (default 0.001)")
+    parser.add_argument("--diff-out", help="write the full comparison JSON here")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in synthetic-regression self-test")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("--baseline and --current are required (or use --self-test)")
+    return run_check(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
