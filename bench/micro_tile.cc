@@ -1,0 +1,280 @@
+// Tile-pyramid microbenchmark (EXPERIMENTS.md Q11): the O(pixels) claim of
+// the LOD render path. The custom main writes bench_out/BENCH_tile.json with
+// pan+zoom frame times over a 10k-offer and a 10M-offer pyramid (same
+// extent, same tile geometry, same frame script — only the data volume
+// differs) plus the tile-cache counters behind them. Two hard gates fail the
+// binary:
+//
+//   frame_time_flat  the median pan+zoom frame time over the large
+//                    population stays within FLEXVIS_TILE_FLAT_TOLERANCE
+//                    (default 1.5x) of the small population — frame cost
+//                    scales with pixels, not with offers;
+//   deterministic    the pyramid build serializes byte-identically at 1 and
+//                    8 worker threads, and tiles rendered from the large
+//                    pyramid are byte-identical at 1 and 8 threads.
+//
+// Population sizes scale with FLEXVIS_BENCH_TILE_SMALL / _LARGE for quick
+// local runs; the committed baseline was produced with the defaults.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "dw/lod.h"
+#include "render/tile.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "viz/lod_view.h"
+
+using namespace flexvis;
+
+namespace {
+
+// One year of 15-minute slices: a pyramid deep enough that the zoom script
+// crosses many levels.
+timeutil::TimeInterval TileExtent() {
+  return timeutil::TimeInterval(bench::BenchDay(),
+                                bench::BenchDay() + 365 * timeutil::kMinutesPerDay);
+}
+
+/// Appends `count` cheap offers (1-3 profile entries, no schedules) spread
+/// uniformly over the extent. Batched generation keeps peak memory at one
+/// batch regardless of the population size.
+void AppendOffers(Rng& rng, size_t count, std::vector<core::FlexOffer>* batch) {
+  const timeutil::TimeInterval extent = TileExtent();
+  const int64_t slices = extent.duration_minutes() / timeutil::kMinutesPerSlice;
+  batch->clear();
+  batch->reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    core::FlexOffer o;
+    o.id = static_cast<core::FlexOfferId>(i + 1);
+    o.earliest_start =
+        extent.start + rng.UniformInt(0, slices - 8) * timeutil::kMinutesPerSlice;
+    o.latest_start =
+        o.earliest_start + rng.UniformInt(0, 4) * timeutil::kMinutesPerSlice;
+    const int entries = static_cast<int>(rng.UniformInt(1, 3));
+    for (int e = 0; e < entries; ++e) {
+      const double min = rng.Uniform(0.0, 2.0);
+      o.profile.push_back(core::ProfileSlice{1, min, min + rng.Uniform(0.0, 2.0)});
+    }
+    batch->push_back(std::move(o));
+  }
+}
+
+dw::LodPyramid BuildPyramid(uint64_t seed, size_t population) {
+  dw::LodBuilder builder(TileExtent());
+  Rng rng(seed);
+  std::vector<core::FlexOffer> batch;
+  constexpr size_t kBatch = 65536;
+  for (size_t done = 0; done < population; done += kBatch) {
+    AppendOffers(rng, std::min(kBatch, population - done), &batch);
+    builder.Add(batch);
+  }
+  return builder.Finish();
+}
+
+render::TileConfig FrameConfig() {
+  render::TileConfig config;
+  config.buckets_per_tile = 64;
+  config.px_per_bucket = 4;
+  config.height_px = 96;
+  config.max_tiles = 256;
+  return config;
+}
+
+/// The deterministic pan+zoom script: walk a ladder of LOD levels coarse to
+/// fine (adjacent steps, so zooming borrows placeholders from the cached
+/// coarser level), panning a 1024 px viewport across the strip in half-tile
+/// steps at each. Every frame composes the visible buckets and drains up to
+/// two background fills — the shape of a real GUI frame.
+std::vector<double> RunFrameScript(const dw::LodPyramid& pyramid,
+                                   render::TileStats* stats_out) {
+  const render::TileConfig config = FrameConfig();
+  viz::LodStripPainter painter(&pyramid, viz::LodStripPainter::Kind::kDensity);
+  render::TiledStrip strip(config);
+  strip.SetGeneration(&painter, 1);
+
+  const int64_t view_buckets = 1024 / config.px_per_bucket;
+  render::RasterCanvas target(static_cast<int>(view_buckets) * config.px_per_bucket,
+                              config.height_px);
+  std::vector<double> seconds;
+  for (int level : {10, 9, 8, 7, 6, 5, 4}) {
+    if (level >= pyramid.num_levels()) continue;
+    const int64_t level_buckets =
+        static_cast<int64_t>(pyramid.level(level).buckets.size());
+    int64_t begin = 0;
+    for (int pan = 0; pan < 24; ++pan) {
+      const auto start = std::chrono::steady_clock::now();
+      strip.Compose(target, 0, 0, level, begin, begin + view_buckets);
+      strip.FillPending(2);
+      const auto end = std::chrono::steady_clock::now();
+      seconds.push_back(std::chrono::duration<double>(end - start).count());
+      begin += config.buckets_per_tile / 2;
+      if (begin + view_buckets > level_buckets) begin = 0;
+    }
+  }
+  if (stats_out != nullptr) *stats_out = strip.stats();
+  return seconds;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t index = std::min(
+      values.size() - 1, static_cast<size_t>(p * static_cast<double>(values.size())));
+  return values[index];
+}
+
+double EnvTolerance(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return (end != value && parsed > 0.0) ? parsed : fallback;
+}
+
+// ---- google-benchmark timing (not run by the CI smoke filter) ---------------
+
+void BM_TileComposeWarm(benchmark::State& state) {
+  const dw::LodPyramid pyramid = BuildPyramid(1, 20000);
+  const render::TileConfig config = FrameConfig();
+  viz::LodStripPainter painter(&pyramid, viz::LodStripPainter::Kind::kDensity);
+  render::TiledStrip strip(config);
+  strip.SetGeneration(&painter, 1);
+  const int64_t view_buckets = 1024 / config.px_per_bucket;
+  render::RasterCanvas target(1024, config.height_px);
+  strip.Compose(target, 0, 0, 4, 0, view_buckets);  // warm the cache
+  for (auto _ : state) {
+    strip.Compose(target, 0, 0, 4, 0, view_buckets);
+    benchmark::DoNotOptimize(target);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TileComposeWarm);
+
+// ---- The JSON report the CI gate archives -----------------------------------
+
+bool WriteTileReport() {
+  bench::BenchReport report("tile");
+  bool ok = true;
+
+  const size_t small_population = bench::EnvSize("FLEXVIS_BENCH_TILE_SMALL", 10'000);
+  const size_t large_population =
+      bench::EnvSize("FLEXVIS_BENCH_TILE_LARGE", 10'000'000);
+  const double flat_tolerance = EnvTolerance("FLEXVIS_TILE_FLAT_TOLERANCE", 1.5);
+
+  // ---- Hard gate: the pyramid build is thread-count deterministic ---------
+  bool deterministic = true;
+  {
+    SetParallelThreadCount(1);
+    const std::string serial = BuildPyramid(7, small_population).Serialize();
+    SetParallelThreadCount(8);
+    const std::string threaded = BuildPyramid(7, small_population).Serialize();
+    SetParallelThreadCount(1);
+    if (serial != threaded) {
+      std::fprintf(stderr, "FAIL: pyramid build differs at 1 vs 8 threads\n");
+      deterministic = false;
+    }
+    report.SetCounter("pyramid_deterministic", serial == threaded ? 1.0 : 0.0);
+  }
+
+  // ---- Frame times: same script, 10k vs 10M offers ------------------------
+  const double small_build_s =
+      bench::MeasureSeconds([&] { BuildPyramid(7, small_population); }, 1);
+  const dw::LodPyramid small_pyramid = BuildPyramid(7, small_population);
+  const double large_build_s =
+      bench::MeasureSeconds([&] { BuildPyramid(7, large_population); }, 1);
+  const dw::LodPyramid large_pyramid = BuildPyramid(7, large_population);
+  report.SetCounter("build_seconds_small", small_build_s);
+  report.SetCounter("build_seconds_large", large_build_s);
+
+  render::TileStats small_stats;
+  render::TileStats large_stats;
+  const std::vector<double> small_frames = RunFrameScript(small_pyramid, &small_stats);
+  const std::vector<double> large_frames = RunFrameScript(large_pyramid, &large_stats);
+
+  double small_total = 0.0;
+  for (double s : small_frames) small_total += s;
+  double large_total = 0.0;
+  for (double s : large_frames) large_total += s;
+  report.AddSample("tile_frames_small", small_total, 1,
+                   static_cast<double>(small_frames.size()));
+  report.AddSample("tile_frames_large", large_total, 1,
+                   static_cast<double>(large_frames.size()));
+
+  const double small_p50 = Percentile(small_frames, 0.50);
+  const double large_p50 = Percentile(large_frames, 0.50);
+  report.SetCounter("frame_p50_seconds_small", small_p50);
+  report.SetCounter("frame_p99_seconds_small", Percentile(small_frames, 0.99));
+  report.SetCounter("frame_p50_seconds_large", large_p50);
+  report.SetCounter("frame_p99_seconds_large", Percentile(large_frames, 0.99));
+  report.SetCounter("offers_small", static_cast<double>(small_pyramid.num_offers()));
+  report.SetCounter("offers_large", static_cast<double>(large_pyramid.num_offers()));
+  report.SetCounter("tile_hits", static_cast<double>(large_stats.hits));
+  report.SetCounter("tile_misses", static_cast<double>(large_stats.misses));
+  report.SetCounter("tile_evictions", static_cast<double>(large_stats.evictions));
+  report.SetCounter("tile_placeholder_serves",
+                    static_cast<double>(large_stats.placeholder_serves));
+  report.SetCounter("tile_background_fills",
+                    static_cast<double>(large_stats.background_fills));
+
+  const double ratio = small_p50 > 0.0 ? large_p50 / small_p50 : 0.0;
+  report.SetCounter("frame_flat_ratio", ratio);
+  report.SetCounter("frame_flat_tolerance", flat_tolerance);
+  const bool flat = small_p50 > 0.0 && ratio <= flat_tolerance;
+  report.SetCounter("frame_time_flat", flat ? 1.0 : 0.0);
+  if (!flat) {
+    std::fprintf(stderr,
+                 "FAIL: median frame time grew %.2fx from %zu to %zu offers "
+                 "(tolerance %.2fx)\n",
+                 ratio, small_population, large_population, flat_tolerance);
+    ok = false;
+  }
+
+  // ---- Hard gate: tiles of the large pyramid are thread-count exact -------
+  {
+    viz::LodStripPainter painter(&large_pyramid, viz::LodStripPainter::Kind::kEnvelope);
+    render::TiledStrip strip(FrameConfig());
+    strip.SetGeneration(&painter, 1);
+    for (auto [level, index] : std::vector<std::pair<int, int64_t>>{
+             {0, 0}, {0, 37}, {4, 3}, {8, 1}}) {
+      if (level >= large_pyramid.num_levels()) continue;
+      SetParallelThreadCount(1);
+      const render::TileRaster serial = strip.RenderTile(level, index);
+      SetParallelThreadCount(8);
+      const render::TileRaster threaded = strip.RenderTile(level, index);
+      SetParallelThreadCount(1);
+      if (serial.rgb != threaded.rgb) {
+        std::fprintf(stderr, "FAIL: tile %d/%lld differs at 1 vs 8 threads\n", level,
+                     static_cast<long long>(index));
+        deterministic = false;
+      }
+    }
+  }
+  report.SetCounter("deterministic", deterministic ? 1.0 : 0.0);
+  ok = ok && deterministic;
+
+  if (Status status = report.Write(); !status.ok()) {
+    std::fprintf(stderr, "report failed: %s\n", status.ToString().c_str());
+    return false;
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!WriteTileReport()) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "dw/database.h"
+#include "dw/lod.h"
 #include "util/status.h"
 
 namespace flexvis::dw {
@@ -27,6 +28,10 @@ namespace flexvis::dw {
 /// Name of the checksum manifest SaveDatabase stamps last.
 inline constexpr const char* kSnapshotManifest = "MANIFEST.json";
 
+/// Name of the serialized LOD pyramid persisted inside every snapshot (the
+/// deterministic binary payload of `LodPyramid::Serialize`).
+inline constexpr const char* kLodFile = "lod.bin";
+
 /// Writes `db` under `directory` (created if absent). Existing files are
 /// overwritten; each write is atomic and the manifest is refreshed last.
 Status SaveDatabase(const Database& db, const std::string& directory);
@@ -38,6 +43,13 @@ Status SaveDatabase(const Database& db, const std::string& directory);
 /// check (partial or corrupt snapshot); InvalidArgument on malformed or
 /// duplicate offer records (the message names the offending id and line).
 Result<Database> LoadDatabase(const std::string& directory);
+
+/// Recovers the LOD pyramid of the snapshot under `directory`. Parses the
+/// persisted `lod.bin` when the committed manifest covers one; for snapshots
+/// predating the LOD pyramid (or an unparsable payload) it rebuilds from
+/// `db` — build and parse yield byte-identical pyramids for the same offer
+/// set, so callers cannot observe which path ran.
+Result<LodPyramid> LoadLodPyramid(const std::string& directory, const Database& db);
 
 // ---- Sharded persistence ----------------------------------------------------
 //

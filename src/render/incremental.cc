@@ -7,6 +7,59 @@
 
 namespace flexvis::render {
 
+namespace {
+
+/// Touching counts as mergeable: two tile rects sharing an edge coalesce
+/// into one repaint.
+bool TouchesOrIntersects(const Rect& a, const Rect& b) {
+  return a.x <= b.right() && b.x <= a.right() && a.y <= b.bottom() && b.y <= a.bottom();
+}
+
+Rect Union(const Rect& a, const Rect& b) {
+  const double x0 = std::min(a.x, b.x);
+  const double y0 = std::min(a.y, b.y);
+  const double x1 = std::max(a.right(), b.right());
+  const double y1 = std::max(a.bottom(), b.bottom());
+  return Rect{x0, y0, x1 - x0, y1 - y0};
+}
+
+}  // namespace
+
+void DirtyRegions::Mark(const Rect& rect) {
+  if (rect.empty()) return;
+  Rect merged = rect;
+  // Absorb every rect the new one touches, then re-scan: the union may now
+  // touch rects it did not before. Terminates because each pass removes at
+  // least one rect.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto it = rects_.begin(); it != rects_.end();) {
+      if (TouchesOrIntersects(*it, merged)) {
+        merged = Union(*it, merged);
+        it = rects_.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  rects_.push_back(merged);
+}
+
+bool DirtyRegions::Intersects(const Rect& rect) const {
+  for (const Rect& r : rects_) {
+    if (r.Intersects(rect)) return true;
+  }
+  return false;
+}
+
+double DirtyRegions::Area() const {
+  double area = 0.0;
+  for (const Rect& r : rects_) area += r.width * r.height;
+  return area;
+}
+
 IncrementalRenderer::IncrementalRenderer(const DisplayList* list, Canvas* target)
     : list_(list), target_(target), raster_target_(dynamic_cast<RasterCanvas*>(target)) {}
 

@@ -2,12 +2,34 @@
 #define FLEXVIS_RENDER_INCREMENTAL_H_
 
 #include <cstddef>
+#include <vector>
 
 #include "render/display_list.h"
 
 namespace flexvis::render {
 
 class RasterCanvas;
+
+/// Accumulates the screen rectangles a frame actually changed — the tile
+/// layer marks every freshly filled or placeholder-refreshed tile rect here
+/// (TiledStrip::Compose's `dirty` argument) — so a presenter repaints only
+/// those regions instead of the whole surface. Overlapping or touching
+/// rects merge into their bounding box, keeping the list small.
+class DirtyRegions {
+ public:
+  void Mark(const Rect& rect);
+  void Clear() { rects_.clear(); }
+  bool empty() const { return rects_.empty(); }
+  const std::vector<Rect>& rects() const { return rects_; }
+  /// True iff `rect` intersects any dirty rect (should it repaint?).
+  bool Intersects(const Rect& rect) const;
+  /// Total area of the (disjoint after merging, hence non-double-counted)
+  /// dirty rects, in pixels.
+  double Area() const;
+
+ private:
+  std::vector<Rect> rects_;
+};
 
 /// Budgeted, resumable replay of a DisplayList ("the incremental rendering
 /// of flex-offers, which allows executing actions when a flex-offer

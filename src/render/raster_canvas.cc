@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "render/display_list.h"
 #include "render/font5x7.h"
@@ -315,6 +316,50 @@ size_t RasterCanvas::CountPixels(const Color& color) const {
     if (d[i] == color.r && d[i + 1] == color.g && d[i + 2] == color.b) ++count;
   }
   return count;
+}
+
+void RasterCanvas::Blit(const RasterCanvas& src, int sx, int sy, int w, int h, int dx,
+                        int dy) {
+  BlitRaw(src.Data(), src.width_, sx, sy, w, h, dx, dy);
+}
+
+void RasterCanvas::BlitRaw(const uint8_t* src, int src_width, int sx, int sy, int w,
+                           int h, int dx, int dy) {
+  // Shrink the block until both the source window and the clipped
+  // destination window are in bounds; the two windows shift together.
+  if (sx < 0) {
+    w += sx;
+    dx -= sx;
+    sx = 0;
+  }
+  if (sy < 0) {
+    h += sy;
+    dy -= sy;
+    sy = 0;
+  }
+  w = std::min(w, src_width - sx);
+  const ClipRect clip = ActiveClip();
+  if (dx < clip.x0) {
+    const int cut = clip.x0 - dx;
+    w -= cut;
+    sx += cut;
+    dx = clip.x0;
+  }
+  if (dy < clip.y0) {
+    const int cut = clip.y0 - dy;
+    h -= cut;
+    sy += cut;
+    dy = clip.y0;
+  }
+  w = std::min(w, clip.x1 - dx);
+  h = std::min(h, clip.y1 - dy);
+  if (w <= 0 || h <= 0) return;
+  uint8_t* d = Data();
+  for (int row = 0; row < h; ++row) {
+    std::memcpy(d + (static_cast<size_t>(dy + row) * width_ + dx) * 3,
+                src + (static_cast<size_t>(sy + row) * src_width + sx) * 3,
+                static_cast<size_t>(w) * 3);
+  }
 }
 
 std::string RasterCanvas::ToPpm() const {

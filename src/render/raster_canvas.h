@@ -53,6 +53,21 @@ class RasterCanvas : public Canvas {
   /// Number of pixels exactly equal to `color` (testing aid).
   size_t CountPixels(const Color& color) const;
 
+  /// Raw RGB8 framebuffer, row-major (pixel_width * pixel_height * 3 bytes);
+  /// a band view exposes its parent's. Read-only seam for tile blits and
+  /// byte-level comparisons.
+  const uint8_t* raw_data() const { return Data(); }
+
+  /// Copies the `w` x `h` pixel block at (sx, sy) of `src` into this canvas
+  /// at (dx, dy). Raw opaque copy (no blending), clipped to both surfaces
+  /// and the active clip. `src` must not be this canvas.
+  void Blit(const RasterCanvas& src, int sx, int sy, int w, int h, int dx, int dy);
+
+  /// Copies a `w` x `h` block out of a bare RGB8 buffer of row stride
+  /// `src_width` pixels (the TileRaster layout), same clipping as Blit.
+  void BlitRaw(const uint8_t* src, int src_width, int sx, int sy, int w, int h,
+               int dx, int dy);
+
   /// Serializes as binary PPM (P6).
   std::string ToPpm() const;
 

@@ -1,0 +1,208 @@
+#include "render/tile.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "render/display_list.h"
+#include "render/incremental.h"
+
+namespace flexvis::render {
+
+TiledStrip::TiledStrip(TileConfig config) : config_(config) {}
+
+void TiledStrip::SetGeneration(const StripPainter* painter, int64_t generation) {
+  painter_ = painter;
+  generation_ = generation;
+  InvalidateBefore(generation);
+}
+
+TileRaster TiledStrip::RenderTile(int level, int64_t index) const {
+  TileRaster raster;
+  raster.width_px = config_.tile_width_px();
+  raster.height_px = config_.height_px;
+  DisplayList scene(raster.width_px, raster.height_px);
+  if (painter_ != nullptr) {
+    painter_->PaintBuckets(scene, level, index * config_.buckets_per_tile,
+                           config_.buckets_per_tile, config_.px_per_bucket,
+                           config_.height_px);
+  }
+  // Rasterize through the budgeted incremental path — the same replay a GUI
+  // frame loop uses, tile-parallel when workers are available and
+  // byte-identical either way.
+  RasterCanvas canvas(raster.width_px, raster.height_px);
+  IncrementalRenderer renderer(&scene, &canvas);
+  const size_t budget = config_.replay_budget > 0 ? config_.replay_budget : scene.size();
+  while (!renderer.done()) {
+    if (renderer.Step(budget) == 0) break;
+  }
+  const uint8_t* data = canvas.raw_data();
+  raster.rgb.assign(data, data + static_cast<size_t>(raster.width_px) *
+                              static_cast<size_t>(raster.height_px) * 3);
+  return raster;
+}
+
+TileRaster TiledStrip::UpscaleFromCoarser(int level, int64_t index) {
+  if (index < 0) return TileRaster();
+  const TileKey coarse_key{generation_, level + 1, index / 2};
+  auto it = index_.find(coarse_key);
+  if (it == index_.end() || it->second->raster.placeholder) return TileRaster();
+  const TileRaster& coarse = it->second->raster;
+  TileRaster out;
+  out.width_px = config_.tile_width_px();
+  out.height_px = config_.height_px;
+  out.placeholder = true;
+  out.rgb.resize(static_cast<size_t>(out.width_px) * out.height_px * 3);
+  // This tile's buckets are the left (even index) or right (odd) half of
+  // the coarser tile, each coarse bucket spanning two of ours: a 2x
+  // horizontal nearest-neighbor upscale of that half.
+  const int half_offset =
+      index % 2 != 0 ? (config_.buckets_per_tile / 2) * config_.px_per_bucket : 0;
+  for (int y = 0; y < out.height_px; ++y) {
+    const size_t src_row = static_cast<size_t>(y) * coarse.width_px;
+    const size_t dst_row = static_cast<size_t>(y) * out.width_px;
+    for (int x = 0; x < out.width_px; ++x) {
+      const size_t src = (src_row + static_cast<size_t>(half_offset + x / 2)) * 3;
+      const size_t dst = (dst_row + static_cast<size_t>(x)) * 3;
+      out.rgb[dst] = coarse.rgb[src];
+      out.rgb[dst + 1] = coarse.rgb[src + 1];
+      out.rgb[dst + 2] = coarse.rgb[src + 2];
+    }
+  }
+  return out;
+}
+
+void TiledStrip::Compose(RasterCanvas& target, int dest_x, int dest_y, int level,
+                         int64_t bucket_begin, int64_t bucket_end, bool allow_placeholder,
+                         std::vector<Rect>* dirty) {
+  if (bucket_end <= bucket_begin || painter_ == nullptr) return;
+  const int64_t tiles_per = config_.buckets_per_tile;
+  const int64_t first_tile = bucket_begin >= 0 ? bucket_begin / tiles_per
+                                               : (bucket_begin - tiles_per + 1) / tiles_per;
+  const int64_t last_tile = (bucket_end - 1) >= 0
+                                ? (bucket_end - 1) / tiles_per
+                                : (bucket_end - 1 - tiles_per + 1) / tiles_per;
+  for (int64_t t = first_tile; t <= last_tile; ++t) {
+    const TileKey key{generation_, level, t};
+    TileRaster* raster = Lookup(key);
+    bool fresh = false;
+    if (raster == nullptr) {
+      TileRaster built;
+      if (allow_placeholder) built = UpscaleFromCoarser(level, t);
+      if (built.empty()) {
+        built = RenderTile(level, t);
+        ++synchronous_fills_;
+      } else {
+        pending_.insert(key);
+      }
+      Insert(key, std::move(built));
+      raster = Lookup(key);
+      fresh = true;
+    }
+    if (raster->placeholder) ++placeholder_serves_;
+    const int64_t tile_first_bucket = t * tiles_per;
+    const int64_t ov_begin = std::max(bucket_begin, tile_first_bucket);
+    const int64_t ov_end = std::min(bucket_end, tile_first_bucket + tiles_per);
+    if (ov_end <= ov_begin) continue;
+    const int sx = static_cast<int>(ov_begin - tile_first_bucket) * config_.px_per_bucket;
+    const int w = static_cast<int>(ov_end - ov_begin) * config_.px_per_bucket;
+    const int dx = dest_x + static_cast<int>(ov_begin - bucket_begin) * config_.px_per_bucket;
+    target.BlitRaw(raster->rgb.data(), raster->width_px, sx, 0, w, config_.height_px, dx,
+                   dest_y);
+    if (dirty != nullptr && (fresh || raster->placeholder)) {
+      dirty->push_back(Rect{static_cast<double>(dx), static_cast<double>(dest_y),
+                            static_cast<double>(w), static_cast<double>(config_.height_px)});
+    }
+  }
+}
+
+size_t TiledStrip::FillPending(size_t max_tiles) {
+  size_t filled = 0;
+  while (filled < max_tiles && !pending_.empty()) {
+    const TileKey key = *pending_.begin();
+    pending_.erase(pending_.begin());
+    if (key.generation != generation_) continue;  // superseded while queued
+    auto it = index_.find(key);
+    if (it == index_.end()) continue;  // evicted while queued — nobody is waiting
+    TileRaster exact = RenderTile(key.level, key.index);
+    bytes_ -= it->second->raster.bytes();
+    bytes_ += exact.bytes();
+    it->second->raster = std::move(exact);
+    ++background_fills_;
+    ++filled;
+  }
+  return filled;
+}
+
+int64_t TiledStrip::InvalidateBefore(int64_t generation) {
+  int64_t dropped = 0;
+  for (auto it = index_.begin(); it != index_.end() && it->first.generation < generation;) {
+    bytes_ -= it->second->raster.bytes();
+    lru_.erase(it->second);
+    it = index_.erase(it);
+    ++dropped;
+  }
+  invalidated_ += dropped;
+  while (!pending_.empty() && pending_.begin()->generation < generation) {
+    pending_.erase(pending_.begin());
+  }
+  return dropped;
+}
+
+TileStats TiledStrip::stats() const {
+  TileStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.invalidated = invalidated_;
+  stats.placeholder_serves = placeholder_serves_;
+  stats.synchronous_fills = synchronous_fills_;
+  stats.background_fills = background_fills_;
+  stats.entries = index_.size();
+  stats.bytes = bytes_;
+  stats.pending = pending_.size();
+  return stats;
+}
+
+const TileRaster* TiledStrip::Peek(int level, int64_t index) const {
+  auto it = index_.find(TileKey{generation_, level, index});
+  return it == index_.end() ? nullptr : &it->second->raster;
+}
+
+TileRaster* TiledStrip::Lookup(const TileKey& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->raster;
+}
+
+void TiledStrip::Insert(const TileKey& key, TileRaster raster) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= it->second->raster.bytes();
+    bytes_ += raster.bytes();
+    it->second->raster = std::move(raster);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  bytes_ += raster.bytes();
+  lru_.push_front(Node{key, std::move(raster)});
+  index_[key] = lru_.begin();
+  EvictWhileOver();
+}
+
+void TiledStrip::EvictWhileOver() {
+  while (index_.size() > config_.max_tiles && !lru_.empty()) {
+    const Node& victim = lru_.back();
+    bytes_ -= victim.raster.bytes();
+    pending_.erase(victim.key);
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace flexvis::render

@@ -1,0 +1,198 @@
+#ifndef FLEXVIS_RENDER_TILE_H_
+#define FLEXVIS_RENDER_TILE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "render/canvas.h"
+#include "render/raster_canvas.h"
+
+namespace flexvis::render {
+
+/// Fixed-size tile cache for the O(pixels) render path. A *strip* is a
+/// horizontal band of a view that visualizes one LOD level of a bucketed
+/// aggregate (e.g. the LOD pyramid's per-slice density or energy envelope):
+/// bucket b of the level occupies the pixel columns
+/// [b * px_per_bucket, (b + 1) * px_per_bucket) of an infinite world-space
+/// x axis. The strip is cut into fixed-width tiles of `buckets_per_tile`
+/// buckets; a tile is identified by (generation, level, index) where index
+/// counts tiles from bucket 0. Pan reuses every tile still on screen, zoom
+/// switches `level` and seeds missing tiles from cached coarser neighbors,
+/// and a publish strictly invalidates all tiles of superseded generations —
+/// the same coherence discipline as serve::ResultCache, transplanted to
+/// pixels.
+
+/// Identity of one cached tile. Generations order first so invalidation and
+/// the deterministic background-fill order walk superseded entries first.
+struct TileKey {
+  int64_t generation = -1;
+  int level = 0;
+  int64_t index = 0;
+
+  friend bool operator<(const TileKey& a, const TileKey& b) {
+    if (a.generation != b.generation) return a.generation < b.generation;
+    if (a.level != b.level) return a.level < b.level;
+    return a.index < b.index;
+  }
+  friend bool operator==(const TileKey& a, const TileKey& b) {
+    return a.generation == b.generation && a.level == b.level && a.index == b.index;
+  }
+};
+
+/// One rasterized tile: an RGB8 pixel block of the strip's fixed tile
+/// geometry. `placeholder` marks an approximate raster (upscaled from a
+/// coarser neighbor) that background fill will overwrite with the exact
+/// render.
+struct TileRaster {
+  int width_px = 0;
+  int height_px = 0;
+  bool placeholder = false;
+  std::vector<uint8_t> rgb;  // row-major RGB8, width_px * height_px * 3
+
+  bool empty() const { return rgb.empty(); }
+  size_t bytes() const { return rgb.size(); }
+};
+
+/// Counters the tile layer surfaces (tests and the bench gate read these).
+/// `entries`/`bytes`/`pending` are the live footprint; the rest are
+/// monotonically increasing.
+struct TileStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;          // capacity evictions (LRU)
+  int64_t invalidated = 0;        // entries dropped by generation advance
+  int64_t placeholder_serves = 0; // composes that used an upscaled stand-in
+  int64_t synchronous_fills = 0;  // cold exact renders on the compose path
+  int64_t background_fills = 0;   // exact renders done by FillPending
+  size_t entries = 0;
+  size_t bytes = 0;
+  size_t pending = 0;
+};
+
+/// Paints the bucket content of one strip. Implementations live above the
+/// render layer (viz wraps the dw LOD pyramid); the contract that makes
+/// tile compose byte-equal a cold strip render is *translation invariance*:
+/// bucket b must be painted only into the pixel columns
+/// [(b - first_bucket) * px_per_bucket, (b - first_bucket + 1) * px_per_bucket)
+/// with geometry depending on the bucket's data alone, never on
+/// `first_bucket` or the canvas size. Integer-aligned fills satisfy this;
+/// cross-bucket strokes do not. Buckets outside the level are simply not
+/// painted (the canvas keeps its white background).
+class StripPainter {
+ public:
+  virtual ~StripPainter() = default;
+
+  /// Paints buckets [first_bucket, first_bucket + num_buckets) of `level`
+  /// into `canvas`, bucket-local as described above.
+  virtual void PaintBuckets(Canvas& canvas, int level, int64_t first_bucket,
+                            int64_t num_buckets, int px_per_bucket,
+                            int height_px) const = 0;
+};
+
+/// Fixed tile geometry and capacity of one strip cache.
+struct TileConfig {
+  int buckets_per_tile = 64;  // must be even (coarser-neighbor upscale halves it)
+  int px_per_bucket = 4;
+  int height_px = 96;
+  size_t max_tiles = 256;
+  /// DisplayList items rasterized per IncrementalRenderer step while filling
+  /// a tile (the budget that keeps a GUI loop responsive mid-fill).
+  size_t replay_budget = 64;
+
+  int tile_width_px() const { return buckets_per_tile * px_per_bucket; }
+};
+
+/// The tile cache plus compose/fill logic of one strip. Not thread-safe —
+/// one strip belongs to one view session (the serving layer shares nothing
+/// mutable across sessions); rasterization inside still uses the worker
+/// pool deterministically via RasterCanvas::ReplayParallel.
+class TiledStrip {
+ public:
+  explicit TiledStrip(TileConfig config);
+  TiledStrip(const TiledStrip&) = delete;
+  TiledStrip& operator=(const TiledStrip&) = delete;
+
+  const TileConfig& config() const { return config_; }
+  int64_t generation() const { return generation_; }
+
+  /// Binds the strip to `painter`'s data as generation `generation` and
+  /// strictly invalidates every cached tile of older generations — the
+  /// publish hook of the tile layer. `painter` must outlive the strip or
+  /// the next SetGeneration call.
+  void SetGeneration(const StripPainter* painter, int64_t generation);
+
+  /// Composes the strip pixels for buckets [bucket_begin, bucket_end) of
+  /// `level` into `target`, with bucket_begin's left edge at pixel
+  /// (dest_x, dest_y). Cached tiles blit; missing tiles fill. When
+  /// `allow_placeholder` is set and the coarser neighbor (level + 1,
+  /// index / 2) is cached exactly, a missing tile serves a 2x horizontal
+  /// upscale of the neighbor's half and queues itself for background fill;
+  /// otherwise it renders exactly (and synchronously) right here. Pixel
+  /// rects freshly drawn into `target` (anything not blitted from an exact
+  /// cached tile) are appended to `dirty` when given, so a frame loop can
+  /// re-present only what changed.
+  void Compose(RasterCanvas& target, int dest_x, int dest_y, int level,
+               int64_t bucket_begin, int64_t bucket_end, bool allow_placeholder = true,
+               std::vector<Rect>* dirty = nullptr);
+
+  /// Renders up to `max_tiles` queued tiles exactly (ascending key order —
+  /// deterministic), replacing their placeholder rasters. Returns the
+  /// number filled. Entries evicted or invalidated since queueing are
+  /// skipped.
+  size_t FillPending(size_t max_tiles);
+
+  bool HasPending() const { return !pending_.empty(); }
+
+  /// Drops every cached tile and pending entry with generation < `generation`.
+  /// Returns the number of cache entries dropped.
+  int64_t InvalidateBefore(int64_t generation);
+
+  TileStats stats() const;
+
+  /// The exact raster of tile `index` of `level`, rendered cold through the
+  /// budgeted incremental replay path (no cache involved). This is both the
+  /// internal fill primitive and the coherence oracle the fuzz test
+  /// byte-compares served tiles against.
+  TileRaster RenderTile(int level, int64_t index) const;
+
+  /// Cached raster for (generation(), level, index) without touching LRU
+  /// order or counters; nullptr when absent (testing aid).
+  const TileRaster* Peek(int level, int64_t index) const;
+
+ private:
+  struct Node {
+    TileKey key;
+    TileRaster raster;
+  };
+
+  /// Cached raster for `key`, LRU-refreshed; nullptr on miss.
+  TileRaster* Lookup(const TileKey& key);
+  void Insert(const TileKey& key, TileRaster raster);
+  void EvictWhileOver();
+  /// Upscaled placeholder from the exact coarser neighbor; empty raster if
+  /// the neighbor is absent or itself a placeholder.
+  TileRaster UpscaleFromCoarser(int level, int64_t index);
+
+  const TileConfig config_;
+  const StripPainter* painter_ = nullptr;
+  int64_t generation_ = -1;
+
+  std::list<Node> lru_;  // front = most recently used
+  std::map<TileKey, std::list<Node>::iterator> index_;
+  std::set<TileKey> pending_;
+  size_t bytes_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+  int64_t invalidated_ = 0;
+  int64_t placeholder_serves_ = 0;
+  int64_t synchronous_fills_ = 0;
+  int64_t background_fills_ = 0;
+};
+
+}  // namespace flexvis::render
+
+#endif  // FLEXVIS_RENDER_TILE_H_

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dw/database.h"
+#include "dw/lod.h"
 #include "olap/cube.h"
 #include "util/status.h"
 #include "util/store.h"
@@ -15,14 +16,18 @@
 namespace flexvis::serve {
 
 /// One published warehouse generation: an immutable in-memory snapshot of
-/// the DW plus the OLAP cube built over it. Readers hold it through a
-/// shared_ptr, so the snapshot outlives registry retirement for as long as
-/// any session still references it; the cube shares the database's lifetime
-/// (it holds a raw pointer into it) by living in the same object.
+/// the DW plus the OLAP cube and LOD pyramid built over it. Readers hold it
+/// through a shared_ptr, so the snapshot outlives registry retirement for as
+/// long as any session still references it; the cube shares the database's
+/// lifetime (it holds a raw pointer into it) by living in the same object.
+/// The pyramid is immutable and consistent with `db` by construction, so
+/// tile caches keyed on `generation` can render from it without revalidating
+/// against the offer set.
 struct WarehouseSnapshot {
   int64_t generation = -1;
   std::shared_ptr<const dw::Database> db;
   std::unique_ptr<const olap::Cube> cube;
+  dw::LodPyramid lod;
 };
 
 class GenerationRegistry;

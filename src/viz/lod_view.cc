@@ -1,0 +1,164 @@
+#include "viz/lod_view.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "render/axis.h"
+#include "util/strings.h"
+
+namespace flexvis::viz {
+
+using render::Point;
+using render::Rect;
+using render::Style;
+
+LodStripPainter::LodStripPainter(const dw::LodPyramid* pyramid, Kind kind)
+    : pyramid_(pyramid), kind_(kind) {
+  // Per-level normalization, fixed here so bar heights never depend on the
+  // visible range (the translation invariance the tile cache relies on).
+  max_starts_.assign(static_cast<size_t>(pyramid_->num_levels()), 1);
+  max_kwh_.assign(static_cast<size_t>(pyramid_->num_levels()), 1.0);
+  for (int l = 0; l < pyramid_->num_levels(); ++l) {
+    for (const dw::LodBucket& bucket : pyramid_->level(l).buckets) {
+      max_starts_[static_cast<size_t>(l)] =
+          std::max(max_starts_[static_cast<size_t>(l)], bucket.starts);
+      if (!bucket.empty()) {
+        max_kwh_[static_cast<size_t>(l)] =
+            std::max(max_kwh_[static_cast<size_t>(l)], bucket.max_kwh);
+      }
+    }
+  }
+}
+
+void LodStripPainter::PaintBuckets(render::Canvas& canvas, int level, int64_t first_bucket,
+                                   int64_t num_buckets, int px_per_bucket,
+                                   int height_px) const {
+  PaintInto(canvas, level, first_bucket, num_buckets, px_per_bucket, height_px, 0.0, 0.0);
+}
+
+void LodStripPainter::PaintInto(render::Canvas& canvas, int level, int64_t first_bucket,
+                                int64_t num_buckets, int px_per_bucket, int height_px,
+                                double x0, double y0) const {
+  if (level < 0 || level >= pyramid_->num_levels() || height_px < 2) return;
+  const dw::LodLevel& lvl = pyramid_->level(level);
+  const int64_t level_buckets = static_cast<int64_t>(lvl.buckets.size());
+  for (int64_t i = 0; i < num_buckets; ++i) {
+    const int64_t b = first_bucket + i;
+    if (b < 0 || b >= level_buckets) continue;
+    const dw::LodBucket& bucket = lvl.buckets[static_cast<size_t>(b)];
+    const double x = x0 + static_cast<double>(i * px_per_bucket);
+    const double w = static_cast<double>(px_per_bucket);
+    if (kind_ == Kind::kDensity) {
+      // Integer bar height from integer inputs: byte-stable at every offset.
+      const int64_t bar =
+          bucket.starts * (height_px - 1) / max_starts_[static_cast<size_t>(level)];
+      if (bar <= 0) continue;
+      canvas.DrawRect(Rect{x, y0 + static_cast<double>(height_px - bar),
+                           w, static_cast<double>(bar)},
+                      Style::Fill(render::palette::kAccepted));
+    } else {
+      if (bucket.empty()) continue;
+      const double scale =
+          static_cast<double>(height_px - 2) / max_kwh_[static_cast<size_t>(level)];
+      const auto y_of = [&](double kwh) {
+        return static_cast<double>(height_px - 1 -
+                                   std::llround(std::max(0.0, kwh) * scale));
+      };
+      const double y_max = y_of(bucket.max_kwh);
+      const double y_min = y_of(bucket.min_kwh);
+      // min..max energy-flexibility band (Fig. 9's light fill, aggregated).
+      canvas.DrawRect(Rect{x, y0 + y_max, w, y_min - y_max + 1.0},
+                      Style::Fill(render::palette::kRawOffer));
+      // Mean-of-maxima tick: the aggregate silhouette of the schedules.
+      canvas.DrawRect(Rect{x, y0 + y_of(bucket.mean_max_kwh()), w, 1.0},
+                      Style::Fill(render::palette::kDemand));
+    }
+  }
+}
+
+namespace {
+
+LodViewResult RenderLodView(const dw::LodPyramid& pyramid, const LodViewOptions& options,
+                            LodStripPainter::Kind kind) {
+  LodViewResult result;
+  Frame frame = options.frame;
+  const char* flavor = kind == LodStripPainter::Kind::kDensity ? "Basic" : "Profile";
+  result.window = options.window.empty() ? pyramid.extent() : options.window;
+
+  const Rect plot = frame.PlotRect();
+  if (!pyramid.empty()) {
+    result.level = options.forced_level >= 0 && options.forced_level < pyramid.num_levels()
+                       ? options.forced_level
+                       : pyramid.ChooseLevel(result.window, plot.width,
+                                             options.min_bucket_px);
+    Result<dw::LodBucketRange> range = pyramid.Range(result.level, result.window);
+    if (range.ok()) result.range = *range;
+  }
+  if (frame.title.empty()) {
+    frame.title = StrFormat("%s view (LOD %d) - %lld flex-offers", flavor, result.level,
+                            static_cast<long long>(pyramid.num_offers()));
+  }
+
+  result.scene = std::make_unique<render::DisplayList>(frame.width, frame.height);
+  render::DisplayList& canvas = *result.scene;
+  result.plot = DrawFrame(canvas, frame);
+  if (pyramid.empty() || result.range.empty()) {
+    result.time_scale = render::LinearScale(0, 1, result.plot.x, result.plot.right());
+    return result;
+  }
+
+  // Whole pixels per bucket column (the painter's invariance contract); the
+  // strip is left-aligned in the plot and may not fill it at coarse levels.
+  result.px_per_bucket = std::clamp(
+      static_cast<int>(result.plot.width / static_cast<double>(result.range.size())), 1,
+      64);
+  const int64_t bucket_minutes =
+      pyramid.level(result.level).bucket_slices * timeutil::kMinutesPerSlice;
+  const timeutil::TimeInterval strip_window(
+      pyramid.origin() + result.range.begin * bucket_minutes,
+      pyramid.origin() + result.range.end * bucket_minutes);
+  const double strip_w =
+      static_cast<double>(result.range.size() * result.px_per_bucket);
+  result.time_scale = render::LinearScale(
+      static_cast<double>(strip_window.start.minutes()),
+      static_cast<double>(strip_window.end.minutes()), result.plot.x,
+      result.plot.x + strip_w);
+
+  render::DrawBottomAxis(canvas, result.plot, result.time_scale,
+                         render::MakeTimeTicks(strip_window));
+  render::DrawBottomAxisTitle(canvas, result.plot, "time");
+
+  LodStripPainter painter(&pyramid, kind);
+  canvas.PushClip(result.plot);
+  painter.PaintInto(canvas, result.level, result.range.begin, result.range.size(),
+                    result.px_per_bucket, static_cast<int>(result.plot.height),
+                    result.plot.x, result.plot.y);
+  canvas.PopClip();
+
+  if (options.draw_legend) {
+    std::vector<render::LegendEntry> entries;
+    if (kind == LodStripPainter::Kind::kDensity) {
+      entries.push_back({"offers starting per bucket", render::palette::kAccepted, false});
+    } else {
+      entries.push_back({"min..max energy band", render::palette::kRawOffer, false});
+      entries.push_back({"mean of maxima", render::palette::kDemand, true});
+    }
+    render::DrawLegend(canvas, Point{result.plot.right() - 190, result.plot.y + 6},
+                       entries);
+  }
+  return result;
+}
+
+}  // namespace
+
+LodViewResult RenderBasicLodView(const dw::LodPyramid& pyramid,
+                                 const LodViewOptions& options) {
+  return RenderLodView(pyramid, options, LodStripPainter::Kind::kDensity);
+}
+
+LodViewResult RenderProfileLodView(const dw::LodPyramid& pyramid,
+                                   const LodViewOptions& options) {
+  return RenderLodView(pyramid, options, LodStripPainter::Kind::kEnvelope);
+}
+
+}  // namespace flexvis::viz

@@ -1,0 +1,93 @@
+#ifndef FLEXVIS_VIZ_LOD_VIEW_H_
+#define FLEXVIS_VIZ_LOD_VIEW_H_
+
+#include <memory>
+#include <vector>
+
+#include "dw/lod.h"
+#include "render/display_list.h"
+#include "render/tile.h"
+#include "viz/view_common.h"
+
+namespace flexvis::viz {
+
+/// LOD-backed variants of the basic and profile views: instead of replaying
+/// one draw op per flex-offer, they draw one column per pyramid bucket of
+/// the level matched to the current zoom — O(pixels) whether the warehouse
+/// holds ten offers or ten million. The same painter feeds the tile cache
+/// (render::TiledStrip), so a panning session re-rasterizes only newly
+/// exposed columns.
+
+/// Bridges the dw LOD pyramid to the render tile layer. Bucket-local and
+/// integer-aligned as StripPainter requires, so composing cached tiles is
+/// byte-identical to a cold strip render. kDensity paints per-bucket
+/// earliest-start bars (the basic view's aggregate silhouette); kEnvelope
+/// paints the min..max energy band with a mean-of-maxima tick (the profile
+/// view's aggregate). Normalization is per level and fixed at construction,
+/// never derived from the visible range.
+class LodStripPainter : public render::StripPainter {
+ public:
+  enum class Kind { kDensity, kEnvelope };
+
+  /// `pyramid` must outlive the painter.
+  LodStripPainter(const dw::LodPyramid* pyramid, Kind kind);
+
+  void PaintBuckets(render::Canvas& canvas, int level, int64_t first_bucket,
+                    int64_t num_buckets, int px_per_bucket, int height_px) const override;
+
+  /// Like PaintBuckets with the strip origin at (x0, y0) — the direct
+  /// (tile-less) path the LOD views use. x0/y0 should be whole pixels so
+  /// the rasterized output stays translation-invariant.
+  void PaintInto(render::Canvas& canvas, int level, int64_t first_bucket,
+                 int64_t num_buckets, int px_per_bucket, int height_px, double x0,
+                 double y0) const;
+
+  const dw::LodPyramid* pyramid() const { return pyramid_; }
+  Kind kind() const { return kind_; }
+
+ private:
+  const dw::LodPyramid* pyramid_;
+  Kind kind_;
+  std::vector<int64_t> max_starts_;  // per level
+  std::vector<double> max_kwh_;      // per level
+};
+
+/// Options of the LOD views.
+struct LodViewOptions {
+  Frame frame;
+  /// Visible window; empty = the pyramid's extent.
+  timeutil::TimeInterval window;
+  /// LOD choice: finest level keeping buckets at least this wide on screen.
+  double min_bucket_px = 2.0;
+  /// Pins the pyramid level regardless of zoom (golden figures render the
+  /// same scene at coarse/mid/raw this way); -1 = choose from the window.
+  int forced_level = -1;
+  bool draw_legend = true;
+};
+
+struct LodViewResult {
+  std::unique_ptr<render::DisplayList> scene;
+  /// The pyramid level actually drawn.
+  int level = 0;
+  /// Bucket range of `level` that was drawn.
+  dw::LodBucketRange range;
+  /// Whole pixels per bucket column.
+  int px_per_bucket = 1;
+  render::LinearScale time_scale;
+  render::Rect plot;
+  timeutil::TimeInterval window;
+};
+
+/// Basic view over the pyramid: per-bucket offer-density bars (earliest
+/// starts), the aggregate silhouette of Fig. 8 at any zoom.
+LodViewResult RenderBasicLodView(const dw::LodPyramid& pyramid,
+                                 const LodViewOptions& options);
+
+/// Profile view over the pyramid: per-bucket min..max energy envelope with
+/// the mean-of-maxima tick, the aggregate of Fig. 9's per-offer profiles.
+LodViewResult RenderProfileLodView(const dw::LodPyramid& pyramid,
+                                   const LodViewOptions& options);
+
+}  // namespace flexvis::viz
+
+#endif  // FLEXVIS_VIZ_LOD_VIEW_H_

@@ -41,16 +41,20 @@ struct MapProjection {
 MapViewResult RenderMapView(const std::vector<core::FlexOffer>& offers,
                             const geo::Atlas& atlas, const MapViewOptions& options) {
   MapViewResult result;
+  const bool use_lod = options.lod != nullptr && !options.lod->empty();
+  const int64_t offer_population =
+      use_lod ? options.lod->num_offers() : static_cast<int64_t>(offers.size());
   Frame frame = options.frame;
   if (frame.title.empty()) {
-    frame.title = StrFormat("Map view - %zu flex-offers", offers.size());
+    frame.title = StrFormat("Map view - %lld flex-offers",
+                            static_cast<long long>(offer_population));
   }
   result.scene = std::make_unique<render::DisplayList>(frame.width, frame.height);
   render::DisplayList& canvas = *result.scene;
   Rect plot = DrawFrame(canvas, frame);
 
-  timeutil::TimeInterval window =
-      options.window.empty() ? OffersExtent(offers) : options.window;
+  timeutil::TimeInterval window = options.window;
+  if (window.empty()) window = use_lod ? options.lod->extent() : OffersExtent(offers);
 
   // The displayed regions: the atlas level the caller drills to ("city" =
   // the leaves, "region" = West/East Denmark, ...). Offers are tagged at
@@ -91,15 +95,55 @@ MapViewResult RenderMapView(const std::vector<core::FlexOffer>& offers,
     counts[r.id] = 0;
   }
   const int64_t span = std::max<int64_t>(1, window.duration_minutes());
-  for (const core::FlexOffer& o : offers) {
-    auto roll = rollup.find(o.region);
-    if (roll == rollup.end()) continue;
-    auto it = histograms.find(roll->second);
-    if (it == histograms.end()) continue;
-    ++counts[roll->second];
-    int64_t offset = o.earliest_start - window.start;
-    int64_t b = offset * buckets / span;
-    if (b >= 0 && b < buckets) ++it->second[static_cast<size_t>(b)];
+  if (use_lod) {
+    // Pyramid path: one pass over the LOD buckets of the coarsest level
+    // still finer than a histogram bucket — per-frame work bounded by
+    // regions x buckets, never by offer count.
+    const dw::LodPyramid& pyr = *options.lod;
+    const int64_t hist_minutes = std::max<int64_t>(timeutil::kMinutesPerSlice,
+                                                   span / buckets);
+    int lod_level = 0;
+    while (lod_level + 1 < pyr.num_levels() &&
+           pyr.level(lod_level + 1).bucket_slices * timeutil::kMinutesPerSlice <=
+               hist_minutes) {
+      ++lod_level;
+    }
+    Result<dw::LodBucketRange> range = pyr.Range(lod_level, window);
+    const int64_t bucket_minutes =
+        pyr.level(lod_level).bucket_slices * timeutil::kMinutesPerSlice;
+    const int top = pyr.num_levels() - 1;
+    const int64_t top_buckets = static_cast<int64_t>(pyr.level(top).buckets.size());
+    for (size_t ri = 0; ri < pyr.regions().size(); ++ri) {
+      auto roll = rollup.find(pyr.regions()[ri]);
+      if (roll == rollup.end()) continue;
+      auto it = histograms.find(roll->second);
+      if (it == histograms.end()) continue;
+      // Counts stay population-wide (the raw path ignores the window too).
+      for (int64_t b = 0; b < top_buckets; ++b) {
+        counts[roll->second] += pyr.RegionStarts(top, ri, b);
+      }
+      if (!range.ok()) continue;
+      for (int64_t b = range->begin; b < range->end; ++b) {
+        const int64_t starts = pyr.RegionStarts(lod_level, ri, b);
+        if (starts == 0) continue;
+        const int64_t offset =
+            pyr.origin().minutes() + b * bucket_minutes - window.start.minutes();
+        const int64_t hb = offset * buckets / span;
+        if (hb >= 0 && hb < buckets) it->second[static_cast<size_t>(hb)] += starts;
+      }
+    }
+  }
+  if (!use_lod) {
+    for (const core::FlexOffer& o : offers) {
+      auto roll = rollup.find(o.region);
+      if (roll == rollup.end()) continue;
+      auto it = histograms.find(roll->second);
+      if (it == histograms.end()) continue;
+      ++counts[roll->second];
+      int64_t offset = o.earliest_start - window.start;
+      int64_t b = offset * buckets / span;
+      if (b >= 0 && b < buckets) ++it->second[static_cast<size_t>(b)];
+    }
   }
   int64_t max_count = 1;
   int64_t max_bucket = 1;

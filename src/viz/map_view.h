@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "dw/lod.h"
 #include "geo/atlas.h"
 #include "render/display_list.h"
 #include "viz/view_common.h"
@@ -27,6 +28,12 @@ struct MapViewOptions {
   /// the Spatial-Geographical requirement asks for: "select data for (or
   /// group on) a spatial object, e.g., country, city, or district").
   std::string level = "city";
+  /// When set, histograms and counts come from the pyramid's per-region
+  /// earliest-start aggregates instead of scanning `offers` — O(regions x
+  /// buckets) per frame regardless of offer count. The pyramid must be
+  /// built over the same offer population (the serving layer's snapshot
+  /// pairs them); `offers` may then be empty.
+  const dw::LodPyramid* lod = nullptr;
 };
 
 struct MapViewResult {

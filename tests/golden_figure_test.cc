@@ -29,6 +29,7 @@
 #include "bench/bench_common.h"
 #include "core/aggregation.h"
 #include "core/scheduler.h"
+#include "dw/lod.h"
 #include "olap/mdx.h"
 #include "render/png.h"
 #include "render/raster_canvas.h"
@@ -39,6 +40,7 @@
 #include "viz/basic_view.h"
 #include "viz/dashboard_view.h"
 #include "viz/interaction.h"
+#include "viz/lod_view.h"
 #include "viz/map_view.h"
 #include "viz/pivot_view.h"
 #include "viz/profile_view.h"
@@ -233,6 +235,42 @@ Scene BuildFig11() {
   return std::move(session.tab(*agg_tab)->RenderBasic(viz::BasicViewOptions{}).scene);
 }
 
+// LOD scenes: the basic/profile strips and the map at three zoom levels
+// (coarse = top of the pyramid, mid, raw = level 0). The CRC pins the whole
+// pipeline — parallel pyramid build included, since the goldens are also
+// rendered at 8 threads.
+enum class LodZoom { kCoarse, kMid, kRaw };
+
+Scene BuildLodStrip(bool profile, LodZoom zoom) {
+  std::unique_ptr<bench::World> world = SmallWorld(150, 8.0);
+  Result<dw::LodPyramid> pyramid = dw::BuildLodPyramid(world->db, dw::FlexOfferFilter{});
+  if (!pyramid.ok() || pyramid->empty()) return nullptr;
+  viz::LodViewOptions options;
+  const int top = pyramid->num_levels() - 1;
+  options.forced_level = zoom == LodZoom::kCoarse ? top
+                         : zoom == LodZoom::kMid  ? top / 2
+                                                  : 0;
+  viz::LodViewResult result = profile ? viz::RenderProfileLodView(*pyramid, options)
+                                      : viz::RenderBasicLodView(*pyramid, options);
+  return std::move(result.scene);
+}
+
+Scene BuildLodMap(LodZoom zoom) {
+  std::unique_ptr<bench::World> world = SmallWorld(150, 8.0);
+  Result<dw::LodPyramid> pyramid = dw::BuildLodPyramid(world->db, dw::FlexOfferFilter{});
+  if (!pyramid.ok() || pyramid->empty()) return nullptr;
+  viz::MapViewOptions options;
+  options.lod = &*pyramid;
+  const timeutil::TimeInterval extent = pyramid->extent();
+  if (zoom == LodZoom::kMid) {
+    options.window = timeutil::TimeInterval(
+        extent.start, extent.start + extent.duration_minutes() / 4);
+  } else if (zoom == LodZoom::kRaw) {
+    options.window = timeutil::TimeInterval(extent.start + 6 * 60, extent.start + 8 * 60);
+  }
+  return std::move(viz::RenderMapView({}, world->atlas, options).scene);
+}
+
 uint32_t SceneCrc(const render::DisplayList& scene) {
   render::RasterCanvas canvas(static_cast<int>(scene.width()),
                               static_cast<int>(scene.height()));
@@ -357,6 +395,15 @@ int main(int argc, char** argv) {
       {"fig7_loading", BuildFig7},    {"fig8_basic_view", BuildFig8},
       {"fig9_profile_view", BuildFig9},
       {"fig10_hover", BuildFig10},    {"fig11_aggregation", BuildFig11},
+      {"lod_basic_coarse", [] { return BuildLodStrip(false, LodZoom::kCoarse); }},
+      {"lod_basic_mid", [] { return BuildLodStrip(false, LodZoom::kMid); }},
+      {"lod_basic_raw", [] { return BuildLodStrip(false, LodZoom::kRaw); }},
+      {"lod_profile_coarse", [] { return BuildLodStrip(true, LodZoom::kCoarse); }},
+      {"lod_profile_mid", [] { return BuildLodStrip(true, LodZoom::kMid); }},
+      {"lod_profile_raw", [] { return BuildLodStrip(true, LodZoom::kRaw); }},
+      {"lod_map_coarse", [] { return BuildLodMap(LodZoom::kCoarse); }},
+      {"lod_map_mid", [] { return BuildLodMap(LodZoom::kMid); }},
+      {"lod_map_raw", [] { return BuildLodMap(LodZoom::kRaw); }},
   };
 
   int failures = 0;

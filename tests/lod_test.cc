@@ -1,0 +1,421 @@
+// Oracle property tests of the warehouse LOD pyramid (dw/lod.h): every
+// level's min/max/mean/count must byte-match a brute-force downsample of the
+// raw profiles (doubles compared by bit pattern) at 1 and 8 threads, across
+// ragged tails, empty buckets, batch splits, and the filter-window scan
+// semantics the views rely on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
+#include "dw/lod.h"
+#include "dw/persistence.h"
+#include "geo/atlas.h"
+#include "grid/topology.h"
+#include "sim/workload.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace flexvis {
+namespace {
+
+using dw::LodBucket;
+using dw::LodBucketRange;
+using dw::LodPyramid;
+using timeutil::kMinutesPerSlice;
+using timeutil::TimeInterval;
+using timeutil::TimePoint;
+
+TimePoint T0() { return TimePoint::FromCalendarOrDie(2013, 3, 4, 0, 0); }
+
+class ThreadCountGuard {
+ public:
+  ~ThreadCountGuard() { SetParallelThreadCount(0); }
+};
+
+// Seeded offer population exercising everything the pyramid aggregates:
+// multi-slice profile entries, schedules displacing the placement start,
+// deliberate gaps (empty buckets), and a few regions.
+std::vector<core::FlexOffer> MakeOffers(uint64_t seed, size_t count,
+                                        const std::vector<core::RegionId>& regions) {
+  Rng rng(seed);
+  std::vector<core::FlexOffer> offers;
+  offers.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    core::FlexOffer o;
+    o.id = static_cast<core::FlexOfferId>(i + 1);
+    o.prosumer = static_cast<core::ProsumerId>(i % 50 + 1);
+    if (!regions.empty()) {
+      o.region = regions[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(regions.size()) - 1))];
+    }
+    // Cluster starts with gaps so some unit slices stay empty.
+    const int64_t cluster = rng.UniformInt(0, 3) * 100;
+    o.earliest_start =
+        T0() + (cluster + rng.UniformInt(0, 40)) * kMinutesPerSlice;
+    o.latest_start = o.earliest_start + rng.UniformInt(0, 16) * kMinutesPerSlice;
+    o.creation_time = o.earliest_start - 12 * 60;
+    o.acceptance_deadline = o.creation_time + 60;
+    o.assignment_deadline = o.creation_time + 120;
+    const int entries = static_cast<int>(rng.UniformInt(1, 4));
+    for (int e = 0; e < entries; ++e) {
+      const double min = rng.Uniform(0.0, 2.0);
+      o.profile.push_back(core::ProfileSlice{static_cast<int>(rng.UniformInt(1, 3)), min,
+                                             min + rng.Uniform(0.0, 2.0)});
+    }
+    if (rng.UniformInt(0, 2) == 0) {
+      core::Schedule schedule;
+      const int64_t flex_slices =
+          (o.latest_start - o.earliest_start) / kMinutesPerSlice;
+      schedule.start =
+          o.earliest_start + rng.UniformInt(0, flex_slices) * kMinutesPerSlice;
+      for (const core::ProfileSlice& unit : o.UnitProfile()) {
+        schedule.energy_kwh.push_back(unit.min_energy_kwh);
+      }
+      o.schedule = schedule;
+    }
+    offers.push_back(std::move(o));
+  }
+  return offers;
+}
+
+// The canonical-order brute force the parallel build must byte-match: a
+// plain serial left fold in ascending offer order, then per-level
+// left-to-right child merges.
+LodPyramid BruteForcePyramid(const std::vector<core::FlexOffer>& offers,
+                             const std::vector<core::RegionId>& regions) {
+  TimeInterval extent;
+  for (const core::FlexOffer& o : offers) {
+    extent = extent.empty() ? o.extent() : extent.Span(o.extent());
+  }
+  dw::LodBuilder builder(extent, regions);
+  // One offer per batch is the most hostile split; the builder contract says
+  // any split folds in global order. (The equally naive alternative — fold
+  // into local buckets by hand — would just re-implement LodBucket.)
+  LodPyramid serial;
+  {
+    ThreadCountGuard guard;
+    SetParallelThreadCount(1);
+    for (const core::FlexOffer& o : offers) {
+      builder.Add({o});
+    }
+    serial = builder.Finish();
+  }
+  return serial;
+}
+
+void ExpectPyramidsEqual(const LodPyramid& a, const LodPyramid& b, const char* label) {
+  ASSERT_EQ(a.num_levels(), b.num_levels()) << label;
+  ASSERT_EQ(a.num_slices(), b.num_slices()) << label;
+  ASSERT_EQ(a.num_offers(), b.num_offers()) << label;
+  ASSERT_EQ(a.origin().minutes(), b.origin().minutes()) << label;
+  ASSERT_EQ(a.regions(), b.regions()) << label;
+  for (int l = 0; l < a.num_levels(); ++l) {
+    const dw::LodLevel& la = a.level(l);
+    const dw::LodLevel& lb = b.level(l);
+    ASSERT_EQ(la.buckets.size(), lb.buckets.size()) << label << " level " << l;
+    for (size_t i = 0; i < la.buckets.size(); ++i) {
+      ASSERT_EQ(la.buckets[i], lb.buckets[i])
+          << label << " level " << l << " bucket " << i;
+    }
+    ASSERT_EQ(la.region_starts, lb.region_starts) << label << " level " << l;
+  }
+}
+
+TEST(LodTest, PyramidMatchesBruteForceOracleAtOneAndEightThreads) {
+  const std::vector<core::RegionId> regions = {11, 22, 33};
+  for (uint64_t seed : {7u, 99u, 2013u}) {
+    const std::vector<core::FlexOffer> offers = MakeOffers(seed, 600, regions);
+    const LodPyramid oracle = BruteForcePyramid(offers, regions);
+    ThreadCountGuard guard;
+    for (int threads : {1, 8}) {
+      SetParallelThreadCount(threads);
+      const LodPyramid pyramid = dw::BuildLodPyramid(offers, regions);
+      ExpectPyramidsEqual(pyramid, oracle,
+                          threads == 1 ? "1 thread vs oracle" : "8 threads vs oracle");
+    }
+  }
+}
+
+TEST(LodTest, EveryLevelIsAnExactDownsampleOfLevelZero) {
+  const std::vector<core::FlexOffer> offers = MakeOffers(5, 400, {});
+  const LodPyramid pyramid = dw::BuildLodPyramid(offers);
+  ASSERT_GT(pyramid.num_levels(), 3);
+  // Top level has exactly one bucket covering everything.
+  EXPECT_EQ(pyramid.level(pyramid.num_levels() - 1).buckets.size(), 1u);
+  for (int l = 1; l < pyramid.num_levels(); ++l) {
+    const dw::LodLevel& fine = pyramid.level(l - 1);
+    const dw::LodLevel& coarse = pyramid.level(l);
+    ASSERT_EQ(coarse.buckets.size(), (fine.buckets.size() + 1) / 2) << "level " << l;
+    for (size_t b = 0; b < coarse.buckets.size(); ++b) {
+      LodBucket expected = fine.buckets[2 * b];
+      if (2 * b + 1 < fine.buckets.size()) {
+        expected.MergeChild(fine.buckets[2 * b + 1]);  // ragged tail: lone child
+      }
+      ASSERT_EQ(coarse.buckets[b], expected) << "level " << l << " bucket " << b;
+    }
+  }
+}
+
+TEST(LodTest, BatchSplitsAreByteIdentical) {
+  const std::vector<core::RegionId> regions = {1, 2};
+  const std::vector<core::FlexOffer> offers = MakeOffers(31, 500, regions);
+  TimeInterval extent;
+  for (const core::FlexOffer& o : offers) {
+    extent = extent.empty() ? o.extent() : extent.Span(o.extent());
+  }
+  const LodPyramid one_shot = dw::BuildLodPyramid(offers, regions);
+  for (size_t batch : {1u, 7u, 128u, 499u}) {
+    dw::LodBuilder builder(extent, regions);
+    for (size_t i = 0; i < offers.size(); i += batch) {
+      std::vector<core::FlexOffer> chunk(
+          offers.begin() + static_cast<ptrdiff_t>(i),
+          offers.begin() + static_cast<ptrdiff_t>(std::min(offers.size(), i + batch)));
+      builder.Add(chunk);
+    }
+    const LodPyramid split = builder.Finish();
+    ExpectPyramidsEqual(split, one_shot, "batch split");
+  }
+}
+
+TEST(LodTest, EmptyBucketsAndEmptyPyramid) {
+  // Two offers a long gap apart: everything between stays empty.
+  std::vector<core::FlexOffer> offers = MakeOffers(3, 2, {});
+  offers[0].earliest_start = T0();
+  offers[0].latest_start = T0();
+  offers[0].schedule.reset();
+  offers[1].earliest_start = T0() + 500 * kMinutesPerSlice;
+  offers[1].latest_start = offers[1].earliest_start;
+  offers[1].schedule.reset();
+  const LodPyramid pyramid = dw::BuildLodPyramid(offers);
+  const dw::LodLevel& level0 = pyramid.level(0);
+  size_t empty = 0;
+  for (const LodBucket& b : level0.buckets) {
+    if (b.empty()) {
+      ++empty;
+      EXPECT_EQ(b.starts, 0);
+      EXPECT_EQ(b.sum_min_kwh, 0.0);
+    }
+  }
+  EXPECT_GT(empty, 400u);
+
+  const LodPyramid nothing = dw::BuildLodPyramid({});
+  EXPECT_TRUE(nothing.empty());
+  EXPECT_EQ(nothing.num_levels(), 0);
+  EXPECT_EQ(nothing.num_offers(), 0);
+}
+
+TEST(LodTest, RangeHonorsHalfOpenWindowBoundaries) {
+  const std::vector<core::FlexOffer> offers = MakeOffers(17, 300, {});
+  const LodPyramid pyramid = dw::BuildLodPyramid(offers);
+  const TimePoint origin = pyramid.origin();
+
+  // Empty window = the whole level, at every level.
+  for (int l = 0; l < pyramid.num_levels(); ++l) {
+    Result<LodBucketRange> all = pyramid.Range(l, TimeInterval());
+    ASSERT_TRUE(all.ok());
+    EXPECT_EQ(all->begin, 0);
+    EXPECT_EQ(all->end, static_cast<int64_t>(pyramid.level(l).buckets.size()));
+  }
+
+  // Level 0: a window ending exactly on a slice boundary excludes the slice
+  // starting there; one more minute includes it. A window starting one
+  // minute before a boundary still includes the previous slice.
+  {
+    const TimeInterval exact(origin + 4 * kMinutesPerSlice, origin + 8 * kMinutesPerSlice);
+    Result<LodBucketRange> r = pyramid.Range(0, exact);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->begin, 4);
+    EXPECT_EQ(r->end, 8);
+
+    const TimeInterval plus_one(exact.start, exact.end + 1);
+    r = pyramid.Range(0, plus_one);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->end, 9);
+
+    const TimeInterval minus_one(exact.start - 1, exact.end);
+    r = pyramid.Range(0, minus_one);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->begin, 3);
+
+    const TimeInterval mid_slice(origin + kMinutesPerSlice / 2,
+                                 origin + kMinutesPerSlice / 2 + 1);
+    r = pyramid.Range(0, mid_slice);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->begin, 0);
+    EXPECT_EQ(r->end, 1);
+  }
+
+  // Every level/window combination must agree with brute force: bucket b is
+  // in range iff its slice span overlaps the window.
+  Rng rng(44);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int level = static_cast<int>(rng.UniformInt(0, pyramid.num_levels() - 1));
+    const int64_t a = rng.UniformInt(-30, pyramid.num_slices() + 30) * kMinutesPerSlice +
+                      rng.UniformInt(-1, 1);
+    const int64_t b = a + rng.UniformInt(1, 120 * kMinutesPerSlice);
+    const TimeInterval window(origin + a, origin + b);
+    Result<LodBucketRange> r = pyramid.Range(level, window);
+    ASSERT_TRUE(r.ok());
+    const int64_t bucket_minutes = pyramid.level(level).bucket_slices * kMinutesPerSlice;
+    const int64_t buckets = static_cast<int64_t>(pyramid.level(level).buckets.size());
+    for (int64_t bucket = 0; bucket < buckets; ++bucket) {
+      const TimeInterval span(origin + bucket * bucket_minutes,
+                              origin + (bucket + 1) * bucket_minutes);
+      // The tail bucket of a ragged level still only covers real slices.
+      const TimeInterval clipped(
+          span.start, std::min(span.end, origin + pyramid.num_slices() * kMinutesPerSlice));
+      const bool expected = clipped.Overlaps(window);
+      const bool got = bucket >= r->begin && bucket < r->end;
+      ASSERT_EQ(got, expected) << "trial " << trial << " level " << level << " bucket "
+                               << bucket;
+    }
+  }
+
+  // Windows entirely outside the extent select nothing.
+  Result<LodBucketRange> before =
+      pyramid.Range(0, TimeInterval(origin - 100 * kMinutesPerSlice, origin - 1));
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->empty());
+
+  EXPECT_FALSE(pyramid.Range(pyramid.num_levels(), TimeInterval()).ok());
+  EXPECT_FALSE(pyramid.Range(-1, TimeInterval()).ok());
+}
+
+TEST(LodTest, ChooseLevelPicksFinestLevelKeepingBucketsVisible) {
+  const std::vector<core::FlexOffer> offers = MakeOffers(9, 300, {});
+  const LodPyramid pyramid = dw::BuildLodPyramid(offers);
+  // Plenty of pixels: full detail.
+  EXPECT_EQ(pyramid.ChooseLevel(TimeInterval(), 1e9, 2.0), 0);
+  // One pixel: the coarsest level.
+  EXPECT_EQ(pyramid.ChooseLevel(TimeInterval(), 1.0, 2.0), pyramid.num_levels() - 1);
+  // Monotone in available width.
+  int prev = pyramid.num_levels();
+  for (double width : {50.0, 200.0, 800.0, 3200.0, 128000.0}) {
+    const int level = pyramid.ChooseLevel(TimeInterval(), width, 2.0);
+    EXPECT_LE(level, prev) << width;
+    prev = level;
+    // The chosen level keeps buckets >= 2 px; the next finer would not.
+    const int64_t on_screen =
+        (pyramid.num_slices() + pyramid.level(level).bucket_slices - 1) /
+        pyramid.level(level).bucket_slices;
+    EXPECT_GE(width / static_cast<double>(on_screen), 2.0) << width;
+  }
+}
+
+TEST(LodTest, SerializeParseRoundTripsByteExactly) {
+  const std::vector<core::RegionId> regions = {5, 6, 7};
+  const std::vector<core::FlexOffer> offers = MakeOffers(23, 250, regions);
+  const LodPyramid pyramid = dw::BuildLodPyramid(offers, regions);
+  const std::string bytes = pyramid.Serialize();
+  Result<LodPyramid> parsed = LodPyramid::Parse(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectPyramidsEqual(*parsed, pyramid, "parse round trip");
+  EXPECT_EQ(parsed->Serialize(), bytes);
+
+  // Corruption is a typed kDataLoss, never garbage.
+  EXPECT_EQ(LodPyramid::Parse("FLXWRONG").status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(LodPyramid::Parse(bytes.substr(0, bytes.size() / 2)).status().code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(LodPyramid::Parse(bytes + "x").status().code(), StatusCode::kDataLoss);
+  std::string flipped = bytes;
+  flipped[40] = static_cast<char>(flipped[40] ^ 0x40);  // num_levels goes implausible
+  EXPECT_FALSE(LodPyramid::Parse(flipped).ok());
+}
+
+// ---- Filter equivalence (the satellite fix) --------------------------------
+
+class LodFilterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    atlas_ = geo::Atlas::MakeDenmark();
+    topology_ = grid::GridTopology::MakeRadial(2, 2, 2, 3);
+    ASSERT_TRUE(atlas_.RegisterWithDatabase(db_).ok());
+    ASSERT_TRUE(topology_.RegisterWithDatabase(db_).ok());
+    sim::WorkloadGenerator generator(&atlas_, &topology_);
+    sim::WorkloadParams params;
+    params.seed = 515;
+    params.num_prosumers = 30;
+    params.horizon = TimeInterval(T0(), T0() + timeutil::kMinutesPerDay);
+    sim::Workload workload = generator.Generate(params);
+    ASSERT_TRUE(sim::WorkloadGenerator::LoadIntoDatabase(workload, db_).ok());
+  }
+
+  geo::Atlas atlas_;
+  grid::GridTopology topology_ = grid::GridTopology::MakeRadial(1, 1, 1, 1);
+  dw::Database db_;
+};
+
+TEST_F(LodFilterTest, WindowPredicatesMatchRawScansExactly) {
+  ASSERT_GT(db_.NumFlexOffers(), 0u);
+  std::vector<core::RegionId> all_regions;
+  for (const dw::RegionInfo& r : db_.regions()) all_regions.push_back(r.id);
+
+  // Window matrix: slice-aligned, off-by-one-minute on both edges,
+  // mid-slice, degenerate-small, and fully covering.
+  std::vector<TimeInterval> windows = {
+      TimeInterval(),  // no constraint
+      TimeInterval(T0() + 6 * 60, T0() + 12 * 60),
+      TimeInterval(T0() + 6 * 60 - 1, T0() + 12 * 60),
+      TimeInterval(T0() + 6 * 60, T0() + 12 * 60 + 1),
+      TimeInterval(T0() + 6 * 60 + 7, T0() + 6 * 60 + 8),
+      TimeInterval(T0() - timeutil::kMinutesPerDay, T0() + 3 * timeutil::kMinutesPerDay),
+  };
+  for (size_t w = 0; w < windows.size(); ++w) {
+    dw::FlexOfferFilter filter;
+    filter.window = windows[w];
+    // The LOD build over the filtered database...
+    Result<LodPyramid> via_db = dw::BuildLodPyramid(db_, filter);
+    ASSERT_TRUE(via_db.ok()) << via_db.status().ToString();
+    // ...must equal the build over exactly the offers a raw scan selects.
+    Result<std::vector<core::FlexOffer>> raw = db_.SelectFlexOffers(filter);
+    ASSERT_TRUE(raw.ok());
+    const LodPyramid direct = dw::BuildLodPyramid(*raw, all_regions);
+    ExpectPyramidsEqual(*via_db, direct, "filter window");
+    EXPECT_EQ(via_db->num_offers(), static_cast<int64_t>(raw->size())) << "window " << w;
+  }
+}
+
+TEST_F(LodFilterTest, NonWindowPredicatesAlsoFlowThrough) {
+  std::vector<core::RegionId> all_regions;
+  for (const dw::RegionInfo& r : db_.regions()) all_regions.push_back(r.id);
+  Result<std::vector<core::FlexOffer>> everything =
+      db_.SelectFlexOffers(dw::FlexOfferFilter{});
+  ASSERT_TRUE(everything.ok());
+  ASSERT_FALSE(everything->empty());
+
+  dw::FlexOfferFilter filter;
+  filter.regions = {(*everything)[0].region};
+  filter.window = TimeInterval(T0() + 4 * 60, T0() + 20 * 60);
+  Result<LodPyramid> via_db = dw::BuildLodPyramid(db_, filter);
+  ASSERT_TRUE(via_db.ok());
+  Result<std::vector<core::FlexOffer>> raw = db_.SelectFlexOffers(filter);
+  ASSERT_TRUE(raw.ok());
+  ExpectPyramidsEqual(*via_db, dw::BuildLodPyramid(*raw, all_regions),
+                      "region+window filter");
+}
+
+TEST_F(LodFilterTest, PersistedPyramidRoundTripsThroughStoreGenerations) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "flexvis_lod" / "persist";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  ASSERT_TRUE(dw::SaveDatabase(db_, dir.string()).ok());
+  EXPECT_TRUE(fs::exists(dir / dw::kLodFile));
+
+  Result<dw::Database> restored = dw::LoadDatabase(dir.string());
+  ASSERT_TRUE(restored.ok());
+  Result<LodPyramid> loaded = dw::LoadLodPyramid(dir.string(), *restored);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Result<LodPyramid> rebuilt = dw::BuildLodPyramid(*restored, dw::FlexOfferFilter{});
+  ASSERT_TRUE(rebuilt.ok());
+  ExpectPyramidsEqual(*loaded, *rebuilt, "persisted vs rebuilt");
+  EXPECT_EQ(loaded->Serialize(), rebuilt->Serialize());
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace flexvis

@@ -1,0 +1,371 @@
+// Tile-cache coherence tests (render/tile.h): a TiledStrip over a
+// translation-invariant painter must serve pixels byte-equal to a cold
+// tile-less strip render, placeholders must be explicit and drained by
+// background fill, stale generations must never survive a publish, and the
+// whole discipline must hold under a seeded pan/zoom/publish/evict fuzz.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "render/incremental.h"
+#include "render/tile.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace flexvis::render {
+namespace {
+
+class ThreadCountGuard {
+ public:
+  ~ThreadCountGuard() { SetParallelThreadCount(0); }
+};
+
+constexpr int kLevels = 6;
+constexpr int64_t kLevel0Buckets = 4096;
+
+int64_t LevelBuckets(int level) { return kLevel0Buckets >> level; }
+
+// A pure-function painter standing in for the LOD pyramid: bar height and
+// color derive from (generation, level, bucket) alone, fills are integer
+// aligned within the bucket's own columns — the translation-invariance
+// contract StripPainter documents.
+class HashPainter : public StripPainter {
+ public:
+  explicit HashPainter(int64_t generation) : generation_(generation) {}
+
+  void PaintBuckets(Canvas& canvas, int level, int64_t first_bucket, int64_t num_buckets,
+                    int px_per_bucket, int height_px) const override {
+    for (int64_t i = 0; i < num_buckets; ++i) {
+      const int64_t b = first_bucket + i;
+      if (b < 0 || level < 0 || level >= kLevels || b >= LevelBuckets(level)) continue;
+      const uint64_t h = Mix(b, level);
+      const int bar = static_cast<int>(h % static_cast<uint64_t>(height_px));
+      if (bar <= 0) continue;
+      const Color color(static_cast<uint8_t>(40 + h % 180),
+                        static_cast<uint8_t>(40 + (h >> 8) % 180),
+                        static_cast<uint8_t>(40 + (h >> 16) % 180));
+      canvas.DrawRect(Rect{static_cast<double>(i * px_per_bucket),
+                           static_cast<double>(height_px - bar),
+                           static_cast<double>(px_per_bucket), static_cast<double>(bar)},
+                      Style::Fill(color));
+    }
+  }
+
+ private:
+  uint64_t Mix(int64_t bucket, int level) const {
+    uint64_t x = static_cast<uint64_t>(bucket) * 0x9e3779b97f4a7c15ull +
+                 static_cast<uint64_t>(level) * 0xc2b2ae3d27d4eb4full +
+                 static_cast<uint64_t>(generation_) * 0x165667b19e3779f9ull + 0x2545f491;
+    x ^= x >> 29;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 32;
+    return x;
+  }
+
+  int64_t generation_;
+};
+
+TileConfig SmallConfig() {
+  TileConfig config;
+  config.buckets_per_tile = 8;
+  config.px_per_bucket = 3;
+  config.height_px = 24;
+  config.max_tiles = 64;
+  config.replay_budget = 3;  // force multiple incremental steps per tile
+  return config;
+}
+
+// The tile-less oracle: paint the whole visible range into one display list
+// and rasterize it fully.
+RasterCanvas ColdStripRender(const StripPainter& painter, const TileConfig& config,
+                             int level, int64_t bucket_begin, int64_t bucket_end) {
+  const int width = static_cast<int>(bucket_end - bucket_begin) * config.px_per_bucket;
+  DisplayList scene(width, config.height_px);
+  painter.PaintBuckets(scene, level, bucket_begin, bucket_end - bucket_begin,
+                       config.px_per_bucket, config.height_px);
+  RasterCanvas raster(width, config.height_px);
+  scene.ReplayAll(raster);
+  return raster;
+}
+
+std::vector<uint8_t> CanvasBytes(const RasterCanvas& canvas) {
+  const size_t n =
+      static_cast<size_t>(canvas.pixel_width()) * canvas.pixel_height() * 3;
+  return std::vector<uint8_t>(canvas.raw_data(), canvas.raw_data() + n);
+}
+
+TEST(TileTest, ComposeByteEqualsColdStripRender) {
+  const TileConfig config = SmallConfig();
+  HashPainter painter(1);
+  TiledStrip strip(config);
+  strip.SetGeneration(&painter, 1);
+
+  for (auto [level, begin, end] : std::vector<std::array<int64_t, 3>>{
+           {0, 0, 40}, {0, 13, 57}, {2, 5, 29}, {5, 0, LevelBuckets(5)}, {1, -9, 20}}) {
+    const int lvl = static_cast<int>(level);
+    RasterCanvas target(static_cast<int>(end - begin) * config.px_per_bucket,
+                        config.height_px);
+    strip.Compose(target, 0, 0, lvl, begin, end, /*allow_placeholder=*/false);
+    const RasterCanvas oracle = ColdStripRender(painter, config, lvl, begin, end);
+    EXPECT_EQ(CanvasBytes(target), CanvasBytes(oracle))
+        << "level " << lvl << " [" << begin << ", " << end << ")";
+  }
+  // The second pass over the same ranges is pure cache hits — still equal.
+  const TileStats warm = strip.stats();
+  EXPECT_GT(warm.synchronous_fills, 0);
+  RasterCanvas target(40 * config.px_per_bucket, config.height_px);
+  strip.Compose(target, 0, 0, 0, 0, 40, /*allow_placeholder=*/false);
+  EXPECT_EQ(CanvasBytes(target), CanvasBytes(ColdStripRender(painter, config, 0, 0, 40)));
+  EXPECT_GT(strip.stats().hits, warm.hits);
+  EXPECT_EQ(strip.stats().synchronous_fills, warm.synchronous_fills);
+}
+
+TEST(TileTest, PlaceholdersUpscaleFromCoarserAndBackgroundFillMakesExact) {
+  const TileConfig config = SmallConfig();
+  HashPainter painter(3);
+  TiledStrip strip(config);
+  strip.SetGeneration(&painter, 3);
+
+  // Warm the coarser level 2 so level 1 can borrow from it.
+  RasterCanvas coarse(32 * config.px_per_bucket, config.height_px);
+  strip.Compose(coarse, 0, 0, 2, 0, 32, /*allow_placeholder=*/false);
+  ASSERT_EQ(strip.stats().placeholder_serves, 0);
+
+  // Zoom in: every level-1 tile is missing but has a cached coarser parent.
+  RasterCanvas fine(48 * config.px_per_bucket, config.height_px);
+  strip.Compose(fine, 0, 0, 1, 0, 48, /*allow_placeholder=*/true);
+  const TileStats after_zoom = strip.stats();
+  EXPECT_GT(after_zoom.placeholder_serves, 0);
+  EXPECT_GT(after_zoom.pending, 0u);
+  ASSERT_TRUE(strip.HasPending());
+
+  // A placeholder is explicitly marked and is NOT the exact render.
+  const TileRaster* placeholder = strip.Peek(1, 0);
+  ASSERT_NE(placeholder, nullptr);
+  EXPECT_TRUE(placeholder->placeholder);
+
+  // Drain in bounded steps; each filled tile becomes the cold-render oracle.
+  size_t filled = 0;
+  while (strip.HasPending()) {
+    filled += strip.FillPending(2);
+  }
+  EXPECT_GT(filled, 0u);
+  EXPECT_EQ(strip.stats().pending, 0u);
+  EXPECT_EQ(strip.stats().background_fills, static_cast<int64_t>(filled));
+  for (int64_t index = 0; index < 6; ++index) {
+    const TileRaster* tile = strip.Peek(1, index);
+    ASSERT_NE(tile, nullptr) << index;
+    EXPECT_FALSE(tile->placeholder) << index;
+    EXPECT_EQ(tile->rgb, strip.RenderTile(1, index).rgb) << index;
+  }
+
+  // And the recomposed strip is byte-equal the tile-less render.
+  RasterCanvas again(48 * config.px_per_bucket, config.height_px);
+  strip.Compose(again, 0, 0, 1, 0, 48, /*allow_placeholder=*/true);
+  EXPECT_EQ(CanvasBytes(again), CanvasBytes(ColdStripRender(painter, config, 1, 0, 48)));
+}
+
+TEST(TileTest, LruEvictionKeepsFootprintBounded) {
+  TileConfig config = SmallConfig();
+  config.max_tiles = 4;
+  HashPainter painter(1);
+  TiledStrip strip(config);
+  strip.SetGeneration(&painter, 1);
+
+  RasterCanvas target(config.tile_width_px(), config.height_px);
+  for (int64_t index = 0; index < 20; ++index) {
+    strip.Compose(target, 0, 0, 0, index * config.buckets_per_tile,
+                  (index + 1) * config.buckets_per_tile, /*allow_placeholder=*/false);
+  }
+  const TileStats stats = strip.stats();
+  EXPECT_LE(stats.entries, config.max_tiles);
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_EQ(stats.bytes, stats.entries * static_cast<size_t>(config.tile_width_px()) *
+                             config.height_px * 3);
+  // The oldest tiles are gone, the newest survive.
+  EXPECT_EQ(strip.Peek(0, 0), nullptr);
+  EXPECT_NE(strip.Peek(0, 19), nullptr);
+}
+
+TEST(TileTest, PublishStrictlyInvalidatesOlderGenerations) {
+  const TileConfig config = SmallConfig();
+  HashPainter old_painter(1);
+  HashPainter new_painter(2);
+  TiledStrip strip(config);
+  strip.SetGeneration(&old_painter, 1);
+
+  RasterCanvas target(24 * config.px_per_bucket, config.height_px);
+  strip.Compose(target, 0, 0, 0, 0, 24, /*allow_placeholder=*/false);
+  strip.Compose(target, 0, 0, 1, 0, 24, /*allow_placeholder=*/false);
+  const size_t cached = strip.stats().entries;
+  ASSERT_GT(cached, 0u);
+  ASSERT_NE(strip.Peek(0, 0), nullptr);
+
+  strip.SetGeneration(&new_painter, 2);
+  EXPECT_EQ(strip.stats().entries, 0u);
+  EXPECT_EQ(strip.stats().bytes, 0u);
+  EXPECT_EQ(strip.stats().pending, 0u);
+  EXPECT_EQ(strip.stats().invalidated, static_cast<int64_t>(cached));
+  EXPECT_EQ(strip.Peek(0, 0), nullptr);
+
+  // Fresh composes render the *new* generation's pixels.
+  RasterCanvas fresh(24 * config.px_per_bucket, config.height_px);
+  strip.Compose(fresh, 0, 0, 0, 0, 24, /*allow_placeholder=*/false);
+  EXPECT_EQ(CanvasBytes(fresh),
+            CanvasBytes(ColdStripRender(new_painter, config, 0, 0, 24)));
+  EXPECT_NE(CanvasBytes(fresh),
+            CanvasBytes(ColdStripRender(old_painter, config, 0, 0, 24)));
+}
+
+TEST(TileTest, RenderTileDeterministicAcrossThreadCounts) {
+  const TileConfig config = SmallConfig();
+  HashPainter painter(7);
+  TiledStrip strip(config);
+  strip.SetGeneration(&painter, 7);
+
+  ThreadCountGuard guard;
+  SetParallelThreadCount(1);
+  std::vector<TileRaster> serial;
+  for (int64_t index : {0, 3, 11}) serial.push_back(strip.RenderTile(0, index));
+  SetParallelThreadCount(8);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    const int64_t index = i == 0 ? 0 : i == 1 ? 3 : 11;
+    EXPECT_EQ(strip.RenderTile(0, index).rgb, serial[i].rgb) << index;
+  }
+}
+
+// The coherence fuzz of the issue: seeded random pan / zoom / publish /
+// capacity pressure; after placeholders drain, every compose byte-equals the
+// tile-less oracle and no stale-generation tile is ever served.
+TEST(TileTest, CoherenceFuzz) {
+  for (uint64_t seed : {11u, 47u, 2013u}) {
+    TileConfig config = SmallConfig();
+    config.max_tiles = 24;  // tight: evictions interleave with everything
+    TiledStrip strip(config);
+
+    std::vector<HashPainter> painters;
+    painters.reserve(8);
+    painters.emplace_back(1);
+    int64_t generation = 1;
+    strip.SetGeneration(&painters.back(), generation);
+
+    Rng rng(seed);
+    int level = 2;
+    int64_t begin = 0;
+    const int64_t view_buckets = 40;
+
+    for (int step = 0; step < 120; ++step) {
+      const int64_t op = rng.UniformInt(0, 9);
+      if (op < 4) {  // pan
+        begin += rng.UniformInt(-3, 3) * config.buckets_per_tile / 2;
+        begin = std::clamp<int64_t>(begin, -16, LevelBuckets(level));
+      } else if (op < 7) {  // zoom
+        level = static_cast<int>(
+            std::clamp<int64_t>(level + rng.UniformInt(-1, 1), 0, kLevels - 1));
+        begin = std::clamp<int64_t>(begin, -16, LevelBuckets(level));
+      } else if (op == 7 && painters.size() < painters.capacity()) {  // publish
+        ++generation;
+        painters.emplace_back(generation);
+        strip.SetGeneration(&painters.back(), generation);
+      }
+      // else: just recompose (cache-hit pressure)
+
+      const bool allow_placeholder = rng.UniformInt(0, 1) == 1;
+      RasterCanvas target(static_cast<int>(view_buckets) * config.px_per_bucket,
+                          config.height_px);
+      DirtyRegions dirty_regions;
+      std::vector<Rect> dirty;
+      strip.Compose(target, 0, 0, level, begin, begin + view_buckets, allow_placeholder,
+                    &dirty);
+      for (const Rect& r : dirty) dirty_regions.Mark(r);
+
+      // Drain any placeholders, recompose, and demand byte equality.
+      while (strip.HasPending()) strip.FillPending(4);
+      RasterCanvas drained(static_cast<int>(view_buckets) * config.px_per_bucket,
+                           config.height_px);
+      strip.Compose(drained, 0, 0, level, begin, begin + view_buckets, true);
+      const HashPainter& current = painters.back();
+      const RasterCanvas oracle =
+          ColdStripRender(current, config, level, begin, begin + view_buckets);
+      ASSERT_EQ(CanvasBytes(drained), CanvasBytes(oracle))
+          << "seed " << seed << " step " << step << " level " << level << " begin "
+          << begin;
+
+      // Every cached tile belongs to the live generation and, once exact,
+      // byte-equals the cold oracle.
+      for (int l = 0; l < kLevels; ++l) {
+        for (int64_t index = -2; index < 8; ++index) {
+          const TileRaster* tile = strip.Peek(l, index);
+          if (tile == nullptr || tile->placeholder) continue;
+          ASSERT_EQ(tile->rgb, strip.RenderTile(l, index).rgb)
+              << "seed " << seed << " step " << step << " tile " << l << "/" << index;
+        }
+      }
+    }
+    const TileStats stats = strip.stats();
+    EXPECT_LE(stats.entries, config.max_tiles);
+    EXPECT_GT(stats.hits, 0);
+    EXPECT_GT(stats.misses, 0);
+  }
+}
+
+TEST(TileTest, DirtyRegionsMergeTouchingRects) {
+  DirtyRegions dirty;
+  EXPECT_TRUE(dirty.empty());
+  dirty.Mark(Rect{0, 0, 10, 10});
+  dirty.Mark(Rect{10, 0, 10, 10});  // touching edge: merges
+  ASSERT_EQ(dirty.rects().size(), 1u);
+  EXPECT_EQ(dirty.rects()[0].width, 20);
+  EXPECT_EQ(dirty.Area(), 200.0);
+
+  dirty.Mark(Rect{100, 100, 5, 5});  // disjoint: stays separate
+  EXPECT_EQ(dirty.rects().size(), 2u);
+  EXPECT_TRUE(dirty.Intersects(Rect{3, 3, 2, 2}));
+  EXPECT_TRUE(dirty.Intersects(Rect{99, 99, 3, 3}));
+  EXPECT_FALSE(dirty.Intersects(Rect{50, 50, 5, 5}));
+
+  // A rect bridging both triggers a cascaded merge into one bounding box.
+  dirty.Mark(Rect{5, 5, 100, 100});
+  ASSERT_EQ(dirty.rects().size(), 1u);
+  EXPECT_EQ(dirty.rects()[0].x, 0);
+  EXPECT_EQ(dirty.rects()[0].right(), 105);
+  EXPECT_EQ(dirty.rects()[0].bottom(), 105);
+
+  dirty.Clear();
+  EXPECT_TRUE(dirty.empty());
+  EXPECT_EQ(dirty.Area(), 0.0);
+}
+
+TEST(TileTest, BlitRawClipsAgainstTargetAndClip) {
+  RasterCanvas target(10, 4);
+  std::vector<uint8_t> src(static_cast<size_t>(6) * 4 * 3);
+  for (size_t i = 0; i < src.size(); ++i) src[i] = static_cast<uint8_t>(i * 7 + 1);
+
+  // Full copy at an offset.
+  target.BlitRaw(src.data(), 6, 0, 0, 6, 4, 2, 0);
+  const uint8_t* data = target.raw_data();
+  EXPECT_EQ(data[(0 * 10 + 2) * 3], src[0]);
+  EXPECT_EQ(data[(3 * 10 + 7) * 3 + 2], src[(3 * 6 + 5) * 3 + 2]);
+  // Columns left of the blit stayed white.
+  EXPECT_EQ(data[(0 * 10 + 1) * 3], 255);
+
+  // Negative destination clips the source's left edge.
+  RasterCanvas left(10, 4);
+  left.BlitRaw(src.data(), 6, 0, 0, 6, 4, -2, 0);
+  EXPECT_EQ(left.raw_data()[0], src[2 * 3]);
+
+  // A push-clip restricts the writable window.
+  RasterCanvas clipped(10, 4);
+  clipped.PushClip(Rect{4, 0, 3, 4});
+  clipped.BlitRaw(src.data(), 6, 0, 0, 6, 4, 2, 0);
+  clipped.PopClip();
+  EXPECT_EQ(clipped.raw_data()[(0 * 10 + 3) * 3], 255);           // outside clip
+  EXPECT_EQ(clipped.raw_data()[(0 * 10 + 4) * 3], src[2 * 3]);    // inside clip
+  EXPECT_EQ(clipped.raw_data()[(0 * 10 + 7) * 3], 255);           // outside clip
+}
+
+}  // namespace
+}  // namespace flexvis::render
