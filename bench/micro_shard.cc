@@ -9,12 +9,15 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "sim/coordinator.h"
 #include "sim/online.h"
+#include "sim/rebalance.h"
+#include "sim/shard.h"
 #include "util/parallel.h"
 #include "util/strings.h"
 
@@ -178,14 +181,135 @@ bool WriteShardReport() {
                       migrate_s > begin_s ? migrate_s - begin_s : 0.0);
   }
 
+  // ---- The rebalancing gate (EXPERIMENTS.md Q12) ----------------------------
+  // A pathologically skewed population: every prosumer id is remapped to one
+  // that hashes to shard 0 of 4, so the whole arrival stream lands on one
+  // shard of a 4-shard fleet with a bounded ingest queue. Without the
+  // controller that shard sheds continuously while three shards idle. The two
+  // hard gates: the self-healing controller must fire at least one plan AND
+  // strictly reduce total sheds (rebalance_converged), and the rebalanced run
+  // must stay settlement-conservative — every input offer back exactly once
+  // in global input order, per-shard counters and outboxes summing to the
+  // global merge (settlement_conserved).
+  bool rebalance_converged = true;
+  bool settlement_conserved = true;
+  {
+    sim::ShardRouter probe(4, sim::ShardPolicy::kHash);
+    std::map<core::ProsumerId, core::ProsumerId> remap;
+    core::ProsumerId candidate = 1;
+    std::vector<core::FlexOffer> skewed = offers;
+    for (core::FlexOffer& offer : skewed) {
+      auto [it, inserted] = remap.try_emplace(offer.prosumer, 0);
+      if (inserted) {
+        while (probe.ShardOfProsumer(candidate, core::kInvalidRegionId,
+                                     core::kInvalidGridNodeId) != 0) {
+          ++candidate;
+        }
+        it->second = candidate++;
+      }
+      offer.prosumer = it->second;
+    }
+
+    sim::CoordinatorParams params;
+    params.num_shards = 4;
+    params.online = online;
+    params.online.ingest_queue_capacity = 2;
+
+    Result<sim::MergedOnlineReport> unbalanced =
+        sim::Coordinator::RunSharded(params, skewed, window);
+    if (!unbalanced.ok()) {
+      std::fprintf(stderr, "FAIL: skewed baseline errored: %s\n",
+                   unbalanced.status().ToString().c_str());
+      return false;
+    }
+
+    sim::RebalanceParams rebalance;
+    rebalance.window_ticks = 2;
+    rebalance.cooldown_ticks = 2;
+    rebalance.max_moves = 4;
+    rebalance.queue_depth_threshold = 4;
+    params.rebalance = rebalance;
+    sim::Coordinator coordinator(params);
+    int64_t plans = 0;
+    double rebalanced_s = bench::MeasureSeconds([&] {
+      sim::Coordinator timed(params);
+      if (!timed.Begin(skewed, window).ok()) rebalance_converged = false;
+      while (!timed.Done()) {
+        if (!timed.Tick().ok()) {
+          rebalance_converged = false;
+          break;
+        }
+      }
+      plans = timed.plans_executed();
+      benchmark::DoNotOptimize(timed);
+    });
+    if (!coordinator.Begin(skewed, window).ok()) rebalance_converged = false;
+    while (rebalance_converged && !coordinator.Done()) {
+      if (!coordinator.Tick().ok()) rebalance_converged = false;
+    }
+    Result<sim::MergedOnlineReport> balanced = coordinator.Finish();
+    if (!balanced.ok()) {
+      std::fprintf(stderr, "FAIL: rebalanced run errored: %s\n",
+                   balanced.status().ToString().c_str());
+      return false;
+    }
+
+    if (plans < 1) {
+      std::fprintf(stderr, "FAIL: the controller never fired a plan\n");
+      rebalance_converged = false;
+    }
+    if (balanced->global.shed_offers >= unbalanced->global.shed_offers) {
+      std::fprintf(stderr, "FAIL: rebalancing did not reduce sheds (%d -> %d)\n",
+                   unbalanced->global.shed_offers, balanced->global.shed_offers);
+      rebalance_converged = false;
+    }
+
+    if (balanced->global.offers.size() != skewed.size()) {
+      settlement_conserved = false;
+    } else {
+      for (size_t i = 0; i < skewed.size(); ++i) {
+        if (balanced->global.offers[i].id != skewed[i].id) {
+          settlement_conserved = false;
+          break;
+        }
+      }
+    }
+    int received = 0;
+    int shed = 0;
+    size_t outbox = 0;
+    for (const sim::OnlineReport& shard : balanced->shard_reports) {
+      received += shard.offers_received;
+      shed += shard.shed_offers;
+      outbox += shard.outbox.size();
+    }
+    if (received != balanced->global.offers_received ||
+        shed != balanced->global.shed_offers ||
+        outbox != balanced->global.outbox.size()) {
+      settlement_conserved = false;
+    }
+    if (!settlement_conserved) {
+      std::fprintf(stderr, "FAIL: rebalanced run violates settlement conservation\n");
+    }
+
+    report.AddSample("rebalanced_skewed_run_4s", rebalanced_s, 1,
+                     static_cast<double>(balanced->global.ticks));
+    report.SetCounter("rebalance_plans", static_cast<double>(plans));
+    report.SetCounter("shed_skewed_baseline",
+                      static_cast<double>(unbalanced->global.shed_offers));
+    report.SetCounter("shed_rebalanced",
+                      static_cast<double>(balanced->global.shed_offers));
+  }
+
   report.SetCounter("deterministic", deterministic ? 1.0 : 0.0);
   report.SetCounter("one_shard_matches_unsharded", ok ? 1.0 : 0.0);
+  report.SetCounter("rebalance_converged", rebalance_converged ? 1.0 : 0.0);
+  report.SetCounter("settlement_conserved", settlement_conserved ? 1.0 : 0.0);
 
   if (Status status = report.Write(); !status.ok()) {
     std::fprintf(stderr, "report failed: %s\n", status.ToString().c_str());
     return false;
   }
-  return ok && deterministic;
+  return ok && deterministic && rebalance_converged && settlement_conserved;
 }
 
 }  // namespace

@@ -101,6 +101,7 @@ std::vector<Alert> ScanOverload(const std::vector<OnlineReport>& shard_reports,
     Alert alert;
     alert.kind = AlertKind::kOverload;
     alert.interval = window;
+    alert.shard = static_cast<int>(shard);
     alert.magnitude_kwh = static_cast<double>(report.shed_offers);
     alert.peak_kwh = static_cast<double>(report.queue_high_watermark);
     alert.severity = std::clamp(

@@ -42,6 +42,9 @@ struct Alert {
   /// [0, 1]; 1 when the peak reaches 4x the threshold.
   double severity = 0.0;
   std::string message;
+  /// For kOverload alerts: the shard the alert names. -1 for alert kinds
+  /// that are not shard-scoped (shortage/over-capacity/deviation).
+  int shard = -1;
 };
 
 struct AlertParams {

@@ -241,6 +241,47 @@ Status DecodeOnlineSnapshot(const StoreRecovery& recovery, OnlineParams* params,
   return DecodeOffers(offer_lines->second, offers);
 }
 
+JsonValue EncodeStateChange(const OnlineStateChange& change) {
+  JsonValue c = JsonValue::Object();
+  c.Set("offer", JsonValue::Int(change.offer));
+  c.Set("state", JsonValue::Int(static_cast<int64_t>(change.state)));
+  if (change.schedule.has_value()) {
+    c.Set("start_min", JsonValue::Int(change.schedule->start.minutes()));
+    JsonValue kwh = JsonValue::Array();
+    for (double e : change.schedule->energy_kwh) kwh.Append(JsonValue::Double(e));
+    c.Set("kwh", std::move(kwh));
+  }
+  return c;
+}
+
+Result<OnlineStateChange> DecodeStateChange(const JsonValue& c) {
+  Result<int64_t> offer = c.GetInt("offer");
+  Result<int64_t> state = c.GetInt("state");
+  if (!offer.ok() || !state.ok()) {
+    return DataLossError("offer-state change is malformed");
+  }
+  OnlineStateChange change;
+  change.offer = *offer;
+  change.state = static_cast<core::FlexOfferState>(*state);
+  if (c.Has("start_min")) {
+    Result<int64_t> start = c.GetInt("start_min");
+    const JsonValue& kwh = c.Get("kwh");
+    if (!start.ok() || !kwh.is_array()) {
+      return DataLossError("offer-state change has a bad schedule");
+    }
+    core::Schedule schedule;
+    schedule.start = timeutil::TimePoint::FromMinutes(*start);
+    for (size_t k = 0; k < kwh.size(); ++k) {
+      if (!kwh[k].is_number()) {
+        return DataLossError("offer-state change has a bad schedule");
+      }
+      schedule.energy_kwh.push_back(kwh[k].AsDouble());
+    }
+    change.schedule = std::move(schedule);
+  }
+  return change;
+}
+
 std::string EncodeTickRecord(const OnlineTickRecord& record) {
   JsonValue json = JsonValue::Object();
   json.Set("tick", JsonValue::Int(record.tick));
@@ -248,16 +289,7 @@ std::string EncodeTickRecord(const OnlineTickRecord& record) {
   json.Set("shed_policy", JsonValue::Int(record.shed_policy));
   JsonValue changes = JsonValue::Array();
   for (const OnlineStateChange& change : record.changes) {
-    JsonValue c = JsonValue::Object();
-    c.Set("offer", JsonValue::Int(change.offer));
-    c.Set("state", JsonValue::Int(static_cast<int64_t>(change.state)));
-    if (change.schedule.has_value()) {
-      c.Set("start_min", JsonValue::Int(change.schedule->start.minutes()));
-      JsonValue kwh = JsonValue::Array();
-      for (double e : change.schedule->energy_kwh) kwh.Append(JsonValue::Double(e));
-      c.Set("kwh", std::move(kwh));
-    }
-    changes.Append(std::move(c));
+    changes.Append(EncodeStateChange(change));
   }
   json.Set("changes", std::move(changes));
   JsonValue sent = JsonValue::Array();
@@ -323,32 +355,12 @@ Result<OnlineTickRecord> DecodeTickRecord(std::string_view text) {
   const JsonValue& changes = json.Get("changes");
   if (!changes.is_array()) return DataLossError("journal record lacks a 'changes' array");
   for (size_t i = 0; i < changes.size(); ++i) {
-    const JsonValue& c = changes[i];
-    Result<int64_t> offer = c.GetInt("offer");
-    Result<int64_t> state = c.GetInt("state");
-    if (!offer.ok() || !state.ok()) {
-      return DataLossError(StrFormat("journal record change %zu is malformed", i));
+    Result<OnlineStateChange> change = DecodeStateChange(changes[i]);
+    if (!change.ok()) {
+      return DataLossError(StrFormat("journal record change %zu: %s", i,
+                                     change.status().message().c_str()));
     }
-    OnlineStateChange change;
-    change.offer = *offer;
-    change.state = static_cast<core::FlexOfferState>(*state);
-    if (c.Has("start_min")) {
-      Result<int64_t> start = c.GetInt("start_min");
-      const JsonValue& kwh = c.Get("kwh");
-      if (!start.ok() || !kwh.is_array()) {
-        return DataLossError(StrFormat("journal record change %zu has a bad schedule", i));
-      }
-      core::Schedule schedule;
-      schedule.start = timeutil::TimePoint::FromMinutes(*start);
-      for (size_t k = 0; k < kwh.size(); ++k) {
-        if (!kwh[k].is_number()) {
-          return DataLossError(StrFormat("journal record change %zu has a bad schedule", i));
-        }
-        schedule.energy_kwh.push_back(kwh[k].AsDouble());
-      }
-      change.schedule = std::move(schedule);
-    }
-    record.changes.push_back(std::move(change));
+    record.changes.push_back(*std::move(change));
   }
 
   const JsonValue& sent = json.Get("sent");

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/online.h"
+#include "util/json.h"
 #include "util/status.h"
 #include "util/store.h"
 
@@ -103,6 +104,14 @@ Result<OnlineReport> ResumeOnline(const std::string& directory, ResumeInfo* info
 /// still replay).
 std::string EncodeTickRecord(const OnlineTickRecord& record);
 Result<OnlineTickRecord> DecodeTickRecord(std::string_view text);
+
+/// One offer-state change as a JSON object ({"offer","state"} plus
+/// {"start_min","kwh"} when a schedule is attached) — the element format of
+/// a tick record's "changes" array. Exposed for the coordinator's
+/// active-migration records, which carry the moved offers' decided states in
+/// the same format.
+JsonValue EncodeStateChange(const OnlineStateChange& change);
+Result<OnlineStateChange> DecodeStateChange(const JsonValue& value);
 
 /// Merges `record` (the next tick) into the running fold `*fold`: deltas
 /// (changes, sent wires) concatenate in order, absolute fields (counters,

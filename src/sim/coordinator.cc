@@ -5,6 +5,8 @@
 #include <deque>
 #include <filesystem>
 #include <map>
+#include <optional>
+#include <set>
 #include <utility>
 
 #include "core/messages.h"
@@ -70,7 +72,32 @@ struct MigrationRecord {
   int64_t epoch = 0;
   /// migrate_in only: the migrated prosumer's offers.
   std::vector<FlexOffer> offers;
+  /// Active migration: the record additionally carries the prosumer's
+  /// mid-flight state (moved.offers stays empty here — the offer payload
+  /// rides in `offers` on the migrate_in, as for idle migrations).
+  bool active = false;
+  MigratedState moved;
 };
+
+JsonValue IdArray(const std::vector<core::FlexOfferId>& ids) {
+  JsonValue out = JsonValue::Array();
+  for (core::FlexOfferId id : ids) out.Append(JsonValue::Int(id));
+  return out;
+}
+
+Status DecodeIdArray(const JsonValue& value, const char* what,
+                     std::vector<core::FlexOfferId>* out) {
+  if (!value.is_array()) {
+    return DataLossError(StrFormat("migration record '%s' is not an array", what));
+  }
+  for (size_t i = 0; i < value.size(); ++i) {
+    if (!value[i].is_int()) {
+      return DataLossError(StrFormat("migration record '%s' holds a non-integer id", what));
+    }
+    out->push_back(value[i].AsInt());
+  }
+  return OkStatus();
+}
 
 std::string EncodeMigrationRecord(const MigrationRecord& record) {
   JsonValue json = JsonValue::Object();
@@ -85,6 +112,17 @@ std::string EncodeMigrationRecord(const MigrationRecord& record) {
       offers.Append(JsonValue::Str(core::EncodeFlexOffer(o)));
     }
     json.Set("offers", std::move(offers));
+  }
+  if (record.active) {
+    json.Set("active", JsonValue::Bool(true));
+    json.Set("consumed", IdArray(record.moved.consumed));
+    json.Set("pend_acc", IdArray(record.moved.pending_acceptance));
+    json.Set("pend_asn", IdArray(record.moved.pending_assignment));
+    JsonValue states = JsonValue::Array();
+    for (const OnlineStateChange& change : record.moved.states) {
+      states.Append(EncodeStateChange(change));
+    }
+    json.Set("states", std::move(states));
   }
   return json.Dump();
 }
@@ -122,7 +160,100 @@ Result<MigrationRecord> DecodeMigrationRecord(const JsonValue& json) {
       record.offers.push_back(*std::move(offer));
     }
   }
+  // Pre-rebalance records have no "active" key and decode as idle.
+  if (json.Has("active")) {
+    Result<bool> active = json.GetBool("active");
+    if (!active.ok() || !*active) {
+      return DataLossError("migration record 'active' flag is malformed");
+    }
+    record.active = true;
+    FLEXVIS_RETURN_IF_ERROR(
+        DecodeIdArray(json.Get("consumed"), "consumed", &record.moved.consumed));
+    FLEXVIS_RETURN_IF_ERROR(
+        DecodeIdArray(json.Get("pend_acc"), "pend_acc", &record.moved.pending_acceptance));
+    FLEXVIS_RETURN_IF_ERROR(
+        DecodeIdArray(json.Get("pend_asn"), "pend_asn", &record.moved.pending_assignment));
+    const JsonValue& states = json.Get("states");
+    if (!states.is_array()) {
+      return DataLossError("migration record 'states' is not an array");
+    }
+    for (size_t i = 0; i < states.size(); ++i) {
+      Result<OnlineStateChange> change = DecodeStateChange(states[i]);
+      if (!change.ok()) return change.status();
+      record.moved.states.push_back(*std::move(change));
+    }
+  }
   return record;
+}
+
+/// Reconstitutes the full moved state a record carries: a migrate_in holds
+/// the offer payload itself; for a migrate_out (or a legacy payload-free
+/// record) the offers are recovered from the global input list.
+MigratedState MovedFromRecord(const MigrationRecord& record,
+                              const std::vector<FlexOffer>& offers) {
+  MigratedState moved = record.moved;
+  moved.offers = record.offers;
+  if (moved.offers.empty()) {
+    for (const FlexOffer& offer : offers) {
+      if (offer.prosumer == record.prosumer) moved.offers.push_back(offer);
+    }
+  }
+  return moved;
+}
+
+/// Removes the moved prosumer's footprint from the source shard's collapsed
+/// fold: its decided states and queue entries drop out and the arrival
+/// cursor retreats past its consumed arrivals. Counters (including sheds it
+/// caused) stay with the source — cumulative history does not move.
+OnlineTickRecord SpliceOutFold(const OnlineEnterprise& enterprise,
+                               const OnlineLoopState& state, const MigratedState& moved) {
+  OnlineTickRecord fold = enterprise.Snapshot(state);
+  std::set<core::FlexOfferId> gone;
+  for (const FlexOffer& offer : moved.offers) gone.insert(offer.id);
+  fold.changes.erase(std::remove_if(fold.changes.begin(), fold.changes.end(),
+                                    [&gone](const OnlineStateChange& change) {
+                                      return gone.count(change.offer) != 0;
+                                    }),
+                     fold.changes.end());
+  auto drop = [&gone](std::vector<core::FlexOfferId>* ids) {
+    ids->erase(std::remove_if(ids->begin(), ids->end(),
+                              [&gone](core::FlexOfferId id) { return gone.count(id) != 0; }),
+               ids->end());
+  };
+  drop(&fold.pending_acceptance);
+  drop(&fold.pending_assignment);
+  fold.next_arrival -= static_cast<int64_t>(moved.consumed.size());
+  return fold;
+}
+
+/// Grafts the moved prosumer's footprint onto the target shard's collapsed
+/// fold: decided states and queue entries append after the target's own, the
+/// arrival cursor advances over the moved consumed arrivals, and the
+/// watermark accounts for the deeper merged queue.
+OnlineTickRecord SpliceInFold(const OnlineEnterprise& enterprise,
+                              const OnlineLoopState& state, const MigratedState& moved) {
+  OnlineTickRecord fold = enterprise.Snapshot(state);
+  for (const OnlineStateChange& change : moved.states) fold.changes.push_back(change);
+  for (core::FlexOfferId id : moved.pending_acceptance) {
+    fold.pending_acceptance.push_back(id);
+  }
+  for (core::FlexOfferId id : moved.pending_assignment) {
+    fold.pending_assignment.push_back(id);
+  }
+  fold.next_arrival += static_cast<int64_t>(moved.consumed.size());
+  fold.queue_high_watermark = std::max(fold.queue_high_watermark,
+                                       static_cast<int>(fold.pending_acceptance.size()));
+  return fold;
+}
+
+/// The offer subset `router` assigns to shard `s`, in global input order.
+std::vector<FlexOffer> SubsetFor(const ShardRouter& router,
+                                 const std::vector<FlexOffer>& offers, int s) {
+  std::vector<FlexOffer> subset;
+  for (const FlexOffer& offer : offers) {
+    if (router.ShardOf(offer) == s) subset.push_back(offer);
+  }
+  return subset;
 }
 
 /// One replayed journal entry: either a tick record or a migration record.
@@ -151,13 +282,24 @@ Result<ReplayedRecord> ParseJournalRecord(const std::string& payload) {
   return out;
 }
 
-/// COORDINATOR.json as a zero-file util/store generation: no snapshot files,
-/// no WAL — just the atomically-renamed manifest whose `meta` carries the
-/// whole coordinator state.
+/// COORDINATOR.json as a zero-file util/store generation: the
+/// atomically-renamed manifest whose `meta` carries the whole coordinator
+/// state, plus a write-ahead journal for rebalance-plan records (kind "plan"
+/// before any step executes, kind "plan_done" after the last). Compacting
+/// the store truncates the plan WAL in the same atomic commit that rewrites
+/// the manifest.
 StoreOptions CoordinatorStoreOptions() {
   StoreOptions options;
   options.manifest_name = kCoordinatorManifestFile;
+  options.journal_name = "coordinator.wal";
   return options;
+}
+
+std::string EncodePlanDoneRecord(int64_t id) {
+  JsonValue json = JsonValue::Object();
+  json.Set("kind", JsonValue::Str("plan_done"));
+  json.Set("id", JsonValue::Int(id));
+  return json.Dump();
 }
 
 }  // namespace
@@ -167,7 +309,7 @@ int ShardsFromEnv(int fallback) {
   if (env == nullptr || *env == '\0') return fallback;
   char* end = nullptr;
   long value = std::strtol(env, &end, 10);
-  if (end == env || *end != '\0' || value < 1 || value > 64) return fallback;
+  if (end == env || *end != '\0' || value < 1 || value > kMaxShards) return fallback;
   return static_cast<int>(value);
 }
 
@@ -197,14 +339,27 @@ FaultRegistry& Coordinator::shard_faults(int shard) {
   return *shards_[static_cast<size_t>(shard)]->registry;
 }
 
+std::string Coordinator::ShardDirName(int topology, int shard) {
+  if (topology == 0) return StrFormat("%s%04d", kShardDirPrefix, shard);
+  return StrFormat("%s%04d.t%d", kShardDirPrefix, shard, topology);
+}
+
 std::string Coordinator::ShardDir(int shard) const {
-  return (fs::path(directory_) / StrFormat("%s%04d", kShardDirPrefix, shard)).string();
+  return (fs::path(directory_) / ShardDirName(topology_, shard)).string();
 }
 
 Status Coordinator::Begin(const std::vector<FlexOffer>& offers, const TimeInterval& window) {
   if (begun_) return FailedPreconditionError("coordinator already begun");
   offers_ = offers;
   window_ = window;
+  // Keep the unscaled energy means: a resize re-derives exact per-shard
+  // params for the new fleet size from these (re-dividing already-scaled
+  // values would not be exact in floating point).
+  base_energy_ = params_.online.energy;
+  if (params_.rebalance.has_value() && controller_ == nullptr) {
+    controller_ = std::make_unique<RebalanceController>(*params_.rebalance,
+                                                        params_.num_shards, window_);
+  }
   const int n = params_.num_shards;
   std::vector<std::vector<size_t>> partition = router_.Partition(offers_);
   shards_.clear();
@@ -327,11 +482,29 @@ Status Coordinator::Tick() {
     shard.applied.push_back(std::move(records[s]));
   }
 
+  // Self-healing controller: once the global tick is complete on every shard
+  // (a resumed run's first Tick may only be levelling a one-tick skew),
+  // observe the per-shard load and, when a plan triggers, journal and
+  // execute it before the boundary compaction — the compaction then bakes
+  // the plan's effects into the new snapshots.
+  bool resized = false;
+  if (controller_ != nullptr && min_tick > controller_->last_observed_tick()) {
+    bool complete = true;
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      if (shard->state.next_tick != min_tick + 1) {
+        complete = false;
+        break;
+      }
+    }
+    if (complete) FLEXVIS_RETURN_IF_ERROR(ObserveAndRebalance(min_tick, &resized));
+  }
+
   // Checkpoint compaction at the global tick boundary: cadence keys off the
   // absolute tick index so a resumed run compacts at the same boundaries the
-  // uninterrupted run would.
+  // uninterrupted run would. A resize already committed fresh snapshots (and
+  // empty WALs) this boundary, so there is nothing left to fold.
   const int compact_ticks = params_.online.compact_ticks;
-  if (checkpointed_ && compact_ticks > 0 && (min_tick + 1) % compact_ticks == 0) {
+  if (!resized && checkpointed_ && compact_ticks > 0 && (min_tick + 1) % compact_ticks == 0) {
     FLEXVIS_RETURN_IF_ERROR(CompactShards());
   }
   return OkStatus();
@@ -341,8 +514,17 @@ Status Coordinator::CompactShards(const std::vector<bool>* include) {
   // base_epoch advances FIRST (its own atomic manifest commit): once any
   // shard folds, a recovery may find a migration record at or below
   // base_epoch whose counterpart was compacted away, and must treat the
-  // counterpart shard's snapshot as already carrying that migration.
-  if (base_epoch_ != epoch_) {
+  // counterpart shard's snapshot as already carrying that migration. With a
+  // controller the boundary always rewrites the manifest — it carries the
+  // controller's trend state — and compacts the zero-file coordinator store,
+  // so completed plans' WAL records fold away exactly when the shards'
+  // migration records do.
+  if (controller_ != nullptr) {
+    base_epoch_ = epoch_;
+    if (checkpointed_ && coord_store_.is_open()) {
+      FLEXVIS_RETURN_IF_ERROR(coord_store_.Compact({}, CoordinatorMeta()));
+    }
+  } else if (base_epoch_ != epoch_) {
     base_epoch_ = epoch_;
     FLEXVIS_RETURN_IF_ERROR(WriteCoordinatorManifest());
   }
@@ -432,18 +614,19 @@ Status Coordinator::CommitMigration(core::ProsumerId prosumer, int from, int to,
   return OkStatus();
 }
 
-Status Coordinator::MigrateProsumer(core::ProsumerId prosumer, int to_shard) {
+Status Coordinator::MigrateProsumer(core::ProsumerId prosumer, int to_shard,
+                                    MigrationMode mode) {
   if (!begun_) return FailedPreconditionError("coordinator not begun");
   if (to_shard < 0 || to_shard >= params_.num_shards) {
     return InvalidArgumentError(
         StrFormat("shard %d out of range [0, %d)", to_shard, params_.num_shards));
   }
   const FlexOffer* sample = nullptr;
-  std::vector<FlexOffer> moving;
   for (const FlexOffer& offer : offers_) {
-    if (offer.prosumer != prosumer) continue;
-    if (sample == nullptr) sample = &offer;
-    moving.push_back(offer);
+    if (offer.prosumer == prosumer) {
+      sample = &offer;
+      break;
+    }
   }
   if (sample == nullptr) {
     return NotFoundError(
@@ -455,29 +638,68 @@ Status Coordinator::MigrateProsumer(core::ProsumerId prosumer, int to_shard) {
                                           static_cast<long long>(prosumer), to_shard));
   }
 
-  // Precondition: the prosumer is idle on its source shard — none of its
-  // offers were ingested (their arrival positions all lie at or past the
-  // cursor). An active prosumer's history cannot move without rewriting it.
-  Shard& source = *shards_[static_cast<size_t>(from)];
-  for (size_t pos = 0; pos < source.state.next_arrival; ++pos) {
-    const FlexOffer& consumed = source.state.report.offers[source.state.arrival[pos]];
-    if (consumed.prosumer == prosumer) {
-      return FailedPreconditionError(StrFormat(
-          "prosumer %lld is active on shard %d (offer %lld already ingested); migration "
-          "requires an idle prosumer",
-          static_cast<long long>(prosumer), from, static_cast<long long>(consumed.id)));
+  // The precondition is validated BEFORE any offer payload is assembled:
+  // under kIdleOnly an active prosumer cannot move, and the error names
+  // every already-ingested offer so the operator sees the whole conflict,
+  // not just the first.
+  MigratedState moved = ExtractMovedState(from, prosumer);
+  if (!moved.idle() && mode == MigrationMode::kIdleOnly) {
+    std::string ids;
+    for (core::FlexOfferId id : moved.consumed) {
+      if (!ids.empty()) ids += ", ";
+      ids += StrFormat("%lld", static_cast<long long>(id));
     }
+    return FailedPreconditionError(StrFormat(
+        "prosumer %lld is active on shard %d (offers %s already ingested); migration "
+        "requires an idle prosumer",
+        static_cast<long long>(prosumer), from, ids.c_str()));
+  }
+  for (const FlexOffer& offer : offers_) {
+    if (offer.prosumer == prosumer) moved.offers.push_back(offer);
   }
 
-  // Speculative rebuild + replay-diff of both shards BEFORE anything becomes
-  // durable: a failed verification leaves the run (and journals) untouched.
+  // Speculative verification of both shards BEFORE anything becomes durable:
+  // a failed verification leaves the run (and journals) untouched. Idle
+  // migrations rebuild both shards by replaying every applied record; active
+  // migrations splice the moved state across collapsed folds.
   ShardRouter new_router = router_;
   FLEXVIS_RETURN_IF_ERROR(new_router.Assign(prosumer, to_shard));
   const int64_t new_epoch = epoch_ + 1;
+  const bool active = !moved.idle();
+  Shard& source = *shards_[static_cast<size_t>(from)];
+  Shard& target = *shards_[static_cast<size_t>(to_shard)];
   OnlineLoopState source_state;
   OnlineLoopState target_state;
-  FLEXVIS_RETURN_IF_ERROR(RebuildShard(from, new_router, &source_state));
-  FLEXVIS_RETURN_IF_ERROR(RebuildShard(to_shard, new_router, &target_state));
+  OnlineTickRecord source_fold;
+  OnlineTickRecord target_fold;
+  if (active) {
+    if (source.state.next_tick != target.state.next_tick) {
+      return FailedPreconditionError(
+          StrFormat("shards %d and %d are not at a common tick boundary (%d vs %d)", from,
+                    to_shard, source.state.next_tick, target.state.next_tick));
+    }
+    source_fold = SpliceOutFold(source.enterprise, source.state, moved);
+    target_fold = SpliceInFold(target.enterprise, target.state, moved);
+    std::vector<core::FlexOfferId> source_expect;
+    for (size_t pos = 0; pos < source.state.next_arrival; ++pos) {
+      const FlexOffer& offer = source.state.report.offers[source.state.arrival[pos]];
+      if (offer.prosumer != prosumer) source_expect.push_back(offer.id);
+    }
+    std::vector<core::FlexOfferId> target_expect;
+    for (size_t pos = 0; pos < target.state.next_arrival; ++pos) {
+      target_expect.push_back(target.state.report.offers[target.state.arrival[pos]].id);
+    }
+    for (core::FlexOfferId id : moved.consumed) target_expect.push_back(id);
+    FLEXVIS_RETURN_IF_ERROR(BuildSplicedState(source.enterprise,
+                                              SubsetFor(new_router, offers_, from),
+                                              source_fold, source_expect, &source_state));
+    FLEXVIS_RETURN_IF_ERROR(BuildSplicedState(target.enterprise,
+                                              SubsetFor(new_router, offers_, to_shard),
+                                              target_fold, target_expect, &target_state));
+  } else {
+    FLEXVIS_RETURN_IF_ERROR(RebuildShard(from, new_router, &source_state));
+    FLEXVIS_RETURN_IF_ERROR(RebuildShard(to_shard, new_router, &target_state));
+  }
 
   // Durability order: migrate_out (source journal) -> migrate_in with the
   // offer payload (target journal) -> manifest rewrite. Recovery completes a
@@ -489,21 +711,466 @@ Status Coordinator::MigrateProsumer(core::ProsumerId prosumer, int to_shard) {
     out.from = from;
     out.to = to_shard;
     out.epoch = new_epoch;
+    out.active = active;
+    if (active) {
+      out.moved = moved;
+      out.moved.offers.clear();  // the offer payload rides on the migrate_in
+    }
     FLEXVIS_RETURN_IF_ERROR(source.store.Append(EncodeMigrationRecord(out)));
     FLEXVIS_RETURN_IF_ERROR(source.store.Flush());
     MigrationRecord in = out;
     in.is_in = true;
-    in.offers = std::move(moving);
-    Shard& target = *shards_[static_cast<size_t>(to_shard)];
+    in.offers = moved.offers;
     FLEXVIS_RETURN_IF_ERROR(target.store.Append(EncodeMigrationRecord(in)));
     FLEXVIS_RETURN_IF_ERROR(target.store.Flush());
   }
 
   router_ = std::move(new_router);
   epoch_ = new_epoch;
-  shards_[static_cast<size_t>(from)]->state = std::move(source_state);
-  shards_[static_cast<size_t>(to_shard)]->state = std::move(target_state);
+  source.state = std::move(source_state);
+  target.state = std::move(target_state);
+  if (active) {
+    // Both shards are now re-based onto their spliced folds; the fold
+    // replaces the applied history so later rebuilds and compactions replay
+    // it exactly as a compacted generation's state.json would.
+    source.applied.clear();
+    source.applied.push_back(std::move(source_fold));
+    target.applied.clear();
+    target.applied.push_back(std::move(target_fold));
+  }
   if (checkpointed_) FLEXVIS_RETURN_IF_ERROR(WriteCoordinatorManifest());
+  return OkStatus();
+}
+
+MigratedState Coordinator::ExtractMovedState(int s, core::ProsumerId prosumer) const {
+  const OnlineLoopState& state = shards_[static_cast<size_t>(s)]->state;
+  MigratedState moved;
+  for (size_t pos = 0; pos < state.next_arrival; ++pos) {
+    const FlexOffer& offer = state.report.offers[state.arrival[pos]];
+    if (offer.prosumer == prosumer) moved.consumed.push_back(offer.id);
+  }
+  for (size_t idx : state.pending_acceptance) {
+    const FlexOffer& offer = state.report.offers[idx];
+    if (offer.prosumer == prosumer) moved.pending_acceptance.push_back(offer.id);
+  }
+  for (size_t idx : state.pending_assignment) {
+    const FlexOffer& offer = state.report.offers[idx];
+    if (offer.prosumer == prosumer) moved.pending_assignment.push_back(offer.id);
+  }
+  for (const FlexOffer& offer : state.report.offers) {
+    if (offer.prosumer != prosumer || offer.state == core::FlexOfferState::kOffered) {
+      continue;
+    }
+    OnlineStateChange change;
+    change.offer = offer.id;
+    change.state = offer.state;
+    if (offer.state == core::FlexOfferState::kAssigned) change.schedule = offer.schedule;
+    moved.states.push_back(std::move(change));
+  }
+  return moved;
+}
+
+Status Coordinator::BuildSplicedState(const OnlineEnterprise& enterprise,
+                                      const std::vector<FlexOffer>& subset,
+                                      const OnlineTickRecord& fold,
+                                      const std::vector<core::FlexOfferId>& expect_consumed,
+                                      OnlineLoopState* out) const {
+  Result<OnlineLoopState> rebuilt = enterprise.Begin(subset, window_);
+  if (!rebuilt.ok()) return rebuilt.status();
+  FLEXVIS_RETURN_IF_ERROR(enterprise.Apply(*rebuilt, fold));
+  if (rebuilt->next_arrival != expect_consumed.size()) {
+    return FailedPreconditionError(
+        StrFormat("spliced arrival cursor %zu does not cover the %zu consumed arrivals; "
+                  "ingest-backlog skew would rewrite consumed history",
+                  rebuilt->next_arrival, expect_consumed.size()));
+  }
+  // Set equality over the prefix: stable arrival ordering makes membership
+  // the only degree of freedom — an unconsumed offer sorting into the prefix
+  // (or a consumed one sorting out) is exactly the backlog-skew reorder the
+  // migration must refuse.
+  std::set<core::FlexOfferId> expect(expect_consumed.begin(), expect_consumed.end());
+  for (size_t pos = 0; pos < rebuilt->next_arrival; ++pos) {
+    const core::FlexOfferId id = rebuilt->report.offers[rebuilt->arrival[pos]].id;
+    if (expect.erase(id) == 0) {
+      return FailedPreconditionError(StrFormat(
+          "offer %lld lands inside the spliced consumed-arrival prefix but was never "
+          "consumed; ingest-backlog skew would reorder consumed history",
+          static_cast<long long>(id)));
+    }
+  }
+  *out = *std::move(rebuilt);
+  return OkStatus();
+}
+
+Status Coordinator::CommitActiveMigration(core::ProsumerId prosumer, int from, int to,
+                                          int64_t new_epoch) {
+  // Re-extract the moved state from the replayed source (byte-identical to
+  // what the live migration extracted — replay determinism) and re-run the
+  // same splice the live commit ran.
+  MigratedState moved = ExtractMovedState(from, prosumer);
+  for (const FlexOffer& offer : offers_) {
+    if (offer.prosumer == prosumer) moved.offers.push_back(offer);
+  }
+  Shard& source = *shards_[static_cast<size_t>(from)];
+  Shard& target = *shards_[static_cast<size_t>(to)];
+  if (source.state.next_tick != target.state.next_tick) {
+    return DataLossError(
+        StrFormat("active migration of prosumer %lld surfaced with shards %d and %d at "
+                  "different ticks (%d vs %d)",
+                  static_cast<long long>(prosumer), from, to, source.state.next_tick,
+                  target.state.next_tick));
+  }
+  FLEXVIS_RETURN_IF_ERROR(router_.Assign(prosumer, to));
+  epoch_ = std::max(epoch_, new_epoch);
+  OnlineTickRecord source_fold = SpliceOutFold(source.enterprise, source.state, moved);
+  OnlineTickRecord target_fold = SpliceInFold(target.enterprise, target.state, moved);
+  std::vector<core::FlexOfferId> source_expect;
+  for (size_t pos = 0; pos < source.state.next_arrival; ++pos) {
+    const FlexOffer& offer = source.state.report.offers[source.state.arrival[pos]];
+    if (offer.prosumer != prosumer) source_expect.push_back(offer.id);
+  }
+  std::vector<core::FlexOfferId> target_expect;
+  for (size_t pos = 0; pos < target.state.next_arrival; ++pos) {
+    target_expect.push_back(target.state.report.offers[target.state.arrival[pos]].id);
+  }
+  for (core::FlexOfferId id : moved.consumed) target_expect.push_back(id);
+  OnlineLoopState source_state;
+  OnlineLoopState target_state;
+  FLEXVIS_RETURN_IF_ERROR(BuildSplicedState(source.enterprise, SubsetFor(router_, offers_, from),
+                                            source_fold, source_expect, &source_state));
+  FLEXVIS_RETURN_IF_ERROR(BuildSplicedState(target.enterprise, SubsetFor(router_, offers_, to),
+                                            target_fold, target_expect, &target_state));
+  source.state = std::move(source_state);
+  target.state = std::move(target_state);
+  source.applied.clear();
+  source.applied.push_back(std::move(source_fold));
+  target.applied.clear();
+  target.applied.push_back(std::move(target_fold));
+  return OkStatus();
+}
+
+Status Coordinator::ActiveRebakeTarget(int s, const MigratedState& moved, int64_t epoch) {
+  Shard& shard = *shards_[static_cast<size_t>(s)];
+  OnlineTickRecord fold = SpliceInFold(shard.enterprise, shard.state, moved);
+  std::vector<core::FlexOfferId> expect;
+  for (size_t pos = 0; pos < shard.state.next_arrival; ++pos) {
+    expect.push_back(shard.state.report.offers[shard.state.arrival[pos]].id);
+  }
+  for (core::FlexOfferId id : moved.consumed) expect.push_back(id);
+  OnlineLoopState spliced;
+  FLEXVIS_RETURN_IF_ERROR(BuildSplicedState(shard.enterprise, SubsetFor(router_, offers_, s),
+                                            fold, expect, &spliced));
+  shard.state = std::move(spliced);
+  shard.applied.clear();
+  shard.applied.push_back(std::move(fold));
+  epoch_ = std::max(epoch_, epoch);
+  return OkStatus();
+}
+
+Status Coordinator::ActiveRebakeSource(int s, core::ProsumerId prosumer, int64_t epoch) {
+  Shard& shard = *shards_[static_cast<size_t>(s)];
+  MigratedState moved = ExtractMovedState(s, prosumer);
+  for (const FlexOffer& offer : offers_) {
+    if (offer.prosumer == prosumer) moved.offers.push_back(offer);
+  }
+  OnlineTickRecord fold = SpliceOutFold(shard.enterprise, shard.state, moved);
+  std::vector<core::FlexOfferId> expect;
+  for (size_t pos = 0; pos < shard.state.next_arrival; ++pos) {
+    const FlexOffer& offer = shard.state.report.offers[shard.state.arrival[pos]];
+    if (offer.prosumer != prosumer) expect.push_back(offer.id);
+  }
+  OnlineLoopState spliced;
+  FLEXVIS_RETURN_IF_ERROR(BuildSplicedState(shard.enterprise, SubsetFor(router_, offers_, s),
+                                            fold, expect, &spliced));
+  shard.state = std::move(spliced);
+  shard.applied.clear();
+  shard.applied.push_back(std::move(fold));
+  epoch_ = std::max(epoch_, epoch);
+  return OkStatus();
+}
+
+Status Coordinator::Resize(int new_num_shards) {
+  if (!begun_) return FailedPreconditionError("coordinator not begun");
+  if (new_num_shards < 1 || new_num_shards > kMaxShards) {
+    return InvalidArgumentError(
+        StrFormat("num_shards %d out of range [1, %d]", new_num_shards, kMaxShards));
+  }
+  if (new_num_shards == params_.num_shards) {
+    return InvalidArgumentError(StrFormat("fleet already has %d shards", new_num_shards));
+  }
+  const int next_tick = shards_[0]->state.next_tick;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->state.next_tick != next_tick) {
+      return FailedPreconditionError(
+          "shards are not at a common tick boundary; resize only between global ticks");
+    }
+  }
+
+  // Collapse the whole fleet into one global view: consumed arrivals, queue
+  // contents (old shard order, then queue order — the deterministic global
+  // ordering both live and resumed resizes derive), decided offer states,
+  // and the counter totals. Per-offer counter attribution is impossible from
+  // journaled state (e.g. a scheduler demotion does not mark the offer), so
+  // every cumulative counter and the global outbox re-home to new shard 0.
+  std::set<core::FlexOfferId> consumed;
+  std::vector<core::FlexOfferId> global_pend_acc;
+  std::vector<core::FlexOfferId> global_pend_asn;
+  std::map<core::FlexOfferId, OnlineStateChange> decided;
+  OnlineTickRecord totals;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const OnlineLoopState& st = shard->state;
+    for (size_t pos = 0; pos < st.next_arrival; ++pos) {
+      consumed.insert(st.report.offers[st.arrival[pos]].id);
+    }
+    for (size_t idx : st.pending_acceptance) {
+      global_pend_acc.push_back(st.report.offers[idx].id);
+    }
+    for (size_t idx : st.pending_assignment) {
+      global_pend_asn.push_back(st.report.offers[idx].id);
+    }
+    for (const FlexOffer& offer : st.report.offers) {
+      if (offer.state == core::FlexOfferState::kOffered) continue;
+      OnlineStateChange change;
+      change.offer = offer.id;
+      change.state = offer.state;
+      if (offer.state == core::FlexOfferState::kAssigned) change.schedule = offer.schedule;
+      decided.emplace(offer.id, std::move(change));
+    }
+    totals.offers_received += st.report.offers_received;
+    totals.accepted += st.report.accepted;
+    totals.rejected += st.report.rejected;
+    totals.assigned += st.report.assigned;
+    totals.missed_acceptance += st.report.missed_acceptance;
+    totals.missed_assignment += st.report.missed_assignment;
+    totals.dropped_ingest += st.report.dropped_ingest;
+    totals.failed_sends += st.report.failed_sends;
+    totals.shed_offers += st.report.shed_offers;
+    totals.queue_high_watermark =
+        std::max(totals.queue_high_watermark, st.report.queue_high_watermark);
+    for (const std::string& wire : st.report.outbox) totals.sent.push_back(wire);
+  }
+
+  // Build the new fleet speculatively: fresh router (a resize drops all
+  // overrides — the new hash partition IS the rebalance), per-shard params
+  // re-derived from the unscaled base energy, and each shard's state spliced
+  // from a hand-built fold through the same verified path migrations use.
+  const int new_n = new_num_shards;
+  const int new_topology = topology_ + 1;
+  ShardRouter new_router(new_n, params_.policy);
+  std::vector<std::vector<size_t>> partition = new_router.Partition(offers_);
+  std::vector<std::unique_ptr<Shard>> new_shards;
+  std::vector<std::vector<FlexOffer>> subsets(static_cast<size_t>(new_n));
+  for (int s = 0; s < new_n; ++s) {
+    const size_t si = static_cast<size_t>(s);
+    subsets[si].reserve(partition[si].size());
+    for (size_t idx : partition[si]) subsets[si].push_back(offers_[idx]);
+    auto shard = std::make_unique<Shard>();
+    shard->registry = std::make_unique<FaultRegistry>();
+    FLEXVIS_RETURN_IF_ERROR(
+        InstallFaultsInto(*shard->registry, ShardSeed(params_.fault_seed, s)));
+    shard->params = params_.online;
+    shard->params.energy = base_energy_;
+    if (params_.scale_energy_per_shard) {
+      const double divisor = static_cast<double>(new_n);
+      shard->params.energy.wind_mean_kwh /= divisor;
+      shard->params.energy.solar_peak_kwh /= divisor;
+      shard->params.energy.demand_base_kwh /= divisor;
+    }
+    shard->params.faults = shard->registry.get();
+    shard->enterprise = OnlineEnterprise(shard->params);
+    if (next_tick == 0) {
+      Result<OnlineLoopState> state = shard->enterprise.Begin(subsets[si], window_);
+      if (!state.ok()) return state.status();
+      shard->state = *std::move(state);
+    } else {
+      OnlineTickRecord fold;
+      fold.tick = next_tick - 1;
+      fold.folded = true;
+      fold.shed_policy = static_cast<int>(params_.online.shed_policy);
+      std::set<core::FlexOfferId> member;
+      std::vector<core::FlexOfferId> expect;
+      for (const FlexOffer& offer : subsets[si]) {
+        member.insert(offer.id);
+        if (consumed.count(offer.id) != 0) expect.push_back(offer.id);
+        auto it = decided.find(offer.id);
+        if (it != decided.end()) fold.changes.push_back(it->second);
+      }
+      for (core::FlexOfferId id : global_pend_acc) {
+        if (member.count(id) != 0) fold.pending_acceptance.push_back(id);
+      }
+      for (core::FlexOfferId id : global_pend_asn) {
+        if (member.count(id) != 0) fold.pending_assignment.push_back(id);
+      }
+      fold.next_arrival = static_cast<int64_t>(expect.size());
+      if (s == 0) {
+        fold.offers_received = totals.offers_received;
+        fold.accepted = totals.accepted;
+        fold.rejected = totals.rejected;
+        fold.assigned = totals.assigned;
+        fold.missed_acceptance = totals.missed_acceptance;
+        fold.missed_assignment = totals.missed_assignment;
+        fold.dropped_ingest = totals.dropped_ingest;
+        fold.failed_sends = totals.failed_sends;
+        fold.shed_offers = totals.shed_offers;
+        fold.sent = totals.sent;
+        fold.queue_high_watermark =
+            std::max(totals.queue_high_watermark,
+                     static_cast<int>(fold.pending_acceptance.size()));
+      } else {
+        fold.queue_high_watermark = static_cast<int>(fold.pending_acceptance.size());
+      }
+      OnlineLoopState spliced;
+      FLEXVIS_RETURN_IF_ERROR(
+          BuildSplicedState(shard->enterprise, subsets[si], fold, expect, &spliced));
+      shard->state = std::move(spliced);
+      shard->applied.push_back(std::move(fold));
+    }
+    new_shards.push_back(std::move(shard));
+  }
+
+  // Stage the new topology's stores next to the old ones (distinct directory
+  // names), then commit everything at once by compacting the coordinator
+  // store — its manifest rewrite both flips the topology and truncates the
+  // plan WAL. A crash before that commit recovers under the OLD manifest
+  // (old directories intact, staged ones swept as stale); after it, under
+  // the new (old directories swept).
+  std::vector<std::string> old_dirs;
+  if (checkpointed_) {
+    for (int s = 0; s < params_.num_shards; ++s) old_dirs.push_back(ShardDir(s));
+    for (int s = 0; s < new_n; ++s) {
+      const size_t si = static_cast<size_t>(s);
+      StoreFiles files = EncodeOnlineSnapshot(new_shards[si]->params, subsets[si], window_);
+      if (next_tick > 0) {
+        files.emplace_back(kCheckpointStateFile,
+                           EncodeTickRecord(new_shards[si]->applied.front()));
+      }
+      Result<DurableStore> store = DurableStore::Create(
+          (fs::path(directory_) / ShardDirName(new_topology, s)).string(),
+          CheckpointStoreOptions(), std::move(files), JsonValue());
+      if (!store.ok()) return store.status();
+      new_shards[si]->store = *std::move(store);
+    }
+    for (std::unique_ptr<Shard>& shard : shards_) {
+      if (shard->store.is_open()) FLEXVIS_RETURN_IF_ERROR(shard->store.Close());
+    }
+  }
+
+  params_.num_shards = new_n;
+  router_ = std::move(new_router);
+  shards_ = std::move(new_shards);
+  topology_ = new_topology;
+  base_epoch_ = epoch_;
+  if (controller_ != nullptr) {
+    // All cumulative counters re-homed to new shard 0; seed its shed
+    // baseline with the global total so the first post-resize observation
+    // does not read the re-homing as one giant shed burst.
+    std::vector<int64_t> seed(static_cast<size_t>(new_n), 0);
+    seed[0] = totals.shed_offers;
+    controller_->ResetShards(new_n, seed);
+  }
+  if (checkpointed_) {
+    FLEXVIS_RETURN_IF_ERROR(coord_store_.Compact({}, CoordinatorMeta()));
+    for (const std::string& dir : old_dirs) {
+      FLEXVIS_RETURN_IF_ERROR(DurableStore::Destroy(dir, CheckpointStoreOptions()));
+    }
+  }
+  return OkStatus();
+}
+
+std::vector<ShardLoadSample> Coordinator::CollectSamples() const {
+  std::vector<ShardLoadSample> samples;
+  samples.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    ShardLoadSample sample;
+    sample.shed_offers = shard->state.report.shed_offers;
+    sample.queue_depth = static_cast<int>(shard->state.pending_acceptance.size());
+    sample.backlog =
+        static_cast<int64_t>(shard->state.arrival.size() - shard->state.next_arrival);
+    samples.push_back(sample);
+  }
+  return samples;
+}
+
+RebalancePlan Coordinator::BuildPlan(const RebalanceDecision& decision) const {
+  RebalancePlan plan;
+  plan.id = decision.plan_id;
+  plan.tick = decision.tick;
+  plan.action = decision.action;
+  plan.new_num_shards = decision.new_num_shards;
+  if (decision.action != RebalancePlan::Action::kMove) return plan;
+  // Per-prosumer load on the hot shard: offers it has not answered yet
+  // (un-ingested arrivals plus both pending queues). std::map iteration
+  // gives the id-sorted candidate order PickMoveSet's tie-break expects.
+  const OnlineLoopState& hot = shards_[static_cast<size_t>(decision.hot_shard)]->state;
+  std::map<core::ProsumerId, int64_t> load;
+  for (size_t pos = hot.next_arrival; pos < hot.arrival.size(); ++pos) {
+    ++load[hot.report.offers[hot.arrival[pos]].prosumer];
+  }
+  for (size_t idx : hot.pending_acceptance) ++load[hot.report.offers[idx].prosumer];
+  for (size_t idx : hot.pending_assignment) ++load[hot.report.offers[idx].prosumer];
+  int64_t total = 0;
+  std::vector<ProsumerLoad> candidates;
+  candidates.reserve(load.size());
+  for (const auto& [prosumer, pending] : load) {
+    candidates.push_back({prosumer, pending});
+    total += pending;
+  }
+  std::vector<core::ProsumerId> picked =
+      PickMoveSet(std::move(candidates), params_.rebalance->max_moves, (total + 1) / 2);
+  for (core::ProsumerId prosumer : picked) {
+    plan.moves.push_back({prosumer, decision.hot_shard, decision.cold_shard});
+  }
+  return plan;
+}
+
+Status Coordinator::ExecutePlan(const RebalancePlan& plan, bool already_journaled) {
+  const bool journaled = checkpointed_ && coord_store_.is_open();
+  if (journaled && !already_journaled) {
+    FLEXVIS_RETURN_IF_ERROR(coord_store_.Append(EncodeRebalancePlan(plan).Dump()));
+    FLEXVIS_RETURN_IF_ERROR(coord_store_.Flush());
+  }
+  if (plan.action == RebalancePlan::Action::kMove) {
+    for (const RebalanceMove& move : plan.moves) {
+      const std::map<core::ProsumerId, int>& overrides = router_.overrides();
+      auto it = overrides.find(move.prosumer);
+      if (it != overrides.end() && it->second == move.to) {
+        continue;  // already committed (a resumed plan replays its moves)
+      }
+      Status status = MigrateProsumer(move.prosumer, move.to, MigrationMode::kAllowActive);
+      if (status.code() == StatusCode::kFailedPrecondition ||
+          status.code() == StatusCode::kInvalidArgument) {
+        // Verification refused the move (ingest-backlog skew, or the offers
+        // already route there). The plan stays best-effort; the controller
+        // re-triggers after cooldown if the imbalance persists.
+        continue;
+      }
+      FLEXVIS_RETURN_IF_ERROR(status);
+    }
+    if (journaled) {
+      FLEXVIS_RETURN_IF_ERROR(coord_store_.Append(EncodePlanDoneRecord(plan.id)));
+      FLEXVIS_RETURN_IF_ERROR(coord_store_.Flush());
+    }
+  } else {
+    // No plan_done record: Resize's manifest commit truncates the
+    // coordinator WAL atomically, which retires the plan record with it.
+    FLEXVIS_RETURN_IF_ERROR(Resize(plan.new_num_shards));
+  }
+  ++plans_executed_;
+  return OkStatus();
+}
+
+Status Coordinator::ObserveAndRebalance(int64_t tick, bool* resized) {
+  std::optional<RebalanceDecision> decision = controller_->Observe(tick, CollectSamples());
+  if (!decision.has_value()) return OkStatus();
+  RebalancePlan plan = BuildPlan(*decision);
+  if (plan.action == RebalancePlan::Action::kMove && plan.moves.empty()) {
+    // Nothing movable: journal nothing. The trigger still consumed a plan id
+    // and started the cooldown, and a resumed run re-derives the identical
+    // empty decision from the replayed load history.
+    return OkStatus();
+  }
+  FLEXVIS_RETURN_IF_ERROR(ExecutePlan(plan, /*already_journaled=*/false));
+  if (plan.action != RebalancePlan::Action::kMove) *resized = true;
   return OkStatus();
 }
 
@@ -513,13 +1180,23 @@ std::vector<std::vector<size_t>> Coordinator::CurrentPartition() const {
 
 JsonValue Coordinator::CoordinatorMeta() const {
   JsonValue meta = JsonValue::Object();
-  meta.Set("schema_version", JsonValue::Int(1));
+  meta.Set("schema_version", JsonValue::Int(2));
   meta.Set("num_shards", JsonValue::Int(params_.num_shards));
   meta.Set("policy", JsonValue::Str(std::string(ShardPolicyName(params_.policy))));
   meta.Set("scale_energy_per_shard", JsonValue::Bool(params_.scale_energy_per_shard));
   meta.Set("fault_seed", JsonValue::Int(static_cast<int64_t>(params_.fault_seed)));
   meta.Set("epoch", JsonValue::Int(epoch_));
   meta.Set("base_epoch", JsonValue::Int(base_epoch_));
+  meta.Set("topology", JsonValue::Int(topology_));
+  JsonValue energy = JsonValue::Object();
+  energy.Set("wind_mean_kwh", JsonValue::Double(base_energy_.wind_mean_kwh));
+  energy.Set("solar_peak_kwh", JsonValue::Double(base_energy_.solar_peak_kwh));
+  energy.Set("demand_base_kwh", JsonValue::Double(base_energy_.demand_base_kwh));
+  meta.Set("base_energy", std::move(energy));
+  if (params_.rebalance.has_value()) {
+    meta.Set("rebalance", EncodeRebalanceParams(*params_.rebalance));
+  }
+  if (controller_ != nullptr) meta.Set("controller", controller_->EncodeState());
   JsonValue overrides = JsonValue::Array();
   for (const auto& [prosumer, shard] : router_.overrides()) {
     JsonValue pair = JsonValue::Array();
@@ -543,6 +1220,7 @@ Result<MergedOnlineReport> Coordinator::Finish() {
   MergedOnlineReport merged;
   merged.num_shards = params_.num_shards;
   merged.epoch = epoch_;
+  merged.topology = topology_;
   std::vector<std::vector<size_t>> partition = CurrentPartition();
   merged.global.offers.resize(offers_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
@@ -628,6 +1306,9 @@ Result<MergedOnlineReport> Coordinator::ResumeSharded(const std::string& directo
   if (!policy.ok()) return DataLossError("COORDINATOR.json names an unknown policy");
   const JsonValue& base_epoch_json = meta.Get("base_epoch");
   const int64_t base_epoch = base_epoch_json.is_int() ? base_epoch_json.AsInt() : 0;
+  const JsonValue& topology_json = meta.Get("topology");
+  const int topology =
+      topology_json.is_int() ? static_cast<int>(topology_json.AsInt()) : 0;
   const JsonValue& order_json = meta.Get("offer_order");
   const JsonValue& overrides_json = meta.Get("overrides");
   if (!order_json.is_array() || !overrides_json.is_array()) {
@@ -648,6 +1329,11 @@ Result<MergedOnlineReport> Coordinator::ResumeSharded(const std::string& directo
   params.policy = *policy;
   params.scale_energy_per_shard = *scale;
   params.fault_seed = static_cast<uint64_t>(*fault_seed);
+  if (meta.Has("rebalance")) {
+    Result<RebalanceParams> rebalance = DecodeRebalanceParams(meta.Get("rebalance"));
+    if (!rebalance.ok()) return rebalance.status();
+    params.rebalance = *rebalance;
+  }
 
   // Resume every shard store: each verifies its own SNAPSHOT.json, repairs a
   // torn WAL tail, garbage-collects other-generation debris, and reopens the
@@ -657,6 +1343,26 @@ Result<MergedOnlineReport> Coordinator::ResumeSharded(const std::string& directo
   Coordinator coordinator(params);
   coordinator.directory_ = directory;
   coordinator.coord_store_ = *std::move(coord_store);
+  coordinator.topology_ = topology;
+  // Sweep shard directories the committed manifest does not name: a crash
+  // mid-resize leaves either staged new-topology directories (the manifest
+  // flip never happened) or the old topology's directories (the flip
+  // happened but the destroy did not finish). Either way, only the
+  // manifest's topology is live.
+  {
+    std::set<std::string> expected;
+    for (int s = 0; s < n; ++s) expected.insert(ShardDirName(topology, s));
+    std::error_code ec;
+    for (const fs::directory_entry& entry : fs::directory_iterator(directory, ec)) {
+      if (!entry.is_directory()) continue;
+      const std::string name = entry.path().filename().string();
+      if (name.rfind(kShardDirPrefix, 0) != 0) continue;
+      if (expected.count(name) != 0) continue;
+      FLEXVIS_RETURN_IF_ERROR(
+          DurableStore::Destroy(entry.path().string(), CheckpointStoreOptions()));
+      if (info != nullptr) ++info->stale_shard_dirs_swept;
+    }
+  }
   std::vector<DurableStore> shard_stores(static_cast<size_t>(n));
   std::vector<StoreRecovery> shard_recovery(static_cast<size_t>(n));
   std::vector<OnlineParams> shard_params(static_cast<size_t>(n));
@@ -750,6 +1456,34 @@ Result<MergedOnlineReport> Coordinator::ResumeSharded(const std::string& directo
   // The snapshots already carry per-shard (scaled) parameters; nothing below
   // rescales, so suppress the Begin-time scaling semantics on this instance.
   coordinator.window_ = window;
+  coordinator.base_energy_ = coordinator.params_.online.energy;
+  const JsonValue& energy_json = meta.Get("base_energy");
+  if (energy_json.is_object()) {
+    Result<double> wind = energy_json.GetDouble("wind_mean_kwh");
+    Result<double> solar = energy_json.GetDouble("solar_peak_kwh");
+    Result<double> demand = energy_json.GetDouble("demand_base_kwh");
+    if (!wind.ok() || !solar.ok() || !demand.ok()) {
+      return DataLossError("COORDINATOR.json base_energy is incomplete");
+    }
+    coordinator.base_energy_.wind_mean_kwh = *wind;
+    coordinator.base_energy_.solar_peak_kwh = *solar;
+    coordinator.base_energy_.demand_base_kwh = *demand;
+  } else if (params.scale_energy_per_shard) {
+    // v1 manifest: multiply shard 0's scaled means back out. Exact only when
+    // the division was (floats), but v1 runs cannot resize anyway.
+    const double factor = static_cast<double>(n);
+    coordinator.base_energy_.wind_mean_kwh *= factor;
+    coordinator.base_energy_.solar_peak_kwh *= factor;
+    coordinator.base_energy_.demand_base_kwh *= factor;
+  }
+  if (coordinator.params_.rebalance.has_value()) {
+    coordinator.controller_ = std::make_unique<RebalanceController>(
+        *coordinator.params_.rebalance, n, window);
+    if (meta.Has("controller")) {
+      FLEXVIS_RETURN_IF_ERROR(
+          coordinator.controller_->DecodeState(meta.Get("controller")));
+    }
+  }
   for (size_t i = 0; i < order_json.size(); ++i) {
     if (!order_json[i].is_int()) return DataLossError("offer_order holds a non-integer id");
     auto it = by_id.find(order_json[i].AsInt());
@@ -824,6 +1558,11 @@ Result<MergedOnlineReport> Coordinator::ResumeSharded(const std::string& directo
   //   - lone migrate_out above base_epoch whose target queue is exhausted ->
   //     the crash hit between the two flushes; complete the migration by
   //     synthesizing and journaling the migrate_in, then commit.
+  // Per-tick load samples reconstructed during replay. Ticks at or below the
+  // manifest's controller state were already observed live; everything after
+  // is fed to the controller once replay settles, so its trend state crosses
+  // the crash byte-identically.
+  std::map<int64_t, std::vector<std::optional<ShardLoadSample>>> samples;
   struct PendingMigration {
     int shard = 0;  // the shard whose journal surfaced the record
     MigrationRecord record;
@@ -868,8 +1607,13 @@ Result<MergedOnlineReport> Coordinator::ResumeSharded(const std::string& directo
                                 });
       if (match != pending_out.end()) {
         pending_out.erase(match);
-        FLEXVIS_RETURN_IF_ERROR(coordinator.CommitMigration(record.prosumer, record.from,
-                                                            record.to, record.epoch));
+        if (record.active) {
+          FLEXVIS_RETURN_IF_ERROR(coordinator.CommitActiveMigration(
+              record.prosumer, record.from, record.to, record.epoch));
+        } else {
+          FLEXVIS_RETURN_IF_ERROR(coordinator.CommitMigration(
+              record.prosumer, record.from, record.to, record.epoch));
+        }
         if (info != nullptr) ++info->migrations_replayed;
         it = pending_in.erase(it);
         progressed = true;
@@ -877,7 +1621,12 @@ Result<MergedOnlineReport> Coordinator::ResumeSharded(const std::string& directo
         // The migrate_out was compacted away with the source's old WAL
         // (epoch <= base_epoch, verified above): the source snapshot already
         // excludes the prosumer; rebase only this target shard.
-        FLEXVIS_RETURN_IF_ERROR(coordinator.RebakeShard(it->shard, record.epoch));
+        if (record.active) {
+          FLEXVIS_RETURN_IF_ERROR(coordinator.ActiveRebakeTarget(
+              it->shard, MovedFromRecord(record, coordinator.offers_), record.epoch));
+        } else {
+          FLEXVIS_RETURN_IF_ERROR(coordinator.RebakeShard(it->shard, record.epoch));
+        }
         if (info != nullptr) ++info->migrations_replayed;
         it = pending_in.erase(it);
         progressed = true;
@@ -894,7 +1643,12 @@ Result<MergedOnlineReport> Coordinator::ResumeSharded(const std::string& directo
       if (record.epoch <= base_epoch) {
         // The migrate_in was compacted away with the target's old WAL: the
         // target snapshot already includes the prosumer; rebase the source.
-        FLEXVIS_RETURN_IF_ERROR(coordinator.RebakeShard(it->shard, record.epoch));
+        if (record.active) {
+          FLEXVIS_RETURN_IF_ERROR(
+              coordinator.ActiveRebakeSource(it->shard, record.prosumer, record.epoch));
+        } else {
+          FLEXVIS_RETURN_IF_ERROR(coordinator.RebakeShard(it->shard, record.epoch));
+        }
         if (info != nullptr) ++info->migrations_replayed;
         it = pending_out.erase(it);
         progressed = true;
@@ -914,8 +1668,13 @@ Result<MergedOnlineReport> Coordinator::ResumeSharded(const std::string& directo
       Shard& target = *coordinator.shards_[static_cast<size_t>(in.to)];
       FLEXVIS_RETURN_IF_ERROR(target.store.Append(EncodeMigrationRecord(in)));
       FLEXVIS_RETURN_IF_ERROR(target.store.Flush());
-      FLEXVIS_RETURN_IF_ERROR(
-          coordinator.CommitMigration(in.prosumer, in.from, in.to, in.epoch));
+      if (in.active) {
+        FLEXVIS_RETURN_IF_ERROR(
+            coordinator.CommitActiveMigration(in.prosumer, in.from, in.to, in.epoch));
+      } else {
+        FLEXVIS_RETURN_IF_ERROR(
+            coordinator.CommitMigration(in.prosumer, in.from, in.to, in.epoch));
+      }
       if (info != nullptr) ++info->migrations_repaired;
       it = pending_out.erase(it);
       progressed = true;
@@ -933,6 +1692,16 @@ Result<MergedOnlineReport> Coordinator::ResumeSharded(const std::string& directo
       OnlineTickRecord record = std::move(queue.front().tick);
       queue.pop_front();
       FLEXVIS_RETURN_IF_ERROR(shard.enterprise.Apply(shard.state, record));
+      if (coordinator.controller_ != nullptr) {
+        std::vector<std::optional<ShardLoadSample>>& row = samples[record.tick];
+        row.resize(static_cast<size_t>(n));
+        ShardLoadSample sample;
+        sample.shed_offers = shard.state.report.shed_offers;
+        sample.queue_depth = static_cast<int>(shard.state.pending_acceptance.size());
+        sample.backlog =
+            static_cast<int64_t>(shard.state.arrival.size() - shard.state.next_arrival);
+        row[static_cast<size_t>(s)] = sample;
+      }
       // A boundary tick surviving in the WAL means this shard's fold at that
       // boundary never committed — remembered for the catch-up compaction.
       if (const int compact_ticks = coordinator.params_.online.compact_ticks;
@@ -958,6 +1727,86 @@ Result<MergedOnlineReport> Coordinator::ResumeSharded(const std::string& directo
     if (info != nullptr) info->manifest_rewritten = true;
   }
 
+  // Re-feed the controller the replayed ticks (its manifest state stops at
+  // the last manifest write), then reconcile the plan WAL: a plan record
+  // without its done marker means the crash hit mid-plan — its remaining
+  // steps complete now. A decision the controller re-derives for the final
+  // replayed tick that never even reached the WAL is re-planned whole. Both
+  // paths are deterministic re-runs of what the live process was doing.
+  const int topology_before_reconcile = coordinator.topology_;
+  std::optional<RebalanceDecision> pending_decision;
+  if (coordinator.controller_ != nullptr) {
+    int64_t min_last = -1;
+    for (const std::unique_ptr<Shard>& shard : coordinator.shards_) {
+      const int64_t last = static_cast<int64_t>(shard->state.next_tick) - 1;
+      if (min_last < 0 || last < min_last) min_last = last;
+    }
+    for (int64_t t = coordinator.controller_->last_observed_tick() + 1; t <= min_last;
+         ++t) {
+      auto row = samples.find(t);
+      if (row == samples.end() || row->second.size() != static_cast<size_t>(n)) {
+        return DataLossError(StrFormat(
+            "no replayed load samples for observed tick %lld", static_cast<long long>(t)));
+      }
+      std::vector<ShardLoadSample> tick_samples;
+      tick_samples.reserve(row->second.size());
+      for (const std::optional<ShardLoadSample>& sample : row->second) {
+        if (!sample.has_value()) {
+          return DataLossError(
+              StrFormat("a shard is missing its load sample for observed tick %lld",
+                        static_cast<long long>(t)));
+        }
+        tick_samples.push_back(*sample);
+      }
+      std::optional<RebalanceDecision> decision =
+          coordinator.controller_->Observe(t, tick_samples);
+      if (decision.has_value() && t == min_last) pending_decision = decision;
+    }
+  }
+  std::vector<RebalancePlan> wal_plans;
+  std::set<int64_t> done_ids;
+  for (const std::string& payload : coord_recovery.records) {
+    Result<JsonValue> json = JsonValue::Parse(payload);
+    if (!json.ok() || !json->is_object()) {
+      return DataLossError("coordinator WAL record is not a JSON object");
+    }
+    Result<std::string> kind = json->GetString("kind");
+    if (!kind.ok()) return DataLossError("coordinator WAL record lacks a kind");
+    if (*kind == "plan") {
+      Result<RebalancePlan> plan = DecodeRebalancePlan(*json);
+      if (!plan.ok()) return plan.status();
+      wal_plans.push_back(*std::move(plan));
+    } else if (*kind == "plan_done") {
+      Result<int64_t> id = json->GetInt("id");
+      if (!id.ok()) return DataLossError("plan_done record lacks an id");
+      done_ids.insert(*id);
+    } else {
+      return DataLossError(
+          StrFormat("coordinator WAL record of unknown kind '%s'", kind->c_str()));
+    }
+  }
+  for (const RebalancePlan& plan : wal_plans) {
+    if (done_ids.count(plan.id) != 0) continue;
+    FLEXVIS_RETURN_IF_ERROR(coordinator.ExecutePlan(plan, /*already_journaled=*/true));
+    if (info != nullptr) ++info->plans_completed;
+    if (pending_decision.has_value() && pending_decision->plan_id == plan.id) {
+      pending_decision.reset();
+    }
+  }
+  if (pending_decision.has_value() && done_ids.count(pending_decision->plan_id) != 0) {
+    // The plan ran to completion live (done marker present); nothing to redo.
+    pending_decision.reset();
+  }
+  if (pending_decision.has_value()) {
+    RebalancePlan plan = coordinator.BuildPlan(*pending_decision);
+    // An empty kMove plan was never journaled live either; both sides agree
+    // by re-deriving it from the same replayed history.
+    if (plan.action != RebalancePlan::Action::kMove || !plan.moves.empty()) {
+      FLEXVIS_RETURN_IF_ERROR(coordinator.ExecutePlan(plan, /*already_journaled=*/false));
+      if (info != nullptr) ++info->plans_reexecuted;
+    }
+  }
+
   // A global compaction the crash interrupted: every shard applied through
   // the boundary tick yet some shard's WAL still holds the boundary record —
   // an uninterrupted CompactShards folds it away before the next global tick
@@ -968,7 +1817,7 @@ Result<MergedOnlineReport> Coordinator::ResumeSharded(const std::string& directo
   // record), min_next sits below the boundary and the continuation re-runs
   // the global tick and its compaction itself.
   if (const int compact_ticks = coordinator.params_.online.compact_ticks;
-      compact_ticks > 0 &&
+      compact_ticks > 0 && coordinator.topology_ == topology_before_reconcile &&
       std::find(missed_compaction.begin(), missed_compaction.end(), true) !=
           missed_compaction.end()) {
     int64_t min_next = -1;
@@ -982,17 +1831,19 @@ Result<MergedOnlineReport> Coordinator::ResumeSharded(const std::string& directo
     }
   }
 
-  std::vector<int> replayed_ticks(static_cast<size_t>(n), 0);
-  for (int s = 0; s < n; ++s) {
-    replayed_ticks[static_cast<size_t>(s)] =
-        coordinator.shards_[static_cast<size_t>(s)]->state.report.ticks;
+  // A reconcile-time resize may have changed the shard count; the tail
+  // accounting runs over whatever fleet the continuation actually ticks.
+  const size_t live_shards = coordinator.shards_.size();
+  std::vector<int> replayed_ticks(live_shards, 0);
+  for (size_t s = 0; s < live_shards; ++s) {
+    replayed_ticks[s] = coordinator.shards_[s]->state.report.ticks;
   }
   while (!coordinator.Done()) FLEXVIS_RETURN_IF_ERROR(coordinator.Tick());
   if (info != nullptr) {
-    for (int s = 0; s < n; ++s) {
-      info->shards[static_cast<size_t>(s)].ticks_continued =
-          coordinator.shards_[static_cast<size_t>(s)]->state.report.ticks -
-          replayed_ticks[static_cast<size_t>(s)];
+    if (info->shards.size() < live_shards) info->shards.resize(live_shards);
+    for (size_t s = 0; s < live_shards; ++s) {
+      info->shards[s].ticks_continued =
+          coordinator.shards_[s]->state.report.ticks - replayed_ticks[s];
     }
   }
   return coordinator.Finish();

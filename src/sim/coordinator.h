@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "sim/checkpoint.h"
 #include "sim/enterprise.h"
 #include "sim/online.h"
+#include "sim/rebalance.h"
 #include "sim/shard.h"
 #include "util/fault.h"
 #include "util/status.h"
@@ -77,6 +79,44 @@ struct CoordinatorParams {
   /// Base seed for the per-shard fault registries (shard s is seeded with a
   /// shard-distinct mix of this).
   uint64_t fault_seed = 2013;
+  /// When set, a RebalanceController watches every tick's per-shard load and
+  /// autonomously issues journaled RebalancePlans (prosumer moves, and —
+  /// when `allow_resize` — shard split/merge). Unset: no controller, the
+  /// PR-4 behaviour.
+  std::optional<RebalanceParams> rebalance;
+};
+
+/// What MigrateProsumer may move. kIdleOnly is the PR-4 contract: the
+/// prosumer must have no ingested offers (FailedPrecondition otherwise).
+/// kAllowActive lifts that: mid-flight state (ingested-arrival positions,
+/// pending-queue entries, decided offer states with schedules) travels
+/// inside the migrate_out/migrate_in records, and both shards are re-based
+/// onto spliced folded records with the consumed-history splice verified.
+enum class MigrationMode {
+  kIdleOnly = 0,
+  kAllowActive,
+};
+
+/// A prosumer's mid-flight state, the payload an *active* migration moves
+/// between shards (journaled inside the migrate_out/migrate_in records and
+/// spliced into both shards' folded records at commit).
+struct MigratedState {
+  /// The prosumer's offers, verbatim input copies in global input order
+  /// (migrate_in records carry them so the record is self-contained).
+  std::vector<core::FlexOffer> offers;
+  /// Offers already past the source's arrival cursor, in source arrival
+  /// order (ingested or dropped at the ingest seam).
+  std::vector<core::FlexOfferId> consumed;
+  /// Pending-queue membership, in queue order.
+  std::vector<core::FlexOfferId> pending_acceptance;
+  std::vector<core::FlexOfferId> pending_assignment;
+  /// Decided states (non-kOffered) with committed schedules, in source
+  /// subset order.
+  std::vector<OnlineStateChange> states;
+
+  /// An idle prosumer: nothing consumed (and therefore nothing pending or
+  /// decided) — eligible for the PR-4 idle migration path.
+  bool idle() const { return consumed.empty(); }
 };
 
 /// The coordinator's merged view of one sharded run.
@@ -84,6 +124,9 @@ struct MergedOnlineReport {
   int num_shards = 1;
   /// Assignment epoch: number of committed prosumer migrations.
   int64_t epoch = 0;
+  /// Shard-layout generation: number of committed split/merge resizes (the
+  /// suffix of the shard directories, 0 for the initial layout).
+  int topology = 0;
   /// Global report: counters summed across shards (queue_high_watermark is
   /// the max), offers merged back into global input order, outbox
   /// concatenated in shard order.
@@ -106,6 +149,16 @@ struct ShardResumeInfo {
   /// True when COORDINATOR.json lagged the journals (crash between a
   /// migration's journal flushes and its manifest rewrite) and was rewritten.
   bool manifest_rewritten = false;
+  /// Rebalance plans whose journaled record had no completion marker: the
+  /// resume finished their remaining steps (or re-committed the resize).
+  int plans_completed = 0;
+  /// Plans the controller re-decided from the replayed load history because
+  /// the crash hit after the trigger but before the plan record was durable;
+  /// the resume executed them from scratch.
+  int plans_reexecuted = 0;
+  /// Shard store directories of superseded topologies (or uncommitted resize
+  /// staging) swept by the recovery.
+  int stale_shard_dirs_swept = 0;
 };
 
 class Coordinator {
@@ -118,6 +171,10 @@ class Coordinator {
   const CoordinatorParams& params() const { return params_; }
   const ShardRouter& router() const { return router_; }
   int64_t epoch() const { return epoch_; }
+  /// Number of committed split/merge resizes (0 for the initial layout).
+  int topology() const { return topology_; }
+  /// Rebalance plans executed by this coordinator instance (controller runs).
+  int64_t plans_executed() const { return plans_executed_; }
 
   /// Per-shard fault registry (armed from FLEXVIS_FAULTS at Begin); valid
   /// after Begin. Tests arm individual shards through this.
@@ -144,17 +201,37 @@ class Coordinator {
   /// then the records are journaled serially in shard order.
   Status Tick();
 
-  /// Moves `prosumer` to `to_shard`, replay-verified: the prosumer must be
-  /// idle in its current shard (none of its offers ingested yet —
-  /// FailedPrecondition otherwise), its offers are exported as a journaled
-  /// migrate_out record, imported into the target via a migrate_in record
-  /// carrying the full offer payload, and both shards are rebuilt from their
-  /// new offer subsets by replaying every applied tick record; the rebuilt
-  /// states are diffed against the pre-migration counters/outbox (Internal
-  /// on any mismatch). Commits the new assignment epoch to COORDINATOR.json
-  /// when checkpointed. NotFound when the prosumer owns no offers;
-  /// InvalidArgument when already on `to_shard`.
-  Status MigrateProsumer(core::ProsumerId prosumer, int to_shard);
+  /// Moves `prosumer` to `to_shard`, replay-verified. Under kIdleOnly the
+  /// prosumer must be idle in its current shard (none of its offers ingested
+  /// yet — FailedPrecondition naming *every* already-ingested offer id
+  /// otherwise); its offers are exported as a journaled migrate_out record,
+  /// imported into the target via a migrate_in record carrying the full
+  /// offer payload, and both shards are rebuilt from their new offer subsets
+  /// by replaying every applied tick record; the rebuilt states are diffed
+  /// against the pre-migration counters/outbox (Internal on any mismatch).
+  /// Under kAllowActive an active prosumer moves too: the records
+  /// additionally carry its consumed-arrival positions, pending-queue
+  /// entries, and decided states, and both shards are re-based onto spliced
+  /// folded records (FailedPrecondition when inter-shard ingest backlog skew
+  /// would reorder the target's consumed history). Commits the new
+  /// assignment epoch to COORDINATOR.json when checkpointed. NotFound when
+  /// the prosumer owns no offers; InvalidArgument when already on
+  /// `to_shard`.
+  Status MigrateProsumer(core::ProsumerId prosumer, int to_shard,
+                         MigrationMode mode = MigrationMode::kIdleOnly);
+
+  /// Changes the fleet to `new_num_shards` at the current tick boundary
+  /// (FailedPrecondition when the shards are not in lockstep or ingest
+  /// backlog skew makes the consumed-history splice ambiguous). The global
+  /// live state is re-partitioned under a fresh router (overrides cleared),
+  /// cumulative counters and the outbox are re-homed to new shard 0, and —
+  /// when checkpointed — a new topology of shard stores
+  /// (`shard-NNNN.t<topology>/`) is staged and committed atomically by the
+  /// COORDINATOR.json rewrite, after which the old topology's directories
+  /// are destroyed (a crash in between leaves debris the next resume
+  /// sweeps). InvalidArgument when the count is unchanged or out of
+  /// [1, kMaxShards].
+  Status Resize(int new_num_shards);
 
   /// Finalizes every shard and merges. Call once, after Done().
   Result<MergedOnlineReport> Finish();
@@ -184,6 +261,9 @@ class Coordinator {
   struct Shard;
 
   std::string ShardDir(int shard) const;
+  /// Shard directory name under a specific topology: plain `shard-NNNN` for
+  /// topology 0, `shard-NNNN.t<T>` after T resizes.
+  static std::string ShardDirName(int topology, int shard);
   /// The coordinator state persisted as the COORDINATOR.json store meta.
   JsonValue CoordinatorMeta() const;
   /// Recommits COORDINATOR.json (the coordinator store manifest) with the
@@ -212,6 +292,47 @@ class Coordinator {
   Status CommitMigration(core::ProsumerId prosumer, int from, int to, int64_t new_epoch);
   std::vector<std::vector<size_t>> CurrentPartition() const;
 
+  // ---- Active migration / splice (rebalance tentpole) ----------------------
+
+  /// Everything of `prosumer`'s mid-flight state on shard `s`, extracted
+  /// from the live loop state.
+  MigratedState ExtractMovedState(int s, core::ProsumerId prosumer) const;
+  /// Begin(subset) + Apply(fold), then verifies the consumed-arrival prefix
+  /// is exactly `expect_consumed` as a set (FailedPrecondition otherwise —
+  /// ingest-backlog skew would reorder consumed history). Swaps into `out`.
+  /// Runs under the shard-owning `enterprise` so the energy-scaled residual
+  /// target matches (a resize passes the *new* fleet's enterprises here).
+  Status BuildSplicedState(const OnlineEnterprise& enterprise,
+                           const std::vector<core::FlexOffer>& subset,
+                           const OnlineTickRecord& fold,
+                           const std::vector<core::FlexOfferId>& expect_consumed,
+                           OnlineLoopState* out) const;
+  /// Commits an active migration whose records are already durable: splices
+  /// the moved state out of `from` and into `to`, re-bases both shards onto
+  /// the spliced folds, applies the override, and bumps the epoch.
+  Status CommitActiveMigration(core::ProsumerId prosumer, int from, int to, int64_t new_epoch);
+  /// Resume-only one-sided rebases for an active migration whose counterpart
+  /// record was compacted away: only the surfacing shard is re-based, using
+  /// the record's moved-state fields (the other shard's snapshot already
+  /// reflects the migration).
+  Status ActiveRebakeTarget(int s, const MigratedState& moved, int64_t epoch);
+  Status ActiveRebakeSource(int s, core::ProsumerId prosumer, int64_t epoch);
+
+  // ---- Rebalance controller wiring -----------------------------------------
+
+  /// One tick's per-shard load samples from the live states (identical to
+  /// what a replayed journal record reconstructs).
+  std::vector<ShardLoadSample> CollectSamples() const;
+  /// Turns a controller decision into a concrete plan (move-set picked from
+  /// the hot shard's per-prosumer pending load).
+  RebalancePlan BuildPlan(const RebalanceDecision& decision) const;
+  /// Journals the plan record, executes it step by step (moves that fail
+  /// their precondition are skipped), journals the completion marker.
+  Status ExecutePlan(const RebalancePlan& plan, bool already_journaled);
+  /// Controller observation for the tick just completed; may trigger and
+  /// execute a plan. Sets `*resized` when the plan changed the topology.
+  Status ObserveAndRebalance(int64_t tick, bool* resized);
+
   CoordinatorParams params_;
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -221,6 +342,15 @@ class Coordinator {
   /// Highest epoch whose migrations are baked into the shard snapshots (set
   /// when compaction commits COORDINATOR.json before folding the shards).
   int64_t base_epoch_ = 0;
+  /// Number of committed split/merge resizes; names the shard directories.
+  int topology_ = 0;
+  /// The energy-model means before per-shard scaling, kept so a resize can
+  /// re-derive exact per-shard params for the new fleet size (re-dividing
+  /// already-scaled values would not be exact in floating point).
+  EnergyModelParams base_energy_;
+  /// Present iff params_.rebalance is set.
+  std::unique_ptr<RebalanceController> controller_;
+  int64_t plans_executed_ = 0;
   bool checkpointed_ = false;
   std::string directory_;
   /// The zero-file store behind COORDINATOR.json (checkpointed runs only).

@@ -1,0 +1,168 @@
+#ifndef FLEXVIS_SIM_REBALANCE_H_
+#define FLEXVIS_SIM_REBALANCE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "time/time_point.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace flexvis::sim {
+
+/// Knobs of the self-healing load controller. The controller watches the
+/// per-shard overload signals (`shed_offers` deltas and pending-acceptance
+/// queue depth, the same pair `ScanOverload` alerts on) and, when a shard
+/// stays overloaded for `window_ticks` consecutive ticks, issues a
+/// `RebalancePlan`: move the hottest prosumers to the coolest shard, or —
+/// when every shard is hot and resizing is allowed — split the fleet.
+struct RebalanceParams {
+  /// Consecutive overloaded ticks before a shard triggers a plan.
+  int window_ticks = 3;
+  /// Pending-acceptance queue depth that counts as overloaded even without
+  /// sheds (forwarded to ScanOverload). 0 disables the depth signal.
+  int queue_depth_threshold = 0;
+  /// Ticks after a plan during which no new plan is issued, so the fleet
+  /// can absorb the moves before the controller re-evaluates.
+  int cooldown_ticks = 4;
+  /// Most prosumers one kMove plan relocates.
+  int max_moves = 2;
+  /// Allow kSplit/kMerge plans that change num_shards.
+  bool allow_resize = false;
+  /// Resize bounds (inclusive). Splits double, merges halve, both clamped.
+  int min_shards = 1;
+  int max_shards = 64;
+  /// Consecutive fully-idle ticks (no sheds, empty queues, no backlog on
+  /// any shard) before a kMerge plan halves the fleet. 0 disables merging.
+  int merge_window_ticks = 0;
+};
+
+JsonValue EncodeRebalanceParams(const RebalanceParams& params);
+Result<RebalanceParams> DecodeRebalanceParams(const JsonValue& value);
+
+/// One shard's load signals after a tick, fed to the controller each tick.
+/// All three are reconstructible from a replayed journal record, so a
+/// resumed controller observes byte-identical history.
+struct ShardLoadSample {
+  /// Cumulative shed counter after the tick (the controller differences
+  /// consecutive samples itself).
+  int64_t shed_offers = 0;
+  /// Pending-acceptance queue depth after the tick.
+  int queue_depth = 0;
+  /// Arrivals not yet ingested after the tick.
+  int64_t backlog = 0;
+};
+
+/// One prosumer relocation within a plan.
+struct RebalanceMove {
+  core::ProsumerId prosumer = 0;
+  int from = -1;
+  int to = -1;
+};
+
+/// A durable rebalancing decision. The coordinator journals the whole plan
+/// (kind "plan") before executing any step and a completion marker (kind
+/// "plan_done") after the last, so a crash mid-plan resumes into either
+/// completing the remaining steps or deterministically re-deciding the same
+/// plan from the replayed load history.
+struct RebalancePlan {
+  enum class Action { kMove = 0, kSplit, kMerge };
+
+  int64_t id = 0;
+  /// Global tick the triggering observation covered.
+  int64_t tick = 0;
+  Action action = Action::kMove;
+  /// Target fleet size for kSplit/kMerge; 0 for kMove.
+  int new_num_shards = 0;
+  std::vector<RebalanceMove> moves;
+};
+
+std::string_view RebalanceActionName(RebalancePlan::Action action);
+Result<RebalancePlan::Action> ParseRebalanceAction(std::string_view name);
+
+JsonValue EncodeRebalancePlan(const RebalancePlan& plan);
+Result<RebalancePlan> DecodeRebalancePlan(const JsonValue& value);
+
+/// What the controller decided on one tick; the coordinator turns it into a
+/// concrete RebalancePlan (picking the move-set from live shard state).
+struct RebalanceDecision {
+  int64_t plan_id = 0;
+  int64_t tick = 0;
+  RebalancePlan::Action action = RebalancePlan::Action::kMove;
+  /// The sustained-overloaded shard to drain (kMove).
+  int hot_shard = -1;
+  /// The least-loaded shard to receive the moves (kMove).
+  int cold_shard = -1;
+  /// Target fleet size (kSplit/kMerge).
+  int new_num_shards = 0;
+};
+
+/// A per-prosumer load figure on the hot shard: offers not yet answered
+/// (un-ingested arrivals plus pending-queue entries). Input to PickMoveSet.
+struct ProsumerLoad {
+  core::ProsumerId prosumer = 0;
+  int64_t pending_offers = 0;
+};
+
+/// Picks the minimal move-set: candidates sorted by load descending (ties:
+/// lower prosumer id first), taken until either `max_moves` prosumers are
+/// picked or the cumulative load reaches `target_load` (aim: halve the hot
+/// shard). Zero-load prosumers are never picked — moving them cannot help.
+std::vector<core::ProsumerId> PickMoveSet(std::vector<ProsumerLoad> candidates, int max_moves,
+                                          int64_t target_load);
+
+/// The deterministic trend-watcher. Feed it every tick's per-shard samples
+/// in tick order; it differences shed counters, runs ScanOverload over the
+/// resulting per-tick report, tracks per-shard overload streaks, and issues
+/// at most one decision per trigger with cooldown pacing. All state is
+/// serializable into the coordinator manifest, and Observe() is a pure
+/// function of (state, samples) — replaying the same sample history after a
+/// crash reproduces the same decisions at the same ticks.
+class RebalanceController {
+ public:
+  RebalanceController(RebalanceParams params, int num_shards, timeutil::TimeInterval window);
+
+  const RebalanceParams& params() const { return params_; }
+  int num_shards() const { return num_shards_; }
+  int64_t next_plan_id() const { return next_plan_id_; }
+  /// Last tick Observe() covered; -1 before the first.
+  int64_t last_observed_tick() const { return last_observed_tick_; }
+
+  /// Feeds one global tick's per-shard samples (index = shard). Returns a
+  /// decision when a plan triggers this tick. Triggering always mutates the
+  /// controller (plan id consumed, cooldown started, streaks reset) whether
+  /// or not the coordinator manages to execute the plan, so live and
+  /// replayed histories stay in lockstep.
+  std::optional<RebalanceDecision> Observe(int64_t tick,
+                                           const std::vector<ShardLoadSample>& samples);
+
+  /// Resets per-shard tracking after a split/merge changed the fleet size.
+  /// `prev_shed`, when sized to the new fleet, seeds the shed baselines —
+  /// the coordinator re-homes all cumulative counters to new shard 0 on a
+  /// resize, and a zero baseline there would read as one giant spurious
+  /// shed burst on the first post-resize observation.
+  void ResetShards(int num_shards, const std::vector<int64_t>& prev_shed = {});
+
+  JsonValue EncodeState() const;
+  Status DecodeState(const JsonValue& state);
+
+ private:
+  RebalanceParams params_;
+  int num_shards_;
+  timeutil::TimeInterval window_;
+  /// Consecutive overloaded ticks per shard.
+  std::vector<int> streak_;
+  /// Previous tick's cumulative shed counter per shard.
+  std::vector<int64_t> prev_shed_;
+  int idle_streak_ = 0;
+  int cooldown_ = 0;
+  int64_t next_plan_id_ = 1;
+  int64_t last_observed_tick_ = -1;
+};
+
+}  // namespace flexvis::sim
+
+#endif  // FLEXVIS_SIM_REBALANCE_H_

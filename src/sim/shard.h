@@ -25,6 +25,12 @@ enum class ShardPolicy {
   kFeeder,
 };
 
+/// Upper bound on the shard count everywhere a count is validated (the
+/// coordinator's constructor, FLEXVIS_SHARDS parsing, resize plans). One
+/// constant so elasticity cannot grow a fleet past what the lockstep
+/// coordinator was tested at.
+inline constexpr int kMaxShards = 64;
+
 std::string_view ShardPolicyName(ShardPolicy policy);
 
 /// Inverse of ShardPolicyName; InvalidArgument on unknown names.

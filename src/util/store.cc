@@ -261,6 +261,19 @@ Status DurableStore::Invalidate(const std::string& directory, const StoreOptions
   return OkStatus();
 }
 
+Status DurableStore::Destroy(const std::string& directory, const StoreOptions& options) {
+  std::error_code ec;
+  if (!fs::exists(directory, ec)) return OkStatus();
+  FLEXVIS_RETURN_IF_ERROR(Invalidate(directory, options));
+  FLEXVIS_FAULT_CHECK("util.store.delete");
+  fs::remove_all(directory, ec);
+  if (ec) {
+    return InternalError(StrFormat("cannot remove store directory '%s': %s", directory.c_str(),
+                                   ec.message().c_str()));
+  }
+  return OkStatus();
+}
+
 Result<DurableStore> DurableStore::Create(const std::string& directory,
                                           const StoreOptions& options, const StoreFiles& files,
                                           const JsonValue& meta) {

@@ -203,6 +203,12 @@ class DurableStore {
   /// warehouse removes SHARDS.json before rewriting shard subdirectories).
   static Status Invalidate(const std::string& directory, const StoreOptions& options);
 
+  /// Invalidate() + remove the whole store directory. The manifest vanishes
+  /// before any content does, so a crash mid-removal leaves an uncommitted
+  /// husk (swept by the owner's next recovery pass), never a manifest paired
+  /// with partial content. Removing a store that does not exist is OK.
+  static Status Destroy(const std::string& directory, const StoreOptions& options);
+
   /// Decodes the committed generation: verifies the manifest against the
   /// snapshot files (kDataLoss on a missing/corrupt manifest or any
   /// size/CRC mismatch), replays the WAL tolerating a torn tail (repaired

@@ -152,16 +152,16 @@ class ShardTest : public ::testing::Test {
   /// after `migrate_after_ticks` ticks. The shape the kill matrix exercises:
   /// per-tick journal flushes, the two migration flushes, and the
   /// coordinator manifest writes all happen on this path.
-  Result<sim::MergedOnlineReport> RunMigrating(const std::string& dir, int shards,
-                                               core::ProsumerId prosumer, int to_shard,
-                                               int migrate_after_ticks) {
+  Result<sim::MergedOnlineReport> RunMigrating(
+      const std::string& dir, int shards, core::ProsumerId prosumer, int to_shard,
+      int migrate_after_ticks, sim::MigrationMode mode = sim::MigrationMode::kIdleOnly) {
     sim::Coordinator coordinator(Params(shards));
     FLEXVIS_RETURN_IF_ERROR(
         coordinator.BeginCheckpointed(workload_.offers, window_, dir));
     for (int i = 0; i < migrate_after_ticks && !coordinator.Done(); ++i) {
       FLEXVIS_RETURN_IF_ERROR(coordinator.Tick());
     }
-    FLEXVIS_RETURN_IF_ERROR(coordinator.MigrateProsumer(prosumer, to_shard));
+    FLEXVIS_RETURN_IF_ERROR(coordinator.MigrateProsumer(prosumer, to_shard, mode));
     while (!coordinator.Done()) FLEXVIS_RETURN_IF_ERROR(coordinator.Tick());
     return coordinator.Finish();
   }
@@ -536,6 +536,94 @@ TEST_F(ShardTest, CoordinatorKillMatrixConvergesToAConsistentEpoch) {
 
       // After recovery the journals are whole: a second resume replays
       // everything and re-executes nothing.
+      sim::ShardResumeInfo again;
+      Result<sim::MergedOnlineReport> second =
+          sim::Coordinator::ResumeSharded(dir, &again);
+      ASSERT_TRUE(second.ok()) << label << ": " << second.status().ToString();
+      for (const sim::ResumeInfo& shard : again.shards) {
+        EXPECT_EQ(shard.ticks_replayed, recovered->global.ticks) << label;
+        EXPECT_EQ(shard.ticks_continued, 0) << label;
+      }
+      ExpectMergedEqual(*recovered, *second, label + " (second resume)");
+    }
+  }
+}
+
+TEST_F(ShardTest, ActiveMigrationKillMatrixConvergesToAConsistentEpoch) {
+  const int kShards = 2;
+  const int kMigrateAfter = 6;
+  // The earliest-created offer's prosumer: certainly active (mid-flight
+  // state to transfer) by tick 6. Its migrate_out/migrate_in records carry
+  // the consumed-offer payload the recovery splice rebuilds from.
+  const core::FlexOffer* earliest = &workload_.offers.front();
+  for (const core::FlexOffer& offer : workload_.offers) {
+    if (offer.creation_time < earliest->creation_time) earliest = &offer;
+  }
+  const core::ProsumerId prosumer = earliest->prosumer;
+  sim::ShardRouter router(kShards, sim::ShardPolicy::kHash);
+  const int from = router.ShardOfProsumer(prosumer, core::kInvalidRegionId,
+                                          core::kInvalidGridNodeId);
+  const int to = 1 - from;
+
+  auto run = [&](const std::string& dir) {
+    return RunMigrating(dir, kShards, prosumer, to, kMigrateAfter,
+                        sim::MigrationMode::kAllowActive);
+  };
+  // Same two-outcome contract as the idle-migration matrix — the transferred
+  // mid-flight state must not add a third.
+  Result<sim::MergedOnlineReport> migrated = run(Dir("akill_base_mig"));
+  ASSERT_TRUE(migrated.ok()) << migrated.status().ToString();
+  ASSERT_EQ(migrated->epoch, 1);
+  Result<sim::MergedOnlineReport> plain = sim::Coordinator::RunShardedCheckpointed(
+      Params(kShards), workload_.offers, window_, Dir("akill_base_plain"));
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  for (const char* point : {"util.journal.flush", "util.fileio.write"}) {
+    FaultRegistry::Global().Arm(point, FaultConfig{});
+    ASSERT_TRUE(run(Dir("acount")).ok());
+    const int64_t hits = FaultRegistry::Global().Stats(point).hits;
+    FaultRegistry::Global().DisarmAll();
+    ASSERT_GT(hits, 0) << point << " is not on the active-migration write path";
+
+    for (int64_t hit = 1; hit <= hits; ++hit) {
+      const std::string label =
+          std::string(point) + " hit " + std::to_string(hit) + "/" + std::to_string(hits);
+      std::string dir = Dir("akill_" + std::to_string(hit) + point);
+
+      pid_t pid = fork();
+      if (pid == 0) {
+        FaultConfig config;
+        config.crash_at_hit = hit;
+        FaultRegistry::Global().Arm(point, config);
+        Result<sim::MergedOnlineReport> report = run(dir);
+        std::_Exit(report.ok() ? 0 : 1);
+      }
+      ASSERT_GT(pid, 0) << "fork failed";
+      int wstatus = 0;
+      ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+      ASSERT_TRUE(WIFEXITED(wstatus));
+      ASSERT_EQ(WEXITSTATUS(wstatus), kCrashExitCode)
+          << label << ": child did not crash where told to";
+
+      sim::ShardResumeInfo info;
+      Result<sim::MergedOnlineReport> recovered =
+          sim::Coordinator::ResumeSharded(dir, &info);
+      if (!recovered.ok() && recovered.status().code() == StatusCode::kDataLoss) {
+        recovered = run(dir);  // never committed; rerun from inputs
+        ASSERT_TRUE(recovered.ok()) << label << ": " << recovered.status().ToString();
+        ExpectMergedEqual(*migrated, *recovered, label + " (rerun)");
+        continue;
+      }
+      ASSERT_TRUE(recovered.ok()) << label << ": " << recovered.status().ToString();
+
+      if (recovered->epoch == 1) {
+        EXPECT_EQ(info.migrations_replayed + info.migrations_repaired, 1) << label;
+        ExpectMergedEqual(*migrated, *recovered, label + " (migrated baseline)");
+      } else {
+        EXPECT_EQ(recovered->epoch, 0) << label;
+        ExpectMergedEqual(*plain, *recovered, label + " (plain baseline)");
+      }
+
       sim::ShardResumeInfo again;
       Result<sim::MergedOnlineReport> second =
           sim::Coordinator::ResumeSharded(dir, &again);
