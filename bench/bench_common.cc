@@ -116,6 +116,18 @@ void BenchReport::AddSample(const std::string& label, double wall_seconds, int t
   samples_.Append(std::move(sample));
 }
 
+void BenchReport::AddStage(const std::string& sample, const std::string& stage,
+                           double wall_seconds, double items) {
+  JsonValue entry = JsonValue::Object();
+  entry.Set("sample", JsonValue::Str(sample));
+  entry.Set("stage", JsonValue::Str(stage));
+  entry.Set("wall_seconds", JsonValue::Double(wall_seconds));
+  entry.Set("items", JsonValue::Double(items));
+  entry.Set("items_per_second",
+            JsonValue::Double(wall_seconds > 0.0 ? items / wall_seconds : 0.0));
+  stages_.Append(std::move(entry));
+}
+
 void BenchReport::SetCounter(const std::string& key, double value) {
   counters_.Set(key, JsonValue::Double(value));
 }
@@ -131,6 +143,7 @@ Status BenchReport::Write() const {
   meta.Set("shards", JsonValue::Int(sim::ShardsFromEnv(1)));
   doc.Set("meta", std::move(meta));
   doc.Set("samples", samples_);
+  doc.Set("stages", stages_);
   doc.Set("counters", counters_);
   std::string path = "bench_out/BENCH_" + name_ + ".json";
   std::string body = doc.Pretty();

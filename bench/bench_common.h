@@ -67,6 +67,10 @@ Status ExportScene(const render::DisplayList& scene, const std::string& name);
 ///     {"label": "...", "wall_seconds": s, "threads": n,
 ///      "items": i, "items_per_second": i/s}, ...
 ///   ],
+///   "stages": [
+///     {"sample": "...", "stage": "scan", "wall_seconds": s,
+///      "items": i, "items_per_second": i/s}, ...
+///   ],
 ///   "counters": {"speedup": ..., "deterministic": 1, ...}
 /// }
 class BenchReport {
@@ -76,6 +80,14 @@ class BenchReport {
   /// Records one timed sample; `items` is the workload size (offers,
   /// display items, ...) used to derive the items_per_second rate.
   void AddSample(const std::string& label, double wall_seconds, int threads, double items);
+
+  /// Records one per-stage throughput entry: the wall time and item rate of
+  /// one internal stage (scan/filter/fold/merge, ...) of the sample named
+  /// `sample`. Stages break a sampled operation down so a regression can be
+  /// attributed to the stage that slowed, not just the end-to-end time; the
+  /// regression gate reads each entry as stage:<sample>:<stage>:items_per_second.
+  void AddStage(const std::string& sample, const std::string& stage, double wall_seconds,
+                double items);
 
   /// Sets a free-form counter (speedup, reduction ratio, ...).
   void SetCounter(const std::string& key, double value);
@@ -87,6 +99,7 @@ class BenchReport {
  private:
   std::string name_;
   JsonValue samples_ = JsonValue::Array();
+  JsonValue stages_ = JsonValue::Array();
   JsonValue counters_ = JsonValue::Object();
 };
 

@@ -15,6 +15,7 @@
 
 #include "bench/bench_common.h"
 #include "core/aggregation.h"
+#include "core/profile_columns.h"
 #include "util/parallel.h"
 
 using namespace flexvis;
@@ -140,6 +141,21 @@ bool WriteSpeedupReport() {
   uint64_t serial_hash = HashAggregates(run());
   double serial_seconds = bench::MeasureSeconds([&] { run(); });
 
+  // Per-stage breakdown of the serial pass (each stage re-timed through the
+  // public API so a regression is attributable): `filter` is the validation
+  // sweep, `scan` the AoS->SoA column build, `fold` the grid build + measure
+  // roll-ups (the whole aggregation, dominated by grouping + BuildAggregate).
+  double validate_seconds = bench::MeasureSeconds([&] {
+    for (const core::FlexOffer& o : offers) {
+      Status s = core::Validate(o);
+      benchmark::DoNotOptimize(s);
+    }
+  });
+  double columns_seconds = bench::MeasureSeconds([&] {
+    core::ProfileColumns cols = core::ProfileColumns::FromOffers(offers);
+    benchmark::DoNotOptimize(cols);
+  });
+
   const int threads = std::max(4, ParallelThreadCount());
   SetParallelThreadCount(threads);
   core::AggregationResult threaded = run();
@@ -151,6 +167,12 @@ bool WriteSpeedupReport() {
   report.AddSample("aggregate_serial", serial_seconds, 1, static_cast<double>(count));
   report.AddSample("aggregate_parallel", threaded_seconds, threads,
                    static_cast<double>(count));
+  report.AddStage("aggregate_serial", "filter", validate_seconds,
+                  static_cast<double>(count));
+  report.AddStage("aggregate_serial", "scan", columns_seconds, static_cast<double>(count));
+  report.AddStage("aggregate_serial", "fold", serial_seconds, static_cast<double>(count));
+  report.AddStage("aggregate_parallel", "merge", threaded_seconds,
+                  static_cast<double>(count));
   report.SetCounter("speedup", threaded_seconds > 0.0 ? serial_seconds / threaded_seconds : 0.0);
   report.SetCounter("reduction",
                     static_cast<double>(count) /

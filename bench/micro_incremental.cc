@@ -101,6 +101,8 @@ bool WriteSpeedupReport() {
   bench::BenchReport report("micro_incremental");
   report.AddSample("raster_replay_serial", serial_seconds, 1, items);
   report.AddSample("raster_replay_parallel", threaded_seconds, threads, items);
+  report.AddStage("raster_replay_serial", "scan", serial_seconds, items);
+  report.AddStage("raster_replay_parallel", "merge", threaded_seconds, items);
   report.SetCounter("speedup", threaded_seconds > 0.0 ? serial_seconds / threaded_seconds : 0.0);
   report.SetCounter("display_items", items);
   const bool deterministic = serial_canvas.ToPpm() == threaded_canvas.ToPpm();

@@ -92,6 +92,12 @@ bool WriteLayoutReport() {
   bench::BenchReport report("micro_layout");
   report.AddSample("assign_lanes", lanes_seconds, 1, static_cast<double>(count));
   report.AddSample("render_basic_view_scene", scene_seconds, 1, static_cast<double>(count));
+  // Lane assignment is the layout stage of the full scene build, so the two
+  // samples double as a per-stage breakdown of the view render.
+  report.AddStage("render_basic_view_scene", "layout", lanes_seconds,
+                  static_cast<double>(count));
+  report.AddStage("render_basic_view_scene", "paint", scene_seconds,
+                  static_cast<double>(count));
   Status status = report.Write();
   if (!status.ok()) {
     std::fprintf(stderr, "report failed: %s\n", status.ToString().c_str());

@@ -9,8 +9,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+
 #include "bench/bench_common.h"
 #include "olap/mdx.h"
+#include "util/parallel.h"
 
 using namespace flexvis;
 
@@ -92,6 +96,125 @@ void BM_WarehouseSelect(benchmark::State& state) {
 }
 BENCHMARK(BM_WarehouseSelect)->Arg(1000)->Arg(10000);
 
+// FNV-1a over everything a pivot result carries (headers, measure, cell
+// values as raw double bits), to verify the threaded fact scan merges to the
+// byte-exact serial result.
+uint64_t HashPivot(const olap::PivotResult& pivot) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  auto mix_headers = [&](const std::vector<olap::PivotHeader>& headers) {
+    mix(headers.size());
+    for (const olap::PivotHeader& header : headers) {
+      mix(static_cast<uint64_t>(header.member_id));
+      mix(header.label.size());
+      for (char c : header.label) mix(static_cast<uint8_t>(c));
+    }
+  };
+  mix(static_cast<uint64_t>(pivot.measure));
+  mix_headers(pivot.rows);
+  mix_headers(pivot.cols);
+  for (const std::vector<double>& row : pivot.cells) {
+    for (double cell : row) {
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(cell));
+      std::memcpy(&bits, &cell, sizeof(bits));
+      mix(bits);
+    }
+  }
+  return h;
+}
+
+// Serial-vs-threaded pivot report for the CI gate (BENCH_olap.json), with a
+// per-stage breakdown of the columnar scan: `scan` is the unfiltered
+// single-axis pivot (classify + accumulate only), `filter` the Section 3
+// query (window mask + slicer allow-sets ahead of the gather), `fold` the
+// hour-bucketed time axis, and `merge` the filtered query under the ordered
+// chunk merge at 8 threads. Returns false when the report cannot be written
+// or the threaded scan diverges from the serial one.
+bool WritePivotReport() {
+  const size_t count = bench::EnvSize("FLEXVIS_BENCH_OLAP_OFFERS", 50000);
+  std::unique_ptr<bench::World> world = MakeWorld(static_cast<int64_t>(count));
+  const double facts = static_cast<double>(world->db.NumFlexOffers());
+
+  olap::CubeQuery scan_query;
+  scan_query.axes = {olap::AxisSpec{"State", "", {}}};
+
+  olap::CubeQuery filter_query;  // the Section 3 example query
+  filter_query.axes = {olap::AxisSpec{"Geography", "City", {}},
+                       olap::AxisSpec{"EnergyType", "Type", {}}};
+  filter_query.slicers = {{"State", "Accepted"}, {"Geography", "West Denmark"}};
+  filter_query.window = world->horizon;
+
+  olap::CubeQuery fold_query;
+  fold_query.axes = {olap::AxisSpec{"Time", "", {}}, olap::AxisSpec{"State", "", {}}};
+  fold_query.window = world->horizon;
+  fold_query.time_granularity = timeutil::Granularity::kHour;
+
+  const olap::CubeQuery* matrix[] = {&scan_query, &filter_query, &fold_query};
+  auto hash_matrix = [&]() -> uint64_t {
+    uint64_t h = 1469598103934665603ULL;
+    for (const olap::CubeQuery* q : matrix) {
+      Result<olap::PivotResult> pivot = world->cube->Evaluate(*q);
+      if (!pivot.ok()) {
+        std::fprintf(stderr, "pivot failed: %s\n", pivot.status().ToString().c_str());
+        return 0;
+      }
+      h ^= HashPivot(*pivot);
+      h *= 1099511628211ULL;
+    }
+    return h;
+  };
+  auto time_query = [&](const olap::CubeQuery& q) {
+    return bench::MeasureSeconds([&] {
+      Result<olap::PivotResult> pivot = world->cube->Evaluate(q);
+      benchmark::DoNotOptimize(pivot);
+    });
+  };
+
+  SetParallelThreadCount(1);
+  const uint64_t serial_hash = hash_matrix();
+  const double scan_s = time_query(scan_query);
+  const double filter_s = time_query(filter_query);
+  const double fold_s = time_query(fold_query);
+
+  const int threads = 8;
+  SetParallelThreadCount(threads);
+  const uint64_t threaded_hash = hash_matrix();
+  const double merge_s = time_query(filter_query);
+  SetParallelThreadCount(0);  // back to the environment-resolved default
+
+  bench::BenchReport report("olap");
+  report.AddSample("pivot_serial", filter_s, 1, facts);
+  report.AddSample("pivot_parallel", merge_s, threads, facts);
+  report.AddStage("pivot_serial", "scan", scan_s, facts);
+  report.AddStage("pivot_serial", "filter", filter_s, facts);
+  report.AddStage("pivot_serial", "fold", fold_s, facts);
+  report.AddStage("pivot_parallel", "merge", merge_s, facts);
+  report.SetCounter("facts", facts);
+  report.SetCounter("speedup", merge_s > 0.0 ? filter_s / merge_s : 0.0);
+  const bool deterministic = serial_hash != 0 && serial_hash == threaded_hash;
+  report.SetCounter("deterministic", deterministic ? 1.0 : 0.0);
+  if (Status status = report.Write(); !status.ok()) {
+    std::fprintf(stderr, "report failed: %s\n", status.ToString().c_str());
+    return false;
+  }
+  if (!deterministic) {
+    std::fprintf(stderr, "FAIL: threaded pivot diverged from the serial result\n");
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!WritePivotReport()) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

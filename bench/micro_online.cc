@@ -133,6 +133,7 @@ bool WriteFaultLoadReport() {
     });
     report.AddSample(rate.label, seconds, ParallelThreadCount(),
                      static_cast<double>(count));
+    report.AddStage(rate.label, "run", seconds, static_cast<double>(count));
     if (rate.probability == 0.0) clean_imbalance = run->imbalance_kwh;
     std::string prefix = rate.label;
     report.SetCounter(prefix + "_dropped_ingest", run->dropped_ingest);

@@ -170,6 +170,11 @@ bool WriteRecoveryReport() {
     });
     report.AddSample("journal_replay" + suffix, replay_s, threads,
                      static_cast<double>(journal_records));
+    report.AddStage("journal_replay" + suffix, "scan", replay_s,
+                    static_cast<double>(journal_records));
+    report.AddStage("snapshot_load" + suffix, "fold", load_s, db_offers);
+    report.AddStage("journal_append_fsync" + suffix, "append", durable_s,
+                    static_cast<double>(journal_records));
     if (replay_s > 0.0) {
       report.SetCounter("journal_replay_records_per_sec" + suffix,
                         static_cast<double>(journal_records) / replay_s);
@@ -188,10 +193,11 @@ bool WriteRecoveryReport() {
   const int64_t tick_minutes = 15;
   const size_t ticks_cap = bench::EnvSize("FLEXVIS_BENCH_RESUME_TICKS_CAP", 19200);
   std::vector<int> compact_settings = {0, 64, 256};
-  if (int env = sim::CompactTicksFromEnv();
-      env > 0 && std::find(compact_settings.begin(), compact_settings.end(), env) ==
-                     compact_settings.end()) {
-    compact_settings.push_back(env);
+  if (Result<int> env = sim::CompactTicksFromEnv();
+      env.ok() && *env > 0 &&
+      std::find(compact_settings.begin(), compact_settings.end(), *env) ==
+          compact_settings.end()) {
+    compact_settings.push_back(*env);
   }
   bool bounded = true;
   for (int run_ticks : {192, 1920, 19200}) {

@@ -180,6 +180,7 @@ bool WriteServeReport() {
     const double sessions = static_cast<double>(sessions_opened.load());
     const std::string label = StrFormat("serve_sessions_%d", concurrency);
     report.AddSample(label, wall_s, concurrency, sessions);
+    report.AddStage(label, "query", wall_s, static_cast<double>(latencies.size()));
     if (wall_s > 0.0) {
       report.SetCounter(StrFormat("sessions_per_sec_%d", concurrency), sessions / wall_s);
     }

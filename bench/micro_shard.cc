@@ -150,6 +150,7 @@ bool WriteShardReport() {
         benchmark::DoNotOptimize(timed);
       });
       report.AddSample(label, wall_s, threads, ticks);
+      report.AddStage(label, "tick", wall_s, ticks);
       if (wall_s > 0.0) {
         report.SetCounter(label + "_ticks_per_sec", ticks / wall_s);
       }

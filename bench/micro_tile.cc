@@ -208,6 +208,14 @@ bool WriteTileReport() {
                    static_cast<double>(small_frames.size()));
   report.AddSample("tile_frames_large", large_total, 1,
                    static_cast<double>(large_frames.size()));
+  report.AddStage("tile_frames_small", "build", small_build_s,
+                  static_cast<double>(small_population));
+  report.AddStage("tile_frames_small", "compose", small_total,
+                  static_cast<double>(small_frames.size()));
+  report.AddStage("tile_frames_large", "build", large_build_s,
+                  static_cast<double>(large_population));
+  report.AddStage("tile_frames_large", "compose", large_total,
+                  static_cast<double>(large_frames.size()));
 
   const double small_p50 = Percentile(small_frames, 0.50);
   const double large_p50 = Percentile(large_frames, 0.50);

@@ -96,6 +96,12 @@ Result<std::vector<FlexOffer>> Disaggregate(const FlexOffer& aggregate,
 /// run-length-encoded profile slices.
 std::vector<ProfileSlice> CompressProfile(const std::vector<ProfileSlice>& units);
 
+/// Column form of CompressProfile: compresses parallel per-unit min/max
+/// energy arrays of length `n` into run-length-encoded profile slices.
+/// Byte-identical to CompressProfile over the equivalent unit slices.
+std::vector<ProfileSlice> CompressColumns(const double* unit_min_kwh,
+                                          const double* unit_max_kwh, size_t n);
+
 }  // namespace flexvis::core
 
 #endif  // FLEXVIS_CORE_AGGREGATION_H_

@@ -97,11 +97,14 @@ Status Validate(const FlexOffer& offer) {
   }
   if (offer.schedule.has_value()) {
     const Schedule& sched = *offer.schedule;
-    const std::vector<ProfileSlice> units = offer.UnitProfile();
-    if (sched.energy_kwh.size() != units.size()) {
+    // Walk the RLE profile directly instead of materializing UnitProfile():
+    // validation runs on every offer of every aggregation pass, and the
+    // allocation dominated its cost.
+    const size_t num_units = static_cast<size_t>(offer.profile_duration_slices());
+    if (sched.energy_kwh.size() != num_units) {
       return InvalidArgumentError(
           StrFormat("flex-offer %lld: schedule has %zu energies for %zu unit slices",
-                    static_cast<long long>(offer.id), sched.energy_kwh.size(), units.size()));
+                    static_cast<long long>(offer.id), sched.energy_kwh.size(), num_units));
     }
     if (sched.start < offer.earliest_start || offer.latest_start < sched.start) {
       return InvalidArgumentError(StrFormat("flex-offer %lld: scheduled start outside flexibility",
@@ -112,14 +115,16 @@ Status Validate(const FlexOffer& offer) {
                                             static_cast<long long>(offer.id)));
     }
     constexpr double kEnergyTolerance = 1e-6;
-    for (size_t i = 0; i < sched.energy_kwh.size(); ++i) {
-      double e = sched.energy_kwh[i];
-      if (e < units[i].min_energy_kwh - kEnergyTolerance ||
-          e > units[i].max_energy_kwh + kEnergyTolerance) {
-        return InvalidArgumentError(
-            StrFormat("flex-offer %lld: scheduled energy %g outside [%g, %g] at unit slice %zu",
-                      static_cast<long long>(offer.id), e, units[i].min_energy_kwh,
-                      units[i].max_energy_kwh, i));
+    size_t unit = 0;
+    for (const ProfileSlice& s : offer.profile) {
+      for (int k = 0; k < s.duration_slices; ++k, ++unit) {
+        double e = sched.energy_kwh[unit];
+        if (e < s.min_energy_kwh - kEnergyTolerance || e > s.max_energy_kwh + kEnergyTolerance) {
+          return InvalidArgumentError(
+              StrFormat("flex-offer %lld: scheduled energy %g outside [%g, %g] at unit slice %zu",
+                        static_cast<long long>(offer.id), e, s.min_energy_kwh, s.max_energy_kwh,
+                        unit));
+        }
       }
     }
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/simd.h"
+
 namespace flexvis::core {
 
 using timeutil::kMinutesPerSlice;
@@ -22,6 +24,14 @@ double StateCounts::Fraction(FlexOfferState s) const {
 StateCounts CountByState(const std::vector<FlexOffer>& offers) {
   StateCounts counts;
   for (const FlexOffer& o : offers) ++counts.by_state[static_cast<size_t>(o.state)];
+  return counts;
+}
+
+StateCounts CountByState(const ProfileColumns& cols) {
+  StateCounts counts;
+  const uint8_t* FLEXVIS_RESTRICT state = cols.state();
+  const size_t n = cols.num_offers();
+  for (size_t i = 0; i < n; ++i) ++counts.by_state[state[i]];
   return counts;
 }
 
@@ -72,9 +82,78 @@ AttributeStats Summarize(const std::vector<FlexOffer>& offers, NumericAttribute 
   return stats;
 }
 
+AttributeStats Summarize(const ProfileColumns& cols, NumericAttribute attribute) {
+  AttributeStats stats;
+  const size_t n = cols.num_offers();
+  if (n == 0) return stats;
+  stats.count = static_cast<int64_t>(n);
+
+  // Direct double columns: ordered scalar sum (the determinism contract
+  // fixes the addition order) plus an order-independent vector min/max pass.
+  auto column_sweep = [&](const double* FLEXVIS_RESTRICT v) {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) sum += v[i];
+    double mn = v[0], mx = v[0];
+    simd::MinMaxDouble(v, n, &mn, &mx);
+    stats.min = mn;
+    stats.max = mx;
+    stats.sum = sum;
+  };
+  // Derived values: one branch-free scalar sweep in index order.
+  auto value_sweep = [&](auto value_at) {
+    double mn = value_at(size_t{0}), mx = mn, sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double v = value_at(i);
+      mn = v < mn ? v : mn;
+      mx = v > mx ? v : mx;
+      sum += v;
+    }
+    stats.min = mn;
+    stats.max = mx;
+    stats.sum = sum;
+  };
+
+  switch (attribute) {
+    case NumericAttribute::kTotalMinEnergyKwh:
+      column_sweep(cols.total_min_kwh());
+      break;
+    case NumericAttribute::kTotalMaxEnergyKwh:
+      column_sweep(cols.total_max_kwh());
+      break;
+    case NumericAttribute::kScheduledEnergyKwh:
+      column_sweep(cols.total_scheduled_kwh());
+      break;
+    case NumericAttribute::kEnergyFlexibilityKwh: {
+      const double* FLEXVIS_RESTRICT mn = cols.total_min_kwh();
+      const double* FLEXVIS_RESTRICT mx = cols.total_max_kwh();
+      value_sweep([&](size_t i) { return mx[i] - mn[i]; });
+      break;
+    }
+    case NumericAttribute::kTimeFlexibilityMinutes: {
+      const int64_t* FLEXVIS_RESTRICT tf = cols.time_flex_min();
+      value_sweep([&](size_t i) { return static_cast<double>(tf[i]); });
+      break;
+    }
+    case NumericAttribute::kProfileDurationSlices: {
+      const int32_t* FLEXVIS_RESTRICT d = cols.duration_slices();
+      value_sweep([&](size_t i) { return static_cast<double>(d[i]); });
+      break;
+    }
+  }
+  return stats;
+}
+
 double TotalScheduledEnergyKwh(const std::vector<FlexOffer>& offers) {
   double total = 0.0;
   for (const FlexOffer& o : offers) total += o.total_scheduled_energy_kwh();
+  return total;
+}
+
+double TotalScheduledEnergyKwh(const ProfileColumns& cols) {
+  const double* FLEXVIS_RESTRICT sched = cols.total_scheduled_kwh();
+  const size_t n = cols.num_offers();
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) total += sched[i];
   return total;
 }
 
@@ -99,6 +178,41 @@ TimeSeries PlannedLoad(const std::vector<FlexOffer>& offers) {
     for (size_t i = 0; i < o.schedule->energy_kwh.size(); ++i) {
       load.AddAt(o.schedule->start + static_cast<int64_t>(i) * kMinutesPerSlice,
                  sign * o.schedule->energy_kwh[i]);
+    }
+  }
+  return load;
+}
+
+TimeSeries PlannedLoad(const ProfileColumns& cols) {
+  const size_t n = cols.num_offers();
+  const int64_t* FLEXVIS_RESTRICT start_min = cols.schedule_start_min();
+  const size_t* FLEXVIS_RESTRICT sched_off = cols.scheduled_offset();
+  const double* FLEXVIS_RESTRICT sched_kwh = cols.scheduled_kwh();
+  const uint8_t* FLEXVIS_RESTRICT direction = cols.direction();
+
+  timeutil::TimeInterval extent;
+  bool any = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (start_min[i] == ProfileColumns::kNoScheduleStart) continue;
+    const int64_t units = static_cast<int64_t>(sched_off[i + 1] - sched_off[i]);
+    timeutil::TimeInterval occupied(
+        timeutil::TimePoint::FromMinutes(start_min[i]),
+        timeutil::TimePoint::FromMinutes(start_min[i] + units * kMinutesPerSlice));
+    extent = any ? extent.Span(occupied) : occupied;
+    any = true;
+  }
+  if (!any) return TimeSeries();
+  TimeSeries load(extent.start,
+                  static_cast<size_t>(extent.duration_minutes() / kMinutesPerSlice));
+  for (size_t i = 0; i < n; ++i) {
+    if (start_min[i] == ProfileColumns::kNoScheduleStart) continue;
+    const double sign =
+        direction[i] == static_cast<uint8_t>(Direction::kConsumption) ? 1.0 : -1.0;
+    const timeutil::TimePoint start = timeutil::TimePoint::FromMinutes(start_min[i]);
+    const size_t units = sched_off[i + 1] - sched_off[i];
+    const double* FLEXVIS_RESTRICT energies = sched_kwh + sched_off[i];
+    for (size_t u = 0; u < units; ++u) {
+      load.AddAt(start + static_cast<int64_t>(u) * kMinutesPerSlice, sign * energies[u]);
     }
   }
   return load;
@@ -131,6 +245,33 @@ BalancingPotential ComputeBalancingPotential(const std::vector<FlexOffer>& offer
     bp.total_flexible_energy_kwh += o.energy_flexibility_kwh();
     const double tf = static_cast<double>(o.time_flexibility_minutes());
     const double dur = static_cast<double>(o.profile_duration_minutes());
+    if (tf + dur > 0.0) {
+      sum_shift_ratio += tf / (tf + dur);
+      ++n;
+    }
+  }
+  if (bp.total_max_energy_kwh > 0.0) {
+    bp.energy_slack_ratio = bp.total_flexible_energy_kwh / bp.total_max_energy_kwh;
+  }
+  if (n > 0) bp.time_shift_ratio = sum_shift_ratio / static_cast<double>(n);
+  bp.potential = bp.energy_slack_ratio * bp.time_shift_ratio;
+  return bp;
+}
+
+BalancingPotential ComputeBalancingPotential(const ProfileColumns& cols) {
+  BalancingPotential bp;
+  const size_t count = cols.num_offers();
+  const double* FLEXVIS_RESTRICT total_min = cols.total_min_kwh();
+  const double* FLEXVIS_RESTRICT total_max = cols.total_max_kwh();
+  const int64_t* FLEXVIS_RESTRICT tf_min = cols.time_flex_min();
+  const int32_t* FLEXVIS_RESTRICT slices = cols.duration_slices();
+  double sum_shift_ratio = 0.0;
+  int64_t n = 0;
+  for (size_t i = 0; i < count; ++i) {
+    bp.total_max_energy_kwh += total_max[i];
+    bp.total_flexible_energy_kwh += total_max[i] - total_min[i];
+    const double tf = static_cast<double>(tf_min[i]);
+    const double dur = static_cast<double>(slices[i] * kMinutesPerSlice);
     if (tf + dur > 0.0) {
       sum_shift_ratio += tf / (tf + dur);
       ++n;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/flex_offer.h"
+#include "core/profile_columns.h"
 #include "core/time_series.h"
 #include "util/status.h"
 
@@ -28,6 +29,10 @@ struct StateCounts {
 };
 
 StateCounts CountByState(const std::vector<FlexOffer>& offers);
+
+/// Columnar form: flat sweep over the state column. Byte-identical to the
+/// AoS overload for columns built from the same offers.
+StateCounts CountByState(const ProfileColumns& cols);
 
 /// Min/max/mean/sum summary of one numeric flex-offer attribute ("the
 /// minimum/maximum/average price, energy, or flexibility defined by
@@ -59,10 +64,19 @@ double AttributeValue(const FlexOffer& offer, NumericAttribute attribute);
 /// Summarizes `attribute` over `offers`.
 AttributeStats Summarize(const std::vector<FlexOffer>& offers, NumericAttribute attribute);
 
+/// Columnar form: flat sweeps over the per-offer derived columns (min/max
+/// vectorize; the sum keeps the fixed left-to-right order). Byte-identical
+/// to the AoS overload.
+AttributeStats Summarize(const ProfileColumns& cols, NumericAttribute attribute);
+
 /// Total scheduled energy over `offers` in kWh, and the signed planned load
 /// series (consumption positive). Offers without schedules contribute 0.
 double TotalScheduledEnergyKwh(const std::vector<FlexOffer>& offers);
 TimeSeries PlannedLoad(const std::vector<FlexOffer>& offers);
+
+/// Columnar forms, byte-identical to the AoS overloads.
+double TotalScheduledEnergyKwh(const ProfileColumns& cols);
+TimeSeries PlannedLoad(const ProfileColumns& cols);
 
 /// Plan deviation: per-slice difference between the planned load of `offers`
 /// and the physically realized load ("a difference between the amounts of
@@ -96,6 +110,9 @@ struct BalancingPotential {
 };
 
 BalancingPotential ComputeBalancingPotential(const std::vector<FlexOffer>& offers);
+
+/// Columnar form, byte-identical to the AoS overload.
+BalancingPotential ComputeBalancingPotential(const ProfileColumns& cols);
 
 }  // namespace flexvis::core
 

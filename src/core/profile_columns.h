@@ -1,0 +1,180 @@
+#ifndef FLEXVIS_CORE_PROFILE_COLUMNS_H_
+#define FLEXVIS_CORE_PROFILE_COLUMNS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/flex_offer.h"
+
+namespace flexvis::core {
+
+/// Bump arena backing the columns: one contiguous allocation, every array
+/// carved out of it at cache-line alignment. Building a column set touches
+/// the allocator exactly once no matter how many offers it covers.
+class ColumnArena {
+ public:
+  ColumnArena() = default;
+
+  /// Discards all carved arrays and guarantees `bytes` of capacity.
+  void Reset(size_t bytes);
+
+  /// Carves a 64-byte-aligned array of `count` Ts (uninitialized).
+  /// Precondition: the Reset() budget covers it.
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    return static_cast<T*>(AllocateBytes(count * sizeof(T)));
+  }
+
+  /// Rounds one array's byte size up to the arena's carve granularity; the
+  /// Reset() budget is the sum of aligned sizes.
+  static size_t AlignedSize(size_t bytes) { return (bytes + kAlign - 1) & ~(kAlign - 1); }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  static constexpr size_t kAlign = 64;
+
+  void* AllocateBytes(size_t bytes);
+
+  std::unique_ptr<std::byte[]> block_;
+  size_t capacity_ = 0;
+  size_t used_ = 0;
+};
+
+/// Structure-of-arrays view over a set of flex-offers' profiles and
+/// schedules, plus the per-offer derived scalars the analytical roll-ups
+/// consume. All arrays live in one arena allocation and are contiguous, so
+/// the hot loops in aggregation, measures, and the OLAP feed are flat
+/// restrict-qualified column sweeps instead of pointer-chasing per offer.
+///
+/// Layout:
+///  - RLE slice columns `slice_duration/min/max` indexed by
+///    [slice_offset(i), slice_offset(i+1)): a lossless image of
+///    `FlexOffer::profile`, preserved so AoS -> SoA -> AoS round-trips
+///    bit-exactly (unit expansion alone would erase the run-length
+///    grouping).
+///  - Unit-expanded envelope columns `unit_min/max_kwh` indexed by
+///    [unit_offset(i), unit_offset(i+1)): the 15-minute grid aggregation
+///    and scheduling operate on.
+///  - Schedule columns `scheduled_kwh` (unit resolution, empty range when
+///    the offer has no schedule) and `schedule_start_min`.
+///  - Per-offer derived scalars (total_min/max/scheduled energy, duration,
+///    time flexibility, earliest start, state, direction) computed during
+///    the build in the exact floating-point order of the corresponding
+///    `FlexOffer` helpers, so a column sweep and the AoS loop produce
+///    byte-identical aggregates.
+///
+/// Malformed offers (negative durations, schedule size mismatches) are
+/// stored as-is in the RLE/schedule columns — losslessness does not depend
+/// on validity — while unit expansion clamps negative durations to zero.
+class ProfileColumns {
+ public:
+  ProfileColumns() = default;
+  ProfileColumns(ProfileColumns&&) = default;
+  ProfileColumns& operator=(ProfileColumns&&) = default;
+
+  /// Builds the columns for `offers` (arena-backed, chunk-deterministic).
+  static ProfileColumns FromOffers(const std::vector<FlexOffer>& offers);
+
+  /// Same over an indirection table (the aggregation grid holds pointers).
+  static ProfileColumns FromPointers(const FlexOffer* const* offers, size_t count);
+
+  size_t num_offers() const { return num_offers_; }
+  size_t num_slices() const { return num_slices_; }
+  size_t num_units() const { return num_units_; }
+  size_t num_scheduled_units() const { return num_scheduled_units_; }
+
+  // ---- RLE slice columns (lossless profile image) -------------------------
+  const int32_t* slice_duration() const { return slice_duration_; }
+  const double* slice_min_kwh() const { return slice_min_kwh_; }
+  const double* slice_max_kwh() const { return slice_max_kwh_; }
+  /// num_offers()+1 entries; offer i owns [slice_offset()[i], slice_offset()[i+1]).
+  const size_t* slice_offset() const { return slice_offset_; }
+
+  // ---- Unit-expanded envelope columns -------------------------------------
+  const double* unit_min_kwh() const { return unit_min_kwh_; }
+  const double* unit_max_kwh() const { return unit_max_kwh_; }
+  const size_t* unit_offset() const { return unit_offset_; }
+
+  // ---- Schedule columns ----------------------------------------------------
+  const double* scheduled_kwh() const { return scheduled_kwh_; }
+  const size_t* scheduled_offset() const { return scheduled_offset_; }
+  /// kNoScheduleStart for offers without a schedule.
+  const int64_t* schedule_start_min() const { return schedule_start_min_; }
+  static constexpr int64_t kNoScheduleStart = INT64_MIN;
+
+  // ---- Per-offer derived scalar columns -----------------------------------
+  const double* total_min_kwh() const { return total_min_kwh_; }
+  const double* total_max_kwh() const { return total_max_kwh_; }
+  const double* total_scheduled_kwh() const { return total_scheduled_kwh_; }
+  const int32_t* duration_slices() const { return duration_slices_; }
+  const int64_t* time_flex_min() const { return time_flex_min_; }
+  const int64_t* earliest_start_min() const { return earliest_start_min_; }
+  const int64_t* creation_min() const { return creation_min_; }
+  const int64_t* acceptance_min() const { return acceptance_min_; }
+  const int64_t* assignment_min() const { return assignment_min_; }
+  const int64_t* offer_id() const { return offer_id_; }
+  const uint8_t* state() const { return state_; }
+  const uint8_t* direction() const { return direction_; }
+  /// 1 iff `Validate(offer).ok()`. Computed during the build, where every
+  /// operand the checks need is already in registers.
+  const uint8_t* valid() const { return valid_; }
+
+  // ---- Lossless conversion back to the AoS form ---------------------------
+  /// Reconstructs `FlexOffer::profile` for offer i, bit-exact.
+  std::vector<ProfileSlice> ProfileOf(size_t i) const;
+  /// Reconstructs the schedule for offer i (nullopt when it had none).
+  std::optional<Schedule> ScheduleOf(size_t i) const;
+  /// Restores profile + schedule of offer i into `offer`.
+  void RestoreInto(FlexOffer& offer, size_t i) const;
+
+ private:
+  template <typename OfferAt>
+  static ProfileColumns Build(size_t count, const OfferAt& at);
+
+  ColumnArena arena_;
+  // Unit columns live in their own arena because their extent is only known
+  // after the fill pass; when every slice has duration 1 this arena stays
+  // empty and the unit pointers alias the slice columns in `arena_`.
+  ColumnArena unit_arena_;
+  size_t num_offers_ = 0;
+  size_t num_slices_ = 0;
+  size_t num_units_ = 0;
+  size_t num_scheduled_units_ = 0;
+
+  int32_t* slice_duration_ = nullptr;
+  double* slice_min_kwh_ = nullptr;
+  double* slice_max_kwh_ = nullptr;
+  size_t* slice_offset_ = nullptr;
+  double* unit_min_kwh_ = nullptr;
+  double* unit_max_kwh_ = nullptr;
+  size_t* unit_offset_ = nullptr;
+  double* scheduled_kwh_ = nullptr;
+  size_t* scheduled_offset_ = nullptr;
+  int64_t* schedule_start_min_ = nullptr;
+  double* total_min_kwh_ = nullptr;
+  double* total_max_kwh_ = nullptr;
+  double* total_scheduled_kwh_ = nullptr;
+  int32_t* duration_slices_ = nullptr;
+  int64_t* time_flex_min_ = nullptr;
+  int64_t* earliest_start_min_ = nullptr;
+  int64_t* creation_min_ = nullptr;
+  int64_t* acceptance_min_ = nullptr;
+  int64_t* assignment_min_ = nullptr;
+  int64_t* offer_id_ = nullptr;
+  uint8_t* state_ = nullptr;
+  uint8_t* direction_ = nullptr;
+  uint8_t* valid_ = nullptr;
+};
+
+/// Writes 1/0 into valid[0..cols.num_offers()) — exactly `Validate(offer).ok()`
+/// for each offer. The verdicts are precomputed by the column build (see
+/// `ProfileColumns::valid()`), so this is a flat copy.
+void ValidMask(const ProfileColumns& cols, uint8_t* valid);
+
+}  // namespace flexvis::core
+
+#endif  // FLEXVIS_CORE_PROFILE_COLUMNS_H_

@@ -50,6 +50,11 @@ class Column {
   double GetDouble(size_t row) const { return doubles_[row]; }
   const std::string& GetString(size_t row) const { return strings_[row]; }
 
+  /// Raw contiguous storage for columnar scans (precondition: matching
+  /// type). The pointer is invalidated by any append.
+  const int64_t* Int64Data() const { return ints_.data(); }
+  const double* DoubleData() const { return doubles_.data(); }
+
  private:
   void MarkValidity(bool valid);
 

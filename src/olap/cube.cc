@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "util/parallel.h"
+#include "util/simd.h"
 #include "util/strings.h"
 
 namespace flexvis::olap {
@@ -169,8 +170,10 @@ struct CellAcc {
   }
 };
 
-// Resolved axis: headers plus a classifier from a fact row to a header index
-// (-1 = row not on this axis).
+// Resolved axis: headers plus a classifier from a fact value to a header
+// index (-1 = value not on this axis). The classifier consumes the raw
+// column value so the scan can hoist the column's contiguous array once
+// instead of calling a cell accessor per row.
 struct ResolvedAxis {
   std::vector<PivotHeader> headers;
   // For dimension axes: fact column + value->index lookup.
@@ -183,15 +186,48 @@ struct ResolvedAxis {
   Granularity granularity = Granularity::kDay;
   std::unordered_map<int64_t, int> bucket_to_index;  // period-start minutes -> index
 
-  int Classify(size_t row) const {
+  // Raw fact column the classifier reads (null for the implicit "All" axis).
+  const int64_t* values = nullptr;
+  // Dense value->index table over [lut_base, lut_base + lut.size()), built
+  // when the axis's leaf values span a small range (enum-like columns, the
+  // common case); otherwise the hash map answers.
+  int64_t lut_base = 0;
+  std::vector<int> lut;
+
+  // Pins `values` and builds the dense LUT. Call once after resolution.
+  void Finalize() {
     if (is_time) {
-      TimePoint t = TimePoint::FromMinutes(time_column->GetInt64(row));
+      values = time_column->Int64Data();
+      return;
+    }
+    if (column == nullptr) return;
+    values = column->Int64Data();
+    int64_t lo = INT64_MAX, hi = INT64_MIN;
+    for (const auto& [v, idx] : value_to_index) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (value_to_index.empty()) return;
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span > 65536) return;
+    lut_base = lo;
+    lut.assign(span, -1);
+    for (const auto& [v, idx] : value_to_index) lut[static_cast<size_t>(v - lo)] = idx;
+  }
+
+  int Classify(int64_t value) const {
+    if (is_time) {
+      TimePoint t = TimePoint::FromMinutes(value);
       int64_t bucket = timeutil::TruncateTo(t, granularity).minutes();
       auto it = bucket_to_index.find(bucket);
       return it == bucket_to_index.end() ? -1 : it->second;
     }
     if (column == nullptr) return 0;  // implicit single "All" axis
-    auto it = value_to_index.find(column->GetInt64(row));
+    if (!lut.empty()) {
+      const uint64_t off = static_cast<uint64_t>(value - lut_base);
+      return off < lut.size() ? lut[off] : -1;
+    }
+    auto it = value_to_index.find(value);
     return it == value_to_index.end() ? -1 : it->second;
   }
 };
@@ -205,7 +241,17 @@ Result<PivotResult> Cube::Evaluate(const CubeQuery& query) const {
   const Table& facts = db_->fact_flexoffer();
 
   // ---- Resolve slicers into an allow-set per fact column. -----------------
-  std::vector<std::pair<const Column*, std::unordered_map<int64_t, bool>>> slicer_sets;
+  // Enum-like slicer columns (states, member ids) span tiny value ranges, so
+  // each allow-set also builds a dense bitmap when it can; the per-row test
+  // in the scan is then a bounds check plus a byte load instead of a hash
+  // probe per surviving row.
+  struct SlicerFilter {
+    const Column* column = nullptr;
+    std::unordered_map<int64_t, bool> allowed;
+    int64_t lut_base = 0;
+    std::vector<uint8_t> lut;  // 1 = allowed, over [lut_base, lut_base + size)
+  };
+  std::vector<SlicerFilter> slicer_sets;
   for (const SlicerSpec& s : query.slicers) {
     const Dimension* dim = FindDimension(s.dimension);
     if (dim == nullptr) {
@@ -217,9 +263,20 @@ Result<PivotResult> Cube::Evaluate(const CubeQuery& query) const {
     if (col == nullptr) {
       return InternalError(StrFormat("fact column '%s' missing", dim->fact_column().c_str()));
     }
-    std::unordered_map<int64_t, bool> allowed;
-    for (int64_t v : dim->members()[*member].leaf_values) allowed[v] = true;
-    slicer_sets.emplace_back(col, std::move(allowed));
+    SlicerFilter filter;
+    filter.column = col;
+    int64_t lo = INT64_MAX, hi = INT64_MIN;
+    for (int64_t v : dim->members()[*member].leaf_values) {
+      filter.allowed[v] = true;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (!filter.allowed.empty() && static_cast<uint64_t>(hi - lo) + 1 <= 65536) {
+      filter.lut_base = lo;
+      filter.lut.assign(static_cast<size_t>(hi - lo) + 1, 0);
+      for (const auto& [v, ok] : filter.allowed) filter.lut[static_cast<size_t>(v - lo)] = 1;
+    }
+    slicer_sets.push_back(std::move(filter));
   }
 
   // ---- Resolve axes. --------------------------------------------------------
@@ -285,13 +342,16 @@ Result<PivotResult> Cube::Evaluate(const CubeQuery& query) const {
     }
   }
 
-  // ---- Single scan over the facts. ------------------------------------------
+  // ---- Single scan over the facts: predicate mask, then gather. -------------
   const Column* est_col = facts.FindColumn("earliest_start_min");
   const Column* min_col = facts.FindColumn("total_min_kwh");
   const Column* max_col = facts.FindColumn("total_max_kwh");
   const Column* sched_col = facts.FindColumn("scheduled_kwh");
   const Column* tf_col = facts.FindColumn("time_flex_min");
   const Column* slices_col = facts.FindColumn("profile_slices");
+
+  axes[0].Finalize();
+  axes[1].Finalize();
 
   PivotResult result;
   result.measure = query.measure;
@@ -300,41 +360,68 @@ Result<PivotResult> Cube::Evaluate(const CubeQuery& query) const {
   const size_t num_rows = result.rows.size();
   const size_t num_cols = result.cols.size();
 
+  // Raw column arrays, hoisted once; the scan reads contiguous memory only.
+  const int64_t* FLEXVIS_RESTRICT est = est_col->Int64Data();
+  const double* FLEXVIS_RESTRICT fact_min = min_col->DoubleData();
+  const double* FLEXVIS_RESTRICT fact_max = max_col->DoubleData();
+  const double* FLEXVIS_RESTRICT fact_sched = sched_col->DoubleData();
+  const int64_t* FLEXVIS_RESTRICT fact_tf = tf_col->Int64Data();
+  const int64_t* FLEXVIS_RESTRICT fact_slices = slices_col->Int64Data();
+
+  // The window predicate as an inclusive int64 range (the interval is
+  // half-open, so the upper bound is end-1).
+  const bool has_window = !query.window.empty();
+  const int64_t win_lo = has_window ? query.window.start.minutes() : INT64_MIN;
+  const int64_t win_hi = has_window ? query.window.end.minutes() - 1 : INT64_MAX;
+
   // Chunked parallel scan with per-chunk accumulator matrices merged in
-  // chunk order. The fixed grain keeps the floating-point summation order
-  // independent of the thread count, so a query answers bit-identically on
-  // 1 thread and on 8.
+  // chunk order. Each chunk first computes a branch-free predicate mask
+  // (window range + slicer allow-sets) over its rows, then gathers measures
+  // for the surviving rows in ascending row order. The fixed grain keeps the
+  // floating-point summation order independent of the thread count, so a
+  // query answers bit-identically on 1 thread and on 8.
   constexpr size_t kGrain = 4096;
   using AccMatrix = std::vector<CellAcc>;  // row-major num_rows x num_cols
   AccMatrix acc = ParallelReduce<AccMatrix>(
       0, facts.NumRows(), kGrain, AccMatrix(num_rows * num_cols),
       [&](size_t begin, size_t end) {
         AccMatrix local(num_rows * num_cols);
-        for (size_t r = begin; r < end; ++r) {
-          if (!query.window.empty()) {
-            TimePoint est = TimePoint::FromMinutes(est_col->GetInt64(r));
-            if (!query.window.Contains(est)) continue;
-          }
-          bool pass = true;
-          for (const auto& [col, allowed] : slicer_sets) {
-            if (allowed.find(col->GetInt64(r)) == allowed.end()) {
-              pass = false;
-              break;
+        const size_t n = end - begin;
+        std::vector<uint8_t> mask(n, 1);
+        if (has_window) {
+          simd::MaskInt64InRange(est + begin, n, win_lo, win_hi, mask.data());
+        }
+        for (const auto& sf : slicer_sets) {
+          const int64_t* FLEXVIS_RESTRICT vals = sf.column->Int64Data() + begin;
+          if (!sf.lut.empty()) {
+            const int64_t base = sf.lut_base;
+            const uint8_t* FLEXVIS_RESTRICT allow = sf.lut.data();
+            const uint64_t span = sf.lut.size();
+            for (size_t i = 0; i < n; ++i) {
+              const uint64_t off = static_cast<uint64_t>(vals[i]) - static_cast<uint64_t>(base);
+              mask[i] &= off < span ? allow[off] : uint8_t{0};
+            }
+          } else {
+            for (size_t i = 0; i < n; ++i) {
+              if (mask[i] && sf.allowed.find(vals[i]) == sf.allowed.end()) mask[i] = 0;
             }
           }
-          if (!pass) continue;
-          int row_idx = axes[0].Classify(r);
-          int col_idx = axes[1].Classify(r);
+        }
+        for (size_t i = 0; i < n; ++i) {
+          if (!mask[i]) continue;
+          const size_t r = begin + i;
+          const int row_idx = axes[0].Classify(axes[0].values ? axes[0].values[r] : 0);
+          const int col_idx = axes[1].Classify(axes[1].values ? axes[1].values[r] : 0);
           if (row_idx < 0 || col_idx < 0) continue;
           CellAcc& cell = local[static_cast<size_t>(row_idx) * num_cols + col_idx];
           cell.count += 1.0;
-          cell.sum_min += min_col->GetDouble(r);
-          cell.sum_max += max_col->GetDouble(r);
-          cell.sum_sched += sched_col->GetDouble(r);
-          double tf = static_cast<double>(tf_col->GetInt64(r));
-          double dur = static_cast<double>(slices_col->GetInt64(r)) * timeutil::kMinutesPerSlice;
+          cell.sum_min += fact_min[r];
+          cell.sum_max += fact_max[r];
+          cell.sum_sched += fact_sched[r];
+          const double tf = static_cast<double>(fact_tf[r]);
+          const double dur = static_cast<double>(fact_slices[r]) * timeutil::kMinutesPerSlice;
           cell.sum_tf += tf;
-          cell.sum_slices += static_cast<double>(slices_col->GetInt64(r));
+          cell.sum_slices += static_cast<double>(fact_slices[r]);
           if (tf + dur > 0.0) cell.sum_shift_ratio += tf / (tf + dur);
         }
         return local;

@@ -69,19 +69,27 @@ void RasterCanvas::FillRectPx(int x0, int y0, int x1, int y1, const Color& color
   y0 = std::max(y0, clip.y0);
   x1 = std::min(x1, clip.x1);
   y1 = std::min(y1, clip.y1);
+  if (x1 <= x0 || y1 <= y0) return;
   uint8_t* d = Data();
-  for (int y = y0; y < y1; ++y) {
-    if (color.a == 255) {
-      size_t i = (static_cast<size_t>(y) * width_ + x0) * 3;
-      for (int x = x0; x < x1; ++x) {
-        d[i] = color.r;
-        d[i + 1] = color.g;
-        d[i + 2] = color.b;
-        i += 3;
-      }
-    } else {
-      for (int x = x0; x < x1; ++x) SetPixel(x, y, color);
+  if (color.a == 255) {
+    // Rows of an opaque fill are identical: write the first row's span
+    // pixel-wise, then replicate it with row-contiguous copies.
+    const size_t row_bytes = static_cast<size_t>(x1 - x0) * 3;
+    uint8_t* first = d + (static_cast<size_t>(y0) * width_ + x0) * 3;
+    uint8_t* p = first;
+    for (int x = x0; x < x1; ++x) {
+      p[0] = color.r;
+      p[1] = color.g;
+      p[2] = color.b;
+      p += 3;
     }
+    for (int y = y0 + 1; y < y1; ++y) {
+      std::memcpy(d + (static_cast<size_t>(y) * width_ + x0) * 3, first, row_bytes);
+    }
+    return;
+  }
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) SetPixel(x, y, color);
   }
 }
 
@@ -89,15 +97,19 @@ void RasterCanvas::Clear(const Color& color) {
   // Clear ignores soft clipping by convention (it re-initializes the
   // surface) but honors the hard clip so a band view only re-initializes
   // its own rows — the bands together still clear everything.
+  if (hard_clip_.y1 <= hard_clip_.y0) return;
   uint8_t* d = Data();
-  for (int y = hard_clip_.y0; y < hard_clip_.y1; ++y) {
-    size_t i = static_cast<size_t>(y) * width_ * 3;
-    for (int x = 0; x < width_; ++x) {
-      d[i] = color.r;
-      d[i + 1] = color.g;
-      d[i + 2] = color.b;
-      i += 3;
-    }
+  const size_t row_bytes = static_cast<size_t>(width_) * 3;
+  uint8_t* first = d + static_cast<size_t>(hard_clip_.y0) * row_bytes;
+  uint8_t* p = first;
+  for (int x = 0; x < width_; ++x) {
+    p[0] = color.r;
+    p[1] = color.g;
+    p[2] = color.b;
+    p += 3;
+  }
+  for (int y = hard_clip_.y0 + 1; y < hard_clip_.y1; ++y) {
+    std::memcpy(d + static_cast<size_t>(y) * row_bytes, first, row_bytes);
   }
 }
 

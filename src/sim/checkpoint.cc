@@ -63,6 +63,7 @@ std::string EncodeMeta(const OnlineParams& params, const timeutil::TimeInterval&
   meta.Set("ingest_queue_capacity", JsonValue::Int(params.ingest_queue_capacity));
   meta.Set("shed_policy", JsonValue::Int(static_cast<int64_t>(params.shed_policy)));
   meta.Set("compact_ticks", JsonValue::Int(params.compact_ticks));
+  meta.Set("compact_bytes", JsonValue::Int(params.compact_bytes));
   return meta.Dump();
 }
 
@@ -107,6 +108,7 @@ Status DecodeMeta(std::string_view text, OnlineParams* params,
       static_cast<int>(GetIntOr(meta, "ingest_queue_capacity", 0));
   params->shed_policy = static_cast<ShedPolicy>(GetIntOr(meta, "shed_policy", 0));
   params->compact_ticks = static_cast<int>(GetIntOr(meta, "compact_ticks", 0));
+  params->compact_bytes = GetIntOr(meta, "compact_bytes", 0);
   params->faults = nullptr;
   return OkStatus();
 }
@@ -144,28 +146,41 @@ Status DecodeOffers(std::string_view lines, std::vector<core::FlexOffer>* offers
 
 /// Executes the remaining ticks live: journal append + flush before the next
 /// tick starts (the flush is the durability point), folding every record
-/// into `fold` and compacting the store on the params cadence.
+/// into `fold` and compacting the store on the params cadences.
+/// `journal_bytes` is the record payload already sitting in the WAL when the
+/// loop starts (0 on a fresh run; the replayed tail's bytes on a resume), so
+/// the byte trigger continues exactly where the interrupted run left off.
 Result<OnlineReport> ContinueJournaled(const OnlineEnterprise& enterprise,
                                        OnlineLoopState state, DurableStore& store,
                                        const StoreFiles& snapshot_files,
-                                       OnlineTickRecord* fold, int* ticks_continued) {
+                                       OnlineTickRecord* fold, int* ticks_continued,
+                                       uint64_t journal_bytes) {
   const int compact_ticks = enterprise.params().compact_ticks;
+  const int64_t compact_bytes = enterprise.params().compact_bytes;
   while (!enterprise.Done(state)) {
     OnlineTickRecord record;
     enterprise.Tick(state, &record);
-    FLEXVIS_RETURN_IF_ERROR(store.Append(EncodeTickRecord(record)));
+    const std::string encoded = EncodeTickRecord(record);
+    FLEXVIS_RETURN_IF_ERROR(store.Append(encoded));
     FLEXVIS_RETURN_IF_ERROR(store.Flush());
+    journal_bytes += encoded.size();
     FoldTickRecordInto(fold, record);
     if (ticks_continued != nullptr) ++*ticks_continued;
-    if (compact_ticks > 0 && (record.tick + 1) % compact_ticks == 0) {
+    const bool ticks_due = compact_ticks > 0 && (record.tick + 1) % compact_ticks == 0;
+    const bool bytes_due =
+        compact_bytes > 0 && journal_bytes >= static_cast<uint64_t>(compact_bytes);
+    if (ticks_due || bytes_due) {
       // Fold the journal into a new generation: the fold covers every tick
       // since Begin (including any previously folded base), so the new
       // snapshot alone reproduces the post-tick state and the WAL restarts
-      // empty. Cadence keys off the absolute tick index so a resumed run
-      // compacts at the same boundaries the uninterrupted run would.
+      // empty. The tick cadence keys off the absolute tick index and the
+      // byte trigger off the deterministic encoded record sizes, so a
+      // resumed run compacts at the same boundaries the uninterrupted run
+      // would.
       StoreFiles files = snapshot_files;
       files.emplace_back(kCheckpointStateFile, EncodeTickRecord(*fold));
       FLEXVIS_RETURN_IF_ERROR(store.Compact(files, JsonValue()));
+      journal_bytes = 0;
     }
   }
   FLEXVIS_RETURN_IF_ERROR(store.Close());
@@ -174,14 +189,37 @@ Result<OnlineReport> ContinueJournaled(const OnlineEnterprise& enterprise,
 
 }  // namespace
 
-int CompactTicksFromEnv() {
-  const char* env = std::getenv(kCompactTicksEnvVar);
-  if (env == nullptr || *env == '\0') return 0;
+namespace {
+
+/// Shared parse for the compaction env knobs: unset/empty = 0 (off); a set
+/// value must be a strictly positive integer or the result is an
+/// InvalidArgument error naming the variable.
+Result<int64_t> CompactEnvValue(const char* var) {
+  const char* env = std::getenv(var);
+  if (env == nullptr || *env == '\0') return static_cast<int64_t>(0);
   char* end = nullptr;
-  const long value = std::strtol(env, &end, 10);
-  if (end == env || *end != '\0' || value < 0) return 0;
-  return static_cast<int>(value);
+  const long long value = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0') {
+    return InvalidArgumentError(
+        StrFormat("$%s is not an integer: '%s'", var, env));
+  }
+  if (value <= 0) {
+    return InvalidArgumentError(StrFormat(
+        "$%s must be a positive integer (unset it to disable compaction), got '%s'", var,
+        env));
+  }
+  return static_cast<int64_t>(value);
 }
+
+}  // namespace
+
+Result<int> CompactTicksFromEnv() {
+  Result<int64_t> value = CompactEnvValue(kCompactTicksEnvVar);
+  if (!value.ok()) return value.status();
+  return static_cast<int>(*value);
+}
+
+Result<int64_t> CompactBytesFromEnv() { return CompactEnvValue(kCompactBytesEnvVar); }
 
 StoreOptions CheckpointStoreOptions() {
   StoreOptions options;
@@ -392,7 +430,8 @@ Result<OnlineReport> RunOnlineCheckpointed(const OnlineParams& params,
   if (!store.ok()) return store.status();
 
   OnlineTickRecord fold;
-  return ContinueJournaled(enterprise, *std::move(state), *store, snapshot, &fold, nullptr);
+  return ContinueJournaled(enterprise, *std::move(state), *store, snapshot, &fold, nullptr,
+                           0);
 }
 
 Result<OnlineReport> ResumeOnline(const std::string& directory, ResumeInfo* info) {
@@ -431,12 +470,15 @@ Result<OnlineReport> ResumeOnline(const std::string& directory, ResumeInfo* info
     if (info != nullptr) info->ticks_folded = fold.tick + 1;
   }
 
-  // Replay the journal tail of the committed generation.
+  // Replay the journal tail of the committed generation, accounting its
+  // record payload so the byte trigger resumes mid-budget.
+  uint64_t tail_bytes = 0;
   for (const std::string& record_text : recovery.records) {
     Result<OnlineTickRecord> record = DecodeTickRecord(record_text);
     if (!record.ok()) return record.status();
     FLEXVIS_RETURN_IF_ERROR(enterprise.Apply(*state, *record));
     FoldTickRecordInto(&fold, *record);
+    tail_bytes += record_text.size();
   }
   if (info != nullptr) {
     info->ticks_replayed = static_cast<int>(recovery.records.size());
@@ -445,21 +487,27 @@ Result<OnlineReport> ResumeOnline(const std::string& directory, ResumeInfo* info
     info->torn_bytes = recovery.torn_bytes;
   }
 
-  // A journal whose last record lands on a compaction boundary means the
-  // crash interrupted that boundary's compaction — an uninterrupted run
-  // compacts before the next tick starts, so it never leaves such a tail.
-  // Re-execute the compaction now: the directory converges to the layout the
-  // uninterrupted run would have, and the bounded-replay guarantee (at most
-  // compact_ticks journal records) holds again after recovery.
+  // A journal tail that ends on a compaction boundary — the tick cadence, or
+  // a record payload at/over the byte budget — means the crash interrupted
+  // that boundary's compaction: an uninterrupted run compacts before the
+  // next tick starts, so it never leaves such a tail. Re-execute the
+  // compaction now: the directory converges to the layout the uninterrupted
+  // run would have, and the bounded-replay guarantees (at most compact_ticks
+  // records / compact_bytes payload, plus one record) hold again after
+  // recovery.
   const StoreFiles snapshot = EncodeOnlineSnapshot(params, offers, window);
-  if (params.compact_ticks > 0 && !recovery.records.empty() &&
-      (fold.tick + 1) % params.compact_ticks == 0) {
+  const bool ticks_due = params.compact_ticks > 0 &&
+                         (fold.tick + 1) % params.compact_ticks == 0;
+  const bool bytes_due = params.compact_bytes > 0 &&
+                         tail_bytes >= static_cast<uint64_t>(params.compact_bytes);
+  if (!recovery.records.empty() && (ticks_due || bytes_due)) {
     StoreFiles files = snapshot;
     files.emplace_back(kCheckpointStateFile, EncodeTickRecord(fold));
     FLEXVIS_RETURN_IF_ERROR(store->Compact(files, JsonValue()));
+    tail_bytes = 0;
   }
   return ContinueJournaled(enterprise, *std::move(state), *store, snapshot, &fold,
-                           info != nullptr ? &info->ticks_continued : nullptr);
+                           info != nullptr ? &info->ticks_continued : nullptr, tail_bytes);
 }
 
 }  // namespace flexvis::sim

@@ -38,9 +38,15 @@ namespace flexvis::sim {
 /// journal into a new store generation after every C-th tick — the folded
 /// record becomes state.json, the manifest commit supersedes the old
 /// generation, and the WAL restarts empty — so a resume replays at most C
-/// tick records no matter how long the run is. Generation > 0 files carry a
-/// ".g<G>" suffix; recovery lands on exactly one committed generation and
-/// garbage-collects the debris of the other.
+/// tick records no matter how long the run is. OnlineParams::compact_bytes
+/// = B > 0 adds a size trigger on the same fold: the run also compacts as
+/// soon as the journal's record payload since the last fold reaches B bytes
+/// (Σ EncodeTickRecord sizes — a deterministic function of the decisions, so
+/// the fold boundaries stay identical across reruns and resumes), bounding
+/// resume replay by byte budget even when tick records vary wildly in size.
+/// Either trigger may be used alone or both together. Generation > 0 files
+/// carry a ".g<G>" suffix; recovery lands on exactly one committed
+/// generation and garbage-collects the debris of the other.
 
 inline constexpr const char* kCheckpointMetaFile = "meta.json";
 inline constexpr const char* kCheckpointOffersFile = "offers.jsonl";
@@ -48,14 +54,22 @@ inline constexpr const char* kCheckpointStateFile = "state.json";
 inline constexpr const char* kCheckpointManifestFile = "SNAPSHOT.json";
 inline constexpr const char* kCheckpointJournalFile = "journal.wal";
 
-/// Environment knob for the compaction cadence (ticks between folds; unset,
-/// empty, 0, or unparsable = compaction off).
+/// Environment knobs for the compaction cadence. Unset or empty = off;
+/// anything else must parse as a strictly positive integer (ticks between
+/// folds / journal bytes between folds).
 inline constexpr const char* kCompactTicksEnvVar = "FLEXVIS_COMPACT_TICKS";
+inline constexpr const char* kCompactBytesEnvVar = "FLEXVIS_COMPACT_BYTES";
 
-/// Parses $FLEXVIS_COMPACT_TICKS into an OnlineParams::compact_ticks value
-/// (>= 0; 0 = off). The benches and CLI wire it through explicitly — library
-/// code never reads the environment behind a caller's back.
-int CompactTicksFromEnv();
+/// Parses $FLEXVIS_COMPACT_TICKS into an OnlineParams::compact_ticks value.
+/// Unset/empty yields 0 (off); a set value that is unparsable, zero, or
+/// negative is an InvalidArgument error naming the variable — a cadence of
+/// zero is meaningless and silently ignoring it hid misconfigurations. The
+/// benches and CLI wire it through explicitly — library code never reads the
+/// environment behind a caller's back.
+Result<int> CompactTicksFromEnv();
+
+/// Same contract for $FLEXVIS_COMPACT_BYTES -> OnlineParams::compact_bytes.
+Result<int64_t> CompactBytesFromEnv();
 
 /// The store layout above as StoreOptions (manifest SNAPSHOT.json, WAL
 /// journal.wal). The sharded coordinator opens one such store per shard.

@@ -66,6 +66,16 @@ struct OnlineParams {
   /// reports. Read from $FLEXVIS_COMPACT_TICKS by CompactTicksFromEnv.
   int compact_ticks = 0;
 
+  /// Size trigger on the same fold: also compact as soon as the journal's
+  /// record payload since the last fold reaches this many bytes
+  /// (Σ EncodeTickRecord sizes, a deterministic function of the decisions).
+  /// 0 = off. Composes with compact_ticks — whichever trigger fires first
+  /// folds, and both reset. Like the tick cadence it never changes a
+  /// planning decision. Read from $FLEXVIS_COMPACT_BYTES by
+  /// CompactBytesFromEnv. The sharded coordinator compacts only on the
+  /// global tick cadence and ignores this knob.
+  int64_t compact_bytes = 0;
+
   /// Fault registry the loop's sim.online.* seams consult; nullptr means
   /// FaultRegistry::Global() (the historical behaviour). The sharded
   /// coordinator points each shard at its own registry so fault draws are

@@ -1,0 +1,100 @@
+#ifndef FLEXVIS_UTIL_SIMD_H_
+#define FLEXVIS_UTIL_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// SIMD plumbing for the columnar hot paths.
+//
+// Policy (see README "Columnar layout & SIMD"): loops are written
+// autovec-friendly first — contiguous restrict-qualified columns, branch-free
+// predicate masks — and the explicit kernels below exist only where the
+// compiler demonstrably fails to vectorize at the default architecture
+// level. Every explicit kernel is
+//   (a) guarded by the FLEXVIS_SIMD build option *and* the instruction-set
+//       macro it needs, and
+//   (b) restricted to order-independent operations (integer compares,
+//       floating-point min/max over non-NaN data) so the scalar fallback is
+//       bit-identical and the vector path can never fork numerical behavior.
+// Ordered floating-point accumulation (sums, running folds) is NEVER
+// vectorized explicitly: the determinism contract fixes its evaluation
+// order.
+
+#if defined(__GNUC__) || defined(__clang__)
+#define FLEXVIS_RESTRICT __restrict__
+#else
+#define FLEXVIS_RESTRICT
+#endif
+
+#if defined(FLEXVIS_SIMD) && defined(__SSE2__)
+#include <emmintrin.h>
+#if defined(__SSE4_2__)
+#include <nmmintrin.h>
+#endif
+#endif
+
+namespace flexvis::simd {
+
+/// mask[i] = (lo <= values[i] && values[i] <= hi) ? 1 : 0.
+/// Branch-free; the scalar form autovectorizes poorly at baseline x86-64
+/// (no packed 64-bit compare before SSE4.2), so an explicit path is provided
+/// when the toolchain targets SSE4.2+.
+inline void MaskInt64InRange(const int64_t* FLEXVIS_RESTRICT values, size_t n, int64_t lo,
+                             int64_t hi, uint8_t* FLEXVIS_RESTRICT mask) {
+  size_t i = 0;
+#if defined(FLEXVIS_SIMD) && defined(__SSE4_2__)
+  const __m128i vlo = _mm_set1_epi64x(lo - 1);  // v > lo-1  <=>  v >= lo
+  const __m128i vhi = _mm_set1_epi64x(hi + 1);  // v < hi+1  <=>  v <= hi
+  if (lo > INT64_MIN && hi < INT64_MAX) {
+    for (; i + 2 <= n; i += 2) {
+      __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(values + i));
+      __m128i ok = _mm_and_si128(_mm_cmpgt_epi64(v, vlo), _mm_cmpgt_epi64(vhi, v));
+      mask[i] = static_cast<uint8_t>(_mm_extract_epi8(ok, 0) & 1);
+      mask[i + 1] = static_cast<uint8_t>(_mm_extract_epi8(ok, 8) & 1);
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    mask[i] = static_cast<uint8_t>((values[i] >= lo) & (values[i] <= hi));
+  }
+}
+
+/// In-place min/max sweep over a non-NaN double column. Min/max are
+/// order-independent for the nonnegative energy data the columns hold, so an
+/// SSE2 kernel is safe; the remainder and the fallback run the exact
+/// sequential form the AoS oracle uses.
+inline void MinMaxDouble(const double* FLEXVIS_RESTRICT values, size_t n, double* min_out,
+                         double* max_out) {
+  if (n == 0) return;
+  double mn = *min_out;
+  double mx = *max_out;
+  size_t i = 0;
+#if defined(FLEXVIS_SIMD) && defined(__SSE2__)
+  if (n >= 4) {
+    __m128d vmin = _mm_set1_pd(mn);
+    __m128d vmax = _mm_set1_pd(mx);
+    for (; i + 2 <= n; i += 2) {
+      __m128d v = _mm_loadu_pd(values + i);
+      vmin = _mm_min_pd(vmin, v);
+      vmax = _mm_max_pd(vmax, v);
+    }
+    double lanes[2];
+    _mm_storeu_pd(lanes, vmin);
+    mn = lanes[0] < mn ? lanes[0] : mn;
+    mn = lanes[1] < mn ? lanes[1] : mn;
+    _mm_storeu_pd(lanes, vmax);
+    mx = lanes[0] > mx ? lanes[0] : mx;
+    mx = lanes[1] > mx ? lanes[1] : mx;
+  }
+#endif
+  for (; i < n; ++i) {
+    mn = values[i] < mn ? values[i] : mn;
+    mx = values[i] > mx ? values[i] : mx;
+  }
+  *min_out = mn;
+  *max_out = mx;
+}
+
+}  // namespace flexvis::simd
+
+#endif  // FLEXVIS_UTIL_SIMD_H_

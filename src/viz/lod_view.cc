@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "render/axis.h"
+#include "util/simd.h"
 #include "util/strings.h"
 
 namespace flexvis::viz {
@@ -18,14 +19,27 @@ LodStripPainter::LodStripPainter(const dw::LodPyramid* pyramid, Kind kind)
   // visible range (the translation invariance the tile cache relies on).
   max_starts_.assign(static_cast<size_t>(pyramid_->num_levels()), 1);
   max_kwh_.assign(static_cast<size_t>(pyramid_->num_levels()), 1.0);
+  columns_.resize(static_cast<size_t>(pyramid_->num_levels()));
   for (int l = 0; l < pyramid_->num_levels(); ++l) {
-    for (const dw::LodBucket& bucket : pyramid_->level(l).buckets) {
+    LevelColumns& cols = columns_[static_cast<size_t>(l)];
+    const std::vector<dw::LodBucket>& buckets = pyramid_->level(l).buckets;
+    cols.starts.reserve(buckets.size());
+    cols.empty.reserve(buckets.size());
+    cols.min_kwh.reserve(buckets.size());
+    cols.max_kwh.reserve(buckets.size());
+    cols.mean_max_kwh.reserve(buckets.size());
+    for (const dw::LodBucket& bucket : buckets) {
       max_starts_[static_cast<size_t>(l)] =
           std::max(max_starts_[static_cast<size_t>(l)], bucket.starts);
       if (!bucket.empty()) {
         max_kwh_[static_cast<size_t>(l)] =
             std::max(max_kwh_[static_cast<size_t>(l)], bucket.max_kwh);
       }
+      cols.starts.push_back(bucket.starts);
+      cols.empty.push_back(bucket.empty() ? 1 : 0);
+      cols.min_kwh.push_back(bucket.min_kwh);
+      cols.max_kwh.push_back(bucket.max_kwh);
+      cols.mean_max_kwh.push_back(bucket.mean_max_kwh());
     }
   }
 }
@@ -40,39 +54,49 @@ void LodStripPainter::PaintInto(render::Canvas& canvas, int level, int64_t first
                                 int64_t num_buckets, int px_per_bucket, int height_px,
                                 double x0, double y0) const {
   if (level < 0 || level >= pyramid_->num_levels() || height_px < 2) return;
-  const dw::LodLevel& lvl = pyramid_->level(level);
-  const int64_t level_buckets = static_cast<int64_t>(lvl.buckets.size());
-  for (int64_t i = 0; i < num_buckets; ++i) {
-    const int64_t b = first_bucket + i;
-    if (b < 0 || b >= level_buckets) continue;
-    const dw::LodBucket& bucket = lvl.buckets[static_cast<size_t>(b)];
-    const double x = x0 + static_cast<double>(i * px_per_bucket);
-    const double w = static_cast<double>(px_per_bucket);
-    if (kind_ == Kind::kDensity) {
+  // Bucket sweep over the per-level SoA columns cached at construction: the
+  // density pass touches only the starts column, the envelope pass only the
+  // three energy columns it draws.
+  const LevelColumns& cols = columns_[static_cast<size_t>(level)];
+  const int64_t level_buckets = static_cast<int64_t>(cols.starts.size());
+  const double w = static_cast<double>(px_per_bucket);
+  if (kind_ == Kind::kDensity) {
+    const int64_t* FLEXVIS_RESTRICT starts = cols.starts.data();
+    const int64_t max_starts = max_starts_[static_cast<size_t>(level)];
+    for (int64_t i = 0; i < num_buckets; ++i) {
+      const int64_t b = first_bucket + i;
+      if (b < 0 || b >= level_buckets) continue;
       // Integer bar height from integer inputs: byte-stable at every offset.
-      const int64_t bar =
-          bucket.starts * (height_px - 1) / max_starts_[static_cast<size_t>(level)];
+      const int64_t bar = starts[b] * (height_px - 1) / max_starts;
       if (bar <= 0) continue;
+      const double x = x0 + static_cast<double>(i * px_per_bucket);
       canvas.DrawRect(Rect{x, y0 + static_cast<double>(height_px - bar),
                            w, static_cast<double>(bar)},
                       Style::Fill(render::palette::kAccepted));
-    } else {
-      if (bucket.empty()) continue;
-      const double scale =
-          static_cast<double>(height_px - 2) / max_kwh_[static_cast<size_t>(level)];
-      const auto y_of = [&](double kwh) {
-        return static_cast<double>(height_px - 1 -
-                                   std::llround(std::max(0.0, kwh) * scale));
-      };
-      const double y_max = y_of(bucket.max_kwh);
-      const double y_min = y_of(bucket.min_kwh);
-      // min..max energy-flexibility band (Fig. 9's light fill, aggregated).
-      canvas.DrawRect(Rect{x, y0 + y_max, w, y_min - y_max + 1.0},
-                      Style::Fill(render::palette::kRawOffer));
-      // Mean-of-maxima tick: the aggregate silhouette of the schedules.
-      canvas.DrawRect(Rect{x, y0 + y_of(bucket.mean_max_kwh()), w, 1.0},
-                      Style::Fill(render::palette::kDemand));
     }
+    return;
+  }
+  const uint8_t* FLEXVIS_RESTRICT empty = cols.empty.data();
+  const double* FLEXVIS_RESTRICT min_kwh = cols.min_kwh.data();
+  const double* FLEXVIS_RESTRICT max_kwh = cols.max_kwh.data();
+  const double* FLEXVIS_RESTRICT mean_max = cols.mean_max_kwh.data();
+  const double scale =
+      static_cast<double>(height_px - 2) / max_kwh_[static_cast<size_t>(level)];
+  const auto y_of = [&](double kwh) {
+    return static_cast<double>(height_px - 1 - std::llround(std::max(0.0, kwh) * scale));
+  };
+  for (int64_t i = 0; i < num_buckets; ++i) {
+    const int64_t b = first_bucket + i;
+    if (b < 0 || b >= level_buckets || empty[b]) continue;
+    const double x = x0 + static_cast<double>(i * px_per_bucket);
+    const double y_max = y_of(max_kwh[b]);
+    const double y_min = y_of(min_kwh[b]);
+    // min..max energy-flexibility band (Fig. 9's light fill, aggregated).
+    canvas.DrawRect(Rect{x, y0 + y_max, w, y_min - y_max + 1.0},
+                    Style::Fill(render::palette::kRawOffer));
+    // Mean-of-maxima tick: the aggregate silhouette of the schedules.
+    canvas.DrawRect(Rect{x, y0 + y_of(mean_max[b]), w, 1.0},
+                    Style::Fill(render::palette::kDemand));
   }
 }
 

@@ -46,10 +46,24 @@ class LodStripPainter : public render::StripPainter {
   Kind kind() const { return kind_; }
 
  private:
+  /// One level's bucket fields as contiguous columns, cached at
+  /// construction so the paint sweep reads flat arrays instead of striding
+  /// over LodBucket structs. mean_max_kwh is the same division
+  /// LodBucket::mean_max_kwh() performs, so cached and on-the-fly values
+  /// are bit-identical.
+  struct LevelColumns {
+    std::vector<int64_t> starts;
+    std::vector<uint8_t> empty;
+    std::vector<double> min_kwh;
+    std::vector<double> max_kwh;
+    std::vector<double> mean_max_kwh;
+  };
+
   const dw::LodPyramid* pyramid_;
   Kind kind_;
   std::vector<int64_t> max_starts_;  // per level
   std::vector<double> max_kwh_;      // per level
+  std::vector<LevelColumns> columns_;  // per level
 };
 
 /// Options of the LOD views.

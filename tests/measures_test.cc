@@ -57,8 +57,8 @@ TEST(AttributeStatsTest, SummarizesMinMaxMeanSum) {
   EXPECT_DOUBLE_EQ(flex.min, 60.0);
   EXPECT_DOUBLE_EQ(flex.max, 120.0);
 
-  EXPECT_EQ(Summarize({}, NumericAttribute::kTotalMinEnergyKwh).count, 0);
-  EXPECT_DOUBLE_EQ(Summarize({}, NumericAttribute::kTotalMinEnergyKwh).mean(), 0.0);
+  EXPECT_EQ(Summarize(std::vector<FlexOffer>{}, NumericAttribute::kTotalMinEnergyKwh).count, 0);
+  EXPECT_DOUBLE_EQ(Summarize(std::vector<FlexOffer>{}, NumericAttribute::kTotalMinEnergyKwh).mean(), 0.0);
 }
 
 TEST(AttributeStatsTest, AllAttributesHaveNamesAndValues) {
@@ -128,7 +128,7 @@ TEST(BalancingPotentialTest, MonotoneInFlexibility) {
 }
 
 TEST(BalancingPotentialTest, EmptyPortfolio) {
-  BalancingPotential bp = ComputeBalancingPotential({});
+  BalancingPotential bp = ComputeBalancingPotential(std::vector<FlexOffer>{});
   EXPECT_DOUBLE_EQ(bp.potential, 0.0);
   EXPECT_DOUBLE_EQ(bp.total_max_energy_kwh, 0.0);
 }

@@ -10,6 +10,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
@@ -409,6 +410,198 @@ TEST_F(RecoveryTest, TickRecordRoundtripsAndApplyRejectsOutOfOrder) {
   change.state = core::FlexOfferState::kAccepted;
   bogus.changes.push_back(change);
   EXPECT_EQ(enterprise.Apply(*fresh, bogus).code(), StatusCode::kDataLoss);
+}
+
+// ---- Byte-triggered compaction (OnlineParams::compact_bytes) ------------------
+
+/// Encoded size of every tick record the checkpointed run will journal,
+/// derived by running the loop tick-at-a-time through the public checkpoint
+/// surface. EncodeTickRecord is a deterministic function of the decisions, so
+/// these sizes predict the byte trigger's fold boundaries exactly.
+std::vector<uint64_t> TickRecordSizes(const sim::OnlineParams& params,
+                                      const std::vector<core::FlexOffer>& offers,
+                                      const TimeInterval& window) {
+  sim::OnlineEnterprise enterprise(params);
+  Result<sim::OnlineLoopState> state = enterprise.Begin(offers, window);
+  EXPECT_TRUE(state.ok()) << state.status().ToString();
+  std::vector<uint64_t> sizes;
+  if (!state.ok()) return sizes;
+  while (!enterprise.Done(*state)) {
+    sim::OnlineTickRecord record;
+    enterprise.Tick(*state, &record);
+    sizes.push_back(sim::EncodeTickRecord(record).size());
+  }
+  return sizes;
+}
+
+/// Replays the byte trigger's accumulator: the run folds as soon as the WAL
+/// payload since the last fold reaches `budget`, so after an uninterrupted
+/// run the tail always carries < budget bytes of records.
+struct ByteTriggerPlan {
+  int generations = 0;
+  int tail_ticks = 0;
+  uint64_t tail_bytes = 0;
+  int max_ticks_between_folds = 0;
+};
+
+ByteTriggerPlan SimulateByteTrigger(const std::vector<uint64_t>& sizes, uint64_t budget) {
+  ByteTriggerPlan plan;
+  uint64_t acc = 0;
+  int ticks = 0;
+  for (uint64_t bytes : sizes) {
+    acc += bytes;
+    ++ticks;
+    plan.max_ticks_between_folds = std::max(plan.max_ticks_between_folds, ticks);
+    if (acc >= budget) {
+      ++plan.generations;
+      acc = 0;
+      ticks = 0;
+    }
+  }
+  plan.tail_ticks = ticks;
+  plan.tail_bytes = acc;
+  return plan;
+}
+
+TEST_F(RecoveryTest, ByteTriggeredCompactionIsTransparentAndBoundsReplay) {
+  const std::vector<uint64_t> sizes = TickRecordSizes(params_, workload_.offers, window_);
+  ASSERT_FALSE(sizes.empty());
+  uint64_t total = 0;
+  for (uint64_t b : sizes) total += b;
+  // A budget of roughly a third of the run's payload forces multiple folds
+  // without aligning to tick boundaries the way a tick cadence would.
+  const uint64_t budget = total / 3;
+  const ByteTriggerPlan plan = SimulateByteTrigger(sizes, budget);
+  ASSERT_GE(plan.generations, 2) << "budget too large to exercise repeated folds";
+
+  params_.compact_ticks = 0;  // bytes are the ONLY trigger in this test
+  params_.compact_bytes = static_cast<int64_t>(budget);
+  sim::OnlineReport compacted = MustRun(Dir("bytes_on"));
+  ASSERT_GT(compacted.ticks, 0);
+
+  // Transparency: byte-identical to a run that never compacts.
+  {
+    sim::OnlineParams flat_params = params_;
+    flat_params.compact_bytes = 0;
+    Result<sim::OnlineReport> flat = sim::RunOnlineCheckpointed(
+        flat_params, workload_.offers, window_, Dir("bytes_off"));
+    ASSERT_TRUE(flat.ok()) << flat.status().ToString();
+    ExpectReportsEqual(*flat, compacted, "byte-compaction transparency");
+  }
+
+  // Resume of the completed run: the folds landed exactly where the payload
+  // simulation says, and the replay is bounded by the byte budget — the WAL
+  // tail holds plan.tail_ticks records (< budget bytes), everything earlier
+  // comes back from the folded generation.
+  sim::ResumeInfo info;
+  std::string dir = Dir("bytes_resume");
+  params_.compact_bytes = static_cast<int64_t>(budget);
+  sim::OnlineReport baseline = MustRun(dir);
+  Result<sim::OnlineReport> resumed = sim::ResumeOnline(dir, &info);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ExpectReportsEqual(baseline, *resumed, "resume of byte-compacted run");
+  EXPECT_EQ(info.generation, plan.generations);
+  EXPECT_EQ(info.ticks_replayed, plan.tail_ticks);
+  EXPECT_EQ(info.ticks_folded, baseline.ticks - plan.tail_ticks);
+  EXPECT_EQ(info.ticks_continued, 0);
+  EXPECT_LT(plan.tail_bytes, budget);
+}
+
+TEST_F(RecoveryTest, KillMatrixWithByteCompactionEveryPointConvergesToBaseline) {
+  const std::vector<uint64_t> sizes = TickRecordSizes(params_, workload_.offers, window_);
+  ASSERT_FALSE(sizes.empty());
+  uint64_t total = 0;
+  for (uint64_t b : sizes) total += b;
+  const uint64_t budget = total / 3;
+  const ByteTriggerPlan plan = SimulateByteTrigger(sizes, budget);
+  ASSERT_GE(plan.generations, 2);
+
+  params_.compact_ticks = 0;
+  params_.compact_bytes = static_cast<int64_t>(budget);
+  sim::OnlineReport baseline = MustRun(Dir("bkill_baseline"));
+  ASSERT_GT(baseline.ticks, 0);
+
+  const char* const points[] = {"util.fileio.write", "util.journal.append",
+                                "util.journal.flush", "util.store.compact",
+                                "util.store.delete"};
+  for (const char* point : points) {
+    const int64_t hits = CountHits(point);
+    ASSERT_GT(hits, 0) << point << " is not on the byte-compacting write path";
+    for (int64_t hit = 1; hit <= hits; ++hit) {
+      const std::string label = std::string("bytes ") + point + " hit " +
+                                std::to_string(hit) + "/" + std::to_string(hits);
+      std::string dir = Dir("bkill_" + std::string(point) + "_" + std::to_string(hit));
+      ASSERT_EQ(RunChildCrashingAt(point, hit, dir), kCrashExitCode)
+          << label << ": child did not crash where told to";
+
+      sim::ResumeInfo info;
+      sim::OnlineReport recovered = MustRecover(dir, &info);
+      ExpectReportsEqual(baseline, recovered, label);
+      if (info.ticks_folded + info.ticks_replayed + info.ticks_continued > 0) {
+        EXPECT_EQ(info.ticks_folded + info.ticks_replayed + info.ticks_continued,
+                  baseline.ticks)
+            << label;
+      }
+
+      // The recovered run finished every byte-triggered fold, so a second
+      // resume lands on the final generation with the simulated tail — the
+      // replay is bounded by the byte budget, never the run length.
+      sim::ResumeInfo again;
+      Result<sim::OnlineReport> second = sim::ResumeOnline(dir, &again);
+      ASSERT_TRUE(second.ok()) << label << ": " << second.status().ToString();
+      EXPECT_EQ(again.ticks_folded + again.ticks_replayed, baseline.ticks) << label;
+      EXPECT_EQ(again.ticks_continued, 0) << label;
+      EXPECT_EQ(again.generation, plan.generations) << label;
+      EXPECT_EQ(again.ticks_replayed, plan.tail_ticks) << label;
+      EXPECT_LE(again.ticks_replayed, plan.max_ticks_between_folds) << label;
+      ExpectReportsEqual(baseline, *second, label + " (second resume)");
+    }
+  }
+}
+
+// ---- $FLEXVIS_COMPACT_TICKS / $FLEXVIS_COMPACT_BYTES parsing ------------------
+
+/// Exercises one env-var parser: unset and empty disable the trigger (0);
+/// garbage and non-positive values are typed kInvalidArgument errors whose
+/// message names the variable, so a fleet-wide misconfiguration fails loudly
+/// instead of silently running without compaction.
+template <typename T, typename Fn>
+void CheckCompactEnvContract(const char* var, Fn parse) {
+  ASSERT_EQ(::unsetenv(var), 0);
+  Result<T> unset = parse();
+  ASSERT_TRUE(unset.ok()) << unset.status().ToString();
+  EXPECT_EQ(*unset, 0);
+
+  ASSERT_EQ(::setenv(var, "", 1), 0);
+  Result<T> empty = parse();
+  ASSERT_TRUE(empty.ok()) << empty.status().ToString();
+  EXPECT_EQ(*empty, 0);
+
+  ASSERT_EQ(::setenv(var, "12", 1), 0);
+  Result<T> valid = parse();
+  ASSERT_TRUE(valid.ok()) << valid.status().ToString();
+  EXPECT_EQ(*valid, 12);
+
+  for (const char* bad : {"0", "-3", "64MB", "ticks"}) {
+    ASSERT_EQ(::setenv(var, bad, 1), 0);
+    Result<T> rejected = parse();
+    ASSERT_FALSE(rejected.ok()) << var << "='" << bad << "'";
+    EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument)
+        << var << "='" << bad << "'";
+    EXPECT_NE(rejected.status().ToString().find(var), std::string::npos)
+        << "error must name the variable: " << rejected.status().ToString();
+  }
+  ASSERT_EQ(::unsetenv(var), 0);
+}
+
+TEST(CompactEnvTest, TicksRejectsZeroNegativeAndGarbageWithTypedError) {
+  CheckCompactEnvContract<int>(sim::kCompactTicksEnvVar,
+                               [] { return sim::CompactTicksFromEnv(); });
+}
+
+TEST(CompactEnvTest, BytesRejectsZeroNegativeAndGarbageWithTypedError) {
+  CheckCompactEnvContract<int64_t>(sim::kCompactBytesEnvVar,
+                                   [] { return sim::CompactBytesFromEnv(); });
 }
 
 TEST_F(RecoveryTest, DecodeTickRecordRejectsMalformedInput) {

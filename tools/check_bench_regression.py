@@ -57,6 +57,15 @@ def load_metrics(path):
         ips = sample.get("items_per_second")
         if label is not None and ips is not None:
             metrics[f"sample:{label}:items_per_second"] = float(ips)
+    # Per-stage throughput breakdowns (schema additions are tolerated: a
+    # baseline written before stages existed simply lacks these keys, and
+    # current-only metrics report as non-gating "new").
+    for stage in report.get("stages", []):
+        sample = stage.get("sample")
+        name = stage.get("stage")
+        ips = stage.get("items_per_second")
+        if sample is not None and name is not None and ips is not None:
+            metrics[f"stage:{sample}:{name}:items_per_second"] = float(ips)
     for key, value in report.get("counters", {}).items():
         try:
             metrics[f"counter:{key}"] = float(value)
@@ -71,7 +80,8 @@ def compare(baseline, current, tolerance, latency_slack=0.001):
     regressions = []
     for name, base in sorted(baseline.items()):
         short = name.split(":", 1)[1] if ":" in name else name
-        kind = classify(short.rsplit(":", 1)[-1] if name.startswith("sample:") else short, base)
+        kind = classify(
+            short.rsplit(":", 1)[-1] if name.startswith(("sample:", "stage:")) else short, base)
         cur = current.get(name)
         row = {"metric": name, "baseline": base, "current": cur, "direction": kind}
         if cur is None:
@@ -148,6 +158,7 @@ def self_test():
     identical reports (run by CI so the gate is demonstrably live)."""
     baseline = {
         "sample:workload:items_per_second": 1000.0,
+        "stage:workload:scan:items_per_second": 4000.0,
         "counter:sessions_per_sec_8": 500.0,
         "counter:p99_query_seconds_8": 0.010,
         "counter:cache_coherent": 1.0,
@@ -156,6 +167,20 @@ def self_test():
 
     rows, regressions = compare(baseline, dict(baseline), 0.25)
     assert not regressions, f"identical reports must pass: {regressions}"
+
+    # A baseline written before per-stage breakdowns existed must tolerate a
+    # current report that has them (new fields never gate) ...
+    old_baseline = {k: v for k, v in baseline.items() if not k.startswith("stage:")}
+    rows, regressions = compare(old_baseline, dict(baseline), 0.25)
+    assert not regressions, f"stage metrics new in current must not gate: {regressions}"
+
+    # ... but once a stage is in the baseline, its throughput gates like any
+    # other rate metric.
+    stage_slow = dict(baseline)
+    stage_slow["stage:workload:scan:items_per_second"] = 4000.0 * 0.5
+    rows, regressions = compare(baseline, stage_slow, 0.25)
+    assert any(r["metric"] == "stage:workload:scan:items_per_second"
+               for r in regressions), rows
 
     slower = dict(baseline)
     slower["counter:sessions_per_sec_8"] = 500.0 * 0.5  # -50% throughput
