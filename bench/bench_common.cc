@@ -47,7 +47,7 @@ std::unique_ptr<World> BuildWorld(const WorldOptions& options) {
   params.num_prosumers = options.num_prosumers;
   params.offers_per_prosumer = options.offers_per_prosumer;
   params.horizon = world->horizon;
-  world->workload = generator.Generate(params);
+  world->workload = *generator.Generate(params);
   if (!sim::WorkloadGenerator::LoadIntoDatabase(world->workload, world->db).ok()) {
     std::fprintf(stderr, "bench world: workload load failed\n");
     std::abort();

@@ -1,0 +1,129 @@
+// Extreme-event scenario benchmarks (EXPERIMENTS.md Q14): what driving the
+// builtin scenario suite end-to-end (multi-phase workload -> sharded online
+// run -> day-ahead settlement under the named strategies) costs. The custom
+// main writes bench_out/BENCH_scenario.json with online ticks/sec per
+// scenario plus two hard gates: `deterministic` (every scenario's metrics are
+// byte-identical at 1 and 8 worker threads) and `settlement_conserved`
+// (every scenario's settlement satisfies total == spot + imbalance).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "sim/scenario.h"
+#include "util/parallel.h"
+#include "util/strings.h"
+
+using namespace flexvis;
+
+namespace {
+
+// ---- google-benchmark timings (not run by the CI smoke filter) --------------
+
+void BM_ScenarioEndToEnd(benchmark::State& state) {
+  std::vector<std::string> names = sim::BuiltinScenarioNames();
+  const std::string& name = names[static_cast<size_t>(state.range(0)) % names.size()];
+  Result<sim::ScenarioSpec> spec = sim::MakeBuiltinScenario(name);
+  if (!spec.ok()) {
+    state.SkipWithError(spec.status().ToString().c_str());
+    return;
+  }
+  int64_t ticks = 0;
+  for (auto _ : state) {
+    Result<sim::ScenarioOutcome> outcome = sim::RunScenario(*spec);
+    if (!outcome.ok()) {
+      state.SkipWithError(outcome.status().ToString().c_str());
+      return;
+    }
+    ticks += outcome->merged.global.ticks;
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetItemsProcessed(ticks);
+  state.SetLabel(name);
+}
+BENCHMARK(BM_ScenarioEndToEnd)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+// ---- The JSON report the CI gate archives -----------------------------------
+
+bool WriteScenarioReport() {
+  bench::BenchReport report("scenario");
+  bool ok = true;
+  bool deterministic = true;
+  bool settlement_conserved = true;
+
+  for (const std::string& name : sim::BuiltinScenarioNames()) {
+    Result<sim::ScenarioSpec> spec = sim::MakeBuiltinScenario(name);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "FAIL: builtin '%s' unavailable: %s\n", name.c_str(),
+                   spec.status().ToString().c_str());
+      return false;
+    }
+
+    // Determinism gate: the full metrics document (counters, outbox CRC,
+    // forecast error, settlement) must not move with the thread count.
+    std::string serial_metrics;
+    double ticks = 0.0;
+    for (int threads : {1, 8}) {
+      SetParallelThreadCount(threads);
+      Result<sim::ScenarioOutcome> outcome = sim::RunScenario(*spec);
+      if (!outcome.ok()) {
+        std::fprintf(stderr, "FAIL: scenario '%s' errored: %s\n", name.c_str(),
+                     outcome.status().ToString().c_str());
+        SetParallelThreadCount(1);
+        return false;
+      }
+      JsonValue metrics = sim::ScenarioMetrics(*outcome);
+      if (threads == 1) {
+        serial_metrics = metrics.Dump();
+        ticks = static_cast<double>(outcome->merged.global.ticks);
+        // Conservation gate: ScenarioMetrics stamps the identity check.
+        if (!metrics.Get("plan").Get("settlement").Get("settlement_conserved").AsBool()) {
+          std::fprintf(stderr, "FAIL: scenario '%s' violates settlement conservation\n",
+                       name.c_str());
+          settlement_conserved = false;
+        }
+      } else if (metrics.Dump() != serial_metrics) {
+        std::fprintf(stderr, "FAIL: scenario '%s' differs across thread counts\n",
+                     name.c_str());
+        deterministic = false;
+      }
+
+      const std::string label = StrFormat("scenario_%s_%dt", name.c_str(), threads);
+      double wall_s = bench::MeasureSeconds([&] {
+        Result<sim::ScenarioOutcome> timed = sim::RunScenario(*spec);
+        if (!timed.ok()) ok = false;
+        benchmark::DoNotOptimize(timed);
+      });
+      report.AddSample(label, wall_s, threads, ticks);
+      if (wall_s > 0.0) {
+        report.SetCounter(label + "_ticks_per_sec", ticks / wall_s);
+      }
+    }
+  }
+  SetParallelThreadCount(1);
+
+  report.SetCounter("deterministic", deterministic ? 1.0 : 0.0);
+  report.SetCounter("settlement_conserved", settlement_conserved ? 1.0 : 0.0);
+  report.SetCounter("scenarios",
+                    static_cast<double>(sim::BuiltinScenarioNames().size()));
+
+  if (Status status = report.Write(); !status.ok()) {
+    std::fprintf(stderr, "report failed: %s\n", status.ToString().c_str());
+    return false;
+  }
+  return ok && deterministic && settlement_conserved;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!WriteScenarioReport()) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -33,7 +33,7 @@ int main() {
   wparams.num_prosumers = 200;
   wparams.offers_per_prosumer = 4.0;
   wparams.horizon = window;
-  sim::Workload workload = generator.Generate(wparams);
+  sim::Workload workload = *generator.Generate(wparams);
   if (!sim::WorkloadGenerator::LoadIntoDatabase(workload, db).ok()) return 1;
 
   sim::EnterpriseParams eparams;

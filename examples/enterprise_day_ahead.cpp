@@ -38,7 +38,7 @@ int main() {
   wparams.num_prosumers = 250;
   wparams.offers_per_prosumer = 4.0;
   wparams.horizon = day;
-  sim::Workload workload = generator.Generate(wparams);
+  sim::Workload workload = *generator.Generate(wparams);
   if (!sim::WorkloadGenerator::LoadIntoDatabase(workload, db).ok()) return 1;
   std::printf("collected %zu flex-offers from %zu prosumers\n", workload.offers.size(),
               workload.prosumers.size());

@@ -43,7 +43,7 @@ int main() {
   params.num_prosumers = 400;
   params.offers_per_prosumer = 6.0;
   params.horizon = TimeInterval(jan, mar);
-  sim::Workload workload = generator.Generate(params);
+  sim::Workload workload = *generator.Generate(params);
   if (!sim::WorkloadGenerator::LoadIntoDatabase(workload, db).ok()) return 1;
   std::printf("warehouse: %zu flex-offers, Jan-Feb 2013\n", db.NumFlexOffers());
 

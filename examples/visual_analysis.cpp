@@ -51,7 +51,7 @@ int main() {
   params.num_prosumers = 150;
   params.offers_per_prosumer = 5.0;
   params.horizon = TimeInterval(t0, t0 + timeutil::kMinutesPerDay);
-  sim::Workload workload = generator.Generate(params);
+  sim::Workload workload = *generator.Generate(params);
   if (!sim::WorkloadGenerator::LoadIntoDatabase(workload, db).ok()) return 1;
 
   // ---- Fig. 7: the loading tab — pick a legal entity and a time interval ------

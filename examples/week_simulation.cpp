@@ -42,7 +42,7 @@ int main() {
     wparams.num_prosumers = day >= 5 ? 120 : 200;
     wparams.offers_per_prosumer = day >= 5 ? 3.0 : 4.5;
     wparams.horizon = window;
-    sim::Workload workload = generator.Generate(wparams);
+    sim::Workload workload = *generator.Generate(wparams);
 
     for (bool use_forecast : {false, true}) {
       sim::EnterpriseParams params;

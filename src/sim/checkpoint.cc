@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "core/messages.h"
+#include "sim/forecaster.h"
+#include "sim/market.h"
 #include "util/json.h"
 #include "util/store.h"
 #include "util/strings.h"
@@ -44,6 +46,14 @@ int64_t GetIntOr(const JsonValue& json, std::string_view key, int64_t fallback) 
   return value.ok() ? *value : fallback;
 }
 
+/// Optional-with-default string, same contract as GetIntOr: pre-strategy
+/// checkpoints lack the pinned-strategy keys and resume under the defaults.
+std::string GetStringOr(const JsonValue& json, std::string_view key, std::string fallback) {
+  if (!json.Has(key)) return fallback;
+  Result<std::string> value = json.GetString(key);
+  return value.ok() ? *std::move(value) : std::move(fallback);
+}
+
 /// meta.json <-> (window, params). Every field the loop's decisions depend
 /// on must round-trip exactly; doubles serialize as %.17g so they do.
 std::string EncodeMeta(const OnlineParams& params, const timeutil::TimeInterval& window) {
@@ -64,6 +74,8 @@ std::string EncodeMeta(const OnlineParams& params, const timeutil::TimeInterval&
   meta.Set("shed_policy", JsonValue::Int(static_cast<int64_t>(params.shed_policy)));
   meta.Set("compact_ticks", JsonValue::Int(params.compact_ticks));
   meta.Set("compact_bytes", JsonValue::Int(params.compact_bytes));
+  meta.Set("forecaster", JsonValue::Str(params.forecaster));
+  meta.Set("bidding", JsonValue::Str(params.bidding));
   return meta.Dump();
 }
 
@@ -109,6 +121,21 @@ Status DecodeMeta(std::string_view text, OnlineParams* params,
   params->shed_policy = static_cast<ShedPolicy>(GetIntOr(meta, "shed_policy", 0));
   params->compact_ticks = static_cast<int>(GetIntOr(meta, "compact_ticks", 0));
   params->compact_bytes = GetIntOr(meta, "compact_bytes", 0);
+  // Pinned strategy identity. Absent keys (pre-strategy checkpoints) resume
+  // under the defaults; a *present* unknown name is a configuration error
+  // surfaced before any replay, naming the registered options.
+  params->forecaster = GetStringOr(meta, "forecaster", "");
+  params->bidding = GetStringOr(meta, "bidding", "");
+  if (!params->forecaster.empty()) {
+    Result<std::unique_ptr<Forecaster>> forecaster =
+        ForecasterRegistry::Global().Make(params->forecaster);
+    if (!forecaster.ok()) return forecaster.status();
+  }
+  if (!params->bidding.empty()) {
+    Result<std::unique_ptr<BiddingStrategy>> bidding =
+        BiddingRegistry::Global().Make(params->bidding);
+    if (!bidding.ok()) return bidding.status();
+  }
   params->faults = nullptr;
   return OkStatus();
 }

@@ -1188,6 +1188,11 @@ JsonValue Coordinator::CoordinatorMeta() const {
   meta.Set("epoch", JsonValue::Int(epoch_));
   meta.Set("base_epoch", JsonValue::Int(base_epoch_));
   meta.Set("topology", JsonValue::Int(topology_));
+  // Pinned strategy identity (also pinned per shard in each meta.json):
+  // surfaced in the manifest so operators and ResumeSharded see the names a
+  // sharded run settles under without opening shard stores.
+  meta.Set("forecaster", JsonValue::Str(params_.online.forecaster));
+  meta.Set("bidding", JsonValue::Str(params_.online.bidding));
   JsonValue energy = JsonValue::Object();
   energy.Set("wind_mean_kwh", JsonValue::Double(base_energy_.wind_mean_kwh));
   energy.Set("solar_peak_kwh", JsonValue::Double(base_energy_.solar_peak_kwh));

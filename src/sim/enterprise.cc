@@ -30,12 +30,26 @@ Result<PlanningReport> Enterprise::PlanHorizon(const std::vector<FlexOffer>& off
   FaultRegistry& faults =
       params_.faults != nullptr ? *params_.faults : FaultRegistry::Global();
 
+  // 0. Resolve both strategy identities up front so a misconfigured name is
+  //    a typed error before any planning work, never a degraded run.
+  report.forecaster = EffectiveForecasterName(params_.forecaster);
+  Result<std::unique_ptr<Forecaster>> forecaster =
+      ForecasterRegistry::Global().Make(report.forecaster);
+  if (!forecaster.ok()) return forecaster.status();
+  report.bidding = EffectiveBiddingName(params_.market.bidding);
+  {
+    Result<std::unique_ptr<BiddingStrategy>> bidding =
+        BiddingRegistry::Global().Make(report.bidding);
+    if (!bidding.ok()) return bidding.status();
+  }
+
   // 1. Forecast the uncontrollable sides. In forecast mode the plan targets
-  //    a Holt-Winters prediction of the inflexible demand built from
-  //    synthetic history; otherwise it targets the actual curves directly.
-  //    If the forecasting service is down (sim.enterprise.forecast), the
-  //    plan degrades to targeting the actual demand curve — a worse plan on
-  //    a real day-ahead horizon, never a failed one.
+  //    the registry-selected forecaster's prediction of the inflexible
+  //    demand built from synthetic history; otherwise it targets the actual
+  //    curves directly. If the forecasting service is down
+  //    (sim.enterprise.forecast), the plan degrades to targeting the actual
+  //    demand curve — a worse plan on a real day-ahead horizon, never a
+  //    failed one.
   report.res_production = MakeResProduction(window, params_.energy);
   report.inflexible_demand = MakeInflexibleDemand(window, params_.energy);
   report.planned_against_demand = report.inflexible_demand;
@@ -48,9 +62,10 @@ Result<PlanningReport> Enterprise::PlanHorizon(const std::vector<FlexOffer>& off
           window.start - params_.forecast_history_days * timeutil::kMinutesPerDay,
           window.start);
       TimeSeries history = MakeInflexibleDemand(history_window, params_.energy);
-      HoltWintersForecaster forecaster;
-      report.planned_against_demand = forecaster.Forecast(
+      report.planned_against_demand = (*forecaster)->Forecast(
           history, static_cast<size_t>(window.duration_minutes() / kMinutesPerSlice));
+      report.forecast_error =
+          EvaluateForecast(report.planned_against_demand, report.inflexible_demand);
     } else {
       report.degraded_stages.push_back("sim.enterprise.forecast");
     }

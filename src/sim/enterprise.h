@@ -10,6 +10,7 @@
 #include "core/scheduler.h"
 #include "dw/database.h"
 #include "sim/energy_models.h"
+#include "sim/forecaster.h"
 #include "sim/market.h"
 #include "util/status.h"
 
@@ -33,13 +34,19 @@ struct EnterpriseParams {
   /// Probability that a prosumer ignores its assignment and runs at its
   /// earliest start instead.
   double non_compliance = 0.03;
-  /// When true, the plan targets a Holt-Winters *forecast* of the inflexible
-  /// demand (built from `forecast_history_days` of synthetic history) rather
-  /// than the actual curve; settlement still uses the actual demand, so the
+  /// When true, the plan targets a *forecast* of the inflexible demand
+  /// (built from `forecast_history_days` of synthetic history) rather than
+  /// the actual curve; settlement still uses the actual demand, so the
   /// forecast error surfaces as extra imbalance — the real operating mode of
   /// a day-ahead enterprise.
   bool plan_on_forecast = false;
   int forecast_history_days = 14;
+  /// Named forecaster from ForecasterRegistry used when plan_on_forecast is
+  /// set; empty selects kDefaultForecasterName ("holt-winters", the
+  /// pre-registry hardwired model, byte-identical). $FLEXVIS_FORECASTER
+  /// overrides at resolution time; an unknown name is a typed
+  /// kInvalidArgument from PlanHorizon naming the registered options.
+  std::string forecaster;
   /// Local-search refinement iterations applied to the aggregate plan after
   /// the greedy pass (0 = off); stands in for the evolutionary scheduler of
   /// Tušar et al. the paper cites.
@@ -87,6 +94,17 @@ struct PlanningReport {
   std::vector<core::FlexOffer> aggregate_offers;
 
   Settlement settlement;
+
+  /// Resolved strategy identities this run used (after the environment
+  /// overrides): the ForecasterRegistry name (recorded even when
+  /// plan_on_forecast is off — it names what *would* forecast) and the
+  /// BiddingRegistry name the settlement dispatched to.
+  std::string forecaster;
+  std::string bidding;
+  /// Accuracy of the demand forecast against the realized inflexible demand
+  /// over the window. slices == 0 (all-zero errors) when the run did not
+  /// plan on a forecast or the forecasting stage degraded.
+  ForecastError forecast_error;
 
   /// Injection points whose faults this run absorbed by degrading instead of
   /// failing (e.g. "sim.enterprise.forecast" fell back to planning on the

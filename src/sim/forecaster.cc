@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+
+#include "util/strings.h"
 
 namespace flexvis::sim {
 
@@ -13,6 +16,9 @@ ForecastError EvaluateForecast(const TimeSeries& forecast, const TimeSeries& act
   timeutil::TimeInterval overlap = forecast.interval().Intersect(actual.interval());
   if (overlap.empty()) return err;
   int64_t slices = overlap.duration_minutes() / kMinutesPerSlice;
+  // A non-empty overlap shorter than one slice compares nothing on the
+  // market grid; bail out before dividing by a zero slice count.
+  if (slices <= 0) return err;
   double sum_abs = 0.0, sum_sq = 0.0, sum_pct = 0.0;
   int64_t pct_count = 0;
   for (int64_t i = 0; i < slices; ++i) {
@@ -31,6 +37,7 @@ ForecastError EvaluateForecast(const TimeSeries& forecast, const TimeSeries& act
   err.mae = sum_abs / n;
   err.rmse = std::sqrt(sum_sq / n);
   err.mape = pct_count > 0 ? sum_pct / static_cast<double>(pct_count) : 0.0;
+  err.slices = slices;
   return err;
 }
 
@@ -91,6 +98,153 @@ TimeSeries HoltWintersForecaster::Forecast(const TimeSeries& history,
     out.Set(static_cast<int64_t>(h), std::max(0.0, v));
   }
   return out;
+}
+
+TimeSeries LinearArForecaster::Forecast(const TimeSeries& history,
+                                        size_t horizon_slices) const {
+  const size_t n = history.size();
+  if (n < season_ + 2) {
+    // Fewer than two season-lagged pairs: nothing to regress on.
+    return SeasonalNaiveForecaster(season_).Forecast(history, horizon_slices);
+  }
+
+  // OLS fit of y_t = a + b * y_{t-season} over the lagged pairs.
+  const size_t m = n - season_;
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (size_t i = season_; i < n; ++i) {
+    double x = history.AtIndex(static_cast<int64_t>(i - season_));
+    double y = history.AtIndex(static_cast<int64_t>(i));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double dm = static_cast<double>(m);
+  double denom = dm * sxx - sx * sx;
+  // A flat (zero-variance) season degenerates to persisting the mean.
+  double b = std::abs(denom) > 1e-12 ? (dm * sxy - sx * sy) / denom : 0.0;
+  double a = (sy - b * sx) / dm;
+
+  // Iterate the recurrence forward so horizons longer than one season feed
+  // on their own predictions, exactly like the training recurrence.
+  std::vector<double> extended;
+  extended.reserve(n + horizon_slices);
+  for (size_t i = 0; i < n; ++i) extended.push_back(history.AtIndex(static_cast<int64_t>(i)));
+  TimeSeries out(history.end(), horizon_slices);
+  for (size_t h = 0; h < horizon_slices; ++h) {
+    double x = extended[extended.size() - season_];
+    double v = std::max(0.0, a + b * x);
+    extended.push_back(v);
+    out.Set(static_cast<int64_t>(h), v);
+  }
+  return out;
+}
+
+TimeSeries EnsembleForecaster::Forecast(const TimeSeries& history,
+                                        size_t horizon_slices) const {
+  const SeasonalNaiveForecaster naive(season_);
+  const HoltWintersForecaster hw(season_);
+  const LinearArForecaster ar(season_);
+  const Forecaster* members[] = {&naive, &hw, &ar};
+  constexpr size_t kMembers = 3;
+
+  const size_t n = history.size();
+  double weights[kMembers] = {1.0, 1.0, 1.0};
+  if (n >= 2 * season_) {
+    // Score each member on the held-out last season.
+    timeutil::TimeInterval train_window(
+        history.start(),
+        history.start() + static_cast<int64_t>(n - season_) * kMinutesPerSlice);
+    TimeSeries train = history.Slice(train_window);
+    TimeSeries holdout = history.Slice(
+        timeutil::TimeInterval(train_window.end, history.end()));
+    for (size_t i = 0; i < kMembers; ++i) {
+      ForecastError err = EvaluateForecast(members[i]->Forecast(train, season_), holdout);
+      weights[i] = 1.0 / (err.rmse + 1e-6);
+    }
+  }
+  double total_weight = 0.0;
+  for (double w : weights) total_weight += w;
+
+  TimeSeries out(history.end(), horizon_slices);
+  for (size_t i = 0; i < kMembers; ++i) {
+    TimeSeries member = members[i]->Forecast(history, horizon_slices);
+    double w = weights[i] / total_weight;
+    for (size_t h = 0; h < horizon_slices; ++h) {
+      out.Set(static_cast<int64_t>(h),
+              out.AtIndex(static_cast<int64_t>(h)) +
+                  w * member.AtIndex(static_cast<int64_t>(h)));
+    }
+  }
+  return out;
+}
+
+std::string EffectiveForecasterName(const std::string& configured) {
+  const char* env = std::getenv(kForecasterEnvVar);
+  if (env != nullptr && env[0] != '\0') return env;
+  if (!configured.empty()) return configured;
+  return kDefaultForecasterName;
+}
+
+ForecasterRegistry& ForecasterRegistry::Global() {
+  static ForecasterRegistry* registry = [] {
+    auto* r = new ForecasterRegistry();
+    (void)r->Register("seasonal-naive", [] {
+      return std::unique_ptr<Forecaster>(new SeasonalNaiveForecaster());
+    });
+    (void)r->Register("holt-winters", [] {
+      return std::unique_ptr<Forecaster>(new HoltWintersForecaster());
+    });
+    (void)r->Register("linear-ar", [] {
+      return std::unique_ptr<Forecaster>(new LinearArForecaster());
+    });
+    (void)r->Register("weighted-ensemble", [] {
+      return std::unique_ptr<Forecaster>(new EnsembleForecaster());
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+Status ForecasterRegistry::Register(const std::string& name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = factories_.emplace(name, std::move(factory));
+  if (!inserted) {
+    return AlreadyExistsError(StrFormat("forecaster '%s' is already registered", name.c_str()));
+  }
+  return OkStatus();
+}
+
+std::vector<std::string> ForecasterRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+bool ForecasterRegistry::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(name) > 0;
+}
+
+Result<std::unique_ptr<Forecaster>> ForecasterRegistry::Make(const std::string& name) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = factories_.find(name);
+    if (it != factories_.end()) factory = it->second;
+  }
+  if (!factory) {
+    std::string options;
+    for (const std::string& n : Names()) {
+      if (!options.empty()) options += ", ";
+      options += n;
+    }
+    return InvalidArgumentError(StrFormat("unknown forecaster '%s'; registered: %s",
+                                          name.c_str(), options.c_str()));
+  }
+  return factory();
 }
 
 }  // namespace flexvis::sim

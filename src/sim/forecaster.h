@@ -1,6 +1,10 @@
 #ifndef FLEXVIS_SIM_FORECASTER_H_
 #define FLEXVIS_SIM_FORECASTER_H_
 
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -14,9 +18,22 @@ struct ForecastError {
   double mae = 0.0;    // mean absolute error per slice
   double mape = 0.0;   // mean absolute percentage error (ignoring ~0 actuals)
   double rmse = 0.0;
+  /// Number of slices actually compared. 0 means the two series had no
+  /// whole-slice overlap — the zero errors then mean "nothing compared",
+  /// not "perfect forecast"; callers must check this before trusting mae/
+  /// rmse/mape.
+  int64_t slices = 0;
 };
 
-/// Compares `forecast` against `actual` over the overlap.
+/// Compares `forecast` against `actual` over their whole-slice overlap.
+/// Edge cases (all return errors of 0 with the stated `slices`):
+///  - disjoint or empty intervals: slices = 0;
+///  - an overlap shorter than one 15-minute slice: slices = 0 (nothing to
+///    compare on the market grid — never a 0/0 NaN);
+///  - zero-length history upstream typically yields an all-zero forecast;
+///    that compares normally (slices > 0, mae = mean |actual|).
+/// Series are compared on the slice grid (TimeSeries construction truncates
+/// starts to the grid, so both series are always slice-aligned).
 ForecastError EvaluateForecast(const core::TimeSeries& forecast,
                                const core::TimeSeries& actual);
 
@@ -65,6 +82,80 @@ class HoltWintersForecaster : public Forecaster {
   double alpha_;
   double beta_;
   double gamma_;
+};
+
+/// Season-lagged linear autoregression: fits y_t = a + b * y_{t-season} by
+/// ordinary least squares over the history and iterates the recurrence
+/// forward, so trends across days are captured as a multiplicative/additive
+/// drift on the daily shape. Falls back to seasonal-naive when the history
+/// is shorter than one season plus two points (nothing to regress on).
+class LinearArForecaster : public Forecaster {
+ public:
+  explicit LinearArForecaster(size_t season_slices = 96) : season_(season_slices) {}
+
+  std::string name() const override { return "linear-ar"; }
+  core::TimeSeries Forecast(const core::TimeSeries& history,
+                            size_t horizon_slices) const override;
+
+ private:
+  size_t season_;
+};
+
+/// Inverse-error weighted blend of seasonal-naive, Holt-Winters, and
+/// linear-AR (the registry's other members). Each member is trained on the
+/// history minus its last season and scored on that held-out season; member
+/// weights are 1/(rmse + eps), renormalized. With less than two seasons of
+/// history (no holdout possible) the members blend with equal weights.
+class EnsembleForecaster : public Forecaster {
+ public:
+  explicit EnsembleForecaster(size_t season_slices = 96) : season_(season_slices) {}
+
+  std::string name() const override { return "weighted-ensemble"; }
+  core::TimeSeries Forecast(const core::TimeSeries& history,
+                            size_t horizon_slices) const override;
+
+ private:
+  size_t season_;
+};
+
+/// Name the planning loop uses when EnterpriseParams::forecaster is empty —
+/// the pre-registry hardwired model, so defaults stay byte-identical.
+inline constexpr char kDefaultForecasterName[] = "holt-winters";
+
+/// Environment override consulted by EffectiveForecasterName.
+inline constexpr char kForecasterEnvVar[] = "FLEXVIS_FORECASTER";
+
+/// Resolves the forecaster name a run should use: $FLEXVIS_FORECASTER when
+/// set and non-empty, else `configured`, else kDefaultForecasterName.
+/// Resolution only — the name is validated by ForecasterRegistry::Make.
+std::string EffectiveForecasterName(const std::string& configured);
+
+/// Registry of named forecaster factories. The global instance carries the
+/// four built-ins (seasonal-naive, holt-winters, linear-ar,
+/// weighted-ensemble); tests and extensions may Register more. Thread-safe.
+class ForecasterRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Forecaster>()>;
+
+  /// The process-wide registry, pre-populated with the built-ins.
+  static ForecasterRegistry& Global();
+
+  /// Registers `factory` under `name`; kAlreadyExists on a duplicate name.
+  Status Register(const std::string& name, Factory factory);
+
+  /// Registered names, sorted (the order error messages cite them in).
+  std::vector<std::string> Names() const;
+
+  /// True iff `name` is registered.
+  bool Has(const std::string& name) const;
+
+  /// Instantiates the forecaster registered under `name`. An unknown name is
+  /// a typed kInvalidArgument naming the registered options.
+  Result<std::unique_ptr<Forecaster>> Make(const std::string& name) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
 };
 
 }  // namespace flexvis::sim

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "util/fault.h"
 #include "util/retry.h"
+#include "util/strings.h"
 
 namespace flexvis::sim {
 
@@ -27,8 +29,26 @@ TimeSeries Market::MakePrices(const timeutil::TimeInterval& window,
   return prices;
 }
 
-Settlement Market::Settle(const TimeSeries& plan_residual, const TimeSeries& deviation,
-                          const TimeSeries& prices) const {
+namespace {
+
+/// Σ |deviation| charged at the per-slice penalty price, added onto `s`.
+void ChargeDeviationImbalance(Settlement& s, const MarketParams& params,
+                              const TimeSeries& deviation, const TimeSeries& prices) {
+  for (size_t i = 0; i < deviation.size(); ++i) {
+    timeutil::TimePoint t = deviation.start() + static_cast<int64_t>(i) * kMinutesPerSlice;
+    double dev = std::abs(deviation.AtIndex(static_cast<int64_t>(i)));
+    double price_eur_per_kwh = prices.At(t) / 1000.0;
+    s.imbalance_kwh += dev;
+    s.imbalance_cost_eur += dev * price_eur_per_kwh * params.imbalance_fee_multiplier;
+  }
+}
+
+}  // namespace
+
+Settlement SpotResidualStrategy::Settle(const MarketParams& params,
+                                        const TimeSeries& plan_residual,
+                                        const TimeSeries& deviation,
+                                        const TimeSeries& prices) const {
   Settlement s;
   s.traded_kwh = plan_residual;
   s.prices = prices;
@@ -37,25 +57,144 @@ Settlement Market::Settle(const TimeSeries& plan_residual, const TimeSeries& dev
     double price_eur_per_kwh = prices.At(t) / 1000.0;
     s.spot_cost_eur += plan_residual.AtIndex(static_cast<int64_t>(i)) * price_eur_per_kwh;
   }
-  for (size_t i = 0; i < deviation.size(); ++i) {
-    timeutil::TimePoint t = deviation.start() + static_cast<int64_t>(i) * kMinutesPerSlice;
-    double dev = std::abs(deviation.AtIndex(static_cast<int64_t>(i)));
-    double price_eur_per_kwh = prices.At(t) / 1000.0;
-    s.imbalance_kwh += dev;
-    s.imbalance_cost_eur += dev * price_eur_per_kwh * params_.imbalance_fee_multiplier;
-  }
+  ChargeDeviationImbalance(s, params, deviation, prices);
   s.total_cost_eur = s.spot_cost_eur + s.imbalance_cost_eur;
   return s;
+}
+
+Settlement StartFixingStrategy::Settle(const MarketParams& params,
+                                       const TimeSeries& plan_residual,
+                                       const TimeSeries& deviation,
+                                       const TimeSeries& prices) const {
+  Settlement s;
+  s.traded_kwh = plan_residual;
+  s.prices = prices;
+  // Starts are fixed up front, so the whole residual is one inflexible
+  // block: every slice trades at the day's mean price instead of its own.
+  double block_price_eur_per_kwh = prices.Mean() / 1000.0;
+  for (size_t i = 0; i < plan_residual.size(); ++i) {
+    s.spot_cost_eur += plan_residual.AtIndex(static_cast<int64_t>(i)) * block_price_eur_per_kwh;
+  }
+  ChargeDeviationImbalance(s, params, deviation, prices);
+  s.total_cost_eur = s.spot_cost_eur + s.imbalance_cost_eur;
+  return s;
+}
+
+Settlement PriceThresholdStrategy::Settle(const MarketParams& params,
+                                          const TimeSeries& plan_residual,
+                                          const TimeSeries& deviation,
+                                          const TimeSeries& prices) const {
+  Settlement s;
+  s.traded_kwh = plan_residual;
+  s.traded_kwh.Scale(0.0);
+  s.prices = prices;
+  const double threshold = prices.Mean();
+  for (size_t i = 0; i < plan_residual.size(); ++i) {
+    timeutil::TimePoint t = plan_residual.start() + static_cast<int64_t>(i) * kMinutesPerSlice;
+    double residual = plan_residual.AtIndex(static_cast<int64_t>(i));
+    double price = prices.At(t);
+    double price_eur_per_kwh = price / 1000.0;
+    bool favorable = residual >= 0.0 ? price <= threshold : price >= threshold;
+    if (favorable) {
+      s.traded_kwh.Set(static_cast<int64_t>(i), residual);
+      s.spot_cost_eur += residual * price_eur_per_kwh;
+    } else {
+      // Declined slice: the residual is not traded and is booked as
+      // imbalance at the penalty price.
+      s.imbalance_kwh += std::abs(residual);
+      s.imbalance_cost_eur +=
+          std::abs(residual) * price_eur_per_kwh * params.imbalance_fee_multiplier;
+    }
+  }
+  ChargeDeviationImbalance(s, params, deviation, prices);
+  s.total_cost_eur = s.spot_cost_eur + s.imbalance_cost_eur;
+  return s;
+}
+
+std::string EffectiveBiddingName(const std::string& configured) {
+  const char* env = std::getenv(kBiddingEnvVar);
+  if (env != nullptr && env[0] != '\0') return env;
+  if (!configured.empty()) return configured;
+  return kDefaultBiddingName;
+}
+
+BiddingRegistry& BiddingRegistry::Global() {
+  static BiddingRegistry* registry = [] {
+    auto* r = new BiddingRegistry();
+    (void)r->Register("spot-residual", [] {
+      return std::unique_ptr<BiddingStrategy>(new SpotResidualStrategy());
+    });
+    (void)r->Register("start-fixing", [] {
+      return std::unique_ptr<BiddingStrategy>(new StartFixingStrategy());
+    });
+    (void)r->Register("price-threshold", [] {
+      return std::unique_ptr<BiddingStrategy>(new PriceThresholdStrategy());
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+Status BiddingRegistry::Register(const std::string& name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = factories_.emplace(name, std::move(factory));
+  if (!inserted) {
+    return AlreadyExistsError(
+        StrFormat("bidding strategy '%s' is already registered", name.c_str()));
+  }
+  return OkStatus();
+}
+
+std::vector<std::string> BiddingRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+bool BiddingRegistry::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(name) > 0;
+}
+
+Result<std::unique_ptr<BiddingStrategy>> BiddingRegistry::Make(const std::string& name) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = factories_.find(name);
+    if (it != factories_.end()) factory = it->second;
+  }
+  if (!factory) {
+    std::string options;
+    for (const std::string& n : Names()) {
+      if (!options.empty()) options += ", ";
+      options += n;
+    }
+    return InvalidArgumentError(StrFormat("unknown bidding strategy '%s'; registered: %s",
+                                          name.c_str(), options.c_str()));
+  }
+  return factory();
+}
+
+Settlement Market::Settle(const TimeSeries& plan_residual, const TimeSeries& deviation,
+                          const TimeSeries& prices) const {
+  return SpotResidualStrategy().Settle(params_, plan_residual, deviation, prices);
 }
 
 Result<Settlement> Market::TrySettle(const TimeSeries& plan_residual,
                                      const TimeSeries& deviation,
                                      const TimeSeries& prices) const {
+  // Resolve the strategy before touching the exchange: an unknown name is a
+  // configuration error, never a retry or a degraded settlement.
+  Result<std::unique_ptr<BiddingStrategy>> strategy =
+      BiddingRegistry::Global().Make(EffectiveBiddingName(params_.bidding));
+  if (!strategy.ok()) return strategy.status();
   FaultRegistry& faults =
       params_.faults != nullptr ? *params_.faults : FaultRegistry::Global();
   FLEXVIS_RETURN_IF_ERROR(RetryFaultPointIn(faults, "sim.market.bid", DefaultRetryPolicy(),
                                             []() -> Status { return OkStatus(); }));
-  return Settle(plan_residual, deviation, prices);
+  return (*strategy)->Settle(params_, plan_residual, deviation, prices);
 }
 
 Settlement Market::SettleAllAsImbalance(const TimeSeries& plan_residual,

@@ -1,6 +1,13 @@
 #ifndef FLEXVIS_SIM_MARKET_H_
 #define FLEXVIS_SIM_MARKET_H_
 
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
 #include "core/time_series.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -22,6 +29,10 @@ struct MarketParams {
   double noise = 0.05;
   /// Imbalance energy is settled at spot * this multiplier.
   double imbalance_fee_multiplier = 3.0;
+  /// Named day-ahead bidding strategy (see BiddingRegistry); empty selects
+  /// kDefaultBiddingName ("spot-residual", the pre-registry behaviour).
+  /// $FLEXVIS_BIDDING overrides at resolution time.
+  std::string bidding;
   /// Fault registry the sim.market.bid seam consults; nullptr means
   /// FaultRegistry::Global() (the historical behaviour). Per-shard market
   /// instances get their shard's registry so bid-placement fault draws stay
@@ -29,17 +40,114 @@ struct MarketParams {
   FaultRegistry* faults = nullptr;
 };
 
-/// Settlement of one planning horizon.
+/// Settlement of one planning horizon. Every bidding strategy must uphold
+/// the conservation invariant total_cost_eur == spot_cost_eur +
+/// imbalance_cost_eur (the identity the shard merge tests pin).
 struct Settlement {
   /// Energy bought (positive) or sold (negative) per slice on the spot
-  /// market to close the plan's residual gap, in kWh.
+  /// market to close the plan's residual gap, in kWh. Strategies that
+  /// decline slices leave those entries at zero.
   core::TimeSeries traded_kwh;
   /// Spot prices used (EUR/MWh).
   core::TimeSeries prices;
   double spot_cost_eur = 0.0;       // cost of the traded energy (sales negative)
-  double imbalance_kwh = 0.0;       // Σ |realized - plan| settled as imbalance
+  double imbalance_kwh = 0.0;       // Σ |energy| settled at the penalty price
   double imbalance_cost_eur = 0.0;  // imbalance energy at the penalty price
   double total_cost_eur = 0.0;
+};
+
+/// A day-ahead bidding strategy over the aggregated flexibility residual
+/// (after Valsomatzis & Pedersen, "Day-ahead Trading of Aggregated Energy
+/// Flexibility"): decides how the enterprise trades `plan_residual` against
+/// the spot curve and what share of it is booked as imbalance instead.
+/// Implementations must be deterministic functions of their inputs and must
+/// preserve total_cost_eur == spot_cost_eur + imbalance_cost_eur.
+class BiddingStrategy {
+ public:
+  virtual ~BiddingStrategy() = default;
+  virtual std::string name() const = 0;
+
+  virtual Settlement Settle(const MarketParams& params,
+                            const core::TimeSeries& plan_residual,
+                            const core::TimeSeries& deviation,
+                            const core::TimeSeries& prices) const = 0;
+};
+
+/// The pre-registry behaviour: the whole residual trades slice-by-slice at
+/// spot; plan deviations pay the imbalance fee. Byte-identical to the old
+/// hardwired Market::Settle.
+class SpotResidualStrategy : public BiddingStrategy {
+ public:
+  std::string name() const override { return "spot-residual"; }
+  Settlement Settle(const MarketParams& params, const core::TimeSeries& plan_residual,
+                    const core::TimeSeries& deviation,
+                    const core::TimeSeries& prices) const override;
+};
+
+/// Conservative start-time-fixing (Valsomatzis & Pedersen's baseline): the
+/// aggregator fixes every start before bidding, collapsing the flexibility
+/// into one inflexible block traded at the day's mean spot price. Immune to
+/// per-slice price spikes but unable to exploit cheap slices; deviations
+/// still pay the per-slice imbalance fee.
+class StartFixingStrategy : public BiddingStrategy {
+ public:
+  std::string name() const override { return "start-fixing"; }
+  Settlement Settle(const MarketParams& params, const core::TimeSeries& plan_residual,
+                    const core::TimeSeries& deviation,
+                    const core::TimeSeries& prices) const override;
+};
+
+/// Price-threshold bidding: trades a slice only when its price is favorable
+/// versus the day's mean — buys (residual > 0) at or below mean, sells
+/// (residual < 0) at or above mean. Residual in declined slices is not
+/// traded and is settled at the imbalance penalty instead, so the strategy
+/// wins on spiky days and loses on flat ones.
+class PriceThresholdStrategy : public BiddingStrategy {
+ public:
+  std::string name() const override { return "price-threshold"; }
+  Settlement Settle(const MarketParams& params, const core::TimeSeries& plan_residual,
+                    const core::TimeSeries& deviation,
+                    const core::TimeSeries& prices) const override;
+};
+
+/// Strategy the market uses when MarketParams::bidding is empty — the
+/// pre-registry behaviour, so defaults stay byte-identical.
+inline constexpr char kDefaultBiddingName[] = "spot-residual";
+
+/// Environment override consulted by EffectiveBiddingName.
+inline constexpr char kBiddingEnvVar[] = "FLEXVIS_BIDDING";
+
+/// Resolves the bidding-strategy name a run should use: $FLEXVIS_BIDDING
+/// when set and non-empty, else `configured`, else kDefaultBiddingName.
+/// Resolution only — the name is validated by BiddingRegistry::Make.
+std::string EffectiveBiddingName(const std::string& configured);
+
+/// Registry of named bidding-strategy factories. The global instance
+/// carries the three built-ins (spot-residual, start-fixing,
+/// price-threshold); tests and extensions may Register more. Thread-safe.
+class BiddingRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<BiddingStrategy>()>;
+
+  /// The process-wide registry, pre-populated with the built-ins.
+  static BiddingRegistry& Global();
+
+  /// Registers `factory` under `name`; kAlreadyExists on a duplicate name.
+  Status Register(const std::string& name, Factory factory);
+
+  /// Registered names, sorted (the order error messages cite them in).
+  std::vector<std::string> Names() const;
+
+  /// True iff `name` is registered.
+  bool Has(const std::string& name) const;
+
+  /// Instantiates the strategy registered under `name`. An unknown name is
+  /// a typed kInvalidArgument naming the registered options.
+  Result<std::unique_ptr<BiddingStrategy>> Make(const std::string& name) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
 };
 
 class Market {
@@ -54,18 +162,24 @@ class Market {
   core::TimeSeries MakePrices(const timeutil::TimeInterval& window,
                               const core::TimeSeries& residual_demand) const;
 
-  /// Settles a horizon: the enterprise trades `plan_residual` (demand the
-  /// plan could not cover internally; negative = surplus sold) at spot, and
-  /// pays the imbalance fee on |realized - planned| deviations.
+  /// Settles a horizon with the spot-residual strategy (the primitive the
+  /// other strategies are measured against): the enterprise trades
+  /// `plan_residual` (demand the plan could not cover internally; negative =
+  /// surplus sold) at spot, and pays the imbalance fee on |realized -
+  /// planned| deviations.
   Settlement Settle(const core::TimeSeries& plan_residual,
                     const core::TimeSeries& deviation,
                     const core::TimeSeries& prices) const;
 
-  /// Settle() behind the `sim.market.bid` injection point: bid placement on
-  /// the spot exchange is the pipeline's outward-facing network call, so it
-  /// retries transient faults under the default policy and surfaces a typed
-  /// Status when the exchange stays unreachable. Callers degrade via
-  /// SettleAllAsImbalance (see Enterprise::PlanHorizon).
+  /// Strategy-dispatching settlement behind the `sim.market.bid` injection
+  /// point: resolves params().bidding (with the $FLEXVIS_BIDDING override)
+  /// against BiddingRegistry::Global() — an unknown name is a typed
+  /// kInvalidArgument naming the registered options, surfaced before any
+  /// bid is placed. Bid placement on the spot exchange is the pipeline's
+  /// outward-facing network call, so it retries transient faults under the
+  /// default policy and surfaces a typed Status when the exchange stays
+  /// unreachable. Callers degrade via SettleAllAsImbalance (see
+  /// Enterprise::PlanHorizon).
   Result<Settlement> TrySettle(const core::TimeSeries& plan_residual,
                                const core::TimeSeries& deviation,
                                const core::TimeSeries& prices) const;

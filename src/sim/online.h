@@ -76,6 +76,21 @@ struct OnlineParams {
   /// global tick cadence and ignores this knob.
   int64_t compact_bytes = 0;
 
+  // ---- Strategy identity (sim/forecaster, sim/market) ---------------------
+
+  /// Named strategies the run's *planning context* is pinned to: the
+  /// ForecasterRegistry / BiddingRegistry names a scenario (sim/scenario)
+  /// settles its horizon with. The online tick loop itself neither
+  /// forecasts nor trades, but the names are serialized into checkpoint
+  /// meta.json (and surfaced in COORDINATOR.json) so ResumeOnline /
+  /// ResumeSharded replay under the exact strategies the run was cut with —
+  /// a resume can never silently settle under a different strategy. Empty =
+  /// the defaults (holt-winters / spot-residual). Validated against the
+  /// registries at decode time: an unknown pinned name is a typed
+  /// kInvalidArgument naming the registered options.
+  std::string forecaster;
+  std::string bidding;
+
   /// Fault registry the loop's sim.online.* seams consult; nullptr means
   /// FaultRegistry::Global() (the historical behaviour). The sharded
   /// coordinator points each shard at its own registry so fault draws are

@@ -1,0 +1,549 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "geo/atlas.h"
+#include "grid/topology.h"
+#include "sim/forecaster.h"
+#include "sim/market.h"
+#include "util/crc32.h"
+#include "util/strings.h"
+
+namespace flexvis::sim {
+
+using timeutil::kMinutesPerSlice;
+using timeutil::TimeInterval;
+using timeutil::TimePoint;
+
+namespace {
+
+// Optional-with-default readers, same contract as the checkpoint codec:
+// specs written by older builds lack newer keys and decode to the defaults.
+int64_t GetIntOr(const JsonValue& json, std::string_view key, int64_t fallback) {
+  if (!json.Has(key)) return fallback;
+  Result<int64_t> value = json.GetInt(key);
+  return value.ok() ? *value : fallback;
+}
+
+double GetDoubleOr(const JsonValue& json, std::string_view key, double fallback) {
+  if (!json.Has(key)) return fallback;
+  Result<double> value = json.GetDouble(key);
+  return value.ok() ? *value : fallback;
+}
+
+std::string GetStringOr(const JsonValue& json, std::string_view key, std::string fallback) {
+  if (!json.Has(key)) return fallback;
+  Result<std::string> value = json.GetString(key);
+  return value.ok() ? *std::move(value) : std::move(fallback);
+}
+
+JsonValue EncodeInterval(const TimeInterval& interval) {
+  JsonValue out = JsonValue::Object();
+  out.Set("start_min", JsonValue::Int(interval.start.minutes()));
+  out.Set("end_min", JsonValue::Int(interval.end.minutes()));
+  return out;
+}
+
+Result<TimeInterval> DecodeInterval(const JsonValue& value, const char* what) {
+  if (!value.is_object()) {
+    return InvalidArgumentError(StrFormat("scenario %s is not an object", what));
+  }
+  Result<int64_t> start = value.GetInt("start_min");
+  Result<int64_t> end = value.GetInt("end_min");
+  if (!start.ok() || !end.ok()) {
+    return InvalidArgumentError(StrFormat("scenario %s lacks start_min/end_min", what));
+  }
+  return TimeInterval(TimePoint::FromMinutes(*start), TimePoint::FromMinutes(*end));
+}
+
+}  // namespace
+
+JsonValue EncodeScenarioSpec(const ScenarioSpec& spec) {
+  JsonValue out = JsonValue::Object();
+  out.Set("schema_version", JsonValue::Int(1));
+  out.Set("name", JsonValue::Str(spec.name));
+  out.Set("description", JsonValue::Str(spec.description));
+  out.Set("seed", JsonValue::Int(static_cast<int64_t>(spec.seed)));
+  out.Set("horizon", EncodeInterval(spec.horizon));
+  out.Set("num_shards", JsonValue::Int(spec.num_shards));
+  out.Set("tick_minutes", JsonValue::Int(spec.tick_minutes));
+  out.Set("forecaster", JsonValue::Str(spec.forecaster));
+  out.Set("bidding", JsonValue::Str(spec.bidding));
+  out.Set("wind_scale", JsonValue::Double(spec.wind_scale));
+  out.Set("solar_scale", JsonValue::Double(spec.solar_scale));
+  out.Set("demand_scale", JsonValue::Double(spec.demand_scale));
+  out.Set("price_noise", JsonValue::Double(spec.price_noise));
+  out.Set("scarcity_slope", JsonValue::Double(spec.scarcity_slope));
+  out.Set("imbalance_fee_multiplier", JsonValue::Double(spec.imbalance_fee_multiplier));
+  out.Set("forecast_history_days", JsonValue::Int(spec.forecast_history_days));
+  JsonValue phases = JsonValue::Array();
+  for (const ScenarioPhase& phase : spec.phases) {
+    JsonValue p = JsonValue::Object();
+    p.Set("name", JsonValue::Str(phase.name));
+    p.Set("window", EncodeInterval(phase.window));
+    p.Set("num_prosumers", JsonValue::Int(phase.num_prosumers));
+    p.Set("offers_per_prosumer", JsonValue::Double(phase.offers_per_prosumer));
+    if (!phase.prosumer_type_weights.empty()) {
+      JsonValue weights = JsonValue::Array();
+      for (double w : phase.prosumer_type_weights) weights.Append(JsonValue::Double(w));
+      p.Set("prosumer_type_weights", std::move(weights));
+    }
+    if (phase.appliance_override.has_value()) {
+      p.Set("appliance",
+            JsonValue::Str(std::string(core::ApplianceTypeName(*phase.appliance_override))));
+    }
+    if (phase.time_shift_minutes != 0) {
+      p.Set("time_shift_minutes", JsonValue::Int(phase.time_shift_minutes));
+    }
+    phases.Append(std::move(p));
+  }
+  out.Set("phases", std::move(phases));
+  return out;
+}
+
+Result<ScenarioSpec> DecodeScenarioSpec(const JsonValue& value) {
+  if (!value.is_object()) return InvalidArgumentError("scenario spec is not a JSON object");
+  ScenarioSpec spec;
+  Result<std::string> name = value.GetString("name");
+  if (!name.ok()) return InvalidArgumentError("scenario spec lacks a 'name' string");
+  spec.name = *std::move(name);
+  if (!value.Has("horizon")) {
+    return InvalidArgumentError(
+        StrFormat("scenario '%s' lacks a 'horizon'", spec.name.c_str()));
+  }
+  Result<TimeInterval> horizon = DecodeInterval(value.Get("horizon"), "horizon");
+  if (!horizon.ok()) return horizon.status();
+  spec.horizon = *horizon;
+  spec.description = GetStringOr(value, "description", "");
+  spec.seed = static_cast<uint64_t>(GetIntOr(value, "seed", 2013));
+  spec.num_shards = static_cast<int>(GetIntOr(value, "num_shards", 2));
+  spec.tick_minutes = GetIntOr(value, "tick_minutes", 60);
+  spec.forecaster = GetStringOr(value, "forecaster", "");
+  spec.bidding = GetStringOr(value, "bidding", "");
+  spec.wind_scale = GetDoubleOr(value, "wind_scale", 1.0);
+  spec.solar_scale = GetDoubleOr(value, "solar_scale", 1.0);
+  spec.demand_scale = GetDoubleOr(value, "demand_scale", 1.0);
+  spec.price_noise = GetDoubleOr(value, "price_noise", 0.05);
+  spec.scarcity_slope = GetDoubleOr(value, "scarcity_slope", 0.05);
+  spec.imbalance_fee_multiplier = GetDoubleOr(value, "imbalance_fee_multiplier", 3.0);
+  spec.forecast_history_days =
+      static_cast<int>(GetIntOr(value, "forecast_history_days", 14));
+
+  const JsonValue& phases = value.Get("phases");
+  if (!phases.is_array()) {
+    return InvalidArgumentError(
+        StrFormat("scenario '%s' lacks a 'phases' array", spec.name.c_str()));
+  }
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const JsonValue& p = phases[i];
+    if (!p.is_object()) {
+      return InvalidArgumentError(
+          StrFormat("scenario '%s' phase %zu is not an object", spec.name.c_str(), i));
+    }
+    ScenarioPhase phase;
+    Result<std::string> phase_name = p.GetString("name");
+    if (!phase_name.ok()) {
+      return InvalidArgumentError(
+          StrFormat("scenario '%s' phase %zu lacks a 'name'", spec.name.c_str(), i));
+    }
+    phase.name = *std::move(phase_name);
+    if (!p.Has("window")) {
+      return InvalidArgumentError(StrFormat("scenario '%s' phase '%s' lacks a 'window'",
+                                            spec.name.c_str(), phase.name.c_str()));
+    }
+    Result<TimeInterval> window = DecodeInterval(p.Get("window"), "phase window");
+    if (!window.ok()) return window.status();
+    phase.window = *window;
+    phase.num_prosumers = static_cast<int>(GetIntOr(p, "num_prosumers", 50));
+    phase.offers_per_prosumer = GetDoubleOr(p, "offers_per_prosumer", 3.0);
+    if (p.Has("prosumer_type_weights")) {
+      const JsonValue& weights = p.Get("prosumer_type_weights");
+      if (!weights.is_array()) {
+        return InvalidArgumentError(
+            StrFormat("scenario '%s' phase '%s': prosumer_type_weights is not an array",
+                      spec.name.c_str(), phase.name.c_str()));
+      }
+      for (size_t w = 0; w < weights.size(); ++w) {
+        if (!weights[w].is_number()) {
+          return InvalidArgumentError(
+              StrFormat("scenario '%s' phase '%s': non-numeric prosumer weight",
+                        spec.name.c_str(), phase.name.c_str()));
+        }
+        phase.prosumer_type_weights.push_back(weights[w].AsDouble());
+      }
+    }
+    if (p.Has("appliance")) {
+      Result<std::string> appliance = p.GetString("appliance");
+      if (!appliance.ok()) {
+        return InvalidArgumentError(
+            StrFormat("scenario '%s' phase '%s': 'appliance' is not a string",
+                      spec.name.c_str(), phase.name.c_str()));
+      }
+      Result<core::ApplianceType> parsed = core::ParseApplianceType(*appliance);
+      if (!parsed.ok()) return parsed.status();
+      phase.appliance_override = *parsed;
+    }
+    phase.time_shift_minutes = GetIntOr(p, "time_shift_minutes", 0);
+    spec.phases.push_back(std::move(phase));
+  }
+  return spec;
+}
+
+Result<ScenarioSpec> ParseScenarioSpec(std::string_view text) {
+  Result<JsonValue> parsed = JsonValue::Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  return DecodeScenarioSpec(*parsed);
+}
+
+Status ValidateScenarioSpec(const ScenarioSpec& spec) {
+  if (spec.name.empty()) return InvalidArgumentError("scenario has an empty name");
+  if (spec.horizon.empty()) {
+    return InvalidArgumentError(
+        StrFormat("scenario '%s' has an empty horizon", spec.name.c_str()));
+  }
+  if (spec.phases.empty()) {
+    return InvalidArgumentError(
+        StrFormat("scenario '%s' has no phases", spec.name.c_str()));
+  }
+  if (spec.num_shards < 1 || spec.num_shards > 64) {
+    return InvalidArgumentError(StrFormat("scenario '%s': num_shards %d outside [1, 64]",
+                                          spec.name.c_str(), spec.num_shards));
+  }
+  if (spec.tick_minutes <= 0) {
+    return InvalidArgumentError(StrFormat("scenario '%s': tick_minutes must be positive",
+                                          spec.name.c_str()));
+  }
+  for (double scale : {spec.wind_scale, spec.solar_scale, spec.demand_scale}) {
+    if (scale < 0.0) {
+      return InvalidArgumentError(
+          StrFormat("scenario '%s': energy scales must be non-negative", spec.name.c_str()));
+    }
+  }
+  if (!spec.forecaster.empty() && !ForecasterRegistry::Global().Has(spec.forecaster)) {
+    // Route through Make for the options-naming message.
+    return ForecasterRegistry::Global().Make(spec.forecaster).status();
+  }
+  if (!spec.bidding.empty() && !BiddingRegistry::Global().Has(spec.bidding)) {
+    return BiddingRegistry::Global().Make(spec.bidding).status();
+  }
+  for (const ScenarioPhase& phase : spec.phases) {
+    if (phase.name.empty()) {
+      return InvalidArgumentError(
+          StrFormat("scenario '%s' has a phase with an empty name", spec.name.c_str()));
+    }
+    if (phase.window.empty()) {
+      return InvalidArgumentError(StrFormat("scenario '%s' phase '%s' has an empty window",
+                                            spec.name.c_str(), phase.name.c_str()));
+    }
+    if (phase.window.start < spec.horizon.start || spec.horizon.end < phase.window.end) {
+      return InvalidArgumentError(
+          StrFormat("scenario '%s' phase '%s' window lies outside the horizon",
+                    spec.name.c_str(), phase.name.c_str()));
+    }
+    if (phase.num_prosumers < 0 || phase.offers_per_prosumer < 0.0) {
+      return InvalidArgumentError(
+          StrFormat("scenario '%s' phase '%s' has negative population parameters",
+                    spec.name.c_str(), phase.name.c_str()));
+    }
+    if (phase.time_shift_minutes % kMinutesPerSlice != 0) {
+      return InvalidArgumentError(StrFormat(
+          "scenario '%s' phase '%s': time_shift_minutes %lld is not slice-aligned",
+          spec.name.c_str(), phase.name.c_str(),
+          static_cast<long long>(phase.time_shift_minutes)));
+    }
+  }
+  return OkStatus();
+}
+
+namespace {
+
+TimePoint Day(int d, int hour) {
+  return TimePoint::FromCalendarOrDie(2013, 2, d, hour, 0);
+}
+
+ScenarioSpec EvSurge() {
+  ScenarioSpec spec;
+  spec.name = "ev-surge";
+  spec.description = "Evening EV-fleet charge surge on top of a baseline day";
+  spec.horizon = TimeInterval(Day(1, 0), Day(2, 0));
+  spec.forecaster = "weighted-ensemble";
+  spec.bidding = "spot-residual";
+  ScenarioPhase baseline;
+  baseline.name = "baseline";
+  baseline.window = spec.horizon;
+  baseline.num_prosumers = 50;
+  baseline.offers_per_prosumer = 2.5;
+  spec.phases.push_back(baseline);
+  ScenarioPhase rush;
+  rush.name = "ev-rush";
+  rush.window = TimeInterval(Day(1, 17), Day(1, 22));
+  rush.num_prosumers = 90;
+  rush.offers_per_prosumer = 4.0;
+  rush.prosumer_type_weights = {1.0};  // all households
+  rush.appliance_override = core::ApplianceType::kElectricVehicle;
+  spec.phases.push_back(rush);
+  return spec;
+}
+
+ScenarioSpec HeatWave() {
+  ScenarioSpec spec;
+  spec.name = "heat-wave";
+  spec.description = "Heat-wave demand spike: scaled demand, afternoon cooling fleet";
+  spec.horizon = TimeInterval(Day(1, 0), Day(2, 0));
+  spec.forecaster = "holt-winters";
+  spec.bidding = "price-threshold";
+  spec.demand_scale = 1.55;
+  spec.solar_scale = 1.25;
+  ScenarioPhase baseline;
+  baseline.name = "baseline";
+  baseline.window = spec.horizon;
+  baseline.num_prosumers = 45;
+  baseline.offers_per_prosumer = 2.5;
+  spec.phases.push_back(baseline);
+  ScenarioPhase cooling;
+  cooling.name = "afternoon-cooling";
+  cooling.window = TimeInterval(Day(1, 11), Day(1, 19));
+  cooling.num_prosumers = 70;
+  cooling.offers_per_prosumer = 3.5;
+  cooling.appliance_override = core::ApplianceType::kHeatPump;
+  spec.phases.push_back(cooling);
+  return spec;
+}
+
+ScenarioSpec ResDrought() {
+  ScenarioSpec spec;
+  spec.name = "res-drought";
+  spec.description = "Two-day RES drought: wind collapses, industry keeps running";
+  spec.horizon = TimeInterval(Day(1, 0), Day(3, 0));
+  spec.forecaster = "linear-ar";
+  spec.bidding = "start-fixing";
+  spec.wind_scale = 0.12;
+  spec.solar_scale = 0.45;
+  ScenarioPhase baseline;
+  baseline.name = "baseline";
+  baseline.window = spec.horizon;
+  baseline.num_prosumers = 55;
+  baseline.offers_per_prosumer = 3.0;
+  spec.phases.push_back(baseline);
+  ScenarioPhase industry;
+  industry.name = "industrial-load";
+  industry.window = TimeInterval(Day(1, 6), Day(2, 18));
+  industry.num_prosumers = 25;
+  industry.offers_per_prosumer = 2.0;
+  industry.prosumer_type_weights = {0.0, 0.0, 0.6, 0.4, 0.0, 0.0};
+  industry.appliance_override = core::ApplianceType::kIndustrialProcess;
+  spec.phases.push_back(industry);
+  return spec;
+}
+
+ScenarioSpec PriceSpike() {
+  ScenarioSpec spec;
+  spec.name = "price-spike";
+  spec.description = "Price-spike day: steep scarcity pricing, battery arbitrage fleet";
+  spec.horizon = TimeInterval(Day(1, 0), Day(2, 0));
+  spec.forecaster = "holt-winters";
+  spec.bidding = "price-threshold";
+  spec.scarcity_slope = 0.45;
+  spec.price_noise = 0.20;
+  spec.imbalance_fee_multiplier = 5.0;
+  ScenarioPhase baseline;
+  baseline.name = "baseline";
+  baseline.window = spec.horizon;
+  baseline.num_prosumers = 50;
+  baseline.offers_per_prosumer = 2.5;
+  spec.phases.push_back(baseline);
+  ScenarioPhase storage;
+  storage.name = "battery-arbitrage";
+  storage.window = spec.horizon;
+  storage.num_prosumers = 40;
+  storage.offers_per_prosumer = 3.0;
+  storage.prosumer_type_weights = {0.0, 1.0};  // commercial fleet
+  storage.appliance_override = core::ApplianceType::kBatteryStorage;
+  spec.phases.push_back(storage);
+  return spec;
+}
+
+ScenarioSpec DstTransition() {
+  ScenarioSpec spec;
+  spec.name = "dst-transition";
+  spec.description = "DST transition: the afternoon cohort's clocks jump one hour";
+  spec.horizon = TimeInterval(Day(1, 0), Day(2, 0));
+  spec.forecaster = "seasonal-naive";
+  spec.bidding = "spot-residual";
+  ScenarioPhase before;
+  before.name = "pre-shift";
+  before.window = TimeInterval(Day(1, 0), Day(1, 12));
+  before.num_prosumers = 55;
+  before.offers_per_prosumer = 3.0;
+  spec.phases.push_back(before);
+  ScenarioPhase after;
+  after.name = "post-shift";
+  after.window = TimeInterval(Day(1, 12), Day(1, 22));
+  after.num_prosumers = 55;
+  after.offers_per_prosumer = 3.0;
+  after.time_shift_minutes = 60;  // spring forward: everything runs an hour late
+  spec.phases.push_back(after);
+  return spec;
+}
+
+}  // namespace
+
+std::vector<std::string> BuiltinScenarioNames() {
+  return {"dst-transition", "ev-surge", "heat-wave", "price-spike", "res-drought"};
+}
+
+Result<ScenarioSpec> MakeBuiltinScenario(const std::string& name) {
+  if (name == "ev-surge") return EvSurge();
+  if (name == "heat-wave") return HeatWave();
+  if (name == "res-drought") return ResDrought();
+  if (name == "price-spike") return PriceSpike();
+  if (name == "dst-transition") return DstTransition();
+  std::string options;
+  for (const std::string& n : BuiltinScenarioNames()) {
+    if (!options.empty()) options += ", ";
+    options += n;
+  }
+  return InvalidArgumentError(StrFormat("unknown builtin scenario '%s'; available: %s",
+                                        name.c_str(), options.c_str()));
+}
+
+Result<ScenarioOutcome> RunScenario(const ScenarioSpec& spec,
+                                    const std::string& checkpoint_dir) {
+  FLEXVIS_RETURN_IF_ERROR(ValidateScenarioSpec(spec));
+
+  ScenarioOutcome outcome;
+  outcome.spec = spec;
+
+  // 1. Compose the multi-phase workload. Each phase is its own cohort with a
+  //    phase-distinct seed and running id offsets, so the composition is
+  //    deterministic and ids stay globally unique across phases.
+  geo::Atlas atlas = geo::Atlas::MakeDenmark();
+  grid::GridTopology topology = grid::GridTopology::MakeRadial(3, 2, 2, 4);
+  WorkloadGenerator generator(&atlas, &topology);
+  int next_prosumer_id = 1;
+  core::FlexOfferId next_offer_id = 1;
+  for (size_t i = 0; i < spec.phases.size(); ++i) {
+    const ScenarioPhase& phase = spec.phases[i];
+    WorkloadParams params;
+    params.seed = spec.seed ^ (0x9E3779B97F4A7C15ULL * (i + 1));
+    params.num_prosumers = phase.num_prosumers;
+    params.offers_per_prosumer = phase.offers_per_prosumer;
+    params.horizon = phase.window;
+    params.prosumer_type_weights = phase.prosumer_type_weights;
+    params.appliance_override = phase.appliance_override;
+    params.time_shift_minutes = phase.time_shift_minutes;
+    // Scenario offers enter the pipeline undecided; the online loop and the
+    // planner decide their lifecycle.
+    params.fraction_accepted = 0.0;
+    params.fraction_assigned = 0.0;
+    params.fraction_rejected = 0.0;
+    params.first_prosumer_id = next_prosumer_id;
+    params.first_offer_id = next_offer_id;
+    Result<Workload> cohort = generator.Generate(params);
+    if (!cohort.ok()) return cohort.status();
+    next_prosumer_id += phase.num_prosumers;
+    next_offer_id += static_cast<core::FlexOfferId>(cohort->offers.size());
+    for (dw::ProsumerInfo& p : cohort->prosumers) {
+      outcome.workload.prosumers.push_back(std::move(p));
+    }
+    for (core::FlexOffer& o : cohort->offers) {
+      outcome.workload.offers.push_back(std::move(o));
+    }
+  }
+
+  // 2. The sharded online run, with the strategy identity pinned into every
+  //    shard's meta.json and COORDINATOR.json when checkpointed.
+  CoordinatorParams coord;
+  coord.num_shards = spec.num_shards;
+  coord.online.tick_minutes = spec.tick_minutes;
+  coord.online.forecaster = spec.forecaster;
+  coord.online.bidding = spec.bidding;
+  coord.online.energy.wind_mean_kwh *= spec.wind_scale;
+  coord.online.energy.solar_peak_kwh *= spec.solar_scale;
+  coord.online.energy.demand_base_kwh *= spec.demand_scale;
+  coord.fault_seed = spec.seed;
+  Result<MergedOnlineReport> merged =
+      checkpoint_dir.empty()
+          ? Coordinator::RunSharded(coord, outcome.workload.offers, spec.horizon)
+          : Coordinator::RunShardedCheckpointed(coord, outcome.workload.offers,
+                                                spec.horizon, checkpoint_dir);
+  if (!merged.ok()) return merged.status();
+  outcome.merged = *std::move(merged);
+
+  // 3. The offline day-ahead plan + settlement under the named strategies.
+  //    plan_on_forecast makes the forecaster's error real: the plan targets
+  //    its prediction, settlement uses the actual demand.
+  EnterpriseParams enterprise_params;
+  enterprise_params.seed = spec.seed;
+  enterprise_params.plan_on_forecast = true;
+  enterprise_params.forecast_history_days = spec.forecast_history_days;
+  enterprise_params.forecaster = spec.forecaster;
+  enterprise_params.market.bidding = spec.bidding;
+  enterprise_params.market.noise = spec.price_noise;
+  enterprise_params.market.scarcity_slope = spec.scarcity_slope;
+  enterprise_params.market.imbalance_fee_multiplier = spec.imbalance_fee_multiplier;
+  enterprise_params.energy.wind_mean_kwh *= spec.wind_scale;
+  enterprise_params.energy.solar_peak_kwh *= spec.solar_scale;
+  enterprise_params.energy.demand_base_kwh *= spec.demand_scale;
+  Enterprise enterprise(enterprise_params);
+  Result<PlanningReport> plan = enterprise.PlanHorizon(outcome.workload.offers, spec.horizon);
+  if (!plan.ok()) return plan.status();
+  outcome.plan = *std::move(plan);
+  return outcome;
+}
+
+JsonValue ScenarioMetrics(const ScenarioOutcome& outcome) {
+  JsonValue out = JsonValue::Object();
+  out.Set("scenario", JsonValue::Str(outcome.spec.name));
+  out.Set("forecaster", JsonValue::Str(outcome.plan.forecaster));
+  out.Set("bidding", JsonValue::Str(outcome.plan.bidding));
+  out.Set("num_shards", JsonValue::Int(outcome.merged.num_shards));
+  out.Set("phases", JsonValue::Int(static_cast<int64_t>(outcome.spec.phases.size())));
+  out.Set("prosumers", JsonValue::Int(static_cast<int64_t>(outcome.workload.prosumers.size())));
+  out.Set("offers", JsonValue::Int(static_cast<int64_t>(outcome.workload.offers.size())));
+
+  JsonValue online = JsonValue::Object();
+  const OnlineReport& global = outcome.merged.global;
+  online.Set("ticks", JsonValue::Int(global.ticks));
+  online.Set("offers_received", JsonValue::Int(global.offers_received));
+  online.Set("accepted", JsonValue::Int(global.accepted));
+  online.Set("rejected", JsonValue::Int(global.rejected));
+  online.Set("assigned", JsonValue::Int(global.assigned));
+  online.Set("missed_acceptance", JsonValue::Int(global.missed_acceptance));
+  online.Set("missed_assignment", JsonValue::Int(global.missed_assignment));
+  online.Set("imbalance_kwh", JsonValue::Double(global.imbalance_kwh));
+  uint32_t outbox_crc = 0;
+  for (const std::string& wire : global.outbox) outbox_crc = Crc32(wire, outbox_crc);
+  online.Set("outbox_crc", JsonValue::Int(static_cast<int64_t>(outbox_crc)));
+  online.Set("total_offered_kwh", JsonValue::Double(outcome.merged.total_offered_kwh));
+  out.Set("online", std::move(online));
+
+  JsonValue plan = JsonValue::Object();
+  plan.Set("offers_in", JsonValue::Int(outcome.plan.offers_in));
+  plan.Set("aggregates_built", JsonValue::Int(outcome.plan.aggregates_built));
+  plan.Set("aggregates_assigned", JsonValue::Int(outcome.plan.aggregates_assigned));
+  plan.Set("aggregates_rejected", JsonValue::Int(outcome.plan.aggregates_rejected));
+  plan.Set("imbalance_before_kwh", JsonValue::Double(outcome.plan.imbalance_before_kwh));
+  plan.Set("imbalance_after_kwh", JsonValue::Double(outcome.plan.imbalance_after_kwh));
+  JsonValue forecast = JsonValue::Object();
+  forecast.Set("mae", JsonValue::Double(outcome.plan.forecast_error.mae));
+  forecast.Set("mape", JsonValue::Double(outcome.plan.forecast_error.mape));
+  forecast.Set("rmse", JsonValue::Double(outcome.plan.forecast_error.rmse));
+  forecast.Set("slices", JsonValue::Int(outcome.plan.forecast_error.slices));
+  plan.Set("forecast_error", std::move(forecast));
+  const Settlement& settlement = outcome.plan.settlement;
+  JsonValue settle = JsonValue::Object();
+  settle.Set("spot_cost_eur", JsonValue::Double(settlement.spot_cost_eur));
+  settle.Set("imbalance_kwh", JsonValue::Double(settlement.imbalance_kwh));
+  settle.Set("imbalance_cost_eur", JsonValue::Double(settlement.imbalance_cost_eur));
+  settle.Set("total_cost_eur", JsonValue::Double(settlement.total_cost_eur));
+  bool conserved = std::abs(settlement.total_cost_eur -
+                            (settlement.spot_cost_eur + settlement.imbalance_cost_eur)) <= 1e-6;
+  settle.Set("settlement_conserved", JsonValue::Bool(conserved));
+  plan.Set("settlement", std::move(settle));
+  out.Set("plan", std::move(plan));
+  return out;
+}
+
+}  // namespace flexvis::sim

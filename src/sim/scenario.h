@@ -1,0 +1,122 @@
+#ifndef FLEXVIS_SIM_SCENARIO_H_
+#define FLEXVIS_SIM_SCENARIO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/coordinator.h"
+#include "sim/enterprise.h"
+#include "sim/workload.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace flexvis::sim {
+
+/// One time-boxed workload phase of a scenario: a cohort of prosumers whose
+/// offers arrive within `window` (a sub-interval of the scenario horizon).
+/// Phases compose — an EV-fleet charge surge is a high-volume
+/// kElectricVehicle-only phase stacked on a baseline phase.
+struct ScenarioPhase {
+  std::string name;
+  /// When this cohort's offers want to run; must lie within the scenario
+  /// horizon.
+  timeutil::TimeInterval window;
+  int num_prosumers = 50;
+  double offers_per_prosumer = 3.0;
+  /// Weights over core::ProsumerType; empty = the built-in mix.
+  std::vector<double> prosumer_type_weights;
+  /// When set, every offer of this phase uses this appliance's shape (how a
+  /// fleet is modeled).
+  std::optional<core::ApplianceType> appliance_override;
+  /// Shifts the cohort's clocks against the market grid (DST transitions);
+  /// must be slice-aligned.
+  int64_t time_shift_minutes = 0;
+};
+
+/// A declarative extreme-event scenario: time-varying workload phases plus
+/// the energy-model, market, and strategy context they run under. JSON codec
+/// below (same style as RebalanceParams); builtins cover the ROADMAP's
+/// stress cases. Runs end-to-end through the sharded + checkpointed online
+/// pipeline and the offline day-ahead settlement via RunScenario.
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  uint64_t seed = 2013;
+  /// The planning window the whole scenario covers.
+  timeutil::TimeInterval horizon;
+  /// Shard fleet the online run is partitioned across.
+  int num_shards = 2;
+  int64_t tick_minutes = 60;
+  /// Named strategies (ForecasterRegistry / BiddingRegistry); empty selects
+  /// the defaults. Pinned into every checkpoint meta.json and the
+  /// COORDINATOR.json manifest by the run.
+  std::string forecaster;
+  std::string bidding;
+  /// Energy-model modifiers applied to the EnergyModelParams defaults: a
+  /// RES drought is wind_scale << 1, a heat wave is demand_scale > 1.
+  double wind_scale = 1.0;
+  double solar_scale = 1.0;
+  double demand_scale = 1.0;
+  /// Market modifiers: a price-spike day raises scarcity_slope/noise.
+  double price_noise = 0.05;
+  double scarcity_slope = 0.05;
+  double imbalance_fee_multiplier = 3.0;
+  /// Synthetic-history depth the forecaster trains on.
+  int forecast_history_days = 14;
+  std::vector<ScenarioPhase> phases;
+};
+
+/// spec <-> JSON (schema_version 1). Decode is strict about required fields
+/// (name, horizon, phases with name + window) and optional-with-default for
+/// everything else, so specs written by older builds keep decoding.
+JsonValue EncodeScenarioSpec(const ScenarioSpec& spec);
+Result<ScenarioSpec> DecodeScenarioSpec(const JsonValue& value);
+
+/// Convenience: DecodeScenarioSpec over parsed `text`.
+Result<ScenarioSpec> ParseScenarioSpec(std::string_view text);
+
+/// Structural validation: non-empty horizon and phase list, every phase
+/// window inside the horizon, non-negative sizes, slice-aligned shifts,
+/// num_shards in [1, 64], tick_minutes > 0, and — when named — forecaster /
+/// bidding registered (typed kInvalidArgument naming the options).
+Status ValidateScenarioSpec(const ScenarioSpec& spec);
+
+/// Names of the built-in extreme-event suite, sorted: dst-transition,
+/// ev-surge, heat-wave, price-spike, res-drought.
+std::vector<std::string> BuiltinScenarioNames();
+
+/// The built-in spec registered under `name`; unknown names are a typed
+/// kInvalidArgument naming the options.
+Result<ScenarioSpec> MakeBuiltinScenario(const std::string& name);
+
+/// Everything one scenario run produces.
+struct ScenarioOutcome {
+  ScenarioSpec spec;
+  /// The composed multi-phase workload (offer ids globally unique across
+  /// phases, phase cohorts concatenated in spec order).
+  Workload workload;
+  /// The sharded (+ checkpointed when a directory was given) online run.
+  MergedOnlineReport merged;
+  /// The offline day-ahead plan + settlement under the spec's named
+  /// strategies (plan_on_forecast: the named forecaster's error is real).
+  PlanningReport plan;
+};
+
+/// Golden-comparable metrics summary: scenario identity, resolved strategy
+/// names, merged online counters, a CRC over the merged outbox (the
+/// protocol stream), forecast error, and the settlement broken down per the
+/// conservation identity (total == spot + imbalance, flagged as
+/// settlement_conserved). Deterministic at any thread count.
+JsonValue ScenarioMetrics(const ScenarioOutcome& outcome);
+
+/// Runs `spec` end-to-end: composes the phase workload, drives the sharded
+/// online pipeline (checkpointed under `checkpoint_dir` when non-empty, with
+/// strategy identity pinned in every manifest), and settles the horizon
+/// offline under the spec's named strategies.
+Result<ScenarioOutcome> RunScenario(const ScenarioSpec& spec,
+                                    const std::string& checkpoint_dir = "");
+
+}  // namespace flexvis::sim
+
+#endif  // FLEXVIS_SIM_SCENARIO_H_

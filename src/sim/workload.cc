@@ -173,13 +173,55 @@ TimePoint AlignToSlice(TimePoint t) {
 
 }  // namespace
 
+Status ValidateWorkloadParams(const WorkloadParams& params) {
+  auto check_fraction = [](const char* name, double value) -> Status {
+    if (!(value >= 0.0 && value <= 1.0)) {
+      return InvalidArgumentError(
+          StrFormat("WorkloadParams.%s = %g is outside [0, 1]", name, value));
+    }
+    return OkStatus();
+  };
+  FLEXVIS_RETURN_IF_ERROR(check_fraction("fraction_accepted", params.fraction_accepted));
+  FLEXVIS_RETURN_IF_ERROR(check_fraction("fraction_assigned", params.fraction_assigned));
+  FLEXVIS_RETURN_IF_ERROR(check_fraction("fraction_rejected", params.fraction_rejected));
+  double sum =
+      params.fraction_accepted + params.fraction_assigned + params.fraction_rejected;
+  if (sum > 1.0 + 1e-12) {
+    return InvalidArgumentError(StrFormat(
+        "WorkloadParams status fractions sum to %g > 1.0 "
+        "(accepted %g + assigned %g + rejected %g); the remainder must stay Offered",
+        sum, params.fraction_accepted, params.fraction_assigned, params.fraction_rejected));
+  }
+  if (params.num_prosumers < 0) {
+    return InvalidArgumentError(
+        StrFormat("WorkloadParams.num_prosumers = %d is negative", params.num_prosumers));
+  }
+  if (params.offers_per_prosumer < 0.0) {
+    return InvalidArgumentError(StrFormat("WorkloadParams.offers_per_prosumer = %g is negative",
+                                          params.offers_per_prosumer));
+  }
+  if (params.time_shift_minutes % kMinutesPerSlice != 0) {
+    return InvalidArgumentError(StrFormat(
+        "WorkloadParams.time_shift_minutes = %lld is not slice-aligned (multiple of %lld)",
+        static_cast<long long>(params.time_shift_minutes),
+        static_cast<long long>(kMinutesPerSlice)));
+  }
+  return OkStatus();
+}
+
 FlexOffer WorkloadGenerator::MakeOffer(Rng& rng, const dw::ProsumerInfo& prosumer,
-                                       TimePoint around, core::FlexOfferId id) const {
-  std::vector<ApplianceChoice> choices = AppliancesFor(prosumer.type);
-  std::vector<double> weights;
-  weights.reserve(choices.size());
-  for (const ApplianceChoice& c : choices) weights.push_back(c.weight);
-  ApplianceType appliance = choices[rng.WeightedIndex(weights)].appliance;
+                                       TimePoint around, core::FlexOfferId id,
+                                       std::optional<ApplianceType> appliance_override) const {
+  ApplianceType appliance;
+  if (appliance_override.has_value()) {
+    appliance = *appliance_override;
+  } else {
+    std::vector<ApplianceChoice> choices = AppliancesFor(prosumer.type);
+    std::vector<double> weights;
+    weights.reserve(choices.size());
+    for (const ApplianceChoice& c : choices) weights.push_back(c.weight);
+    appliance = choices[rng.WeightedIndex(weights)].appliance;
+  }
 
   OfferShape shape = MakeShape(rng, appliance);
   double scale = EnergyScale(prosumer.type) * rng.Uniform(0.7, 1.3);
@@ -213,7 +255,8 @@ FlexOffer WorkloadGenerator::MakeOffer(Rng& rng, const dw::ProsumerInfo& prosume
   return offer;
 }
 
-Workload WorkloadGenerator::Generate(const WorkloadParams& params) const {
+Result<Workload> WorkloadGenerator::Generate(const WorkloadParams& params) const {
+  FLEXVIS_RETURN_IF_ERROR(ValidateWorkloadParams(params));
   Rng rng(params.seed);
   Workload out;
 
@@ -227,9 +270,10 @@ Workload WorkloadGenerator::Generate(const WorkloadParams& params) const {
   out.prosumers.reserve(static_cast<size_t>(params.num_prosumers));
   for (int i = 0; i < params.num_prosumers; ++i) {
     dw::ProsumerInfo p;
-    p.id = i + 1;
+    p.id = params.first_prosumer_id + i;
     p.type = static_cast<ProsumerType>(rng.WeightedIndex(type_weights));
-    p.name = StrFormat("%s %d", std::string(core::ProsumerTypeName(p.type)).c_str(), i + 1);
+    p.name = StrFormat("%s %d", std::string(core::ProsumerTypeName(p.type)).c_str(),
+                       static_cast<int>(p.id));
     p.region = leaves.empty() ? core::kInvalidRegionId
                               : leaves[static_cast<size_t>(
                                            rng.UniformInt(0, static_cast<int64_t>(
@@ -247,13 +291,14 @@ Workload WorkloadGenerator::Generate(const WorkloadParams& params) const {
     horizon = timeutil::TimeInterval(TimePoint::FromCalendarOrDie(2013, 1, 15, 0, 0),
                                      TimePoint::FromCalendarOrDie(2013, 1, 17, 0, 0));
   }
-  core::FlexOfferId next_id = 1;
+  core::FlexOfferId next_id = params.first_offer_id;
   for (const dw::ProsumerInfo& prosumer : out.prosumers) {
     int64_t count = rng.Poisson(params.offers_per_prosumer);
     for (int64_t k = 0; k < count; ++k) {
       int64_t span = horizon.duration_minutes();
       TimePoint around = horizon.start + rng.UniformInt(0, std::max<int64_t>(0, span - 1));
-      FlexOffer offer = MakeOffer(rng, prosumer, around, next_id++);
+      FlexOffer offer =
+          MakeOffer(rng, prosumer, around, next_id++, params.appliance_override);
 
       // Keep the whole flexible window inside the horizon where possible.
       if (horizon.end < offer.latest_end()) {
@@ -265,6 +310,17 @@ Workload WorkloadGenerator::Generate(const WorkloadParams& params) const {
         offer.creation_time = offer.creation_time - shift;
         offer.acceptance_deadline = offer.acceptance_deadline - shift;
         offer.assignment_deadline = offer.assignment_deadline - shift;
+      }
+
+      // DST-style grid shift: the fleet's clocks move against the market
+      // grid, so every time field (and thus any derived schedule) shifts.
+      if (params.time_shift_minutes != 0) {
+        const int64_t shift = params.time_shift_minutes;
+        offer.earliest_start = offer.earliest_start + shift;
+        offer.latest_start = offer.latest_start + shift;
+        offer.creation_time = offer.creation_time + shift;
+        offer.acceptance_deadline = offer.acceptance_deadline + shift;
+        offer.assignment_deadline = offer.assignment_deadline + shift;
       }
 
       // Lifecycle state mix.

@@ -1,6 +1,7 @@
 #ifndef FLEXVIS_SIM_WORKLOAD_H_
 #define FLEXVIS_SIM_WORKLOAD_H_
 
+#include <optional>
 #include <vector>
 
 #include "core/flex_offer.h"
@@ -45,10 +46,32 @@ struct WorkloadParams {
   std::vector<double> prosumer_type_weights;
   /// Fractions of offers stamped Accepted / Assigned / Rejected; the
   /// remainder stays Offered. Assigned offers receive a synthetic schedule.
+  /// Each must lie in [0, 1] and their sum must not exceed 1.0 (validated by
+  /// ValidateWorkloadParams; Generate rejects violations with a typed
+  /// kInvalidArgument instead of silently misgenerating).
   double fraction_accepted = 0.31;
   double fraction_assigned = 0.43;
   double fraction_rejected = 0.26;
+  /// When set, every generated offer uses this appliance's profile shape
+  /// regardless of the prosumer mix — how scenario phases model fleets (an
+  /// EV-charge surge is a phase of kElectricVehicle-only offers).
+  std::optional<core::ApplianceType> appliance_override;
+  /// Applied to every offer's time fields after generation (start, deadlines,
+  /// creation). Scenario phases use ±60 to model DST transitions shifting
+  /// the fleet against the market grid. Must be slice-aligned.
+  int64_t time_shift_minutes = 0;
+  /// First ids minted for prosumers / offers; scenario phases pass running
+  /// offsets so multi-phase workloads compose with globally unique ids.
+  int first_prosumer_id = 1;
+  core::FlexOfferId first_offer_id = 1;
 };
+
+/// Checks `params` for contradictions: each status fraction must lie in
+/// [0, 1] and fraction_accepted + fraction_assigned + fraction_rejected must
+/// not exceed 1.0; num_prosumers and offers_per_prosumer must be
+/// non-negative; time_shift_minutes must be slice-aligned. Returns a typed
+/// kInvalidArgument naming the offending field.
+Status ValidateWorkloadParams(const WorkloadParams& params);
 
 /// A generated workload: the prosumer population and their flex-offers,
 /// geotagged by atlas leaf region and attached to grid feeders.
@@ -66,12 +89,17 @@ class WorkloadGenerator {
       : atlas_(atlas), topology_(topology) {}
 
   /// Generates prosumers and offers. Every produced offer validates.
-  Workload Generate(const WorkloadParams& params) const;
+  /// Contradictory params (see ValidateWorkloadParams) are a typed
+  /// kInvalidArgument.
+  Result<Workload> Generate(const WorkloadParams& params) const;
 
   /// Generates one flex-offer for `prosumer` with earliest start near
-  /// `around` (public so tests and examples can mint single offers).
+  /// `around` (public so tests and examples can mint single offers). When
+  /// `appliance` is set it overrides the prosumer-mix appliance draw.
   core::FlexOffer MakeOffer(Rng& rng, const dw::ProsumerInfo& prosumer,
-                            timeutil::TimePoint around, core::FlexOfferId id) const;
+                            timeutil::TimePoint around, core::FlexOfferId id,
+                            std::optional<core::ApplianceType> appliance =
+                                std::nullopt) const;
 
   /// Loads `workload` into `db` (dimensions are expected to be registered
   /// already via Atlas/GridTopology RegisterWithDatabase).

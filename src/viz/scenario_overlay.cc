@@ -1,0 +1,151 @@
+#include "viz/scenario_overlay.h"
+
+#include <algorithm>
+
+#include "render/axis.h"
+#include "render/scale.h"
+#include "util/strings.h"
+
+namespace flexvis::viz {
+
+using render::Point;
+using render::Rect;
+using render::Style;
+using timeutil::kMinutesPerSlice;
+
+namespace {
+
+// Muted band fills cycled across phases; curves keep the palette colors, so
+// the bands must stay clearly in the background.
+constexpr render::Color kBandCycle[] = {
+    {255, 226, 178},  // warm sand
+    {205, 222, 248},  // pale blue
+    {214, 240, 214},  // pale green
+    {240, 214, 240},  // pale violet
+};
+
+std::vector<Point> SeriesLine(const core::TimeSeries& series,
+                              const timeutil::TimeInterval& window,
+                              const render::LinearScale& x,
+                              const render::LinearScale& y) {
+  std::vector<Point> line;
+  for (timeutil::TimePoint t = window.start; t < window.end; t = t + kMinutesPerSlice) {
+    line.push_back(Point{x.Apply(static_cast<double>(t.minutes())),
+                         y.Apply(std::max(0.0, series.At(t)))});
+  }
+  return line;
+}
+
+}  // namespace
+
+ScenarioOverlayResult RenderScenarioOverlay(const sim::ScenarioOutcome& outcome,
+                                            const ScenarioOverlayOptions& options) {
+  ScenarioOverlayResult result;
+  const sim::PlanningReport& report = outcome.plan;
+  const timeutil::TimeInterval& window = report.window;
+
+  Frame frame = options.frame;
+  if (frame.title.empty()) {
+    frame.title = StrFormat("scenario '%s': demand exploration across phases",
+                            outcome.spec.name.c_str());
+  }
+  result.scene = std::make_unique<render::DisplayList>(frame.width, frame.height);
+  render::DisplayList& canvas = *result.scene;
+  Rect plot = DrawFrame(canvas, frame);
+  plot.height -= 24;  // room for the legend row under the chart
+
+  // Ordinate: the demand stack and the RES line share one honest scale.
+  double y_max = 1.0;
+  for (timeutil::TimePoint t = window.start; t < window.end; t = t + kMinutesPerSlice) {
+    y_max = std::max(y_max, report.res_production.At(t));
+    double stack = report.inflexible_demand.At(t) +
+                   std::max(0.0, report.planned_flexible_load.At(t));
+    y_max = std::max(y_max, stack);
+    result.peak_demand_kwh = std::max(result.peak_demand_kwh, stack);
+  }
+
+  render::LinearScale x = MakeTimeScale(window, plot);
+  render::PrettyScale pretty = render::MakePrettyScale(0.0, y_max, 5);
+  render::LinearScale y(0.0, pretty.nice_max, plot.bottom(), plot.y);
+  render::DrawLeftAxis(canvas, plot, y, pretty.ticks);
+  render::DrawBottomAxis(canvas, plot, x, render::MakeTimeTicks(window, 4, 8));
+  render::DrawLeftAxisTitle(canvas, plot, "kWh per slice");
+
+  canvas.PushClip(plot);
+
+  // Phase bands first: background context the curves are explored against.
+  if (options.show_phase_bands) {
+    for (size_t i = 0; i < outcome.spec.phases.size(); ++i) {
+      const sim::ScenarioPhase& phase = outcome.spec.phases[i];
+      timeutil::TimeInterval band = phase.window.Intersect(window);
+      if (band.empty()) continue;
+      double x0 = x.Apply(static_cast<double>(band.start.minutes()));
+      double x1 = x.Apply(static_cast<double>(band.end.minutes()));
+      const render::Color& fill =
+          kBandCycle[i % (sizeof(kBandCycle) / sizeof(kBandCycle[0]))];
+      canvas.DrawRect(Rect{x0, plot.y, x1 - x0, plot.height},
+                      Style::Fill(fill.WithAlpha(90)));
+      render::TextStyle label;
+      label.size = 9.0;
+      label.anchor = render::TextAnchor::kMiddle;
+      label.color = render::palette::kAxis;
+      // Stagger labels vertically so overlapping bands stay readable.
+      double label_y = plot.y + 12 + 12.0 * static_cast<double>(i % 3);
+      canvas.DrawText(Point{(x0 + x1) / 2, label_y}, phase.name, label);
+      ++result.phases_drawn;
+    }
+  }
+
+  // The demand stack: inflexible as a filled area, planned flexible stacked
+  // on top, RES production as the line they are balanced against.
+  std::vector<Point> base_area, flex_area;
+  for (timeutil::TimePoint t = window.start; t < window.end; t = t + kMinutesPerSlice) {
+    double px = x.Apply(static_cast<double>(t.minutes()));
+    double inflex = std::max(0.0, report.inflexible_demand.At(t));
+    double flex_top = inflex + std::max(0.0, report.planned_flexible_load.At(t));
+    base_area.push_back(Point{px, y.Apply(inflex)});
+    flex_area.push_back(Point{px, y.Apply(flex_top)});
+  }
+  if (base_area.size() >= 2) {
+    std::vector<Point> base_poly = base_area;
+    base_poly.push_back(Point{base_poly.back().x, plot.bottom()});
+    base_poly.push_back(Point{base_poly.front().x, plot.bottom()});
+    canvas.DrawPolygon(base_poly, Style::Fill(render::palette::kDemand.WithAlpha(150)));
+    std::vector<Point> flex_poly = flex_area;
+    for (size_t i = base_area.size(); i > 0; --i) flex_poly.push_back(base_area[i - 1]);
+    canvas.DrawPolygon(flex_poly,
+                       Style::Fill(render::palette::kFlexibleDemand.WithAlpha(180)));
+  }
+  canvas.DrawPolyline(SeriesLine(report.res_production, window, x, y),
+                      Style::Stroke(render::palette::kResProduction, 2.2));
+  // The forecast the plan targeted, dashed — the gap to inflexible demand is
+  // the forecaster's error made visible.
+  canvas.DrawPolyline(SeriesLine(report.planned_against_demand, window, x, y),
+                      Style::Stroke(render::palette::kProvenance, 1.4)
+                          .WithDash({4.0, 3.0}));
+  canvas.PopClip();
+
+  if (options.show_caption) {
+    render::TextStyle caption;
+    caption.size = 9.5;
+    caption.color = render::palette::kAxis;
+    std::string text = StrFormat(
+        "forecaster=%s  bidding=%s  |  shards=%d  offers=%zu  |  "
+        "forecast rmse %.1f kWh  settlement %.0f EUR",
+        report.forecaster.c_str(), report.bidding.c_str(), outcome.merged.num_shards,
+        outcome.workload.offers.size(), report.forecast_error.rmse,
+        report.settlement.total_cost_eur);
+    canvas.DrawText(Point{plot.x, frame.margin_top - 6}, text, caption);
+  }
+
+  std::vector<render::LegendEntry> entries = {
+      {"production from RES", render::palette::kResProduction, true},
+      {"non-flexible demand", render::palette::kDemand, false},
+      {"planned flexible demand", render::palette::kFlexibleDemand, false},
+      {"planned-against forecast", render::palette::kProvenance, true},
+  };
+  render::DrawLegend(canvas, Point{plot.x + 4, plot.bottom() + 26}, entries);
+  return result;
+}
+
+}  // namespace flexvis::viz

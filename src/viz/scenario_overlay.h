@@ -1,0 +1,43 @@
+#ifndef FLEXVIS_VIZ_SCENARIO_OVERLAY_H_
+#define FLEXVIS_VIZ_SCENARIO_OVERLAY_H_
+
+#include <memory>
+
+#include "render/display_list.h"
+#include "sim/scenario.h"
+#include "viz/view_common.h"
+
+namespace flexvis::viz {
+
+/// Options of the scenario demand-exploration overlay (E³: demand curves
+/// explored against the scenario's phase structure).
+struct ScenarioOverlayOptions {
+  Frame frame;
+  /// Draw the shaded per-phase bands behind the curves.
+  bool show_phase_bands = true;
+  /// Draw the strategy / settlement caption under the title.
+  bool show_caption = true;
+};
+
+struct ScenarioOverlayResult {
+  std::unique_ptr<render::DisplayList> scene;
+  /// Peak of the demand stack (inflexible + planned flexible) in kWh, the
+  /// ordinate the chart is scaled to.
+  double peak_demand_kwh = 0.0;
+  /// Number of phase bands drawn.
+  int phases_drawn = 0;
+};
+
+/// Renders a scenario outcome as a demand-exploration overlay: shaded
+/// vertical bands mark each workload phase's window (the EV rush hour, the
+/// heat-wave afternoon, the shifted DST cohort), with RES production,
+/// inflexible demand, and the planned flexible load drawn across them, and a
+/// caption naming the resolved forecaster / bidding strategies with the
+/// settlement total. This is the dashboard's E³ entry point for the
+/// extreme-event suite.
+ScenarioOverlayResult RenderScenarioOverlay(const sim::ScenarioOutcome& outcome,
+                                            const ScenarioOverlayOptions& options);
+
+}  // namespace flexvis::viz
+
+#endif  // FLEXVIS_VIZ_SCENARIO_OVERLAY_H_

@@ -38,7 +38,7 @@ class DeterminismTest : public ::testing::Test {
     params.seed = 515;
     params.num_prosumers = 80;
     params.horizon = TimeInterval(T0(), T0() + timeutil::kMinutesPerDay);
-    world_->workload = generator.Generate(params);
+    world_->workload = *generator.Generate(params);
     ASSERT_TRUE(
         sim::WorkloadGenerator::LoadIntoDatabase(world_->workload, world_->db).ok());
   }

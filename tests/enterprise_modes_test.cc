@@ -29,7 +29,7 @@ class EnterpriseModesTest : public ::testing::Test {
     params.num_prosumers = 60;
     params.offers_per_prosumer = 3.0;
     params.horizon = TimeInterval(T0(), T0() + kMinutesPerDay);
-    workload_ = generator_.Generate(params);
+    workload_ = *generator_.Generate(params);
     window_ = params.horizon;
   }
 

@@ -297,7 +297,7 @@ TEST(AlertDrillDownTest, EndToEndOverPlanningRun) {
   wparams.seed = 5;
   wparams.num_prosumers = 80;
   wparams.horizon = TimeInterval(T0(), T0() + timeutil::kMinutesPerDay);
-  sim::Workload workload = generator.Generate(wparams);
+  sim::Workload workload = *generator.Generate(wparams);
   ASSERT_TRUE(sim::WorkloadGenerator::LoadIntoDatabase(workload, db).ok());
 
   sim::Enterprise enterprise;
@@ -372,7 +372,7 @@ TEST_P(WarehouseRoundTripTest, SelectAllReconstructsExactOffers) {
   params.seed = GetParam();
   params.num_prosumers = 30;
   params.horizon = TimeInterval(T0(), T0() + timeutil::kMinutesPerDay);
-  sim::Workload workload = generator.Generate(params);
+  sim::Workload workload = *generator.Generate(params);
   ASSERT_TRUE(sim::WorkloadGenerator::LoadIntoDatabase(workload, db).ok());
 
   Result<std::vector<FlexOffer>> restored = db.SelectFlexOffers(dw::FlexOfferFilter{});

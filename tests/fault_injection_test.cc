@@ -268,7 +268,7 @@ class FaultMatrixTest : public ::testing::Test {
     params.num_prosumers = 40;
     params.offers_per_prosumer = 3.0;
     params.horizon = TimeInterval(T0(), T0() + kMinutesPerDay);
-    workload_ = generator_.Generate(params);
+    workload_ = *generator_.Generate(params);
     window_ = params.horizon;
     temp_dir_ = ::testing::TempDir() + "/fault_matrix";
     std::filesystem::create_directories(temp_dir_);

@@ -48,7 +48,7 @@ class EndToEndTest : public ::testing::Test {
     params.num_prosumers = 120;
     params.offers_per_prosumer = 5.0;
     params.horizon = TimeInterval(T0(), T0() + timeutil::kMinutesPerDay);
-    w.workload = generator.Generate(params);
+    w.workload = *generator.Generate(params);
     ASSERT_TRUE(sim::WorkloadGenerator::LoadIntoDatabase(w.workload, w.db).ok());
 
     sim::Enterprise enterprise;

@@ -339,7 +339,7 @@ class LodFilterTest : public ::testing::Test {
     params.seed = 515;
     params.num_prosumers = 30;
     params.horizon = TimeInterval(T0(), T0() + timeutil::kMinutesPerDay);
-    sim::Workload workload = generator.Generate(params);
+    sim::Workload workload = *generator.Generate(params);
     ASSERT_TRUE(sim::WorkloadGenerator::LoadIntoDatabase(workload, db_).ok());
   }
 

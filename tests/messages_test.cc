@@ -146,7 +146,7 @@ TEST_P(MessageCodecPropertyTest, WorkloadOffersRoundTrip) {
   params.seed = GetParam();
   params.num_prosumers = 20;
   params.horizon = TimeInterval(T0(), T0() + timeutil::kMinutesPerDay);
-  sim::Workload workload = generator.Generate(params);
+  sim::Workload workload = *generator.Generate(params);
   for (const FlexOffer& offer : workload.offers) {
     Result<Message> decoded = core::DecodeMessage(core::EncodeMessage(Message(offer)));
     ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
@@ -234,7 +234,7 @@ TEST(CsvTest, WarehouseFactsSurviveCsvRoundTrip) {
   params.num_prosumers = 20;
   params.horizon = TimeInterval(T0(), T0() + timeutil::kMinutesPerDay);
   ASSERT_TRUE(
-      sim::WorkloadGenerator::LoadIntoDatabase(generator.Generate(params), db).ok());
+      sim::WorkloadGenerator::LoadIntoDatabase(*generator.Generate(params), db).ok());
 
   std::string csv = dw::TableToCsv(db.fact_flexoffer());
   Result<dw::Table> back = dw::TableFromCsv("fact_flexoffer",
@@ -265,7 +265,7 @@ class OnlineTest : public ::testing::Test {
     params.num_prosumers = 60;
     params.offers_per_prosumer = 3.0;
     params.horizon = TimeInterval(T0(), T0() + timeutil::kMinutesPerDay);
-    workload_ = generator_.Generate(params);
+    workload_ = *generator_.Generate(params);
     window_ = TimeInterval(T0() - 2 * timeutil::kMinutesPerDay,
                            T0() + 2 * timeutil::kMinutesPerDay);
   }

@@ -40,7 +40,7 @@ class PersistenceTest : public ::testing::Test {
     params.seed = 808;
     params.num_prosumers = 40;
     params.horizon = TimeInterval(T0(), T0() + timeutil::kMinutesPerDay);
-    sim::Workload workload = generator.Generate(params);
+    sim::Workload workload = *generator.Generate(params);
     ASSERT_TRUE(sim::WorkloadGenerator::LoadIntoDatabase(workload, db_).ok());
     // Include scheduled aggregates so the round-trip covers provenance.
     sim::Enterprise enterprise;

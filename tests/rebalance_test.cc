@@ -352,7 +352,7 @@ class RebalanceTest : public ::testing::Test {
     wp.num_prosumers = 30;
     wp.offers_per_prosumer = 1.5;
     wp.horizon = Day();
-    workload_ = generator.Generate(wp);
+    workload_ = *generator.Generate(wp);
     window_ = wp.horizon;
     online_.tick_minutes = 120;  // 12 ticks over the day
 
@@ -395,7 +395,7 @@ class RebalanceTest : public ::testing::Test {
     wp.num_prosumers = 60;
     wp.offers_per_prosumer = 4.0;
     wp.horizon = Day();
-    workload_ = generator.Generate(wp);
+    workload_ = *generator.Generate(wp);
   }
 
   /// The prosumer owning the earliest-created offer — certainly active (its

@@ -57,11 +57,14 @@ class RecoveryTest : public ::testing::Test {
     wp.num_prosumers = 30;
     wp.offers_per_prosumer = 1.5;
     wp.horizon = TimeInterval(T0(), T0() + timeutil::kMinutesPerDay);
-    workload_ = generator.Generate(wp);
+    workload_ = *generator.Generate(wp);
     window_ = wp.horizon;
     params_.tick_minutes = 120;  // 12 ticks over the day — small but real
 
-    root_ = fs::path(::testing::TempDir()) / "flexvis_recovery";
+    // Pid-suffixed so concurrent ctest processes cannot remove_all one
+    // another's live files mid-run.
+    root_ = fs::path(::testing::TempDir()) /
+            ("flexvis_recovery." + std::to_string(::getpid()));
     fs::remove_all(root_);
     fs::create_directories(root_);
   }

@@ -1,0 +1,362 @@
+// Scenario DSL + strategy-layer tests: JSON codec round-trips and corruption,
+// the builtin extreme-event suite run end-to-end through the sharded +
+// checkpointed pipeline against golden-pinned metrics, the full
+// (forecaster x bidding) determinism matrix (1 vs 8 threads and across
+// checkpoint resume), typed unknown-name errors, and the default-selection
+// byte-identity guarantee. Regenerate the goldens after an intentional
+// behavior change with FLEXVIS_UPDATE_GOLDEN=1 ctest -R ScenarioDslTest.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "render/raster_canvas.h"
+#include "sim/coordinator.h"
+#include "sim/forecaster.h"
+#include "sim/market.h"
+#include "sim/scenario.h"
+#include "util/crc32.h"
+#include "util/fault.h"
+#include "util/fileio.h"
+#include "util/parallel.h"
+#include "viz/scenario_overlay.h"
+
+namespace flexvis {
+namespace {
+
+namespace fs = std::filesystem;
+using timeutil::TimeInterval;
+using timeutil::TimePoint;
+
+TimePoint T0() { return TimePoint::FromCalendarOrDie(2013, 2, 1, 0, 0); }
+
+class ScenarioDslTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetParallelThreadCount(1);
+    FaultRegistry::Global().DisarmAll();
+    root_ = fs::path(::testing::TempDir()) /
+            ("flexvis_scenario." + std::to_string(::getpid()));
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+
+  void TearDown() override {
+    FaultRegistry::Global().DisarmAll();
+    SetParallelThreadCount(1);
+    if (!HasFailure()) {
+      std::error_code ec;
+      fs::remove_all(root_, ec);
+    }
+  }
+
+  std::string Dir(const std::string& name) {
+    fs::path dir = root_ / name;
+    fs::remove_all(dir);
+    return dir.string();
+  }
+
+  // A small scenario that still exercises two phases, an appliance override,
+  // and the sharded pipeline — the determinism matrix runs it 12+ times.
+  static sim::ScenarioSpec SmallSpec() {
+    sim::ScenarioSpec spec;
+    spec.name = "matrix-smoke";
+    spec.seed = 77;
+    spec.horizon = TimeInterval(T0(), T0() + timeutil::kMinutesPerDay);
+    spec.num_shards = 2;
+    spec.tick_minutes = 120;
+    sim::ScenarioPhase base;
+    base.name = "base";
+    base.window = spec.horizon;
+    base.num_prosumers = 12;
+    base.offers_per_prosumer = 1.5;
+    spec.phases.push_back(base);
+    sim::ScenarioPhase surge;
+    surge.name = "surge";
+    surge.window = TimeInterval(T0() + 17 * 60, T0() + 21 * 60);
+    surge.num_prosumers = 8;
+    surge.offers_per_prosumer = 2.0;
+    surge.appliance_override = core::ApplianceType::kElectricVehicle;
+    spec.phases.push_back(surge);
+    return spec;
+  }
+
+  fs::path root_;
+};
+
+// ---- Codec -----------------------------------------------------------------------------
+
+TEST_F(ScenarioDslTest, CodecRoundTripsEveryBuiltin) {
+  for (const std::string& name : sim::BuiltinScenarioNames()) {
+    Result<sim::ScenarioSpec> spec = sim::MakeBuiltinScenario(name);
+    ASSERT_TRUE(spec.ok()) << name;
+    EXPECT_TRUE(sim::ValidateScenarioSpec(*spec).ok()) << name;
+    JsonValue encoded = sim::EncodeScenarioSpec(*spec);
+    Result<sim::ScenarioSpec> decoded = sim::DecodeScenarioSpec(encoded);
+    ASSERT_TRUE(decoded.ok()) << name << ": " << decoded.status().ToString();
+    // Re-encoding the decoded spec must reproduce the same JSON text.
+    EXPECT_EQ(encoded.Dump(), sim::EncodeScenarioSpec(*decoded).Dump()) << name;
+  }
+}
+
+TEST_F(ScenarioDslTest, ParseAppliesDefaultsForOmittedFields) {
+  Result<sim::ScenarioSpec> spec = sim::ParseScenarioSpec(R"({
+    "name": "minimal",
+    "horizon": {"start_min": 0, "end_min": 1440},
+    "phases": [{"name": "only", "window": {"start_min": 0, "end_min": 1440}}]
+  })");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->seed, 2013u);
+  EXPECT_EQ(spec->num_shards, 2);
+  EXPECT_EQ(spec->tick_minutes, 60);
+  EXPECT_TRUE(spec->forecaster.empty());
+  EXPECT_DOUBLE_EQ(spec->wind_scale, 1.0);
+  ASSERT_EQ(spec->phases.size(), 1u);
+  EXPECT_EQ(spec->phases[0].num_prosumers, 50);
+  EXPECT_FALSE(spec->phases[0].appliance_override.has_value());
+}
+
+TEST_F(ScenarioDslTest, CodecRejectsCorruptSpecsWithTypedErrors) {
+  const char* corrupt[] = {
+      R"([1, 2, 3])",                                       // not an object
+      R"({"horizon": {"start_min": 0, "end_min": 10}})",    // missing name
+      R"({"name": "x", "phases": []})",                     // missing horizon
+      R"({"name": "x", "horizon": {"start_min": 0, "end_min": 10}})",  // no phases
+      R"({"name": "x", "horizon": {"start_min": 0, "end_min": 10},
+          "phases": [{"window": {"start_min": 0, "end_min": 10}}]})",  // phase w/o name
+      R"({"name": "x", "horizon": {"start_min": 0, "end_min": 10},
+          "phases": [{"name": "p"}]})",                     // phase w/o window
+      R"({"name": "x", "horizon": {"start_min": 0, "end_min": 10},
+          "phases": [{"name": "p", "window": {"start_min": 0, "end_min": 10},
+                      "appliance": "flux-capacitor"}]})",   // unknown appliance
+  };
+  for (const char* text : corrupt) {
+    Result<sim::ScenarioSpec> spec = sim::ParseScenarioSpec(text);
+    EXPECT_FALSE(spec.ok()) << text;
+    EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument) << text;
+  }
+}
+
+// ---- Validation ------------------------------------------------------------------------
+
+TEST_F(ScenarioDslTest, ValidateRejectsStructuralErrors) {
+  sim::ScenarioSpec spec = SmallSpec();
+  spec.phases[1].window =
+      TimeInterval(spec.horizon.start - 60, spec.horizon.start + 60);
+  EXPECT_EQ(sim::ValidateScenarioSpec(spec).code(), StatusCode::kInvalidArgument);
+
+  spec = SmallSpec();
+  spec.phases[0].time_shift_minutes = 10;  // not slice-aligned
+  EXPECT_EQ(sim::ValidateScenarioSpec(spec).code(), StatusCode::kInvalidArgument);
+
+  spec = SmallSpec();
+  spec.num_shards = 0;
+  EXPECT_EQ(sim::ValidateScenarioSpec(spec).code(), StatusCode::kInvalidArgument);
+
+  spec = SmallSpec();
+  spec.phases.clear();
+  EXPECT_EQ(sim::ValidateScenarioSpec(spec).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ScenarioDslTest, ValidateRejectsUnknownStrategyNamesNamingOptions) {
+  sim::ScenarioSpec spec = SmallSpec();
+  spec.forecaster = "oracle";
+  Status status = sim::ValidateScenarioSpec(spec);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("holt-winters"), std::string::npos)
+      << status.ToString();
+
+  spec = SmallSpec();
+  spec.bidding = "insider-trading";
+  status = sim::ValidateScenarioSpec(spec);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("spot-residual"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(ScenarioDslTest, UnknownBuiltinNameIsTypedErrorNamingOptions) {
+  Result<sim::ScenarioSpec> unknown = sim::MakeBuiltinScenario("sharknado");
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+  for (const std::string& name : sim::BuiltinScenarioNames()) {
+    EXPECT_NE(unknown.status().message().find(name), std::string::npos)
+        << unknown.status().ToString();
+  }
+}
+
+// ---- Golden end-to-end suite -----------------------------------------------------------
+
+#ifndef FLEXVIS_GOLDEN_DIR
+#define FLEXVIS_GOLDEN_DIR "tests/golden"
+#endif
+
+TEST_F(ScenarioDslTest, BuiltinSuiteMatchesGoldenMetricsThroughCheckpointedPipeline) {
+  const bool update = ::getenv("FLEXVIS_UPDATE_GOLDEN") != nullptr;
+  for (const std::string& name : sim::BuiltinScenarioNames()) {
+    Result<sim::ScenarioSpec> spec = sim::MakeBuiltinScenario(name);
+    ASSERT_TRUE(spec.ok()) << name;
+    std::string dir = Dir("golden_" + name);
+    Result<sim::ScenarioOutcome> outcome = sim::RunScenario(*spec, dir);
+    ASSERT_TRUE(outcome.ok()) << name << ": " << outcome.status().ToString();
+
+    JsonValue metrics = sim::ScenarioMetrics(*outcome);
+    // The hard invariants hold regardless of the pinned numbers.
+    const JsonValue& settle = metrics.Get("plan").Get("settlement");
+    ASSERT_TRUE(settle.Get("settlement_conserved").AsBool()) << name;
+    EXPECT_GT(metrics.Get("offers").AsInt(), 0) << name;
+    EXPECT_EQ(metrics.Get("forecaster").Dump(),
+              JsonValue::Str(sim::EffectiveForecasterName(spec->forecaster)).Dump())
+        << name;
+
+    // Resuming the completed checkpointed run replays to the identical merge.
+    Result<sim::MergedOnlineReport> resumed = sim::Coordinator::ResumeSharded(dir);
+    ASSERT_TRUE(resumed.ok()) << name << ": " << resumed.status().ToString();
+    EXPECT_EQ(resumed->global.outbox, outcome->merged.global.outbox) << name;
+    EXPECT_EQ(resumed->global.ticks, outcome->merged.global.ticks) << name;
+
+    const std::string golden_path =
+        std::string(FLEXVIS_GOLDEN_DIR) + "/scenario_" + name + ".json";
+    const std::string pretty = metrics.Pretty() + "\n";
+    if (update) {
+      ASSERT_TRUE(WriteFileAtomic(golden_path, pretty).ok());
+      continue;
+    }
+    Result<std::string> golden = ReadFileToString(golden_path);
+    ASSERT_TRUE(golden.ok()) << "missing golden for '" << name
+                             << "' — run with FLEXVIS_UPDATE_GOLDEN=1";
+    EXPECT_EQ(*golden, pretty)
+        << "scenario '" << name << "' drifted from its golden metrics; "
+        << "regenerate with FLEXVIS_UPDATE_GOLDEN=1 if intentional";
+  }
+}
+
+// ---- Determinism matrix ----------------------------------------------------------------
+
+TEST_F(ScenarioDslTest, EveryStrategyPairIsByteIdenticalAcrossThreadsAndResume) {
+  sim::ScenarioSpec spec = SmallSpec();
+  for (const std::string& forecaster : sim::ForecasterRegistry::Global().Names()) {
+    for (const std::string& bidding : sim::BiddingRegistry::Global().Names()) {
+      const std::string label = forecaster + " x " + bidding;
+      spec.forecaster = forecaster;
+      spec.bidding = bidding;
+
+      SetParallelThreadCount(1);
+      Result<sim::ScenarioOutcome> serial = sim::RunScenario(spec);
+      ASSERT_TRUE(serial.ok()) << label << ": " << serial.status().ToString();
+      std::string serial_metrics = sim::ScenarioMetrics(*serial).Dump();
+
+      SetParallelThreadCount(8);
+      Result<sim::ScenarioOutcome> threaded = sim::RunScenario(spec);
+      SetParallelThreadCount(1);
+      ASSERT_TRUE(threaded.ok()) << label << ": " << threaded.status().ToString();
+      EXPECT_EQ(serial_metrics, sim::ScenarioMetrics(*threaded).Dump())
+          << label << " diverges at 8 threads";
+      EXPECT_EQ(serial->merged.global.outbox, threaded->merged.global.outbox) << label;
+
+      // Checkpointed run + resume replay both reproduce the plain run.
+      std::string dir = Dir("matrix_" + forecaster + "_" + bidding);
+      Result<sim::ScenarioOutcome> checkpointed = sim::RunScenario(spec, dir);
+      ASSERT_TRUE(checkpointed.ok()) << label << ": "
+                                     << checkpointed.status().ToString();
+      EXPECT_EQ(serial_metrics, sim::ScenarioMetrics(*checkpointed).Dump())
+          << label << " diverges when checkpointed";
+      Result<sim::MergedOnlineReport> resumed = sim::Coordinator::ResumeSharded(dir);
+      ASSERT_TRUE(resumed.ok()) << label << ": " << resumed.status().ToString();
+      EXPECT_EQ(resumed->global.outbox, serial->merged.global.outbox)
+          << label << " diverges across checkpoint resume";
+      EXPECT_EQ(resumed->global.imbalance_kwh, serial->merged.global.imbalance_kwh)
+          << label;
+    }
+  }
+}
+
+TEST_F(ScenarioDslTest, EmptyStrategyNamesSelectTheDefaultsByteIdentically) {
+  // The refactor's compatibility contract: not naming a strategy must equal
+  // naming the documented defaults, bit for bit.
+  sim::ScenarioSpec implicit = SmallSpec();
+  sim::ScenarioSpec explicit_names = SmallSpec();
+  explicit_names.forecaster = sim::kDefaultForecasterName;
+  explicit_names.bidding = sim::kDefaultBiddingName;
+  Result<sim::ScenarioOutcome> a = sim::RunScenario(implicit);
+  Result<sim::ScenarioOutcome> b = sim::RunScenario(explicit_names);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(sim::ScenarioMetrics(*a).Dump(), sim::ScenarioMetrics(*b).Dump());
+  EXPECT_EQ(a->merged.global.outbox, b->merged.global.outbox);
+  EXPECT_EQ(a->plan.forecaster, sim::kDefaultForecasterName);
+  EXPECT_EQ(a->plan.bidding, sim::kDefaultBiddingName);
+}
+
+TEST_F(ScenarioDslTest, CheckpointMetaRejectsUnknownPinnedStrategies) {
+  // A manifest pinning a strategy this build does not know must fail typed at
+  // decode, not degrade silently into the default.
+  sim::ScenarioSpec spec = SmallSpec();
+  std::string dir = Dir("pin_tamper");
+  ASSERT_TRUE(sim::RunScenario(spec, dir).ok());
+  const std::string meta_path = dir + "/shard-0000/meta.json";
+  Result<std::string> meta_text = ReadFileToString(meta_path);
+  ASSERT_TRUE(meta_text.ok()) << meta_path;
+  Result<JsonValue> meta = JsonValue::Parse(*meta_text);
+  ASSERT_TRUE(meta.ok());
+  meta->Set("forecaster", JsonValue::Str("oracle"));
+  const std::string tampered = meta->Dump();
+  ASSERT_TRUE(WriteFileAtomic(meta_path, tampered).ok());
+  // Re-stamp the snapshot manifest so store integrity passes and the decode
+  // path (where strategy names are validated) is actually reached.
+  const std::string manifest_path = dir + "/shard-0000/SNAPSHOT.json";
+  Result<std::string> manifest_text = ReadFileToString(manifest_path);
+  ASSERT_TRUE(manifest_text.ok()) << manifest_path;
+  Result<JsonValue> manifest = JsonValue::Parse(*manifest_text);
+  ASSERT_TRUE(manifest.ok());
+  JsonValue files = JsonValue::Array();
+  for (size_t i = 0; i < manifest->Get("files").size(); ++i) {
+    JsonValue entry = manifest->Get("files")[i];
+    if (*entry.GetString("name") == "meta.json") {
+      entry.Set("bytes", JsonValue::Int(static_cast<int64_t>(tampered.size())));
+      entry.Set("crc32", JsonValue::Int(static_cast<int64_t>(Crc32(tampered))));
+    }
+    files.Append(std::move(entry));
+  }
+  manifest->Set("files", std::move(files));
+  ASSERT_TRUE(WriteFileAtomic(manifest_path, manifest->Dump()).ok());
+  Result<sim::MergedOnlineReport> resumed = sim::Coordinator::ResumeSharded(dir);
+  EXPECT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(resumed.status().message().find("holt-winters"), std::string::npos)
+      << resumed.status().ToString();
+}
+
+// ---- Dashboard overlay -----------------------------------------------------------------
+
+TEST_F(ScenarioDslTest, OverlayRendersPhaseBandsDeterministically) {
+  Result<sim::ScenarioSpec> spec = sim::MakeBuiltinScenario("ev-surge");
+  ASSERT_TRUE(spec.ok());
+  Result<sim::ScenarioOutcome> outcome = sim::RunScenario(*spec);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+
+  auto rasterize = [&]() {
+    viz::ScenarioOverlayOptions options;
+    options.frame.width = 640;
+    options.frame.height = 360;
+    viz::ScenarioOverlayResult view = viz::RenderScenarioOverlay(*outcome, options);
+    EXPECT_NE(view.scene, nullptr);
+    EXPECT_EQ(view.phases_drawn, static_cast<int>(spec->phases.size()));
+    EXPECT_GT(view.peak_demand_kwh, 0.0);
+    render::RasterCanvas canvas(static_cast<int>(view.scene->width()),
+                                static_cast<int>(view.scene->height()));
+    view.scene->ReplayAll(canvas);
+    return Crc32(canvas.ToPpm());
+  };
+  SetParallelThreadCount(1);
+  uint32_t serial = rasterize();
+  SetParallelThreadCount(8);
+  uint32_t threaded = rasterize();
+  SetParallelThreadCount(1);
+  EXPECT_EQ(serial, threaded);
+}
+
+}  // namespace
+}  // namespace flexvis

@@ -84,7 +84,7 @@ class ShardTest : public ::testing::Test {
     wp.num_prosumers = 30;
     wp.offers_per_prosumer = 1.5;
     wp.horizon = TimeInterval(T0(), T0() + timeutil::kMinutesPerDay);
-    workload_ = generator.Generate(wp);
+    workload_ = *generator.Generate(wp);
     window_ = wp.horizon;
     online_.tick_minutes = 120;  // 12 ticks over the day
 

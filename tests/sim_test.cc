@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <memory>
 
 #include "core/measures.h"
 #include "sim/energy_models.h"
@@ -45,8 +48,8 @@ class WorkloadTest : public ::testing::Test {
 };
 
 TEST_F(WorkloadTest, DeterministicForSameSeed) {
-  Workload a = generator_.Generate(DefaultParams());
-  Workload b = generator_.Generate(DefaultParams());
+  Workload a = *generator_.Generate(DefaultParams());
+  Workload b = *generator_.Generate(DefaultParams());
   ASSERT_EQ(a.offers.size(), b.offers.size());
   for (size_t i = 0; i < a.offers.size(); ++i) {
     EXPECT_EQ(a.offers[i].id, b.offers[i].id);
@@ -56,7 +59,7 @@ TEST_F(WorkloadTest, DeterministicForSameSeed) {
   }
   WorkloadParams other = DefaultParams();
   other.seed = 8;
-  Workload c = generator_.Generate(other);
+  Workload c = *generator_.Generate(other);
   bool any_difference = c.offers.size() != a.offers.size();
   for (size_t i = 0; !any_difference && i < std::min(a.offers.size(), c.offers.size()); ++i) {
     any_difference = !(a.offers[i].earliest_start == c.offers[i].earliest_start);
@@ -65,7 +68,7 @@ TEST_F(WorkloadTest, DeterministicForSameSeed) {
 }
 
 TEST_F(WorkloadTest, EveryOfferValidates) {
-  Workload w = generator_.Generate(DefaultParams());
+  Workload w = *generator_.Generate(DefaultParams());
   ASSERT_GT(w.offers.size(), 50u);
   for (const FlexOffer& o : w.offers) {
     EXPECT_TRUE(core::Validate(o).ok()) << core::Describe(o);
@@ -73,7 +76,7 @@ TEST_F(WorkloadTest, EveryOfferValidates) {
 }
 
 TEST_F(WorkloadTest, OffersCarryDimensionAttributes) {
-  Workload w = generator_.Generate(DefaultParams());
+  Workload w = *generator_.Generate(DefaultParams());
   std::vector<geo::GeoRegion> leaves = atlas_.Leaves();
   for (const FlexOffer& o : w.offers) {
     bool in_leaf = false;
@@ -88,7 +91,7 @@ TEST_F(WorkloadTest, OffersCarryDimensionAttributes) {
 TEST_F(WorkloadTest, StateMixApproximatesConfiguredFractions) {
   WorkloadParams params = DefaultParams();
   params.num_prosumers = 400;
-  Workload w = generator_.Generate(params);
+  Workload w = *generator_.Generate(params);
   core::StateCounts counts = core::CountByState(w.offers);
   EXPECT_NEAR(counts.Fraction(core::FlexOfferState::kAccepted), 0.31, 0.05);
   EXPECT_NEAR(counts.Fraction(core::FlexOfferState::kAssigned), 0.43, 0.05);
@@ -96,7 +99,7 @@ TEST_F(WorkloadTest, StateMixApproximatesConfiguredFractions) {
 }
 
 TEST_F(WorkloadTest, AssignedOffersHaveValidSchedules) {
-  Workload w = generator_.Generate(DefaultParams());
+  Workload w = *generator_.Generate(DefaultParams());
   int assigned = 0;
   for (const FlexOffer& o : w.offers) {
     if (o.state == core::FlexOfferState::kAssigned) {
@@ -112,7 +115,7 @@ TEST_F(WorkloadTest, AssignedOffersHaveValidSchedules) {
 TEST_F(WorkloadTest, ProducersIssueProductionOffers) {
   WorkloadParams params = DefaultParams();
   params.num_prosumers = 300;
-  Workload w = generator_.Generate(params);
+  Workload w = *generator_.Generate(params);
   int production = 0;
   for (const FlexOffer& o : w.offers) {
     if (o.direction == core::Direction::kProduction) ++production;
@@ -121,7 +124,7 @@ TEST_F(WorkloadTest, ProducersIssueProductionOffers) {
 }
 
 TEST_F(WorkloadTest, LoadIntoDatabaseRoundTrips) {
-  Workload w = generator_.Generate(DefaultParams());
+  Workload w = *generator_.Generate(DefaultParams());
   dw::Database db;
   ASSERT_TRUE(atlas_.RegisterWithDatabase(db).ok());
   ASSERT_TRUE(topology_.RegisterWithDatabase(db).ok());
@@ -285,7 +288,7 @@ class EnterpriseTest : public ::testing::Test {
     params.num_prosumers = 80;
     params.offers_per_prosumer = 3.0;
     params.horizon = TimeInterval(T0(), T0() + kMinutesPerDay);
-    workload_ = generator_.Generate(params);
+    workload_ = *generator_.Generate(params);
   }
 
   geo::Atlas atlas_;
@@ -386,6 +389,293 @@ TEST_F(EnterpriseTest, RunDayAheadWritesBackToWarehouse) {
 TEST_F(EnterpriseTest, EmptyWindowRejected) {
   Enterprise enterprise;
   EXPECT_FALSE(enterprise.PlanHorizon(workload_.offers, TimeInterval()).ok());
+}
+
+// ---- Workload validation ---------------------------------------------------------------
+
+TEST_F(WorkloadTest, ValidateRejectsFractionSumAboveOne) {
+  WorkloadParams params = DefaultParams();
+  params.fraction_accepted = 0.6;
+  params.fraction_assigned = 0.5;
+  params.fraction_rejected = 0.2;
+  Status status = ValidateWorkloadParams(params);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("sum"), std::string::npos) << status.ToString();
+  // Generate refuses instead of silently misgenerating.
+  EXPECT_EQ(generator_.Generate(params).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WorkloadTest, ValidateRejectsOutOfRangeAndNanFractions) {
+  WorkloadParams params = DefaultParams();
+  params.fraction_accepted = -0.1;
+  EXPECT_EQ(ValidateWorkloadParams(params).code(), StatusCode::kInvalidArgument);
+  params = DefaultParams();
+  params.fraction_assigned = 1.5;
+  EXPECT_EQ(ValidateWorkloadParams(params).code(), StatusCode::kInvalidArgument);
+  params = DefaultParams();
+  params.fraction_rejected = std::nan("");
+  EXPECT_EQ(ValidateWorkloadParams(params).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WorkloadTest, ValidateRejectsUnalignedTimeShift) {
+  WorkloadParams params = DefaultParams();
+  params.time_shift_minutes = 7;  // not a multiple of the 15-min slice
+  EXPECT_EQ(ValidateWorkloadParams(params).code(), StatusCode::kInvalidArgument);
+  params.time_shift_minutes = -60;
+  EXPECT_TRUE(ValidateWorkloadParams(params).ok());
+}
+
+TEST_F(WorkloadTest, FractionBoundarySumExactlyOneIsValid) {
+  WorkloadParams params = DefaultParams();
+  params.fraction_accepted = 0.25;
+  params.fraction_assigned = 0.50;
+  params.fraction_rejected = 0.25;
+  EXPECT_TRUE(ValidateWorkloadParams(params).ok());
+  EXPECT_TRUE(generator_.Generate(params).ok());
+}
+
+TEST_F(WorkloadTest, ApplianceOverrideAndIdOffsetsCompose) {
+  WorkloadParams params = DefaultParams();
+  params.num_prosumers = 10;
+  params.appliance_override = core::ApplianceType::kElectricVehicle;
+  params.first_prosumer_id = 100;
+  params.first_offer_id = 5000;
+  Result<Workload> workload = generator_.Generate(params);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  for (const dw::ProsumerInfo& p : workload->prosumers) EXPECT_GE(p.id, 100);
+  for (const FlexOffer& o : workload->offers) {
+    EXPECT_EQ(o.appliance_type, core::ApplianceType::kElectricVehicle);
+    EXPECT_GE(o.id, 5000);
+  }
+}
+
+// ---- EvaluateForecast edge cases -------------------------------------------------------
+
+TEST(ForecasterTest, EvaluateReportsSlicesComparedAndGuardsNoOverlap) {
+  TimeSeries forecast(T0(), std::vector<double>(8, 5.0));
+  TimeSeries actual(T0(), std::vector<double>(8, 7.0));
+  ForecastError err = EvaluateForecast(forecast, actual);
+  EXPECT_EQ(err.slices, 8);
+  EXPECT_NEAR(err.mae, 2.0, 1e-12);
+
+  // Disjoint series: zero slices compared, all errors zero (meaning "nothing
+  // compared", not "perfect") and no 0/0 NaN.
+  TimeSeries far(T0() + 1000 * kMinutesPerSlice, std::vector<double>{1.0});
+  ForecastError none = EvaluateForecast(forecast, far);
+  EXPECT_EQ(none.slices, 0);
+  EXPECT_EQ(none.mae, 0.0);
+  EXPECT_EQ(none.rmse, 0.0);
+  EXPECT_FALSE(std::isnan(none.mape));
+}
+
+TEST(ForecasterTest, EvaluateHandlesMisalignedAndPartialOverlap) {
+  // Overlap of exactly 2 slices; the rest of each series is ignored.
+  TimeSeries forecast(T0(), std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  TimeSeries actual(T0() + 2 * kMinutesPerSlice, std::vector<double>{3.0, 4.0, 9.0});
+  ForecastError err = EvaluateForecast(forecast, actual);
+  EXPECT_EQ(err.slices, 2);
+  EXPECT_NEAR(err.mae, 0.0, 1e-12);
+}
+
+TEST(ForecasterTest, ZeroLengthHistoryYieldsZeroForecastThatComparesNormally) {
+  TimeSeries empty_history(T0(), std::vector<double>{});
+  SeasonalNaiveForecaster naive(96);
+  TimeSeries forecast = naive.Forecast(empty_history, 4);
+  EXPECT_EQ(forecast.size(), 4u);
+  TimeSeries actual(forecast.start(), std::vector<double>(4, 3.0));
+  ForecastError err = EvaluateForecast(forecast, actual);
+  EXPECT_EQ(err.slices, 4);
+  EXPECT_NEAR(err.mae, 3.0, 1e-12);
+}
+
+// ---- New forecasters and the registry --------------------------------------------------
+
+TEST(ForecasterTest, LinearArTracksSeasonLaggedGrowth) {
+  // y_{t} = 1.05 * y_{t-season}: exactly the relation linear-ar fits.
+  std::vector<double> history;
+  for (int d = 0; d < 5; ++d) {
+    for (int s = 0; s < 96; ++s) {
+      history.push_back(std::pow(1.05, d) * (40.0 + 10.0 * std::sin(s * 2.0 * M_PI / 96)));
+    }
+  }
+  TimeSeries hist(T0(), history);
+  std::vector<double> future;
+  for (int s = 0; s < 96; ++s) {
+    future.push_back(std::pow(1.05, 5) * (40.0 + 10.0 * std::sin(s * 2.0 * M_PI / 96)));
+  }
+  TimeSeries actual(hist.end(), future);
+
+  LinearArForecaster ar(96);
+  SeasonalNaiveForecaster naive(96);
+  ForecastError ar_err = EvaluateForecast(ar.Forecast(hist, 96), actual);
+  ForecastError naive_err = EvaluateForecast(naive.Forecast(hist, 96), actual);
+  EXPECT_LT(ar_err.rmse, naive_err.rmse);
+}
+
+TEST(ForecasterTest, LinearArFallsBackOnShortHistory) {
+  LinearArForecaster ar(96);
+  TimeSeries forecast = ar.Forecast(TimeSeries(T0(), {1.0, 2.0}), 4);
+  EXPECT_EQ(forecast.size(), 4u);
+  for (size_t i = 0; i < forecast.size(); ++i) {
+    EXPECT_GE(forecast.AtIndex(static_cast<int64_t>(i)), 0.0);
+  }
+}
+
+TEST(ForecasterTest, EnsembleProducesNonNegativeForecastOfRequestedLength) {
+  std::vector<double> history;
+  for (int d = 0; d < 4; ++d) {
+    for (int s = 0; s < 96; ++s) history.push_back(20.0 + 5.0 * std::sin(s * 0.2));
+  }
+  TimeSeries hist(T0(), history);
+  EnsembleForecaster ensemble(96);
+  TimeSeries forecast = ensemble.Forecast(hist, 96);
+  EXPECT_EQ(forecast.size(), 96u);
+  EXPECT_EQ(forecast.start(), hist.end());
+  for (size_t i = 0; i < forecast.size(); ++i) {
+    EXPECT_GE(forecast.AtIndex(static_cast<int64_t>(i)), 0.0);
+  }
+}
+
+TEST(ForecasterTest, RegistryListsBuiltinsAndRejectsUnknownNames) {
+  ForecasterRegistry& registry = ForecasterRegistry::Global();
+  std::vector<std::string> names = registry.Names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const char* name :
+       {"seasonal-naive", "holt-winters", "linear-ar", "weighted-ensemble"}) {
+    EXPECT_TRUE(registry.Has(name)) << name;
+    Result<std::unique_ptr<Forecaster>> made = registry.Make(name);
+    ASSERT_TRUE(made.ok()) << made.status().ToString();
+    EXPECT_NE(*made, nullptr);
+  }
+  Result<std::unique_ptr<Forecaster>> unknown = registry.Make("oracle");
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+  // The error names every registered option.
+  for (const std::string& name : names) {
+    EXPECT_NE(unknown.status().message().find(name), std::string::npos)
+        << unknown.status().ToString();
+  }
+}
+
+TEST(ForecasterTest, EnvVarOverridesConfiguredForecasterName) {
+  ASSERT_EQ(::setenv(kForecasterEnvVar, "linear-ar", 1), 0);
+  EXPECT_EQ(EffectiveForecasterName("holt-winters"), "linear-ar");
+  ASSERT_EQ(::unsetenv(kForecasterEnvVar), 0);
+  EXPECT_EQ(EffectiveForecasterName("seasonal-naive"), "seasonal-naive");
+  EXPECT_EQ(EffectiveForecasterName(""), kDefaultForecasterName);
+}
+
+// ---- Bidding strategies and the registry -----------------------------------------------
+
+class BiddingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    window_ = TimeInterval(T0(), T0() + kMinutesPerDay);
+    params_.noise = 0.0;
+    Market market(params_);
+    // A residual with both deficit (buy) and surplus (sell) stretches, and a
+    // deviation that is nonzero on a few slices.
+    std::vector<double> residual(96), deviation(96), load(96);
+    for (int s = 0; s < 96; ++s) {
+      residual[s] = 30.0 * std::sin(s * 2.0 * M_PI / 96);
+      deviation[s] = (s % 17 == 0) ? 4.0 : 0.0;
+      load[s] = 100.0 + 50.0 * std::sin(s * 2.0 * M_PI / 96 + 1.0);
+    }
+    residual_ = TimeSeries(window_.start, residual);
+    deviation_ = TimeSeries(window_.start, deviation);
+    prices_ = market.MakePrices(window_, TimeSeries(window_.start, load));
+  }
+
+  MarketParams params_;
+  TimeInterval window_;
+  TimeSeries residual_, deviation_, prices_;
+};
+
+TEST_F(BiddingTest, EveryRegisteredStrategyConservesSettlement) {
+  for (const std::string& name : BiddingRegistry::Global().Names()) {
+    Result<std::unique_ptr<BiddingStrategy>> strategy =
+        BiddingRegistry::Global().Make(name);
+    ASSERT_TRUE(strategy.ok()) << name;
+    Settlement s = (*strategy)->Settle(params_, residual_, deviation_, prices_);
+    EXPECT_NEAR(s.total_cost_eur, s.spot_cost_eur + s.imbalance_cost_eur, 1e-9)
+        << name << " violates total == spot + imbalance";
+    EXPECT_GE(s.imbalance_kwh, 0.0) << name;
+  }
+}
+
+TEST_F(BiddingTest, SpotResidualStrategyMatchesMarketSettleExactly) {
+  Market market(params_);
+  Settlement via_market = market.Settle(residual_, deviation_, prices_);
+  Settlement via_strategy =
+      SpotResidualStrategy().Settle(params_, residual_, deviation_, prices_);
+  EXPECT_EQ(via_market.total_cost_eur, via_strategy.total_cost_eur);
+  EXPECT_EQ(via_market.spot_cost_eur, via_strategy.spot_cost_eur);
+  EXPECT_EQ(via_market.imbalance_cost_eur, via_strategy.imbalance_cost_eur);
+  EXPECT_EQ(via_market.imbalance_kwh, via_strategy.imbalance_kwh);
+}
+
+TEST_F(BiddingTest, StrategiesProduceDistinctCostsOnTheSameResidual) {
+  Settlement spot = SpotResidualStrategy().Settle(params_, residual_, deviation_, prices_);
+  Settlement fixing = StartFixingStrategy().Settle(params_, residual_, deviation_, prices_);
+  Settlement threshold =
+      PriceThresholdStrategy().Settle(params_, residual_, deviation_, prices_);
+  // All three settle the same residual but book it differently; on a
+  // price-varying day their totals must not collapse to one number.
+  EXPECT_NE(spot.total_cost_eur, fixing.total_cost_eur);
+  EXPECT_NE(spot.total_cost_eur, threshold.total_cost_eur);
+  // price-threshold declines unfavorable slices into imbalance.
+  EXPECT_GT(threshold.imbalance_kwh, spot.imbalance_kwh);
+}
+
+TEST_F(BiddingTest, RegistryRejectsUnknownStrategyNamingOptions) {
+  Result<std::unique_ptr<BiddingStrategy>> unknown =
+      BiddingRegistry::Global().Make("insider-trading");
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+  for (const std::string& name : BiddingRegistry::Global().Names()) {
+    EXPECT_NE(unknown.status().message().find(name), std::string::npos)
+        << unknown.status().ToString();
+  }
+}
+
+TEST_F(BiddingTest, EnvVarOverridesConfiguredBiddingName) {
+  ASSERT_EQ(::setenv(kBiddingEnvVar, "start-fixing", 1), 0);
+  EXPECT_EQ(EffectiveBiddingName("spot-residual"), "start-fixing");
+  ASSERT_EQ(::unsetenv(kBiddingEnvVar), 0);
+  EXPECT_EQ(EffectiveBiddingName("price-threshold"), "price-threshold");
+  EXPECT_EQ(EffectiveBiddingName(""), kDefaultBiddingName);
+}
+
+// ---- Strategy wiring through PlanHorizon -----------------------------------------------
+
+TEST_F(EnterpriseTest, UnknownStrategyNamesAreTypedErrorsBeforePlanning) {
+  TimeInterval window(T0(), T0() + kMinutesPerDay);
+  EnterpriseParams params;
+  params.forecaster = "oracle";
+  Result<PlanningReport> report =
+      Enterprise(params).PlanHorizon(workload_.offers, window);
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(report.status().message().find("holt-winters"), std::string::npos);
+
+  params = EnterpriseParams{};
+  params.market.bidding = "insider-trading";
+  report = Enterprise(params).PlanHorizon(workload_.offers, window);
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(report.status().message().find("spot-residual"), std::string::npos);
+}
+
+TEST_F(EnterpriseTest, ReportPinsResolvedStrategyNames) {
+  TimeInterval window(T0(), T0() + kMinutesPerDay);
+  EnterpriseParams params;
+  params.forecaster = "linear-ar";
+  params.market.bidding = "price-threshold";
+  params.plan_on_forecast = true;
+  Result<PlanningReport> report =
+      Enterprise(params).PlanHorizon(workload_.offers, window);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->forecaster, "linear-ar");
+  EXPECT_EQ(report->bidding, "price-threshold");
+  EXPECT_GT(report->forecast_error.slices, 0);
+  const Settlement& s = report->settlement;
+  EXPECT_NEAR(s.total_cost_eur, s.spot_cost_eur + s.imbalance_cost_eur, 1e-9);
 }
 
 }  // namespace

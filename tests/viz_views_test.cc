@@ -39,7 +39,7 @@ class ScenarioTest : public ::testing::Test {
     params.num_prosumers = 60;
     params.offers_per_prosumer = 4.0;
     params.horizon = timeutil::TimeInterval(T0(), T0() + 2 * timeutil::kMinutesPerDay);
-    workload_ = generator.Generate(params);
+    workload_ = *generator.Generate(params);
     ASSERT_TRUE(sim::WorkloadGenerator::LoadIntoDatabase(workload_, db_).ok());
   }
 

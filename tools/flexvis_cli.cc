@@ -151,7 +151,9 @@ int CmdGenerate(const Args& args) {
   params.num_prosumers = static_cast<int>(args.GetInt("prosumers", 200));
   params.offers_per_prosumer = args.GetDouble("offers-per-prosumer", 5.0);
   params.horizon = DayWindow(args);
-  sim::Workload workload = generator.Generate(params);
+  Result<sim::Workload> generated = generator.Generate(params);
+  if (!generated.ok()) return Fail(generated.status());
+  sim::Workload workload = *std::move(generated);
   status = sim::WorkloadGenerator::LoadIntoDatabase(workload, db);
   if (!status.ok()) return Fail(status);
   status = dw::SaveDatabase(db, out);
@@ -174,6 +176,10 @@ int CmdPlan(const Args& args) {
   sim::EnterpriseParams params;
   params.plan_on_forecast = args.Has("forecast");
   params.local_search_iterations = static_cast<int>(args.GetInt("local-search", 0));
+  // Named strategies (README "Strategies & scenarios"): empty falls back to
+  // the defaults; unknown names fail typed from PlanHorizon.
+  params.forecaster = args.Get("forecaster");
+  params.market.bidding = args.Get("bidding");
 
   // FLEXVIS_SHARDS=N partitions the prosumer population across N enterprise
   // shards (README "Multi-enterprise sharding"). The merged plan is printed
@@ -210,6 +216,8 @@ int CmdPlan(const Args& args) {
               report->aggregates_rejected);
   std::printf("planned on            %s demand\n",
               params.plan_on_forecast ? "forecast" : "actual");
+  std::printf("strategies            forecaster=%s bidding=%s\n",
+              report->forecaster.c_str(), report->bidding.c_str());
   std::printf("surplus imbalance     %.0f -> %.0f kWh\n", report->imbalance_before_kwh,
               report->imbalance_after_kwh);
   std::printf("plan deviation        %.0f kWh\n", report->deviation.AbsTotal());
